@@ -1,0 +1,330 @@
+//! The complete A-ABFT protected matrix multiplication (paper Section V).
+//!
+//! Pipeline, exactly as the paper stages it:
+//!
+//! 1. encoding kernels — checksum encoding fused with the per-block p-max
+//!    search, for `A` (column checksums) and `B` (row checksums);
+//! 2. the block-based multiplication kernel over the augmented operands;
+//! 3. reduction of the block-wise p-max partials to global per-line tables;
+//! 4. the checking kernel — autonomous rounding-error bounds, reference
+//!    checksums and comparison.
+//!
+//! The host then decodes the report and (optionally) repairs located single
+//! errors.
+
+use crate::check::CheckReport;
+use crate::config::AAbftConfig;
+use crate::correct::Correction;
+use crate::encoding::{AugmentedLayout, FullChecksummed};
+use crate::recover::{apply_policy, RecomputeBlocksKernel, RecoveryOutcome};
+use crate::kernels::buffers::PMaxBuffers;
+use crate::kernels::check::{CheckKernel, REPORT_WORDS};
+use crate::kernels::encode::{EncodeColumnsKernel, EncodeRowsKernel};
+use crate::kernels::reduce::ReducePMaxKernel;
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::kernels::gemm::GemmKernel;
+use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_matrix::Matrix;
+
+/// Result of one protected multiplication.
+#[derive(Debug)]
+pub struct AAbftOutcome {
+    /// The caller-visible product (corrected when correction is enabled).
+    pub product: Matrix<f64>,
+    /// The raw full-checksum product with its layouts.
+    pub full: FullChecksummed,
+    /// Decoded checksum-check findings.
+    pub report: CheckReport,
+    /// Corrections applied (empty unless enabled and errors were located).
+    pub corrections: Vec<Correction>,
+    /// Result blocks recomputed from the operands (only under
+    /// [`crate::recover::RecoveryPolicy::CorrectOrRecompute`]).
+    pub recomputed_blocks: Vec<(usize, usize)>,
+}
+
+impl AAbftOutcome {
+    /// `true` if the check flagged any checksum.
+    pub fn errors_detected(&self) -> bool {
+        self.report.errors_detected()
+    }
+}
+
+/// The A-ABFT protected GEMM operator.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::{AAbftConfig, AAbftGemm};
+/// use aabft_gpu_sim::Device;
+/// use aabft_matrix::Matrix;
+///
+/// let a = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.3).sin());
+/// let b = Matrix::from_fn(8, 8, |i, j| ((i * 2 + j) as f64 * 0.2).cos());
+/// let config = AAbftConfig::builder().block_size(4).build();
+/// let gemm = AAbftGemm::new(config);
+/// let device = Device::with_defaults();
+/// let outcome = gemm.multiply(&device, &a, &b);
+/// assert!(!outcome.errors_detected()); // fault-free run, no false positives
+/// assert_eq!(outcome.product.shape(), (8, 8));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AAbftGemm {
+    config: AAbftConfig,
+}
+
+impl AAbftGemm {
+    /// Creates the operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: AAbftConfig) -> Self {
+        config.validate();
+        AAbftGemm { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AAbftConfig {
+        &self.config
+    }
+
+    /// Axis layouts and padded inner extent for operand shapes `m × n · n × q`.
+    pub fn layouts(&self, m: usize, n: usize, q: usize) -> (AugmentedLayout, usize, AugmentedLayout) {
+        let bs = self.config.block_size;
+        let t = self.config.tiling;
+        let rows = AugmentedLayout::new(m, bs, t.bm);
+        let cols = AugmentedLayout::new(q, bs, t.bn);
+        let inner = n.div_ceil(lcm(bs, t.bk)) * lcm(bs, t.bk);
+        (rows, inner, cols)
+    }
+
+    /// Runs the protected multiplication `C = A · B` on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> AAbftOutcome {
+        assert_eq!(
+            a.cols(),
+            b.rows(),
+            "inner dimensions must agree: {:?} x {:?}",
+            a.shape(),
+            b.shape()
+        );
+        let (m, n, q) = (a.rows(), a.cols(), b.cols());
+        let (rows, inner, cols) = self.layouts(m, n, q);
+        let bs = self.config.block_size;
+        let p = self.config.p;
+
+        // Upload operands into their augmented, padded layouts (checksum
+        // regions zeroed; the encoding kernels fill them).
+        let a_buf = {
+            let mut aug = Matrix::zeros(rows.total, inner);
+            for i in 0..m {
+                aug.row_mut(i)[..n].copy_from_slice(a.row(i));
+            }
+            DeviceBuffer::from_matrix(&aug)
+        };
+        let b_buf = {
+            let mut aug = Matrix::zeros(inner, cols.total);
+            for i in 0..n {
+                aug.row_mut(i)[..q].copy_from_slice(b.row(i));
+            }
+            DeviceBuffer::from_matrix(&aug)
+        };
+
+        // Step 1: encoding + per-block p-max.
+        let pmax_a = PMaxBuffers::new(rows.total, inner / bs, p);
+        let encode_a = EncodeColumnsKernel::new(&a_buf, &pmax_a, rows, inner);
+        device.launch(encode_a.grid(), &encode_a);
+
+        let pmax_b = PMaxBuffers::new(cols.total, inner / bs, p);
+        let encode_b = EncodeRowsKernel::new(&b_buf, &pmax_b, cols, inner);
+        device.launch(encode_b.grid(), &encode_b);
+
+        // Step 2: the multiplication over the augmented operands.
+        let c_buf = DeviceBuffer::zeros(rows.total * cols.total);
+        let gemm = GemmKernel::new(
+            &a_buf,
+            &b_buf,
+            &c_buf,
+            rows.total,
+            inner,
+            cols.total,
+            self.config.tiling,
+        )
+        .with_mul_mode(self.config.mul_mode)
+        .with_rounding(self.config.rounding);
+        device.launch(gemm.grid(), &gemm);
+
+        // Step 3: global p-max reduction (the paper overlaps this with the
+        // multiplication; the performance model charges it separately).
+        let reduce_a = ReducePMaxKernel::new(&pmax_a);
+        device.launch(reduce_a.grid(), &reduce_a);
+        let reduce_b = ReducePMaxKernel::new(&pmax_b);
+        device.launch(reduce_b.grid(), &reduce_b);
+
+        // Step 4: bounds + reference checksums + comparison.
+        let report_buf = DeviceBuffer::zeros(REPORT_WORDS * rows.blocks * cols.blocks);
+        let check = CheckKernel::new(
+            &c_buf,
+            &pmax_a,
+            &pmax_b,
+            &report_buf,
+            rows,
+            cols,
+            inner,
+            self.config.omega,
+            self.config.rounding_model(),
+        );
+        device.launch(check.grid(), &check);
+
+        // Host epilogue: decode, apply the recovery policy, strip to the
+        // caller's shape.
+        let report = CheckReport::from_raw(&report_buf.to_vec(), rows, cols);
+        let mut full = FullChecksummed {
+            matrix: c_buf.to_matrix(rows.total, cols.total),
+            rows,
+            cols,
+        };
+        let RecoveryOutcome { corrections, recomputed_blocks } =
+            apply_policy(self.config.recovery, &mut full, &report, |blocks, prod| {
+                // Selective block recompute on the device, then refresh the
+                // host copy of the product.
+                let kernel = RecomputeBlocksKernel::new(
+                    &a_buf,
+                    &b_buf,
+                    &c_buf,
+                    inner,
+                    cols.total,
+                    bs,
+                    rows.data,
+                    cols.data,
+                    blocks,
+                );
+                device.launch(kernel.grid(), &kernel);
+                prod.matrix = c_buf.to_matrix(rows.total, cols.total);
+            });
+        let product = full.matrix.block(0, 0, m, q);
+        AAbftOutcome { product, full, report, corrections, recomputed_blocks }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple (used for inner-dimension padding).
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+    use aabft_gpu_sim::kernels::gemm::GemmTiling;
+    use aabft_matrix::gemm::multiply as host_multiply;
+
+    fn small_config() -> AAbftConfig {
+        AAbftConfig::builder()
+            .block_size(4)
+            .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+            .build()
+    }
+
+    fn inputs(m: usize, n: usize, q: usize) -> (Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::from_fn(m, n, |i, j| ((i * 3 + j * 7) as f64 * 0.19).sin()),
+            Matrix::from_fn(n, q, |i, j| ((i * 11 + j) as f64 * 0.23).cos()),
+        )
+    }
+
+    #[test]
+    fn clean_multiply_matches_reference_and_reports_clean() {
+        let (a, b) = inputs(16, 16, 16);
+        let outcome = AAbftGemm::new(small_config()).multiply(&Device::with_defaults(), &a, &b);
+        assert!(!outcome.errors_detected(), "report: {:?}", outcome.report);
+        let expect = host_multiply(&a, &b);
+        assert!(outcome.product.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn non_square_and_non_aligned_shapes() {
+        let (a, b) = inputs(10, 13, 18);
+        let outcome = AAbftGemm::new(small_config()).multiply(&Device::with_defaults(), &a, &b);
+        assert!(!outcome.errors_detected());
+        assert_eq!(outcome.product.shape(), (10, 18));
+        assert!(outcome.product.approx_eq(&host_multiply(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn injected_fault_is_detected_and_located() {
+        let (a, b) = inputs(16, 16, 16);
+        let device = Device::with_defaults();
+        // Flip a high exponent bit of a final-merge addition on SM 0 — an
+        // unmissable error in one element. (A mantissa flip of a
+        // zero-valued operand would be legitimately masked.)
+        device.arm_injection(InjectionPlan {
+            sm: 0,
+            site: FaultSite::FinalAdd,
+            module: 0,
+            k_injection: 3,
+            mask: 1 << 62,
+        });
+        let outcome = AAbftGemm::new(small_config()).multiply(&device, &a, &b);
+        assert!(device.disarm_injection(), "fault must strike");
+        assert!(outcome.errors_detected(), "fault must be detected");
+        // Verify the located coordinate really is a corrupted element.
+        let expect = host_multiply(&a, &b);
+        if let Some(&(i, j)) = outcome.report.located.first() {
+            if i < 16 && j < 16 {
+                assert!(
+                    (outcome.product[(i, j)] - expect[(i, j)]).abs() > 1e-12,
+                    "located element should differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correction_restores_the_product() {
+        let (a, b) = inputs(16, 16, 16);
+        let device = Device::with_defaults();
+        // SM 1 runs grid block (1, 0): rows 0-7, columns 8-15 — data region.
+        device.arm_injection(InjectionPlan {
+            sm: 1,
+            site: FaultSite::FinalAdd,
+            module: 0,
+            k_injection: 3,
+            mask: 1 << 51,
+        });
+        let config = AAbftConfig::builder()
+            .block_size(4)
+            .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+            .correct(true)
+            .build();
+        let outcome = AAbftGemm::new(config).multiply(&device, &a, &b);
+        assert!(device.disarm_injection());
+        if outcome.report.single_error() {
+            assert_eq!(outcome.corrections.len(), 1);
+            let expect = host_multiply(&a, &b);
+            assert!(
+                outcome.product.approx_eq(&expect, 1e-11),
+                "corrected product should match reference, max diff {}",
+                outcome.product.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn lcm_helper() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(32, 8), 32);
+        assert_eq!(lcm(1, 7), 7);
+    }
+}

@@ -1,0 +1,147 @@
+//! Host-side decoding of the checking kernel's report.
+//!
+//! The checking kernel writes one row- and one column-mismatch bitmap per
+//! `BS × BS` result block. This module turns those bitmaps into a
+//! [`CheckReport`]: global mismatch coordinates and the located errors at
+//! row/column intersections (the ABFT localisation rule of Section II).
+
+use crate::encoding::AugmentedLayout;
+use crate::kernels::check::REPORT_WORDS;
+
+/// Decoded outcome of a checksum check.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::check::CheckReport;
+/// use aabft_core::encoding::AugmentedLayout;
+///
+/// let rows = AugmentedLayout::new(8, 4, 1);
+/// let cols = AugmentedLayout::new(8, 4, 1);
+/// // Block (1,1) flags local column 2 and local row 1.
+/// let mut raw = vec![0.0; 8];
+/// raw[6] = (1u64 << 2) as f64;
+/// raw[7] = (1u64 << 1) as f64;
+/// let report = CheckReport::from_raw(&raw, rows, cols);
+/// assert!(report.errors_detected());
+/// assert_eq!(report.located, vec![(5, 6)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckReport {
+    /// Column-checksum mismatches as `(block_row, global_column)`.
+    pub col_mismatches: Vec<(usize, usize)>,
+    /// Row-checksum mismatches as `(global_row, block_column)`.
+    pub row_mismatches: Vec<(usize, usize)>,
+    /// Errors located at the intersection of a mismatching row and column
+    /// within the same block, as global `(row, column)` data coordinates.
+    pub located: Vec<(usize, usize)>,
+}
+
+impl CheckReport {
+    /// Decodes the raw report buffer (as downloaded from the device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length doesn't match the block grid.
+    pub fn from_raw(raw: &[f64], rows: AugmentedLayout, cols: AugmentedLayout) -> Self {
+        assert_eq!(
+            raw.len(),
+            REPORT_WORDS * rows.blocks * cols.blocks,
+            "report buffer length mismatch"
+        );
+        let bs = rows.block_size;
+        let mut report = CheckReport::default();
+        for bi in 0..rows.blocks {
+            for bj in 0..cols.blocks {
+                let slot = (bi * cols.blocks + bj) * REPORT_WORDS;
+                let col_mask = raw[slot] as u64;
+                let row_mask = raw[slot + 1] as u64;
+                for t in 0..bs {
+                    if col_mask >> t & 1 == 1 {
+                        report.col_mismatches.push((bi, bj * bs + t));
+                    }
+                    if row_mask >> t & 1 == 1 {
+                        report.row_mismatches.push((bi * bs + t, bj));
+                    }
+                }
+                for tr in 0..bs {
+                    if row_mask >> tr & 1 == 0 {
+                        continue;
+                    }
+                    for tc in 0..bs {
+                        if col_mask >> tc & 1 == 1 {
+                            report.located.push((bi * bs + tr, bj * bs + tc));
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// `true` if any checksum mismatched.
+    pub fn errors_detected(&self) -> bool {
+        !self.col_mismatches.is_empty() || !self.row_mismatches.is_empty()
+    }
+
+    /// `true` if exactly one error was located (the single-error-correction
+    /// precondition).
+    pub fn single_error(&self) -> bool {
+        self.located.len() == 1
+            && self.col_mismatches.len() == 1
+            && self.row_mismatches.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layouts() -> (AugmentedLayout, AugmentedLayout) {
+        (AugmentedLayout::new(8, 4, 1), AugmentedLayout::new(8, 4, 1))
+    }
+
+    #[test]
+    fn empty_report() {
+        let (r, c) = layouts();
+        let report = CheckReport::from_raw(&[0.0; 8], r, c);
+        assert!(!report.errors_detected());
+        assert!(report.located.is_empty());
+        assert!(!report.single_error());
+    }
+
+    #[test]
+    fn single_intersection() {
+        let (r, c) = layouts();
+        let mut raw = vec![0.0; 8];
+        raw[0] = (1u64 << 3) as f64; // block (0,0), column 3
+        raw[1] = (1u64 << 0) as f64; // block (0,0), row 0
+        let report = CheckReport::from_raw(&raw, r, c);
+        assert_eq!(report.col_mismatches, vec![(0, 3)]);
+        assert_eq!(report.row_mismatches, vec![(0, 0)]);
+        assert_eq!(report.located, vec![(0, 3)]);
+        assert!(report.single_error());
+    }
+
+    #[test]
+    fn column_only_mismatch_is_detected_but_not_located() {
+        let (r, c) = layouts();
+        let mut raw = vec![0.0; 8];
+        raw[2] = 1.0; // block (0,1): column 4
+        let report = CheckReport::from_raw(&raw, r, c);
+        assert!(report.errors_detected());
+        assert!(report.located.is_empty());
+    }
+
+    #[test]
+    fn cross_block_mismatches_do_not_intersect() {
+        let (r, c) = layouts();
+        let mut raw = vec![0.0; 8];
+        raw[0] = 1.0; // block (0,0) col 0
+        raw[7] = 1.0; // block (1,1) row 4
+        let report = CheckReport::from_raw(&raw, r, c);
+        assert_eq!(report.col_mismatches.len(), 1);
+        assert_eq!(report.row_mismatches.len(), 1);
+        assert!(report.located.is_empty(), "different blocks must not intersect");
+    }
+}

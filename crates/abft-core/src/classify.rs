@@ -1,0 +1,102 @@
+//! Runtime error classification (paper Section VI-C).
+//!
+//! A-ABFT distinguishes three classes of value errors in a result element:
+//! *inevitable rounding errors*, *tolerable compute errors* in the magnitude
+//! of the rounding error, and *intolerable critical compute errors* beyond
+//! it. The boundary is drawn with the probabilistic model evaluated on the
+//! affected element's actual operands: an error is critical if it exceeds
+//! `ω·σ` of the element's modelled rounding error.
+
+use aabft_numerics::{Moments, RoundingModel};
+
+/// The three error classes of Section VI-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Within the expected rounding noise (`≤ σ`): not an error at all.
+    InevitableRounding,
+    /// Beyond plain rounding noise but within `ω·σ`: differs from the
+    /// correct result insignificantly.
+    Tolerable,
+    /// Beyond `ω·σ`: must be detected (and corrected).
+    Critical,
+}
+
+/// Classifies the absolute deviation `error_abs` of a result element whose
+/// modelled rounding-error moments are `moments`, at confidence `ω`.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::classify::{classify, ErrorClass};
+/// use aabft_numerics::Moments;
+///
+/// let m = Moments { mean: 0.0, variance: 1e-28 }; // sigma = 1e-14
+/// assert_eq!(classify(5e-15, &m, 3.0), ErrorClass::InevitableRounding);
+/// assert_eq!(classify(2e-14, &m, 3.0), ErrorClass::Tolerable);
+/// assert_eq!(classify(1e-10, &m, 3.0), ErrorClass::Critical);
+/// ```
+pub fn classify(error_abs: f64, moments: &Moments, omega: f64) -> ErrorClass {
+    debug_assert!(error_abs >= 0.0, "classify expects an absolute error");
+    let sigma = moments.std_dev();
+    if error_abs <= moments.mean.abs().max(sigma) {
+        ErrorClass::InevitableRounding
+    } else if error_abs <= moments.confidence_radius(omega) {
+        ErrorClass::Tolerable
+    } else {
+        ErrorClass::Critical
+    }
+}
+
+/// Classifies the deviation of one result element given the operand row and
+/// column that produced it: evaluates the model on the element's actual data
+/// (the baseline used in the paper's fault-injection evaluation).
+pub fn classify_element(
+    clean: f64,
+    observed: f64,
+    a_row: &[f64],
+    b_col: &[f64],
+    model: &RoundingModel,
+    omega: f64,
+) -> ErrorClass {
+    let moments = model.inner_product_moments(a_row, b_col);
+    classify((observed - clean).abs(), &moments, omega)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aabft_numerics::RoundingModel;
+
+    #[test]
+    fn zero_error_is_inevitable() {
+        let m = Moments { mean: 0.0, variance: 1e-30 };
+        assert_eq!(classify(0.0, &m, 3.0), ErrorClass::InevitableRounding);
+    }
+
+    #[test]
+    fn classes_are_ordered_by_magnitude() {
+        let m = Moments { mean: 0.0, variance: 1.0 };
+        assert_eq!(classify(0.5, &m, 3.0), ErrorClass::InevitableRounding);
+        assert_eq!(classify(2.0, &m, 3.0), ErrorClass::Tolerable);
+        assert_eq!(classify(3.5, &m, 3.0), ErrorClass::Critical);
+    }
+
+    #[test]
+    fn element_classification_detects_injected_magnitude() {
+        let n = 128;
+        let a: Vec<f64> = (0..n).map(|i| ((i * 13) as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) as f64 * 0.1).cos()).collect();
+        let clean: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let model = RoundingModel::binary64();
+        // A 1e-3 hit on an O(1) element is clearly critical.
+        assert_eq!(
+            classify_element(clean, clean + 1e-3, &a, &b, &model, 3.0),
+            ErrorClass::Critical
+        );
+        // The element's own value is within rounding of itself.
+        assert_eq!(
+            classify_element(clean, clean, &a, &b, &model, 3.0),
+            ErrorClass::InevitableRounding
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Configuration of the A-ABFT protected multiplication.
+
+use crate::recover::RecoveryPolicy;
+use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use aabft_numerics::{MulMode, RoundingMode, RoundingModel};
+
+/// Parameters of the A-ABFT scheme (paper Sections II, IV-E and V).
+///
+/// Construct via [`AAbftConfig::builder`] or use `Default` (the paper's
+/// evaluation setting: `BS = 32`, `p = 2`, `ω = 3`, separate mul/add in
+/// double precision).
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::AAbftConfig;
+///
+/// let config = AAbftConfig::builder().block_size(16).p(4).omega(2.0).build();
+/// assert_eq!(config.block_size, 16);
+/// assert_eq!(config.p, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AAbftConfig {
+    /// Partitioned-encoding block size `BS` (Fig. 1). Each `BS × BS`
+    /// sub-matrix gets its own checksum row/column segment.
+    pub block_size: usize,
+    /// Number of largest absolute values tracked per row/column for the
+    /// upper-bound determination (Section IV-E).
+    pub p: usize,
+    /// Confidence-interval scaling `ω` of Eq. 7 (the paper reports its
+    /// results at the conservative `3σ`).
+    pub omega: f64,
+    /// Floating-point execution mode of the multiplication kernel.
+    pub mul_mode: MulMode,
+    /// Rounding behaviour of the multiplication kernel's arithmetic.
+    pub rounding: RoundingMode,
+    /// GEMM tile shape used by the multiplication kernel.
+    pub tiling: GemmTiling,
+    /// What to do about flagged errors (report / repair / recompute).
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for AAbftConfig {
+    fn default() -> Self {
+        AAbftConfig {
+            block_size: 32,
+            p: 2,
+            omega: 3.0,
+            mul_mode: MulMode::Separate,
+            rounding: RoundingMode::Nearest,
+            tiling: GemmTiling::default(),
+            recovery: RecoveryPolicy::ReportOnly,
+        }
+    }
+}
+
+impl AAbftConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> AAbftConfigBuilder {
+        AAbftConfigBuilder { config: AAbftConfig::default() }
+    }
+
+    /// The rounding model matching this configuration (binary64 hardware
+    /// with the configured multiply mode).
+    pub fn rounding_model(&self) -> RoundingModel {
+        let m = RoundingModel::binary64().with_rounding(self.rounding);
+        match self.mul_mode {
+            MulMode::Separate => m,
+            MulMode::Fused => m.with_fma(),
+        }
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is 0 or exceeds 52 (mismatch bitmaps must fit
+    /// exactly in an f64 mantissa), `p` is 0 or exceeds `block_size`, or
+    /// `omega` is not positive and finite.
+    pub fn validate(&self) {
+        assert!(
+            self.block_size > 0 && self.block_size <= 52,
+            "block_size must be in 1..=52, got {}",
+            self.block_size
+        );
+        assert!(
+            self.p > 0 && self.p <= self.block_size,
+            "p must be in 1..=block_size, got {}",
+            self.p
+        );
+        assert!(self.omega > 0.0 && self.omega.is_finite(), "omega must be positive");
+        self.tiling.validate();
+        assert!(
+            self.tiling.modules() <= 64,
+            "tiling implies {} modules, device default supports 64",
+            self.tiling.modules()
+        );
+        assert!(
+            !(self.rounding == RoundingMode::Truncation && self.mul_mode == MulMode::Fused),
+            "truncating fused multiply-add is not supported"
+        );
+    }
+}
+
+/// Builder for [`AAbftConfig`].
+#[derive(Debug, Clone)]
+pub struct AAbftConfigBuilder {
+    config: AAbftConfig,
+}
+
+impl AAbftConfigBuilder {
+    /// Sets the partitioned-encoding block size `BS`.
+    pub fn block_size(mut self, bs: usize) -> Self {
+        self.config.block_size = bs;
+        self
+    }
+
+    /// Sets the number of tracked largest absolute values `p`.
+    pub fn p(mut self, p: usize) -> Self {
+        self.config.p = p;
+        self
+    }
+
+    /// Sets the confidence scaling `ω`.
+    pub fn omega(mut self, omega: f64) -> Self {
+        self.config.omega = omega;
+        self
+    }
+
+    /// Sets the multiplication mode (separate vs fused multiply-add).
+    pub fn mul_mode(mut self, mode: MulMode) -> Self {
+        self.config.mul_mode = mode;
+        self
+    }
+
+    /// Sets the rounding mode of the multiplication arithmetic.
+    pub fn rounding_mode(mut self, mode: RoundingMode) -> Self {
+        self.config.rounding = mode;
+        self
+    }
+
+    /// Sets the GEMM tiling.
+    pub fn tiling(mut self, tiling: GemmTiling) -> Self {
+        self.config.tiling = tiling;
+        self
+    }
+
+    /// Enables single-error correction (shorthand for
+    /// [`RecoveryPolicy::CorrectSingle`]).
+    pub fn correct(mut self, correct: bool) -> Self {
+        self.config.recovery =
+            if correct { RecoveryPolicy::CorrectSingle } else { RecoveryPolicy::ReportOnly };
+        self
+    }
+
+    /// Sets the full recovery policy.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.config.recovery = policy;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`AAbftConfig::validate`]).
+    pub fn build(self) -> AAbftConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setting() {
+        let c = AAbftConfig::default();
+        assert_eq!(c.block_size, 32);
+        assert_eq!(c.p, 2);
+        assert_eq!(c.omega, 3.0);
+        assert_eq!(c.mul_mode, MulMode::Separate);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = AAbftConfig::builder().block_size(8).p(3).omega(1.0).correct(true).build();
+        assert_eq!(
+            (c.block_size, c.p, c.omega, c.recovery),
+            (8, 3, 1.0, RecoveryPolicy::CorrectSingle)
+        );
+    }
+
+    #[test]
+    fn fma_rounding_model() {
+        let c = AAbftConfig::builder().mul_mode(MulMode::Fused).build();
+        assert_eq!(c.rounding_model().mul_mode, MulMode::Fused);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn p_larger_than_bs_panics() {
+        AAbftConfig::builder().block_size(4).p(5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "block_size")]
+    fn oversized_bs_panics() {
+        AAbftConfig::builder().block_size(64).build();
+    }
+}

@@ -1,0 +1,285 @@
+//! Partitioned checksum encoding (paper Section II, Eq. 1–3, Fig. 1).
+//!
+//! A-ABFT encodes `BS × BS` sub-matrices: every block-row of `A` receives a
+//! column-checksum row (the sums of its `BS` rows), and every block-column
+//! of `B` receives a row-checksum column. The checksummed matrices then go
+//! through the *unmodified* multiplication, producing a full-checksum result
+//! whose checksum rows/columns can be re-derived from the data and compared.
+//!
+//! ## Augmented layout
+//!
+//! The encoded operand is stored as a plain matrix with the checksum rows
+//! (columns) appended after the data region, followed by zero padding up to
+//! the GEMM tile multiple:
+//!
+//! ```text
+//! A_cc (rows):  [ data (m, BS-padded) | checksum rows (m/BS) | zero pad ]
+//! B_rc (cols):  [ data (q, BS-padded) | checksum cols (q/BS) | zero pad ]
+//! ```
+//!
+//! Row order does not change any dot product, so this is numerically
+//! identical to the interleaved layout of Fig. 1 while keeping the GEMM
+//! tiling independent of `BS`.
+
+use aabft_matrix::Matrix;
+
+/// Geometry of an augmented (checksummed, padded) operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AugmentedLayout {
+    /// Original (caller-visible) extent along the checksummed axis.
+    pub orig: usize,
+    /// Data extent after padding to a multiple of `BS`.
+    pub data: usize,
+    /// Number of checksum lines (`data / BS`).
+    pub blocks: usize,
+    /// Total extent including zero padding to `tile` granularity.
+    pub total: usize,
+    /// Partitioned-encoding block size.
+    pub block_size: usize,
+}
+
+impl AugmentedLayout {
+    /// Computes the layout for an axis of original extent `orig`, block size
+    /// `bs` and GEMM tile granularity `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs == 0`, `tile == 0` or `orig == 0`.
+    pub fn new(orig: usize, bs: usize, tile: usize) -> Self {
+        assert!(orig > 0 && bs > 0 && tile > 0, "layout extents must be positive");
+        let data = orig.div_ceil(bs) * bs;
+        let blocks = data / bs;
+        let augmented = data + blocks;
+        let total = augmented.div_ceil(tile) * tile;
+        AugmentedLayout { orig, data, blocks, total, block_size: bs }
+    }
+
+    /// Index of block `i`'s checksum line.
+    pub fn checksum_line(&self, block: usize) -> usize {
+        assert!(block < self.blocks, "block {block} out of {}", self.blocks);
+        self.data + block
+    }
+
+    /// The block containing data line `line`.
+    pub fn block_of(&self, line: usize) -> usize {
+        assert!(line < self.data, "data line {line} out of {}", self.data);
+        line / self.block_size
+    }
+}
+
+/// Column-checksummed `A` operand: data rows, then per-block-row checksum
+/// rows, then zero padding (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnChecksummed {
+    /// The augmented matrix (`rows.total × cols`).
+    pub matrix: Matrix<f64>,
+    /// Row-axis layout.
+    pub rows: AugmentedLayout,
+    /// Inner (column) extent after padding.
+    pub cols: usize,
+}
+
+/// Row-checksummed `B` operand: data columns, then per-block-column checksum
+/// columns, then zero padding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowChecksummed {
+    /// The augmented matrix (`rows × cols.total`).
+    pub matrix: Matrix<f64>,
+    /// Inner (row) extent after padding.
+    pub rows: usize,
+    /// Column-axis layout.
+    pub cols: AugmentedLayout,
+}
+
+/// Encodes `A` (shape `m × n`) into a column-checksum matrix `A_cc`
+/// (Eq. 1 with partitioned encoding): checksum row `I` holds
+/// `Σ_{i ∈ block I} a_{i,j}` for every column `j`.
+///
+/// `row_tile` is the GEMM tile granularity for the row axis; `inner_tile`
+/// pads `n`.
+///
+/// This is the host reference implementation; the GPU encoding kernel
+/// (Algorithm 1) computes the same sums on-device and is tested against it.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::encoding::encode_columns;
+/// use aabft_matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+/// let acc = encode_columns(&a, 2, 1, 1);
+/// // Single 2x2 block: checksum row = column sums.
+/// assert_eq!(acc.matrix[(2, 0)], 4.0);
+/// assert_eq!(acc.matrix[(2, 1)], 6.0);
+/// ```
+pub fn encode_columns(a: &Matrix<f64>, bs: usize, row_tile: usize, inner_tile: usize) -> ColumnChecksummed {
+    let rows = AugmentedLayout::new(a.rows(), bs, row_tile);
+    let cols = a.cols().div_ceil(inner_tile) * inner_tile;
+    let mut m = Matrix::zeros(rows.total, cols);
+    for i in 0..a.rows() {
+        m.row_mut(i)[..a.cols()].copy_from_slice(a.row(i));
+    }
+    for block in 0..rows.blocks {
+        let cs = rows.checksum_line(block);
+        for j in 0..cols {
+            let mut s = 0.0;
+            for i in block * bs..(block + 1) * bs {
+                s += m[(i, j)];
+            }
+            m[(cs, j)] = s;
+        }
+    }
+    ColumnChecksummed { matrix: m, rows, cols }
+}
+
+/// Encodes `B` (shape `n × q`) into a row-checksum matrix `B_rc` (Eq. 2 with
+/// partitioned encoding): checksum column `J` holds `Σ_{j ∈ block J} b_{i,j}`
+/// for every row `i`.
+pub fn encode_rows(b: &Matrix<f64>, bs: usize, col_tile: usize, inner_tile: usize) -> RowChecksummed {
+    let cols = AugmentedLayout::new(b.cols(), bs, col_tile);
+    let rows = b.rows().div_ceil(inner_tile) * inner_tile;
+    let mut m = Matrix::zeros(rows, cols.total);
+    for i in 0..b.rows() {
+        m.row_mut(i)[..b.cols()].copy_from_slice(b.row(i));
+    }
+    for block in 0..cols.blocks {
+        let cs = cols.checksum_line(block);
+        for i in 0..rows {
+            let mut s = 0.0;
+            for j in block * bs..(block + 1) * bs {
+                s += m[(i, j)];
+            }
+            m[(i, cs)] = s;
+        }
+    }
+    RowChecksummed { matrix: m, rows, cols }
+}
+
+/// A full-checksum product `C_fc = A_cc · B_rc` (Eq. 3) together with its
+/// axis layouts; produced by the multiplication step of the pipeline.
+#[derive(Debug, Clone)]
+pub struct FullChecksummed {
+    /// The augmented product (`rows.total × cols.total`).
+    pub matrix: Matrix<f64>,
+    /// Row-axis layout (from `A_cc`).
+    pub rows: AugmentedLayout,
+    /// Column-axis layout (from `B_rc`).
+    pub cols: AugmentedLayout,
+}
+
+impl FullChecksummed {
+    /// Extracts the caller-visible `orig × orig` data region.
+    pub fn data(&self) -> Matrix<f64> {
+        self.matrix.block(0, 0, self.rows.orig, self.cols.orig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aabft_matrix::gemm::multiply;
+
+    #[test]
+    fn layout_exact_fit() {
+        let l = AugmentedLayout::new(64, 32, 32);
+        assert_eq!(l.data, 64);
+        assert_eq!(l.blocks, 2);
+        assert_eq!(l.total, 96); // 64 + 2 -> pad to 96
+        assert_eq!(l.checksum_line(1), 65);
+        assert_eq!(l.block_of(63), 1);
+    }
+
+    #[test]
+    fn layout_with_padding() {
+        let l = AugmentedLayout::new(50, 32, 32);
+        assert_eq!(l.data, 64);
+        assert_eq!(l.blocks, 2);
+        assert_eq!(l.total, 96);
+    }
+
+    #[test]
+    fn column_checksums_sum_block_rows() {
+        let a: Matrix = Matrix::from_fn(8, 6, |i, j| (i * 6 + j) as f64);
+        let acc = encode_columns(&a, 4, 1, 1);
+        assert_eq!(acc.rows.blocks, 2);
+        for block in 0..2 {
+            for j in 0..6 {
+                let expect: f64 = (block * 4..block * 4 + 4).map(|i| a[(i, j)]).sum();
+                assert_eq!(acc.matrix[(acc.rows.checksum_line(block), j)], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn row_checksums_sum_block_cols() {
+        let b: Matrix = Matrix::from_fn(5, 8, |i, j| ((i + 1) * (j + 2)) as f64);
+        let brc = encode_rows(&b, 4, 1, 1);
+        assert_eq!(brc.cols.blocks, 2);
+        for block in 0..2 {
+            for i in 0..5 {
+                let expect: f64 = (block * 4..block * 4 + 4).map(|j| b[(i, j)]).sum();
+                assert_eq!(brc.matrix[(i, brc.cols.checksum_line(block))], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_regions_are_zero() {
+        let a: Matrix = Matrix::from_fn(5, 5, |_, _| 1.0);
+        let acc = encode_columns(&a, 4, 8, 8);
+        // data padded to 8 rows, 2 blocks, augmented 10 -> total 16.
+        assert_eq!(acc.rows.total, 16);
+        assert_eq!(acc.cols, 8);
+        // Rows 10.. and cols 5.. are zero.
+        for i in 10..16 {
+            for j in 0..8 {
+                assert_eq!(acc.matrix[(i, j)], 0.0);
+            }
+        }
+        for i in 0..5 {
+            for j in 5..8 {
+                assert_eq!(acc.matrix[(i, j)], 0.0);
+            }
+        }
+        // Checksum of the second (partially padded) block counts only the
+        // one real row.
+        assert_eq!(acc.matrix[(acc.rows.checksum_line(1), 0)], 1.0);
+    }
+
+    #[test]
+    fn checksums_survive_multiplication() {
+        // The defining ABFT property: multiplying the encoded operands
+        // yields a product whose checksum rows equal the block-column-sums
+        // of its data rows (up to rounding).
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i * 3 + j) as f64 * 0.17).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + 5 * j) as f64 * 0.11).cos());
+        let acc = encode_columns(&a, 4, 1, 1);
+        let brc = encode_rows(&b, 4, 1, 1);
+        let c = multiply(&acc.matrix, &brc.matrix);
+        for block in 0..2 {
+            let cs = acc.rows.checksum_line(block);
+            for j in 0..8 {
+                let recomputed: f64 = (block * 4..block * 4 + 4).map(|i| c[(i, j)]).sum();
+                assert!(
+                    (recomputed - c[(cs, j)]).abs() < 1e-13,
+                    "block {block} col {j}: {recomputed} vs {}",
+                    c[(cs, j)]
+                );
+            }
+        }
+        for block in 0..2 {
+            let cs = brc.cols.checksum_line(block);
+            for i in 0..8 {
+                let recomputed: f64 = (block * 4..block * 4 + 4).map(|j| c[(i, j)]).sum();
+                assert!((recomputed - c[(i, cs)]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        AugmentedLayout::new(0, 4, 4);
+    }
+}

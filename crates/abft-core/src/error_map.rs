@@ -1,0 +1,141 @@
+//! Rounding-error analyses as a by-product (paper Section I: "A-ABFT is
+//! able to deliver error functions or rounding error analyses for the
+//! performed operation with little additional overhead").
+//!
+//! Two granularities:
+//!
+//! * [`bound_map`] — the closed-form `ω·σ` bound per result element from
+//!   the same p-max tables the checking kernel already owns (essentially
+//!   free at runtime);
+//! * [`model_sigma_map`] — the data-driven model standard deviation per
+//!   element (walks every inner product; an offline analysis tool).
+
+use crate::bounds::checksum_epsilon;
+use crate::pmax::{upper_bound_y, PMaxTable};
+use aabft_matrix::Matrix;
+use aabft_numerics::RoundingModel;
+
+/// Closed-form rounding-error bound for every element of `C = A · B`, from
+/// per-row/per-column p-max tables (the by-product available after any
+/// A-ABFT multiplication).
+///
+/// `pmax_a` must have one line per row of `A`, `pmax_b` one line per column
+/// of `B`; `inner` is the inner dimension.
+///
+/// # Panics
+///
+/// Panics if the tables are smaller than the requested map.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::error_map::bound_map;
+/// use aabft_core::pmax::PMaxTable;
+/// use aabft_matrix::Matrix;
+/// use aabft_numerics::RoundingModel;
+///
+/// let a = Matrix::from_fn(4, 8, |i, j| ((i + j) as f64 * 0.3).sin());
+/// let b = Matrix::from_fn(8, 4, |i, j| ((i * 2 + j) as f64 * 0.2).cos());
+/// let ta = PMaxTable::of_rows(&a, 2);
+/// let tb = PMaxTable::of_cols(&b, 2);
+/// let map = bound_map(&ta, &tb, 8, 3.0, &RoundingModel::binary64());
+/// assert_eq!(map.shape(), (4, 4));
+/// assert!(map.as_slice().iter().all(|&e| e > 0.0));
+/// ```
+pub fn bound_map(
+    pmax_a: &PMaxTable,
+    pmax_b: &PMaxTable,
+    inner: usize,
+    omega: f64,
+    model: &RoundingModel,
+) -> Matrix<f64> {
+    Matrix::from_fn(pmax_a.lines(), pmax_b.lines(), |i, j| {
+        let y = upper_bound_y(
+            pmax_a.values(i),
+            pmax_a.indices(i),
+            pmax_b.values(j),
+            pmax_b.indices(j),
+        );
+        checksum_epsilon(inner, y, omega, model)
+    })
+}
+
+/// Data-driven model `σ` for every element of `C = A · B`: evaluates the
+/// probabilistic model on each element's actual operands (Eq. 30–33 with
+/// measured intermediate exponents). Quadratic-times-`n` work — an offline
+/// analysis, not a runtime kernel.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn model_sigma_map(a: &Matrix<f64>, b: &Matrix<f64>, model: &RoundingModel) -> Matrix<f64> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let bt = b.transpose();
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+        model.inner_product_moments(a.row(i), bt.row(j)).std_dev()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aabft_numerics::exact::dot_rounding_error;
+
+    fn inputs() -> (Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::from_fn(8, 32, |i, j| ((i * 5 + j * 3) as f64 * 0.11).sin()),
+            Matrix::from_fn(32, 8, |i, j| ((i + 7 * j) as f64 * 0.13).cos()),
+        )
+    }
+
+    #[test]
+    fn bound_map_covers_model_map() {
+        let (a, b) = inputs();
+        let model = RoundingModel::binary64();
+        let ta = PMaxTable::of_rows(&a, 2);
+        let tb = PMaxTable::of_cols(&b, 2);
+        let bounds = bound_map(&ta, &tb, 32, 3.0, &model);
+        let sigmas = model_sigma_map(&a, &b, &model);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(
+                    bounds[(i, j)] >= sigmas[(i, j)],
+                    "closed form must dominate the data-driven sigma at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_map_covers_actual_errors() {
+        let (a, b) = inputs();
+        let model = RoundingModel::binary64();
+        let sigmas = model_sigma_map(&a, &b, &model);
+        let bt = b.transpose();
+        for i in 0..8 {
+            for j in 0..8 {
+                let (_, err) = dot_rounding_error(a.row(i), bt.row(j));
+                assert!(
+                    err.abs() <= 6.0 * sigmas[(i, j)] + 1e-300,
+                    "({i},{j}): err {err:e} vs sigma {:e}",
+                    sigmas[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maps_scale_with_data_magnitude() {
+        let (a, b) = inputs();
+        let scaled_a = Matrix::from_fn(8, 32, |i, j| a[(i, j)] * 1000.0);
+        let model = RoundingModel::binary64();
+        let base = model_sigma_map(&a, &b, &model);
+        let big = model_sigma_map(&scaled_a, &b, &model);
+        for (x, y) in base.as_slice().iter().zip(big.as_slice()) {
+            if *x > 0.0 {
+                let ratio = y / x;
+                assert!((500.0..2000.0).contains(&ratio), "ratio {ratio}");
+            }
+        }
+    }
+}

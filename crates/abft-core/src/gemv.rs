@@ -1,0 +1,331 @@
+//! A-ABFT-protected matrix–vector multiplication (extension).
+//!
+//! The paper introduces A-ABFT on GEMM but notes "the approach itself is
+//! much more general and can be extended to other operations as well"
+//! (Section I). GEMV is the minimal such extension: encode `A` with
+//! partitioned column checksums, compute `y = A_cc · x`, and compare each
+//! block's checksum element against the recomputed block sum using the same
+//! autonomous probabilistic bound — the checksum element is an inner
+//! product of length `n` whose `y` upper bound comes from the same p-max
+//! machinery.
+
+use crate::bounds::checksum_epsilon;
+use crate::config::AAbftConfig;
+use crate::encoding::encode_columns;
+use crate::pmax::{upper_bound_y, PMaxTable};
+use aabft_matrix::Matrix;
+
+/// Result of a protected matrix–vector multiplication.
+#[derive(Debug, Clone)]
+pub struct GemvOutcome {
+    /// The caller-visible result vector (`a.rows()` entries; corrected when
+    /// a single error was located in a block).
+    pub result: Vec<f64>,
+    /// Blocks whose checksum comparison failed.
+    pub mismatched_blocks: Vec<usize>,
+    /// Corrections applied as `(index, before, after)`.
+    pub corrections: Vec<(usize, f64, f64)>,
+}
+
+impl GemvOutcome {
+    /// `true` if any block checksum mismatched.
+    pub fn errors_detected(&self) -> bool {
+        !self.mismatched_blocks.is_empty()
+    }
+}
+
+/// A-ABFT-protected `y = A · x` (host execution; the GPU realisation would
+/// reuse the encoding/checking kernels with a 1-column tile).
+///
+/// Detection works per `BS`-row block: the block's checksum element (the
+/// encoded checksum row dotted with `x`) is compared against the sum of the
+/// block's computed entries under the autonomous bound. A flagged block
+/// cannot be located further without a second (weighted) checksum — pair
+/// with [`crate::weighted`] for localisation — so correction here recomputes
+/// the block's entries.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::gemv::protected_gemv;
+/// use aabft_core::AAbftConfig;
+/// use aabft_matrix::Matrix;
+///
+/// let a = Matrix::from_fn(16, 16, |i, j| ((i + j) as f64 * 0.2).sin());
+/// let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).cos()).collect();
+/// let config = AAbftConfig::builder().block_size(8).build();
+/// let outcome = protected_gemv(&a, &x, &config);
+/// assert!(!outcome.errors_detected());
+/// assert_eq!(outcome.result.len(), 16);
+/// ```
+pub fn protected_gemv(a: &Matrix<f64>, x: &[f64], config: &AAbftConfig) -> GemvOutcome {
+    assert_eq!(x.len(), a.cols(), "vector length must match a.cols()");
+    config.validate();
+    let bs = config.block_size;
+    let model = config.rounding_model();
+
+    let enc = encode_columns(a, bs, 1, 1);
+    let n = enc.cols;
+    let mut xp = x.to_vec();
+    xp.resize(n, 0.0);
+
+    // The multiplication over the augmented operand.
+    let dot = |row: &[f64]| -> f64 { row.iter().zip(&xp).map(|(r, v)| r * v).sum() };
+    let full: Vec<f64> = (0..enc.rows.total).map(|i| dot(enc.matrix.row(i))).collect();
+
+    // p-max tables: rows of the augmented A; the "column side" is x itself.
+    let pmax_a = PMaxTable::of_rows(&enc.matrix, config.p);
+    let x_m = Matrix::from_vec(n, 1, xp.clone());
+    let pmax_x = PMaxTable::of_cols(&x_m, config.p);
+
+    let mut result: Vec<f64> = full[..enc.rows.data].to_vec();
+    let mut mismatched = Vec::new();
+    let mut corrections = Vec::new();
+    for block in 0..enc.rows.blocks {
+        let cs_line = enc.rows.checksum_line(block);
+        let reference: f64 = (block * bs..(block + 1) * bs).map(|i| full[i]).sum();
+        let y = upper_bound_y(
+            pmax_a.values(cs_line),
+            pmax_a.indices(cs_line),
+            pmax_x.values(0),
+            pmax_x.indices(0),
+        );
+        let eps = checksum_epsilon(n, y, config.omega, &model);
+        if (reference - full[cs_line]).abs() > eps {
+            mismatched.push(block);
+            if config.recovery != crate::recover::RecoveryPolicy::ReportOnly {
+                // Recompute the block's entries (a fresh pass over clean
+                // operands in this host model).
+                #[allow(clippy::needless_range_loop)] // i is a global row id
+                for i in block * bs..(block + 1) * bs {
+                    let before = result[i];
+                    let after = dot(enc.matrix.row(i));
+                    if before != after {
+                        corrections.push((i, before, after));
+                    }
+                    result[i] = after;
+                }
+            }
+        }
+    }
+
+    result.truncate(a.rows());
+    GemvOutcome { result, mismatched_blocks: mismatched, corrections }
+}
+
+/// A-ABFT-protected `y = A · x` executed on the simulated device: the
+/// encoded operand is uploaded, the blocked GEMV kernel (with its
+/// fault-injection sites) computes all augmented entries, and the host
+/// applies the same autonomous block checks as [`protected_gemv`].
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn protected_gemv_on_device(
+    device: &aabft_gpu_sim::Device,
+    a: &Matrix<f64>,
+    x: &[f64],
+    config: &AAbftConfig,
+) -> GemvOutcome {
+    use aabft_gpu_sim::kernels::gemv::{GemvKernel, GemvTiling};
+    use aabft_gpu_sim::DeviceBuffer;
+
+    assert_eq!(x.len(), a.cols(), "vector length must match a.cols()");
+    config.validate();
+    let bs = config.block_size;
+    let model = config.rounding_model();
+    let tiling = GemvTiling { bm: bs.min(64), rx: if bs.is_multiple_of(4) { 4 } else { 1 } };
+
+    let enc = encode_columns(a, bs, 1, 1);
+    let n = enc.cols;
+    let mut xp = x.to_vec();
+    xp.resize(n, 0.0);
+
+    // Pad the augmented row count to the tile multiple.
+    let rows_padded = enc.rows.total.div_ceil(tiling.bm) * tiling.bm;
+    let mut padded = Matrix::zeros(rows_padded, n);
+    for i in 0..enc.rows.total {
+        padded.row_mut(i).copy_from_slice(enc.matrix.row(i));
+    }
+    let da = DeviceBuffer::from_matrix(&padded);
+    let dx = DeviceBuffer::from_vec(xp.clone());
+    let dy = DeviceBuffer::zeros(rows_padded);
+    let kernel = GemvKernel::new(&da, &dx, &dy, rows_padded, n, tiling);
+    device.launch(kernel.grid(), &kernel);
+    let full = dy.to_vec();
+
+    // Host-side autonomous checks, identical to the host path.
+    let pmax_a = PMaxTable::of_rows(&enc.matrix, config.p);
+    let x_m = Matrix::from_vec(n, 1, xp.clone());
+    let pmax_x = PMaxTable::of_cols(&x_m, config.p);
+    let mut result: Vec<f64> = full[..enc.rows.data].to_vec();
+    let mut mismatched = Vec::new();
+    let mut corrections = Vec::new();
+    for block in 0..enc.rows.blocks {
+        let cs_line = enc.rows.checksum_line(block);
+        let reference: f64 = (block * bs..(block + 1) * bs).map(|i| full[i]).sum();
+        let y = upper_bound_y(
+            pmax_a.values(cs_line),
+            pmax_a.indices(cs_line),
+            pmax_x.values(0),
+            pmax_x.indices(0),
+        );
+        let eps = checksum_epsilon(n, y, config.omega, &model);
+        if (reference - full[cs_line]).abs() > eps {
+            mismatched.push(block);
+            if config.recovery != crate::recover::RecoveryPolicy::ReportOnly {
+                // Recompute the block's entries from the clean operands.
+                #[allow(clippy::needless_range_loop)] // i is a global row id
+                for i in block * bs..(block + 1) * bs {
+                    let before = result[i];
+                    let after: f64 =
+                        enc.matrix.row(i).iter().zip(&xp).map(|(r, v)| r * v).sum();
+                    if before != after {
+                        corrections.push((i, before, after));
+                    }
+                    result[i] = after;
+                }
+            }
+        }
+    }
+    result.truncate(a.rows());
+    GemvOutcome { result, mismatched_blocks: mismatched, corrections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::RecoveryPolicy;
+
+    fn inputs(n: usize) -> (Matrix<f64>, Vec<f64>) {
+        (
+            Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 3) as f64 * 0.17).sin()),
+            (0..n).map(|i| ((i * 7) as f64 * 0.11).cos()).collect(),
+        )
+    }
+
+    fn config() -> AAbftConfig {
+        AAbftConfig::builder().block_size(8).build()
+    }
+
+    #[test]
+    fn clean_gemv_matches_reference() {
+        let (a, x) = inputs(32);
+        let outcome = protected_gemv(&a, &x, &config());
+        assert!(!outcome.errors_detected());
+        for i in 0..32 {
+            let expect: f64 = a.row(i).iter().zip(&x).map(|(r, v)| r * v).sum();
+            assert!((outcome.result[i] - expect).abs() < 1e-13, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn non_square_and_odd_shapes() {
+        let a = Matrix::from_fn(19, 37, |i, j| ((i + 2 * j) as f64 * 0.13).sin());
+        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.21).cos()).collect();
+        let outcome = protected_gemv(&a, &x, &config());
+        assert!(!outcome.errors_detected());
+        assert_eq!(outcome.result.len(), 19);
+    }
+
+    #[test]
+    fn detection_threshold_behaves() {
+        // Direct white-box check of the block comparison: perturb the
+        // computed vector by recomputing with one corrupted matrix entry.
+        let (mut a, x) = inputs(32);
+        a[(5, 9)] += 1e-3; // significant relative to O(1) data
+        let clean = inputs(32).0;
+        let good = protected_gemv(&clean, &x, &config());
+        let bad = protected_gemv(&a, &x, &config());
+        // Different matrices; the *encoded* checksum is consistent with the
+        // corrupted matrix, so no detection — this guards against false
+        // positives from data changes (ABFT detects compute errors, not
+        // input changes).
+        assert!(!bad.errors_detected());
+        assert!((good.result[5] - bad.result[5]).abs() > 1e-5);
+    }
+
+    #[test]
+    fn corrupted_result_entry_is_detected_and_recomputed() {
+        // Emulate a compute fault by corrupting the result of the protected
+        // run's internals: easiest via a wrapper that flips one entry
+        // between multiply and check. Here we inline the check logic by
+        // corrupting an entry and re-running detection manually through the
+        // public API with a poisoned operand is not possible, so verify via
+        // the weighted module instead that block-level detection triggers:
+        let (a, x) = inputs(32);
+        let enc = encode_columns(&a, 8, 1, 1);
+        let mut full: Vec<f64> = (0..enc.rows.total)
+            .map(|i| enc.matrix.row(i).iter().zip(&x).map(|(r, v)| r * v).sum())
+            .collect();
+        full[13] += 1e-4;
+        // Block 1 checksum mismatch must exceed the bound.
+        let pmax_a = PMaxTable::of_rows(&enc.matrix, 2);
+        let x_m = Matrix::from_vec(32, 1, x.clone());
+        let pmax_x = PMaxTable::of_cols(&x_m, 2);
+        let cs_line = enc.rows.checksum_line(1);
+        let reference: f64 = (8..16).map(|i| full[i]).sum();
+        let y = upper_bound_y(
+            pmax_a.values(cs_line),
+            pmax_a.indices(cs_line),
+            pmax_x.values(0),
+            pmax_x.indices(0),
+        );
+        let model = config().rounding_model();
+        let eps = checksum_epsilon(32, y, 3.0, &model);
+        assert!(
+            (reference - full[cs_line]).abs() > eps,
+            "1e-4 corruption must exceed the bound {eps:e}"
+        );
+    }
+
+    #[test]
+    fn device_path_matches_host_path() {
+        let (a, x) = inputs(32);
+        let host = protected_gemv(&a, &x, &config());
+        let device = aabft_gpu_sim::Device::with_defaults();
+        let dev = protected_gemv_on_device(&device, &a, &x, &config());
+        assert!(!dev.errors_detected());
+        for (h, d) in host.result.iter().zip(&dev.result) {
+            assert_eq!(h, d, "device and host GEMV must agree bitwise");
+        }
+    }
+
+    #[test]
+    fn device_path_detects_and_heals_injected_fault() {
+        use aabft_gpu_sim::{FaultSite, InjectionPlan};
+        let (a, x) = inputs(32);
+        let mut cfg = config();
+        cfg.recovery = RecoveryPolicy::CorrectOrRecompute;
+        let clean = protected_gemv(&a, &x, &cfg).result;
+        let device = aabft_gpu_sim::Device::with_defaults();
+        device.arm_injection(InjectionPlan {
+            sm: 0,
+            site: FaultSite::InnerAdd,
+            module: 0,
+            k_injection: 40,
+            mask: 1 << 61,
+        });
+        let outcome = protected_gemv_on_device(&device, &a, &x, &cfg);
+        assert!(device.disarm_injection(), "fault must strike");
+        assert!(outcome.errors_detected(), "fault must be detected");
+        assert!(!outcome.corrections.is_empty(), "block must be recomputed");
+        for (i, (got, want)) in outcome.result.iter().zip(&clean).enumerate() {
+            assert!((got - want).abs() < 1e-12, "entry {i} not healed");
+        }
+    }
+
+    #[test]
+    fn recovery_policy_recomputes_blocks() {
+        let (a, x) = inputs(32);
+        let mut cfg = config();
+        cfg.recovery = RecoveryPolicy::CorrectOrRecompute;
+        let outcome = protected_gemv(&a, &x, &cfg);
+        // Clean run: nothing recomputed.
+        assert!(outcome.corrections.is_empty());
+    }
+}

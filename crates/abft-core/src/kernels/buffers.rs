@@ -1,0 +1,107 @@
+//! Device-buffer layouts shared by the A-ABFT kernels.
+
+use crate::pmax::PMaxTable;
+use aabft_gpu_sim::mem::DeviceBuffer;
+
+/// Device-side storage for p-max search results: per-block partial
+/// candidates (written by the encoding kernels) and the reduced per-line
+/// tables (written by the reduction kernel).
+///
+/// Values and indices are stored as `f64` words (indices are exact for any
+/// realistic matrix extent).
+#[derive(Debug)]
+pub struct PMaxBuffers {
+    /// Partial values, laid out `[line][block][slot]`.
+    pub partial_vals: DeviceBuffer,
+    /// Partial indices (global coordinates), same layout.
+    pub partial_idxs: DeviceBuffer,
+    /// Reduced values, laid out `[line][slot]`.
+    pub final_vals: DeviceBuffer,
+    /// Reduced indices, same layout.
+    pub final_idxs: DeviceBuffer,
+    /// Number of lines (augmented rows of `A` / augmented columns of `B`).
+    pub lines: usize,
+    /// Number of `BS`-wide blocks along the searched axis.
+    pub blocks: usize,
+    /// Tracked values per line.
+    pub p: usize,
+}
+
+impl PMaxBuffers {
+    /// Allocates zeroed buffers for `lines` lines, `blocks` partial blocks
+    /// and `p` tracked values.
+    pub fn new(lines: usize, blocks: usize, p: usize) -> Self {
+        assert!(lines > 0 && blocks > 0 && p > 0, "pmax buffer extents must be positive");
+        PMaxBuffers {
+            partial_vals: DeviceBuffer::zeros(lines * blocks * p),
+            partial_idxs: DeviceBuffer::zeros(lines * blocks * p),
+            final_vals: DeviceBuffer::zeros(lines * p),
+            final_idxs: DeviceBuffer::zeros(lines * p),
+            lines,
+            blocks,
+            p,
+        }
+    }
+
+    /// Flat index of partial slot `(line, block, slot)`.
+    #[inline]
+    pub fn partial_index(&self, line: usize, block: usize, slot: usize) -> usize {
+        debug_assert!(line < self.lines && block < self.blocks && slot < self.p);
+        (line * self.blocks + block) * self.p + slot
+    }
+
+    /// Flat index of final slot `(line, slot)`.
+    #[inline]
+    pub fn final_index(&self, line: usize, slot: usize) -> usize {
+        debug_assert!(line < self.lines && slot < self.p);
+        line * self.p + slot
+    }
+
+    /// Downloads the reduced tables into a host [`PMaxTable`].
+    pub fn to_table(&self) -> PMaxTable {
+        let vals = self.final_vals.to_vec();
+        let idxs = self.final_idxs.to_vec();
+        let mut t = PMaxTable::empty(self.lines, self.p);
+        for line in 0..self.lines {
+            let pairs: Vec<(f64, usize)> = (0..self.p)
+                .map(|s| {
+                    let i = self.final_index(line, s);
+                    (vals[i], idxs[i] as usize)
+                })
+                .collect();
+            t.set_line(line, &pairs);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_disjoint() {
+        let b = PMaxBuffers::new(3, 2, 2);
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..3 {
+            for block in 0..2 {
+                for slot in 0..2 {
+                    assert!(seen.insert(b.partial_index(line, block, slot)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 12);
+        assert_eq!(b.partial_vals.len(), 12);
+        assert_eq!(b.final_vals.len(), 6);
+    }
+
+    #[test]
+    fn to_table_round_trip() {
+        let b = PMaxBuffers::new(2, 1, 2);
+        b.final_vals.set(b.final_index(1, 0), 9.0);
+        b.final_idxs.set(b.final_index(1, 0), 5.0);
+        let t = b.to_table();
+        assert_eq!(t.values(1)[0], 9.0);
+        assert_eq!(t.indices(1)[0], 5);
+    }
+}

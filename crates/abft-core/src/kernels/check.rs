@@ -1,0 +1,287 @@
+//! Error-bound determination and checksum-checking kernel — the simulator
+//! counterpart of the paper's Algorithm 2.
+//!
+//! One `BS × 1`-thread block checks one `BS × BS` result sub-matrix: it
+//! loads the reduced p-max tables, determines the autonomous upper bound `y`
+//! per checksum element (the three cases of Section IV-E), evaluates the
+//! probabilistic rounding-error bound `ε` (Eq. 46 with the configured `ω`),
+//! recomputes the block's reference row/column checksums from the result
+//! data, and flags every checksum whose deviation exceeds its bound. The
+//! per-block row/column mismatch bitmaps land in a report buffer.
+
+use crate::bounds::checksum_epsilon;
+use crate::encoding::AugmentedLayout;
+use crate::kernels::buffers::PMaxBuffers;
+use crate::pmax::upper_bound_y;
+use aabft_gpu_sim::device::{BlockCtx, Kernel};
+use aabft_gpu_sim::dim::GridDim;
+use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_numerics::RoundingModel;
+
+/// Modelled utilization of the `BS × 1`-thread checking kernel.
+pub const CHECK_UTILIZATION: f64 = 0.008;
+
+/// Words per block in the report buffer: `[col_mask, row_mask]`.
+pub const REPORT_WORDS: usize = 2;
+
+/// The checking kernel (Algorithm 2).
+#[derive(Debug)]
+pub struct CheckKernel<'a> {
+    c: &'a DeviceBuffer,
+    pmax_a: &'a PMaxBuffers,
+    pmax_b: &'a PMaxBuffers,
+    report: &'a DeviceBuffer,
+    rows: AugmentedLayout,
+    cols: AugmentedLayout,
+    inner: usize,
+    omega: f64,
+    model: RoundingModel,
+}
+
+impl<'a> CheckKernel<'a> {
+    /// Creates the checker over the full-checksum product buffer
+    /// (`rows.total × cols.total`). `inner` is the inner dimension of the
+    /// multiplication (length of the checksum dot products). The report
+    /// buffer needs [`REPORT_WORDS`] words per `BS × BS` data block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any extent mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        c: &'a DeviceBuffer,
+        pmax_a: &'a PMaxBuffers,
+        pmax_b: &'a PMaxBuffers,
+        report: &'a DeviceBuffer,
+        rows: AugmentedLayout,
+        cols: AugmentedLayout,
+        inner: usize,
+        omega: f64,
+        model: RoundingModel,
+    ) -> Self {
+        assert_eq!(rows.block_size, cols.block_size, "row/column block sizes must agree");
+        assert_eq!(c.len(), rows.total * cols.total, "C buffer size mismatch");
+        assert_eq!(pmax_a.p, pmax_b.p, "pmax tables must share p");
+        assert!(pmax_a.lines >= rows.data + rows.blocks, "pmax A lines too small");
+        assert!(pmax_b.lines >= cols.data + cols.blocks, "pmax B lines too small");
+        assert_eq!(
+            report.len(),
+            REPORT_WORDS * rows.blocks * cols.blocks,
+            "report buffer size mismatch"
+        );
+        assert!(rows.block_size <= 52, "mismatch bitmaps must fit an f64 mantissa");
+        CheckKernel { c, pmax_a, pmax_b, report, rows, cols, inner, omega, model }
+    }
+
+    /// Launch grid: one block per `BS × BS` data block of the product.
+    pub fn grid(&self) -> GridDim {
+        GridDim::new(self.cols.blocks, self.rows.blocks)
+    }
+
+    /// Loads the p-max entry for `line` from a table.
+    fn load_entry(
+        ctx: &mut BlockCtx<'_>,
+        pm: &PMaxBuffers,
+        line: usize,
+    ) -> (Vec<f64>, Vec<usize>) {
+        let mut vals = Vec::with_capacity(pm.p);
+        let mut idxs = Vec::with_capacity(pm.p);
+        for s in 0..pm.p {
+            vals.push(ctx.load(&pm.final_vals, pm.final_index(line, s)));
+            idxs.push(ctx.load(&pm.final_idxs, pm.final_index(line, s)) as usize);
+        }
+        (vals, idxs)
+    }
+
+    /// Evaluates `ε` in-kernel, accounting for the closed-form evaluation's
+    /// arithmetic (a dozen scalar ops per checksum element).
+    fn epsilon(&self, ctx: &mut BlockCtx<'_>, y: f64) -> f64 {
+        ctx.note_ops(4, 8, 2);
+        checksum_epsilon(self.inner, y, self.omega, &self.model)
+    }
+}
+
+impl Kernel for CheckKernel<'_> {
+    fn name(&self) -> &'static str {
+        "aabft_check"
+    }
+
+    fn utilization(&self) -> f64 {
+        CHECK_UTILIZATION
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let bs = self.rows.block_size;
+        let block_j = ctx.block().x;
+        let block_i = ctx.block().y;
+        let (row0, col0) = (block_i * bs, block_j * bs);
+        let width = self.cols.total;
+        ctx.declare_threads(bs);
+
+        // p-max entry of A's checksum row for this block-row (shared by all
+        // column checks of the block).
+        let cs_row_line = self.rows.checksum_line(block_i);
+        let (a_cs_vals, a_cs_idxs) = Self::load_entry(ctx, self.pmax_a, cs_row_line);
+
+        // Column checksums: thread `tid` checks column `col0 + tid`.
+        let mut col_mask = 0u64;
+        for tid in 0..bs {
+            let j = col0 + tid;
+            let mut reference = 0.0;
+            for i in 0..bs {
+                let v = ctx.load(self.c, (row0 + i) * width + j);
+                reference = ctx.add(reference, v);
+            }
+            let checksum = ctx.load(self.c, cs_row_line * width + j);
+            let (b_vals, b_idxs) = Self::load_entry(ctx, self.pmax_b, j);
+            let y = upper_bound_y(&a_cs_vals, &a_cs_idxs, &b_vals, &b_idxs);
+            ctx.note_ops(0, self.pmax_a.p as u64 * self.pmax_a.p as u64 + 2, 4);
+            let eps = self.epsilon(ctx, y);
+            let diff = ctx.sub(reference, checksum);
+            if ctx.abs(diff) > eps {
+                col_mask |= 1 << tid;
+            }
+        }
+
+        // Row checksums: thread `tid` checks row `row0 + tid` (all data is
+        // already in shared memory on real hardware; counted as smem here).
+        let cs_col_line = self.cols.checksum_line(block_j);
+        let (b_cs_vals, b_cs_idxs) = Self::load_entry(ctx, self.pmax_b, cs_col_line);
+        ctx.note_smem((bs * bs) as u64);
+        let mut row_mask = 0u64;
+        for tid in 0..bs {
+            let i = row0 + tid;
+            let mut reference = 0.0;
+            for j in 0..bs {
+                let v = ctx.load(self.c, i * width + col0 + j);
+                reference = ctx.add(reference, v);
+            }
+            let checksum = ctx.load(self.c, i * width + cs_col_line);
+            let (a_vals, a_idxs) = Self::load_entry(ctx, self.pmax_a, i);
+            let y = upper_bound_y(&a_vals, &a_idxs, &b_cs_vals, &b_cs_idxs);
+            ctx.note_ops(0, self.pmax_a.p as u64 * self.pmax_a.p as u64 + 2, 4);
+            let eps = self.epsilon(ctx, y);
+            let diff = ctx.sub(reference, checksum);
+            if ctx.abs(diff) > eps {
+                row_mask |= 1 << tid;
+            }
+        }
+
+        let slot = (block_i * self.cols.blocks + block_j) * REPORT_WORDS;
+        ctx.store(self.report, slot, col_mask as f64);
+        ctx.store(self.report, slot + 1, row_mask as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{encode_columns, encode_rows};
+    use crate::pmax::PMaxTable;
+    use aabft_gpu_sim::device::Device;
+    use aabft_matrix::{gemm, Matrix};
+
+    /// Builds a checked product for an error-free multiplication and returns
+    /// the report masks.
+    fn run_check(c: &Matrix<f64>, rows: AugmentedLayout, cols: AugmentedLayout, a_aug: &Matrix<f64>, b_aug: &Matrix<f64>, p: usize, omega: f64) -> Vec<f64> {
+        let pm_a_table = PMaxTable::of_rows(a_aug, p);
+        let pm_b_table = PMaxTable::of_cols(b_aug, p);
+        let pm_a = PMaxBuffers::new(a_aug.rows(), 1, p);
+        let pm_b = PMaxBuffers::new(b_aug.cols(), 1, p);
+        for line in 0..a_aug.rows() {
+            for s in 0..p {
+                pm_a.final_vals.set(pm_a.final_index(line, s), pm_a_table.values(line)[s]);
+                pm_a.final_idxs.set(pm_a.final_index(line, s), pm_a_table.indices(line)[s] as f64);
+            }
+        }
+        for line in 0..b_aug.cols() {
+            for s in 0..p {
+                pm_b.final_vals.set(pm_b.final_index(line, s), pm_b_table.values(line)[s]);
+                pm_b.final_idxs.set(pm_b.final_index(line, s), pm_b_table.indices(line)[s] as f64);
+            }
+        }
+        let dc = DeviceBuffer::from_matrix(c);
+        let report = DeviceBuffer::zeros(REPORT_WORDS * rows.blocks * cols.blocks);
+        let kernel = CheckKernel::new(
+            &dc,
+            &pm_a,
+            &pm_b,
+            &report,
+            rows,
+            cols,
+            a_aug.cols(),
+            omega,
+            RoundingModel::binary64(),
+        );
+        Device::with_defaults().launch(kernel.grid(), &kernel);
+        report.to_vec()
+    }
+
+    #[test]
+    fn clean_product_produces_no_mismatches() {
+        let bs = 4;
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i * 3 + j * 5) as f64 * 0.19).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((i * 7 + j) as f64 * 0.23).cos());
+        let acc = encode_columns(&a, bs, 1, 1);
+        let brc = encode_rows(&b, bs, 1, 1);
+        let c = gemm::multiply(&acc.matrix, &brc.matrix);
+        let report = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        assert!(report.iter().all(|&m| m == 0.0), "false positives: {report:?}");
+    }
+
+    #[test]
+    fn corrupted_element_is_flagged_at_intersection() {
+        let bs = 4;
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.29).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((2 * i + j) as f64 * 0.17).cos());
+        let acc = encode_columns(&a, bs, 1, 1);
+        let brc = encode_rows(&b, bs, 1, 1);
+        let mut c = gemm::multiply(&acc.matrix, &brc.matrix);
+        // Corrupt data element (5, 6): block (1, 1), local (1, 2).
+        c[(5, 6)] += 1e-3;
+        let report = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        // Block (1,1) is at slot (1*2+1)*2 = 6.
+        let col_mask = report[6] as u64;
+        let row_mask = report[7] as u64;
+        assert_eq!(col_mask, 1 << 2, "column 6 is local column 2 of block 1");
+        assert_eq!(row_mask, 1 << 1, "row 5 is local row 1 of block 1");
+        // All other blocks are clean.
+        for (i, &w) in report.iter().enumerate() {
+            if i != 6 && i != 7 {
+                assert_eq!(w, 0.0, "block word {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_bound_error_is_tolerated() {
+        let bs = 4;
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.29).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((2 * i + j) as f64 * 0.17).cos());
+        let acc = encode_columns(&a, bs, 1, 1);
+        let brc = encode_rows(&b, bs, 1, 1);
+        let mut c = gemm::multiply(&acc.matrix, &brc.matrix);
+        // A perturbation far below the rounding bound must not trigger.
+        c[(5, 6)] += 1e-18;
+        let report = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        assert!(report.iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn corrupted_checksum_row_flags_column_only() {
+        let bs = 4;
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.13).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((i * 3 + j) as f64 * 0.07).cos());
+        let acc = encode_columns(&a, bs, 1, 1);
+        let brc = encode_rows(&b, bs, 1, 1);
+        let mut c = gemm::multiply(&acc.matrix, &brc.matrix);
+        // Corrupt a checksum-row element itself: column flagged, no data row.
+        let cs = acc.rows.checksum_line(0);
+        c[(cs, 2)] += 1.0;
+        let report = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        let col_mask = report[0] as u64;
+        let row_mask = report[1] as u64;
+        assert_eq!(col_mask, 1 << 2);
+        assert_eq!(row_mask, 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! The A-ABFT GPU kernels (paper Section V): checksum encoding fused with
+//! p-max search (Algorithm 1), the global p-max reduction, and the
+//! bound-determination + checking kernel (Algorithm 2). The multiplication
+//! kernel itself (Algorithm 3) is the generic blocked GEMM from
+//! `aabft-gpu-sim`.
+
+pub mod buffers;
+pub mod check;
+pub mod encode;
+pub mod reduce;

@@ -1,0 +1,116 @@
+//! Global p-max reduction kernel (pipeline step 3, Section V).
+//!
+//! The encoding kernels leave `blocks · p` candidates per line; this kernel
+//! reduces them to the global top-`p` per line. The paper runs it
+//! concurrently with the multiplication kernel; the performance model
+//! accounts for it as a separate cheap launch.
+
+use super::buffers::PMaxBuffers;
+use aabft_gpu_sim::device::{BlockCtx, Kernel};
+use aabft_gpu_sim::dim::GridDim;
+
+/// Modelled utilization of the reduction (tiny, latency-bound kernel).
+pub const REDUCE_UTILIZATION: f64 = 0.01;
+
+/// Reduces per-block p-max partials to per-line global tables. One thread
+/// block handles one line.
+#[derive(Debug)]
+pub struct ReducePMaxKernel<'a> {
+    pmax: &'a PMaxBuffers,
+}
+
+impl<'a> ReducePMaxKernel<'a> {
+    /// Creates the reduction over `pmax`.
+    pub fn new(pmax: &'a PMaxBuffers) -> Self {
+        ReducePMaxKernel { pmax }
+    }
+
+    /// Launch grid: one block per line.
+    pub fn grid(&self) -> GridDim {
+        GridDim::linear_1d(self.pmax.lines)
+    }
+}
+
+impl Kernel for ReducePMaxKernel<'_> {
+    fn name(&self) -> &'static str {
+        "aabft_reduce_pmax"
+    }
+
+    fn utilization(&self) -> f64 {
+        REDUCE_UTILIZATION
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let line = ctx.block().x;
+        let pm = self.pmax;
+        ctx.declare_threads(pm.p);
+
+        // Load all candidates for this line.
+        let mut cand: Vec<(f64, usize)> = Vec::with_capacity(pm.blocks * pm.p);
+        for b in 0..pm.blocks {
+            for s in 0..pm.p {
+                let i = pm.partial_index(line, b, s);
+                let v = ctx.load(&pm.partial_vals, i);
+                let k = ctx.load(&pm.partial_idxs, i) as usize;
+                cand.push((v, k));
+            }
+        }
+
+        // p selection rounds (scan for max, then invalidate), first-found
+        // wins ties — consistent with the encoding kernel and the host
+        // reference (lower index wins because encode emits candidates in
+        // ascending block order).
+        for slot in 0..pm.p {
+            let mut best = 0usize;
+            for (j, &(v, _)) in cand.iter().enumerate() {
+                let cur = cand[best].0;
+                if ctx.max(cur, v) > cur {
+                    best = j;
+                }
+            }
+            let (v, k) = cand[best];
+            ctx.store(&pm.final_vals, pm.final_index(line, slot), v);
+            ctx.store(&pm.final_idxs, pm.final_index(line, slot), k as f64);
+            cand[best].0 = -1.0; // below any absolute value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmax::PMaxTable;
+    use aabft_gpu_sim::device::Device;
+
+    #[test]
+    fn reduction_matches_host_merge() {
+        let lines = 5;
+        let blocks = 3;
+        let p = 2;
+        let pm = PMaxBuffers::new(lines, blocks, p);
+        // Synthetic partials: values depend on (line, block, slot).
+        let mut partials = vec![Vec::new(); lines];
+        for (line, partial) in partials.iter_mut().enumerate() {
+            for b in 0..blocks {
+                for s in 0..p {
+                    let v = ((line * 31 + b * 17 + s * 7) % 23) as f64;
+                    let k = b * 10 + s;
+                    pm.partial_vals.set(pm.partial_index(line, b, s), v);
+                    pm.partial_idxs.set(pm.partial_index(line, b, s), k as f64);
+                    partial.push((v, k));
+                }
+            }
+        }
+        let kernel = ReducePMaxKernel::new(&pm);
+        Device::with_defaults().launch(kernel.grid(), &kernel);
+        let device_table = pm.to_table();
+
+        let host_table = PMaxTable::merge_partials(lines, p, &partials);
+        for line in 0..lines {
+            assert_eq!(device_table.values(line), host_table.values(line), "line {line}");
+            // Indices may differ only on exact value ties; values above are
+            // distinct per line by construction except possibly… assert both.
+            assert_eq!(device_table.indices(line), host_table.indices(line), "line {line}");
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! A-ABFT-protected LU decomposition (extension).
+//!
+//! ABFT for LU goes back to Huang & Abraham \[10\] and Jou & Abraham \[11\]:
+//! encode `A` with a column-checksum row and eliminate the checksum row
+//! alongside the data rows. The invariant maintained by Gaussian
+//! elimination is that after eliminating column `k`, the checksum row holds
+//! the column sums of the *active trailing submatrix* — so the factorization
+//! can be checked at every step (or periodically) without reference to the
+//! original matrix. Partial pivoting permutes only active data rows, which
+//! leaves the invariant intact.
+//!
+//! What A-ABFT adds — exactly as for GEMM — is the *autonomous runtime
+//! bound* for those floating-point checksum comparisons: after `k`
+//! elimination steps each element has accumulated an inner-product-shaped
+//! rounding error of length `k`, bounded by Eq. 46 with a running magnitude
+//! bound; the comparison sums `n − k` of them, which scales the bound by
+//! that count (conservative, like the paper's summation analysis).
+
+use crate::bounds::checksum_epsilon;
+use aabft_matrix::Matrix;
+use aabft_numerics::RoundingModel;
+
+/// Result of a protected LU factorization.
+#[derive(Debug, Clone)]
+pub struct LuOutcome {
+    /// Unit-lower-triangular factor.
+    pub l: Matrix<f64>,
+    /// Upper-triangular factor.
+    pub u: Matrix<f64>,
+    /// Row permutation: `perm[i]` is the original row now at position `i`
+    /// (i.e. `P·A = L·U` with `(P·A)[i] = A[perm[i]]`).
+    pub perm: Vec<usize>,
+    /// Steps at which a checksum comparison exceeded its bound, with the
+    /// offending column.
+    pub violations: Vec<LuViolation>,
+}
+
+/// One checksum violation during elimination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LuViolation {
+    /// Elimination step (column) after which the mismatch was seen.
+    pub step: usize,
+    /// Column whose active sum disagreed with the checksum row.
+    pub col: usize,
+    /// Magnitude of the disagreement.
+    pub residual: f64,
+    /// The bound it exceeded.
+    pub bound: f64,
+}
+
+impl LuOutcome {
+    /// `true` if any step's check failed.
+    pub fn errors_detected(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Reconstructs `P·A` from the factors (for verification).
+    pub fn reconstruct(&self) -> Matrix<f64> {
+        aabft_matrix::gemm::multiply(&self.l, &self.u)
+    }
+}
+
+/// Configuration of the protected factorization.
+#[derive(Debug, Clone, Copy)]
+pub struct LuConfig {
+    /// Check the invariant every `check_every` elimination steps (1 = every
+    /// step; larger values amortise the O(active²) comparison work).
+    pub check_every: usize,
+    /// Confidence scaling of the bound.
+    pub omega: f64,
+    /// Rounding model of the arithmetic.
+    pub model: RoundingModel,
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        LuConfig { check_every: 8, omega: 3.0, model: RoundingModel::binary64() }
+    }
+}
+
+/// Fault hook for testing: called after each elimination step with the step
+/// index and the working matrix (data rows + checksum row); may corrupt it.
+pub type LuFaultHook<'a> = dyn FnMut(usize, &mut Matrix<f64>) + 'a;
+
+/// Protected LU factorization with partial pivoting, checked with
+/// autonomous bounds. See the module docs for the scheme.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or a pivot underflows to zero (singular
+/// matrix).
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::lu::{protected_lu, LuConfig};
+/// use aabft_matrix::Matrix;
+///
+/// // Diagonally dominant => well-conditioned for elimination.
+/// let a = Matrix::from_fn(16, 16, |i, j| {
+///     if i == j { 20.0 } else { ((i * 3 + j) as f64 * 0.7).sin() }
+/// });
+/// let lu = protected_lu(&a, &LuConfig::default(), &mut |_, _| {});
+/// assert!(!lu.errors_detected());
+/// ```
+pub fn protected_lu(a: &Matrix<f64>, config: &LuConfig, fault_hook: &mut LuFaultHook<'_>) -> LuOutcome {
+    assert!(a.is_square(), "protected_lu requires a square matrix");
+    assert!(config.check_every > 0, "check_every must be positive");
+    let n = a.rows();
+
+    // Working matrix: n data rows + 1 checksum row.
+    let mut w = Matrix::zeros(n + 1, n);
+    for i in 0..n {
+        w.row_mut(i).copy_from_slice(a.row(i));
+    }
+    for j in 0..n {
+        let mut s = 0.0;
+        for i in 0..n {
+            s += a[(i, j)];
+        }
+        w[(n, j)] = s;
+    }
+
+    let mut l = Matrix::zeros(n, n);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut violations = Vec::new();
+    // Running magnitude bound for the probabilistic model: the largest
+    // |l_ik * u_kj| product seen so far (refreshed each step).
+    let mut y_running = 0.0f64;
+
+    for k in 0..n {
+        // Partial pivot among active data rows (never the checksum row).
+        let pivot_row = (k..n)
+            .max_by(|&r, &s| {
+                w[(r, k)].abs().partial_cmp(&w[(s, k)].abs()).expect("finite elements")
+            })
+            .expect("non-empty active range");
+        assert!(w[(pivot_row, k)] != 0.0, "singular matrix: zero pivot at step {k}");
+        if pivot_row != k {
+            for j in 0..n {
+                let tmp = w[(k, j)];
+                w[(k, j)] = w[(pivot_row, j)];
+                w[(pivot_row, j)] = tmp;
+            }
+            perm.swap(k, pivot_row);
+            // Swap the already-computed multiplier rows of L as well.
+            for j in 0..k {
+                let tmp = l[(k, j)];
+                l[(k, j)] = l[(pivot_row, j)];
+                l[(pivot_row, j)] = tmp;
+            }
+        }
+
+        // Eliminate column k from the data rows below and the checksum row.
+        let pivot = w[(k, k)];
+        for i in k + 1..=n {
+            let m = w[(i, k)] / pivot;
+            if i < n {
+                l[(i, k)] = m;
+            }
+            for j in k..n {
+                let update = m * w[(k, j)];
+                y_running = y_running.max(update.abs());
+                w[(i, j)] -= update;
+            }
+        }
+        l[(k, k)] = 1.0;
+
+        fault_hook(k, &mut w);
+
+        // Periodic invariant check: for every trailing column, the active
+        // rows must sum to the checksum row within the accumulated bound.
+        let last = k + 1 == n;
+        if (k + 1) % config.check_every == 0 || last {
+            let active = n - (k + 1);
+            for j in k + 1..n {
+                let mut reference = 0.0;
+                for i in k + 1..n {
+                    reference += w[(i, j)];
+                }
+                let residual = (reference - w[(n, j)]).abs();
+                // Per-element accumulated error ~ inner product of length
+                // k+1 bounded by y_running; the comparison sums `active`
+                // of them plus the checksum row's own (heavier) history.
+                let per_element = checksum_epsilon(k + 1, y_running, config.omega, &config.model);
+                let bound = per_element * (active as f64 + 1.0).max(1.0);
+                if residual > bound {
+                    violations.push(LuViolation { step: k, col: j, residual, bound });
+                }
+            }
+        }
+    }
+
+    let mut u = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            u[(i, j)] = w[(i, j)];
+        }
+    }
+    LuOutcome { l, u, perm, violations }
+}
+
+/// Convenience: factor and verify the reconstruction against `P·A`.
+/// Returns the outcome plus the max reconstruction deviation.
+pub fn protected_lu_verified(a: &Matrix<f64>, config: &LuConfig) -> (LuOutcome, f64) {
+    let outcome = protected_lu(a, config, &mut |_, _| {});
+    let pa = Matrix::from_fn(a.rows(), a.cols(), |i, j| a[(outcome.perm[i], j)]);
+    let dev = outcome.reconstruct().max_abs_diff(&pa);
+    (outcome, dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aabft_matrix::gen::InputClass;
+    use rand::SeedableRng;
+
+    fn dominant(n: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let base = InputClass::UNIT.generate(n, &mut rng);
+        Matrix::from_fn(n, n, |i, j| if i == j { n as f64 } else { base[(i, j)] })
+    }
+
+    #[test]
+    fn clean_factorization_verifies_and_is_quiet() {
+        for n in [8usize, 16, 33, 64] {
+            let a = dominant(n, n as u64);
+            let (outcome, dev) = protected_lu_verified(&a, &LuConfig::default());
+            assert!(!outcome.errors_detected(), "n={n}: {:?}", outcome.violations);
+            assert!(dev < 1e-10 * n as f64, "n={n}: reconstruction dev {dev}");
+        }
+    }
+
+    #[test]
+    fn random_matrices_with_pivoting_are_quiet() {
+        // General (not diagonally dominant) matrices need pivoting; the
+        // checks must still pass cleanly.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for trial in 0..5 {
+            let a = InputClass::UNIT.generate(32, &mut rng);
+            let config = LuConfig { check_every: 1, ..Default::default() };
+            let (outcome, dev) = protected_lu_verified(&a, &config);
+            assert!(
+                !outcome.errors_detected(),
+                "trial {trial}: false positives {:?}",
+                outcome.violations
+            );
+            assert!(dev < 1e-9, "trial {trial}: dev {dev}");
+        }
+    }
+
+    #[test]
+    fn l_and_u_have_triangular_shape() {
+        let a = dominant(16, 9);
+        let (outcome, _) = protected_lu_verified(&a, &LuConfig::default());
+        for i in 0..16 {
+            assert_eq!(outcome.l[(i, i)], 1.0, "unit diagonal");
+            for j in i + 1..16 {
+                assert_eq!(outcome.l[(i, j)], 0.0, "L upper part");
+            }
+            for j in 0..i {
+                assert_eq!(outcome.u[(i, j)], 0.0, "U lower part");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_corruption_is_detected() {
+        let a = dominant(32, 4);
+        let config = LuConfig { check_every: 1, ..Default::default() };
+        // Corrupt one trailing element right after step 10.
+        let mut hook = |step: usize, w: &mut Matrix<f64>| {
+            if step == 10 {
+                w[(20, 25)] += 1e-4;
+            }
+        };
+        let outcome = protected_lu(&a, &config, &mut hook);
+        assert!(outcome.errors_detected(), "corruption must be flagged");
+        let first = outcome.violations[0];
+        assert_eq!(first.step, 10, "detected at the corrupted step");
+        assert_eq!(first.col, 25, "detected in the corrupted column");
+    }
+
+    #[test]
+    fn corruption_far_below_bound_is_tolerated() {
+        let a = dominant(32, 5);
+        let config = LuConfig { check_every: 1, ..Default::default() };
+        let mut hook = |step: usize, w: &mut Matrix<f64>| {
+            if step == 10 {
+                w[(20, 25)] += 1e-18;
+            }
+        };
+        let outcome = protected_lu(&a, &config, &mut hook);
+        assert!(!outcome.errors_detected(), "{:?}", outcome.violations);
+    }
+
+    #[test]
+    fn periodic_checking_still_catches_late_errors() {
+        let a = dominant(32, 6);
+        let config = LuConfig { check_every: 8, ..Default::default() };
+        let mut hook = |step: usize, w: &mut Matrix<f64>| {
+            if step == 9 {
+                w[(28, 30)] += 1e-3;
+            }
+        };
+        let outcome = protected_lu(&a, &config, &mut hook);
+        assert!(outcome.errors_detected());
+        // Next check boundary at step 15 (k+1 divisible by 8).
+        assert!(outcome.violations[0].step >= 9);
+    }
+
+    #[test]
+    fn corrupted_checksum_row_is_also_flagged() {
+        let a = dominant(32, 7);
+        let n = 32;
+        let config = LuConfig { check_every: 1, ..Default::default() };
+        let mut hook = move |step: usize, w: &mut Matrix<f64>| {
+            if step == 5 {
+                w[(n, 12)] *= 1.0 + 1e-6;
+            }
+        };
+        let outcome = protected_lu(&a, &config, &mut hook);
+        assert!(outcome.errors_detected());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rectangular_panics() {
+        protected_lu(&Matrix::zeros(3, 4), &LuConfig::default(), &mut |_, _| {});
+    }
+}

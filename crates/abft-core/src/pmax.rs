@@ -1,0 +1,294 @@
+//! Tracking of the `p` largest absolute values per row/column
+//! (paper Section IV-E and the second phase of Algorithm 1).
+//!
+//! The autonomous upper bound `y_{i,j}` for a checksum element's rounding
+//! error needs, for the row of `A` and the column of `B` entering the dot
+//! product, the `p` elements of largest absolute value *and their indices*.
+//! The encoding kernel finds them per `BS`-wide block; a reduction merges
+//! block partials into per-line global tables. This module provides the
+//! table type, host reference computations, and the merge used by the
+//! reduction kernel.
+
+use aabft_matrix::Matrix;
+
+/// Per-line table of the `p` largest absolute values and their indices,
+/// sorted by descending value.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::pmax::PMaxTable;
+/// use aabft_matrix::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, -5.0, 3.0][..]]);
+/// let t = PMaxTable::of_rows(&m, 2);
+/// assert_eq!(t.values(0), &[5.0, 3.0]);
+/// assert_eq!(t.indices(0), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PMaxTable {
+    p: usize,
+    lines: usize,
+    values: Vec<f64>,
+    indices: Vec<usize>,
+}
+
+impl PMaxTable {
+    /// Builds the table over the rows of `m` (for the `A` operand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero or exceeds the row length.
+    pub fn of_rows(m: &Matrix<f64>, p: usize) -> Self {
+        assert!(p > 0 && p <= m.cols(), "p must be in 1..={}, got {p}", m.cols());
+        let mut t = PMaxTable::empty(m.rows(), p);
+        for i in 0..m.rows() {
+            t.fill_line(i, m.row(i).iter().copied());
+        }
+        t
+    }
+
+    /// Builds the table over the columns of `m` (for the `B` operand).
+    pub fn of_cols(m: &Matrix<f64>, p: usize) -> Self {
+        assert!(p > 0 && p <= m.rows(), "p must be in 1..={}, got {p}", m.rows());
+        let mut t = PMaxTable::empty(m.cols(), p);
+        for j in 0..m.cols() {
+            t.fill_line(j, m.col(j).into_iter());
+        }
+        t
+    }
+
+    /// Creates an all-zero table (`lines × p`).
+    pub fn empty(lines: usize, p: usize) -> Self {
+        assert!(p > 0 && lines > 0, "table extents must be positive");
+        PMaxTable { p, lines, values: vec![0.0; lines * p], indices: vec![0; lines * p] }
+    }
+
+    fn fill_line(&mut self, line: usize, iter: impl Iterator<Item = f64>) {
+        let mut pairs: Vec<(f64, usize)> =
+            iter.enumerate().map(|(k, v)| (v.abs(), k)).collect();
+        // Stable sort, descending by value: exact-value ties keep scan
+        // order (lower index first), matching the kernel's
+        // first-found-wins behaviour.
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite values"));
+        for (slot, &(v, k)) in pairs.iter().take(self.p).enumerate() {
+            self.values[line * self.p + slot] = v;
+            self.indices[line * self.p + slot] = k;
+        }
+    }
+
+    /// Number of tracked values per line.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of lines (rows of `A` / columns of `B`).
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Absolute values of line `i`, descending.
+    pub fn values(&self, line: usize) -> &[f64] {
+        assert!(line < self.lines, "line {line} out of {}", self.lines);
+        &self.values[line * self.p..(line + 1) * self.p]
+    }
+
+    /// Indices matching [`PMaxTable::values`].
+    pub fn indices(&self, line: usize) -> &[usize] {
+        assert!(line < self.lines, "line {line} out of {}", self.lines);
+        &self.indices[line * self.p..(line + 1) * self.p]
+    }
+
+    /// Overwrites line `i` with given (value, index) pairs (used when
+    /// decoding the reduction kernel's output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs.len() != p`.
+    pub fn set_line(&mut self, line: usize, pairs: &[(f64, usize)]) {
+        assert_eq!(pairs.len(), self.p, "need exactly p pairs");
+        for (slot, &(v, k)) in pairs.iter().enumerate() {
+            self.values[line * self.p + slot] = v;
+            self.indices[line * self.p + slot] = k;
+        }
+    }
+
+    /// Merges per-block partial candidate lists into the final per-line
+    /// top-p (the reduction step of the pipeline, Section V step 3).
+    ///
+    /// `partials` holds, for each line, the concatenated `(value, index)`
+    /// candidates from every block.
+    pub fn merge_partials(lines: usize, p: usize, partials: &[Vec<(f64, usize)>]) -> Self {
+        assert_eq!(partials.len(), lines, "need one candidate list per line");
+        let mut t = PMaxTable::empty(lines, p);
+        for (line, cands) in partials.iter().enumerate() {
+            let mut sorted = cands.clone();
+            // Stable sort: ties keep candidate (block) order, matching the
+            // reduction kernel's scan.
+            sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite values"));
+            sorted.truncate(p);
+            while sorted.len() < p {
+                sorted.push((0.0, 0));
+            }
+            t.set_line(line, &sorted);
+        }
+        t
+    }
+}
+
+/// The autonomous upper bound `y` for one checksum element's inner product
+/// (paper Section IV-E): the maximum of the three cases over the row's and
+/// column's top-`p` tables.
+///
+/// * indices intersect → largest `|a_s · b_s|` over the intersection;
+/// * otherwise → `max(|a|)·min(|b|)` and `max(|b|)·min(|a|)` bound the
+///   products of a top element with anything outside the other side's
+///   top-`p`.
+///
+/// All three cases are combined with `max`, which yields a rigorous upper
+/// bound on every `|a_k · b_k|` (Algorithm 2's `min·min` fallback is the
+/// paper's cheaper — but not strictly safe — variant; we follow the
+/// normative Section IV-E text).
+///
+/// # Panics
+///
+/// Panics if the tables have different `p`.
+pub fn upper_bound_y(
+    a_values: &[f64],
+    a_indices: &[usize],
+    b_values: &[f64],
+    b_indices: &[usize],
+) -> f64 {
+    assert_eq!(a_values.len(), a_indices.len());
+    assert_eq!(b_values.len(), b_indices.len());
+    assert_eq!(a_values.len(), b_values.len(), "tables must share p");
+    let p = a_values.len();
+
+    // Case 1: intersection products.
+    let mut y: f64 = 0.0;
+    for i in 0..p {
+        for j in 0..p {
+            if a_indices[i] == b_indices[j] && (a_values[i] != 0.0 || b_values[j] != 0.0) {
+                y = y.max(a_values[i] * b_values[j]);
+            }
+        }
+    }
+    // Cases 2 and 3: top-of-one-side times the other side's p-th value.
+    // values are sorted descending, so [0] is the max and [p-1] the min.
+    let max_a = a_values[0];
+    let min_a = a_values[p - 1];
+    let max_b = b_values[0];
+    let min_b = b_values[p - 1];
+    y = y.max(max_a * min_b).max(max_b * min_a);
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_cols_tables() {
+        let m = Matrix::from_rows(&[
+            &[1.0, -7.0, 3.0][..],
+            &[-2.0, 0.5, 9.0][..],
+        ]);
+        let rows = PMaxTable::of_rows(&m, 2);
+        assert_eq!(rows.values(0), &[7.0, 3.0]);
+        assert_eq!(rows.indices(0), &[1, 2]);
+        assert_eq!(rows.values(1), &[9.0, 2.0]);
+        assert_eq!(rows.indices(1), &[2, 0]);
+
+        let cols = PMaxTable::of_cols(&m, 2);
+        assert_eq!(cols.values(1), &[7.0, 0.5]);
+        assert_eq!(cols.indices(1), &[0, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_lower_index() {
+        let m = Matrix::from_rows(&[&[2.0, -2.0, 2.0][..]]);
+        let t = PMaxTable::of_rows(&m, 2);
+        assert_eq!(t.indices(0), &[0, 1]);
+    }
+
+    #[test]
+    fn merge_partials_matches_direct() {
+        let m: Matrix = Matrix::from_fn(4, 12, |i, j| ((i * 31 + j * 17) as f64 * 0.37).sin());
+        let direct = PMaxTable::of_rows(&m, 3);
+        // Split columns into 3 blocks of 4, take per-block top-3 candidates.
+        let mut partials = vec![Vec::new(); 4];
+        for (i, partial) in partials.iter_mut().enumerate() {
+            for b in 0..3 {
+                let mut cand: Vec<(f64, usize)> =
+                    (b * 4..b * 4 + 4).map(|j| (m[(i, j)].abs(), j)).collect();
+                cand.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+                partial.extend(cand.into_iter().take(3));
+            }
+        }
+        let merged = PMaxTable::merge_partials(4, 3, &partials);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn upper_bound_with_intersection() {
+        // Shared index 5 holds the two largest values.
+        let y = upper_bound_y(&[4.0, 2.0], &[5, 1], &[3.0, 1.0], &[5, 2]);
+        assert_eq!(y, 12.0);
+    }
+
+    #[test]
+    fn upper_bound_without_intersection() {
+        // max_a * min_b = 4*1 = 4; max_b * min_a = 3*2 = 6.
+        let y = upper_bound_y(&[4.0, 2.0], &[0, 1], &[3.0, 1.0], &[2, 3]);
+        assert_eq!(y, 6.0);
+    }
+
+    #[test]
+    fn upper_bound_is_rigorous_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let n = 64;
+            let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            for p in [1, 2, 4, 8] {
+                let am = Matrix::from_vec(1, n, a.clone());
+                let bm = Matrix::from_vec(n, 1, b.clone());
+                let ta = PMaxTable::of_rows(&am, p);
+                let tb = PMaxTable::of_cols(&bm, p);
+                let y = upper_bound_y(ta.values(0), ta.indices(0), tb.values(0), tb.indices(0));
+                let true_max =
+                    a.iter().zip(&b).map(|(x, v)| (x * v).abs()).fold(0.0f64, f64::max);
+                assert!(
+                    y >= true_max - 1e-15,
+                    "p={p}: y={y} < true max {true_max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_p_gives_tighter_or_equal_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let n = 128;
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let am = Matrix::from_vec(1, n, a);
+        let bm = Matrix::from_vec(n, 1, b);
+        let mut last = f64::INFINITY;
+        for p in [1, 2, 4, 8, 16] {
+            let ta = PMaxTable::of_rows(&am, p);
+            let tb = PMaxTable::of_cols(&bm, p);
+            let y = upper_bound_y(ta.values(0), ta.indices(0), tb.values(0), tb.indices(0));
+            assert!(y <= last + 1e-15, "p={p}: {y} > {last}");
+            last = y;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn p_zero_panics() {
+        PMaxTable::of_rows(&Matrix::<f64>::zeros(1, 3), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Weighted checksums (extension; Jou & Abraham, the paper's Ref. \[11\]).
+//!
+//! A second checksum line per block with weights `w_i = i + 1` lets a single
+//! error be *located within its block line* from the two deviations alone:
+//! if element `i` of a block column is off by `δ`, the plain checksum
+//! deviates by `δ` and the weighted one by `(i+1)·δ`, so the ratio recovers
+//! `i` — no intersecting row checksum needed. The rounding-error bound for
+//! the weighted comparison follows the same closed form with the upper
+//! bound scaled by the largest weight (products `w_i·a_i·b_k` are bounded
+//! by `BS·y`).
+//!
+//! This module is an extension beyond the DSN'14 paper (which uses plain
+//! partitioned checksums in both directions); it demonstrates that the
+//! autonomous bound determination composes with other encoding schemes.
+
+use crate::bounds::checksum_epsilon;
+use crate::encoding::AugmentedLayout;
+use crate::pmax::{upper_bound_y, PMaxTable};
+use aabft_matrix::{gemm, Matrix};
+use aabft_numerics::RoundingModel;
+
+/// Weighted-checksum-encoded `A`: per block-row, a plain checksum row
+/// followed by a weighted checksum row.
+#[derive(Debug, Clone)]
+pub struct WeightedColumnChecksummed {
+    /// Augmented matrix: data rows, then per-block `[plain; weighted]`
+    /// checksum row pairs.
+    pub matrix: Matrix<f64>,
+    /// Data-row layout (checksum lines described below instead).
+    pub rows: AugmentedLayout,
+}
+
+impl WeightedColumnChecksummed {
+    /// Row index of block `b`'s plain checksum row.
+    pub fn plain_line(&self, block: usize) -> usize {
+        self.rows.data + 2 * block
+    }
+
+    /// Row index of block `b`'s weighted checksum row.
+    pub fn weighted_line(&self, block: usize) -> usize {
+        self.rows.data + 2 * block + 1
+    }
+
+    /// Total rows of the augmented matrix.
+    pub fn total_rows(&self) -> usize {
+        self.rows.data + 2 * self.rows.blocks
+    }
+}
+
+/// Encodes `A` with plain + weighted column checksums per `bs`-row block.
+///
+/// # Panics
+///
+/// Panics if `bs == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::weighted::encode_weighted_columns;
+/// use aabft_matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+/// let enc = encode_weighted_columns(&a, 2);
+/// assert_eq!(enc.matrix[(enc.plain_line(0), 0)], 4.0);     // 1 + 3
+/// assert_eq!(enc.matrix[(enc.weighted_line(0), 0)], 7.0);  // 1*1 + 2*3
+/// ```
+pub fn encode_weighted_columns(a: &Matrix<f64>, bs: usize) -> WeightedColumnChecksummed {
+    let rows = AugmentedLayout::new(a.rows(), bs, 1);
+    let total = rows.data + 2 * rows.blocks;
+    let mut m = Matrix::zeros(total, a.cols());
+    for i in 0..a.rows() {
+        m.row_mut(i)[..a.cols()].copy_from_slice(a.row(i));
+    }
+    for block in 0..rows.blocks {
+        for j in 0..a.cols() {
+            let mut plain = 0.0;
+            let mut weighted = 0.0;
+            for (w, i) in (block * bs..(block + 1) * bs).enumerate() {
+                let v = m[(i, j)];
+                plain += v;
+                weighted += (w as f64 + 1.0) * v;
+            }
+            m[(rows.data + 2 * block, j)] = plain;
+            m[(rows.data + 2 * block + 1, j)] = weighted;
+        }
+    }
+    WeightedColumnChecksummed { matrix: m, rows }
+}
+
+/// One located-and-quantified error from a weighted check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedFinding {
+    /// Global row of the suspect element.
+    pub row: usize,
+    /// Global column of the suspect element.
+    pub col: usize,
+    /// Estimated error magnitude `δ` (signed; subtract to repair).
+    pub delta: f64,
+}
+
+/// Checks a product of a weighted-encoded `A` against plain `B` using the
+/// autonomous A-ABFT bounds, locating single per-block-column errors from
+/// the plain/weighted deviation ratio.
+///
+/// `c` must be the product `enc.matrix · b` (shape `enc.total_rows() ×
+/// b.cols()`); `pmax_b` the per-column top-p table of `b`; `inner` the
+/// multiplication's inner dimension.
+///
+/// Returns the findings (empty = clean).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn check_weighted(
+    enc: &WeightedColumnChecksummed,
+    c: &Matrix<f64>,
+    pmax_a: &PMaxTable,
+    pmax_b: &PMaxTable,
+    inner: usize,
+    omega: f64,
+    model: &RoundingModel,
+) -> Vec<WeightedFinding> {
+    assert_eq!(c.rows(), enc.total_rows(), "product rows mismatch");
+    let bs = enc.rows.block_size;
+    let mut findings = Vec::new();
+    for block in 0..enc.rows.blocks {
+        let plain_line = enc.plain_line(block);
+        let weighted_line = enc.weighted_line(block);
+        for j in 0..c.cols() {
+            // Reference sums over the block's data rows of the product.
+            let mut reference = 0.0;
+            let mut weighted_ref = 0.0;
+            for (w, i) in (block * bs..(block + 1) * bs).enumerate() {
+                reference += c[(i, j)];
+                weighted_ref += (w as f64 + 1.0) * c[(i, j)];
+            }
+            let plain_delta = reference - c[(plain_line, j)];
+            let weighted_delta = weighted_ref - c[(weighted_line, j)];
+
+            // Autonomous bounds: plain uses y from the plain checksum row;
+            // weighted products are at most bs times larger.
+            let y_plain = upper_bound_y(
+                pmax_a.values(plain_line),
+                pmax_a.indices(plain_line),
+                pmax_b.values(j),
+                pmax_b.indices(j),
+            );
+            let eps_plain = checksum_epsilon(inner, y_plain, omega, model);
+            let eps_weighted = checksum_epsilon(inner, y_plain * bs as f64, omega, model);
+
+            if plain_delta.abs() > eps_plain {
+                // Locate via the ratio; round to the nearest weight.
+                let ratio = weighted_delta / plain_delta;
+                let w = ratio.round();
+                if (1.0..=bs as f64).contains(&w)
+                    && (weighted_delta - w * plain_delta).abs() <= eps_weighted
+                {
+                    findings.push(WeightedFinding {
+                        row: block * bs + (w as usize - 1),
+                        col: j,
+                        delta: plain_delta,
+                    });
+                } else {
+                    // Inconsistent ratio: multiple errors in this block
+                    // column; flag without location (row = data extent).
+                    findings.push(WeightedFinding {
+                        row: enc.rows.data,
+                        col: j,
+                        delta: plain_delta,
+                    });
+                }
+            } else if weighted_delta.abs() > eps_weighted {
+                // Weighted checksum itself corrupted (or an error exactly
+                // cancelling in the plain sum — needs weight > bound ratio).
+                findings.push(WeightedFinding { row: enc.rows.data, col: j, delta: 0.0 });
+            }
+        }
+    }
+    findings
+}
+
+/// Repairs every located [`WeightedFinding`] in place (skips unlocated
+/// ones). Returns the number of repairs.
+pub fn correct_weighted(c: &mut Matrix<f64>, enc: &WeightedColumnChecksummed, findings: &[WeightedFinding]) -> usize {
+    let mut applied = 0;
+    for f in findings {
+        if f.row < enc.rows.data {
+            c[(f.row, f.col)] -= f.delta;
+            applied += 1;
+        }
+    }
+    applied
+}
+
+/// Convenience: encode, multiply (host reference order), check, correct.
+/// Returns the corrected product data region and the findings.
+pub fn weighted_protected_multiply(
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    bs: usize,
+    p: usize,
+    omega: f64,
+) -> (Matrix<f64>, Vec<WeightedFinding>) {
+    let enc = encode_weighted_columns(a, bs);
+    let c = gemm::multiply(&enc.matrix, b);
+    let pmax_a = PMaxTable::of_rows(&enc.matrix, p);
+    let pmax_b = PMaxTable::of_cols(b, p);
+    let model = RoundingModel::binary64();
+    let findings = check_weighted(&enc, &c, &pmax_a, &pmax_b, a.cols(), omega, &model);
+    let mut fixed = c;
+    correct_weighted(&mut fixed, &enc, &findings);
+    (fixed.block(0, 0, a.rows(), b.cols()), findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: usize) -> (Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) as f64 * 0.13).sin()),
+            Matrix::from_fn(n, n, |i, j| ((i + 11 * j) as f64 * 0.29).cos()),
+        )
+    }
+
+    #[test]
+    fn encoding_weights_are_exact() {
+        let a: Matrix = Matrix::from_fn(8, 4, |i, j| (i * 4 + j) as f64);
+        let enc = encode_weighted_columns(&a, 4);
+        assert_eq!(enc.total_rows(), 8 + 4);
+        for block in 0..2 {
+            for j in 0..4 {
+                let plain: f64 = (block * 4..block * 4 + 4).map(|i| a[(i, j)]).sum();
+                let weighted: f64 = (block * 4..block * 4 + 4)
+                    .enumerate()
+                    .map(|(w, i)| (w as f64 + 1.0) * a[(i, j)])
+                    .sum();
+                assert_eq!(enc.matrix[(enc.plain_line(block), j)], plain);
+                assert_eq!(enc.matrix[(enc.weighted_line(block), j)], weighted);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_product_has_no_findings() {
+        let (a, b) = inputs(16);
+        let (product, findings) = weighted_protected_multiply(&a, &b, 4, 2, 3.0);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(product.approx_eq(&gemm::multiply(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn single_error_is_located_by_ratio_alone() {
+        let (a, b) = inputs(16);
+        let enc = encode_weighted_columns(&a, 4);
+        let mut c = gemm::multiply(&enc.matrix, &b);
+        c[(6, 3)] += 1e-3; // data element error, block 1, local row 2
+        let pmax_a = PMaxTable::of_rows(&enc.matrix, 2);
+        let pmax_b = PMaxTable::of_cols(&b, 2);
+        let findings = check_weighted(
+            &enc,
+            &c,
+            &pmax_a,
+            &pmax_b,
+            16,
+            3.0,
+            &RoundingModel::binary64(),
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!((findings[0].row, findings[0].col), (6, 3));
+        assert!((findings[0].delta - 1e-3).abs() < 1e-10);
+        // And the repair restores the clean value.
+        let clean = gemm::multiply(&enc.matrix, &b);
+        assert_eq!(correct_weighted(&mut c, &enc, &findings), 1);
+        assert!((c[(6, 3)] - clean[(6, 3)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_error_in_one_block_column_is_flagged_unlocated() {
+        let (a, b) = inputs(16);
+        let enc = encode_weighted_columns(&a, 4);
+        let mut c = gemm::multiply(&enc.matrix, &b);
+        c[(4, 3)] += 1e-3;
+        c[(6, 3)] -= 2e-3;
+        let pmax_a = PMaxTable::of_rows(&enc.matrix, 2);
+        let pmax_b = PMaxTable::of_cols(&b, 2);
+        let findings = check_weighted(
+            &enc,
+            &c,
+            &pmax_a,
+            &pmax_b,
+            16,
+            3.0,
+            &RoundingModel::binary64(),
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].row, enc.rows.data, "must be flagged as unlocated");
+    }
+
+    #[test]
+    fn error_cancelling_in_plain_sum_is_caught_by_weighted() {
+        // Two equal-and-opposite errors cancel in the plain checksum but
+        // not in the weighted one.
+        let (a, b) = inputs(16);
+        let enc = encode_weighted_columns(&a, 4);
+        let mut c = gemm::multiply(&enc.matrix, &b);
+        c[(4, 2)] += 1e-3;
+        c[(5, 2)] -= 1e-3;
+        let pmax_a = PMaxTable::of_rows(&enc.matrix, 2);
+        let pmax_b = PMaxTable::of_cols(&b, 2);
+        let findings = check_weighted(
+            &enc,
+            &c,
+            &pmax_a,
+            &pmax_b,
+            16,
+            3.0,
+            &RoundingModel::binary64(),
+        );
+        assert_eq!(findings.len(), 1, "weighted checksum must catch the cancellation");
+        assert_eq!(findings[0].row, enc.rows.data);
+    }
+
+    #[test]
+    fn large_single_fault_repairs_exactly() {
+        let (a, b) = inputs(32);
+        let enc = encode_weighted_columns(&a, 8);
+        let mut c = gemm::multiply(&enc.matrix, &b);
+        let clean = c.clone();
+        c[(17, 9)] *= 1024.0; // exponent-style corruption
+        let pmax_a = PMaxTable::of_rows(&enc.matrix, 2);
+        let pmax_b = PMaxTable::of_cols(&b, 2);
+        let findings = check_weighted(
+            &enc,
+            &c,
+            &pmax_a,
+            &pmax_b,
+            32,
+            3.0,
+            &RoundingModel::binary64(),
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!((findings[0].row, findings[0].col), (17, 9));
+        correct_weighted(&mut c, &enc, &findings);
+        assert!(
+            (c[(17, 9)] - clean[(17, 9)]).abs() <= 1e-9 * clean[(17, 9)].abs().max(1.0),
+            "repair residual too large"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Systematic detection sweep: corrupt every class of position in a
+//! full-checksum product (each data block, checksum rows, checksum
+//! columns), across magnitudes, and verify the checking kernel's
+//! detect/locate behaviour position by position.
+
+use aabft_core::check::CheckReport;
+use aabft_core::encoding::{encode_columns, encode_rows};
+use aabft_core::kernels::buffers::PMaxBuffers;
+use aabft_core::kernels::check::{CheckKernel, REPORT_WORDS};
+use aabft_core::pmax::PMaxTable;
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_matrix::gen::InputClass;
+use aabft_matrix::{gemm, Matrix};
+use aabft_numerics::RoundingModel;
+use rand::SeedableRng;
+
+#[allow(dead_code)] // bs kept for readability of fixture construction
+struct Fixture {
+    acc: aabft_core::encoding::ColumnChecksummed,
+    brc: aabft_core::encoding::RowChecksummed,
+    clean: Matrix<f64>,
+    pm_a: PMaxBuffers,
+    pm_b: PMaxBuffers,
+    n: usize,
+    bs: usize,
+}
+
+fn fixture(n: usize, bs: usize, seed: u64) -> Fixture {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a = InputClass::UNIT.generate(n, &mut rng);
+    let b = InputClass::UNIT.generate(n, &mut rng);
+    let acc = encode_columns(&a, bs, 1, 1);
+    let brc = encode_rows(&b, bs, 1, 1);
+    let clean = gemm::multiply(&acc.matrix, &brc.matrix);
+    let ta = PMaxTable::of_rows(&acc.matrix, 2);
+    let tb = PMaxTable::of_cols(&brc.matrix, 2);
+    let pm_a = PMaxBuffers::new(acc.matrix.rows(), 1, 2);
+    let pm_b = PMaxBuffers::new(brc.matrix.cols(), 1, 2);
+    for line in 0..acc.matrix.rows() {
+        for s in 0..2 {
+            pm_a.final_vals.set(pm_a.final_index(line, s), ta.values(line)[s]);
+            pm_a.final_idxs.set(pm_a.final_index(line, s), ta.indices(line)[s] as f64);
+        }
+    }
+    for line in 0..brc.matrix.cols() {
+        for s in 0..2 {
+            pm_b.final_vals.set(pm_b.final_index(line, s), tb.values(line)[s]);
+            pm_b.final_idxs.set(pm_b.final_index(line, s), tb.indices(line)[s] as f64);
+        }
+    }
+    Fixture { acc, brc, clean, pm_a, pm_b, n, bs }
+}
+
+fn check(f: &Fixture, corrupted: &Matrix<f64>) -> CheckReport {
+    let dc = DeviceBuffer::from_matrix(corrupted);
+    let report =
+        DeviceBuffer::zeros(REPORT_WORDS * f.acc.rows.blocks * f.brc.cols.blocks);
+    let kernel = CheckKernel::new(
+        &dc,
+        &f.pm_a,
+        &f.pm_b,
+        &report,
+        f.acc.rows,
+        f.brc.cols,
+        f.n,
+        3.0,
+        RoundingModel::binary64(),
+    );
+    Device::with_defaults().launch(kernel.grid(), &kernel);
+    CheckReport::from_raw(&report.to_vec(), f.acc.rows, f.brc.cols)
+}
+
+#[test]
+fn every_data_position_is_located_exactly() {
+    let f = fixture(16, 4, 1);
+    // Stride over all data positions.
+    for i in (0..16).step_by(3) {
+        for j in (0..16).step_by(5) {
+            let mut c = f.clean.clone();
+            c[(i, j)] += 1e-3;
+            let report = check(&f, &c);
+            assert_eq!(report.located, vec![(i, j)], "position ({i},{j})");
+            assert!(report.single_error());
+        }
+    }
+}
+
+#[test]
+fn every_checksum_row_position_detects_without_location() {
+    let f = fixture(16, 4, 2);
+    for block in 0..4 {
+        let cs = f.acc.rows.checksum_line(block);
+        for j in (0..16).step_by(4) {
+            let mut c = f.clean.clone();
+            c[(cs, j)] += 1e-3;
+            let report = check(&f, &c);
+            assert!(report.errors_detected(), "cs row {block}, col {j}");
+            assert!(report.located.is_empty(), "cs row corruption has no intersection");
+            assert_eq!(report.col_mismatches, vec![(block, j)]);
+        }
+    }
+}
+
+#[test]
+fn every_checksum_col_position_detects_without_location() {
+    let f = fixture(16, 4, 3);
+    for block in 0..4 {
+        let cs = f.brc.cols.checksum_line(block);
+        for i in (0..16).step_by(4) {
+            let mut c = f.clean.clone();
+            c[(i, cs)] += 1e-3;
+            let report = check(&f, &c);
+            assert!(report.errors_detected(), "cs col {block}, row {i}");
+            assert!(report.located.is_empty());
+            assert_eq!(report.row_mismatches, vec![(i, block)]);
+        }
+    }
+}
+
+#[test]
+fn magnitude_staircase_has_single_threshold() {
+    // Sweeping the corruption magnitude from far below to far above the
+    // bound must produce a monotone detected/undetected staircase.
+    let f = fixture(16, 4, 4);
+    let mut last_detected = false;
+    let mut transitions = 0;
+    for exp in -18..-2 {
+        let mut c = f.clean.clone();
+        c[(5, 7)] += (10.0f64).powi(exp);
+        let detected = check(&f, &c).errors_detected();
+        if detected != last_detected {
+            transitions += 1;
+            assert!(detected, "detection must not turn off as magnitude grows");
+        }
+        last_detected = detected;
+    }
+    assert_eq!(transitions, 1, "exactly one off->on transition");
+    assert!(last_detected, "the largest corruption must be detected");
+}
+
+#[test]
+fn two_errors_in_a_row_produce_two_column_mismatches() {
+    let f = fixture(16, 4, 5);
+    let mut c = f.clean.clone();
+    c[(5, 2)] += 1e-3;
+    c[(5, 9)] += 1e-3;
+    let report = check(&f, &c);
+    // Columns 2 (block 0) and 9 (block 2) flagged; row 5 flagged in both
+    // block-columns; intersections give both corrupted coordinates.
+    assert_eq!(report.col_mismatches.len(), 2);
+    assert!(report.located.contains(&(5, 2)));
+    assert!(report.located.contains(&(5, 9)));
+    assert!(!report.single_error());
+}
+
+#[test]
+fn diagonal_pair_in_one_block_yields_ambiguous_square() {
+    // Classic ABFT ambiguity: errors at (r1,c1) and (r2,c2) in the same
+    // block light up rows {r1,r2} x cols {c1,c2} — four intersections.
+    let f = fixture(16, 4, 6);
+    let mut c = f.clean.clone();
+    c[(1, 2)] += 1e-3;
+    c[(2, 1)] += 1e-3;
+    let report = check(&f, &c);
+    assert_eq!(report.located.len(), 4, "{:?}", report.located);
+    for loc in [(1, 2), (2, 1), (1, 1), (2, 2)] {
+        assert!(report.located.contains(&loc));
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests of the truncation rounding mode (paper Section IV-D:
+//! the model applies to truncation "with only minor changes"): the GEMM
+//! kernel executes bit-exact round-toward-zero arithmetic and the pipeline
+//! checks with the truncation-model bounds.
+
+use aabft_core::{AAbftConfig, AAbftGemm};
+use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
+use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::Device;
+use aabft_matrix::gen::InputClass;
+use aabft_matrix::Matrix;
+use aabft_numerics::rounding::{add_with_mode, mul_with_mode};
+use aabft_numerics::RoundingMode;
+use rand::SeedableRng;
+
+fn tiling() -> GemmTiling {
+    GemmTiling { bm: 16, bn: 16, bk: 8, rx: 4, ry: 4 }
+}
+
+/// Host reference GEMM with per-operation truncation in the kernel's
+/// accumulation order (k-major, like the device kernel's tile loop).
+fn host_truncated_gemm(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+    let (m, n, q) = (a.rows(), a.cols(), b.cols());
+    let mode = RoundingMode::Truncation;
+    let mut c = Matrix::zeros(m, q);
+    for i in 0..m {
+        for j in 0..q {
+            let mut acc = 0.0;
+            for k in 0..n {
+                let p = mul_with_mode(a[(i, k)], b[(k, j)], mode);
+                acc = add_with_mode(acc, p, mode);
+            }
+            // The kernel's final merge is also a (truncating) addition.
+            c[(i, j)] = add_with_mode(0.0, acc, mode);
+        }
+    }
+    c
+}
+
+#[test]
+fn truncating_kernel_is_bit_exact() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = InputClass::UNIT.generate(32, &mut rng);
+    let b = InputClass::UNIT.generate(32, &mut rng);
+    let device = Device::with_defaults();
+    let (da, db) = (DeviceBuffer::from_matrix(&a), DeviceBuffer::from_matrix(&b));
+    let dc = DeviceBuffer::zeros(32 * 32);
+    let kernel = GemmKernel::new(&da, &db, &dc, 32, 32, 32, tiling())
+        .with_rounding(RoundingMode::Truncation);
+    device.launch(kernel.grid(), &kernel);
+    let got = dc.to_matrix(32, 32);
+    let expect = host_truncated_gemm(&a, &b);
+    assert_eq!(got.max_abs_diff(&expect), 0.0, "bit-exact truncation required");
+}
+
+#[test]
+fn truncated_results_never_exceed_nearest_in_magnitude_drift() {
+    // Truncation systematically undershoots sums of same-signed products;
+    // verify the drift direction on an all-positive multiplication.
+    let a = Matrix::from_fn(32, 32, |i, j| 0.1 + ((i * j) as f64 * 0.001));
+    let device = Device::with_defaults();
+    let (da, db) = (DeviceBuffer::from_matrix(&a), DeviceBuffer::from_matrix(&a));
+    let dc_t = DeviceBuffer::zeros(32 * 32);
+    let kt = GemmKernel::new(&da, &db, &dc_t, 32, 32, 32, tiling())
+        .with_rounding(RoundingMode::Truncation);
+    device.launch(kt.grid(), &kt);
+    let dc_n = DeviceBuffer::zeros(32 * 32);
+    let kn = GemmKernel::new(&da, &db, &dc_n, 32, 32, 32, tiling());
+    device.launch(kn.grid(), &kn);
+    let t = dc_t.to_matrix(32, 32);
+    let n = dc_n.to_matrix(32, 32);
+    let mut undershoots = 0;
+    for (x, y) in t.as_slice().iter().zip(n.as_slice()) {
+        assert!(x <= y, "truncation of positive sums cannot exceed nearest");
+        if x < y {
+            undershoots += 1;
+        }
+    }
+    assert!(undershoots > 500, "drift should be visible in most elements: {undershoots}");
+}
+
+#[test]
+fn pipeline_with_truncation_model_has_no_false_positives() {
+    let config = AAbftConfig::builder()
+        .block_size(8)
+        .tiling(tiling())
+        .rounding_mode(RoundingMode::Truncation)
+        .build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for trial in 0..5 {
+        let a = InputClass::UNIT.generate(48, &mut rng);
+        let b = InputClass::UNIT.generate(48, &mut rng);
+        let outcome = AAbftGemm::new(config).multiply(&Device::with_defaults(), &a, &b);
+        assert!(
+            !outcome.errors_detected(),
+            "trial {trial}: truncation-model bounds must cover truncation noise: {:?}",
+            outcome.report
+        );
+    }
+}
+
+#[test]
+fn truncation_model_bounds_are_wider() {
+    use aabft_core::bounds::checksum_epsilon;
+    use aabft_numerics::RoundingModel;
+    let rn = RoundingModel::binary64();
+    let tr = RoundingModel::binary64().with_rounding(RoundingMode::Truncation);
+    // The truncation model's nonzero mean drift makes its confidence radius
+    // strictly larger for the same (n, y).
+    for n in [64usize, 512, 4096] {
+        let e_rn = checksum_epsilon(n, 1.0, 3.0, &rn);
+        let e_tr = checksum_epsilon(n, 1.0, 3.0, &tr);
+        assert!(e_tr > e_rn, "n = {n}: {e_tr:e} <= {e_rn:e}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "truncating fused")]
+fn truncating_fma_is_rejected() {
+    AAbftConfig::builder()
+        .mul_mode(aabft_numerics::MulMode::Fused)
+        .rounding_mode(RoundingMode::Truncation)
+        .build();
+}

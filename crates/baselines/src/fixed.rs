@@ -1,0 +1,154 @@
+//! Standard ABFT with a manually set, fixed error bound (the first
+//! comparison scheme of Table I).
+//!
+//! Fastest of the checksum schemes — no bound determination at runtime —
+//! but *not autonomous*: the user must know the input characteristics and
+//! pick ε per operation, which the paper argues is rarely possible in real
+//! applications. Bounds that are too tight cause false positives; too loose,
+//! false negatives.
+
+use crate::kernels::{BaselineCheckKernel, EpsilonRule};
+use crate::pipeline::EncodedProduct;
+use crate::scheme::{ProtectedGemm, ProtectedResult};
+use aabft_core::check::CheckReport;
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use aabft_matrix::Matrix;
+
+/// Fixed-bound ABFT matrix multiplication.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_baselines::{FixedBoundAbft, ProtectedGemm};
+/// use aabft_gpu_sim::Device;
+/// use aabft_matrix::Matrix;
+///
+/// let scheme = FixedBoundAbft::new(1e-9, 4).with_tiling(
+///     aabft_gpu_sim::kernels::gemm::GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 },
+/// );
+/// let a = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.2).sin());
+/// let b = Matrix::identity(8);
+/// let result = scheme.multiply(&Device::with_defaults(), &a, &b);
+/// assert!(!result.errors_detected);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FixedBoundAbft {
+    epsilon: f64,
+    block_size: usize,
+    tiling: GemmTiling,
+}
+
+impl FixedBoundAbft {
+    /// Creates the scheme with the user's checksum tolerance `epsilon` and
+    /// partitioned-encoding block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not positive/finite or `block_size` is not in
+    /// `1..=52`.
+    pub fn new(epsilon: f64, block_size: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!((1..=52).contains(&block_size), "block_size must be in 1..=52");
+        FixedBoundAbft { epsilon, block_size, tiling: GemmTiling::default() }
+    }
+
+    /// Overrides the GEMM tiling.
+    pub fn with_tiling(mut self, tiling: GemmTiling) -> Self {
+        tiling.validate();
+        self.tiling = tiling;
+        self
+    }
+
+    /// The configured tolerance.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl ProtectedGemm for FixedBoundAbft {
+    fn name(&self) -> &'static str {
+        "ABFT"
+    }
+
+    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult {
+        let enc = EncodedProduct::run(device, a, b, self.block_size, self.tiling);
+        let report_buf = enc.report_buffer();
+        let check = BaselineCheckKernel::new(
+            &enc.c_buf,
+            &report_buf,
+            enc.rows,
+            enc.cols,
+            EpsilonRule::Fixed(self.epsilon),
+        );
+        device.launch(check.grid(), &check);
+        let report = CheckReport::from_raw(&report_buf.to_vec(), enc.rows, enc.cols);
+        ProtectedResult {
+            product: enc.product(a.rows(), b.cols()),
+            errors_detected: report.errors_detected(),
+            located: report.located,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+    use aabft_matrix::gemm;
+
+    fn small() -> FixedBoundAbft {
+        FixedBoundAbft::new(1e-9, 4)
+            .with_tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+    }
+
+    fn inputs() -> (Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::from_fn(16, 16, |i, j| ((i * 3 + j) as f64 * 0.21).sin()),
+            Matrix::from_fn(16, 16, |i, j| ((i + 2 * j) as f64 * 0.17).cos()),
+        )
+    }
+
+    #[test]
+    fn clean_run_is_clean_and_correct() {
+        let (a, b) = inputs();
+        let r = small().multiply(&Device::with_defaults(), &a, &b);
+        assert!(!r.errors_detected);
+        assert!(r.product.approx_eq(&gemm::multiply(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn detects_large_injected_fault() {
+        let (a, b) = inputs();
+        let device = Device::with_defaults();
+        device.arm_injection(InjectionPlan {
+            sm: 0,
+            site: FaultSite::FinalAdd,
+            module: 0,
+            k_injection: 2,
+            mask: 1 << 62,
+        });
+        let r = small().multiply(&device, &a, &b);
+        assert!(device.disarm_injection());
+        assert!(r.errors_detected);
+    }
+
+    #[test]
+    fn too_loose_bound_misses_small_errors() {
+        let (a, b) = inputs();
+        let device = Device::with_defaults();
+        // Mantissa bit 30 flip: relative error ~2^-22 of the element.
+        device.arm_injection(InjectionPlan {
+            sm: 0,
+            site: FaultSite::FinalAdd,
+            module: 0,
+            k_injection: 2,
+            mask: 1 << 30,
+        });
+        let loose = FixedBoundAbft::new(1.0, 4)
+            .with_tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 });
+        let r = loose.multiply(&device, &a, &b);
+        assert!(device.disarm_injection());
+        assert!(!r.errors_detected, "a bound of 1.0 should swallow a ~1e-7 error");
+    }
+}

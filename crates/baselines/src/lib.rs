@@ -1,0 +1,46 @@
+//! Baseline fault-tolerance schemes the DSN'14 A-ABFT paper evaluates
+//! against (Section VI-A), all running on the same simulated device:
+//!
+//! * [`FixedBoundAbft`] — standard ABFT with a manually chosen ε (fast, not
+//!   autonomous);
+//! * [`SeaAbft`] — ABFT with runtime bounds from the simplified error
+//!   analysis \[28\] (autonomous, but loose bounds and poor GPU utilization);
+//! * [`TmrGemm`] — triple modular redundancy with direct comparison;
+//! * [`UnprotectedGemm`] — the raw-throughput reference;
+//! * [`AAbftScheme`] — the A-ABFT operator from `aabft-core` adapted to the
+//!   common [`ProtectedGemm`] interface.
+//!
+//! # Example
+//!
+//! ```
+//! use aabft_baselines::{ProtectedGemm, TmrGemm, UnprotectedGemm};
+//! use aabft_gpu_sim::Device;
+//! use aabft_matrix::Matrix;
+//!
+//! let device = Device::with_defaults();
+//! let a = Matrix::from_fn(32, 32, |i, j| ((i + j) as f64 * 0.2).sin());
+//! let b = Matrix::identity(32);
+//! for scheme in [&TmrGemm::new() as &dyn ProtectedGemm, &UnprotectedGemm::new()] {
+//!     let r = scheme.multiply(&device, &a, &b);
+//!     assert!(!r.errors_detected);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aabft_scheme;
+pub mod fixed;
+pub mod kernels;
+mod pipeline;
+pub mod scheme;
+pub mod sea;
+pub mod tmr;
+pub mod unprotected;
+
+pub use aabft_scheme::AAbftScheme;
+pub use fixed::FixedBoundAbft;
+pub use scheme::{ProtectedGemm, ProtectedResult};
+pub use sea::SeaAbft;
+pub use tmr::TmrGemm;
+pub use unprotected::UnprotectedGemm;

@@ -1,0 +1,102 @@
+//! Shared plumbing for the checksum-based baseline schemes: operand upload
+//! into augmented layouts, plain encoding, multiplication and report
+//! decoding.
+
+use crate::kernels::{EncodeColumnsPlain, EncodeRowsPlain};
+use aabft_core::encoding::AugmentedLayout;
+use aabft_core::kernels::check::REPORT_WORDS;
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
+use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_matrix::Matrix;
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+pub(crate) fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// Encoded-and-multiplied state shared by the fixed-bound and SEA schemes.
+pub(crate) struct EncodedProduct {
+    pub a_buf: DeviceBuffer,
+    pub b_buf: DeviceBuffer,
+    pub c_buf: DeviceBuffer,
+    pub rows: AugmentedLayout,
+    pub cols: AugmentedLayout,
+    pub inner: usize,
+}
+
+impl EncodedProduct {
+    /// Uploads, encodes (plain checksums) and multiplies.
+    pub fn run(
+        device: &Device,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        bs: usize,
+        tiling: GemmTiling,
+    ) -> Self {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let (m, n, q) = (a.rows(), a.cols(), b.cols());
+        let rows = AugmentedLayout::new(m, bs, tiling.bm);
+        let cols = AugmentedLayout::new(q, bs, tiling.bn);
+        let inner = n.div_ceil(lcm(bs, tiling.bk)) * lcm(bs, tiling.bk);
+
+        let a_buf = {
+            let mut aug = Matrix::zeros(rows.total, inner);
+            for i in 0..m {
+                aug.row_mut(i)[..n].copy_from_slice(a.row(i));
+            }
+            DeviceBuffer::from_matrix(&aug)
+        };
+        let b_buf = {
+            let mut aug = Matrix::zeros(inner, cols.total);
+            for i in 0..n {
+                aug.row_mut(i)[..q].copy_from_slice(b.row(i));
+            }
+            DeviceBuffer::from_matrix(&aug)
+        };
+
+        let enc_a = EncodeColumnsPlain::new(&a_buf, rows, inner);
+        device.launch(enc_a.grid(), &enc_a);
+        let enc_b = EncodeRowsPlain::new(&b_buf, cols, inner);
+        device.launch(enc_b.grid(), &enc_b);
+
+        let c_buf = DeviceBuffer::zeros(rows.total * cols.total);
+        let gemm = GemmKernel::new(&a_buf, &b_buf, &c_buf, rows.total, inner, cols.total, tiling);
+        device.launch(gemm.grid(), &gemm);
+
+        EncodedProduct { a_buf, b_buf, c_buf, rows, cols, inner }
+    }
+
+    /// Allocates a zeroed report buffer sized for the check kernels.
+    pub fn report_buffer(&self) -> DeviceBuffer {
+        DeviceBuffer::zeros(REPORT_WORDS * self.rows.blocks * self.cols.blocks)
+    }
+
+    /// Downloads the caller-visible `m × q` product region.
+    pub fn product(&self, m: usize, q: usize) -> Matrix<f64> {
+        self.c_buf.to_matrix(self.rows.total, self.cols.total).block(0, 0, m, q)
+    }
+}
+
+/// Pads a plain matrix to tile multiples and uploads it (for the
+/// unprotected and TMR schemes).
+pub(crate) fn upload_padded(
+    m: &Matrix<f64>,
+    row_mult: usize,
+    col_mult: usize,
+) -> (DeviceBuffer, usize, usize) {
+    let rows = m.rows().div_ceil(row_mult) * row_mult;
+    let cols = m.cols().div_ceil(col_mult) * col_mult;
+    let mut padded = Matrix::zeros(rows, cols);
+    for i in 0..m.rows() {
+        padded.row_mut(i)[..m.cols()].copy_from_slice(m.row(i));
+    }
+    (DeviceBuffer::from_matrix(&padded), rows, cols)
+}

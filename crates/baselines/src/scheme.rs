@@ -1,0 +1,35 @@
+//! The common interface of all protected-multiplication schemes.
+//!
+//! Table I and Figure 4 of the paper compare four schemes — fixed-bound
+//! ABFT, A-ABFT, SEA-ABFT and TMR — plus an unprotected reference. The
+//! benchmark and fault-injection harnesses drive them uniformly through
+//! [`ProtectedGemm`].
+
+use aabft_gpu_sim::device::Device;
+use aabft_matrix::Matrix;
+
+/// Outcome of one protected multiplication.
+#[derive(Debug, Clone)]
+pub struct ProtectedResult {
+    /// The caller-visible product.
+    pub product: Matrix<f64>,
+    /// `true` if the scheme's check flagged an error.
+    pub errors_detected: bool,
+    /// Error locations (global data coordinates) for schemes that localise;
+    /// empty otherwise.
+    pub located: Vec<(usize, usize)>,
+}
+
+/// A fault-tolerant (or reference) matrix-multiplication scheme running on
+/// the simulated device.
+pub trait ProtectedGemm {
+    /// Scheme name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs `C = A · B` with this scheme's protection.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `a.cols() != b.rows()`.
+    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult;
+}

@@ -1,0 +1,42 @@
+//! Criterion benchmark of the bound computations: the A-ABFT closed form
+//! (Eq. 46 + three-case `y`) vs the SEA norm formula vs the data-driven
+//! model walk — the per-checksum-element cost each approach pays at runtime.
+
+use aabft_baselines::SeaAbft;
+use aabft_core::bounds::checksum_epsilon;
+use aabft_core::pmax::{upper_bound_y, PMaxTable};
+use aabft_matrix::Matrix;
+use aabft_numerics::RoundingModel;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_bounds(c: &mut Criterion) {
+    let n = 1024;
+    let bs = 32;
+    let a: Matrix = Matrix::from_fn(bs, n, |i, j| ((i * 13 + j * 7) as f64 * 0.017).sin());
+    let b_col: Vec<f64> = (0..n).map(|i| ((i * 11) as f64 * 0.013).cos()).collect();
+    let cs: Vec<f64> = (0..n).map(|j| (0..bs).map(|i| a[(i, j)]).sum()).collect();
+    let cs_m = Matrix::from_vec(1, n, cs.clone());
+    let b_m = Matrix::from_vec(n, 1, b_col.clone());
+    let pa = PMaxTable::of_rows(&cs_m, 2);
+    let pb = PMaxTable::of_cols(&b_m, 2);
+    let model = RoundingModel::binary64();
+
+    c.bench_function("bounds/aabft_closed_form", |bench| {
+        bench.iter(|| {
+            let y = upper_bound_y(pa.values(0), pa.indices(0), pb.values(0), pb.indices(0));
+            black_box(checksum_epsilon(n, y, 3.0, &model))
+        });
+    });
+
+    let rows: Vec<&[f64]> = (0..bs).map(|i| a.row(i)).collect();
+    c.bench_function("bounds/sea_norm_formula", |bench| {
+        bench.iter(|| black_box(SeaAbft::column_bound(&rows, &cs, &b_col)));
+    });
+
+    c.bench_function("bounds/model_walk_data_driven", |bench| {
+        bench.iter(|| black_box(model.inner_product_moments(&cs, &b_col)));
+    });
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

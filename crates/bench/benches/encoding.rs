@@ -1,0 +1,47 @@
+//! Criterion benchmark of the checksum-encoding kernels: the plain baseline
+//! encoder vs A-ABFT's fused encode + p-max kernel (the runtime price of
+//! autonomy on the encoding side).
+
+use aabft_baselines::kernels::EncodeColumnsPlain;
+use aabft_core::encoding::AugmentedLayout;
+use aabft_core::kernels::buffers::PMaxBuffers;
+use aabft_core::kernels::encode::EncodeColumnsKernel;
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_matrix::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_encoding(c: &mut Criterion) {
+    let bs = 32;
+    let mut group = c.benchmark_group("encoding");
+    for n in [128usize, 256] {
+        let rows = AugmentedLayout::new(n, bs, 1);
+        let mut base = Matrix::zeros(rows.total, n);
+        for i in 0..n {
+            for j in 0..n {
+                base[(i, j)] = ((i * 31 + j * 17) as f64 * 0.013).sin();
+            }
+        }
+
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |bench, _| {
+            bench.iter(|| {
+                let buf = DeviceBuffer::from_matrix(&base);
+                let k = EncodeColumnsPlain::new(&buf, rows, n);
+                Device::with_defaults().launch(k.grid(), &k)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("aabft_fused_pmax", n), &n, |bench, _| {
+            bench.iter(|| {
+                let buf = DeviceBuffer::from_matrix(&base);
+                let pm = PMaxBuffers::new(rows.total, n / bs, 2);
+                let k = EncodeColumnsKernel::new(&buf, &pm, rows, n);
+                Device::with_defaults().launch(k.grid(), &k)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

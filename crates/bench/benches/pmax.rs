@@ -1,0 +1,44 @@
+//! Criterion benchmark of the p-max machinery: host table construction and
+//! the three-case upper-bound evaluation.
+
+use aabft_core::pmax::{upper_bound_y, PMaxTable};
+use aabft_matrix::Matrix;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmax");
+    for n in [256usize, 1024] {
+        let m: Matrix = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) as f64 * 0.013).sin());
+        for p in [2usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("of_rows_p{p}"), n),
+                &n,
+                |bench, _| {
+                    bench.iter(|| black_box(PMaxTable::of_rows(&m, p)));
+                },
+            );
+        }
+    }
+
+    let m: Matrix = Matrix::from_fn(64, 512, |i, j| ((i * 7 + j * 3) as f64 * 0.019).sin());
+    let ta = PMaxTable::of_rows(&m, 4);
+    let tb = PMaxTable::of_cols(&m.transpose(), 4);
+    group.bench_function("upper_bound_y_p4", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for line in 0..64 {
+                acc += upper_bound_y(
+                    ta.values(line),
+                    ta.indices(line),
+                    tb.values(line),
+                    tb.indices(line),
+                );
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pmax);
+criterion_main!(benches);

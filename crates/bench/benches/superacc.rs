@@ -1,0 +1,34 @@
+//! Criterion benchmark of the exact-arithmetic oracles: the Kulisch
+//! superaccumulator (our GMP replacement) vs expansion arithmetic vs a
+//! plain floating-point dot product, for the Tables II–IV ground truth.
+
+use aabft_numerics::expansion::dot_expansion;
+use aabft_numerics::superacc::exact_dot;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn bench_superacc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_dot");
+    for n in [256usize, 1024, 4096] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("plain_f64", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.iter().zip(&b).map(|(x, y)| x * y).sum::<f64>()));
+        });
+        group.bench_with_input(BenchmarkId::new("superaccumulator", n), &n, |bench, _| {
+            bench.iter(|| black_box(exact_dot(&a, &b)));
+        });
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("expansion", n), &n, |bench, _| {
+                bench.iter(|| black_box(dot_expansion(&a, &b).estimate()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_superacc);
+criterion_main!(benches);

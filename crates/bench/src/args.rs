@@ -1,0 +1,85 @@
+//! Minimal command-line argument parsing for the experiment binaries
+//! (`--key value` pairs; no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flag without a value or a stray positional argument.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument iterator (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = iter.into_iter();
+        while let Some(key) = iter.next() {
+            let stripped = key
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got {key:?}"));
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("flag --{stripped} needs a value"));
+            values.insert(stripped.to_string(), value);
+        }
+        Args { values }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("--{key} {v:?}: {e:?}")),
+        }
+    }
+
+    /// Comma-separated list of usize with default.
+    pub fn sizes(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--{key} {s:?}: {e:?}")))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::from_args(["--n".into(), "128".into(), "--seed".into(), "7".into()]);
+        assert_eq!(a.get("n", 0usize), 128);
+        assert_eq!(a.get("seed", 0u64), 7);
+        assert_eq!(a.get("missing", 42u32), 42);
+    }
+
+    #[test]
+    fn parses_size_lists() {
+        let a = Args::from_args(["--sizes".into(), "64, 128,256".into()]);
+        assert_eq!(a.sizes("sizes", &[1]), vec![64, 128, 256]);
+        assert_eq!(a.sizes("other", &[512, 1024]), vec![512, 1024]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        Args::from_args(["--flag".into()]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation (paper Section IV-D): fused multiply-add vs separate
+//! multiply + add.
+//!
+//! Under FMA the multiplication contributes no rounding error of its own,
+//! so the inner-product bound reduces to the summation bound. This study
+//! prints the closed-form `σ` ratio across sizes and cross-checks on the
+//! simulator that an FMA-mode multiplication passes the FMA-model check
+//! without false positives.
+//!
+//! ```text
+//! cargo run --release -p aabft-bench --bin ablation_fma
+//! ```
+
+use aabft_bench::args::Args;
+use aabft_core::bounds::inner_product_sigma;
+use aabft_core::{AAbftConfig, AAbftGemm};
+use aabft_gpu_sim::Device;
+use aabft_matrix::gen::InputClass;
+use aabft_numerics::{MulMode, RoundingModel};
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.sizes("sizes", &[128, 512, 2048, 8192]);
+
+    println!("Ablation: inner-product bound under separate mul+add vs fused multiply-add");
+    println!("{:>8} {:>14} {:>14} {:>10}", "n", "sigma sep", "sigma fma", "ratio");
+    let sep = RoundingModel::binary64();
+    let fma = RoundingModel::binary64().with_fma();
+    for &n in &sizes {
+        let s = inner_product_sigma(n, 1.0, &sep);
+        let f = inner_product_sigma(n, 1.0, &fma);
+        println!("{:>8} {:>14.3e} {:>14.3e} {:>10.4}", n, s, f, s / f);
+    }
+
+    // Simulator cross-check: FMA-mode multiplication with the FMA model.
+    let n = args.get("n", 96usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let a = InputClass::UNIT.generate(n, &mut rng);
+    let b = InputClass::UNIT.generate(n, &mut rng);
+    let config = AAbftConfig::builder().mul_mode(MulMode::Fused).build();
+    let outcome = AAbftGemm::new(config).multiply(&Device::with_defaults(), &a, &b);
+    println!();
+    println!(
+        "simulator cross-check at n = {n}: FMA-mode multiply, FMA-model bounds -> {}",
+        if outcome.errors_detected() { "FALSE POSITIVES (unexpected)" } else { "clean (no false positives)" }
+    );
+    println!();
+    println!("expected: the separate-mode sigma exceeds the FMA sigma by a modest, nearly");
+    println!("n-independent factor (the summation term dominates for large n).");
+}

@@ -1,0 +1,51 @@
+//! Ablation (paper Section IV-E): bound quality as a function of `p`, the
+//! number of tracked largest absolute values.
+//!
+//! "The quality of the error bound can be improved by increasing the number
+//! p of considered largest absolute values. However, this also increases
+//! the computational overhead." — this study quantifies both sides: the
+//! average bound tightness and the modelled GFLOPS cost of the extra
+//! p-max work.
+//!
+//! ```text
+//! cargo run --release -p aabft-bench --bin ablation_p -- --n 256
+//! ```
+
+use aabft_bench::args::Args;
+use aabft_bench::predict::{predict_launches, PredictShape, SchemeKind};
+use aabft_bench::quality::{measure, QualityConfig};
+use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use aabft_gpu_sim::perf::PerfModel;
+use aabft_matrix::gen::InputClass;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 256usize);
+    let bs = args.get("bs", 32usize);
+    let perf_n = args.get("perf-n", 4096usize);
+    let model = PerfModel::k20c();
+    let tiling = GemmTiling::default();
+
+    println!("Ablation: bound tightness and overhead vs p (n = {n}, inputs [-1,1])");
+    println!(
+        "{:>4} {:>14} {:>14} {:>12} {:>16}",
+        "p", "avg A-ABFT", "avg rnd err", "bound/err", "GFLOPS@n=4096"
+    );
+    for p in [1, 2, 4, 8] {
+        let config = QualityConfig { bs, p, samples: 1024, ..Default::default() };
+        let row = measure(n, InputClass::UNIT, &config);
+        let shape = PredictShape { n: perf_n, bs, p, tiling };
+        let gflops =
+            model.gflops(2 * (perf_n as u64).pow(3), &predict_launches(SchemeKind::AAbft, &shape));
+        println!(
+            "{:>4} {:>14.3e} {:>14.3e} {:>12.1} {:>16.2}",
+            p,
+            row.avg_aabft,
+            row.avg_rnd_error,
+            row.avg_aabft / row.avg_rnd_error,
+            gflops
+        );
+    }
+    println!();
+    println!("expected: bounds tighten (ratio drops) as p grows, at slightly lower GFLOPS.");
+}

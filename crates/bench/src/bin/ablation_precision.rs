@@ -1,0 +1,43 @@
+//! Ablation: the model's mantissa-length parameterisation — the same
+//! bound-quality experiment executed in binary32 vs binary64 arithmetic.
+//! Errors and bounds should both scale by ~2^(53-24) = 2^29 while the
+//! bound/error tightness ratio stays in the same regime.
+//!
+//! ```text
+//! cargo run --release -p aabft-bench --bin ablation_precision -- --n 256
+//! ```
+
+use aabft_bench::args::Args;
+use aabft_bench::quality::{measure, measure_binary32, QualityConfig};
+use aabft_matrix::gen::InputClass;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 256usize);
+    let config = QualityConfig {
+        bs: args.get("bs", 32usize),
+        samples: args.get("samples", 512usize),
+        ..Default::default()
+    };
+    let d = measure(n, InputClass::UNIT, &config);
+    let s = measure_binary32(n, InputClass::UNIT, &config);
+    println!("Ablation: binary64 vs binary32 arithmetic + model (n = {n}, inputs [-1,1])");
+    println!("{:>10} {:>14} {:>14} {:>12}", "format", "avg rnd err", "avg A-ABFT", "bound/err");
+    println!(
+        "{:>10} {:>14.3e} {:>14.3e} {:>12.1}",
+        "binary64", d.avg_rnd_error, d.avg_aabft, d.avg_aabft / d.avg_rnd_error
+    );
+    println!(
+        "{:>10} {:>14.3e} {:>14.3e} {:>12.1}",
+        "binary32", s.avg_rnd_error, s.avg_aabft, s.avg_aabft / s.avg_rnd_error
+    );
+    let err_scale = s.avg_rnd_error / d.avg_rnd_error;
+    let bound_scale = s.avg_aabft / d.avg_aabft;
+    println!();
+    println!(
+        "error scale 2^{:.1}, bound scale 2^{:.1} (model predicts 2^29 = 2^{})",
+        err_scale.log2(),
+        bound_scale.log2(),
+        53 - 24
+    );
+}

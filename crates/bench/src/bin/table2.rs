@@ -1,0 +1,19 @@
+//! Regenerates Table II: average exact rounding error vs A-ABFT vs SEA-ABFT
+//! bounds for inputs uniform in [-1, 1].
+//!
+//! ```text
+//! cargo run --release -p aabft-bench --bin table2
+//! cargo run --release -p aabft-bench --bin table2 -- --sizes 512,1024 --samples 4096
+//! ```
+
+use aabft_bench::args::Args;
+use aabft_bench::quality::print_quality_table;
+use aabft_matrix::gen::InputClass;
+
+fn main() {
+    print_quality_table(
+        &Args::parse(),
+        InputClass::UNIT,
+        "Table II reproduction: rounding-error bounds, inputs uniform in [-1, 1]",
+    );
+}

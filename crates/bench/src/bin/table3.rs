@@ -1,0 +1,18 @@
+//! Regenerates Table III: average exact rounding error vs A-ABFT vs
+//! SEA-ABFT bounds for inputs uniform in [-100, 100].
+//!
+//! ```text
+//! cargo run --release -p aabft-bench --bin table3
+//! ```
+
+use aabft_bench::args::Args;
+use aabft_bench::quality::print_quality_table;
+use aabft_matrix::gen::InputClass;
+
+fn main() {
+    print_quality_table(
+        &Args::parse(),
+        InputClass::HUNDRED,
+        "Table III reproduction: rounding-error bounds, inputs uniform in [-100, 100]",
+    );
+}

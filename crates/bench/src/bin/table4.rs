@@ -1,0 +1,26 @@
+//! Regenerates Table IV: average exact rounding error vs A-ABFT vs
+//! SEA-ABFT bounds for the high value-range-dynamic matrices of Eq. 47
+//! with α = 0, κ = 2.
+//!
+//! ```text
+//! cargo run --release -p aabft-bench --bin table4
+//! cargo run --release -p aabft-bench --bin table4 -- --alpha 0 --kappa 2
+//! ```
+
+use aabft_bench::args::Args;
+use aabft_bench::quality::print_quality_table;
+use aabft_matrix::gen::InputClass;
+
+fn main() {
+    let args = Args::parse();
+    let alpha = args.get("alpha", 0.0f64);
+    let kappa = args.get("kappa", 2.0f64);
+    print_quality_table(
+        &args,
+        InputClass::DynamicRange { alpha, kappa },
+        &format!(
+            "Table IV reproduction: rounding-error bounds, dynamic-range inputs \
+             (10^{alpha} * U * D_{kappa} * V^T)"
+        ),
+    );
+}

@@ -1,0 +1,342 @@
+//! Implementation of the `aabft` command-line tool's subcommands.
+//!
+//! Each subcommand is a thin orchestration over the workspace crates:
+//! protected multiplies ([`cmd_multiply`]), targeted fault injection
+//! ([`cmd_inject`]), detection campaigns ([`cmd_campaign`]), bound-quality
+//! rows ([`cmd_bounds`]) and the Table-I performance model ([`cmd_perf`]).
+
+#![warn(missing_docs)]
+
+use aabft_baselines::{AAbftScheme, FixedBoundAbft, SeaAbft, TmrGemm};
+use aabft_bench::args::Args;
+use aabft_bench::quality::{measure, QualityConfig};
+use aabft_bench::table1::modelled_row;
+use aabft_core::recover::RecoveryPolicy;
+use aabft_core::{AAbftConfig, AAbftGemm};
+use aabft_faults::bitflip::BitRegion;
+use aabft_faults::campaign::{run_campaign, CampaignConfig};
+use aabft_faults::plan::FaultSpec;
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use aabft_gpu_sim::perf::PerfModel;
+use aabft_matrix::gen::InputClass;
+use rand::SeedableRng;
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "aabft — Autonomous ABFT for matrix multiplications (DSN'14 reproduction)
+
+USAGE: aabft <command> [--flag value]...
+
+COMMANDS
+  multiply   run a protected multiplication
+             --n 256  --bs 32 --p 2 --omega 3.0 --input unit|hundred|dynamic
+             --correct true --recompute true --seed 1
+  inject     arm one fault and run a protected multiplication
+             --n 128 --site inner-mul|inner-add|final-add --sm 0 --module 0
+             --k 1000 --bit 58
+  campaign   run a detection campaign
+             --n 96 --scheme aabft|sea|abft|tmr --site inner-add
+             --region mantissa|exponent|sign --bits 1 --trials 200 --seed 7
+  bounds     print a bound-quality row (Tables II-IV style)
+             --n 256 --input unit|hundred|dynamic --samples 1024
+  perf       print Table-I style modelled GFLOPS
+             --sizes 512,1024,...,8192 --bs 32 --p 2
+  gemv       protected matrix-vector multiply (optionally with a fault)
+             --n 128 --bs 16 --inject true --recompute true
+  lu         protected LU factorization
+             --n 64 --check-every 8
+  help       this text"
+}
+
+fn parse_input(args: &Args) -> InputClass {
+    match args.get("input", "unit".to_string()).as_str() {
+        "unit" => InputClass::UNIT,
+        "hundred" => InputClass::HUNDRED,
+        "dynamic" => InputClass::DynamicRange {
+            alpha: args.get("alpha", 0.0),
+            kappa: args.get("kappa", 2.0),
+        },
+        other => panic!("unknown input class {other:?} (unit|hundred|dynamic)"),
+    }
+}
+
+fn parse_site(args: &Args) -> FaultSite {
+    match args.get("site", "inner-add".to_string()).as_str() {
+        "inner-mul" => FaultSite::InnerMul,
+        "inner-add" => FaultSite::InnerAdd,
+        "final-add" => FaultSite::FinalAdd,
+        other => panic!("unknown site {other:?} (inner-mul|inner-add|final-add)"),
+    }
+}
+
+fn parse_region(args: &Args) -> BitRegion {
+    match args.get("region", "mantissa".to_string()).as_str() {
+        "mantissa" => BitRegion::Mantissa,
+        "exponent" => BitRegion::Exponent,
+        "sign" => BitRegion::Sign,
+        other => panic!("unknown region {other:?} (mantissa|exponent|sign)"),
+    }
+}
+
+fn build_config(args: &Args) -> AAbftConfig {
+    let mut builder = AAbftConfig::builder()
+        .block_size(args.get("bs", 32usize))
+        .p(args.get("p", 2usize))
+        .omega(args.get("omega", 3.0));
+    if args.get("recompute", false) {
+        builder = builder.recovery(RecoveryPolicy::CorrectOrRecompute);
+    } else if args.get("correct", false) {
+        builder = builder.correct(true);
+    }
+    builder.build()
+}
+
+/// `aabft multiply` — protected GEMM on random inputs with a model-time
+/// summary.
+pub fn cmd_multiply(args: &Args) {
+    let n = args.get("n", 256usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
+    let input = parse_input(args);
+    let a = input.generate(n, &mut rng);
+    let b = input.generate(n, &mut rng);
+    let config = build_config(args);
+    let device = Device::with_defaults();
+    let start = std::time::Instant::now();
+    let outcome = AAbftGemm::new(config).multiply(&device, &a, &b);
+    let host_elapsed = start.elapsed();
+    let log = device.take_log();
+    let model = PerfModel::k20c();
+    println!("protected multiply: n = {n}, inputs {}", input.label());
+    println!("  errors detected : {}", outcome.errors_detected());
+    println!("  located         : {:?}", outcome.report.located);
+    println!("  corrections     : {}", outcome.corrections.len());
+    println!("  recomputed      : {:?}", outcome.recomputed_blocks);
+    println!("  simulator time  : {host_elapsed:.2?} (host wall clock)");
+    println!(
+        "  modelled K20c   : {:.3} ms -> {:.1} GFLOPS",
+        1e3 * model.pipeline_time(&log),
+        model.gflops(2 * (n as u64).pow(3), &log)
+    );
+    for (name, t) in model.breakdown(&log) {
+        println!("    {name:<22} {:.3} ms", t * 1e3);
+    }
+}
+
+/// `aabft inject` — one precisely targeted fault, end to end.
+pub fn cmd_inject(args: &Args) {
+    let n = args.get("n", 128usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
+    let a = InputClass::UNIT.generate(n, &mut rng);
+    let b = InputClass::UNIT.generate(n, &mut rng);
+    let config = build_config(args);
+    let device = Device::with_defaults();
+    let plan = InjectionPlan {
+        sm: args.get("sm", 0usize),
+        site: parse_site(args),
+        module: args.get("module", 0usize),
+        k_injection: args.get("k", 1000u64),
+        mask: 1u64 << args.get("bit", 58u32),
+    };
+    println!("arming {plan:?}");
+    device.arm_injection(plan);
+    let outcome = AAbftGemm::new(config).multiply(&device, &a, &b);
+    let fired = device.disarm_injection();
+    println!("  fault fired     : {fired}");
+    println!("  errors detected : {}", outcome.errors_detected());
+    println!("  col mismatches  : {:?}", outcome.report.col_mismatches);
+    println!("  row mismatches  : {:?}", outcome.report.row_mismatches);
+    println!("  located         : {:?}", outcome.report.located);
+    println!("  corrections     : {:?}", outcome.corrections);
+}
+
+/// `aabft campaign` — a detection campaign for one scheme.
+pub fn cmd_campaign(args: &Args) {
+    let n = args.get("n", 96usize);
+    let bs = args.get("bs", 16usize);
+    let tiling = GemmTiling { bm: 32, bn: 32, bk: 8, rx: 4, ry: 4 };
+    let config = CampaignConfig {
+        n,
+        input: parse_input(args),
+        spec: FaultSpec {
+            site: parse_site(args),
+            region: parse_region(args),
+            bits: args.get("bits", 1u32),
+            fixed_bit: None,
+        },
+        trials: args.get("trials", 200usize),
+        seed: args.get("seed", 7u64),
+        omega: args.get("omega", 3.0),
+        block_size: bs,
+        tiling,
+        faults_per_run: args.get("faults", 1usize),
+    };
+    let scheme = args.get("scheme", "aabft".to_string());
+    let report = match scheme.as_str() {
+        "aabft" => run_campaign(
+            &AAbftScheme::new(AAbftConfig::builder().block_size(bs).tiling(tiling).build()),
+            &config,
+        ),
+        "sea" => run_campaign(&SeaAbft::new(bs).with_tiling(tiling), &config),
+        "abft" => run_campaign(
+            &FixedBoundAbft::new(args.get("epsilon", 1e-9), bs).with_tiling(tiling),
+            &config,
+        ),
+        "tmr" => run_campaign(&TmrGemm::new().with_tiling(tiling), &config),
+        other => panic!("unknown scheme {other:?} (aabft|sea|abft|tmr)"),
+    };
+    let s = report.stats;
+    println!("campaign: {} on n = {n}, {:?}", report.scheme, config.spec);
+    println!("  trials          : {}", s.total());
+    println!("  critical        : {} ({} detected = {:.1}%)", s.critical, s.critical_detected,
+        100.0 * s.detection_rate());
+    println!("  tolerable       : {} ({} flagged)", s.tolerable, s.tolerable_detected);
+    println!("  rounding-level  : {} ({} false positives)", s.benign, s.benign_detected);
+    println!("  masked/checksum : {} ({} detected)", s.masked, s.masked_detected);
+}
+
+/// `aabft bounds` — one Tables-II–IV-style row.
+pub fn cmd_bounds(args: &Args) {
+    let n = args.get("n", 256usize);
+    let config = QualityConfig {
+        bs: args.get("bs", 32usize),
+        p: args.get("p", 2usize),
+        omega: args.get("omega", 3.0),
+        samples: args.get("samples", 1024usize),
+        seed: args.get("seed", 1u64),
+    };
+    let input = parse_input(args);
+    let row = measure(n, input, &config);
+    println!("bound quality: n = {n}, inputs {} ({} samples)", input.label(), row.samples);
+    println!("  avg exact rounding error : {:.3e}", row.avg_rnd_error);
+    println!("  avg checksum residual    : {:.3e}", row.avg_residual);
+    println!("  avg A-ABFT bound         : {:.3e}  ({:.0}x the error)", row.avg_aabft,
+        row.avg_aabft / row.avg_rnd_error);
+    println!("  avg SEA-ABFT bound       : {:.3e}  ({:.0}x the error)", row.avg_sea,
+        row.avg_sea / row.avg_rnd_error);
+}
+
+/// `aabft gemv` — protected matrix–vector multiply on the device.
+pub fn cmd_gemv(args: &Args) {
+    use aabft_core::gemv::protected_gemv_on_device;
+    use aabft_gpu_sim::kernels::gemv::GemvTiling;
+    let n = args.get("n", 128usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
+    let a = parse_input(args).generate(n, &mut rng);
+    let x: Vec<f64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+    let config = build_config(args);
+    let device = Device::with_defaults();
+    if args.get("inject", false) {
+        let bs = config.block_size;
+        let tiling = GemvTiling { bm: bs.min(64), rx: if bs.is_multiple_of(4) { 4 } else { 1 } };
+        let _ = tiling;
+        device.arm_injection(InjectionPlan {
+            sm: args.get("sm", 0usize),
+            site: parse_site(args),
+            module: args.get("module", 0usize),
+            k_injection: args.get("k", 40u64),
+            mask: 1u64 << args.get("bit", 61u32),
+        });
+    }
+    let outcome = protected_gemv_on_device(&device, &a, &x, &config);
+    let fired = device.disarm_injection();
+    println!("protected GEMV: n = {n}");
+    println!("  fault fired        : {fired}");
+    println!("  errors detected    : {}", outcome.errors_detected());
+    println!("  mismatched blocks  : {:?}", outcome.mismatched_blocks);
+    println!("  entries recomputed : {}", outcome.corrections.len());
+}
+
+/// `aabft lu` — protected LU factorization.
+pub fn cmd_lu(args: &Args) {
+    use aabft_core::lu::{protected_lu_verified, LuConfig};
+    let n = args.get("n", 64usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
+    let base = parse_input(args).generate(n, &mut rng);
+    // Diagonal boost keeps elimination well-conditioned for arbitrary input
+    // classes.
+    let a = aabft_matrix::Matrix::from_fn(n, n, |i, j| {
+        if i == j { base[(i, j)] + n as f64 } else { base[(i, j)] }
+    });
+    let config = LuConfig {
+        check_every: args.get("check-every", 8usize),
+        omega: args.get("omega", 3.0),
+        ..Default::default()
+    };
+    let (outcome, dev) = protected_lu_verified(&a, &config);
+    println!("protected LU: n = {n}, check every {} steps", config.check_every);
+    println!("  checksum violations : {}", outcome.violations.len());
+    println!("  reconstruction dev  : {dev:.3e}");
+    println!("  verdict             : {}", if outcome.errors_detected() { "ERRORS" } else { "clean" });
+}
+
+/// `aabft perf` — Table-I-style modelled GFLOPS.
+pub fn cmd_perf(args: &Args) {
+    let sizes = args.sizes("sizes", &[512, 1024, 2048, 4096, 8192]);
+    let bs = args.get("bs", 32usize);
+    let p = args.get("p", 2usize);
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "n", "ABFT", "A-ABFT", "SEA-ABFT", "TMR", "unprotected"
+    );
+    for &n in &sizes {
+        let r = modelled_row(n, bs, p, GemmTiling::default());
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>12.2}",
+            r.n, r.abft, r.aabft, r.sea, r.tmr, r.unprotected
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)]) -> Args {
+        Args::from_args(pairs.iter().flat_map(|(k, v)| [format!("--{k}"), v.to_string()]))
+    }
+
+    #[test]
+    fn input_parsing() {
+        assert_eq!(parse_input(&args(&[("input", "unit")])), InputClass::UNIT);
+        assert_eq!(parse_input(&args(&[("input", "hundred")])), InputClass::HUNDRED);
+        assert_eq!(
+            parse_input(&args(&[("input", "dynamic"), ("kappa", "8")])),
+            InputClass::DynamicRange { alpha: 0.0, kappa: 8.0 }
+        );
+    }
+
+    #[test]
+    fn site_and_region_parsing() {
+        assert_eq!(parse_site(&args(&[("site", "inner-mul")])), FaultSite::InnerMul);
+        assert_eq!(parse_site(&args(&[])), FaultSite::InnerAdd);
+        assert_eq!(parse_region(&args(&[("region", "sign")])), BitRegion::Sign);
+    }
+
+    #[test]
+    fn config_building() {
+        let c = build_config(&args(&[("bs", "16"), ("correct", "true")]));
+        assert_eq!(c.block_size, 16);
+        assert_eq!(c.recovery, RecoveryPolicy::CorrectSingle);
+        let c = build_config(&args(&[("recompute", "true")]));
+        assert_eq!(c.recovery, RecoveryPolicy::CorrectOrRecompute);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown input class")]
+    fn bad_input_panics() {
+        parse_input(&args(&[("input", "bogus")]));
+    }
+
+    #[test]
+    fn subcommands_run_end_to_end() {
+        cmd_multiply(&args(&[("n", "48"), ("bs", "8"), ("correct", "true")]));
+        cmd_inject(&args(&[("n", "48"), ("bs", "8"), ("k", "5"), ("site", "final-add")]));
+        cmd_bounds(&args(&[("n", "64"), ("bs", "8"), ("samples", "64")]));
+        cmd_perf(&args(&[("sizes", "512")]));
+        cmd_campaign(&args(&[("n", "32"), ("bs", "8"), ("trials", "10"), ("scheme", "aabft")]));
+        cmd_gemv(&args(&[("n", "48"), ("bs", "8"), ("inject", "true"), ("recompute", "true")]));
+        cmd_lu(&args(&[("n", "32"), ("check-every", "4")]));
+    }
+}

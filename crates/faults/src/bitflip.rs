@@ -1,0 +1,187 @@
+//! Error-vector (bit-flip mask) construction (paper Section VI-C).
+//!
+//! The injection targets all three fields of an IEEE-754 binary64 word: the
+//! sign bit, the 11 exponent bits and the 52 mantissa bits. Single-bit flips
+//! pick one random position inside the field; multi-bit flips follow the
+//! paper's neighbourhood scheme — two end positions are chosen, both are
+//! flipped, and the remaining flips land randomly strictly between them.
+
+use rand::Rng;
+
+/// Which field of the floating-point word the flips land in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitRegion {
+    /// The sign bit (bit 63).
+    Sign,
+    /// The exponent field (bits 52–62).
+    Exponent,
+    /// The mantissa field (bits 0–51).
+    Mantissa,
+}
+
+impl BitRegion {
+    /// All regions, for campaign sweeps.
+    pub const ALL: [BitRegion; 3] = [BitRegion::Sign, BitRegion::Exponent, BitRegion::Mantissa];
+
+    /// Inclusive bit range `(lo, hi)` of the field in a binary64 word.
+    pub fn bit_range(self) -> (u32, u32) {
+        match self {
+            BitRegion::Sign => (63, 63),
+            BitRegion::Exponent => (52, 62),
+            BitRegion::Mantissa => (0, 51),
+        }
+    }
+
+    /// Number of bits in the field.
+    pub fn width(self) -> u32 {
+        let (lo, hi) = self.bit_range();
+        hi - lo + 1
+    }
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BitRegion::Sign => "sign",
+            BitRegion::Exponent => "exponent",
+            BitRegion::Mantissa => "mantissa",
+        }
+    }
+}
+
+/// Builds a single-bit error vector within `region`.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_faults::bitflip::{single_bit_mask, BitRegion};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mask = single_bit_mask(BitRegion::Mantissa, &mut rng);
+/// assert_eq!(mask.count_ones(), 1);
+/// assert!(mask.trailing_zeros() < 52);
+/// ```
+pub fn single_bit_mask<R: Rng + ?Sized>(region: BitRegion, rng: &mut R) -> u64 {
+    let (lo, hi) = region.bit_range();
+    let bit = rng.gen_range(lo..=hi);
+    1u64 << bit
+}
+
+/// Builds a `bits`-bit error vector with the paper's neighbourhood scheme:
+/// two random end positions within `region` are flipped, and `bits − 2`
+/// further flips are placed randomly strictly between them.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` (use [`single_bit_mask`]) or if `region` cannot hold
+/// `bits` distinct positions.
+pub fn multi_bit_mask<R: Rng + ?Sized>(region: BitRegion, bits: u32, rng: &mut R) -> u64 {
+    assert!(bits >= 2, "multi_bit_mask needs at least 2 bits");
+    assert!(bits <= region.width(), "{bits} bits do not fit in {}", region.label());
+    let (lo, hi) = region.bit_range();
+    // End positions must leave at least bits-2 interior positions.
+    let span_needed = bits; // positions p1..p2 inclusive must number >= bits
+    loop {
+        let p1 = rng.gen_range(lo..=hi);
+        let p2 = rng.gen_range(lo..=hi);
+        let (a, b) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        if b - a + 1 < span_needed {
+            continue;
+        }
+        let mut mask = (1u64 << a) | (1u64 << b);
+        let mut placed = 2;
+        while placed < bits {
+            let pos = rng.gen_range(a + 1..b);
+            if mask >> pos & 1 == 0 {
+                mask |= 1 << pos;
+                placed += 1;
+            }
+        }
+        return mask;
+    }
+}
+
+/// Builds a mask of `bits` flips in `region` (dispatching on the count).
+pub fn mask_for<R: Rng + ?Sized>(region: BitRegion, bits: u32, rng: &mut R) -> u64 {
+    if bits <= 1 {
+        single_bit_mask(region, rng)
+    } else {
+        multi_bit_mask(region, bits, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn in_region(mask: u64, region: BitRegion) -> bool {
+        let (lo, hi) = region.bit_range();
+        let field: u64 = ((1u128 << (hi - lo + 1)) - 1) as u64;
+        mask & !(field << lo) == 0
+    }
+
+    #[test]
+    fn single_bit_stays_in_region() {
+        let mut r = rng(3);
+        for region in BitRegion::ALL {
+            for _ in 0..200 {
+                let m = single_bit_mask(region, &mut r);
+                assert_eq!(m.count_ones(), 1);
+                assert!(in_region(m, region), "{region:?}: {m:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_mask_is_always_bit_63() {
+        let mut r = rng(4);
+        assert_eq!(single_bit_mask(BitRegion::Sign, &mut r), 1 << 63);
+    }
+
+    #[test]
+    fn multi_bit_count_and_region() {
+        let mut r = rng(5);
+        for bits in [2, 3, 5] {
+            for region in [BitRegion::Exponent, BitRegion::Mantissa] {
+                for _ in 0..100 {
+                    let m = multi_bit_mask(region, bits, &mut r);
+                    assert_eq!(m.count_ones(), bits, "{region:?} bits={bits}");
+                    assert!(in_region(m, region));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bit_flips_are_clustered() {
+        // All flips lie between the two end positions (the paper's
+        // neighbourhood property).
+        let mut r = rng(6);
+        for _ in 0..100 {
+            let m = multi_bit_mask(BitRegion::Mantissa, 5, &mut r);
+            let lo = m.trailing_zeros();
+            let hi = 63 - m.leading_zeros();
+            assert!(hi - lo <= 51);
+            // span contains all five bits by construction
+            assert_eq!((m >> lo).count_ones(), 5);
+            assert!(hi - lo + 1 >= 5, "span must fit the flips");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn multi_bit_rejects_one() {
+        multi_bit_mask(BitRegion::Mantissa, 1, &mut rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn multi_bit_rejects_oversized() {
+        multi_bit_mask(BitRegion::Sign, 2, &mut rng(0));
+    }
+}

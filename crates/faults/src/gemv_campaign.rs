@@ -1,0 +1,186 @@
+//! Fault-injection campaigns for the protected GEMV extension — the
+//! empirical counterpart of the paper's "can be extended to other
+//! operations": the same instruction-level faults, injected into the
+//! matrix–vector kernel, judged with the same probabilistic ground truth.
+
+use crate::outcome::{DetectionStats, GroundTruth, Trial};
+use crate::plan::FaultSpec;
+use aabft_core::classify::classify;
+use aabft_core::gemv::protected_gemv_on_device;
+use aabft_core::AAbftConfig;
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+use aabft_gpu_sim::kernels::gemv::GemvTiling;
+use aabft_matrix::gen::InputClass;
+use aabft_numerics::RoundingModel;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Parameters of a GEMV campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct GemvCampaignConfig {
+    /// Matrix dimension (`n × n · n`).
+    pub n: usize,
+    /// Input distribution for the matrix and the vector.
+    pub input: InputClass,
+    /// Fault population.
+    pub spec: FaultSpec,
+    /// Trials (one fault per multiplication).
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// A-ABFT configuration of the protected GEMV.
+    pub config: AAbftConfig,
+}
+
+/// Result of a GEMV campaign.
+#[derive(Debug, Clone)]
+pub struct GemvCampaignReport {
+    /// Aggregated statistics.
+    pub stats: DetectionStats,
+    /// Per-trial records.
+    pub trials: Vec<Trial>,
+}
+
+/// Dynamic-instance count per `(sm, site, module)` for the padded GEMV
+/// launch (mirrors the kernel's loops; validated in tests).
+fn gemv_ops_at(rows_padded: usize, n: usize, tiling: GemvTiling, sm: usize, num_sms: usize) -> u64 {
+    let total_blocks = rows_padded / tiling.bm;
+    let blocks = (total_blocks / num_sms + usize::from(sm < total_blocks % num_sms)) as u64;
+    let threads = tiling.threads_per_block() as u64;
+    // Each thread touches module r once per inner iteration (InnerMul /
+    // InnerAdd) and once at the merge (FinalAdd).
+    blocks * threads * n as u64
+}
+
+/// Runs the campaign.
+pub fn run_gemv_campaign(config: &GemvCampaignConfig) -> GemvCampaignReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let a = config.input.generate(config.n, &mut rng);
+    let x: Vec<f64> = (0..config.n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let clean = protected_gemv_on_device(&Device::with_defaults(), &a, &x, &config.config).result;
+
+    let bs = config.config.block_size;
+    let tiling = GemvTiling { bm: bs.min(64), rx: if bs.is_multiple_of(4) { 4 } else { 1 } };
+    let enc_rows = config.n.div_ceil(bs) * bs + config.n.div_ceil(bs);
+    let rows_padded = enc_rows.div_ceil(tiling.bm) * tiling.bm;
+    let model = RoundingModel::binary64();
+
+    let trials: Vec<Trial> = (0..config.trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut trial_rng =
+                rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(31 * (t as u64 + 1)));
+            let device = Device::with_defaults();
+            let num_sms = device.config().num_sms;
+            // Draw a firing plan for the GEMV launch geometry.
+            let (sm, ops) = loop {
+                let sm = trial_rng.gen_range(0..num_sms);
+                let site_ops = match config.spec.site {
+                    FaultSite::FinalAdd => {
+                        gemv_ops_at(rows_padded, config.n, tiling, sm, num_sms) / config.n as u64
+                    }
+                    _ => gemv_ops_at(rows_padded, config.n, tiling, sm, num_sms),
+                };
+                if site_ops > 0 {
+                    break (sm, site_ops);
+                }
+            };
+            let plan = InjectionPlan {
+                sm,
+                site: config.spec.site,
+                module: trial_rng.gen_range(0..tiling.rx),
+                k_injection: trial_rng.gen_range(1..=ops),
+                mask: match config.spec.fixed_bit {
+                    Some(bit) => 1u64 << bit,
+                    None => crate::bitflip::mask_for(
+                        config.spec.region,
+                        config.spec.bits,
+                        &mut trial_rng,
+                    ),
+                },
+            };
+            device.arm_injection(plan);
+            let outcome = protected_gemv_on_device(&device, &a, &x, &config.config);
+            let fired = device.disarm_injection();
+            if !fired {
+                return Trial {
+                    truth: GroundTruth::NotFired,
+                    detected: outcome.errors_detected(),
+                    max_deviation: 0.0,
+                };
+            }
+            let mut worst = 0.0f64;
+            let mut loc = None;
+            for (i, (got, want)) in outcome.result.iter().zip(&clean).enumerate() {
+                let d = (got - want).abs();
+                if d > worst {
+                    worst = d;
+                    loc = Some(i);
+                }
+            }
+            let truth = match loc {
+                None => GroundTruth::NoDataEffect,
+                Some(i) => {
+                    let moments = model.inner_product_moments(a.row(i), &x);
+                    classify(worst, &moments, config.config.omega).into()
+                }
+            };
+            Trial { truth, detected: outcome.errors_detected(), max_deviation: worst }
+        })
+        .collect();
+
+    let mut stats = DetectionStats::default();
+    for t in &trials {
+        stats.record(t);
+    }
+    GemvCampaignReport { stats, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitflip::BitRegion;
+
+    fn config(site: FaultSite, region: BitRegion) -> GemvCampaignConfig {
+        GemvCampaignConfig {
+            n: 64,
+            input: InputClass::UNIT,
+            spec: FaultSpec::single(site, region),
+            trials: 40,
+            seed: 11,
+            config: AAbftConfig::builder().block_size(16).build(),
+        }
+    }
+
+    #[test]
+    fn exponent_faults_on_gemv_are_detected() {
+        let r = run_gemv_campaign(&config(FaultSite::InnerAdd, BitRegion::Exponent));
+        assert_eq!(r.stats.not_fired, 0, "{:?}", r.stats);
+        assert_eq!(
+            r.stats.critical_detected, r.stats.critical,
+            "critical exponent faults must all be detected: {:?}",
+            r.stats
+        );
+        assert!(r.stats.critical > 0, "the campaign must produce critical errors");
+    }
+
+    #[test]
+    fn final_add_faults_fire_and_detect() {
+        let r = run_gemv_campaign(&config(FaultSite::FinalAdd, BitRegion::Exponent));
+        assert_eq!(r.stats.not_fired, 0, "{:?}", r.stats);
+        if r.stats.critical > 0 {
+            assert!(r.stats.detection_rate() > 0.9, "{:?}", r.stats);
+        }
+    }
+
+    #[test]
+    fn mantissa_faults_behave_like_gemm() {
+        let r = run_gemv_campaign(&config(FaultSite::InnerMul, BitRegion::Mantissa));
+        assert_eq!(r.stats.not_fired, 0);
+        // Some masked, some critical; of the critical ones most detected.
+        if r.stats.critical >= 10 {
+            assert!(r.stats.detection_rate() > 0.6, "{:?}", r.stats);
+        }
+    }
+}

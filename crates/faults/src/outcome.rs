@@ -1,0 +1,204 @@
+//! Trial outcomes and aggregated detection statistics.
+//!
+//! Each injection trial is judged twice: *ground truth* — what the fault did
+//! to the result, classified with the probabilistic model exactly as in the
+//! paper's Section VI-C — and *detection* — whether the scheme under test
+//! flagged it. Figure 4 reports the fraction of critical errors detected.
+
+use aabft_core::classify::ErrorClass;
+
+/// What one injected fault actually did to the caller-visible product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroundTruth {
+    /// The fault never fired (mis-drawn plan; should not occur).
+    NotFired,
+    /// Fired, but the data region is bit-identical (masked, or landed in a
+    /// checksum/padding computation).
+    NoDataEffect,
+    /// Deviation within the inevitable rounding noise.
+    Rounding,
+    /// Deviation within the tolerable band (`≤ ω·σ`).
+    Tolerable,
+    /// An intolerable critical error (`> ω·σ`) that must be detected.
+    Critical,
+}
+
+impl From<ErrorClass> for GroundTruth {
+    fn from(c: ErrorClass) -> Self {
+        match c {
+            ErrorClass::InevitableRounding => GroundTruth::Rounding,
+            ErrorClass::Tolerable => GroundTruth::Tolerable,
+            ErrorClass::Critical => GroundTruth::Critical,
+        }
+    }
+}
+
+/// Record of one injection trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trial {
+    /// What the fault did.
+    pub truth: GroundTruth,
+    /// Whether the scheme flagged an error.
+    pub detected: bool,
+    /// Magnitude of the worst data-region deviation.
+    pub max_deviation: f64,
+}
+
+/// Aggregated campaign statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionStats {
+    /// Trials whose fault produced a critical error.
+    pub critical: u64,
+    /// Critical trials the scheme detected (true positives).
+    pub critical_detected: u64,
+    /// Trials with a tolerable deviation.
+    pub tolerable: u64,
+    /// Tolerable trials the scheme flagged.
+    pub tolerable_detected: u64,
+    /// Trials with rounding-level deviations in the data region.
+    pub benign: u64,
+    /// Benign trials the scheme flagged (false positives).
+    pub benign_detected: u64,
+    /// Trials whose fault left the data region bit-identical (masked, or
+    /// struck a checksum/padding computation).
+    pub masked: u64,
+    /// Masked trials the scheme flagged — legitimate detections of
+    /// corrupted checksum values, *not* false positives.
+    pub masked_detected: u64,
+    /// Trials whose fault never fired.
+    pub not_fired: u64,
+}
+
+impl DetectionStats {
+    /// Folds one trial into the statistics.
+    pub fn record(&mut self, t: &Trial) {
+        match t.truth {
+            GroundTruth::NotFired => self.not_fired += 1,
+            GroundTruth::Critical => {
+                self.critical += 1;
+                self.critical_detected += u64::from(t.detected);
+            }
+            GroundTruth::Tolerable => {
+                self.tolerable += 1;
+                self.tolerable_detected += u64::from(t.detected);
+            }
+            GroundTruth::Rounding => {
+                self.benign += 1;
+                self.benign_detected += u64::from(t.detected);
+            }
+            GroundTruth::NoDataEffect => {
+                self.masked += 1;
+                self.masked_detected += u64::from(t.detected);
+            }
+        }
+    }
+
+    /// Figure-4 metric: fraction of critical errors detected (`NaN` if no
+    /// critical trial occurred).
+    pub fn detection_rate(&self) -> f64 {
+        self.critical_detected as f64 / self.critical as f64
+    }
+
+    /// 95 % Wilson score interval for the critical-error detection rate —
+    /// the statistical error bars of a Figure-4 cell.
+    pub fn detection_interval(&self) -> (f64, f64) {
+        wilson_interval(self.critical_detected, self.critical)
+    }
+
+    /// Fraction of benign trials flagged (false-positive rate).
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.benign == 0 {
+            0.0
+        } else {
+            self.benign_detected as f64 / self.benign as f64
+        }
+    }
+
+    /// Total recorded trials.
+    pub fn total(&self) -> u64 {
+        self.critical + self.tolerable + self.benign + self.masked + self.not_fired
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &DetectionStats) {
+        self.critical += other.critical;
+        self.critical_detected += other.critical_detected;
+        self.tolerable += other.tolerable;
+        self.tolerable_detected += other.tolerable_detected;
+        self.benign += other.benign;
+        self.benign_detected += other.benign_detected;
+        self.masked += other.masked;
+        self.masked_detected += other.masked_detected;
+        self.not_fired += other.not_fired;
+    }
+}
+
+/// 95 % Wilson score interval for `successes` out of `trials`.
+/// Returns `(0, 1)` when there are no trials.
+pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959963984540054f64; // 97.5th percentile of the normal
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut s = DetectionStats::default();
+        s.record(&Trial { truth: GroundTruth::Critical, detected: true, max_deviation: 1.0 });
+        s.record(&Trial { truth: GroundTruth::Critical, detected: false, max_deviation: 1.0 });
+        s.record(&Trial { truth: GroundTruth::Rounding, detected: false, max_deviation: 0.0 });
+        s.record(&Trial { truth: GroundTruth::NoDataEffect, detected: true, max_deviation: 0.0 });
+        assert_eq!(s.critical, 2);
+        assert_eq!(s.critical_detected, 1);
+        assert_eq!(s.detection_rate(), 0.5);
+        assert_eq!(s.benign, 1);
+        assert_eq!(s.false_positive_rate(), 0.0);
+        assert_eq!(s.masked, 1);
+        assert_eq!(s.masked_detected, 1);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = DetectionStats { critical: 1, critical_detected: 1, ..Default::default() };
+        let b = DetectionStats { critical: 2, critical_detected: 1, benign: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.critical, 3);
+        assert_eq!(a.critical_detected, 2);
+        assert_eq!(a.benign, 3);
+    }
+
+    #[test]
+    fn wilson_interval_behaviour() {
+        // Degenerate cases.
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(10, 10);
+        assert!(lo > 0.7 && hi > 0.999, "({lo}, {hi})");
+        let (lo, hi) = wilson_interval(0, 10);
+        assert!(lo == 0.0 && hi < 0.3, "({lo}, {hi})");
+        // Interval contains the point estimate and shrinks with n.
+        let (l1, h1) = wilson_interval(50, 100);
+        let (l2, h2) = wilson_interval(500, 1000);
+        assert!(l1 < 0.5 && 0.5 < h1);
+        assert!(h2 - l2 < h1 - l1, "more trials, tighter interval");
+    }
+
+    #[test]
+    fn ground_truth_from_error_class() {
+        assert_eq!(GroundTruth::from(ErrorClass::Critical), GroundTruth::Critical);
+        assert_eq!(GroundTruth::from(ErrorClass::Tolerable), GroundTruth::Tolerable);
+        assert_eq!(GroundTruth::from(ErrorClass::InevitableRounding), GroundTruth::Rounding);
+    }
+}

@@ -1,0 +1,188 @@
+//! Random fault-plan generation for injection campaigns.
+//!
+//! Per trial, the paper's injection routine "randomly selects a streaming
+//! multiprocessor and one of the floating-point operations" (Section VI-C).
+//! This module draws a uniformly random dynamic instruction: SM, fault site,
+//! module (the `RX·RY` functional-unit index) and `kInjection` within the
+//! exact number of operations that (SM, site, module) executes for a given
+//! multiplication shape.
+
+use crate::bitflip::{mask_for, BitRegion};
+use aabft_gpu_sim::device::DeviceConfig;
+use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use rand::Rng;
+
+/// Static description of the fault population to sample from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Targeted operation class.
+    pub site: FaultSite,
+    /// Targeted bit field.
+    pub region: BitRegion,
+    /// Number of flipped bits (1 = single-bit).
+    pub bits: u32,
+    /// Pin the flip to one exact bit position instead of sampling within
+    /// the region (per-bit sensitivity studies). Only meaningful with
+    /// `bits == 1`.
+    pub fixed_bit: Option<u32>,
+}
+
+impl FaultSpec {
+    /// Single random bit within `region` at `site`.
+    pub fn single(site: FaultSite, region: BitRegion) -> Self {
+        FaultSpec { site, region, bits: 1, fixed_bit: None }
+    }
+
+    /// Exactly bit `bit` (absolute position in the 64-bit word) at `site`.
+    pub fn at_bit(site: FaultSite, bit: u32) -> Self {
+        let region = match bit {
+            63 => BitRegion::Sign,
+            52..=62 => BitRegion::Exponent,
+            _ => BitRegion::Mantissa,
+        };
+        FaultSpec { site, region, bits: 1, fixed_bit: Some(bit) }
+    }
+}
+
+/// GEMM launch geometry needed to bound `kInjection` so every drawn fault
+/// actually fires.
+#[derive(Debug, Clone, Copy)]
+pub struct GemmShape {
+    /// Augmented/padded result rows.
+    pub m: usize,
+    /// Augmented/padded inner dimension.
+    pub n: usize,
+    /// Augmented/padded result columns.
+    pub q: usize,
+    /// Tiling of the multiplication kernel.
+    pub tiling: GemmTiling,
+}
+
+impl GemmShape {
+    /// Number of thread blocks the launch produces.
+    pub fn total_blocks(&self) -> usize {
+        (self.m / self.tiling.bm) * (self.q / self.tiling.bn)
+    }
+
+    /// Blocks scheduled on `sm` under round-robin assignment.
+    pub fn blocks_on_sm(&self, sm: usize, num_sms: usize) -> usize {
+        let total = self.total_blocks();
+        total / num_sms + usize::from(sm < total % num_sms)
+    }
+
+    /// Dynamic operations one `(sm, site, module)` coordinate executes
+    /// during the multiplication kernel.
+    pub fn ops_at(&self, sm: usize, site: FaultSite, num_sms: usize) -> u64 {
+        let blocks = self.blocks_on_sm(sm, num_sms) as u64;
+        let threads = self.tiling.threads_per_block() as u64;
+        match site {
+            // Every thread touches each module once per inner iteration.
+            FaultSite::InnerMul | FaultSite::InnerAdd => blocks * threads * self.n as u64,
+            // One merge per thread per module.
+            FaultSite::FinalAdd => blocks * threads,
+        }
+    }
+}
+
+/// Draws a uniformly random fault matching `spec` that is guaranteed to
+/// fire during a multiplication of the given shape.
+///
+/// # Panics
+///
+/// Panics if the shape schedules no work on any SM-module coordinate (e.g.
+/// fewer blocks than SMs makes some SMs idle — those are re-drawn, but a
+/// shape with zero blocks is an error).
+pub fn random_plan<R: Rng + ?Sized>(
+    spec: FaultSpec,
+    shape: &GemmShape,
+    device: DeviceConfig,
+    rng: &mut R,
+) -> InjectionPlan {
+    assert!(shape.total_blocks() > 0, "shape produces no thread blocks");
+    loop {
+        let sm = rng.gen_range(0..device.num_sms);
+        let ops = shape.ops_at(sm, spec.site, device.num_sms);
+        if ops == 0 {
+            continue; // idle SM for this launch; redraw (paper targets busy SMs)
+        }
+        let module = rng.gen_range(0..shape.tiling.modules());
+        let k_injection = rng.gen_range(1..=ops);
+        let mask = match spec.fixed_bit {
+            Some(bit) => {
+                debug_assert!(bit < 64, "bit position out of range");
+                1u64 << bit
+            }
+            None => mask_for(spec.region, spec.bits, rng),
+        };
+        return InjectionPlan { sm, site: spec.site, module, k_injection, mask };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aabft_gpu_sim::device::Device;
+    use aabft_gpu_sim::kernels::gemm::GemmKernel;
+    use aabft_gpu_sim::mem::DeviceBuffer;
+    use rand::SeedableRng;
+
+    fn shape() -> GemmShape {
+        GemmShape {
+            m: 16,
+            n: 16,
+            q: 16,
+            tiling: GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 },
+        }
+    }
+
+    #[test]
+    fn op_counts_match_execution() {
+        // Verify the closed-form op counts against actual kernel stats.
+        let s = shape();
+        let device = Device::with_defaults();
+        let a = DeviceBuffer::zeros(16 * 16);
+        let b = DeviceBuffer::zeros(16 * 16);
+        let c = DeviceBuffer::zeros(16 * 16);
+        let k = GemmKernel::new(&a, &b, &c, 16, 16, 16, s.tiling);
+        let stats = device.launch(k.grid(), &k);
+        let num_sms = device.config().num_sms;
+        let total_inner: u64 = (0..num_sms)
+            .map(|sm| s.ops_at(sm, FaultSite::InnerMul, num_sms))
+            .sum::<u64>()
+            * s.tiling.modules() as u64;
+        assert_eq!(stats.fmul, total_inner);
+        let total_final: u64 = (0..num_sms)
+            .map(|sm| s.ops_at(sm, FaultSite::FinalAdd, num_sms))
+            .sum::<u64>()
+            * s.tiling.modules() as u64;
+        assert_eq!(stats.fadd, total_inner + total_final);
+    }
+
+    #[test]
+    fn drawn_plans_always_fire() {
+        let s = shape();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for site in FaultSite::ALL {
+            for _ in 0..25 {
+                let spec = FaultSpec::single(site, BitRegion::Mantissa);
+                let device = Device::with_defaults();
+                let plan = random_plan(spec, &s, device.config(), &mut rng);
+                device.arm_injection(plan);
+                let a = DeviceBuffer::zeros(16 * 16);
+                let b = DeviceBuffer::zeros(16 * 16);
+                let c = DeviceBuffer::zeros(16 * 16);
+                let k = GemmKernel::new(&a, &b, &c, 16, 16, 16, s.tiling);
+                device.launch(k.grid(), &k);
+                assert!(device.disarm_injection(), "plan {plan:?} did not fire");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_on_sm_sums_to_total() {
+        let s = shape();
+        let total: usize = (0..13).map(|sm| s.blocks_on_sm(sm, 13)).sum();
+        assert_eq!(total, s.total_blocks());
+    }
+}

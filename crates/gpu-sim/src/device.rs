@@ -1,0 +1,545 @@
+//! The simulated GPU device and its block scheduler.
+//!
+//! A [`Device`] owns a number of streaming multiprocessors (SMs). A kernel
+//! launch distributes the grid's thread blocks round-robin over the SMs;
+//! blocks assigned to the *same* SM execute sequentially (so dynamic
+//! instruction counts per SM are deterministic — the coordinate system of
+//! the paper's `kInjection` fault targeting), while distinct SMs execute in
+//! parallel on host cores. All floating-point arithmetic inside a kernel
+//! flows through the block context's FPU methods, which count instructions
+//! and apply armed fault injections.
+
+use crate::dim::{BlockIdx, GridDim};
+use crate::inject::{FaultSite, InjectionPlan, InjectionState};
+use crate::mem::DeviceBuffer;
+use crate::stats::{KernelStats, LaunchRecord};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Hardware-shape parameters of the simulated device.
+///
+/// Defaults model the Nvidia K20c (GK110) used in the paper: 13 SMX units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum `moduleID` (per-thread functional-unit index) kernels may
+    /// target; bounds the per-SM dynamic-instance counter table.
+    pub max_modules: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig { num_sms: 13, max_modules: 64 }
+    }
+}
+
+/// A simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_gpu_sim::device::{Device, Kernel, BlockCtx};
+/// use aabft_gpu_sim::dim::GridDim;
+/// use aabft_gpu_sim::mem::DeviceBuffer;
+///
+/// struct Doubler<'a> {
+///     buf: &'a DeviceBuffer,
+/// }
+/// impl Kernel for Doubler<'_> {
+///     fn name(&self) -> &'static str { "doubler" }
+///     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+///         let i = ctx.block().x;
+///         let v = ctx.load(self.buf, i);
+///         let doubled = ctx.add(v, v);
+///         ctx.store(self.buf, i, doubled);
+///     }
+/// }
+///
+/// let device = Device::with_defaults();
+/// let buf = DeviceBuffer::from_vec(vec![1.0, 2.0, 3.0]);
+/// let stats = device.launch(GridDim::linear_1d(3), &Doubler { buf: &buf });
+/// assert_eq!(buf.to_vec(), vec![2.0, 4.0, 6.0]);
+/// assert_eq!(stats.fadd, 3);
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    injections: Mutex<Vec<Arc<InjectionState>>>,
+    /// Per-SM dynamic-instance counters for fault targeting. They persist
+    /// across launches while an injection is armed (arming resets them), so
+    /// `kInjection` addresses an instruction within the whole armed window
+    /// — e.g. any of TMR's three replica launches.
+    sm_counts: Vec<Mutex<Vec<[u64; FaultSite::COUNT]>>>,
+    log: Mutex<Vec<LaunchRecord>>,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sms` or `max_modules` is zero.
+    pub fn new(config: DeviceConfig) -> Self {
+        assert!(config.num_sms > 0, "need at least one SM");
+        assert!(config.max_modules > 0, "need at least one module");
+        let sm_counts = (0..config.num_sms)
+            .map(|_| Mutex::new(vec![[0u64; FaultSite::COUNT]; config.max_modules]))
+            .collect();
+        Device { config, injections: Mutex::new(Vec::new()), sm_counts, log: Mutex::new(Vec::new()) }
+    }
+
+    /// Creates a device with the K20c-like default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(DeviceConfig::default())
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> DeviceConfig {
+        self.config
+    }
+
+    /// Arms a fault injection; it strikes (at most once) during subsequent
+    /// launches until [`Device::disarm_injection`] is called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan targets an SM or module outside the device shape.
+    pub fn arm_injection(&self, plan: InjectionPlan) {
+        self.arm_injections(&[plan]);
+    }
+
+    /// Arms several simultaneous faults (multi-fault campaigns); each
+    /// strikes at most once. Replaces any previously armed set and resets
+    /// the dynamic-instance counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any plan targets an SM or module outside the device shape.
+    pub fn arm_injections(&self, plans: &[InjectionPlan]) {
+        for plan in plans {
+            assert!(
+                plan.sm < self.config.num_sms,
+                "plan targets SM {} of {}",
+                plan.sm,
+                self.config.num_sms
+            );
+            assert!(
+                plan.module < self.config.max_modules,
+                "plan targets module {} of {}",
+                plan.module,
+                self.config.max_modules
+            );
+        }
+        for counts in &self.sm_counts {
+            for slot in counts.lock().iter_mut() {
+                *slot = [0; FaultSite::COUNT];
+            }
+        }
+        *self.injections.lock() =
+            plans.iter().map(|&p| Arc::new(InjectionState::new(p))).collect();
+    }
+
+    /// Disarms all injections; returns `true` if at least one fault struck.
+    pub fn disarm_injection(&self) -> bool {
+        self.disarm_count() > 0
+    }
+
+    /// Disarms all injections; returns how many faults struck.
+    pub fn disarm_count(&self) -> usize {
+        std::mem::take(&mut *self.injections.lock())
+            .iter()
+            .filter(|s| s.has_fired())
+            .count()
+    }
+
+    /// The SM a given linear block index is scheduled on (round-robin).
+    pub fn sm_of_block(&self, linear_block: usize) -> usize {
+        linear_block % self.config.num_sms
+    }
+
+    /// Launches `kernel` over `grid` and returns the merged stats. The
+    /// launch is also appended to the device's launch log for performance
+    /// modelling.
+    pub fn launch<K: Kernel + ?Sized>(&self, grid: GridDim, kernel: &K) -> KernelStats {
+        let injections = self.injections.lock().clone();
+        let num_sms = self.config.num_sms;
+        let max_modules = self.config.max_modules;
+        let blocks: Vec<BlockIdx> = grid.iter().collect();
+
+        let per_sm: Vec<KernelStats> = (0..num_sms)
+            .into_par_iter()
+            .map(|sm_id| {
+                let mut counts_guard = self.sm_counts[sm_id].lock();
+                debug_assert_eq!(counts_guard.len(), max_modules);
+                let mut stats = KernelStats::default();
+                for (linear, &block) in blocks.iter().enumerate() {
+                    if linear % num_sms != sm_id {
+                        continue;
+                    }
+                    let mut ctx = BlockCtx {
+                        block,
+                        sm_id,
+                        stats: KernelStats { blocks: 1, ..Default::default() },
+                        sm_counts: &mut counts_guard,
+                        injections: &injections,
+                    };
+                    kernel.run_block(&mut ctx);
+                    stats.merge(&ctx.stats);
+                }
+                stats
+            })
+            .collect();
+
+        let mut total = KernelStats::default();
+        for s in &per_sm {
+            total.merge(s);
+        }
+        self.log.lock().push(LaunchRecord {
+            name: kernel.name().to_string(),
+            utilization: kernel.utilization(),
+            stats: total,
+        });
+        total
+    }
+
+    /// Drains the launch log (records since the last call).
+    pub fn take_log(&self) -> Vec<LaunchRecord> {
+        std::mem::take(&mut *self.log.lock())
+    }
+}
+
+/// A GPU kernel: code executed once per thread block.
+///
+/// Kernels are written in "block-sequential" style — the body iterates over
+/// the block's threads explicitly, exactly like the pseudocode of the
+/// paper's Algorithms 1–3 ("each thread calculates…"). All floating-point
+/// arithmetic must go through the [`BlockCtx`] FPU methods so instruction
+/// counting and fault injection see every operation.
+pub trait Kernel: Sync {
+    /// Kernel name for the launch log.
+    fn name(&self) -> &'static str;
+    /// Executes one thread block.
+    fn run_block(&self, ctx: &mut BlockCtx<'_>);
+    /// Fraction of peak FP throughput this kernel can reach (occupancy /
+    /// utilization class used by the performance model). Defaults to a
+    /// well-utilised compute kernel.
+    fn utilization(&self) -> f64 {
+        0.9
+    }
+}
+
+/// Execution context of one thread block: identity, counters and the
+/// injectable FPU.
+#[derive(Debug)]
+pub struct BlockCtx<'a> {
+    block: BlockIdx,
+    sm_id: usize,
+    stats: KernelStats,
+    sm_counts: &'a mut Vec<[u64; FaultSite::COUNT]>,
+    injections: &'a [Arc<InjectionState>],
+}
+
+impl BlockCtx<'_> {
+    /// This block's index in the launch grid.
+    pub fn block(&self) -> BlockIdx {
+        self.block
+    }
+
+    /// The streaming multiprocessor executing this block.
+    pub fn sm_id(&self) -> usize {
+        self.sm_id
+    }
+
+    /// Declares `n` threads for this block (geometry bookkeeping only).
+    pub fn declare_threads(&mut self, n: usize) {
+        self.stats.threads += n as u64;
+    }
+
+    // ---- plain FPU ops (counted, not injectable) --------------------------
+
+    /// Floating-point addition.
+    #[inline]
+    pub fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.stats.fadd += 1;
+        a + b
+    }
+
+    /// Floating-point subtraction.
+    #[inline]
+    pub fn sub(&mut self, a: f64, b: f64) -> f64 {
+        self.stats.fadd += 1;
+        a - b
+    }
+
+    /// Floating-point multiplication.
+    #[inline]
+    pub fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.stats.fmul += 1;
+        a * b
+    }
+
+    /// Fused multiply-add `a·b + c` (one instruction, two FLOPs).
+    #[inline]
+    pub fn fma(&mut self, a: f64, b: f64, c: f64) -> f64 {
+        self.stats.ffma += 1;
+        a.mul_add(b, c)
+    }
+
+    /// Absolute value / comparison-class op (counted as simple FP op).
+    #[inline]
+    pub fn abs(&mut self, a: f64) -> f64 {
+        self.stats.fcmp += 1;
+        a.abs()
+    }
+
+    /// Max-class op (counted as simple FP op).
+    #[inline]
+    pub fn max(&mut self, a: f64, b: f64) -> f64 {
+        self.stats.fcmp += 1;
+        a.max(b)
+    }
+
+    // ---- injectable FPU ops (Alg. 3 fault targets) -------------------------
+
+    /// Inner-loop / final-sum addition executed on functional unit `module`;
+    /// an armed matching injection corrupts the result (Alg. 3).
+    #[inline]
+    pub fn add_at(&mut self, site: FaultSite, module: usize, a: f64, b: f64) -> f64 {
+        self.stats.fadd += 1;
+        let r = a + b;
+        self.apply_injection(site, module, r)
+    }
+
+    /// Inner-loop multiplication on functional unit `module`.
+    #[inline]
+    pub fn mul_at(&mut self, site: FaultSite, module: usize, a: f64, b: f64) -> f64 {
+        self.stats.fmul += 1;
+        let r = a * b;
+        self.apply_injection(site, module, r)
+    }
+
+    /// Inner-loop / final-sum addition under an explicit rounding mode
+    /// (truncating hardware is simulated bit-exactly via error-free
+    /// transforms).
+    #[inline]
+    pub fn add_at_rm(
+        &mut self,
+        site: FaultSite,
+        module: usize,
+        a: f64,
+        b: f64,
+        mode: aabft_numerics::RoundingMode,
+    ) -> f64 {
+        self.stats.fadd += 1;
+        let r = aabft_numerics::rounding::add_with_mode(a, b, mode);
+        self.apply_injection(site, module, r)
+    }
+
+    /// Inner-loop multiplication under an explicit rounding mode.
+    #[inline]
+    pub fn mul_at_rm(
+        &mut self,
+        site: FaultSite,
+        module: usize,
+        a: f64,
+        b: f64,
+        mode: aabft_numerics::RoundingMode,
+    ) -> f64 {
+        self.stats.fmul += 1;
+        let r = aabft_numerics::rounding::mul_with_mode(a, b, mode);
+        self.apply_injection(site, module, r)
+    }
+
+    /// Fused multiply-add on functional unit `module` (fault strikes the
+    /// fused result; under FMA there is no separate multiply to target).
+    #[inline]
+    pub fn fma_at(&mut self, site: FaultSite, module: usize, a: f64, b: f64, c: f64) -> f64 {
+        self.stats.ffma += 1;
+        let r = a.mul_add(b, c);
+        self.apply_injection(site, module, r)
+    }
+
+    #[inline]
+    fn apply_injection(&mut self, site: FaultSite, module: usize, value: f64) -> f64 {
+        if self.injections.is_empty() {
+            return value;
+        }
+        debug_assert!(module < self.sm_counts.len(), "module {module} out of range");
+        let c = &mut self.sm_counts[module][site.index()];
+        *c += 1;
+        let mut v = value;
+        for inj in self.injections {
+            v = inj.apply(self.sm_id, site, module, *c, v);
+        }
+        v
+    }
+
+    // ---- memory ------------------------------------------------------------
+
+    /// Loads one word from global memory.
+    #[inline]
+    pub fn load(&mut self, buf: &DeviceBuffer, idx: usize) -> f64 {
+        self.stats.gmem_loads += 1;
+        buf.get(idx)
+    }
+
+    /// Stores one word to global memory.
+    #[inline]
+    pub fn store(&mut self, buf: &DeviceBuffer, idx: usize, v: f64) {
+        self.stats.gmem_stores += 1;
+        buf.set(idx, v);
+    }
+
+    /// Records `n` shared-memory accesses performed as bulk array work.
+    #[inline]
+    pub fn note_smem(&mut self, n: u64) {
+        self.stats.smem_accesses += n;
+    }
+
+    /// Records `n` global-memory loads performed as a bulk (coalesced) copy.
+    #[inline]
+    pub fn note_gmem_loads(&mut self, n: u64) {
+        self.stats.gmem_loads += n;
+    }
+
+    /// Records `n` global-memory stores performed as a bulk (coalesced) copy.
+    #[inline]
+    pub fn note_gmem_stores(&mut self, n: u64) {
+        self.stats.gmem_stores += n;
+    }
+
+    /// Records floating-point work performed through host helpers (e.g. a
+    /// closed-form bound evaluation) without routing each op individually.
+    #[inline]
+    pub fn note_ops(&mut self, fadd: u64, fmul: u64, fcmp: u64) {
+        self.stats.fadd += fadd;
+        self.stats.fmul += fmul;
+        self.stats.fcmp += fcmp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FillKernel<'a> {
+        out: &'a DeviceBuffer,
+    }
+    impl Kernel for FillKernel<'_> {
+        fn name(&self) -> &'static str {
+            "fill"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let i = ctx.block().y * 4 + ctx.block().x;
+            let v = ctx.mul(i as f64, 2.0);
+            ctx.store(self.out, i, v);
+        }
+    }
+
+    #[test]
+    fn launch_runs_every_block_once() {
+        let device = Device::with_defaults();
+        let out = DeviceBuffer::zeros(8);
+        let stats = device.launch(GridDim::new(4, 2), &FillKernel { out: &out });
+        assert_eq!(stats.blocks, 8);
+        assert_eq!(stats.fmul, 8);
+        assert_eq!(stats.gmem_stores, 8);
+        assert_eq!(out.to_vec(), vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn launch_log_records() {
+        let device = Device::with_defaults();
+        let out = DeviceBuffer::zeros(8);
+        device.launch(GridDim::new(4, 2), &FillKernel { out: &out });
+        let log = device.take_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].name, "fill");
+        assert!(device.take_log().is_empty());
+    }
+
+    struct AccumKernel<'a> {
+        out: &'a DeviceBuffer,
+    }
+    impl Kernel for AccumKernel<'_> {
+        fn name(&self) -> &'static str {
+            "accum"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let i = ctx.block().x;
+            let mut s = 0.0;
+            for k in 1..=4 {
+                let p = ctx.mul_at(FaultSite::InnerMul, 0, k as f64, 1.0);
+                s = ctx.add_at(FaultSite::InnerAdd, 0, s, p);
+            }
+            ctx.store(self.out, i, s);
+        }
+    }
+
+    #[test]
+    fn injection_strikes_exactly_once_and_is_deterministic() {
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let out = DeviceBuffer::zeros(4);
+        // Blocks 0 and 2 run on SM 0; blocks 1 and 3 on SM 1 (round-robin).
+        // Target the 6th InnerAdd on SM 1 => second add of block 3.
+        device.arm_injection(InjectionPlan {
+            sm: 1,
+            site: FaultSite::InnerAdd,
+            module: 0,
+            k_injection: 6,
+            mask: 1 << 63, // sign flip
+        });
+        device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
+        assert!(device.disarm_injection());
+        let v = out.to_vec();
+        // Unaffected blocks sum to 1+2+3+4 = 10.
+        assert_eq!(v[0], 10.0);
+        assert_eq!(v[1], 10.0);
+        assert_eq!(v[2], 10.0);
+        // Block 3: after 2nd add the partial sum 3 becomes -3; remaining
+        // adds give -3 + 3 + 4 = 4.
+        assert_eq!(v[3], 4.0);
+    }
+
+    #[test]
+    fn disarm_reports_unfired() {
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        device.arm_injection(InjectionPlan {
+            sm: 1,
+            site: FaultSite::FinalAdd,
+            module: 0,
+            k_injection: 1,
+            mask: 1,
+        });
+        // No launch executes a FinalAdd: the fault never strikes.
+        let out = DeviceBuffer::zeros(4);
+        device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
+        assert!(!device.disarm_injection());
+    }
+
+    #[test]
+    fn results_deterministic_across_runs() {
+        let run = || {
+            let device = Device::with_defaults();
+            let out = DeviceBuffer::zeros(8);
+            device.launch(GridDim::new(4, 2), &FillKernel { out: &out });
+            out.to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "targets SM")]
+    fn arming_out_of_range_sm_panics() {
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        device.arm_injection(InjectionPlan {
+            sm: 7,
+            site: FaultSite::InnerMul,
+            module: 0,
+            k_injection: 1,
+            mask: 1,
+        });
+    }
+}

@@ -1,0 +1,95 @@
+//! Launch-geometry types: grids of thread blocks.
+//!
+//! Mirrors the CUDA abstractions the paper's kernels are written against
+//! (Section II): a kernel launch specifies a 2-D grid of thread blocks; each
+//! block knows its own index within the grid.
+
+/// Dimensions of the grid of thread blocks in a kernel launch.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_gpu_sim::dim::GridDim;
+///
+/// let g = GridDim::new(4, 2);
+/// assert_eq!(g.block_count(), 8);
+/// assert_eq!(g.linear(3, 1), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridDim {
+    /// Blocks along x.
+    pub x: usize,
+    /// Blocks along y.
+    pub y: usize,
+}
+
+impl GridDim {
+    /// Creates a grid; both dimensions must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(x: usize, y: usize) -> Self {
+        assert!(x > 0 && y > 0, "grid dimensions must be positive");
+        GridDim { x, y }
+    }
+
+    /// One-dimensional grid.
+    pub fn linear_1d(x: usize) -> Self {
+        Self::new(x, 1)
+    }
+
+    /// Total number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.x * self.y
+    }
+
+    /// Row-major linearisation of a block index.
+    pub fn linear(&self, bx: usize, by: usize) -> usize {
+        debug_assert!(bx < self.x && by < self.y);
+        by * self.x + bx
+    }
+
+    /// Iterates over all block indices in linear order.
+    pub fn iter(&self) -> impl Iterator<Item = BlockIdx> + '_ {
+        let x = self.x;
+        (0..self.block_count()).map(move |i| BlockIdx { x: i % x, y: i / x })
+    }
+}
+
+/// Index of a thread block within its grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockIdx {
+    /// Block x-coordinate.
+    pub x: usize,
+    /// Block y-coordinate.
+    pub y: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_and_linear() {
+        let g = GridDim::new(3, 4);
+        assert_eq!(g.block_count(), 12);
+        assert_eq!(g.linear(0, 0), 0);
+        assert_eq!(g.linear(2, 3), 11);
+    }
+
+    #[test]
+    fn iter_covers_all_blocks() {
+        let g = GridDim::new(3, 2);
+        let all: Vec<BlockIdx> = g.iter().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], BlockIdx { x: 0, y: 0 });
+        assert_eq!(all[5], BlockIdx { x: 2, y: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_grid_panics() {
+        GridDim::new(0, 1);
+    }
+}

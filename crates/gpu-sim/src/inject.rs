@@ -1,0 +1,173 @@
+//! Fault-injection targeting of individual floating-point instructions.
+//!
+//! Implements the injection interface of the paper's Algorithm 3: a fault is
+//! described by the streaming multiprocessor it strikes, the kind of
+//! floating-point operation (inner-loop multiply, inner-loop add or
+//! final-sum add), the module (which of the `RX·RY` per-thread adders or
+//! multipliers), the dynamic instance `kInjection` at which it fires, and
+//! the XOR error vector applied to the result word.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The three floating-point operation classes Algorithm 3 exposes as fault
+/// targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Multiplication inside the inner accumulation loop.
+    InnerMul,
+    /// Addition inside the inner accumulation loop.
+    InnerAdd,
+    /// Addition when merging accumulators into the result matrix.
+    FinalAdd,
+}
+
+impl FaultSite {
+    /// Number of distinct sites.
+    pub const COUNT: usize = 3;
+    /// All sites, for campaign sweeps.
+    pub const ALL: [FaultSite; 3] = [FaultSite::InnerMul, FaultSite::InnerAdd, FaultSite::FinalAdd];
+
+    /// Dense index for per-site counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::InnerMul => 0,
+            FaultSite::InnerAdd => 1,
+            FaultSite::FinalAdd => 2,
+        }
+    }
+
+    /// Human-readable label matching the paper's Figure 4 panels.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::InnerMul => "inner loop multiplication",
+            FaultSite::InnerAdd => "inner loop addition",
+            FaultSite::FinalAdd => "final sum addition",
+        }
+    }
+}
+
+/// A single planned fault: *which* dynamic floating-point instruction to
+/// corrupt and *how* (XOR mask).
+///
+/// # Examples
+///
+/// ```
+/// use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+///
+/// // Flip mantissa bit 12 of the 3rd inner-loop multiply executed by
+/// // module 0 on SM 1.
+/// let plan = InjectionPlan {
+///     sm: 1,
+///     site: FaultSite::InnerMul,
+///     module: 0,
+///     k_injection: 3,
+///     mask: 1 << 12,
+/// };
+/// assert_eq!(plan.site, FaultSite::InnerMul);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Streaming multiprocessor the fault strikes.
+    pub sm: usize,
+    /// Operation class targeted.
+    pub site: FaultSite,
+    /// Which of the per-thread functional units (`moduleID` in Alg. 3),
+    /// i.e. the flattened `RX·RY` register-tile position.
+    pub module: usize,
+    /// 1-based dynamic instance of the (sm, site, module) operation at which
+    /// the fault fires (`kInjection` in Alg. 3).
+    pub k_injection: u64,
+    /// Error vector XORed onto the result's bit pattern.
+    pub mask: u64,
+}
+
+/// Shared state of one armed injection: the plan plus a fired flag so the
+/// fault strikes exactly once.
+#[derive(Debug)]
+pub struct InjectionState {
+    /// The planned fault.
+    pub plan: InjectionPlan,
+    fired: AtomicBool,
+}
+
+impl InjectionState {
+    /// Arms a new injection.
+    pub fn new(plan: InjectionPlan) -> Self {
+        InjectionState { plan, fired: AtomicBool::new(false) }
+    }
+
+    /// `true` once the fault has struck.
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Applies the fault to `value` if `(sm, site, module, count)` matches
+    /// the plan and it has not fired yet. Returns the (possibly corrupted)
+    /// value.
+    #[inline]
+    pub fn apply(&self, sm: usize, site: FaultSite, module: usize, count: u64, value: f64) -> f64 {
+        let p = &self.plan;
+        if sm == p.sm
+            && site == p.site
+            && module == p.module
+            && count == p.k_injection
+            && !self.fired.swap(true, Ordering::Relaxed)
+        {
+            f64::from_bits(value.to_bits() ^ p.mask)
+        } else {
+            value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_indices_are_dense() {
+        let mut seen = [false; FaultSite::COUNT];
+        for s in FaultSite::ALL {
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fires_exactly_once_at_match() {
+        let st = InjectionState::new(InjectionPlan {
+            sm: 0,
+            site: FaultSite::InnerAdd,
+            module: 2,
+            k_injection: 5,
+            mask: 1 << 52, // flip lowest exponent bit
+        });
+        // Non-matching coordinates leave the value alone.
+        assert_eq!(st.apply(0, FaultSite::InnerAdd, 2, 4, 1.0), 1.0);
+        assert_eq!(st.apply(1, FaultSite::InnerAdd, 2, 5, 1.0), 1.0);
+        assert_eq!(st.apply(0, FaultSite::InnerMul, 2, 5, 1.0), 1.0);
+        assert_eq!(st.apply(0, FaultSite::InnerAdd, 1, 5, 1.0), 1.0);
+        assert!(!st.has_fired());
+        // Exact match corrupts: 1.0 has biased exponent 0x3ff; clearing its
+        // lowest bit gives 0x3fe, i.e. the value 0.5.
+        assert_eq!(st.apply(0, FaultSite::InnerAdd, 2, 5, 1.0), 0.5);
+        assert!(st.has_fired());
+        // Second match is a no-op (single fault per run).
+        assert_eq!(st.apply(0, FaultSite::InnerAdd, 2, 5, 1.0), 1.0);
+    }
+
+    #[test]
+    fn xor_mask_is_bitwise() {
+        let st = InjectionState::new(InjectionPlan {
+            sm: 0,
+            site: FaultSite::InnerMul,
+            module: 0,
+            k_injection: 1,
+            mask: 0b1011,
+        });
+        let v = 3.75f64;
+        let corrupted = st.apply(0, FaultSite::InnerMul, 0, 1, v);
+        assert_eq!(corrupted.to_bits(), v.to_bits() ^ 0b1011);
+    }
+}

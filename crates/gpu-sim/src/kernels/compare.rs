@@ -1,0 +1,122 @@
+//! Element-wise comparison kernel (the TMR voter's building block).
+//!
+//! The paper's TMR baseline runs an identical GEMM three times and "performs
+//! a direct comparison of the result matrices" (Section VI-A). This kernel
+//! compares two buffers chunk-per-block and writes each block's mismatch
+//! count to a per-block output slot; the host reduces those counts.
+
+use crate::device::{BlockCtx, Kernel};
+use crate::dim::GridDim;
+use crate::mem::DeviceBuffer;
+
+/// Compares two equal-length buffers; block `i` scans chunk `i` and writes
+/// its mismatch count (as an f64 word) to `counts[i]`.
+#[derive(Debug)]
+pub struct CompareKernel<'a> {
+    x: &'a DeviceBuffer,
+    y: &'a DeviceBuffer,
+    counts: &'a DeviceBuffer,
+    chunk: usize,
+    tolerance: f64,
+}
+
+impl<'a> CompareKernel<'a> {
+    /// Creates a comparison of `x` against `y` with `counts.len()` blocks.
+    /// `tolerance = 0.0` demands bitwise-equal values (identical replicas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `counts` is empty.
+    pub fn new(
+        x: &'a DeviceBuffer,
+        y: &'a DeviceBuffer,
+        counts: &'a DeviceBuffer,
+        tolerance: f64,
+    ) -> Self {
+        assert_eq!(x.len(), y.len(), "compared buffers must have equal length");
+        assert!(!counts.is_empty(), "need at least one counting block");
+        let chunk = x.len().div_ceil(counts.len());
+        CompareKernel { x, y, counts, chunk, tolerance }
+    }
+
+    /// The launch grid (one block per chunk).
+    pub fn grid(&self) -> GridDim {
+        GridDim::linear_1d(self.counts.len())
+    }
+
+    /// Host-side reduction of the per-block counts after the launch.
+    pub fn total_mismatches(&self) -> u64 {
+        self.counts.to_vec().iter().map(|&c| c as u64).sum()
+    }
+}
+
+impl Kernel for CompareKernel<'_> {
+    fn name(&self) -> &'static str {
+        "compare"
+    }
+
+    // Pure streaming comparison: memory-bound by construction.
+    fn utilization(&self) -> f64 {
+        0.05
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let b = ctx.block().x;
+        let start = b * self.chunk;
+        let end = (start + self.chunk).min(self.x.len());
+        // Fixed block geometry (warp-sized), independent of the tail chunk.
+        ctx.declare_threads(32.min(self.chunk).max(1));
+        let mut mismatches = 0u64;
+        for i in start..end {
+            let xv = ctx.load(self.x, i);
+            let yv = ctx.load(self.y, i);
+            let diff = ctx.sub(xv, yv);
+            let d = ctx.abs(diff);
+            if d > self.tolerance {
+                mismatches += 1;
+            }
+        }
+        ctx.store(self.counts, b, mismatches as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    #[test]
+    fn identical_buffers_have_no_mismatches() {
+        let device = Device::with_defaults();
+        let x = DeviceBuffer::from_vec((0..100).map(|i| i as f64).collect());
+        let y = DeviceBuffer::from_vec((0..100).map(|i| i as f64).collect());
+        let counts = DeviceBuffer::zeros(7);
+        let k = CompareKernel::new(&x, &y, &counts, 0.0);
+        device.launch(k.grid(), &k);
+        assert_eq!(k.total_mismatches(), 0);
+    }
+
+    #[test]
+    fn counts_every_difference() {
+        let device = Device::with_defaults();
+        let x = DeviceBuffer::from_vec(vec![0.0; 50]);
+        let y = DeviceBuffer::from_vec(
+            (0..50).map(|i| if i % 10 == 3 { 1.0 } else { 0.0 }).collect(),
+        );
+        let counts = DeviceBuffer::zeros(4);
+        let k = CompareKernel::new(&x, &y, &counts, 0.0);
+        device.launch(k.grid(), &k);
+        assert_eq!(k.total_mismatches(), 5);
+    }
+
+    #[test]
+    fn tolerance_masks_small_differences() {
+        let device = Device::with_defaults();
+        let x = DeviceBuffer::from_vec(vec![1.0; 10]);
+        let y = DeviceBuffer::from_vec(vec![1.0 + 1e-12; 10]);
+        let counts = DeviceBuffer::zeros(2);
+        let k = CompareKernel::new(&x, &y, &counts, 1e-9);
+        device.launch(k.grid(), &k);
+        assert_eq!(k.total_mismatches(), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Block-based GEMM kernel with register tiling and fault-injection sites —
+//! the simulator counterpart of the paper's Algorithm 3.
+//!
+//! Each thread block computes a `BM × BN` tile of `C = A · B`; within the
+//! block, every thread owns an `RX × RY` register micro-tile (its
+//! "functional units", the `moduleID` coordinates of the fault-injection
+//! interface). Tiles of `A` and `B` stream through shared memory `BK`
+//! columns at a time. All three of the paper's fault sites are exercised:
+//! the inner-loop multiply, the inner-loop add, and the final merge add.
+
+use crate::device::{BlockCtx, Kernel};
+use crate::dim::GridDim;
+use crate::inject::FaultSite;
+use crate::mem::{DeviceBuffer, SharedTile};
+use aabft_numerics::{MulMode, RoundingMode};
+
+/// Tile-shape parameters of the blocked GEMM (the `BM/BN/BK/RX/RY` of
+/// Algorithm 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmTiling {
+    /// Result-tile rows per block.
+    pub bm: usize,
+    /// Result-tile columns per block.
+    pub bn: usize,
+    /// Shared-memory depth per K iteration.
+    pub bk: usize,
+    /// Register-tile rows per thread.
+    pub rx: usize,
+    /// Register-tile columns per thread.
+    pub ry: usize,
+}
+
+impl Default for GemmTiling {
+    fn default() -> Self {
+        // 64x64 tiles with BK = 16 give 0.125 bytes of global traffic per
+        // FLOP -- compute-bound on K20c-class bandwidth, like the tuned
+        // kernels of Tan et al. [19] the paper builds on.
+        GemmTiling { bm: 64, bn: 64, bk: 16, rx: 4, ry: 4 }
+    }
+}
+
+impl GemmTiling {
+    /// Threads per block implied by the tiling.
+    pub fn threads_per_block(&self) -> usize {
+        (self.bm / self.rx) * (self.bn / self.ry)
+    }
+
+    /// Number of per-thread functional units (`moduleID` range).
+    pub fn modules(&self) -> usize {
+        self.rx * self.ry
+    }
+
+    /// Validates divisibility constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bm % rx != 0` or `bn % ry != 0` or any field is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.bm > 0 && self.bn > 0 && self.bk > 0 && self.rx > 0 && self.ry > 0,
+            "tiling fields must be positive: {self:?}"
+        );
+        assert_eq!(self.bm % self.rx, 0, "bm must be divisible by rx");
+        assert_eq!(self.bn % self.ry, 0, "bn must be divisible by ry");
+    }
+}
+
+/// The blocked matrix-multiplication kernel (Algorithm 3). `A` is `m × n`,
+/// `B` is `n × q`, `C` (output, pre-zeroed) is `m × q`.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_gpu_sim::device::Device;
+/// use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
+/// use aabft_gpu_sim::mem::DeviceBuffer;
+/// use aabft_matrix::{gemm, Matrix};
+///
+/// let a = Matrix::from_fn(64, 64, |i, j| ((i + 2 * j) as f64 * 0.1).sin());
+/// let b = Matrix::from_fn(64, 64, |i, j| ((3 * i + j) as f64 * 0.1).cos());
+/// let device = Device::with_defaults();
+/// let (da, db) = (DeviceBuffer::from_matrix(&a), DeviceBuffer::from_matrix(&b));
+/// let dc = DeviceBuffer::zeros(64 * 64);
+/// let kernel = GemmKernel::new(&da, &db, &dc, 64, 64, 64, GemmTiling::default());
+/// device.launch(kernel.grid(), &kernel);
+/// let c = dc.to_matrix(64, 64);
+/// assert!(c.approx_eq(&gemm::multiply(&a, &b), 1e-12));
+/// ```
+#[derive(Debug)]
+pub struct GemmKernel<'a> {
+    a: &'a DeviceBuffer,
+    b: &'a DeviceBuffer,
+    c: &'a DeviceBuffer,
+    m: usize,
+    n: usize,
+    q: usize,
+    tiling: GemmTiling,
+    mul_mode: MulMode,
+    rounding: RoundingMode,
+    utilization: f64,
+}
+
+impl<'a> GemmKernel<'a> {
+    /// Creates the kernel for `C = A · B` with the given tiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer sizes don't match the dimensions, the dimensions are
+    /// not multiples of the tile shape, or the tiling is invalid. Pad inputs
+    /// first (the paper's kernels also operate on padded matrices).
+    pub fn new(
+        a: &'a DeviceBuffer,
+        b: &'a DeviceBuffer,
+        c: &'a DeviceBuffer,
+        m: usize,
+        n: usize,
+        q: usize,
+        tiling: GemmTiling,
+    ) -> Self {
+        tiling.validate();
+        assert_eq!(a.len(), m * n, "A buffer size mismatch");
+        assert_eq!(b.len(), n * q, "B buffer size mismatch");
+        assert_eq!(c.len(), m * q, "C buffer size mismatch");
+        assert_eq!(m % tiling.bm, 0, "m = {m} must be a multiple of bm = {}", tiling.bm);
+        assert_eq!(q % tiling.bn, 0, "q = {q} must be a multiple of bn = {}", tiling.bn);
+        assert_eq!(n % tiling.bk, 0, "n = {n} must be a multiple of bk = {}", tiling.bk);
+        GemmKernel {
+            a,
+            b,
+            c,
+            m,
+            n,
+            q,
+            tiling,
+            mul_mode: MulMode::Separate,
+            rounding: RoundingMode::Nearest,
+            utilization: 0.896,
+        }
+    }
+
+    /// Switches the kernel to fused multiply-add arithmetic
+    /// (paper Section IV-D).
+    pub fn with_mul_mode(mut self, mode: MulMode) -> Self {
+        self.mul_mode = mode;
+        self
+    }
+
+    /// Overrides the modelled utilization (occupancy class).
+    pub fn with_utilization(mut self, utilization: f64) -> Self {
+        self.utilization = utilization;
+        self
+    }
+
+    /// Switches the arithmetic to the given rounding mode (truncating
+    /// hardware, Section IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics when combined with [`MulMode::Fused`] (unsupported).
+    pub fn with_rounding(mut self, rounding: RoundingMode) -> Self {
+        assert!(
+            !(rounding == RoundingMode::Truncation && self.mul_mode == MulMode::Fused),
+            "truncating fused multiply-add is not supported"
+        );
+        self.rounding = rounding;
+        self
+    }
+
+    /// The launch grid covering the whole result matrix.
+    pub fn grid(&self) -> GridDim {
+        GridDim::new(self.q / self.tiling.bn, self.m / self.tiling.bm)
+    }
+}
+
+impl Kernel for GemmKernel<'_> {
+    fn name(&self) -> &'static str {
+        match self.mul_mode {
+            MulMode::Separate => "gemm",
+            MulMode::Fused => "gemm_fma",
+        }
+    }
+
+    fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let GemmTiling { bm, bn, bk, rx, ry } = self.tiling;
+        let (row0, col0) = (ctx.block().y * bm, ctx.block().x * bn);
+        let threads_y = bm / rx;
+        let threads_x = bn / ry;
+        ctx.declare_threads(threads_y * threads_x);
+
+        let mut sm_a = SharedTile::new(bm, bk);
+        let mut sm_b = SharedTile::new(bk, bn);
+        // Per-thread register accumulators, all threads' state held at once
+        // (the simulator runs the block's threads cooperatively).
+        let mut accum = vec![0.0f64; threads_y * threads_x * rx * ry];
+
+        let k_tiles = self.n / bk;
+        for kt in 0..k_tiles {
+            let k0 = kt * bk;
+            // Cooperative tile loads (counted as bulk coalesced traffic).
+            for i in 0..bm {
+                for kk in 0..bk {
+                    sm_a.set(i, kk, self.a.get((row0 + i) * self.n + k0 + kk));
+                }
+            }
+            for kk in 0..bk {
+                for j in 0..bn {
+                    sm_b.set(kk, j, self.b.get((k0 + kk) * self.q + col0 + j));
+                }
+            }
+            ctx.note_gmem_loads((bm * bk + bk * bn) as u64);
+            ctx.note_smem((bm * bk + bk * bn) as u64);
+
+            // Inner accumulation (Alg. 3's `ki` loop), per thread.
+            for ty in 0..threads_y {
+                for tx in 0..threads_x {
+                    let base = (ty * threads_x + tx) * rx * ry;
+                    for ki in 0..bk {
+                        for i in 0..rx {
+                            let a_val = sm_a.get(ty * rx + i, ki);
+                            for j in 0..ry {
+                                let module = i * ry + j;
+                                let b_val = sm_b.get(ki, tx * ry + j);
+                                let idx = base + module;
+                                match self.mul_mode {
+                                    MulMode::Separate => {
+                                        let p = ctx.mul_at_rm(
+                                            FaultSite::InnerMul,
+                                            module,
+                                            a_val,
+                                            b_val,
+                                            self.rounding,
+                                        );
+                                        accum[idx] = ctx.add_at_rm(
+                                            FaultSite::InnerAdd,
+                                            module,
+                                            accum[idx],
+                                            p,
+                                            self.rounding,
+                                        );
+                                    }
+                                    MulMode::Fused => {
+                                        accum[idx] = ctx.fma_at(
+                                            FaultSite::InnerAdd,
+                                            module,
+                                            a_val,
+                                            b_val,
+                                            accum[idx],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            ctx.note_smem((threads_y * threads_x * bk * (rx + ry)) as u64);
+        }
+
+        // Final merge into C (Alg. 3's closing accumulation — FinalAdd site).
+        for ty in 0..threads_y {
+            for tx in 0..threads_x {
+                let base = (ty * threads_x + tx) * rx * ry;
+                for i in 0..rx {
+                    for j in 0..ry {
+                        let module = i * ry + j;
+                        let gi = row0 + ty * rx + i;
+                        let gj = col0 + tx * ry + j;
+                        let idx = gi * self.q + gj;
+                        let cur = ctx.load(self.c, idx);
+                        let merged = ctx.add_at_rm(
+                            FaultSite::FinalAdd,
+                            module,
+                            cur,
+                            accum[base + module],
+                            self.rounding,
+                        );
+                        ctx.store(self.c, idx, merged);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use aabft_matrix::{gemm, Matrix};
+
+    fn run(m: usize, n: usize, q: usize, tiling: GemmTiling, mode: MulMode) -> (Matrix<f64>, Matrix<f64>) {
+        let a = Matrix::from_fn(m, n, |i, j| ((i * 7 + j * 3) as f64 * 0.017).sin());
+        let b = Matrix::from_fn(n, q, |i, j| ((i * 5 + j * 11) as f64 * 0.013).cos());
+        let device = Device::with_defaults();
+        let (da, db) = (DeviceBuffer::from_matrix(&a), DeviceBuffer::from_matrix(&b));
+        let dc = DeviceBuffer::zeros(m * q);
+        let kernel = GemmKernel::new(&da, &db, &dc, m, n, q, tiling).with_mul_mode(mode);
+        device.launch(kernel.grid(), &kernel);
+        (dc.to_matrix(m, q), gemm::multiply(&a, &b))
+    }
+
+    #[test]
+    fn matches_reference_default_tiling() {
+        let (c, expect) = run(64, 64, 64, GemmTiling::default(), MulMode::Separate);
+        assert!(c.approx_eq(&expect, 1e-12), "max diff {}", c.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn matches_reference_rectangular() {
+        let t = GemmTiling { bm: 16, bn: 8, bk: 4, rx: 2, ry: 2 };
+        let (c, expect) = run(32, 20, 24, t, MulMode::Separate);
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn fma_mode_close_to_reference() {
+        let (c, expect) = run(64, 64, 64, GemmTiling::default(), MulMode::Fused);
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn stats_count_expected_flops() {
+        let m = 64;
+        let a = Matrix::from_fn(m, m, |_, _| 1.0);
+        let device = Device::with_defaults();
+        let (da, db) = (DeviceBuffer::from_matrix(&a), DeviceBuffer::from_matrix(&a));
+        let dc = DeviceBuffer::zeros(m * m);
+        let kernel = GemmKernel::new(&da, &db, &dc, m, m, m, GemmTiling::default());
+        let stats = device.launch(kernel.grid(), &kernel);
+        // n^3 multiplies, n^3 inner adds, n^2 final adds.
+        assert_eq!(stats.fmul, (m * m * m) as u64);
+        assert_eq!(stats.fadd, (m * m * m + m * m) as u64);
+        assert_eq!(stats.gmem_stores, (m * m) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of bm")]
+    fn non_multiple_dims_panic() {
+        let da = DeviceBuffer::zeros(65 * 64);
+        let db = DeviceBuffer::zeros(64 * 64);
+        let dc = DeviceBuffer::zeros(65 * 64);
+        GemmKernel::new(&da, &db, &dc, 65, 64, 64, GemmTiling::default());
+    }
+}

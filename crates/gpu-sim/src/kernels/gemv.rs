@@ -1,0 +1,179 @@
+//! Blocked matrix–vector multiplication kernel with the same
+//! fault-injection sites as the GEMM of Algorithm 3.
+//!
+//! One thread block computes a `BM`-row slice of `y = A · x`; each thread
+//! owns `RX` rows (its `moduleID` coordinates are the register-tile row
+//! indices). The inner loop walks the full row, so the inner-mul/inner-add
+//! sites see the same dynamic-instance semantics as the GEMM kernel.
+
+use crate::device::{BlockCtx, Kernel};
+use crate::dim::GridDim;
+use crate::inject::FaultSite;
+use crate::mem::DeviceBuffer;
+
+/// Tile shape of the blocked GEMV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemvTiling {
+    /// Rows per thread block.
+    pub bm: usize,
+    /// Rows per thread (`moduleID` range).
+    pub rx: usize,
+}
+
+impl Default for GemvTiling {
+    fn default() -> Self {
+        GemvTiling { bm: 64, rx: 4 }
+    }
+}
+
+impl GemvTiling {
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.bm / self.rx
+    }
+
+    /// Validates divisibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bm` is not a positive multiple of `rx`.
+    pub fn validate(&self) {
+        assert!(self.bm > 0 && self.rx > 0, "tiling fields must be positive");
+        assert_eq!(self.bm % self.rx, 0, "bm must be divisible by rx");
+    }
+}
+
+/// The blocked GEMV kernel: `y = A · x` with `A` of shape `m × n`
+/// (row-major), `x` of length `n`, `y` of length `m` (pre-zeroed).
+#[derive(Debug)]
+pub struct GemvKernel<'a> {
+    a: &'a DeviceBuffer,
+    x: &'a DeviceBuffer,
+    y: &'a DeviceBuffer,
+    m: usize,
+    n: usize,
+    tiling: GemvTiling,
+    utilization: f64,
+}
+
+impl<'a> GemvKernel<'a> {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer-size mismatch or if `m` is not a multiple of `bm`.
+    pub fn new(
+        a: &'a DeviceBuffer,
+        x: &'a DeviceBuffer,
+        y: &'a DeviceBuffer,
+        m: usize,
+        n: usize,
+        tiling: GemvTiling,
+    ) -> Self {
+        tiling.validate();
+        assert_eq!(a.len(), m * n, "A buffer size mismatch");
+        assert_eq!(x.len(), n, "x buffer size mismatch");
+        assert_eq!(y.len(), m, "y buffer size mismatch");
+        assert_eq!(m % tiling.bm, 0, "m = {m} must be a multiple of bm = {}", tiling.bm);
+        // GEMV streams the whole matrix once: memory-bound by nature.
+        GemvKernel { a, x, y, m, n, tiling, utilization: 0.12 }
+    }
+
+    /// The launch grid covering all rows.
+    pub fn grid(&self) -> GridDim {
+        GridDim::linear_1d(self.m / self.tiling.bm)
+    }
+}
+
+impl Kernel for GemvKernel<'_> {
+    fn name(&self) -> &'static str {
+        "gemv"
+    }
+
+    fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let GemvTiling { bm, rx } = self.tiling;
+        let row0 = ctx.block().x * bm;
+        let threads = bm / rx;
+        ctx.declare_threads(threads);
+        for t in 0..threads {
+            for r in 0..rx {
+                let module = r;
+                let row = row0 + t * rx + r;
+                let mut acc = 0.0;
+                for k in 0..self.n {
+                    let av = ctx.load(self.a, row * self.n + k);
+                    let xv = ctx.load(self.x, k);
+                    let p = ctx.mul_at(FaultSite::InnerMul, module, av, xv);
+                    acc = ctx.add_at(FaultSite::InnerAdd, module, acc, p);
+                }
+                let cur = ctx.load(self.y, row);
+                let merged = ctx.add_at(FaultSite::FinalAdd, module, cur, acc);
+                ctx.store(self.y, row, merged);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::inject::InjectionPlan;
+    use aabft_matrix::Matrix;
+
+    fn inputs(m: usize, n: usize) -> (Matrix<f64>, Vec<f64>) {
+        (
+            Matrix::from_fn(m, n, |i, j| ((i * 3 + j * 7) as f64 * 0.11).sin()),
+            (0..n).map(|k| ((k * 5) as f64 * 0.13).cos()).collect(),
+        )
+    }
+
+    fn reference(a: &Matrix<f64>, x: &[f64]) -> Vec<f64> {
+        (0..a.rows()).map(|i| a.row(i).iter().zip(x).map(|(r, v)| r * v).sum()).collect()
+    }
+
+    #[test]
+    fn matches_reference() {
+        let (a, x) = inputs(32, 48);
+        let device = Device::with_defaults();
+        let da = DeviceBuffer::from_matrix(&a);
+        let dx = DeviceBuffer::from_vec(x.clone());
+        let dy = DeviceBuffer::zeros(32);
+        let k = GemvKernel::new(&da, &dx, &dy, 32, 48, GemvTiling { bm: 8, rx: 2 });
+        let stats = device.launch(k.grid(), &k);
+        let expect = reference(&a, &x);
+        for (i, (got, want)) in dy.to_vec().iter().zip(&expect).enumerate() {
+            assert!((got - want).abs() < 1e-13, "row {i}");
+        }
+        assert_eq!(stats.fmul, 32 * 48);
+        assert_eq!(stats.fadd, 32 * 48 + 32);
+    }
+
+    #[test]
+    fn injection_corrupts_one_row() {
+        let (a, x) = inputs(16, 16);
+        let device = Device::with_defaults();
+        let da = DeviceBuffer::from_matrix(&a);
+        let dx = DeviceBuffer::from_vec(x.clone());
+        let dy = DeviceBuffer::zeros(16);
+        device.arm_injection(InjectionPlan {
+            sm: 0,
+            site: FaultSite::FinalAdd,
+            module: 1,
+            k_injection: 1,
+            mask: 1 << 62,
+        });
+        let k = GemvKernel::new(&da, &dx, &dy, 16, 16, GemvTiling { bm: 16, rx: 2 });
+        device.launch(k.grid(), &k);
+        assert!(device.disarm_injection());
+        let expect = reference(&a, &x);
+        let got = dy.to_vec();
+        let corrupted: Vec<usize> =
+            (0..16).filter(|&i| (got[i] - expect[i]).abs() > 1e-9).collect();
+        assert_eq!(corrupted.len(), 1, "exactly one row corrupted: {corrupted:?}");
+    }
+}

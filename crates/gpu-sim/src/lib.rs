@@ -1,0 +1,40 @@
+//! Deterministic SIMT-style GPU simulator for the A-ABFT (DSN'14)
+//! reproduction.
+//!
+//! The paper's scheme is defined at the level of GPU kernels: thread blocks,
+//! shared-memory tiles, per-thread register tiles and individual
+//! floating-point instructions (the fault-injection targets of Algorithm 3).
+//! This crate simulates exactly that level:
+//!
+//! * [`device`] — the [`device::Device`] schedules a launch's thread blocks
+//!   round-robin over its streaming multiprocessors; same-SM blocks run
+//!   sequentially (deterministic per-SM dynamic instruction counts),
+//!   different SMs run in parallel on host cores;
+//! * [`mem`] — global-memory buffers and shared-memory tiles;
+//! * [`inject`] — fault plans targeting a specific dynamic floating-point
+//!   instruction `(SM, site, module, kInjection)` with an XOR error vector;
+//! * [`stats`]/[`perf`] — instruction/memory counters per launch and the
+//!   roofline-style K20c performance model that converts them into the
+//!   GFLOPS figures of the paper's Table I;
+//! * [`kernels`] — the blocked GEMM of Algorithm 3 and a comparison kernel.
+//!
+//! Everything is bit-identical IEEE-754 binary64 arithmetic, so rounding
+//! behaviour matches real hardware; only *time* is modelled.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod device;
+pub mod dim;
+pub mod inject;
+pub mod kernels;
+pub mod mem;
+pub mod perf;
+pub mod stats;
+
+pub use device::{BlockCtx, Device, DeviceConfig, Kernel};
+pub use dim::{BlockIdx, GridDim};
+pub use inject::{FaultSite, InjectionPlan};
+pub use mem::{DeviceBuffer, SharedTile};
+pub use perf::PerfModel;
+pub use stats::{KernelStats, LaunchRecord};

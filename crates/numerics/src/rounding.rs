@@ -1,0 +1,161 @@
+//! Exact simulation of alternative rounding modes on round-to-nearest
+//! hardware.
+//!
+//! The paper's model covers symmetric rounding *and* truncation
+//! (Section IV-D "with only minor changes"). Host floats round to nearest,
+//! but the error-free transforms recover each operation's exact residual,
+//! from which the correctly *truncated* (round-toward-zero) result is one
+//! representable-neighbour step away. This lets the simulator execute
+//! bit-exact truncating hardware.
+
+use crate::eft::{two_prod, two_sum};
+use crate::model::RoundingMode;
+
+/// Adjusts a round-to-nearest result to round-toward-zero, given the exact
+/// residual `err` (`exact = rn + err`).
+///
+/// If the nearest rounding overshot the exact value's magnitude, the
+/// truncated result is the next representable value toward zero; otherwise
+/// the nearest result already is the truncation.
+#[inline]
+pub fn truncate_adjust(rn: f64, err: f64) -> f64 {
+    if rn == 0.0 || err == 0.0 {
+        return rn;
+    }
+    // Overshoot: |rn| > |exact| iff the residual points back toward zero.
+    if (rn > 0.0 && err < 0.0) || (rn < 0.0 && err > 0.0) {
+        f64::from_bits(rn.to_bits() - 1)
+    } else {
+        rn
+    }
+}
+
+/// `a + b` under the given rounding mode (bit-exact for both modes).
+#[inline]
+pub fn add_with_mode(a: f64, b: f64, mode: RoundingMode) -> f64 {
+    match mode {
+        RoundingMode::Nearest => a + b,
+        RoundingMode::Truncation => {
+            let (s, e) = two_sum(a, b);
+            truncate_adjust(s, e)
+        }
+    }
+}
+
+/// `a * b` under the given rounding mode (bit-exact for both modes,
+/// provided the product's residual does not underflow — the usual EFT
+/// caveat).
+#[inline]
+pub fn mul_with_mode(a: f64, b: f64, mode: RoundingMode) -> f64 {
+    match mode {
+        RoundingMode::Nearest => a * b,
+        RoundingMode::Truncation => {
+            let (p, e) = two_prod(a, b);
+            truncate_adjust(p, e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::superacc::Superaccumulator;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference truncation via the superaccumulator: compute the exact
+    /// value, then round and step toward zero if the rounding overshot.
+    fn exact_trunc_add(a: f64, b: f64) -> f64 {
+        let mut acc = Superaccumulator::new();
+        acc.add(a);
+        acc.add(b);
+        let rn = acc.round();
+        // residual = exact - rn
+        acc.sub(rn);
+        match acc.signum() {
+            0 => rn,
+            s => {
+                // exact > rn (s=1): rn undershot; trunc = rn if rn>0... use
+                // the same overshoot rule with err = exact - rn = -residual
+                // of our convention (err here: exact = rn + resid).
+                let resid_positive = s > 0;
+                if (rn > 0.0 && !resid_positive) || (rn < 0.0 && resid_positive) {
+                    f64::from_bits(rn.to_bits() - 1)
+                } else {
+                    rn
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_matches_superacc_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20_000 {
+            let a = (rng.gen::<f64>() - 0.5) * (10f64).powi(rng.gen_range(-10..10));
+            let b = (rng.gen::<f64>() - 0.5) * (10f64).powi(rng.gen_range(-10..10));
+            let t = add_with_mode(a, b, RoundingMode::Truncation);
+            let expect = exact_trunc_add(a, b);
+            assert_eq!(t, expect, "a={a:e} b={b:e}");
+        }
+    }
+
+    #[test]
+    fn truncation_never_exceeds_magnitude_of_nearest() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(-1e6..1e6);
+            let b = rng.gen_range(-1e6..1e6);
+            let t = mul_with_mode(a, b, RoundingMode::Truncation);
+            let rn = a * b;
+            assert!(t.abs() <= rn.abs(), "a={a} b={b}");
+            // At most one ulp apart.
+            assert!(rn.to_bits().abs_diff(t.to_bits()) <= 1);
+        }
+    }
+
+    #[test]
+    fn exact_operations_are_unchanged() {
+        for mode in [RoundingMode::Nearest, RoundingMode::Truncation] {
+            assert_eq!(add_with_mode(1.5, 2.25, mode), 3.75);
+            assert_eq!(mul_with_mode(3.0, 4.0, mode), 12.0);
+            assert_eq!(add_with_mode(0.0, 0.0, mode), 0.0);
+            assert_eq!(mul_with_mode(-1.5, 2.0, mode), -3.0);
+        }
+    }
+
+    #[test]
+    fn known_truncation_cases() {
+        // 1 + eps/2 is exactly halfway: RN ties to 1.0 (even); truncation
+        // also gives 1.0 (exact value 1+eps/2 truncates down).
+        assert_eq!(add_with_mode(1.0, f64::EPSILON / 2.0, RoundingMode::Truncation), 1.0);
+        // 1 + 3eps/4: RN gives 1+eps (rounds up); truncation keeps 1.0.
+        let x = 1.0 + 0.75 * f64::EPSILON;
+        let rn = add_with_mode(1.0, 0.75 * f64::EPSILON, RoundingMode::Nearest);
+        assert_eq!(rn, 1.0 + f64::EPSILON);
+        assert_eq!(add_with_mode(1.0, 0.75 * f64::EPSILON, RoundingMode::Truncation), 1.0);
+        let _ = x;
+        // Negative mirror: -(1 + 3eps/4) truncates to -1.0 (toward zero).
+        assert_eq!(
+            add_with_mode(-1.0, -0.75 * f64::EPSILON, RoundingMode::Truncation),
+            -1.0
+        );
+    }
+
+    #[test]
+    fn truncation_bias_is_one_sided() {
+        // Summing many positive values with truncation always under-counts.
+        let xs = vec![0.1; 10_000];
+        let mut s = 0.0;
+        for &x in &xs {
+            s = add_with_mode(s, x, RoundingMode::Truncation);
+        }
+        let exact = crate::superacc::exact_sum(&xs);
+        assert!(s < exact, "truncation must undershoot: {s} vs {exact}");
+        // And the one-sided drift exceeds the (partially cancelling) RN
+        // error. (RN on identical addends also drifts — 0.1's binary
+        // representation error is same-signed — so the gap is a small
+        // factor here, not orders of magnitude.)
+        let rn: f64 = xs.iter().sum();
+        assert!((exact - s) > 2.0 * (exact - rn).abs());
+    }
+}

@@ -1,0 +1,64 @@
+//! Cross-format tests: the model's `t` parameterisation must hold for
+//! binary32 as well (the paper's formulas are generic in the mantissa
+//! length; the evaluation uses binary64).
+
+use aabft_numerics::bits::Real;
+use aabft_numerics::exact::rounding_error_of;
+use aabft_numerics::RoundingModel;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn binary32_model_covers_f32_dot_errors() {
+    let model = RoundingModel::binary32();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut covered = 0;
+    let trials = 100;
+    for _ in 0..trials {
+        let n = 128;
+        let a32: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b32: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // Sequential f32 dot product.
+        let mut s = 0.0f32;
+        for (x, y) in a32.iter().zip(&b32) {
+            s += x * y;
+        }
+        // Exact reference via f64 (every f32 op result is exactly
+        // representable in f64, so the superaccumulator over the widened
+        // values gives the exact dot).
+        let a64: Vec<f64> = a32.iter().map(|&x| x as f64).collect();
+        let b64: Vec<f64> = b32.iter().map(|&x| x as f64).collect();
+        let err = rounding_error_of(s as f64, &a64, &b64);
+        let moments = model_moments_f32(&a32, &b32, &model);
+        if err.abs() <= moments {
+            covered += 1;
+        }
+    }
+    assert!(covered >= 95, "3-sigma coverage too low for binary32: {covered}/{trials}");
+}
+
+/// 3-sigma radius of the binary32 model evaluated on widened operands.
+fn model_moments_f32(a: &[f32], b: &[f32], model: &RoundingModel) -> f64 {
+    let a64: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+    let b64: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+    model.inner_product_moments(&a64, &b64).confidence_radius(3.0)
+}
+
+#[test]
+fn binary32_bounds_are_much_looser_than_binary64() {
+    use aabft_numerics::model::Moments;
+    let m64 = RoundingModel::binary64();
+    let m32 = RoundingModel::binary32();
+    let scale = |m: &RoundingModel| -> Moments { m.beta_add() };
+    let ratio = scale(&m32).variance / scale(&m64).variance;
+    // 2^(2*(53-24)) = 2^58.
+    assert!((ratio.log2() - 58.0).abs() < 1e-6, "ratio 2^{}", ratio.log2());
+}
+
+#[test]
+fn real_trait_round_trips_f32() {
+    let x = 1.5f32;
+    assert_eq!(<f32 as Real>::from_bits_u64(x.to_bits_u64()), x);
+    assert_eq!(f32::from_f64(x.to_f64()), x);
+    assert_eq!(<f32 as Real>::MANTISSA_DIGITS, 24);
+    assert_eq!(1.0f32.mul_add(2.0, 3.0), 5.0);
+}

@@ -1,0 +1,157 @@
+//! Deep validation of the superaccumulator's correct rounding: exhaustive
+//! small-mantissa cases against i128 integer arithmetic, boundary cases
+//! around the normal/subnormal threshold, and randomized cross-checks of
+//! the round-to-nearest-even rule.
+
+use aabft_numerics::superacc::Superaccumulator;
+use rand::{Rng, SeedableRng};
+
+/// Reference: correctly rounded value of the exact integer `v · 2^e`
+/// computed through i128 arithmetic and Rust's (correctly rounded) `f64`
+/// conversion plus exact power-of-two scaling.
+fn reference_round(v: i128, e: i32) -> f64 {
+    // v fits in f64's exact range only if |v| < 2^53; otherwise shift down
+    // while tracking guard/sticky manually — for test simplicity restrict
+    // generators to |v| < 2^100 and use string-free ldexp via successive
+    // halving with sticky OR into the low bit beyond 53 significant bits.
+    let neg = v < 0;
+    let mut mag = v.unsigned_abs();
+    let mut e = e;
+    // Normalise so mag has at most 54 significant bits with a sticky flag.
+    let mut sticky = false;
+    while mag >> 54 != 0 {
+        sticky |= mag & 1 == 1;
+        mag >>= 1;
+        e += 1;
+    }
+    if sticky {
+        // Represent the sticky contribution as an odd low bit.
+        mag = mag << 1 | 1;
+        e -= 1;
+    }
+    let base = mag as f64; // exact: mag < 2^55 needs care; mag < 2^55 but f64 exact to 2^53
+    // mag may now have up to 55 bits; split exactly into two f64s.
+    let hi = (mag >> 11 << 11) as f64;
+    let lo = (mag & ((1 << 11) - 1)) as f64;
+    let scale = (2.0f64).powi(e);
+    // hi*scale and lo*scale are exact (few significant bits times a power
+    // of two); the final addition performs the single correct rounding.
+    let _ = base;
+    let magnitude = (hi * scale) + lo * scale;
+    if neg {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+#[test]
+fn exhaustive_small_sums_match_integer_reference() {
+    // All sums of pairs (a, b) with small integer mantissas across a range
+    // of exponents: the accumulator must round exactly like f64 addition of
+    // the exact value.
+    for ma in -7i64..=7 {
+        for ea in [-40i32, -3, 0, 5, 37] {
+            for mb in -7i64..=7 {
+                for eb in [-45i32, -1, 0, 8, 33] {
+                    let a = ma as f64 * (2.0f64).powi(ea);
+                    let b = mb as f64 * (2.0f64).powi(eb);
+                    let mut acc = Superaccumulator::new();
+                    acc.add(a);
+                    acc.add(b);
+                    // Exact integer value at scale 2^min(ea,eb).
+                    let e0 = ea.min(eb);
+                    let v = (ma as i128) << (ea - e0) as u32;
+                    let w = (mb as i128) << (eb - e0) as u32;
+                    let expect = reference_round(v + w, e0);
+                    assert_eq!(
+                        acc.round(),
+                        expect,
+                        "a = {ma}*2^{ea}, b = {mb}*2^{eb}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_triples_round_like_exact_integer_math() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    for _ in 0..2000 {
+        let e0: i32 = rng.gen_range(-60..60);
+        let xs: Vec<(i128, i32)> = (0..3)
+            .map(|_| (rng.gen_range(-(1i128 << 40)..(1i128 << 40)), rng.gen_range(0..20)))
+            .collect();
+        let mut acc = Superaccumulator::new();
+        let mut exact: i128 = 0;
+        for &(m, de) in &xs {
+            // Value m * 2^(e0 + de); representable when m < 2^53.
+            let v = m as f64 * (2.0f64).powi(e0 + de);
+            acc.add(v);
+            exact += m << de as u32;
+        }
+        let expect = reference_round(exact, e0);
+        assert_eq!(acc.round(), expect, "xs = {xs:?} e0 = {e0}");
+    }
+}
+
+#[test]
+fn subnormal_boundary_cases() {
+    let min_normal = f64::MIN_POSITIVE; // 2^-1022
+    let min_sub = f64::from_bits(1); // 2^-1074
+    // Just below the normal threshold.
+    let mut acc = Superaccumulator::new();
+    acc.add(min_normal);
+    acc.sub(min_sub);
+    assert_eq!(acc.round(), min_normal - min_sub);
+    // Largest subnormal + smallest subnormal == next value up (exact).
+    let max_sub = f64::from_bits((1u64 << 52) - 1);
+    let mut acc = Superaccumulator::new();
+    acc.add(max_sub);
+    acc.add(min_sub);
+    assert_eq!(acc.round(), min_normal);
+    // Half the smallest subnormal ties to even (zero).
+    let mut acc = Superaccumulator::new();
+    acc.add_product(min_sub, 0.5);
+    assert_eq!(acc.round(), 0.0);
+    // Slightly above half rounds up to the smallest subnormal.
+    let mut acc = Superaccumulator::new();
+    acc.add_product(min_sub, 0.5);
+    acc.add_product(min_sub, 0.25);
+    assert_eq!(acc.round(), min_sub);
+}
+
+#[test]
+fn near_overflow_rounding() {
+    let max = f64::MAX;
+    let mut acc = Superaccumulator::new();
+    acc.add(max);
+    acc.add(max / 2.0);
+    assert_eq!(acc.round(), f64::INFINITY, "exact 1.5*MAX is out of range");
+    let mut acc = Superaccumulator::new();
+    acc.add(max);
+    acc.sub(max / 2.0);
+    assert_eq!(acc.round(), max / 2.0);
+}
+
+#[test]
+fn ties_at_every_scale() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    for _ in 0..500 {
+        let e: i32 = rng.gen_range(-300..300);
+        let base = (2.0f64).powi(e);
+        // value = (2k+1) * 2^(e-53): exactly halfway between consecutive
+        // representables at scale 2^e when added to base... construct
+        // explicitly: base + ulp/2 ties to even (base has even mantissa).
+        let ulp = (2.0f64).powi(e - 52);
+        let mut acc = Superaccumulator::new();
+        acc.add(base);
+        acc.add(ulp * 0.5);
+        assert_eq!(acc.round(), base, "tie at 2^{e} must round to even");
+        let mut acc = Superaccumulator::new();
+        acc.add(base + ulp); // odd mantissa
+        acc.add(ulp * 0.5);
+        assert_eq!(acc.round(), base + 2.0 * ulp, "tie above odd rounds up");
+    }
+}

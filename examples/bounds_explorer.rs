@@ -1,0 +1,66 @@
+//! Bounds explorer: see the anatomy of one checksum comparison — the exact
+//! rounding error (superaccumulator oracle), the data-driven model moments,
+//! the A-ABFT closed-form bound with its autonomous `y`, and the SEA bound.
+//!
+//! ```text
+//! cargo run --release --example bounds_explorer
+//! ```
+
+use aabft::baselines::SeaAbft;
+use aabft::core::bounds::{checksum_epsilon, inner_product_sigma};
+use aabft::core::pmax::{upper_bound_y, PMaxTable};
+use aabft::matrix::gen::InputClass;
+use aabft::matrix::Matrix;
+use aabft::numerics::exact::dot_rounding_error;
+use aabft::numerics::RoundingModel;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 512;
+    let bs = 32;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let a = InputClass::UNIT.generate(n, &mut rng);
+    let b = InputClass::UNIT.generate(n, &mut rng);
+
+    // One checksum element: the column checksum of block 0, column 17.
+    let cs_row: Vec<f64> = (0..n).map(|j| (0..bs).map(|i| a[(i, j)]).sum()).collect();
+    let b_col = b.col(17);
+
+    let (computed, exact_err) = dot_rounding_error(&cs_row, &b_col);
+    println!("checksum element value:        {computed:+.6e}");
+    println!("exact rounding error (oracle): {:.3e}", exact_err.abs());
+
+    let model = RoundingModel::binary64();
+    let moments = model.inner_product_moments(&cs_row, &b_col);
+    println!("data-driven model sigma:       {:.3e}", moments.std_dev());
+
+    // The autonomous upper bound y from the p largest absolute values.
+    let cs_m = Matrix::from_vec(1, n, cs_row.clone());
+    let b_m = Matrix::from_vec(n, 1, b_col.clone());
+    for p in [1, 2, 4, 8] {
+        let ta = PMaxTable::of_rows(&cs_m, p);
+        let tb = PMaxTable::of_cols(&b_m, p);
+        let y = upper_bound_y(ta.values(0), ta.indices(0), tb.values(0), tb.indices(0));
+        let eps = checksum_epsilon(n, y, 3.0, &model);
+        println!(
+            "A-ABFT bound (p = {p}):          {eps:.3e}   (y = {y:.4}, coverage x{:.0})",
+            eps / exact_err.abs().max(1e-300)
+        );
+    }
+
+    // Closed form without data: the worst-case sigma at y = 1.
+    println!("closed-form sigma (y = 1):     {:.3e}", inner_product_sigma(n, 1.0, &model));
+
+    // SEA on the same element.
+    let rows: Vec<&[f64]> = (0..bs).map(|i| a.row(i)).collect();
+    let sea = SeaAbft::column_bound(&rows, &cs_row, &b_col);
+    println!(
+        "SEA-ABFT bound:                {sea:.3e}   (coverage x{:.0})",
+        sea / exact_err.abs().max(1e-300)
+    );
+
+    println!();
+    println!("The A-ABFT bound sits ~2 orders of magnitude closer to the true rounding");
+    println!("error than SEA's — errors hiding between the two are exactly the critical");
+    println!("errors only A-ABFT detects (paper Tables II-IV, Figure 4).");
+}

@@ -1,0 +1,94 @@
+//! Scientific-computing scenario: an explicit heat-diffusion time-stepper
+//! whose update is a dense matrix multiplication, protected by A-ABFT.
+//!
+//! The temperature field evolves as `u_{t+1} = P · u_t` where `P` is the
+//! diffusion propagator. We batch many independent rod simulations into the
+//! columns of a state matrix, so each step is a GEMM — the paper's target
+//! workload shape ("large-scale scientific applications"). A fault is
+//! injected in one of the steps; unprotected, it silently corrupts the
+//! simulation — protected, A-ABFT catches and repairs it mid-run.
+//!
+//! ```text
+//! cargo run --release --example heat_diffusion
+//! ```
+
+use aabft::core::{AAbftConfig, AAbftGemm};
+use aabft::gpu::{Device, FaultSite, InjectionPlan};
+use aabft::matrix::{gemm, Matrix};
+
+/// Builds the explicit-Euler propagator for a 1-D rod of `n` cells with
+/// diffusion number `r` (I + r·Laplacian, insulated ends).
+fn propagator(n: usize, r: f64) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            if i == 0 || i == n - 1 {
+                1.0 - r
+            } else {
+                1.0 - 2.0 * r
+            }
+        } else if i.abs_diff(j) == 1 {
+            r
+        } else {
+            0.0
+        }
+    })
+}
+
+fn main() {
+    let n = 96; // rod cells
+    let batch = 96; // independent simulations (columns)
+    let steps = 5;
+    let r = 0.4;
+
+    let p = propagator(n, r);
+    // Initial conditions: a hot spot at a different location per batch.
+    let mut state = Matrix::from_fn(n, batch, |i, j| {
+        let hot = (j * n) / batch;
+        if i == hot {
+            100.0
+        } else {
+            20.0
+        }
+    });
+    let mut reference = state.clone();
+
+    let gemm_op = AAbftGemm::new(AAbftConfig::builder().correct(true).build());
+    let device = Device::with_defaults();
+
+    for step in 0..steps {
+        // Inject a fault in the middle step only.
+        if step == 2 {
+            // The 100th final-merge addition of unit 7 on SM 3 lands in the
+            // data region of the result (the propagator is banded, so many
+            // inner-loop operands are zero; the merge value never is).
+            device.arm_injection(InjectionPlan {
+                sm: 3,
+                site: FaultSite::FinalAdd,
+                module: 7,
+                k_injection: 100,
+                mask: 1 << 61, // exponent bit: a loud silent-data-corruption
+            });
+        }
+        let outcome = gemm_op.multiply(&device, &p, &state);
+        let fired = step == 2 && device.disarm_injection();
+        println!(
+            "step {step}: detected = {:<5} corrected = {:<2} fault fired = {}",
+            outcome.errors_detected(),
+            outcome.corrections.len(),
+            fired,
+        );
+        state = outcome.product;
+        reference = gemm::multiply(&p, &reference);
+    }
+
+    let max_dev = state.max_abs_diff(&reference);
+    let mean: f64 =
+        state.as_slice().iter().sum::<f64>() / (state.rows() * state.cols()) as f64;
+    println!("final mean temperature: {mean:.3} °C (energy conserved ≈ yes)");
+    println!("max deviation from unfaulted reference: {max_dev:.3e}");
+    assert!(
+        max_dev < 1e-9,
+        "protected simulation must match the fault-free reference"
+    );
+    println!("OK: the protected simulation sailed through a mid-run hardware fault.");
+}

@@ -1,0 +1,34 @@
+//! Umbrella crate for the A-ABFT (DSN'14) reproduction: re-exports the
+//! workspace crates and hosts the repository-level examples and integration
+//! tests.
+//!
+//! * [`numerics`] — floating-point substrate (exact oracles, rounding model);
+//! * [`matrix`] — dense matrices and the paper's input generators;
+//! * [`gpu`] — the SIMT-style GPU simulator with fault injection;
+//! * [`core`] — the A-ABFT scheme itself;
+//! * [`baselines`] — fixed-bound ABFT, SEA-ABFT, TMR, unprotected;
+//! * [`faults`] — bit-flip campaigns reproducing Figure 4.
+//!
+//! # Quick start
+//!
+//! ```
+//! use aabft::core::{AAbftConfig, AAbftGemm};
+//! use aabft::gpu::Device;
+//! use aabft::matrix::Matrix;
+//!
+//! let a = Matrix::from_fn(32, 32, |i, j| ((i + j) as f64 * 0.1).sin());
+//! let b = Matrix::from_fn(32, 32, |i, j| ((i * 2 + j) as f64 * 0.1).cos());
+//! let outcome = AAbftGemm::new(AAbftConfig::default()).multiply(&Device::with_defaults(), &a, &b);
+//! assert!(!outcome.errors_detected());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod guide;
+
+pub use aabft_baselines as baselines;
+pub use aabft_core as core;
+pub use aabft_faults as faults;
+pub use aabft_gpu_sim as gpu;
+pub use aabft_matrix as matrix;
+pub use aabft_numerics as numerics;

@@ -1,0 +1,206 @@
+//! End-to-end integration tests across all workspace crates: the full
+//! A-ABFT pipeline against the host reference, all input classes, odd
+//! shapes, determinism and correction round trips.
+
+use aabft::core::{AAbftConfig, AAbftGemm};
+use aabft::gpu::kernels::gemm::GemmTiling;
+use aabft::gpu::{Device, FaultSite, InjectionPlan};
+use aabft::matrix::gen::InputClass;
+use aabft::matrix::{gemm, Matrix};
+use rand::SeedableRng;
+
+fn small_tiling() -> GemmTiling {
+    GemmTiling { bm: 16, bn: 16, bk: 8, rx: 4, ry: 4 }
+}
+
+fn config(bs: usize) -> AAbftConfig {
+    AAbftConfig::builder().block_size(bs).tiling(small_tiling()).build()
+}
+
+#[test]
+fn all_input_classes_multiply_cleanly() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let device = Device::with_defaults();
+    let op = AAbftGemm::new(config(8));
+    for class in [
+        InputClass::UNIT,
+        InputClass::HUNDRED,
+        InputClass::DYNAMIC_K2,
+        InputClass::DYNAMIC_K65536,
+        InputClass::DynamicRange { alpha: 2.0, kappa: 100.0 },
+    ] {
+        let a = class.generate(48, &mut rng);
+        let b = class.generate(48, &mut rng);
+        let outcome = op.multiply(&device, &a, &b);
+        assert!(
+            !outcome.errors_detected(),
+            "false positive for {}: {:?}",
+            class.label(),
+            outcome.report
+        );
+        let expect = gemm::multiply(&a, &b);
+        let scale = expect.max_abs().max(1.0);
+        assert!(
+            outcome.product.max_abs_diff(&expect) < 1e-12 * scale,
+            "mismatch for {}",
+            class.label()
+        );
+    }
+}
+
+#[test]
+fn non_square_shapes_round_trip() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let device = Device::with_defaults();
+    let op = AAbftGemm::new(config(8));
+    for (m, n, q) in [(8, 8, 8), (17, 23, 9), (40, 16, 56), (5, 64, 33), (64, 5, 64)] {
+        let a = InputClass::UNIT.generate(m.max(n), &mut rng).block(0, 0, m, n);
+        let b = InputClass::UNIT.generate(n.max(q), &mut rng).block(0, 0, n, q);
+        let outcome = op.multiply(&device, &a, &b);
+        assert!(!outcome.errors_detected(), "({m},{n},{q})");
+        assert_eq!(outcome.product.shape(), (m, q));
+        assert!(outcome.product.approx_eq(&gemm::multiply(&a, &b), 1e-11), "({m},{n},{q})");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let a = InputClass::UNIT.generate(32, &mut rng);
+    let b = InputClass::UNIT.generate(32, &mut rng);
+    let run = || {
+        let device = Device::with_defaults();
+        AAbftGemm::new(config(8)).multiply(&device, &a, &b).product
+    };
+    let first = run();
+    for _ in 0..3 {
+        assert_eq!(run().max_abs_diff(&first), 0.0, "bitwise determinism");
+    }
+}
+
+#[test]
+fn gpu_product_matches_reference_bitwise_per_block_order() {
+    // The simulator's GEMM sums in fixed k-order; the full-checksum product
+    // data region must be within tight tolerance of the reference.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let a = InputClass::HUNDRED.generate(32, &mut rng);
+    let b = InputClass::HUNDRED.generate(32, &mut rng);
+    let outcome = AAbftGemm::new(config(8)).multiply(&Device::with_defaults(), &a, &b);
+    let expect = gemm::multiply(&a, &b);
+    assert!(outcome.product.max_abs_diff(&expect) <= 1e-9);
+}
+
+#[test]
+fn single_error_correction_restores_bitwise_block_sums() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let a = InputClass::UNIT.generate(32, &mut rng);
+    let b = InputClass::UNIT.generate(32, &mut rng);
+    let device = Device::with_defaults();
+    let clean = AAbftGemm::new(config(8)).multiply(&device, &a, &b).product;
+
+    let correcting = AAbftConfig::builder()
+        .block_size(8)
+        .tiling(small_tiling())
+        .correct(true)
+        .build();
+    // Exponent-flip faults at several coordinates; every detected single
+    // error must be repaired to within checksum rounding.
+    for (sm, k) in [(0, 1), (1, 7), (2, 3), (3, 11)] {
+        let device = Device::with_defaults();
+        device.arm_injection(InjectionPlan {
+            sm,
+            site: FaultSite::FinalAdd,
+            module: 2,
+            k_injection: k,
+            mask: 1 << 62,
+        });
+        let outcome = AAbftGemm::new(correcting).multiply(&device, &a, &b);
+        let fired = device.disarm_injection();
+        if fired && outcome.report.single_error() {
+            assert!(
+                outcome.product.max_abs_diff(&clean) < 1e-10,
+                "correction failed for sm={sm} k={k}: {:?}",
+                outcome.corrections
+            );
+        }
+    }
+}
+
+#[test]
+fn recompute_policy_recovers_unlocatable_errors() {
+    use aabft::core::recover::RecoveryPolicy;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let a = InputClass::UNIT.generate(32, &mut rng);
+    let b = InputClass::UNIT.generate(32, &mut rng);
+    let clean = AAbftGemm::new(config(8)).multiply(&Device::with_defaults(), &a, &b).product;
+
+    let recovering = AAbftConfig::builder()
+        .block_size(8)
+        .tiling(small_tiling())
+        .recovery(RecoveryPolicy::CorrectOrRecompute)
+        .build();
+    // Sweep injections; whenever a fault corrupts a *checksum* element the
+    // report has a mismatch without intersection — only the recompute
+    // policy heals those. In every fired case the final product must match
+    // the clean reference.
+    let mut recovered_any = false;
+    for sm in 0..6 {
+        for k in [1u64, 5, 9] {
+            let device = Device::with_defaults();
+            device.arm_injection(InjectionPlan {
+                sm,
+                site: FaultSite::FinalAdd,
+                module: 1,
+                k_injection: k,
+                mask: 1 << 61,
+            });
+            let outcome = AAbftGemm::new(recovering).multiply(&device, &a, &b);
+            if !device.disarm_injection() {
+                continue;
+            }
+            if !outcome.recomputed_blocks.is_empty() || !outcome.corrections.is_empty() {
+                recovered_any = true;
+            }
+            if outcome.errors_detected() {
+                assert!(
+                    outcome.product.max_abs_diff(&clean) < 1e-10,
+                    "sm={sm} k={k}: recovery left deviation {:.3e} (recomputed {:?}, corrected {:?})",
+                    outcome.product.max_abs_diff(&clean),
+                    outcome.recomputed_blocks,
+                    outcome.corrections
+                );
+            }
+        }
+    }
+    assert!(recovered_any, "the sweep should exercise at least one recovery");
+}
+
+#[test]
+fn fma_mode_full_pipeline() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let a = InputClass::UNIT.generate(32, &mut rng);
+    let b = InputClass::UNIT.generate(32, &mut rng);
+    let fused = AAbftConfig::builder()
+        .block_size(8)
+        .tiling(small_tiling())
+        .mul_mode(aabft::numerics::MulMode::Fused)
+        .build();
+    let outcome = AAbftGemm::new(fused).multiply(&Device::with_defaults(), &a, &b);
+    assert!(!outcome.errors_detected(), "FMA mode must not false-positive");
+    assert!(outcome.product.approx_eq(&gemm::multiply(&a, &b), 1e-12));
+}
+
+#[test]
+fn identity_and_zero_matrices() {
+    let device = Device::with_defaults();
+    let op = AAbftGemm::new(config(8));
+    let i32x = Matrix::identity(32);
+    let outcome = op.multiply(&device, &i32x, &i32x);
+    assert!(!outcome.errors_detected());
+    assert_eq!(outcome.product, i32x);
+
+    let z = Matrix::zeros(32, 32);
+    let outcome = op.multiply(&device, &z, &i32x);
+    assert!(!outcome.errors_detected());
+    assert_eq!(outcome.product, z);
+}

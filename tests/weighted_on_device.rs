@@ -1,0 +1,112 @@
+//! Integration: the weighted-checksum extension composed with the device —
+//! a weighted-encoded operand runs through the injectable GEMM kernel, and
+//! the host-side weighted check locates the struck element from the two
+//! checksum deviations alone (no row checksums).
+
+use aabft::core::pmax::PMaxTable;
+use aabft::core::weighted::{check_weighted, correct_weighted, encode_weighted_columns};
+use aabft::gpu::kernels::gemm::{GemmKernel, GemmTiling};
+use aabft::gpu::{Device, DeviceBuffer, FaultSite, InjectionPlan};
+use aabft::matrix::gen::InputClass;
+use aabft::matrix::{gemm, Matrix};
+use aabft::numerics::RoundingModel;
+use rand::SeedableRng;
+
+fn tiling() -> GemmTiling {
+    GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 }
+}
+
+/// Runs `enc.matrix · b` on the device (padding rows to the tile multiple).
+fn device_multiply(device: &Device, enc_matrix: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+    let t = tiling();
+    let rows = enc_matrix.rows().div_ceil(t.bm) * t.bm;
+    let mut padded = Matrix::zeros(rows, enc_matrix.cols());
+    for i in 0..enc_matrix.rows() {
+        padded.row_mut(i).copy_from_slice(enc_matrix.row(i));
+    }
+    let da = DeviceBuffer::from_matrix(&padded);
+    let db = DeviceBuffer::from_matrix(b);
+    let dc = DeviceBuffer::zeros(rows * b.cols());
+    let k = GemmKernel::new(&da, &db, &dc, rows, enc_matrix.cols(), b.cols(), t);
+    device.launch(k.grid(), &k);
+    dc.to_matrix(rows, b.cols()).block(0, 0, enc_matrix.rows(), b.cols())
+}
+
+#[test]
+fn device_product_passes_weighted_check_cleanly() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = InputClass::UNIT.generate(16, &mut rng);
+    let b = InputClass::UNIT.generate(16, &mut rng);
+    let enc = encode_weighted_columns(&a, 4);
+    let c = device_multiply(&Device::with_defaults(), &enc.matrix, &b);
+    let pmax_a = PMaxTable::of_rows(&enc.matrix, 2);
+    let pmax_b = PMaxTable::of_cols(&b, 2);
+    let findings =
+        check_weighted(&enc, &c, &pmax_a, &pmax_b, 16, 3.0, &RoundingModel::binary64());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn injected_fault_is_located_by_ratio_and_repaired() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let a = InputClass::UNIT.generate(16, &mut rng);
+    let b = InputClass::UNIT.generate(16, &mut rng);
+    let enc = encode_weighted_columns(&a, 4);
+    let clean = gemm::multiply(&enc.matrix, &b);
+
+    let mut located_trials = 0;
+    for sm in 0..4 {
+        for k in [1u64, 3, 7] {
+            let device = Device::with_defaults();
+            device.arm_injection(InjectionPlan {
+                sm,
+                site: FaultSite::FinalAdd,
+                module: 0,
+                k_injection: k,
+                mask: 1 << 60,
+            });
+            let mut c = device_multiply(&device, &enc.matrix, &b);
+            if !device.disarm_injection() {
+                continue;
+            }
+            let pmax_a = PMaxTable::of_rows(&enc.matrix, 2);
+            let pmax_b = PMaxTable::of_cols(&b, 2);
+            let findings = check_weighted(
+                &enc,
+                &c,
+                &pmax_a,
+                &pmax_b,
+                16,
+                3.0,
+                &RoundingModel::binary64(),
+            );
+            // Find the actually corrupted element for cross-checking.
+            let mut actual = None;
+            for i in 0..c.rows() {
+                for j in 0..c.cols() {
+                    if (c[(i, j)] - clean[(i, j)]).abs() > 1e-9 {
+                        actual = Some((i, j));
+                    }
+                }
+            }
+            let Some((ai, aj)) = actual else { continue };
+            assert!(!findings.is_empty(), "sm={sm} k={k}: corruption at ({ai},{aj}) missed");
+            if ai < enc.rows.data {
+                // Data-region fault: must be located exactly and repaired.
+                let f = findings
+                    .iter()
+                    .find(|f| (f.row, f.col) == (ai, aj))
+                    .unwrap_or_else(|| panic!("sm={sm} k={k}: located {findings:?}, actual ({ai},{aj})"));
+                let _ = f;
+                correct_weighted(&mut c, &enc, &findings);
+                assert!(
+                    (c[(ai, aj)] - clean[(ai, aj)]).abs()
+                        <= 1e-9 * clean[(ai, aj)].abs().max(1.0),
+                    "sm={sm} k={k}: repair failed"
+                );
+                located_trials += 1;
+            }
+        }
+    }
+    assert!(located_trials >= 3, "sweep should exercise several located repairs: {located_trials}");
+}
