@@ -18,7 +18,7 @@ use crate::correct::Correction;
 use crate::encoding::{AugmentedLayout, FullChecksummed};
 use crate::recover::{apply_policy, RecomputeBlocksKernel, RecoveryOutcome};
 use crate::kernels::buffers::PMaxBuffers;
-use crate::kernels::check::{CheckKernel, REPORT_WORDS};
+use crate::kernels::check::{CheckKernel, DIAG_WORDS, REPORT_WORDS};
 use crate::kernels::encode::{EncodeColumnsKernel, EncodeRowsKernel};
 use crate::kernels::reduce::ReducePMaxKernel;
 use aabft_gpu_sim::device::Device;
@@ -115,72 +115,102 @@ impl AAbftGemm {
         let (rows, inner, cols) = self.layouts(m, n, q);
         let bs = self.config.block_size;
         let p = self.config.p;
+        let obs = device.obs().clone();
+        let _pipeline = aabft_obs::span!(
+            obs,
+            "abft",
+            "aabft_multiply",
+            "m" => m as u64,
+            "n" => n as u64,
+            "q" => q as u64,
+            "p" => p as u64,
+        );
 
         // Upload operands into their augmented, padded layouts (checksum
         // regions zeroed; the encoding kernels fill them).
-        let a_buf = {
-            let mut aug = Matrix::zeros(rows.total, inner);
-            for i in 0..m {
-                aug.row_mut(i)[..n].copy_from_slice(a.row(i));
-            }
-            DeviceBuffer::from_matrix(&aug)
-        };
-        let b_buf = {
-            let mut aug = Matrix::zeros(inner, cols.total);
-            for i in 0..n {
-                aug.row_mut(i)[..q].copy_from_slice(b.row(i));
-            }
-            DeviceBuffer::from_matrix(&aug)
+        let (a_buf, b_buf) = {
+            let _s = aabft_obs::span!(obs, "phase", "upload");
+            let a_buf = {
+                let mut aug = Matrix::zeros(rows.total, inner);
+                for i in 0..m {
+                    aug.row_mut(i)[..n].copy_from_slice(a.row(i));
+                }
+                DeviceBuffer::from_matrix(&aug)
+            };
+            let b_buf = {
+                let mut aug = Matrix::zeros(inner, cols.total);
+                for i in 0..n {
+                    aug.row_mut(i)[..q].copy_from_slice(b.row(i));
+                }
+                DeviceBuffer::from_matrix(&aug)
+            };
+            (a_buf, b_buf)
         };
 
         // Step 1: encoding + per-block p-max.
         let pmax_a = PMaxBuffers::new(rows.total, inner / bs, p);
-        let encode_a = EncodeColumnsKernel::new(&a_buf, &pmax_a, rows, inner);
-        device.launch(encode_a.grid(), &encode_a);
-
         let pmax_b = PMaxBuffers::new(cols.total, inner / bs, p);
-        let encode_b = EncodeRowsKernel::new(&b_buf, &pmax_b, cols, inner);
-        device.launch(encode_b.grid(), &encode_b);
+        {
+            let _s = aabft_obs::span!(obs, "phase", "encode");
+            let encode_a = EncodeColumnsKernel::new(&a_buf, &pmax_a, rows, inner);
+            device.launch(encode_a.grid(), &encode_a);
+            let encode_b = EncodeRowsKernel::new(&b_buf, &pmax_b, cols, inner);
+            device.launch(encode_b.grid(), &encode_b);
+        }
 
         // Step 2: the multiplication over the augmented operands.
         let c_buf = DeviceBuffer::zeros(rows.total * cols.total);
-        let gemm = GemmKernel::new(
-            &a_buf,
-            &b_buf,
-            &c_buf,
-            rows.total,
-            inner,
-            cols.total,
-            self.config.tiling,
-        )
-        .with_mul_mode(self.config.mul_mode)
-        .with_rounding(self.config.rounding);
-        device.launch(gemm.grid(), &gemm);
+        {
+            let _s = aabft_obs::span!(obs, "phase", "gemm");
+            let gemm = GemmKernel::new(
+                &a_buf,
+                &b_buf,
+                &c_buf,
+                rows.total,
+                inner,
+                cols.total,
+                self.config.tiling,
+            )
+            .with_mul_mode(self.config.mul_mode)
+            .with_rounding(self.config.rounding);
+            device.launch(gemm.grid(), &gemm);
+        }
 
         // Step 3: global p-max reduction (the paper overlaps this with the
         // multiplication; the performance model charges it separately).
-        let reduce_a = ReducePMaxKernel::new(&pmax_a);
-        device.launch(reduce_a.grid(), &reduce_a);
-        let reduce_b = ReducePMaxKernel::new(&pmax_b);
-        device.launch(reduce_b.grid(), &reduce_b);
+        {
+            let _s = aabft_obs::span!(obs, "phase", "pmax_reduce");
+            let reduce_a = ReducePMaxKernel::new(&pmax_a);
+            device.launch(reduce_a.grid(), &reduce_a);
+            let reduce_b = ReducePMaxKernel::new(&pmax_b);
+            device.launch(reduce_b.grid(), &reduce_b);
+        }
 
-        // Step 4: bounds + reference checksums + comparison.
+        // Step 4: bounds + reference checksums + comparison. The diagnostics
+        // buffer captures each block's worst residual against its autonomous
+        // bound for the metrics histograms below.
         let report_buf = DeviceBuffer::zeros(REPORT_WORDS * rows.blocks * cols.blocks);
-        let check = CheckKernel::new(
-            &c_buf,
-            &pmax_a,
-            &pmax_b,
-            &report_buf,
-            rows,
-            cols,
-            inner,
-            self.config.omega,
-            self.config.rounding_model(),
-        );
-        device.launch(check.grid(), &check);
+        let diag_buf = DeviceBuffer::zeros(DIAG_WORDS * rows.blocks * cols.blocks);
+        {
+            let _s = aabft_obs::span!(obs, "phase", "check");
+            let check = CheckKernel::new(
+                &c_buf,
+                &pmax_a,
+                &pmax_b,
+                &report_buf,
+                rows,
+                cols,
+                inner,
+                self.config.omega,
+                self.config.rounding_model(),
+            )
+            .with_diag(&diag_buf);
+            device.launch(check.grid(), &check);
+        }
 
         // Host epilogue: decode, apply the recovery policy, strip to the
         // caller's shape.
+        let _s = aabft_obs::span!(obs, "phase", "recover");
         let report = CheckReport::from_raw(&report_buf.to_vec(), rows, cols);
         let mut full = FullChecksummed {
             matrix: c_buf.to_matrix(rows.total, cols.total),
@@ -205,7 +235,27 @@ impl AAbftGemm {
                 device.launch(kernel.grid(), &kernel);
                 prod.matrix = c_buf.to_matrix(rows.total, cols.total);
             });
+        drop(_s);
         let product = full.matrix.block(0, 0, m, q);
+
+        // ABFT-domain metrics: one sample per protected multiplication.
+        let metrics = &obs.metrics;
+        metrics.counter_inc("abft.multiplies");
+        metrics.counter_add("abft.detections", u64::from(report.errors_detected()));
+        metrics.counter_add(
+            "abft.mismatches",
+            (report.col_mismatches.len() + report.row_mismatches.len()) as u64,
+        );
+        metrics.counter_add("abft.located", report.located.len() as u64);
+        metrics.counter_add("abft.corrections", corrections.len() as u64);
+        metrics.counter_add("abft.recomputed_blocks", recomputed_blocks.len() as u64);
+        metrics.gauge_set("abft.pmax_p", p as f64);
+        for block in diag_buf.to_vec().chunks_exact(DIAG_WORDS) {
+            metrics.observe("check.residual", block[0]);
+            metrics.observe("check.bound_y", block[1]);
+            metrics.observe("check.epsilon", block[2]);
+        }
+
         AAbftOutcome { product, full, report, corrections, recomputed_blocks }
     }
 }
@@ -319,6 +369,39 @@ mod tests {
                 outcome.product.max_abs_diff(&expect)
             );
         }
+    }
+
+    #[test]
+    fn multiply_reports_metrics_and_phase_spans() {
+        let (a, b) = inputs(16, 16, 16);
+        let mut device = Device::with_defaults();
+        let obs = aabft_obs::Obs::new_shared();
+        obs.recorder.set_enabled(true);
+        device.set_obs(obs.clone());
+        let outcome = AAbftGemm::new(small_config()).multiply(&device, &a, &b);
+        assert!(!outcome.errors_detected());
+
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("abft.multiplies"), 1);
+        assert_eq!(snap.counter("abft.detections"), 0);
+        // encode A, encode B, gemm, reduce A, reduce B, check.
+        assert_eq!(snap.counter("sim.launches"), 6);
+
+        // One residual/bound/epsilon sample per 4x4 block of the product.
+        let resid = obs.metrics.histogram("check.residual").expect("residual histogram");
+        assert_eq!(resid.count, 16);
+        let eps = obs.metrics.histogram("check.epsilon").expect("epsilon histogram");
+        assert!(resid.max <= eps.max, "clean-run residuals stay within tolerance");
+
+        let spans = obs.recorder.spans();
+        assert!(spans.iter().any(|s| s.cat == "abft" && s.name == "aabft_multiply"));
+        for phase in ["upload", "encode", "gemm", "pmax_reduce", "check", "recover"] {
+            assert!(
+                spans.iter().any(|s| s.cat == "phase" && s.name == phase),
+                "missing phase span {phase}"
+            );
+        }
+        assert_eq!(spans.iter().filter(|s| s.cat == "kernel").count(), 6);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub const CHECK_UTILIZATION: f64 = 0.008;
 /// Words per block in the report buffer: `[col_mask, row_mask]`.
 pub const REPORT_WORDS: usize = 2;
 
+/// Words per block in the optional diagnostics buffer:
+/// `[max |reference - checksum|, max bound y, max epsilon]`.
+pub const DIAG_WORDS: usize = 3;
+
 /// The checking kernel (Algorithm 2).
 #[derive(Debug)]
 pub struct CheckKernel<'a> {
@@ -31,6 +35,7 @@ pub struct CheckKernel<'a> {
     pmax_a: &'a PMaxBuffers,
     pmax_b: &'a PMaxBuffers,
     report: &'a DeviceBuffer,
+    diag: Option<&'a DeviceBuffer>,
     rows: AugmentedLayout,
     cols: AugmentedLayout,
     inner: usize,
@@ -70,7 +75,28 @@ impl<'a> CheckKernel<'a> {
             "report buffer size mismatch"
         );
         assert!(rows.block_size <= 52, "mismatch bitmaps must fit an f64 mantissa");
-        CheckKernel { c, pmax_a, pmax_b, report, rows, cols, inner, omega, model }
+        CheckKernel { c, pmax_a, pmax_b, report, diag: None, rows, cols, inner, omega, model }
+    }
+
+    /// Attaches an optional per-block diagnostics buffer ([`DIAG_WORDS`]
+    /// words per block). The kernel records each block's worst observed
+    /// checksum residual alongside the autonomous bound `y` and the derived
+    /// tolerance `ε` that judged it. The writes are a host-side diagnostic
+    /// channel: they are deliberately *not* charged to the kernel's traffic
+    /// counters, so enabling observability never perturbs the performance
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length doesn't match the block grid.
+    pub fn with_diag(mut self, diag: &'a DeviceBuffer) -> Self {
+        assert_eq!(
+            diag.len(),
+            DIAG_WORDS * self.rows.blocks * self.cols.blocks,
+            "diag buffer size mismatch"
+        );
+        self.diag = Some(diag);
+        self
     }
 
     /// Launch grid: one block per `BS × BS` data block of the product.
@@ -105,6 +131,9 @@ impl Kernel for CheckKernel<'_> {
     fn name(&self) -> &'static str {
         "aabft_check"
     }
+    fn phase(&self) -> &'static str {
+        "check"
+    }
 
     fn utilization(&self) -> f64 {
         CHECK_UTILIZATION
@@ -123,6 +152,9 @@ impl Kernel for CheckKernel<'_> {
         let cs_row_line = self.rows.checksum_line(block_i);
         let (a_cs_vals, a_cs_idxs) = Self::load_entry(ctx, self.pmax_a, cs_row_line);
 
+        // Per-block diagnostics: worst residual / bound / tolerance seen.
+        let (mut max_resid, mut max_y, mut max_eps) = (0.0f64, 0.0f64, 0.0f64);
+
         // Column checksums: thread `tid` checks column `col0 + tid`.
         let mut col_mask = 0u64;
         for tid in 0..bs {
@@ -138,6 +170,9 @@ impl Kernel for CheckKernel<'_> {
             ctx.note_ops(0, self.pmax_a.p as u64 * self.pmax_a.p as u64 + 2, 4);
             let eps = self.epsilon(ctx, y);
             let diff = ctx.sub(reference, checksum);
+            max_resid = max_resid.max(diff.abs());
+            max_y = max_y.max(y);
+            max_eps = max_eps.max(eps);
             if ctx.abs(diff) > eps {
                 col_mask |= 1 << tid;
             }
@@ -162,6 +197,9 @@ impl Kernel for CheckKernel<'_> {
             ctx.note_ops(0, self.pmax_a.p as u64 * self.pmax_a.p as u64 + 2, 4);
             let eps = self.epsilon(ctx, y);
             let diff = ctx.sub(reference, checksum);
+            max_resid = max_resid.max(diff.abs());
+            max_y = max_y.max(y);
+            max_eps = max_eps.max(eps);
             if ctx.abs(diff) > eps {
                 row_mask |= 1 << tid;
             }
@@ -170,6 +208,13 @@ impl Kernel for CheckKernel<'_> {
         let slot = (block_i * self.cols.blocks + block_j) * REPORT_WORDS;
         ctx.store(self.report, slot, col_mask as f64);
         ctx.store(self.report, slot + 1, row_mask as f64);
+        if let Some(diag) = self.diag {
+            // Diagnostic side channel: plain host writes, not modelled traffic.
+            let d = (block_i * self.cols.blocks + block_j) * DIAG_WORDS;
+            diag.set(d, max_resid);
+            diag.set(d + 1, max_y);
+            diag.set(d + 2, max_eps);
+        }
     }
 }
 
@@ -183,7 +228,7 @@ mod tests {
 
     /// Builds a checked product for an error-free multiplication and returns
     /// the report masks.
-    fn run_check(c: &Matrix<f64>, rows: AugmentedLayout, cols: AugmentedLayout, a_aug: &Matrix<f64>, b_aug: &Matrix<f64>, p: usize, omega: f64) -> Vec<f64> {
+    fn run_check(c: &Matrix<f64>, rows: AugmentedLayout, cols: AugmentedLayout, a_aug: &Matrix<f64>, b_aug: &Matrix<f64>, p: usize, omega: f64) -> (Vec<f64>, Vec<f64>) {
         let pm_a_table = PMaxTable::of_rows(a_aug, p);
         let pm_b_table = PMaxTable::of_cols(b_aug, p);
         let pm_a = PMaxBuffers::new(a_aug.rows(), 1, p);
@@ -202,6 +247,7 @@ mod tests {
         }
         let dc = DeviceBuffer::from_matrix(c);
         let report = DeviceBuffer::zeros(REPORT_WORDS * rows.blocks * cols.blocks);
+        let diag = DeviceBuffer::zeros(DIAG_WORDS * rows.blocks * cols.blocks);
         let kernel = CheckKernel::new(
             &dc,
             &pm_a,
@@ -212,9 +258,10 @@ mod tests {
             a_aug.cols(),
             omega,
             RoundingModel::binary64(),
-        );
+        )
+        .with_diag(&diag);
         Device::with_defaults().launch(kernel.grid(), &kernel);
-        report.to_vec()
+        (report.to_vec(), diag.to_vec())
     }
 
     #[test]
@@ -225,8 +272,16 @@ mod tests {
         let acc = encode_columns(&a, bs, 1, 1);
         let brc = encode_rows(&b, bs, 1, 1);
         let c = gemm::multiply(&acc.matrix, &brc.matrix);
-        let report = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        let (report, diag) = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
         assert!(report.iter().all(|&m| m == 0.0), "false positives: {report:?}");
+        // Every block's diagnostics are self-consistent: residual within the
+        // tolerance, and a positive bound/tolerance for non-trivial data.
+        assert_eq!(diag.len(), DIAG_WORDS * acc.rows.blocks * brc.cols.blocks);
+        for block in diag.chunks_exact(DIAG_WORDS) {
+            let (resid, y, eps) = (block[0], block[1], block[2]);
+            assert!(resid <= eps, "clean block residual {resid} must be within eps {eps}");
+            assert!(y > 0.0 && eps > 0.0);
+        }
     }
 
     #[test]
@@ -239,7 +294,11 @@ mod tests {
         let mut c = gemm::multiply(&acc.matrix, &brc.matrix);
         // Corrupt data element (5, 6): block (1, 1), local (1, 2).
         c[(5, 6)] += 1e-3;
-        let report = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        let (report, diag) = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        // The corrupted block (1,1) of the 2x2 grid records a residual
+        // above its tolerance.
+        let d = 3 * DIAG_WORDS;
+        assert!(diag[d] > diag[d + 2], "residual {} should exceed eps {}", diag[d], diag[d + 2]);
         // Block (1,1) is at slot (1*2+1)*2 = 6.
         let col_mask = report[6] as u64;
         let row_mask = report[7] as u64;
@@ -263,7 +322,7 @@ mod tests {
         let mut c = gemm::multiply(&acc.matrix, &brc.matrix);
         // A perturbation far below the rounding bound must not trigger.
         c[(5, 6)] += 1e-18;
-        let report = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        let (report, _) = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
         assert!(report.iter().all(|&m| m == 0.0));
     }
 
@@ -278,7 +337,7 @@ mod tests {
         // Corrupt a checksum-row element itself: column flagged, no data row.
         let cs = acc.rows.checksum_line(0);
         c[(cs, 2)] += 1.0;
-        let report = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        let (report, _) = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
         let col_mask = report[0] as u64;
         let row_mask = report[1] as u64;
         assert_eq!(col_mask, 1 << 2);

@@ -55,6 +55,9 @@ impl Kernel for EncodeColumnsKernel<'_> {
     fn name(&self) -> &'static str {
         "aabft_encode_a"
     }
+    fn phase(&self) -> &'static str {
+        "encode"
+    }
 
     fn utilization(&self) -> f64 {
         ENCODE_UTILIZATION
@@ -160,6 +163,9 @@ impl<'a> EncodeRowsKernel<'a> {
 impl Kernel for EncodeRowsKernel<'_> {
     fn name(&self) -> &'static str {
         "aabft_encode_b"
+    }
+    fn phase(&self) -> &'static str {
+        "encode"
     }
 
     fn utilization(&self) -> f64 {

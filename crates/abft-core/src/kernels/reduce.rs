@@ -35,6 +35,9 @@ impl Kernel for ReducePMaxKernel<'_> {
     fn name(&self) -> &'static str {
         "aabft_reduce_pmax"
     }
+    fn phase(&self) -> &'static str {
+        "pmax_reduce"
+    }
 
     fn utilization(&self) -> f64 {
         REDUCE_UTILIZATION

@@ -110,6 +110,9 @@ impl Kernel for RecomputeBlocksKernel<'_> {
     fn name(&self) -> &'static str {
         "aabft_recompute_blocks"
     }
+    fn phase(&self) -> &'static str {
+        "recompute"
+    }
 
     fn utilization(&self) -> f64 {
         RECOMPUTE_UTILIZATION

@@ -52,6 +52,9 @@ impl Kernel for EncodeColumnsPlain<'_> {
     fn name(&self) -> &'static str {
         "abft_encode_a"
     }
+    fn phase(&self) -> &'static str {
+        "encode"
+    }
     fn utilization(&self) -> f64 {
         BASELINE_CHECK_UTILIZATION
     }
@@ -100,6 +103,9 @@ impl<'a> EncodeRowsPlain<'a> {
 impl Kernel for EncodeRowsPlain<'_> {
     fn name(&self) -> &'static str {
         "abft_encode_b"
+    }
+    fn phase(&self) -> &'static str {
+        "encode"
     }
     fn utilization(&self) -> f64 {
         BASELINE_CHECK_UTILIZATION
@@ -166,6 +172,9 @@ impl Kernel for RowNormsKernel<'_> {
     fn name(&self) -> &'static str {
         "sea_row_norms"
     }
+    fn phase(&self) -> &'static str {
+        "encode"
+    }
     fn utilization(&self) -> f64 {
         NORM_UTILIZATION
     }
@@ -230,6 +239,9 @@ impl<'a> ColNormsKernel<'a> {
 impl Kernel for ColNormsKernel<'_> {
     fn name(&self) -> &'static str {
         "sea_col_norms"
+    }
+    fn phase(&self) -> &'static str {
+        "encode"
     }
     fn utilization(&self) -> f64 {
         NORM_UTILIZATION
@@ -375,6 +387,9 @@ impl Kernel for BaselineCheckKernel<'_> {
             EpsilonRule::Fixed(_) => "abft_check_fixed",
             EpsilonRule::Sea { .. } => "sea_check",
         }
+    }
+    fn phase(&self) -> &'static str {
+        "check"
     }
     fn utilization(&self) -> f64 {
         BASELINE_CHECK_UTILIZATION

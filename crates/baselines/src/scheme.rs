@@ -32,4 +32,67 @@ pub trait ProtectedGemm {
     ///
     /// Implementations panic if `a.cols() != b.rows()`.
     fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult;
+
+    /// Runs [`ProtectedGemm::multiply`] inside a scheme-tagged span and
+    /// counts the outcome into the device's metrics registry.
+    ///
+    /// The span carries `scheme`, the operand shape and whether the check
+    /// flagged anything; counters land under `scheme.<name>.multiplies` and
+    /// `scheme.<name>.detections`. The harnesses (fault campaigns, CLI)
+    /// drive schemes through this wrapper so every baseline is observable
+    /// without each implementation repeating the plumbing.
+    fn multiply_observed(
+        &self,
+        device: &Device,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> ProtectedResult {
+        let obs = device.obs().clone();
+        let mut span = aabft_obs::span!(
+            obs,
+            "scheme",
+            self.name(),
+            "m" => a.rows() as u64,
+            "n" => a.cols() as u64,
+            "q" => b.cols() as u64,
+        );
+        let result = self.multiply(device, a, b);
+        span.add_attr("detected", result.errors_detected);
+        drop(span);
+        obs.metrics.counter_inc(&format!("scheme.{}.multiplies", self.name()));
+        if result.errors_detected {
+            obs.metrics.counter_inc(&format!("scheme.{}.detections", self.name()));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unprotected::UnprotectedGemm;
+    use aabft_gpu_sim::kernels::gemm::GemmTiling;
+
+    #[test]
+    fn multiply_observed_tags_span_and_counts() {
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.3).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((i * 2 + j) as f64 * 0.2).cos());
+        let mut device = Device::with_defaults();
+        let obs = aabft_obs::Obs::new_shared();
+        obs.recorder.set_enabled(true);
+        device.set_obs(obs.clone());
+        let scheme = UnprotectedGemm::new()
+            .with_tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 });
+        let r = scheme.multiply_observed(&device, &a, &b);
+        assert!(!r.errors_detected);
+        assert_eq!(obs.metrics.counter("scheme.unprotected.multiplies"), 1);
+        assert_eq!(obs.metrics.counter("scheme.unprotected.detections"), 0);
+        let spans = obs.recorder.spans();
+        let s = spans
+            .iter()
+            .find(|s| s.cat == "scheme" && s.name == "unprotected")
+            .expect("scheme span");
+        assert!(s.args.iter().any(|(k, v)| k == "detected" && *v == false.into()));
+        assert!(s.args.iter().any(|(k, v)| k == "m" && *v == 8u64.into()));
+    }
 }

@@ -30,7 +30,7 @@ fn main() {
         GemmTiling { bm: 64, bn: 64, bk: 32, rx: 8, ry: 8 },
     ] {
         let stats = gemm_stats(n, n, n, t);
-        let rec = LaunchRecord { name: "gemm".into(), utilization: 0.896, stats };
+        let rec = LaunchRecord::synthetic("gemm", 0.896, stats);
         let flops = stats.flops() as f64;
         let compute = flops / (model.peak_dp_flops * 0.896);
         let memory = stats.gmem_bytes() as f64 / model.mem_bandwidth;

@@ -1,83 +1,22 @@
-//! Minimal JSON emission for experiment results (`--json <path>` in the
-//! table/figure binaries). Hand-rolled: the result records are flat
-//! numeric structs, and the offline dependency policy favours no extra
-//! format crates.
+//! JSON emission for experiment results (`--json <path>` in the
+//! table/figure binaries).
+//!
+//! The emitter now lives in `aabft-obs` (one JSON implementation serves
+//! the CLI's `--trace`/`--metrics` exports and the experiment binaries
+//! alike); this module re-exports it under the old path. The builder
+//! still renders flat records byte-for-byte as before, and additionally
+//! supports nested objects/arrays ([`JsonObject::object`],
+//! [`JsonObject::array`]), exponent formatting for extreme floats, and
+//! control-character escaping.
 
-use std::fmt::Write as _;
-use std::path::Path;
-
-/// A flat JSON object under construction.
-#[derive(Debug, Default)]
-pub struct JsonObject {
-    fields: Vec<(String, String)>,
-}
-
-impl JsonObject {
-    /// Creates an empty object.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds a numeric field (serialised via Rust's shortest-round-trip
-    /// float formatting; NaN/inf become null).
-    pub fn num(mut self, key: &str, value: f64) -> Self {
-        let v = if value.is_finite() { format!("{value}") } else { "null".to_string() };
-        self.fields.push((key.to_string(), v));
-        self
-    }
-
-    /// Adds an integer field.
-    pub fn int(mut self, key: &str, value: u64) -> Self {
-        self.fields.push((key.to_string(), value.to_string()));
-        self
-    }
-
-    /// Adds a string field (escaping quotes and backslashes).
-    pub fn str(mut self, key: &str, value: &str) -> Self {
-        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
-        self.fields.push((key.to_string(), format!("\"{escaped}\"")));
-        self
-    }
-
-    /// Renders the object.
-    pub fn render(&self) -> String {
-        let mut out = String::from("{");
-        for (i, (k, v)) in self.fields.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{k}\":{v}");
-        }
-        out.push('}');
-        out
-    }
-}
-
-/// Writes an array of objects to `path` (pretty enough: one object per
-/// line).
-///
-/// # Panics
-///
-/// Panics on I/O failure (experiment binaries treat that as fatal).
-pub fn write_array(path: &Path, objects: &[JsonObject]) {
-    let mut out = String::from("[\n");
-    for (i, o) in objects.iter().enumerate() {
-        out.push_str("  ");
-        out.push_str(&o.render());
-        if i + 1 < objects.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push(']');
-    out.push('\n');
-    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
-}
+pub use aabft_obs::json::{write_array, JsonObject};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The original flat-emitter behaviour the experiment binaries rely
+    // on, now served by the shared implementation.
     #[test]
     fn renders_flat_objects() {
         let o = JsonObject::new().int("n", 512).num("gflops", 941.5).str("scheme", "A-ABFT");
@@ -100,5 +39,16 @@ mod tests {
         assert!(text.starts_with("[\n"));
         assert!(text.contains(r#"{"a":1},"#));
         assert!(text.trim_end().ends_with(']'));
+        // The shared implementation can parse its own output back.
+        assert!(aabft_obs::json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn supports_nested_results() {
+        let o = JsonObject::new().str("scheme", "A-ABFT").object(
+            "stats",
+            JsonObject::new().int("critical", 7).num("rate", 0.96),
+        );
+        assert_eq!(o.render(), r#"{"scheme":"A-ABFT","stats":{"critical":7,"rate":0.96}}"#);
     }
 }

@@ -234,7 +234,7 @@ fn compare_stats(len: usize, nblocks: usize) -> KernelStats {
 }
 
 fn rec(name: &str, utilization: f64, stats: KernelStats) -> LaunchRecord {
-    LaunchRecord { name: name.to_string(), utilization, stats }
+    LaunchRecord::synthetic(name, utilization, stats)
 }
 
 /// Predicts the full launch log of one protected multiplication.

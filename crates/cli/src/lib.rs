@@ -3,7 +3,12 @@
 //! Each subcommand is a thin orchestration over the workspace crates:
 //! protected multiplies ([`cmd_multiply`]), targeted fault injection
 //! ([`cmd_inject`]), detection campaigns ([`cmd_campaign`]), bound-quality
-//! rows ([`cmd_bounds`]) and the Table-I performance model ([`cmd_perf`]).
+//! rows ([`cmd_bounds`]), the Table-I performance model ([`cmd_perf`]) and
+//! the per-phase profiler ([`cmd_profile`]).
+//!
+//! Every subcommand accepts `--trace <path>` (Chrome trace-event JSON,
+//! loadable in Perfetto / `chrome://tracing`) and `--metrics <path>`
+//! (metrics-registry snapshot as JSON); see [`ObsSession`].
 
 #![warn(missing_docs)]
 
@@ -20,8 +25,54 @@ use aabft_gpu_sim::device::Device;
 use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
 use aabft_gpu_sim::perf::PerfModel;
+use aabft_gpu_sim::stats::LaunchRecord;
+use aabft_gpu_sim::trace::build_trace;
 use aabft_matrix::gen::InputClass;
+use aabft_obs::Obs;
 use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Observability session shared by every subcommand: the process-global
+/// [`Obs`] instance (which every [`Device`] reports into by default) plus
+/// the export paths requested via `--trace` / `--metrics`.
+struct ObsSession {
+    obs: Arc<Obs>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+}
+
+impl ObsSession {
+    /// Reads `--trace <path>` and `--metrics <path>`; span recording is
+    /// enabled only when a trace was asked for (metrics are always on).
+    fn begin(args: &Args) -> Self {
+        let path = |key: &str| {
+            let v = args.get(key, String::new());
+            if v.is_empty() { None } else { Some(PathBuf::from(v)) }
+        };
+        let obs = aabft_obs::global();
+        let trace = path("trace");
+        if trace.is_some() {
+            obs.recorder.set_enabled(true);
+        }
+        ObsSession { obs, trace, metrics: path("metrics") }
+    }
+
+    /// Writes the requested exports. `log` supplies the device timeline for
+    /// the Chrome trace's per-SM tracks (pass `&[]` for commands without a
+    /// single device log — the trace then carries host spans only).
+    fn finish(&self, log: &[LaunchRecord]) {
+        if let Some(path) = &self.trace {
+            let trace = build_trace(&self.obs.recorder.spans(), log, &PerfModel::k20c());
+            trace.write(path);
+            println!("trace written to {} ({} events)", path.display(), trace.len());
+        }
+        if let Some(path) = &self.metrics {
+            self.obs.metrics.snapshot().write_json(path);
+            println!("metrics written to {}", path.display());
+        }
+    }
+}
 
 /// Top-level usage text.
 pub fn usage() -> &'static str {
@@ -43,11 +94,20 @@ COMMANDS
              --n 256 --input unit|hundred|dynamic --samples 1024
   perf       print Table-I style modelled GFLOPS
              --sizes 512,1024,...,8192 --bs 32 --p 2
+  profile    per-phase time/FLOP/traffic breakdown of one protected multiply
+             --n 1024 --bs 32 --p 2
   gemv       protected matrix-vector multiply (optionally with a fault)
              --n 128 --bs 16 --inject true --recompute true
   lu         protected LU factorization
              --n 64 --check-every 8
-  help       this text"
+  help       this text
+
+OBSERVABILITY (all commands)
+  --trace <path>    write a Chrome trace-event JSON (open in Perfetto or
+                    chrome://tracing); records host spans and, for
+                    single-device commands, one track per simulated SM
+  --metrics <path>  write the metrics registry (counters, gauges,
+                    histograms) as JSON"
 }
 
 fn parse_input(args: &Args) -> InputClass {
@@ -96,6 +156,7 @@ fn build_config(args: &Args) -> AAbftConfig {
 /// `aabft multiply` — protected GEMM on random inputs with a model-time
 /// summary.
 pub fn cmd_multiply(args: &Args) {
+    let session = ObsSession::begin(args);
     let n = args.get("n", 256usize);
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
     let input = parse_input(args);
@@ -122,10 +183,12 @@ pub fn cmd_multiply(args: &Args) {
     for (name, t) in model.breakdown(&log) {
         println!("    {name:<22} {:.3} ms", t * 1e3);
     }
+    session.finish(&log);
 }
 
 /// `aabft inject` — one precisely targeted fault, end to end.
 pub fn cmd_inject(args: &Args) {
+    let session = ObsSession::begin(args);
     let n = args.get("n", 128usize);
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
     let a = InputClass::UNIT.generate(n, &mut rng);
@@ -149,10 +212,12 @@ pub fn cmd_inject(args: &Args) {
     println!("  row mismatches  : {:?}", outcome.report.row_mismatches);
     println!("  located         : {:?}", outcome.report.located);
     println!("  corrections     : {:?}", outcome.corrections);
+    session.finish(&device.take_log());
 }
 
 /// `aabft campaign` — a detection campaign for one scheme.
 pub fn cmd_campaign(args: &Args) {
+    let session = ObsSession::begin(args);
     let n = args.get("n", 96usize);
     let bs = args.get("bs", 16usize);
     let tiling = GemmTiling { bm: 32, bn: 32, bk: 8, rx: 4, ry: 4 };
@@ -194,10 +259,14 @@ pub fn cmd_campaign(args: &Args) {
     println!("  tolerable       : {} ({} flagged)", s.tolerable, s.tolerable_detected);
     println!("  rounding-level  : {} ({} false positives)", s.benign, s.benign_detected);
     println!("  masked/checksum : {} ({} detected)", s.masked, s.masked_detected);
+    // Campaigns run one device per trial; the trace carries the tagged
+    // trial spans rather than a single device timeline.
+    session.finish(&[]);
 }
 
 /// `aabft bounds` — one Tables-II–IV-style row.
 pub fn cmd_bounds(args: &Args) {
+    let session = ObsSession::begin(args);
     let n = args.get("n", 256usize);
     let config = QualityConfig {
         bs: args.get("bs", 32usize),
@@ -215,12 +284,14 @@ pub fn cmd_bounds(args: &Args) {
         row.avg_aabft / row.avg_rnd_error);
     println!("  avg SEA-ABFT bound       : {:.3e}  ({:.0}x the error)", row.avg_sea,
         row.avg_sea / row.avg_rnd_error);
+    session.finish(&[]);
 }
 
 /// `aabft gemv` — protected matrix–vector multiply on the device.
 pub fn cmd_gemv(args: &Args) {
     use aabft_core::gemv::protected_gemv_on_device;
     use aabft_gpu_sim::kernels::gemv::GemvTiling;
+    let session = ObsSession::begin(args);
     let n = args.get("n", 128usize);
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
     let a = parse_input(args).generate(n, &mut rng);
@@ -246,11 +317,13 @@ pub fn cmd_gemv(args: &Args) {
     println!("  errors detected    : {}", outcome.errors_detected());
     println!("  mismatched blocks  : {:?}", outcome.mismatched_blocks);
     println!("  entries recomputed : {}", outcome.corrections.len());
+    session.finish(&device.take_log());
 }
 
 /// `aabft lu` — protected LU factorization.
 pub fn cmd_lu(args: &Args) {
     use aabft_core::lu::{protected_lu_verified, LuConfig};
+    let session = ObsSession::begin(args);
     let n = args.get("n", 64usize);
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
     let base = parse_input(args).generate(n, &mut rng);
@@ -269,10 +342,12 @@ pub fn cmd_lu(args: &Args) {
     println!("  checksum violations : {}", outcome.violations.len());
     println!("  reconstruction dev  : {dev:.3e}");
     println!("  verdict             : {}", if outcome.errors_detected() { "ERRORS" } else { "clean" });
+    session.finish(&[]);
 }
 
 /// `aabft perf` — Table-I-style modelled GFLOPS.
 pub fn cmd_perf(args: &Args) {
+    let session = ObsSession::begin(args);
     let sizes = args.sizes("sizes", &[512, 1024, 2048, 4096, 8192]);
     let bs = args.get("bs", 32usize);
     let p = args.get("p", 2usize);
@@ -287,6 +362,55 @@ pub fn cmd_perf(args: &Args) {
             r.n, r.abft, r.aabft, r.sea, r.tmr, r.unprotected
         );
     }
+    session.finish(&[]);
+}
+
+/// `aabft profile` — runs one protected multiplication and prints the
+/// per-phase modelled time / FLOP / traffic breakdown next to the ABFT
+/// metrics the run produced. The phase times partition
+/// [`PerfModel::pipeline_time`] exactly.
+pub fn cmd_profile(args: &Args) {
+    let session = ObsSession::begin(args);
+    let n = args.get("n", 1024usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.get("seed", 1u64));
+    let input = parse_input(args);
+    let a = input.generate(n, &mut rng);
+    let b = input.generate(n, &mut rng);
+    let config = build_config(args);
+    let device = Device::with_defaults();
+    let outcome = AAbftGemm::new(config).multiply(&device, &a, &b);
+    let log = device.take_log();
+    let model = PerfModel::k20c();
+    let total = model.pipeline_time(&log);
+
+    println!("profile: protected multiply, n = {n}, inputs {}", input.label());
+    println!(
+        "{:>12} {:>9} {:>12} {:>8} {:>12} {:>12}",
+        "phase", "launches", "time ms", "%", "GFLOP", "gmem MB"
+    );
+    for c in model.phase_breakdown(&log) {
+        println!(
+            "{:>12} {:>9} {:>12.4} {:>8.2} {:>12.4} {:>12.2}",
+            c.phase,
+            c.launches,
+            1e3 * c.time,
+            100.0 * c.time / total,
+            c.flops as f64 / 1e9,
+            c.gmem_bytes as f64 / 1e6
+        );
+    }
+    println!(
+        "{:>12} {:>9} {:>12.4} {:>8.2}   ({:.1} GFLOPS effective)",
+        "total",
+        log.len(),
+        1e3 * total,
+        100.0,
+        model.gflops(2 * (n as u64).pow(3), &log)
+    );
+    println!("  errors detected : {}", outcome.errors_detected());
+    println!();
+    print!("{}", session.obs.metrics.snapshot().render_table());
+    session.finish(&log);
 }
 
 #[cfg(test)]
@@ -338,5 +462,27 @@ mod tests {
         cmd_campaign(&args(&[("n", "32"), ("bs", "8"), ("trials", "10"), ("scheme", "aabft")]));
         cmd_gemv(&args(&[("n", "48"), ("bs", "8"), ("inject", "true"), ("recompute", "true")]));
         cmd_lu(&args(&[("n", "32"), ("check-every", "4")]));
+        cmd_profile(&args(&[("n", "48"), ("bs", "8")]));
+    }
+
+    #[test]
+    fn trace_and_metrics_exports_are_valid_json() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("aabft_cli_test_trace.json");
+        let metrics = dir.join("aabft_cli_test_metrics.json");
+        cmd_profile(&args(&[
+            ("n", "48"),
+            ("bs", "8"),
+            ("trace", trace.to_str().unwrap()),
+            ("metrics", metrics.to_str().unwrap()),
+        ]));
+        let t = aabft_obs::json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = t.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents");
+        assert!(!events.is_empty());
+        let m = aabft_obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let counters = m.get("counters").expect("counters object");
+        assert!(counters.get("abft.multiplies").and_then(|v| v.as_u64()).unwrap() >= 1);
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&metrics).ok();
     }
 }

@@ -8,7 +8,10 @@
 //! aabft perf --sizes 512,1024,8192               # Table I rows
 //! ```
 
-use aabft_cli::{cmd_bounds, cmd_campaign, cmd_gemv, cmd_inject, cmd_lu, cmd_multiply, cmd_perf, usage};
+use aabft_cli::{
+    cmd_bounds, cmd_campaign, cmd_gemv, cmd_inject, cmd_lu, cmd_multiply, cmd_perf, cmd_profile,
+    usage,
+};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,6 +27,7 @@ fn main() {
         "campaign" => cmd_campaign(&parsed),
         "bounds" => cmd_bounds(&parsed),
         "perf" => cmd_perf(&parsed),
+        "profile" => cmd_profile(&parsed),
         "gemv" => cmd_gemv(&parsed),
         "lu" => cmd_lu(&parsed),
         "help" | "--help" | "-h" => println!("{}", usage()),

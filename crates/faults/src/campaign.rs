@@ -17,8 +17,10 @@ use aabft_gpu_sim::kernels::gemm::GemmTiling;
 use aabft_matrix::gen::InputClass;
 use aabft_matrix::Matrix;
 use aabft_numerics::RoundingModel;
+use aabft_obs::Obs;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Parameters of one campaign.
 #[derive(Debug, Clone, Copy)]
@@ -97,11 +99,30 @@ impl CampaignReport {
 /// scheme (bit-identical kernels), classifying the worst deviation with the
 /// probabilistic model on the affected element's actual operands.
 pub fn run_campaign<S: ProtectedGemm + Sync>(scheme: &S, config: &CampaignConfig) -> CampaignReport {
+    run_campaign_with_obs(scheme, config, &aabft_obs::global())
+}
+
+/// Same as [`run_campaign`], but reporting spans and counters into `obs`
+/// instead of the process-global registry (tests and multi-campaign
+/// drivers attach their own instance).
+///
+/// Every trial span is tagged with the scheme, the trial index and the
+/// first armed fault site; campaign verdict totals — including false
+/// positives — land under the `campaign.*` counters.
+pub fn run_campaign_with_obs<S: ProtectedGemm + Sync>(
+    scheme: &S,
+    config: &CampaignConfig,
+    obs: &Arc<Obs>,
+) -> CampaignReport {
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let a = config.input.generate(config.n, &mut rng);
     let b = config.input.generate(config.n, &mut rng);
 
-    let clean = scheme.multiply(&Device::with_defaults(), &a, &b).product;
+    let clean = {
+        let mut device = Device::with_defaults();
+        device.set_obs(obs.clone());
+        scheme.multiply_observed(&device, &a, &b).product
+    };
     let shape = config.shape();
     let model = RoundingModel::binary64();
 
@@ -112,14 +133,31 @@ pub fn run_campaign<S: ProtectedGemm + Sync>(scheme: &S, config: &CampaignConfig
                 rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37 * (t as u64 + 1)));
             // Decorrelate from the matrix-generation stream.
             let _: u64 = trial_rng.gen();
-            let device = Device::with_defaults();
+            let mut device = Device::with_defaults();
+            device.set_obs(obs.clone());
             let plans: Vec<_> = (0..config.faults_per_run.max(1))
                 .map(|_| random_plan(config.spec, &shape, device.config(), &mut trial_rng))
                 .collect();
             device.arm_injections(&plans);
-            let result: ProtectedResult = scheme.multiply(&device, &a, &b);
+            let mut span = aabft_obs::span!(
+                obs,
+                "campaign",
+                "trial",
+                "scheme" => scheme.name(),
+                "trial" => t as u64,
+                "faults" => plans.len() as u64,
+            );
+            if let Some(p) = plans.first() {
+                span.add_attr("site", format!("{:?}", p.site));
+                span.add_attr("sm", p.sm as u64);
+                span.add_attr("k_injection", p.k_injection);
+            }
+            let result: ProtectedResult = scheme.multiply_observed(&device, &a, &b);
             let fired = device.disarm_count() > 0;
-            judge_trial(fired, &result, &clean, &a, &b, &model, config.omega)
+            let trial = judge_trial(fired, &result, &clean, &a, &b, &model, config.omega);
+            span.add_attr("truth", format!("{:?}", trial.truth));
+            span.add_attr("detected", trial.detected);
+            trial
         })
         .collect();
 
@@ -127,6 +165,16 @@ pub fn run_campaign<S: ProtectedGemm + Sync>(scheme: &S, config: &CampaignConfig
     for t in &trials {
         stats.record(t);
     }
+
+    let m = &obs.metrics;
+    m.counter_add("campaign.trials", stats.total());
+    m.counter_add("campaign.critical", stats.critical);
+    m.counter_add("campaign.critical_detected", stats.critical_detected);
+    m.counter_add("campaign.tolerable", stats.tolerable);
+    m.counter_add("campaign.false_positives", stats.benign_detected);
+    m.counter_add("campaign.masked", stats.masked);
+    m.counter_add("campaign.not_fired", stats.not_fired);
+
     CampaignReport { scheme: scheme.name(), config: *config, stats, trials }
 }
 
@@ -236,6 +284,31 @@ mod tests {
         // Sign flips of O(1) elements are critical and detectable.
         if r.stats.critical > 0 {
             assert_eq!(r.stats.critical_detected, r.stats.critical, "{:?}", r.stats);
+        }
+    }
+
+    #[test]
+    fn campaign_reports_observability_counters_and_spans() {
+        let config = tiny_config(FaultSite::FinalAdd, BitRegion::Exponent);
+        let obs = aabft_obs::Obs::new_shared();
+        obs.recorder.set_enabled(true);
+        let r = run_campaign_with_obs(&tiny_scheme(), &config, &obs);
+        let m = &obs.metrics;
+        assert_eq!(m.counter("campaign.trials"), config.trials as u64);
+        assert_eq!(m.counter("campaign.critical"), r.stats.critical);
+        assert_eq!(m.counter("campaign.critical_detected"), r.stats.critical_detected);
+        assert_eq!(m.counter("campaign.false_positives"), r.stats.benign_detected);
+        // One clean reference run plus one protected run per trial, all
+        // driven through the scheme wrapper.
+        assert_eq!(m.counter("scheme.A-ABFT.multiplies"), config.trials as u64 + 1);
+        let spans = obs.recorder.spans();
+        let trial_spans: Vec<_> =
+            spans.iter().filter(|s| s.cat == "campaign" && s.name == "trial").collect();
+        assert_eq!(trial_spans.len(), config.trials);
+        for s in &trial_spans {
+            for key in ["scheme", "site", "sm", "truth", "detected"] {
+                assert!(s.args.iter().any(|(k, _)| k == key), "trial span missing {key}");
+            }
         }
     }
 

@@ -13,8 +13,10 @@ use crate::dim::{BlockIdx, GridDim};
 use crate::inject::{FaultSite, InjectionPlan, InjectionState};
 use crate::mem::DeviceBuffer;
 use crate::stats::{KernelStats, LaunchRecord};
+use aabft_obs::Obs;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Hardware-shape parameters of the simulated device.
@@ -73,6 +75,10 @@ pub struct Device {
     /// — e.g. any of TMR's three replica launches.
     sm_counts: Vec<Mutex<Vec<[u64; FaultSite::COUNT]>>>,
     log: Mutex<Vec<LaunchRecord>>,
+    launch_seq: AtomicU64,
+    /// Observability sink: kernel spans and hardware counters land here.
+    /// Defaults to the process-global context; tests attach fresh ones.
+    obs: Arc<Obs>,
 }
 
 impl Device {
@@ -87,7 +93,14 @@ impl Device {
         let sm_counts = (0..config.num_sms)
             .map(|_| Mutex::new(vec![[0u64; FaultSite::COUNT]; config.max_modules]))
             .collect();
-        Device { config, injections: Mutex::new(Vec::new()), sm_counts, log: Mutex::new(Vec::new()) }
+        Device {
+            config,
+            injections: Mutex::new(Vec::new()),
+            sm_counts,
+            log: Mutex::new(Vec::new()),
+            launch_seq: AtomicU64::new(0),
+            obs: aabft_obs::global(),
+        }
     }
 
     /// Creates a device with the K20c-like default configuration.
@@ -98,6 +111,17 @@ impl Device {
     /// The device configuration.
     pub fn config(&self) -> DeviceConfig {
         self.config
+    }
+
+    /// Points this device at a specific observability context (tests use
+    /// a fresh context so parallel test threads never share counters).
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    /// The observability context this device reports into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Arms a fault injection; it strikes (at most once) during subsequent
@@ -167,6 +191,13 @@ impl Device {
         let num_sms = self.config.num_sms;
         let max_modules = self.config.max_modules;
         let blocks: Vec<BlockIdx> = grid.iter().collect();
+        let seq = self.launch_seq.fetch_add(1, Ordering::Relaxed);
+        let mut span = self
+            .obs
+            .recorder
+            .span("kernel", kernel.name())
+            .attr("phase", kernel.phase())
+            .attr("seq", seq);
 
         let per_sm: Vec<KernelStats> = (0..num_sms)
             .into_par_iter()
@@ -196,10 +227,21 @@ impl Device {
         for s in &per_sm {
             total.merge(s);
         }
+        span.add_attr("flops", total.flops());
+        span.add_attr("blocks", total.blocks);
+        drop(span);
+        let m = &self.obs.metrics;
+        m.counter_inc("sim.launches");
+        m.counter_add("sim.flops", total.flops());
+        m.counter_add("sim.gmem_bytes", total.gmem_bytes());
+        m.counter_add("sim.blocks", total.blocks);
         self.log.lock().push(LaunchRecord {
+            seq,
             name: kernel.name().to_string(),
+            phase: kernel.phase().to_string(),
             utilization: kernel.utilization(),
             stats: total,
+            per_sm,
         });
         total
     }
@@ -220,6 +262,12 @@ impl Device {
 pub trait Kernel: Sync {
     /// Kernel name for the launch log.
     fn name(&self) -> &'static str;
+    /// Pipeline phase this kernel belongs to (`"encode"`, `"gemm"`,
+    /// `"check"`, ...); groups launches in traces and the profile
+    /// breakdown. Defaults to the kernel name.
+    fn phase(&self) -> &'static str {
+        self.name()
+    }
     /// Executes one thread block.
     fn run_block(&self, ctx: &mut BlockCtx<'_>);
     /// Fraction of peak FP throughput this kernel can reach (occupancy /
@@ -517,6 +565,35 @@ mod tests {
         let out = DeviceBuffer::zeros(4);
         device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
         assert!(!device.disarm_injection());
+    }
+
+    #[test]
+    fn launch_records_seq_phase_per_sm_and_reports_to_obs() {
+        let mut device = Device::with_defaults();
+        let obs = aabft_obs::Obs::new_shared();
+        device.set_obs(obs.clone());
+        obs.recorder.set_enabled(true);
+        let out = DeviceBuffer::zeros(8);
+        device.launch(GridDim::new(4, 2), &FillKernel { out: &out });
+        device.launch(GridDim::new(4, 2), &FillKernel { out: &out });
+        let log = device.take_log();
+        assert_eq!((log[0].seq, log[1].seq), (0, 1));
+        assert_eq!(log[0].phase, "fill", "default phase is the kernel name");
+        assert_eq!(log[0].per_sm.len(), device.config().num_sms);
+        let mut merged = KernelStats::default();
+        for s in &log[0].per_sm {
+            merged.merge(s);
+        }
+        assert_eq!(merged, log[0].stats, "per-SM split sums to the merged stats");
+        assert_eq!(obs.metrics.counter("sim.launches"), 2);
+        assert_eq!(
+            obs.metrics.counter("sim.flops"),
+            log[0].stats.flops() + log[1].stats.flops()
+        );
+        let spans = obs.recorder.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].cat, "kernel");
+        assert!(spans[0].args.iter().any(|(k, _)| k == "phase"));
     }
 
     #[test]

@@ -54,6 +54,9 @@ impl Kernel for CompareKernel<'_> {
     fn name(&self) -> &'static str {
         "compare"
     }
+    fn phase(&self) -> &'static str {
+        "compare"
+    }
 
     // Pure streaming comparison: memory-bound by construction.
     fn utilization(&self) -> f64 {

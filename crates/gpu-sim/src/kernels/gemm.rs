@@ -180,6 +180,10 @@ impl Kernel for GemmKernel<'_> {
         }
     }
 
+    fn phase(&self) -> &'static str {
+        "gemm"
+    }
+
     fn utilization(&self) -> f64 {
         self.utilization
     }

@@ -89,6 +89,9 @@ impl Kernel for GemvKernel<'_> {
     fn name(&self) -> &'static str {
         "gemv"
     }
+    fn phase(&self) -> &'static str {
+        "gemv"
+    }
 
     fn utilization(&self) -> f64 {
         self.utilization

@@ -16,6 +16,8 @@
 //! * [`stats`]/[`perf`] — instruction/memory counters per launch and the
 //!   roofline-style K20c performance model that converts them into the
 //!   GFLOPS figures of the paper's Table I;
+//! * [`trace`] — Chrome-trace reconstruction of the launch log on a
+//!   modelled-time axis, one track per simulated SM;
 //! * [`kernels`] — the blocked GEMM of Algorithm 3 and a comparison kernel.
 //!
 //! Everything is bit-identical IEEE-754 binary64 arithmetic, so rounding
@@ -31,10 +33,11 @@ pub mod kernels;
 pub mod mem;
 pub mod perf;
 pub mod stats;
+pub mod trace;
 
 pub use device::{BlockCtx, Device, DeviceConfig, Kernel};
 pub use dim::{BlockIdx, GridDim};
 pub use inject::{FaultSite, InjectionPlan};
 pub use mem::{DeviceBuffer, SharedTile};
-pub use perf::PerfModel;
+pub use perf::{PerfModel, PhaseCost};
 pub use stats::{KernelStats, LaunchRecord};

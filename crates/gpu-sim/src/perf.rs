@@ -15,6 +15,22 @@
 
 use crate::stats::LaunchRecord;
 
+/// Aggregated modelled cost of one pipeline phase (see
+/// [`PerfModel::phase_breakdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCost {
+    /// Phase label (from [`LaunchRecord::phase`]).
+    pub phase: String,
+    /// Number of kernel launches in the phase.
+    pub launches: u64,
+    /// Modelled time in seconds (incl. per-launch overhead).
+    pub time: f64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Global-memory traffic in bytes.
+    pub gmem_bytes: u64,
+}
+
 /// Roofline-style device performance parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfModel {
@@ -71,6 +87,50 @@ impl PerfModel {
     pub fn breakdown(&self, log: &[LaunchRecord]) -> Vec<(String, f64)> {
         log.iter().map(|r| (r.name.clone(), self.kernel_time(r))).collect()
     }
+
+    /// Groups the launch log by pipeline phase (first-appearance order).
+    /// The phase times sum to [`PerfModel::pipeline_time`] of the same log.
+    pub fn phase_breakdown(&self, log: &[LaunchRecord]) -> Vec<PhaseCost> {
+        let mut phases: Vec<PhaseCost> = Vec::new();
+        for rec in log {
+            let t = self.kernel_time(rec);
+            let entry = match phases.iter_mut().find(|p| p.phase == rec.phase) {
+                Some(p) => p,
+                None => {
+                    phases.push(PhaseCost {
+                        phase: rec.phase.clone(),
+                        launches: 0,
+                        time: 0.0,
+                        flops: 0,
+                        gmem_bytes: 0,
+                    });
+                    phases.last_mut().unwrap()
+                }
+            };
+            entry.launches += 1;
+            entry.time += t;
+            entry.flops += rec.stats.flops();
+            entry.gmem_bytes += rec.stats.gmem_bytes();
+        }
+        phases
+    }
+
+    /// Modelled busy time of SM `sm` during launch `rec` (for per-SM
+    /// trace tracks): the roofline at per-SM shares of the device rates,
+    /// without launch overhead (driver time, not SM occupancy), clamped
+    /// to the launch's busy window `kernel_time - launch_overhead`. The
+    /// device-level model owns total time; per-SM load imbalance beyond
+    /// it is clipped so SM slices never spill into the next launch.
+    pub fn sm_time(&self, rec: &LaunchRecord, sm: usize) -> f64 {
+        let Some(stats) = rec.per_sm.get(sm) else { return 0.0 };
+        let n = rec.per_sm.len().max(1) as f64;
+        let compute =
+            stats.flops() as f64 / (self.peak_dp_flops / n * rec.utilization.max(1e-6));
+        let gmem = stats.gmem_bytes() as f64 / (self.mem_bandwidth / n);
+        let smem = (stats.smem_accesses * 8) as f64 / (self.smem_bandwidth / n);
+        let busy = self.kernel_time(rec) - self.launch_overhead;
+        compute.max(gmem).max(smem).min(busy)
+    }
 }
 
 #[cfg(test)]
@@ -79,11 +139,11 @@ mod tests {
     use crate::stats::KernelStats;
 
     fn rec(flops: u64, loads: u64, util: f64) -> LaunchRecord {
-        LaunchRecord {
-            name: "k".into(),
-            utilization: util,
-            stats: KernelStats { fadd: flops, gmem_loads: loads, ..Default::default() },
-        }
+        LaunchRecord::synthetic(
+            "k",
+            util,
+            KernelStats { fadd: flops, gmem_loads: loads, ..Default::default() },
+        )
     }
 
     #[test]
@@ -127,5 +187,54 @@ mod tests {
         let m = PerfModel::k20c();
         let t = m.kernel_time(&rec(1, 1, 1.0));
         assert!(t >= m.launch_overhead);
+    }
+
+    #[test]
+    fn phase_breakdown_partitions_pipeline_time() {
+        let m = PerfModel::k20c();
+        let mut log = vec![rec(1_000_000, 0, 1.0), rec(2_000_000, 10, 1.0), rec(500, 9000, 1.0)];
+        log[0].phase = "gemm".into();
+        log[1].phase = "gemm".into();
+        log[2].phase = "check".into();
+        let phases = m.phase_breakdown(&log);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].phase, "gemm");
+        assert_eq!(phases[0].launches, 2);
+        assert_eq!(phases[0].flops, 3_000_000);
+        let total: f64 = phases.iter().map(|p| p.time).sum();
+        let direct = m.pipeline_time(&log);
+        assert!((total - direct).abs() <= 1e-12 * direct, "{total} vs {direct}");
+    }
+
+    #[test]
+    fn sm_time_fits_inside_launch_busy_window() {
+        let m = PerfModel::k20c();
+        let mut r = rec(0, 0, 1.0);
+        // 4 SMs, heavily imbalanced: SM 0 does almost everything.
+        r.per_sm = vec![
+            KernelStats { fadd: 900_000_000, ..Default::default() },
+            KernelStats { fadd: 50_000_000, ..Default::default() },
+            KernelStats { fadd: 50_000_000, ..Default::default() },
+            KernelStats { fadd: 0, ..Default::default() },
+        ];
+        for s in &r.per_sm {
+            r.stats.merge(s);
+        }
+        let busy = m.kernel_time(&r) - m.launch_overhead;
+        for sm in 0..4 {
+            let t = m.sm_time(&r, sm);
+            assert!(t >= 0.0 && t <= busy + 1e-15, "sm {sm}: {t} vs busy {busy}");
+        }
+        // Balanced load models each SM busy for ~the whole window.
+        let mut b = rec(0, 0, 1.0);
+        b.per_sm = vec![KernelStats { fadd: 250_000_000, ..Default::default() }; 4];
+        for s in &b.per_sm {
+            b.stats.merge(s);
+        }
+        let busy = m.kernel_time(&b) - m.launch_overhead;
+        let t = m.sm_time(&b, 0);
+        assert!((t - busy).abs() <= 1e-9 * busy, "{t} vs {busy}");
+        // Out-of-range SM is silent.
+        assert_eq!(m.sm_time(&b, 99), 0.0);
     }
 }

@@ -4,7 +4,8 @@
 //! instruction counts by class, global-memory transactions, shared-memory
 //! accesses and thread/block geometry. The analytic performance model
 //! ([`crate::perf`]) turns these into the runtime and GFLOPS estimates that
-//! reproduce the paper's Table I.
+//! reproduce the paper's Table I, and the trace builder ([`crate::trace`])
+//! turns the per-SM split into Chrome-trace tracks.
 
 /// Counters collected while executing one kernel launch (or one block; the
 /// scheduler merges per-block records).
@@ -55,17 +56,42 @@ impl KernelStats {
     }
 }
 
-/// A completed launch: kernel name, declared utilization and merged stats.
-/// The device keeps a log of these for whole-pipeline performance modelling.
+/// A completed launch: kernel name, pipeline phase, declared utilization and
+/// merged stats. The device keeps a log of these for whole-pipeline
+/// performance modelling and trace export.
 #[derive(Debug, Clone)]
 pub struct LaunchRecord {
+    /// Monotonic per-device launch index. The per-SM execution inside a
+    /// launch runs under rayon, but launches themselves are sequenced, so
+    /// sorting by `seq` always reproduces submission order.
+    pub seq: u64,
     /// Kernel name (as reported by the kernel).
     pub name: String,
+    /// Pipeline phase the kernel belongs to (e.g. `"encode"`, `"gemm"`,
+    /// `"check"`; defaults to the kernel name for unphased kernels).
+    pub phase: String,
     /// Fraction of peak FP throughput this kernel can achieve (its
     /// declared occupancy/utilization class).
     pub utilization: f64,
     /// Merged execution counters.
     pub stats: KernelStats,
+    /// Per-SM split of `stats` (index = SM id), for per-SM trace tracks.
+    pub per_sm: Vec<KernelStats>,
+}
+
+impl LaunchRecord {
+    /// Builds a record without device context (predictors and tests that
+    /// model hypothetical launches): `seq` 0, phase = name, no per-SM split.
+    pub fn synthetic(name: &str, utilization: f64, stats: KernelStats) -> Self {
+        LaunchRecord {
+            seq: 0,
+            name: name.to_string(),
+            phase: name.to_string(),
+            utilization,
+            stats,
+            per_sm: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +115,13 @@ mod tests {
         assert_eq!(a.blocks, 3);
         assert_eq!(a.threads, 96);
         assert_eq!(a.gmem_bytes(), 8 * 15);
+    }
+
+    #[test]
+    fn synthetic_records_default_phase_to_name() {
+        let r = LaunchRecord::synthetic("gemm", 0.9, KernelStats::default());
+        assert_eq!(r.phase, "gemm");
+        assert_eq!(r.seq, 0);
+        assert!(r.per_sm.is_empty());
     }
 }

@@ -1,0 +1,203 @@
+//! Chrome-trace reconstruction of a device's launch log.
+//!
+//! The simulator executes kernels functionally and *models* time, so the
+//! trace is rebuilt after the fact: launches are laid out sequentially on
+//! a modelled-time axis (each occupying its [`PerfModel::kernel_time`]
+//! window), and within each launch every simulated SM gets a slice on its
+//! own track sized by [`PerfModel::sm_time`] of its share of the work.
+//! Host-side spans (wall clock, from the [`aabft_obs::Recorder`]) go on a
+//! separate process so the two time bases are never mixed on one track.
+
+use aabft_obs::{ChromeTrace, JsonValue, SpanRecord};
+
+use crate::perf::PerfModel;
+use crate::stats::LaunchRecord;
+
+/// Chrome-trace process id for host-side (wall-clock) spans.
+pub const HOST_PID: u32 = 1;
+
+/// Chrome-trace process id for the modelled device timeline.
+pub const DEVICE_PID: u32 = 2;
+
+/// Appends the modelled device timeline to `trace` under [`DEVICE_PID`]:
+/// one named track per simulated SM, launches in `seq` order, SM slices
+/// clamped inside their launch window (tracks never overlap). Returns the
+/// modelled end time in microseconds.
+pub fn add_device_timeline(
+    trace: &mut ChromeTrace,
+    log: &[LaunchRecord],
+    model: &PerfModel,
+) -> f64 {
+    let mut ordered: Vec<&LaunchRecord> = log.iter().collect();
+    ordered.sort_by_key(|r| r.seq);
+
+    let num_sms = ordered.iter().map(|r| r.per_sm.len()).max().unwrap_or(0);
+    trace.name_process(DEVICE_PID, "gpu-sim device (modelled time)");
+    for sm in 0..num_sms {
+        trace.name_thread(DEVICE_PID, sm as u32, &format!("SM {sm}"));
+    }
+
+    let mut t_us = 0.0;
+    for rec in ordered {
+        let window_us = model.kernel_time(rec) * 1e6;
+        // SM work begins once the launch overhead (driver time) is paid.
+        let start_us = t_us + model.launch_overhead * 1e6;
+        for (sm, stats) in rec.per_sm.iter().enumerate() {
+            if stats.blocks == 0 && stats.flops() == 0 && stats.gmem_bytes() == 0 {
+                continue;
+            }
+            let dur_us = model.sm_time(rec, sm) * 1e6;
+            trace.complete(
+                DEVICE_PID,
+                sm as u32,
+                &rec.name,
+                &format!("kernel,{}", rec.phase),
+                start_us,
+                dur_us,
+                vec![
+                    ("seq".to_string(), JsonValue::UInt(rec.seq)),
+                    ("phase".to_string(), JsonValue::Str(rec.phase.clone())),
+                    ("flops".to_string(), JsonValue::UInt(stats.flops())),
+                    ("blocks".to_string(), JsonValue::UInt(stats.blocks)),
+                    ("gmem_bytes".to_string(), JsonValue::UInt(stats.gmem_bytes())),
+                ],
+            );
+        }
+        t_us += window_us;
+    }
+    t_us
+}
+
+/// Builds a complete trace: host spans under [`HOST_PID`] (if any) plus
+/// the modelled device timeline under [`DEVICE_PID`].
+pub fn build_trace(
+    host_spans: &[SpanRecord],
+    log: &[LaunchRecord],
+    model: &PerfModel,
+) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    if !host_spans.is_empty() {
+        trace.name_process(HOST_PID, "host (wall clock)");
+        trace.add_host_spans(HOST_PID, host_spans);
+    }
+    add_device_timeline(&mut trace, log, model);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::KernelStats;
+
+    fn launch(seq: u64, phase: &str, per_sm_flops: &[u64]) -> LaunchRecord {
+        let per_sm: Vec<KernelStats> = per_sm_flops
+            .iter()
+            .map(|&f| KernelStats { fadd: f, blocks: u64::from(f > 0), ..Default::default() })
+            .collect();
+        let mut stats = KernelStats::default();
+        for s in &per_sm {
+            stats.merge(s);
+        }
+        LaunchRecord {
+            seq,
+            name: format!("k{seq}"),
+            phase: phase.to_string(),
+            utilization: 0.9,
+            stats,
+            per_sm,
+        }
+    }
+
+    #[test]
+    fn tracks_are_per_sm_and_non_overlapping() {
+        let model = PerfModel::k20c();
+        let log = vec![
+            launch(0, "encode", &[1_000_000, 2_000_000, 500_000]),
+            launch(1, "gemm", &[8_000_000, 8_000_000, 8_000_000]),
+            launch(2, "check", &[100, 0, 200]),
+        ];
+        let mut trace = ChromeTrace::new();
+        let end_us = add_device_timeline(&mut trace, &log, &model);
+        assert!((end_us - model.pipeline_time(&log) * 1e6).abs() < 1e-6);
+
+        let json = aabft_obs::json::parse(&trace.render()).expect("valid json");
+        let events = json.get("traceEvents").and_then(|e| e.as_array()).expect("array");
+        // Per-tid slices must be disjoint in time.
+        let mut per_tid: std::collections::BTreeMap<u64, Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        for e in events {
+            if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            let tid = e.get("tid").and_then(|t| t.as_u64()).unwrap();
+            let ts = e.get("ts").and_then(|t| t.as_f64()).unwrap();
+            let dur = e.get("dur").and_then(|d| d.as_f64()).unwrap();
+            per_tid.entry(tid).or_default().push((ts, ts + dur));
+        }
+        assert_eq!(per_tid.len(), 3, "one track per SM");
+        for (tid, mut slices) in per_tid {
+            slices.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in slices.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-9, "tid {tid}: {w:?} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn launches_are_ordered_by_seq_not_log_position() {
+        let model = PerfModel::k20c();
+        // Log shuffled relative to submission order.
+        let log = vec![launch(1, "gemm", &[100]), launch(0, "encode", &[100])];
+        let mut trace = ChromeTrace::new();
+        add_device_timeline(&mut trace, &log, &model);
+        let json = aabft_obs::json::parse(&trace.render()).expect("valid json");
+        let events = json.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let slices: Vec<(&str, f64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .map(|e| {
+                (
+                    e.get("name").and_then(|n| n.as_str()).unwrap(),
+                    e.get("ts").and_then(|t| t.as_f64()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(slices.len(), 2);
+        let k0 = slices.iter().find(|(n, _)| *n == "k0").unwrap().1;
+        let k1 = slices.iter().find(|(n, _)| *n == "k1").unwrap().1;
+        assert!(k0 < k1, "seq 0 must precede seq 1");
+    }
+
+    #[test]
+    fn idle_sms_get_no_slices() {
+        let model = PerfModel::k20c();
+        let log = vec![launch(0, "check", &[100, 0])];
+        let mut trace = ChromeTrace::new();
+        add_device_timeline(&mut trace, &log, &model);
+        let json = aabft_obs::json::parse(&trace.render()).expect("valid json");
+        let events = json.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 1, "SM 1 did nothing");
+    }
+
+    #[test]
+    fn build_trace_separates_host_and_device_pids() {
+        let recorder = aabft_obs::Recorder::new();
+        recorder.set_enabled(true);
+        drop(recorder.span("phase", "multiply"));
+        let model = PerfModel::k20c();
+        let log = vec![launch(0, "gemm", &[100])];
+        let trace = build_trace(&recorder.spans(), &log, &model);
+        let json = aabft_obs::json::parse(&trace.render()).expect("valid json");
+        let events = json.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .map(|e| e.get("pid").and_then(|p| p.as_u64()).unwrap())
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![HOST_PID as u64, DEVICE_PID as u64]);
+    }
+}

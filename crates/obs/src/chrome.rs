@@ -1,0 +1,214 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto loadable).
+//!
+//! Emits the JSON object format — `{"traceEvents": [...]}` — using
+//! complete (`"ph":"X"`) events, which Perfetto renders as nested slices
+//! per `(pid, tid)` track, plus metadata (`"ph":"M"`) events naming the
+//! processes and threads. The gpu-sim crate builds one process for the
+//! host-side spans and one for the modelled device, with one thread
+//! track per simulated SM.
+
+use std::path::Path;
+
+use crate::json::{JsonObject, JsonValue};
+use crate::recorder::SpanRecord;
+
+/// One trace event (complete slice or metadata record).
+#[derive(Debug, Clone)]
+pub struct ChromeEvent {
+    /// Slice label.
+    pub name: String,
+    /// Comma-separated categories.
+    pub cat: String,
+    /// Phase: `"X"` for complete slices, `"M"` for metadata.
+    pub ph: &'static str,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: Option<f64>,
+    /// Process id (a track group in the viewer).
+    pub pid: u32,
+    /// Thread id (a track within the group).
+    pub tid: u32,
+    /// Free-form arguments shown in the slice detail pane.
+    pub args: Vec<(String, JsonValue)>,
+}
+
+impl ChromeEvent {
+    fn to_json(&self) -> JsonValue {
+        let mut o = JsonObject::new()
+            .str("name", &self.name)
+            .str("cat", &self.cat)
+            .str("ph", self.ph)
+            .num("ts", self.ts_us)
+            .int("pid", self.pid as u64)
+            .int("tid", self.tid as u64);
+        if let Some(dur) = self.dur_us {
+            o = o.num("dur", dur);
+        }
+        if !self.args.is_empty() {
+            let mut args = JsonObject::new();
+            for (k, v) in &self.args {
+                args = args.field(k, v.clone());
+            }
+            o = o.object("args", args);
+        }
+        o.into_value()
+    }
+}
+
+/// A Chrome trace under construction.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<ChromeEvent>,
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a complete (`"X"`) slice.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, JsonValue)>,
+    ) {
+        self.events.push(ChromeEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: "X",
+            ts_us,
+            dur_us: Some(dur_us),
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Names a process track group in the viewer.
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.metadata(pid, 0, "process_name", name);
+    }
+
+    /// Names a thread track in the viewer.
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.metadata(pid, tid, "thread_name", name);
+    }
+
+    fn metadata(&mut self, pid: u32, tid: u32, kind: &str, name: &str) {
+        self.events.push(ChromeEvent {
+            name: kind.to_string(),
+            cat: "__metadata".to_string(),
+            ph: "M",
+            ts_us: 0.0,
+            dur_us: None,
+            pid,
+            tid,
+            args: vec![("name".to_string(), JsonValue::Str(name.to_string()))],
+        });
+    }
+
+    /// Adds every recorded host span as a complete slice under `pid`,
+    /// keeping the span's host-thread `tid` and attributes. The recorder's
+    /// close order is appended as `span_seq` (kernel spans already carry a
+    /// device-launch `seq` attribute of their own).
+    pub fn add_host_spans(&mut self, pid: u32, spans: &[SpanRecord]) {
+        for s in spans {
+            let mut args = s.args.clone();
+            args.push(("span_seq".to_string(), JsonValue::UInt(s.seq)));
+            self.complete(pid, s.tid, &s.name, &s.cat, s.start_us, s.dur_us, args);
+        }
+    }
+
+    /// Serialises to the trace-event JSON object format.
+    pub fn to_json(&self) -> JsonValue {
+        JsonObject::new()
+            .array("traceEvents", self.events.iter().map(|e| e.to_json()).collect())
+            .str("displayTimeUnit", "ms")
+            .into_value()
+    }
+
+    /// Renders the trace as a JSON string.
+    pub fn render(&self) -> String {
+        let mut s = self.to_json().render();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the trace to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure (exporters treat that as fatal).
+    pub fn write(&self, path: &Path) {
+        std::fs::write(path, self.render()).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_serialises_to_valid_trace_events_json() {
+        let mut t = ChromeTrace::new();
+        t.name_process(1, "device");
+        t.name_thread(1, 0, "SM 0");
+        t.complete(1, 0, "gemm", "kernel", 10.0, 250.0, vec![("flops".into(), JsonValue::UInt(4096))]);
+        let v = crate::json::parse(&t.render()).expect("valid json");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("array");
+        assert_eq!(events.len(), 3);
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("complete event");
+        assert_eq!(slice.get("name").and_then(|n| n.as_str()), Some("gemm"));
+        assert_eq!(slice.get("dur").and_then(|d| d.as_f64()), Some(250.0));
+        assert_eq!(
+            slice.get("args").and_then(|a| a.get("flops")).and_then(|f| f.as_u64()),
+            Some(4096)
+        );
+    }
+
+    #[test]
+    fn host_spans_become_slices() {
+        let r = crate::recorder::Recorder::new();
+        r.set_enabled(true);
+        drop(r.span("phase", "encode").attr("n", 64u64));
+        let mut t = ChromeTrace::new();
+        t.add_host_spans(7, &r.spans());
+        let v = crate::json::parse(&t.render()).expect("valid json");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("array");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("pid").and_then(|p| p.as_u64()), Some(7));
+        assert_eq!(events[0].get("name").and_then(|n| n.as_str()), Some("encode"));
+    }
+
+    #[test]
+    fn metadata_events_have_no_duration() {
+        let mut t = ChromeTrace::new();
+        t.name_process(2, "host");
+        let v = crate::json::parse(&t.render()).expect("valid json");
+        let e = &v.get("traceEvents").and_then(|e| e.as_array()).unwrap()[0];
+        assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("M"));
+        assert!(e.get("dur").is_none());
+        assert_eq!(e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()), Some("host"));
+    }
+}

@@ -1,0 +1,613 @@
+//! Hand-rolled JSON: a value tree, an emitter, and a minimal parser.
+//!
+//! The offline dependency policy rules out format crates, and every
+//! exporter in the workspace (bench result arrays, the JSONL event
+//! stream, metrics snapshots, Chrome traces) needs the same four things:
+//! nested objects/arrays, correct string escaping including control
+//! characters, float formatting that never emits invalid tokens
+//! (`NaN`/`inf` become `null`), and — for the golden trace tests — a
+//! parser good enough to read back what the emitter wrote.
+//!
+//! [`JsonObject`] keeps the builder API that `aabft-bench` introduced
+//! (`new().int(..).num(..).str(..)`), now backed by [`JsonValue`] so the
+//! same builder can hold nested structures.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A JSON value tree.
+///
+/// Equality is structural except for numbers, which compare by value
+/// across the `Int`/`UInt`/`Num` variants (the parser cannot know which
+/// integer variant the emitter used).
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// `null` (also the serialisation of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (rendered without a decimal point).
+    Int(i64),
+    /// An unsigned integer (counters can exceed `i64::MAX`).
+    UInt(u64),
+    /// A finite or non-finite float (non-finite renders as `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Num(v) => render_f64(*v, out),
+            JsonValue::Str(s) => render_str(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Looks up `key` in an object (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of `Int` / `UInt` / `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::UInt(u) => Some(*u as f64),
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of a non-negative integer value.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+            JsonValue::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    fn as_i128(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(i) => Some(*i as i128),
+            JsonValue::UInt(u) => Some(*u as i128),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for JsonValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (JsonValue::Null, JsonValue::Null) => true,
+            (JsonValue::Bool(a), JsonValue::Bool(b)) => a == b,
+            (JsonValue::Str(a), JsonValue::Str(b)) => a == b,
+            (JsonValue::Array(a), JsonValue::Array(b)) => a == b,
+            (JsonValue::Object(a), JsonValue::Object(b)) => a == b,
+            (a, b) => match (a.as_i128(), b.as_i128()) {
+                // Exact integer comparison when both sides are integral.
+                (Some(x), Some(y)) => x == y,
+                _ => matches!((a.as_f64(), b.as_f64()), (Some(x), Some(y)) if x == y),
+            },
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<i32> for JsonValue {
+    fn from(v: i32) -> Self {
+        JsonValue::Int(v as i64)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
+    }
+}
+
+/// Formats a float as a valid JSON number token.
+///
+/// Non-finite values become `null`; extreme magnitudes use exponent
+/// notation so a `2.5e300` never expands into a 300-digit literal.
+fn render_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v != 0.0 && (v.abs() < 1e-6 || v.abs() >= 1e18) {
+        let _ = write!(out, "{v:e}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders a string with quotes, escaping `"`, `\` and control chars.
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An object under construction, builder-style.
+///
+/// Backwards-compatible with the flat builder that lived in
+/// `aabft-bench`; the `field`/`array`/`object` methods add nesting.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a numeric field (non-finite values serialise as `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Num(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), JsonValue::UInt(value)));
+        self
+    }
+
+    /// Adds a string field (escaping quotes, backslashes and control
+    /// characters).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Str(value.to_string())));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Bool(value)));
+        self
+    }
+
+    /// Adds an arbitrary value (nested object, array, null, ...).
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a nested object field.
+    pub fn object(self, key: &str, value: JsonObject) -> Self {
+        self.field(key, value.into_value())
+    }
+
+    /// Adds an array field.
+    pub fn array(self, key: &str, items: Vec<JsonValue>) -> Self {
+        self.field(key, JsonValue::Array(items))
+    }
+
+    /// Consumes the builder into a [`JsonValue::Object`].
+    pub fn into_value(self) -> JsonValue {
+        JsonValue::Object(self.fields)
+    }
+
+    /// Renders the object as compact JSON.
+    pub fn render(&self) -> String {
+        JsonValue::Object(self.fields.clone()).render()
+    }
+}
+
+/// Writes an array of objects to `path`, one object per line.
+///
+/// # Panics
+///
+/// Panics on I/O failure (experiment binaries treat that as fatal).
+pub fn write_array(path: &Path, objects: &[JsonObject]) {
+    let mut out = String::from("[\n");
+    for (i, o) in objects.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&o.render());
+        if i + 1 < objects.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+}
+
+/// Parses a JSON document.
+///
+/// Covers the grammar this workspace emits (objects, arrays, strings
+/// with escapes incl. `\uXXXX` surrogate pairs, numbers, literals);
+/// errors report a byte offset.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser { b: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.b.len() && self.b[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Re-read the multi-byte UTF-8 scalar from the source.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.b[start..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.b.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let hex = std::str::from_utf8(&self.b[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        if (0xd800..0xdc00).contains(&hi) {
+            // High surrogate: must pair with \uDC00..\uDFFF.
+            if self.b.get(self.pos) == Some(&b'\\') && self.b.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xdc00..0xe000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                    return char::from_u32(c).ok_or_else(|| "bad surrogate pair".to_string());
+                }
+            }
+            return Err("unpaired high surrogate".to_string());
+        }
+        char::from_u32(hi).ok_or_else(|| format!("invalid \\u{hi:04x}"))
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        if tok.bytes().any(|c| matches!(c, b'.' | b'e' | b'E')) {
+            tok.parse::<f64>().map(JsonValue::Num)
+        } else if let Ok(i) = tok.parse::<i64>() {
+            return Ok(JsonValue::Int(i));
+        } else if let Ok(u) = tok.parse::<u64>() {
+            return Ok(JsonValue::UInt(u));
+        } else {
+            tok.parse::<f64>().map(JsonValue::Num)
+        }
+        .map_err(|_| format!("bad number '{tok}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_objects() {
+        let o = JsonObject::new().int("n", 512).num("gflops", 941.5).str("scheme", "A-ABFT");
+        assert_eq!(o.render(), r#"{"n":512,"gflops":941.5,"scheme":"A-ABFT"}"#);
+    }
+
+    #[test]
+    fn escapes_strings_and_handles_nan() {
+        let o = JsonObject::new().str("s", "a\"b\\c").num("x", f64::NAN);
+        assert_eq!(o.render(), r#"{"s":"a\"b\\c","x":null}"#);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let o = JsonObject::new().str("s", "a\nb\tc\u{1}");
+        assert_eq!(o.render(), r#"{"s":"a\nb\tc\u0001"}"#);
+    }
+
+    #[test]
+    fn extreme_floats_use_exponent_notation() {
+        let o = JsonObject::new().num("big", 2.5e300).num("tiny", 3.0e-9).num("zero", 0.0);
+        assert_eq!(o.render(), r#"{"big":2.5e300,"tiny":3e-9,"zero":0}"#);
+    }
+
+    #[test]
+    fn nests_objects_and_arrays() {
+        let o = JsonObject::new()
+            .str("name", "gemm")
+            .object("args", JsonObject::new().int("sm", 3))
+            .array("xs", vec![JsonValue::Int(1), JsonValue::Num(2.5)]);
+        assert_eq!(o.render(), r#"{"name":"gemm","args":{"sm":3},"xs":[1,2.5]}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_emitter_output() {
+        let src = JsonObject::new()
+            .str("s", "a\"b\\c\nd")
+            .num("x", -1.25e-8)
+            .int("n", 18446744073709551615)
+            .bool("ok", true)
+            .field("none", JsonValue::Null)
+            .array("a", vec![JsonValue::Int(-3), JsonValue::Str("µs".into())])
+            .into_value();
+        let back = parse(&src.render()).expect("parse");
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_surrogates() {
+        let v = parse(" { \"k\" : [ 1 , \"\\ud83d\\ude00\" ] } ").expect("parse");
+        assert_eq!(v.get("k").unwrap().as_array().unwrap()[1].as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn writes_valid_array() {
+        let dir = std::env::temp_dir().join("aabft_obs_json_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("out.json");
+        write_array(&path, &[JsonObject::new().int("a", 1), JsonObject::new().int("a", 2)]);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.starts_with("[\n"));
+        assert!(text.contains(r#"{"a":1},"#));
+        assert!(parse(&text).is_ok());
+    }
+}

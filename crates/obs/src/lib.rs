@@ -1,0 +1,104 @@
+//! Observability layer for the A-ABFT reproduction.
+//!
+//! Three pieces, all hand-rolled per the offline dependency policy:
+//!
+//! * [`recorder`] — span/event recording with RAII guards
+//!   ([`Recorder`], [`SpanGuard`]), wall-clock timestamps, per-thread
+//!   tracks, and a JSONL exporter;
+//! * [`metrics`] — a typed registry ([`Metrics`]) of counters, gauges
+//!   and histograms for ABFT-domain signals (detections, corrections,
+//!   recomputations, bound `y` vs observed residual, p-max depth) next
+//!   to the simulator's hardware counters;
+//! * [`chrome`] + [`json`] — exporters: Chrome trace-event JSON
+//!   ([`chrome::ChromeTrace`]) loadable in `chrome://tracing` /
+//!   Perfetto, a metrics summary table, and the shared JSON
+//!   emitter/parser that `aabft-bench` re-exports.
+//!
+//! The two halves meet in [`Obs`], the context instrumented code writes
+//! to. The process-global instance ([`global`]) serves CLI runs; tests
+//! and library users can attach a fresh `Arc<Obs>` to a device instead,
+//! so parallel test threads never share state.
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+use std::sync::{Arc, OnceLock};
+
+pub use chrome::ChromeTrace;
+pub use json::{JsonObject, JsonValue};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use recorder::{Recorder, SpanGuard, SpanRecord};
+
+/// An observability context: one metrics registry plus one recorder.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// The metrics registry (always active; counters are cheap).
+    pub metrics: Metrics,
+    /// The span recorder (inert until [`Recorder::set_enabled`]).
+    pub recorder: Recorder,
+}
+
+impl Obs {
+    /// Creates a fresh context with recording disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fresh shared context (the shape `Device` stores).
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+}
+
+/// The process-global observability context.
+///
+/// Lazily created on first use; the CLI points every device at this
+/// instance so `--trace`/`--metrics` see the whole run.
+pub fn global() -> Arc<Obs> {
+    static GLOBAL: OnceLock<Arc<Obs>> = OnceLock::new();
+    GLOBAL.get_or_init(Obs::new_shared).clone()
+}
+
+/// Opens a span on an [`Obs`] context with optional inline attributes.
+///
+/// ```
+/// let obs = aabft_obs::Obs::new();
+/// obs.recorder.set_enabled(true);
+/// {
+///     let _span = aabft_obs::span!(obs, "phase", "encode", "n" => 64u64);
+/// }
+/// assert_eq!(obs.recorder.spans().len(), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $cat:expr, $name:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        $obs.recorder.span($cat, $name)$(.attr($k, $v))*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_returns_one_instance() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn span_macro_records_with_attrs() {
+        let obs = Obs::new();
+        obs.recorder.set_enabled(true);
+        {
+            let _g = span!(obs, "phase", "check", "mismatches" => 2u64, "scheme" => "A-ABFT");
+        }
+        let spans = obs.recorder.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].args.len(), 2);
+        assert_eq!(spans[0].cat, "phase");
+    }
+}

@@ -1,0 +1,312 @@
+//! Typed metrics registry: counters, gauges and histograms.
+//!
+//! Counters carry the ABFT-domain signals the paper's evaluation is
+//! built on (detections, corrections, recomputations, false positives)
+//! next to the simulator's hardware counters (FLOPs, memory traffic).
+//! Histograms capture per-block distributions — the probabilistic bound
+//! `y` versus the observed residual, p-max reduction depth — where a
+//! single number would hide the tail that decides detection thresholds.
+//!
+//! The registry is instance-based: the process-global instance (see
+//! [`crate::global`]) serves CLI runs, while tests attach a fresh
+//! registry per device so parallel test threads never share counters.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::json::{JsonObject, JsonValue};
+
+/// Aggregate of one histogram metric.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe metrics registry.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Metrics")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `name` (creating it at zero).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        *self.inner.lock().counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.inner.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(name).copied()
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.inner.lock().histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Aggregate of histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().histograms.get(name).copied()
+    }
+
+    /// Clears every metric.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+
+    /// Consistent point-in-time copy of all metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+}
+
+/// An immutable snapshot of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, keyed by metric name (sorted).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram aggregates.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serialises the snapshot as a JSON object with `counters`,
+    /// `gauges` and `histograms` sub-objects.
+    pub fn to_json(&self) -> JsonValue {
+        let mut counters = JsonObject::new();
+        for (k, v) in &self.counters {
+            counters = counters.int(k, *v);
+        }
+        let mut gauges = JsonObject::new();
+        for (k, v) in &self.gauges {
+            gauges = gauges.num(k, *v);
+        }
+        let mut hists = JsonObject::new();
+        for (k, h) in &self.histograms {
+            hists = hists.object(
+                k,
+                JsonObject::new()
+                    .int("count", h.count)
+                    .num("sum", h.sum)
+                    .num("mean", h.mean())
+                    .num("min", h.min)
+                    .num("max", h.max),
+            );
+        }
+        JsonObject::new()
+            .object("counters", counters)
+            .object("gauges", gauges)
+            .object("histograms", hists)
+            .into_value()
+    }
+
+    /// Renders a fixed-width summary table (the `--metrics` companion
+    /// that also prints on `aabft profile`).
+    pub fn render_table(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:width$}  value", "metric");
+        let _ = writeln!(out, "{:-<width$}  -----", "");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k:width$}  {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k:width$}  {v:.6e}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{k:width$}  n={} mean={:.3e} min={:.3e} max={:.3e}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+        out
+    }
+
+    /// Writes the JSON form to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure (exporters treat that as fatal).
+    pub fn write_json(&self, path: &Path) {
+        let mut text = self.to_json().render();
+        text.push('\n');
+        std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.counter_inc("abft.detections");
+        m.counter_add("abft.detections", 2);
+        assert_eq!(m.counter("abft.detections"), 3);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = Metrics::new();
+        m.gauge_set("bound.y", 1.0);
+        m.gauge_set("bound.y", 2.5);
+        assert_eq!(m.gauge("bound.y"), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_aggregate() {
+        let m = Metrics::new();
+        for v in [1.0, 2.0, 9.0] {
+            m.observe("residual", v);
+        }
+        let h = m.histogram("residual").expect("recorded");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 9.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_serialises_and_tabulates() {
+        let m = Metrics::new();
+        m.counter_add("flops", 100);
+        m.gauge_set("y", 1e-12);
+        m.observe("depth", 3.0);
+        let snap = m.snapshot();
+        let json = snap.to_json();
+        assert_eq!(json.get("counters").and_then(|c| c.get("flops")).and_then(|v| v.as_u64()), Some(100));
+        assert!(json.get("histograms").and_then(|h| h.get("depth")).is_some());
+        let parsed = crate::json::parse(&json.render()).expect("valid json");
+        assert_eq!(parsed, json);
+        let table = snap.render_table();
+        assert!(table.contains("flops"));
+        assert!(table.contains("depth"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::new();
+        m.counter_inc("a");
+        m.observe("b", 1.0);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.histogram("b").is_none());
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let m = std::sync::Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.counter_inc("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("hits"), 4000);
+    }
+}

@@ -1,0 +1,301 @@
+//! Span recording: RAII guards that time a region of host code and file
+//! a [`SpanRecord`] with the owning [`Recorder`] when dropped.
+//!
+//! Recording is off by default so instrumented code costs one relaxed
+//! atomic load per span when nobody asked for a trace (fault-injection
+//! campaigns run hundreds of thousands of trials through the same
+//! code paths). With recording enabled, each span captures wall-clock
+//! start/duration in microseconds relative to the recorder's epoch, a
+//! per-thread track id assigned in order of first appearance, a
+//! monotonic sequence number for deterministic ordering under rayon
+//! parallelism, and free-form key/value attributes.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::json::{JsonObject, JsonValue};
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Monotonic index in recording order (ties broken by this).
+    pub seq: u64,
+    /// Span name (e.g. `"encode"`, `"gemm"`).
+    pub name: String,
+    /// Category (e.g. `"phase"`, `"kernel"`, `"trial"`).
+    pub cat: String,
+    /// Host-thread track id (0 = first thread that recorded a span).
+    pub tid: u32,
+    /// Wall-clock start, microseconds since the recorder's epoch.
+    pub start_us: f64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: f64,
+    /// Attributes attached via [`SpanGuard::attr`].
+    pub args: Vec<(String, JsonValue)>,
+}
+
+impl SpanRecord {
+    /// Serialises the span as one JSONL object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonObject::new()
+            .int("seq", self.seq)
+            .str("name", &self.name)
+            .str("cat", &self.cat)
+            .int("tid", self.tid as u64)
+            .num("ts_us", self.start_us)
+            .num("dur_us", self.dur_us);
+        if !self.args.is_empty() {
+            let mut args = JsonObject::new();
+            for (k, v) in &self.args {
+                args = args.field(k, v.clone());
+            }
+            o = o.object("args", args);
+        }
+        o.into_value()
+    }
+}
+
+/// Collects spans from any number of threads.
+pub struct Recorder {
+    enabled: AtomicBool,
+    epoch: Instant,
+    seq: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    threads: Mutex<HashMap<ThreadId, u32>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("spans", &self.spans.lock().len())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder with recording disabled.
+    pub fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            spans: Mutex::new(Vec::new()),
+            threads: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Turns span recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds of wall clock since the recorder was created.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Opens a span; it is recorded when the returned guard drops.
+    ///
+    /// When recording is disabled the guard is inert (no allocation, no
+    /// lock, attributes are dropped).
+    pub fn span(&self, cat: &str, name: &str) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard { recorder: None, record: None };
+        }
+        SpanGuard {
+            recorder: Some(self),
+            record: Some(SpanRecord {
+                seq: 0, // assigned at close so ordering follows completion
+                name: name.to_string(),
+                cat: cat.to_string(),
+                tid: self.thread_tid(),
+                start_us: self.now_us(),
+                dur_us: 0.0,
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Files a fully-formed span (used for synthesised records whose
+    /// timing does not come from a live guard). No-op when disabled.
+    pub fn record(&self, mut span: SpanRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        span.seq = self.next_seq();
+        self.spans.lock().push(span);
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Track id of the calling thread (assigned on first use).
+    pub fn thread_tid(&self) -> u32 {
+        let mut threads = self.threads.lock();
+        let next = threads.len() as u32;
+        *threads.entry(std::thread::current().id()).or_insert(next)
+    }
+
+    /// Clones out the recorded spans, ordered by sequence number.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut spans = self.spans.lock().clone();
+        spans.sort_by_key(|s| s.seq);
+        spans
+    }
+
+    /// Removes and returns the recorded spans.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut spans = std::mem::take(&mut *self.spans.lock());
+        spans.sort_by_key(|s| s.seq);
+        spans
+    }
+
+    /// Renders all spans as JSONL (one JSON object per line).
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.spans() {
+            out.push_str(&span.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL event stream to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure (exporters treat that as fatal).
+    pub fn write_jsonl(&self, path: &Path) {
+        std::fs::write(path, self.jsonl()).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII guard for an open span; files the record when dropped.
+pub struct SpanGuard<'a> {
+    recorder: Option<&'a Recorder>,
+    record: Option<SpanRecord>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a key/value attribute (builder-style, usable at open).
+    pub fn attr(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.add_attr(key, value);
+        self
+    }
+
+    /// Attaches an attribute mid-span (e.g. a result computed inside).
+    pub fn add_attr(&mut self, key: &str, value: impl Into<JsonValue>) {
+        if let Some(r) = self.record.as_mut() {
+            r.args.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Whether this guard will record anything on drop.
+    pub fn is_active(&self) -> bool {
+        self.record.is_some()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let (Some(recorder), Some(mut record)) = (self.recorder, self.record.take()) else {
+            return;
+        };
+        record.dur_us = recorder.now_us() - record.start_us;
+        record.seq = recorder.next_seq();
+        recorder.spans.lock().push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::new();
+        {
+            let mut g = r.span("phase", "encode").attr("n", 64u64);
+            g.add_attr("late", true);
+            assert!(!g.is_active());
+        }
+        assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_order_by_seq() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        {
+            let _outer = r.span("phase", "multiply");
+            let _inner = r.span("kernel", "gemm");
+        }
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first, so it closes (and sequences) first.
+        assert_eq!(spans[0].name, "gemm");
+        assert_eq!(spans[1].name, "multiply");
+        // Nesting: inner wall-clock interval sits inside the outer one.
+        let (inner, outer) = (&spans[0], &spans[1]);
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us + 1e-9);
+    }
+
+    #[test]
+    fn attrs_and_jsonl_round_trip() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        drop(r.span("trial", "inject").attr("sm", 3u64).attr("site", "final_add"));
+        let jsonl = r.jsonl();
+        let line = jsonl.lines().next().expect("one line");
+        let v = crate::json::parse(line).expect("valid json");
+        assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("inject"));
+        assert_eq!(
+            v.get("args").and_then(|a| a.get("site")).and_then(|x| x.as_str()),
+            Some("final_add")
+        );
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let r = std::sync::Arc::new(Recorder::new());
+        r.set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let r = r.clone();
+                s.spawn(move || drop(r.span("phase", "work")));
+            }
+        });
+        let mut tids: Vec<u32> = r.spans().iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each thread gets its own track");
+    }
+
+    #[test]
+    fn drain_empties_the_recorder() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        drop(r.span("phase", "x"));
+        assert_eq!(r.drain().len(), 1);
+        assert!(r.spans().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Capture a Chrome trace and a metrics snapshot of one protected
+//! multiplication, then print where to load them.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline
+//! ```
+//!
+//! Open the trace in [Perfetto](https://ui.perfetto.dev) (or
+//! `chrome://tracing`): the `host (wall clock)` process shows the nested
+//! pipeline phases (upload → encode → gemm → pmax_reduce → check →
+//! recover); the `gpu-sim device (modelled time)` process shows one track
+//! per simulated SM with the kernel slices the roofline model predicts.
+
+use aabft::core::{AAbftConfig, AAbftGemm};
+use aabft::gpu::perf::PerfModel;
+use aabft::gpu::trace::build_trace;
+use aabft::gpu::Device;
+use aabft::matrix::Matrix;
+use aabft::obs::Obs;
+
+fn main() {
+    let n = 256;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) as f64 * 0.19).sin());
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 11 + j) as f64 * 0.23).cos());
+
+    // Attach a fresh observability context and enable span recording
+    // (metrics are always on; spans are opt-in).
+    let mut device = Device::with_defaults();
+    let obs = Obs::new_shared();
+    obs.recorder.set_enabled(true);
+    device.set_obs(obs.clone());
+
+    let outcome = AAbftGemm::new(AAbftConfig::default()).multiply(&device, &a, &b);
+    println!("protected multiply n = {n}: errors detected = {}", outcome.errors_detected());
+
+    let log = device.take_log();
+    let model = PerfModel::k20c();
+
+    // Per-phase breakdown straight from the launch log.
+    println!("\nmodelled phase breakdown:");
+    for c in model.phase_breakdown(&log) {
+        println!("  {:>12}  {:>2} launches  {:8.3} ms", c.phase, c.launches, 1e3 * c.time);
+    }
+
+    // Exporters: Chrome trace, metrics JSON, span JSONL.
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join("aabft_trace.json");
+    let metrics_path = dir.join("aabft_metrics.json");
+    build_trace(&obs.recorder.spans(), &log, &model).write(&trace_path);
+    obs.metrics.snapshot().write_json(&metrics_path);
+
+    println!("\nmetrics summary:\n{}", obs.metrics.snapshot().render_table());
+    println!("trace written to   {} (load in https://ui.perfetto.dev)", trace_path.display());
+    println!("metrics written to {}", metrics_path.display());
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must keep green.
+#
+#   scripts/tier1.sh
+#
+# Runs the release build, the full test suite, and clippy with warnings
+# denied, stopping at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "tier-1: all green"

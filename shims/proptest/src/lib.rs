@@ -1,0 +1,151 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset the workspace's property tests use: the
+//! [`Strategy`] trait over ranges/`Just`/tuples, `prop_oneof!`,
+//! `prop_flat_map`, `prop::collection::vec`, and the `proptest!` /
+//! `prop_assert*!` macro family. Cases are generated from a deterministic
+//! per-test seed; failures report the case number and seed instead of
+//! shrinking. Case count defaults to 64 and follows the `PROPTEST_CASES`
+//! environment variable, so `cargo test` stays fast offline.
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Deterministic RNG driving every strategy.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Error type carried by `prop_assert*!` early returns.
+pub type TestCaseError = String;
+
+/// `use proptest::prelude::*;` — everything the tests need.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// The `prop::` namespace (`prop::collection::vec` and friends).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Test-runner internals used by the `proptest!` macro expansion.
+pub mod runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Number of cases per property (env `PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Runs `case` once per generated input; panics on the first failure,
+    /// reporting the case index and seed for reproduction.
+    pub fn run<F>(name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), super::TestCaseError>,
+    {
+        let base = fnv1a(name);
+        for i in 0..case_count() {
+            let seed = base ^ i.wrapping_mul(0x9e3779b97f4a7c15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(msg) = case(&mut rng) {
+                panic!("property {name:?} failed at case {i} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strategy) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::runner::run(stringify!($name), |__proptest_rng| {
+                    let ($($pat,)+) = $crate::Strategy::sample(&($($strat,)+), __proptest_rng);
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts within a property; failure fails only the current case report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!("assertion failed: `{left:?} == {right:?}`"));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!("assertion failed: `{left:?} == {right:?}`: {}", format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err(format!("assertion failed: `{left:?} != {right:?}`"));
+        }
+    }};
+}
+
+/// Discards the current case when its inputs don't satisfy a precondition.
+/// (This shim counts discarded cases as passes instead of re-drawing.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::DynStrategy<_>>),+
+        ])
+    };
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace only uses `(range).into_par_iter().map(f).collect()`, so
+//! that is what this crate provides: a data-parallel map over an index
+//! range, executed on std scoped threads with a shared atomic work cursor
+//! (dynamic load balancing, like rayon's work stealing at this grain).
+//! Results are returned in input order, so callers observe rayon's exact
+//! semantics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything callers need: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type produced.
+    type Item;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A minimal parallel iterator: `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// The element type produced.
+    type Item;
+
+    /// Maps every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Evaluates the pipeline; elements arrive in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Collects into any `FromIterator` container, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+    fn run(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<R, F> ParallelIterator for Map<ParRange, F>
+where
+    F: Fn(usize) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_range(self.base.range, &self.f)
+    }
+}
+
+/// Number of worker threads: the available parallelism, overridable (and
+/// disableable) via `RAYON_NUM_THREADS`, as with real rayon.
+fn num_threads(jobs: usize) -> usize {
+    let hw = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    hw.min(jobs).max(1)
+}
+
+fn par_map_range<R, F>(range: std::ops::Range<usize>, f: &F) -> Vec<R>
+where
+    F: Fn(usize) -> R + Sync,
+    R: Send,
+{
+    let start = range.start;
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = num_threads(len);
+    if workers == 1 {
+        return (start..range.end).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    // Hand each worker a disjoint set of result slots via a striped claim of
+    // indices from the shared cursor; the raw-pointer write is safe because
+    // every index is claimed exactly once.
+    struct SlotsPtr<R>(*mut Option<R>);
+    unsafe impl<R: Send> Sync for SlotsPtr<R> {}
+    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let slots_ptr = &slots_ptr;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let value = f(start + i);
+                // SAFETY: `i` comes from a fetch_add, so no two workers ever
+                // claim the same slot, and `slots` outlives the scope.
+                unsafe { *slots_ptr.0.add(i) = Some(value) };
+            });
+        }
+    });
+
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_concurrently_or_at_least_correctly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..64)
+            .into_par_iter()
+            .map(|i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+            .collect();
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        assert_eq!(v.len(), 64);
+    }
+}

@@ -7,7 +7,8 @@
 //! * [`gpu`] — the SIMT-style GPU simulator with fault injection;
 //! * [`core`] — the A-ABFT scheme itself;
 //! * [`baselines`] — fixed-bound ABFT, SEA-ABFT, TMR, unprotected;
-//! * [`faults`] — bit-flip campaigns reproducing Figure 4.
+//! * [`faults`] — bit-flip campaigns reproducing Figure 4;
+//! * [`obs`] — spans, metrics and Chrome-trace export across the pipeline.
 //!
 //! # Quick start
 //!
@@ -32,3 +33,4 @@ pub use aabft_faults as faults;
 pub use aabft_gpu_sim as gpu;
 pub use aabft_matrix as matrix;
 pub use aabft_numerics as numerics;
+pub use aabft_obs as obs;
