@@ -11,19 +11,29 @@
 //!
 //! The host then decodes the report and (optionally) repairs located single
 //! errors.
+//!
+//! Entry points: [`AAbftGemm::execute`] runs the whole pipeline on an
+//! [`ExecCtx`] (device + stream + observability) and returns a typed error
+//! on shape mismatch; [`AAbftGemm::multiply`] is the historical convenience
+//! wrapper on the default stream. The pipeline is also exposed *staged* —
+//! [`AAbftGemm::begin`] returns a [`MultiplyRun`] whose phase methods the
+//! batch engine ([`crate::batch`]) interleaves across requests on separate
+//! streams, reusing pooled [`RunBuffers`].
 
 use crate::check::CheckReport;
 use crate::config::AAbftConfig;
 use crate::correct::Correction;
 use crate::encoding::{AugmentedLayout, FullChecksummed};
-use crate::recover::{apply_policy, RecomputeBlocksKernel, RecoveryOutcome};
+use crate::error::AbftError;
 use crate::kernels::buffers::PMaxBuffers;
 use crate::kernels::check::{CheckKernel, DIAG_WORDS, REPORT_WORDS};
 use crate::kernels::encode::{EncodeColumnsKernel, EncodeRowsKernel};
 use crate::kernels::reduce::ReducePMaxKernel;
+use crate::recover::{apply_policy, RecomputeBlocksKernel, RecoveryOutcome};
 use aabft_gpu_sim::device::Device;
 use aabft_gpu_sim::kernels::gemm::GemmKernel;
 use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::{ConfigError, ExecCtx};
 use aabft_matrix::Matrix;
 
 /// Result of one protected multiplication.
@@ -49,6 +59,89 @@ impl AAbftOutcome {
     }
 }
 
+/// Shape-dependent execution plan for operands `m × n · n × q` under a
+/// fixed configuration: the augmented axis layouts and the padded inner
+/// extent. Pure geometry — the batch engine caches plans keyed by
+/// `(m, n, q, BS)` so repeated shapes skip the layout computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmPlan {
+    /// Row-axis layout (from `A`).
+    pub rows: AugmentedLayout,
+    /// Padded inner extent.
+    pub inner: usize,
+    /// Column-axis layout (from `B`).
+    pub cols: AugmentedLayout,
+}
+
+/// The device buffers one protected multiplication works in. Sized by a
+/// [`GemmPlan`], so the batch engine pools them per plan key and reuses
+/// them across requests of the same shape ([`RunBuffers::reset`] rezeros
+/// between uses).
+#[derive(Debug)]
+pub struct RunBuffers {
+    /// Augmented `A` operand (`rows.total × inner`).
+    pub a: DeviceBuffer,
+    /// Augmented `B` operand (`inner × cols.total`).
+    pub b: DeviceBuffer,
+    /// Augmented product (`rows.total × cols.total`).
+    pub c: DeviceBuffer,
+    /// p-max buffers for `A`'s rows.
+    pub pmax_a: PMaxBuffers,
+    /// p-max buffers for `B`'s columns.
+    pub pmax_b: PMaxBuffers,
+    /// Check-report words per result block.
+    pub report: DeviceBuffer,
+    /// Check diagnostics words per result block.
+    pub diag: DeviceBuffer,
+}
+
+impl RunBuffers {
+    /// Allocates zeroed buffers sized for `plan` with `p` tracked maxima.
+    pub fn for_plan(plan: &GemmPlan, p: usize) -> Self {
+        let bs = plan.rows.block_size;
+        RunBuffers {
+            a: DeviceBuffer::zeros(plan.rows.total * plan.inner),
+            b: DeviceBuffer::zeros(plan.inner * plan.cols.total),
+            c: DeviceBuffer::zeros(plan.rows.total * plan.cols.total),
+            pmax_a: PMaxBuffers::new(plan.rows.total, plan.inner / bs, p),
+            pmax_b: PMaxBuffers::new(plan.cols.total, plan.inner / bs, p),
+            report: DeviceBuffer::zeros(REPORT_WORDS * plan.rows.blocks * plan.cols.blocks),
+            diag: DeviceBuffer::zeros(DIAG_WORDS * plan.rows.blocks * plan.cols.blocks),
+        }
+    }
+
+    /// `true` if these buffers fit `plan` with `p` tracked maxima exactly.
+    pub fn fits(&self, plan: &GemmPlan, p: usize) -> bool {
+        let bs = plan.rows.block_size;
+        self.a.len() == plan.rows.total * plan.inner
+            && self.b.len() == plan.inner * plan.cols.total
+            && self.c.len() == plan.rows.total * plan.cols.total
+            && self.pmax_a.lines == plan.rows.total
+            && self.pmax_a.blocks == plan.inner / bs
+            && self.pmax_a.p == p
+            && self.pmax_b.lines == plan.cols.total
+            && self.report.len() == REPORT_WORDS * plan.rows.blocks * plan.cols.blocks
+    }
+
+    /// Rezeros every buffer (before reusing pooled buffers for a new
+    /// request).
+    pub fn reset(&self) {
+        self.a.clear();
+        self.b.clear();
+        self.c.clear();
+        self.pmax_a.partial_vals.clear();
+        self.pmax_a.partial_idxs.clear();
+        self.pmax_a.final_vals.clear();
+        self.pmax_a.final_idxs.clear();
+        self.pmax_b.partial_vals.clear();
+        self.pmax_b.partial_idxs.clear();
+        self.pmax_b.final_vals.clear();
+        self.pmax_b.final_idxs.clear();
+        self.report.clear();
+        self.diag.clear();
+    }
+}
+
 /// The A-ABFT protected GEMM operator.
 ///
 /// # Examples
@@ -60,7 +153,7 @@ impl AAbftOutcome {
 ///
 /// let a = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.3).sin());
 /// let b = Matrix::from_fn(8, 8, |i, j| ((i * 2 + j) as f64 * 0.2).cos());
-/// let config = AAbftConfig::builder().block_size(4).build();
+/// let config = AAbftConfig::builder().block_size(4).build().unwrap();
 /// let gemm = AAbftGemm::new(config);
 /// let device = Device::with_defaults();
 /// let outcome = gemm.multiply(&device, &a, &b);
@@ -72,15 +165,32 @@ pub struct AAbftGemm {
     config: AAbftConfig,
 }
 
+impl Default for AAbftGemm {
+    /// The paper's evaluation configuration ([`AAbftConfig::default`]).
+    fn default() -> Self {
+        AAbftGemm { config: AAbftConfig::default() }
+    }
+}
+
 impl AAbftGemm {
     /// Creates the operator.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; [`AAbftGemm::try_new`] is
+    /// the non-panicking variant.
     pub fn new(config: AAbftConfig) -> Self {
-        config.validate();
-        AAbftGemm { config }
+        match Self::try_new(config) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates the operator, rejecting invalid configurations with a typed
+    /// error.
+    pub fn try_new(config: AAbftConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(AAbftGemm { config })
     }
 
     /// The active configuration.
@@ -98,148 +208,232 @@ impl AAbftGemm {
         (rows, inner, cols)
     }
 
-    /// Runs the protected multiplication `C = A · B` on `device`.
+    /// The execution plan for operand shapes `m × n · n × q`.
+    pub fn plan(&self, m: usize, n: usize, q: usize) -> GemmPlan {
+        let (rows, inner, cols) = self.layouts(m, n, q);
+        GemmPlan { rows, inner, cols }
+    }
+
+    /// Runs the protected multiplication `C = A · B` on `device` (default
+    /// stream, device observability) — the convenience form of
+    /// [`AAbftGemm::execute`].
     ///
     /// # Panics
     ///
     /// Panics if `a.cols() != b.rows()`.
     pub fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> AAbftOutcome {
-        assert_eq!(
-            a.cols(),
-            b.rows(),
-            "inner dimensions must agree: {:?} x {:?}",
-            a.shape(),
-            b.shape()
-        );
-        let (m, n, q) = (a.rows(), a.cols(), b.cols());
-        let (rows, inner, cols) = self.layouts(m, n, q);
-        let bs = self.config.block_size;
-        let p = self.config.p;
-        let obs = device.obs().clone();
+        match self.execute(&ExecCtx::new(device), a, b) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the protected multiplication `C = A · B` on an execution
+    /// context (device + stream + observability sink).
+    ///
+    /// Rejects mismatched operand shapes with a typed error instead of
+    /// panicking.
+    pub fn execute(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<AAbftOutcome, AbftError> {
         let _pipeline = aabft_obs::span!(
-            obs,
+            ctx.obs,
             "abft",
             "aabft_multiply",
-            "m" => m as u64,
-            "n" => n as u64,
-            "q" => q as u64,
-            "p" => p as u64,
+            "m" => a.rows() as u64,
+            "n" => a.cols() as u64,
+            "q" => b.cols() as u64,
+            "p" => self.config.p as u64,
         );
+        let run = self.begin(ctx, a, b)?;
+        run.encode(ctx);
+        run.gemm(ctx);
+        run.reduce(ctx);
+        run.check(ctx);
+        let (outcome, _bufs) = run.finish(ctx);
+        Ok(outcome)
+    }
+
+    /// Starts a staged multiplication: checks shapes, allocates fresh
+    /// [`RunBuffers`] and uploads the operands. The caller then drives
+    /// [`MultiplyRun::encode`], [`MultiplyRun::gemm`],
+    /// [`MultiplyRun::reduce`], [`MultiplyRun::check`] and
+    /// [`MultiplyRun::finish`] — in that order.
+    pub fn begin(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<MultiplyRun, AbftError> {
+        if a.cols() != b.rows() {
+            return Err(AbftError::ShapeMismatch {
+                op: "multiply",
+                left: a.shape(),
+                right: b.shape(),
+            });
+        }
+        let plan = self.plan(a.rows(), a.cols(), b.cols());
+        let bufs = RunBuffers::for_plan(&plan, self.config.p);
+        self.begin_with(ctx, a, b, bufs)
+    }
+
+    /// [`AAbftGemm::begin`] with caller-provided (pooled) buffers, which
+    /// are rezeroed and refilled in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bufs` was not sized for these operands' plan (a pool
+    /// bookkeeping bug, not user input).
+    pub fn begin_with(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+        bufs: RunBuffers,
+    ) -> Result<MultiplyRun, AbftError> {
+        if a.cols() != b.rows() {
+            return Err(AbftError::ShapeMismatch {
+                op: "multiply",
+                left: a.shape(),
+                right: b.shape(),
+            });
+        }
+        let (m, n, q) = (a.rows(), a.cols(), b.cols());
+        let plan = self.plan(m, n, q);
+        assert!(bufs.fits(&plan, self.config.p), "run buffers do not fit the plan");
 
         // Upload operands into their augmented, padded layouts (checksum
         // regions zeroed; the encoding kernels fill them).
-        let (a_buf, b_buf) = {
-            let _s = aabft_obs::span!(obs, "phase", "upload");
-            let a_buf = {
-                let mut aug = Matrix::zeros(rows.total, inner);
-                for i in 0..m {
-                    aug.row_mut(i)[..n].copy_from_slice(a.row(i));
-                }
-                DeviceBuffer::from_matrix(&aug)
-            };
-            let b_buf = {
-                let mut aug = Matrix::zeros(inner, cols.total);
-                for i in 0..n {
-                    aug.row_mut(i)[..q].copy_from_slice(b.row(i));
-                }
-                DeviceBuffer::from_matrix(&aug)
-            };
-            (a_buf, b_buf)
-        };
-
-        // Step 1: encoding + per-block p-max.
-        let pmax_a = PMaxBuffers::new(rows.total, inner / bs, p);
-        let pmax_b = PMaxBuffers::new(cols.total, inner / bs, p);
-        {
-            let _s = aabft_obs::span!(obs, "phase", "encode");
-            let encode_a = EncodeColumnsKernel::new(&a_buf, &pmax_a, rows, inner);
-            device.launch(encode_a.grid(), &encode_a);
-            let encode_b = EncodeRowsKernel::new(&b_buf, &pmax_b, cols, inner);
-            device.launch(encode_b.grid(), &encode_b);
+        let _s = aabft_obs::span!(ctx.obs, "phase", "upload");
+        bufs.reset();
+        for i in 0..m {
+            bufs.a.write_slice(i * plan.inner, a.row(i));
         }
-
-        // Step 2: the multiplication over the augmented operands.
-        let c_buf = DeviceBuffer::zeros(rows.total * cols.total);
-        {
-            let _s = aabft_obs::span!(obs, "phase", "gemm");
-            let gemm = GemmKernel::new(
-                &a_buf,
-                &b_buf,
-                &c_buf,
-                rows.total,
-                inner,
-                cols.total,
-                self.config.tiling,
-            )
-            .with_mul_mode(self.config.mul_mode)
-            .with_rounding(self.config.rounding);
-            device.launch(gemm.grid(), &gemm);
+        for i in 0..n {
+            bufs.b.write_slice(i * plan.cols.total, b.row(i));
         }
+        Ok(MultiplyRun { config: self.config, m, q, plan, bufs })
+    }
+}
 
-        // Step 3: global p-max reduction (the paper overlaps this with the
-        // multiplication; the performance model charges it separately).
-        {
-            let _s = aabft_obs::span!(obs, "phase", "pmax_reduce");
-            let reduce_a = ReducePMaxKernel::new(&pmax_a);
-            device.launch(reduce_a.grid(), &reduce_a);
-            let reduce_b = ReducePMaxKernel::new(&pmax_b);
-            device.launch(reduce_b.grid(), &reduce_b);
-        }
+/// In-flight state of one staged protected multiplication (see
+/// [`AAbftGemm::begin`]). Phase methods must be called in pipeline order on
+/// the same stream; different runs on different streams may have their
+/// phases interleaved freely — that is exactly what the batch engine does.
+#[derive(Debug)]
+pub struct MultiplyRun {
+    config: AAbftConfig,
+    m: usize,
+    q: usize,
+    plan: GemmPlan,
+    bufs: RunBuffers,
+}
 
-        // Step 4: bounds + reference checksums + comparison. The diagnostics
-        // buffer captures each block's worst residual against its autonomous
-        // bound for the metrics histograms below.
-        let report_buf = DeviceBuffer::zeros(REPORT_WORDS * rows.blocks * cols.blocks);
-        let diag_buf = DeviceBuffer::zeros(DIAG_WORDS * rows.blocks * cols.blocks);
-        {
-            let _s = aabft_obs::span!(obs, "phase", "check");
-            let check = CheckKernel::new(
-                &c_buf,
-                &pmax_a,
-                &pmax_b,
-                &report_buf,
-                rows,
-                cols,
-                inner,
-                self.config.omega,
-                self.config.rounding_model(),
-            )
-            .with_diag(&diag_buf);
-            device.launch(check.grid(), &check);
-        }
+impl MultiplyRun {
+    /// The plan this run was laid out with.
+    pub fn plan(&self) -> &GemmPlan {
+        &self.plan
+    }
 
-        // Host epilogue: decode, apply the recovery policy, strip to the
-        // caller's shape.
-        let _s = aabft_obs::span!(obs, "phase", "recover");
-        let report = CheckReport::from_raw(&report_buf.to_vec(), rows, cols);
+    /// Step 1: encoding + per-block p-max for both operands.
+    pub fn encode(&self, ctx: &ExecCtx<'_>) {
+        let _s = aabft_obs::span!(ctx.obs, "phase", "encode");
+        let encode_a =
+            EncodeColumnsKernel::new(&self.bufs.a, &self.bufs.pmax_a, self.plan.rows, self.plan.inner);
+        ctx.launch(encode_a.grid(), &encode_a);
+        let encode_b =
+            EncodeRowsKernel::new(&self.bufs.b, &self.bufs.pmax_b, self.plan.cols, self.plan.inner);
+        ctx.launch(encode_b.grid(), &encode_b);
+    }
+
+    /// Step 2: the multiplication over the augmented operands.
+    pub fn gemm(&self, ctx: &ExecCtx<'_>) {
+        let _s = aabft_obs::span!(ctx.obs, "phase", "gemm");
+        let gemm = GemmKernel::new(
+            &self.bufs.a,
+            &self.bufs.b,
+            &self.bufs.c,
+            self.plan.rows.total,
+            self.plan.inner,
+            self.plan.cols.total,
+            self.config.tiling,
+        )
+        .with_mul_mode(self.config.mul_mode)
+        .with_rounding(self.config.rounding);
+        ctx.launch(gemm.grid(), &gemm);
+    }
+
+    /// Step 3: global p-max reduction (the paper overlaps this with the
+    /// multiplication; the performance model charges it separately).
+    pub fn reduce(&self, ctx: &ExecCtx<'_>) {
+        let _s = aabft_obs::span!(ctx.obs, "phase", "pmax_reduce");
+        let reduce_a = ReducePMaxKernel::new(&self.bufs.pmax_a);
+        ctx.launch(reduce_a.grid(), &reduce_a);
+        let reduce_b = ReducePMaxKernel::new(&self.bufs.pmax_b);
+        ctx.launch(reduce_b.grid(), &reduce_b);
+    }
+
+    /// Step 4: bounds + reference checksums + comparison. The diagnostics
+    /// buffer captures each block's worst residual against its autonomous
+    /// bound for the metrics histograms emitted by
+    /// [`MultiplyRun::finish`].
+    pub fn check(&self, ctx: &ExecCtx<'_>) {
+        let _s = aabft_obs::span!(ctx.obs, "phase", "check");
+        let check = CheckKernel::new(
+            &self.bufs.c,
+            &self.bufs.pmax_a,
+            &self.bufs.pmax_b,
+            &self.bufs.report,
+            self.plan.rows,
+            self.plan.cols,
+            self.plan.inner,
+            self.config.omega,
+            self.config.rounding_model(),
+        )
+        .with_diag(&self.bufs.diag);
+        ctx.launch(check.grid(), &check);
+    }
+
+    /// Host epilogue: decode the report, apply the recovery policy, strip
+    /// to the caller's shape and emit the per-multiplication metrics.
+    /// Returns the outcome together with the buffers, so pooled buffers
+    /// can be recycled.
+    pub fn finish(self, ctx: &ExecCtx<'_>) -> (AAbftOutcome, RunBuffers) {
+        let MultiplyRun { config, m, q, plan, bufs } = self;
+        let GemmPlan { rows, inner, cols } = plan;
+        let _s = aabft_obs::span!(ctx.obs, "phase", "recover");
+        let report = CheckReport::from_raw(&bufs.report.to_vec(), rows, cols);
         let mut full = FullChecksummed {
-            matrix: c_buf.to_matrix(rows.total, cols.total),
+            matrix: bufs.c.to_matrix(rows.total, cols.total),
             rows,
             cols,
         };
         let RecoveryOutcome { corrections, recomputed_blocks } =
-            apply_policy(self.config.recovery, &mut full, &report, |blocks, prod| {
+            apply_policy(config.recovery, &mut full, &report, |blocks, prod| {
                 // Selective block recompute on the device, then refresh the
                 // host copy of the product.
                 let kernel = RecomputeBlocksKernel::new(
-                    &a_buf,
-                    &b_buf,
-                    &c_buf,
+                    &bufs.a,
+                    &bufs.b,
+                    &bufs.c,
                     inner,
                     cols.total,
-                    bs,
+                    config.block_size,
                     rows.data,
                     cols.data,
                     blocks,
                 );
-                device.launch(kernel.grid(), &kernel);
-                prod.matrix = c_buf.to_matrix(rows.total, cols.total);
+                ctx.launch(kernel.grid(), &kernel);
+                prod.matrix = bufs.c.to_matrix(rows.total, cols.total);
             });
         drop(_s);
         let product = full.matrix.block(0, 0, m, q);
 
         // ABFT-domain metrics: one sample per protected multiplication.
-        let metrics = &obs.metrics;
+        let metrics = &ctx.obs.metrics;
         metrics.counter_inc("abft.multiplies");
         metrics.counter_add("abft.detections", u64::from(report.errors_detected()));
         metrics.counter_add(
@@ -249,14 +443,14 @@ impl AAbftGemm {
         metrics.counter_add("abft.located", report.located.len() as u64);
         metrics.counter_add("abft.corrections", corrections.len() as u64);
         metrics.counter_add("abft.recomputed_blocks", recomputed_blocks.len() as u64);
-        metrics.gauge_set("abft.pmax_p", p as f64);
-        for block in diag_buf.to_vec().chunks_exact(DIAG_WORDS) {
+        metrics.gauge_set("abft.pmax_p", config.p as f64);
+        for block in bufs.diag.to_vec().chunks_exact(DIAG_WORDS) {
             metrics.observe("check.residual", block[0]);
             metrics.observe("check.bound_y", block[1]);
             metrics.observe("check.epsilon", block[2]);
         }
 
-        AAbftOutcome { product, full, report, corrections, recomputed_blocks }
+        (AAbftOutcome { product, full, report, corrections, recomputed_blocks }, bufs)
     }
 }
 
@@ -285,6 +479,7 @@ mod tests {
             .block_size(4)
             .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
             .build()
+            .expect("valid test config")
     }
 
     fn inputs(m: usize, n: usize, q: usize) -> (Matrix<f64>, Matrix<f64>) {
@@ -310,6 +505,67 @@ mod tests {
         assert!(!outcome.errors_detected());
         assert_eq!(outcome.product.shape(), (10, 18));
         assert!(outcome.product.approx_eq(&host_multiply(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn execute_rejects_shape_mismatch_with_typed_error() {
+        let (a, _) = inputs(8, 8, 8);
+        let (_, b) = inputs(8, 12, 8);
+        let device = Device::with_defaults();
+        let err = AAbftGemm::new(small_config())
+            .execute(&ExecCtx::new(&device), &a, &b)
+            .unwrap_err();
+        assert!(matches!(err, AbftError::ShapeMismatch { op: "multiply", .. }), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions must agree")]
+    fn multiply_convenience_still_panics_on_shape_mismatch() {
+        let (a, _) = inputs(8, 8, 8);
+        let (_, b) = inputs(8, 12, 8);
+        AAbftGemm::new(small_config()).multiply(&Device::with_defaults(), &a, &b);
+    }
+
+    #[test]
+    fn execute_on_a_non_default_stream_matches_multiply_bitwise() {
+        let (a, b) = inputs(16, 16, 16);
+        let gemm = AAbftGemm::new(small_config());
+        let base = gemm.multiply(&Device::with_defaults(), &a, &b);
+        let device = Device::with_defaults();
+        let stream = device.create_stream();
+        let streamed = gemm.execute(&ExecCtx::on_stream(&device, stream), &a, &b).unwrap();
+        assert_eq!(base.product, streamed.product, "streams must not change results");
+        let log = device.take_log();
+        assert!(log.iter().all(|r| r.stream == stream.raw()), "launches carry the stream");
+    }
+
+    #[test]
+    fn pooled_buffers_reproduce_fresh_buffers_bitwise() {
+        let (a, b) = inputs(16, 16, 16);
+        let gemm = AAbftGemm::new(small_config());
+        let device = Device::with_defaults();
+        let ctx = ExecCtx::new(&device);
+        let fresh = gemm.execute(&ctx, &a, &b).unwrap();
+
+        // Run a different multiplication into the buffers, then reuse them.
+        let plan = gemm.plan(16, 16, 16);
+        let bufs = RunBuffers::for_plan(&plan, gemm.config().p);
+        let (c, d) = inputs(16, 16, 16);
+        let run = gemm.begin_with(&ctx, &d, &c, bufs).unwrap();
+        run.encode(&ctx);
+        run.gemm(&ctx);
+        run.reduce(&ctx);
+        run.check(&ctx);
+        let (_, recycled) = run.finish(&ctx);
+
+        let run = gemm.begin_with(&ctx, &a, &b, recycled).unwrap();
+        run.encode(&ctx);
+        run.gemm(&ctx);
+        run.reduce(&ctx);
+        run.check(&ctx);
+        let (reused, _) = run.finish(&ctx);
+        assert_eq!(fresh.product, reused.product, "pooled buffers must be bit-identical");
+        assert!(!reused.errors_detected());
     }
 
     #[test]
@@ -357,7 +613,8 @@ mod tests {
             .block_size(4)
             .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
             .correct(true)
-            .build();
+            .build()
+            .expect("valid test config");
         let outcome = AAbftGemm::new(config).multiply(&device, &a, &b);
         assert!(device.disarm_injection());
         if outcome.report.single_error() {

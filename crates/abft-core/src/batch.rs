@@ -1,0 +1,333 @@
+//! Multi-stream batched execution of protected multiplications.
+//!
+//! [`BatchGemm`] accepts N protected-GEMM requests and runs them through
+//! the A-ABFT pipeline with three forms of reuse/overlap a loop of
+//! [`AAbftGemm::multiply`] calls cannot get:
+//!
+//! * **plan caching** — augmented layouts are computed once per distinct
+//!   `(m, n, q, BS)` and reused for every request of that shape;
+//! * **buffer pooling** — device buffers ([`RunBuffers`]) are recycled
+//!   across requests of the same shape instead of reallocated;
+//! * **stream overlap** — requests are spread round-robin over a set of
+//!   streams and their encode/gemm/reduce/check phases are issued
+//!   interleaved, so the stream scheduler
+//!   ([`aabft_gpu_sim::PerfModel::schedule`]) overlaps different requests'
+//!   kernels on the device's SMs in the modelled timeline.
+//!
+//! Kernels execute functionally at issue time, so batching never changes
+//! numeric results: the products are bit-identical to sequential execution
+//! (a property the tests pin down). Host epilogues (report decoding,
+//! correction) run in parallel under the rayon shim — except under
+//! [`RecoveryPolicy::CorrectOrRecompute`], where the epilogue launches
+//! recompute kernels and stays sequential to keep the launch log
+//! deterministic.
+
+use crate::aabft::{AAbftGemm, AAbftOutcome, GemmPlan, MultiplyRun, RunBuffers};
+use crate::error::AbftError;
+use crate::recover::RecoveryPolicy;
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::stream::{ExecCtx, StreamId};
+use aabft_matrix::Matrix;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Cache key of a request shape: `(m, n, q, block_size)`.
+pub type PlanKey = (usize, usize, usize, usize);
+
+/// Batched protected-GEMM service (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::{AAbftConfig, AAbftGemm, BatchGemm};
+/// use aabft_gpu_sim::Device;
+/// use aabft_matrix::Matrix;
+///
+/// let config = AAbftConfig::builder().block_size(4).build().unwrap();
+/// let batch = BatchGemm::new(AAbftGemm::new(config)).with_streams(4);
+/// let device = Device::with_defaults();
+/// let requests: Vec<_> = (0..6)
+///     .map(|r| {
+///         (
+///             Matrix::from_fn(8, 8, |i, j| ((r + i + j) as f64 * 0.1).sin()),
+///             Matrix::from_fn(8, 8, |i, j| ((r + i * 2 + j) as f64 * 0.1).cos()),
+///         )
+///     })
+///     .collect();
+/// let outcomes = batch.execute(&device, &requests).unwrap();
+/// assert_eq!(outcomes.len(), 6);
+/// assert!(outcomes.iter().all(|o| !o.errors_detected()));
+/// ```
+#[derive(Debug)]
+pub struct BatchGemm {
+    gemm: AAbftGemm,
+    streams: usize,
+    plans: Mutex<HashMap<PlanKey, GemmPlan>>,
+    pool: Mutex<HashMap<PlanKey, Vec<RunBuffers>>>,
+}
+
+impl BatchGemm {
+    /// Default number of streams requests are spread over.
+    pub const DEFAULT_STREAMS: usize = 8;
+
+    /// Creates the service around a configured A-ABFT operator.
+    pub fn new(gemm: AAbftGemm) -> Self {
+        BatchGemm {
+            gemm,
+            streams: Self::DEFAULT_STREAMS,
+            plans: Mutex::new(HashMap::new()),
+            pool: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the number of streams requests are spread over (at least 1).
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams.max(1);
+        self
+    }
+
+    /// The underlying protected-GEMM operator.
+    pub fn gemm(&self) -> &AAbftGemm {
+        &self.gemm
+    }
+
+    /// Number of pooled buffer sets currently available for reuse.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.lock().values().map(Vec::len).sum()
+    }
+
+    fn plan_for(&self, key: PlanKey, obs: &aabft_obs::Obs) -> GemmPlan {
+        let mut plans = self.plans.lock();
+        match plans.get(&key) {
+            Some(&plan) => {
+                obs.metrics.counter_inc("batch.plan_hits");
+                plan
+            }
+            None => {
+                obs.metrics.counter_inc("batch.plan_misses");
+                let plan = self.gemm.plan(key.0, key.1, key.2);
+                plans.insert(key, plan);
+                plan
+            }
+        }
+    }
+
+    fn buffers_for(&self, key: PlanKey, plan: &GemmPlan, obs: &aabft_obs::Obs) -> RunBuffers {
+        if let Some(bufs) = self.pool.lock().get_mut(&key).and_then(Vec::pop) {
+            obs.metrics.counter_inc("batch.buffer_reuses");
+            return bufs;
+        }
+        obs.metrics.counter_inc("batch.buffer_allocs");
+        RunBuffers::for_plan(plan, self.gemm.config().p)
+    }
+
+    /// Executes `requests` (pairs `(A, B)`, each computing `C = A · B`)
+    /// and returns their outcomes in request order.
+    ///
+    /// Rejects any shape-mismatched request with a typed error before a
+    /// single kernel is issued.
+    pub fn execute(
+        &self,
+        device: &Device,
+        requests: &[(Matrix<f64>, Matrix<f64>)],
+    ) -> Result<Vec<AAbftOutcome>, AbftError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        for (a, b) in requests {
+            if a.cols() != b.rows() {
+                return Err(AbftError::ShapeMismatch {
+                    op: "batch",
+                    left: a.shape(),
+                    right: b.shape(),
+                });
+            }
+        }
+
+        let obs = device.obs().clone();
+        let bs = self.gemm.config().block_size;
+        let streams: Vec<StreamId> =
+            (0..self.streams.min(requests.len())).map(|_| device.create_stream()).collect();
+        let _batch = aabft_obs::span!(
+            obs,
+            "batch",
+            "batch_execute",
+            "requests" => requests.len() as u64,
+            "streams" => streams.len() as u64,
+        );
+        obs.metrics.counter_add("batch.requests", requests.len() as u64);
+        obs.metrics.gauge_set("batch.streams", streams.len() as f64);
+
+        // Upload phase (host-side): plan lookup, pooled buffers, operand
+        // upload. Each request gets a per-request span carrying its stream.
+        let mut keys = Vec::with_capacity(requests.len());
+        let mut runs: Vec<(StreamId, MultiplyRun)> = Vec::with_capacity(requests.len());
+        for (i, (a, b)) in requests.iter().enumerate() {
+            let stream = streams[i % streams.len()];
+            let ctx = ExecCtx::on_stream(device, stream);
+            let _req = aabft_obs::span!(
+                obs,
+                "batch",
+                "request",
+                "request" => i as u64,
+                "stream" => stream.raw(),
+                "m" => a.rows() as u64,
+                "n" => a.cols() as u64,
+                "q" => b.cols() as u64,
+            );
+            obs.metrics.counter_inc(&format!("batch.stream.{}.requests", stream.raw()));
+            let key: PlanKey = (a.rows(), a.cols(), b.cols(), bs);
+            let plan = self.plan_for(key, &obs);
+            let bufs = self.buffers_for(key, &plan, &obs);
+            keys.push(key);
+            runs.push((stream, self.gemm.begin_with(&ctx, a, b, bufs)?));
+        }
+
+        // Issue the device phases interleaved across requests: all encodes,
+        // then all gemms, then all reductions, then all checks. Each
+        // request's launches stay ordered on its own stream; requests on
+        // different streams overlap in the modelled timeline.
+        for (stream, run) in &runs {
+            run.encode(&ExecCtx::on_stream(device, *stream));
+        }
+        for (stream, run) in &runs {
+            run.gemm(&ExecCtx::on_stream(device, *stream));
+        }
+        for (stream, run) in &runs {
+            run.reduce(&ExecCtx::on_stream(device, *stream));
+        }
+        for (stream, run) in &runs {
+            run.check(&ExecCtx::on_stream(device, *stream));
+        }
+
+        // Host epilogue. Parallel under the rayon shim, except when the
+        // recovery policy launches recompute kernels — then sequential, so
+        // the launch log (and the modelled timeline) stays deterministic.
+        let sequential_epilogue =
+            self.gemm.config().recovery == RecoveryPolicy::CorrectOrRecompute;
+        let finished: Vec<(AAbftOutcome, RunBuffers)> = if sequential_epilogue {
+            runs.into_iter()
+                .map(|(stream, run)| run.finish(&ExecCtx::on_stream(device, stream)))
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Option<(StreamId, MultiplyRun)>>> =
+                runs.into_iter().map(|r| Mutex::new(Some(r))).collect();
+            (0..slots.len())
+                .into_par_iter()
+                .map(|i| {
+                    let (stream, run) = slots[i].lock().take().expect("each slot taken once");
+                    run.finish(&ExecCtx::on_stream(device, stream))
+                })
+                .collect()
+        };
+
+        let mut outcomes = Vec::with_capacity(finished.len());
+        let mut pool = self.pool.lock();
+        for ((outcome, bufs), key) in finished.into_iter().zip(keys) {
+            pool.entry(key).or_default().push(bufs);
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AAbftConfig;
+    use aabft_gpu_sim::kernels::gemm::GemmTiling;
+    use aabft_gpu_sim::PerfModel;
+
+    fn small_gemm() -> AAbftGemm {
+        AAbftGemm::new(
+            AAbftConfig::builder()
+                .block_size(4)
+                .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+                .build()
+                .expect("valid test config"),
+        )
+    }
+
+    fn requests(n: usize) -> Vec<(Matrix<f64>, Matrix<f64>)> {
+        (0..n)
+            .map(|r| {
+                (
+                    Matrix::from_fn(16, 16, |i, j| ((r * 5 + i * 3 + j) as f64 * 0.17).sin()),
+                    Matrix::from_fn(16, 16, |i, j| ((r * 7 + i + j * 2) as f64 * 0.13).cos()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential() {
+        let reqs = requests(6);
+        let gemm = small_gemm();
+        let sequential: Vec<_> = {
+            let device = Device::with_defaults();
+            reqs.iter().map(|(a, b)| gemm.multiply(&device, a, b)).collect()
+        };
+        let batched = BatchGemm::new(gemm)
+            .with_streams(3)
+            .execute(&Device::with_defaults(), &reqs)
+            .unwrap();
+        for (s, b) in sequential.iter().zip(&batched) {
+            assert_eq!(s.product, b.product, "batching must not change results");
+            assert_eq!(s.report, b.report);
+        }
+    }
+
+    #[test]
+    fn plans_and_buffers_are_reused_across_rounds() {
+        let batch = BatchGemm::new(small_gemm()).with_streams(2);
+        let mut device = Device::with_defaults();
+        let obs = aabft_obs::Obs::new_shared();
+        device.set_obs(obs.clone());
+
+        let reqs = requests(4);
+        batch.execute(&device, &reqs).unwrap();
+        assert_eq!(obs.metrics.counter("batch.plan_misses"), 1, "one distinct shape");
+        assert_eq!(obs.metrics.counter("batch.plan_hits"), 3);
+        assert_eq!(obs.metrics.counter("batch.buffer_allocs"), 4);
+        assert_eq!(batch.pooled_buffers(), 4);
+
+        batch.execute(&device, &reqs).unwrap();
+        assert_eq!(obs.metrics.counter("batch.plan_misses"), 1, "plan cache hit");
+        assert_eq!(obs.metrics.counter("batch.buffer_reuses"), 4, "buffers recycled");
+        assert_eq!(obs.metrics.counter("batch.requests"), 8);
+    }
+
+    #[test]
+    fn batched_timeline_beats_sequential() {
+        let reqs = requests(8);
+        let gemm = small_gemm();
+        let model = PerfModel::k20c();
+
+        let device = Device::with_defaults();
+        for (a, b) in &reqs {
+            gemm.multiply(&device, a, b);
+        }
+        let sequential = model.pipeline_time(&device.take_log());
+
+        let device = Device::with_defaults();
+        BatchGemm::new(gemm).with_streams(8).execute(&device, &reqs).unwrap();
+        let log = device.take_log();
+        let batched = model.stream_makespan(&log, device.config().num_sms);
+        assert!(
+            batched < sequential / 1.5,
+            "batched {batched} vs sequential {sequential}"
+        );
+    }
+
+    #[test]
+    fn mismatched_request_is_rejected_before_any_launch() {
+        let batch = BatchGemm::new(small_gemm());
+        let device = Device::with_defaults();
+        let good = requests(1).remove(0);
+        let bad = (Matrix::zeros(16, 16), Matrix::zeros(12, 16));
+        let err = batch.execute(&device, &[good, bad]).unwrap_err();
+        assert!(matches!(err, AbftError::ShapeMismatch { op: "batch", .. }), "{err}");
+        assert!(device.take_log().is_empty(), "no kernels issued");
+    }
+}

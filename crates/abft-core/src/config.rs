@@ -2,6 +2,7 @@
 
 use crate::recover::RecoveryPolicy;
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use aabft_gpu_sim::ConfigError;
 use aabft_numerics::{MulMode, RoundingMode, RoundingModel};
 
 /// Parameters of the A-ABFT scheme (paper Sections II, IV-E and V).
@@ -15,9 +16,11 @@ use aabft_numerics::{MulMode, RoundingMode, RoundingModel};
 /// ```
 /// use aabft_core::AAbftConfig;
 ///
-/// let config = AAbftConfig::builder().block_size(16).p(4).omega(2.0).build();
+/// let config = AAbftConfig::builder().block_size(16).p(4).omega(2.0).build().unwrap();
 /// assert_eq!(config.block_size, 16);
 /// assert_eq!(config.p, 4);
+/// // Invalid parameters come back as typed errors, not panics.
+/// assert!(AAbftConfig::builder().block_size(0).build().is_err());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AAbftConfig {
@@ -70,35 +73,37 @@ impl AAbftConfig {
         }
     }
 
-    /// Validates invariants.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `block_size` is 0 or exceeds 52 (mismatch bitmaps must fit
-    /// exactly in an f64 mantissa), `p` is 0 or exceeds `block_size`, or
-    /// `omega` is not positive and finite.
-    pub fn validate(&self) {
-        assert!(
-            self.block_size > 0 && self.block_size <= 52,
-            "block_size must be in 1..=52, got {}",
-            self.block_size
-        );
-        assert!(
-            self.p > 0 && self.p <= self.block_size,
-            "p must be in 1..=block_size, got {}",
-            self.p
-        );
-        assert!(self.omega > 0.0 && self.omega.is_finite(), "omega must be positive");
-        self.tiling.validate();
-        assert!(
-            self.tiling.modules() <= 64,
-            "tiling implies {} modules, device default supports 64",
-            self.tiling.modules()
-        );
-        assert!(
-            !(self.rounding == RoundingMode::Truncation && self.mul_mode == MulMode::Fused),
-            "truncating fused multiply-add is not supported"
-        );
+    /// Checks invariants, returning a typed error naming the offending
+    /// parameter: `block_size` must be in `1..=52` (mismatch bitmaps must
+    /// fit exactly in an f64 mantissa), `p` in `1..=block_size`, `omega`
+    /// positive and finite, the tiling well-shaped, and the rounding/mul
+    /// mode combination supported.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.block_size == 0 || self.block_size > 52 {
+            return Err(ConfigError::new("block_size", self.block_size, "in 1..=52"));
+        }
+        if self.p == 0 || self.p > self.block_size {
+            return Err(ConfigError::new("p", self.p, "in 1..=block_size"));
+        }
+        if !(self.omega > 0.0 && self.omega.is_finite()) {
+            return Err(ConfigError::new("omega", self.omega, "positive and finite"));
+        }
+        self.tiling.check()?;
+        if self.tiling.modules() > 64 {
+            return Err(ConfigError::new(
+                "tiling",
+                format!("{} modules", self.tiling.modules()),
+                "at most 64 modules (device default)",
+            ));
+        }
+        if self.rounding == RoundingMode::Truncation && self.mul_mode == MulMode::Fused {
+            return Err(ConfigError::new(
+                "mul_mode",
+                "truncating fused multiply-add",
+                "a supported rounding/mul-mode combination",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -159,14 +164,11 @@ impl AAbftConfigBuilder {
         self
     }
 
-    /// Finalises the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid (see [`AAbftConfig::validate`]).
-    pub fn build(self) -> AAbftConfig {
-        self.config.validate();
-        self.config
+    /// Finalises the configuration, rejecting invalid parameters with a
+    /// typed error (see [`AAbftConfig::validate`]).
+    pub fn build(self) -> Result<AAbftConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -181,12 +183,13 @@ mod tests {
         assert_eq!(c.p, 2);
         assert_eq!(c.omega, 3.0);
         assert_eq!(c.mul_mode, MulMode::Separate);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
     fn builder_sets_fields() {
-        let c = AAbftConfig::builder().block_size(8).p(3).omega(1.0).correct(true).build();
+        let c =
+            AAbftConfig::builder().block_size(8).p(3).omega(1.0).correct(true).build().unwrap();
         assert_eq!(
             (c.block_size, c.p, c.omega, c.recovery),
             (8, 3, 1.0, RecoveryPolicy::CorrectSingle)
@@ -195,19 +198,30 @@ mod tests {
 
     #[test]
     fn fma_rounding_model() {
-        let c = AAbftConfig::builder().mul_mode(MulMode::Fused).build();
+        let c = AAbftConfig::builder().mul_mode(MulMode::Fused).build().unwrap();
         assert_eq!(c.rounding_model().mul_mode, MulMode::Fused);
     }
 
     #[test]
-    #[should_panic(expected = "p must be")]
-    fn p_larger_than_bs_panics() {
-        AAbftConfig::builder().block_size(4).p(5).build();
-    }
-
-    #[test]
-    #[should_panic(expected = "block_size")]
-    fn oversized_bs_panics() {
-        AAbftConfig::builder().block_size(64).build();
+    fn builder_rejects_invalid_parameters_with_typed_errors() {
+        let e = AAbftConfig::builder().block_size(4).p(5).build().unwrap_err();
+        assert_eq!(e.param, "p");
+        let e = AAbftConfig::builder().block_size(64).build().unwrap_err();
+        assert_eq!(e.param, "block_size");
+        let e = AAbftConfig::builder().block_size(0).build().unwrap_err();
+        assert_eq!(e.param, "block_size");
+        let e = AAbftConfig::builder().omega(f64::NAN).build().unwrap_err();
+        assert_eq!(e.param, "omega");
+        let e = AAbftConfig::builder()
+            .mul_mode(MulMode::Fused)
+            .rounding_mode(RoundingMode::Truncation)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.param, "mul_mode");
+        let e = AAbftConfig::builder()
+            .tiling(GemmTiling { bm: 7, bn: 8, bk: 4, rx: 2, ry: 2 })
+            .build()
+            .unwrap_err();
+        assert_eq!(e.param, "tiling.bm");
     }
 }

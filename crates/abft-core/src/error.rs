@@ -1,0 +1,70 @@
+//! Typed errors of the protected-multiplication entry points.
+//!
+//! User-input failure paths (bad configurations, operand shape mismatches)
+//! surface as [`AbftError`] from the `try_*`/`execute` entry points instead
+//! of panicking, so services embedding the scheme can report them. Internal
+//! invariants (kernel index arithmetic, buffer layout contracts) keep their
+//! asserts — those are programmer errors, not user input.
+
+use aabft_gpu_sim::ConfigError;
+use std::fmt;
+
+/// An error from a protected-multiplication entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbftError {
+    /// A configuration parameter failed validation.
+    Config(ConfigError),
+    /// Operand shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// The operation that rejected the shapes (e.g. `"multiply"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand (`(rows, 1)` for vectors).
+        right: (usize, usize),
+    },
+}
+
+impl fmt::Display for AbftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbftError::Config(e) => write!(f, "configuration error: {e}"),
+            AbftError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "{op}: inner dimensions must agree: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AbftError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AbftError::Config(e) => Some(e),
+            AbftError::ShapeMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for AbftError {
+    fn from(e: ConfigError) -> Self {
+        AbftError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let c: AbftError = ConfigError::new("p", 0usize, "positive").into();
+        assert!(c.to_string().contains("invalid p"));
+        assert!(std::error::Error::source(&c).is_some());
+
+        let s = AbftError::ShapeMismatch { op: "multiply", left: (4, 3), right: (5, 2) };
+        assert_eq!(s.to_string(), "multiply: inner dimensions must agree: 4x3 vs 5x2");
+        assert!(std::error::Error::source(&s).is_none());
+    }
+}

@@ -57,14 +57,16 @@ impl GemvOutcome {
 ///
 /// let a = Matrix::from_fn(16, 16, |i, j| ((i + j) as f64 * 0.2).sin());
 /// let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).cos()).collect();
-/// let config = AAbftConfig::builder().block_size(8).build();
+/// let config = AAbftConfig::builder().block_size(8).build().expect("valid config");
 /// let outcome = protected_gemv(&a, &x, &config);
 /// assert!(!outcome.errors_detected());
 /// assert_eq!(outcome.result.len(), 16);
 /// ```
 pub fn protected_gemv(a: &Matrix<f64>, x: &[f64], config: &AAbftConfig) -> GemvOutcome {
     assert_eq!(x.len(), a.cols(), "vector length must match a.cols()");
-    config.validate();
+    if let Err(e) = config.validate() {
+        panic!("{e}");
+    }
     let bs = config.block_size;
     let model = config.rounding_model();
 
@@ -135,7 +137,9 @@ pub fn protected_gemv_on_device(
     use aabft_gpu_sim::DeviceBuffer;
 
     assert_eq!(x.len(), a.cols(), "vector length must match a.cols()");
-    config.validate();
+    if let Err(e) = config.validate() {
+        panic!("{e}");
+    }
     let bs = config.block_size;
     let model = config.rounding_model();
     let tiling = GemvTiling { bm: bs.min(64), rx: if bs.is_multiple_of(4) { 4 } else { 1 } };
@@ -209,7 +213,7 @@ mod tests {
     }
 
     fn config() -> AAbftConfig {
-        AAbftConfig::builder().block_size(8).build()
+        AAbftConfig::builder().block_size(8).build().expect("valid config")
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! let a = Matrix::from_fn(32, 32, |i, j| ((i + j) as f64 * 0.1).sin());
 //! let b = Matrix::from_fn(32, 32, |i, j| ((i * 2 + j) as f64 * 0.1).cos());
 //!
-//! let gemm = AAbftGemm::new(AAbftConfig::builder().block_size(8).build());
+//! let gemm = AAbftGemm::new(AAbftConfig::builder().block_size(8).build().expect("valid config"));
 //! let outcome = gemm.multiply(&Device::with_defaults(), &a, &b);
 //!
 //! assert!(!outcome.errors_detected());
@@ -36,12 +36,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aabft;
+pub mod batch;
 pub mod bounds;
 pub mod check;
 pub mod classify;
 pub mod config;
 pub mod correct;
 pub mod encoding;
+pub mod error;
 pub mod error_map;
 pub mod gemv;
 pub mod kernels;
@@ -50,10 +52,12 @@ pub mod pmax;
 pub mod recover;
 pub mod weighted;
 
-pub use aabft::{AAbftGemm, AAbftOutcome};
+pub use aabft::{AAbftGemm, AAbftOutcome, GemmPlan, MultiplyRun, RunBuffers};
+pub use batch::BatchGemm;
 pub use check::CheckReport;
 pub use classify::ErrorClass;
 pub use config::AAbftConfig;
 pub use correct::Correction;
+pub use error::AbftError;
 pub use recover::{RecoveryOutcome, RecoveryPolicy};
 pub use pmax::PMaxTable;

@@ -85,7 +85,7 @@ fn pipeline_with_truncation_model_has_no_false_positives() {
         .block_size(8)
         .tiling(tiling())
         .rounding_mode(RoundingMode::Truncation)
-        .build();
+        .build().expect("valid config");
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for trial in 0..5 {
         let a = InputClass::UNIT.generate(48, &mut rng);
@@ -120,5 +120,5 @@ fn truncating_fma_is_rejected() {
     AAbftConfig::builder()
         .mul_mode(aabft_numerics::MulMode::Fused)
         .rounding_mode(RoundingMode::Truncation)
-        .build();
+        .build().expect("valid config");
 }

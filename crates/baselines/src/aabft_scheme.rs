@@ -1,66 +1,83 @@
-//! [`ProtectedGemm`] adapter for the A-ABFT operator, so the harnesses can
-//! drive all four schemes of the paper's evaluation uniformly.
+//! The A-ABFT operator as a [`ProtectedGemm`] scheme — implemented
+//! *directly* on [`AAbftGemm`], with no wrapper type, so the harnesses
+//! drive all four schemes of the paper's evaluation uniformly and callers
+//! keep the operator's full staged/batched API.
 
 use crate::scheme::{ProtectedGemm, ProtectedResult};
-use aabft_core::{AAbftConfig, AAbftGemm};
-use aabft_gpu_sim::device::Device;
+use aabft_core::{AAbftGemm, AAbftOutcome, AbftError};
+use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
 
-/// A-ABFT wrapped as a [`ProtectedGemm`] scheme.
-#[derive(Debug, Clone, Copy)]
-pub struct AAbftScheme {
-    gemm: AAbftGemm,
-}
+/// Historical name of the A-ABFT scheme adapter. The wrapper type is gone:
+/// [`AAbftGemm`] implements [`ProtectedGemm`] itself, and this alias keeps
+/// `AAbftScheme::new(config)` call sites compiling.
+pub type AAbftScheme = AAbftGemm;
 
-impl AAbftScheme {
-    /// Wraps an A-ABFT configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid.
-    pub fn new(config: AAbftConfig) -> Self {
-        AAbftScheme { gemm: AAbftGemm::new(config) }
+impl From<AAbftOutcome> for ProtectedResult {
+    fn from(outcome: AAbftOutcome) -> Self {
+        let errors_detected = outcome.report.errors_detected();
+        ProtectedResult { product: outcome.product, errors_detected, located: outcome.report.located }
     }
 }
 
-impl Default for AAbftScheme {
-    fn default() -> Self {
-        Self::new(AAbftConfig::default())
-    }
-}
-
-impl ProtectedGemm for AAbftScheme {
+impl ProtectedGemm for AAbftGemm {
     fn name(&self) -> &'static str {
         "A-ABFT"
     }
 
-    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult {
-        let outcome = self.gemm.multiply(device, a, b);
-        ProtectedResult {
-            product: outcome.product,
-            errors_detected: outcome.report.errors_detected(),
-            located: outcome.report.located,
-        }
+    fn multiply_on(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<ProtectedResult, AbftError> {
+        Ok(self.execute(ctx, a, b)?.into())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aabft_core::AAbftConfig;
+    use aabft_gpu_sim::device::Device;
     use aabft_gpu_sim::kernels::gemm::GemmTiling;
     use aabft_matrix::gemm;
 
-    #[test]
-    fn adapter_runs_the_pipeline() {
-        let config = AAbftConfig::builder()
+    fn config() -> AAbftConfig {
+        AAbftConfig::builder()
             .block_size(4)
             .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
-            .build();
+            .build()
+            .expect("valid test config")
+    }
+
+    #[test]
+    fn aabft_gemm_runs_as_a_protected_scheme_without_a_wrapper() {
         let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.41).sin());
         let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((i * 3 + j) as f64 * 0.27).cos());
-        let r = AAbftScheme::new(config).multiply(&Device::with_defaults(), &a, &b);
+        let scheme: &dyn ProtectedGemm = &AAbftGemm::new(config());
+        let r = scheme.multiply(&Device::with_defaults(), &a, &b);
         assert!(!r.errors_detected);
         assert!(r.product.approx_eq(&gemm::multiply(&a, &b), 1e-12));
-        assert_eq!(AAbftScheme::new(config).name(), "A-ABFT");
+        assert_eq!(scheme.name(), "A-ABFT");
+    }
+
+    #[test]
+    fn alias_keeps_old_call_sites_compiling() {
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.41).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((i * 3 + j) as f64 * 0.27).cos());
+        let scheme = AAbftScheme::new(config());
+        let outcome = scheme.execute(&ExecCtx::new(&Device::with_defaults()), &a, &b).unwrap();
+        let r: ProtectedResult = outcome.into();
+        assert!(!r.errors_detected);
+    }
+
+    #[test]
+    fn trait_entry_rejects_shape_mismatch_with_typed_error() {
+        let a: Matrix = Matrix::zeros(8, 8);
+        let b: Matrix = Matrix::zeros(12, 8);
+        let device = Device::with_defaults();
+        let e = AAbftGemm::new(config()).try_multiply(&device, &a, &b).unwrap_err();
+        assert!(matches!(e, AbftError::ShapeMismatch { .. }));
     }
 }

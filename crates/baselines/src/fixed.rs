@@ -11,8 +11,9 @@ use crate::kernels::{BaselineCheckKernel, EpsilonRule};
 use crate::pipeline::EncodedProduct;
 use crate::scheme::{ProtectedGemm, ProtectedResult};
 use aabft_core::check::CheckReport;
-use aabft_gpu_sim::device::Device;
+use aabft_core::AbftError;
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
 
 /// Fixed-bound ABFT matrix multiplication.
@@ -71,8 +72,13 @@ impl ProtectedGemm for FixedBoundAbft {
         "ABFT"
     }
 
-    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult {
-        let enc = EncodedProduct::run(device, a, b, self.block_size, self.tiling);
+    fn multiply_on(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<ProtectedResult, AbftError> {
+        let enc = EncodedProduct::run(ctx, a, b, self.block_size, self.tiling)?;
         let report_buf = enc.report_buffer();
         let check = BaselineCheckKernel::new(
             &enc.c_buf,
@@ -81,19 +87,20 @@ impl ProtectedGemm for FixedBoundAbft {
             enc.cols,
             EpsilonRule::Fixed(self.epsilon),
         );
-        device.launch(check.grid(), &check);
+        ctx.launch(check.grid(), &check);
         let report = CheckReport::from_raw(&report_buf.to_vec(), enc.rows, enc.cols);
-        ProtectedResult {
+        Ok(ProtectedResult {
             product: enc.product(a.rows(), b.cols()),
             errors_detected: report.errors_detected(),
             located: report.located,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aabft_gpu_sim::device::Device;
     use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
     use aabft_matrix::gemm;
 

@@ -7,8 +7,16 @@
 //!   analysis \[28\] (autonomous, but loose bounds and poor GPU utilization);
 //! * [`TmrGemm`] — triple modular redundancy with direct comparison;
 //! * [`UnprotectedGemm`] — the raw-throughput reference;
-//! * [`AAbftScheme`] — the A-ABFT operator from `aabft-core` adapted to the
-//!   common [`ProtectedGemm`] interface.
+//! * [`AAbftScheme`] — the A-ABFT operator from `aabft-core`, which
+//!   implements [`ProtectedGemm`] directly (the name is an alias of
+//!   `AAbftGemm`).
+//!
+//! Every scheme's required entry point is
+//! [`ProtectedGemm::multiply_on`], which takes an
+//! [`ExecCtx`](aabft_gpu_sim::ExecCtx) (device + stream + observability);
+//! [`batch::run_batch`] runs any scheme over a slice of requests spread
+//! across device streams, so all baselines are comparable under the
+//! multi-stream engine.
 //!
 //! # Example
 //!
@@ -30,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aabft_scheme;
+pub mod batch;
 pub mod fixed;
 pub mod kernels;
 mod pipeline;
@@ -39,6 +48,7 @@ pub mod tmr;
 pub mod unprotected;
 
 pub use aabft_scheme::AAbftScheme;
+pub use batch::run_batch;
 pub use fixed::FixedBoundAbft;
 pub use scheme::{ProtectedGemm, ProtectedResult};
 pub use sea::SeaAbft;

@@ -5,9 +5,10 @@
 use crate::kernels::{EncodeColumnsPlain, EncodeRowsPlain};
 use aabft_core::encoding::AugmentedLayout;
 use aabft_core::kernels::check::REPORT_WORDS;
-use aabft_gpu_sim::device::Device;
+use aabft_core::AbftError;
 use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
 use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
 
 fn gcd(a: usize, b: usize) -> usize {
@@ -22,6 +23,22 @@ pub(crate) fn lcm(a: usize, b: usize) -> usize {
     a / gcd(a, b) * b
 }
 
+/// Rejects incompatible operand shapes with the scheme entry points' typed
+/// error.
+pub(crate) fn check_shapes(
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> Result<(), AbftError> {
+    if a.cols() != b.rows() {
+        return Err(AbftError::ShapeMismatch {
+            op: "multiply",
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    Ok(())
+}
+
 /// Encoded-and-multiplied state shared by the fixed-bound and SEA schemes.
 pub(crate) struct EncodedProduct {
     pub a_buf: DeviceBuffer,
@@ -33,15 +50,16 @@ pub(crate) struct EncodedProduct {
 }
 
 impl EncodedProduct {
-    /// Uploads, encodes (plain checksums) and multiplies.
+    /// Uploads, encodes (plain checksums) and multiplies on the context's
+    /// stream, rejecting mismatched shapes with a typed error.
     pub fn run(
-        device: &Device,
+        ctx: &ExecCtx<'_>,
         a: &Matrix<f64>,
         b: &Matrix<f64>,
         bs: usize,
         tiling: GemmTiling,
-    ) -> Self {
-        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    ) -> Result<Self, AbftError> {
+        check_shapes(a, b)?;
         let (m, n, q) = (a.rows(), a.cols(), b.cols());
         let rows = AugmentedLayout::new(m, bs, tiling.bm);
         let cols = AugmentedLayout::new(q, bs, tiling.bn);
@@ -63,15 +81,15 @@ impl EncodedProduct {
         };
 
         let enc_a = EncodeColumnsPlain::new(&a_buf, rows, inner);
-        device.launch(enc_a.grid(), &enc_a);
+        ctx.launch(enc_a.grid(), &enc_a);
         let enc_b = EncodeRowsPlain::new(&b_buf, cols, inner);
-        device.launch(enc_b.grid(), &enc_b);
+        ctx.launch(enc_b.grid(), &enc_b);
 
         let c_buf = DeviceBuffer::zeros(rows.total * cols.total);
         let gemm = GemmKernel::new(&a_buf, &b_buf, &c_buf, rows.total, inner, cols.total, tiling);
-        device.launch(gemm.grid(), &gemm);
+        ctx.launch(gemm.grid(), &gemm);
 
-        EncodedProduct { a_buf, b_buf, c_buf, rows, cols, inner }
+        Ok(EncodedProduct { a_buf, b_buf, c_buf, rows, cols, inner })
     }
 
     /// Allocates a zeroed report buffer sized for the check kernels.

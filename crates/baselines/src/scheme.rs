@@ -4,8 +4,18 @@
 //! ABFT, A-ABFT, SEA-ABFT and TMR — plus an unprotected reference. The
 //! benchmark and fault-injection harnesses drive them uniformly through
 //! [`ProtectedGemm`].
+//!
+//! The single required method is [`ProtectedGemm::multiply_on`], which
+//! takes an [`ExecCtx`] (device + stream + observability sink) and returns
+//! a typed [`AbftError`] on bad inputs. The historical conveniences —
+//! panicking [`ProtectedGemm::multiply`] on the default stream, the
+//! span-wrapped [`ProtectedGemm::multiply_observed`] — are provided methods
+//! on top of it, so every scheme is automatically runnable under the batch
+//! engine (see [`crate::batch`]) and on explicit streams.
 
+use aabft_core::AbftError;
 use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
 
 /// Outcome of one protected multiplication.
@@ -26,12 +36,42 @@ pub trait ProtectedGemm {
     /// Scheme name as used in the paper's tables.
     fn name(&self) -> &'static str;
 
-    /// Runs `C = A · B` with this scheme's protection.
+    /// Runs `C = A · B` with this scheme's protection on an execution
+    /// context — the one required entry point. Launches are issued to
+    /// `ctx.stream`; spans and counters land in `ctx.obs`.
+    ///
+    /// Rejects incompatible operand shapes with a typed error instead of
+    /// panicking.
+    fn multiply_on(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<ProtectedResult, AbftError>;
+
+    /// Convenience: runs on the device's default stream with the device's
+    /// observability context.
     ///
     /// # Panics
     ///
-    /// Implementations panic if `a.cols() != b.rows()`.
-    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult;
+    /// Panics if `a.cols() != b.rows()`.
+    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult {
+        match self.multiply_on(&ExecCtx::new(device), a, b) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking convenience: like [`ProtectedGemm::multiply`] but
+    /// surfacing bad inputs as a typed error.
+    fn try_multiply(
+        &self,
+        device: &Device,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<ProtectedResult, AbftError> {
+        self.multiply_on(&ExecCtx::new(device), a, b)
+    }
 
     /// Runs [`ProtectedGemm::multiply`] inside a scheme-tagged span and
     /// counts the outcome into the device's metrics registry.
@@ -94,5 +134,15 @@ mod tests {
             .expect("scheme span");
         assert!(s.args.iter().any(|(k, v)| k == "detected" && *v == false.into()));
         assert!(s.args.iter().any(|(k, v)| k == "m" && *v == 8u64.into()));
+    }
+
+    #[test]
+    fn try_multiply_surfaces_shape_mismatch() {
+        let a: Matrix = Matrix::zeros(8, 8);
+        let b: Matrix = Matrix::zeros(9, 8);
+        let scheme = UnprotectedGemm::new()
+            .with_tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 });
+        let e = scheme.try_multiply(&Device::with_defaults(), &a, &b).unwrap_err();
+        assert!(matches!(e, AbftError::ShapeMismatch { left: (8, 8), right: (9, 8), .. }));
     }
 }

@@ -13,9 +13,10 @@ use crate::kernels::{BaselineCheckKernel, ColNormsKernel, EpsilonRule, RowNormsK
 use crate::pipeline::EncodedProduct;
 use crate::scheme::{ProtectedGemm, ProtectedResult};
 use aabft_core::check::CheckReport;
-use aabft_gpu_sim::device::Device;
+use aabft_core::AbftError;
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
 use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
 
 /// SEA-ABFT matrix multiplication.
@@ -61,8 +62,13 @@ impl ProtectedGemm for SeaAbft {
         "SEA-ABFT"
     }
 
-    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult {
-        let enc = EncodedProduct::run(device, a, b, self.block_size, self.tiling);
+    fn multiply_on(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<ProtectedResult, AbftError> {
+        let enc = EncodedProduct::run(ctx, a, b, self.block_size, self.tiling)?;
 
         // Norm kernels over the augmented operands: each opposing result
         // block recomputes the full-length norms it needs (the utilization
@@ -70,11 +76,11 @@ impl ProtectedGemm for SeaAbft {
         let a_red = enc.cols.blocks;
         let a_norms = DeviceBuffer::zeros(enc.rows.total * a_red);
         let k = RowNormsKernel::new(&enc.a_buf, &a_norms, enc.rows.total, enc.inner, a_red);
-        device.launch(k.grid(), &k);
+        ctx.launch(k.grid(), &k);
         let b_red = enc.rows.blocks;
         let b_norms = DeviceBuffer::zeros(enc.cols.total * b_red);
         let k = ColNormsKernel::new(&enc.b_buf, &b_norms, enc.inner, enc.cols.total, b_red);
-        device.launch(k.grid(), &k);
+        ctx.launch(k.grid(), &k);
 
         let report_buf = enc.report_buffer();
         let check = BaselineCheckKernel::new(
@@ -90,19 +96,20 @@ impl ProtectedGemm for SeaAbft {
                 inner: enc.inner,
             },
         );
-        device.launch(check.grid(), &check);
+        ctx.launch(check.grid(), &check);
         let report = CheckReport::from_raw(&report_buf.to_vec(), enc.rows, enc.cols);
-        ProtectedResult {
+        Ok(ProtectedResult {
             product: enc.product(a.rows(), b.cols()),
             errors_detected: report.errors_detected(),
             located: report.located,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aabft_gpu_sim::device::Device;
     use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
     use aabft_matrix::gemm;
 

@@ -7,12 +7,13 @@
 //! bound problem). Costs ~3× the compute, which Table I shows flattening at
 //! a third of the unprotected throughput.
 
-use crate::pipeline::upload_padded;
+use crate::pipeline::{check_shapes, upload_padded};
 use crate::scheme::{ProtectedGemm, ProtectedResult};
-use aabft_gpu_sim::device::Device;
+use aabft_core::AbftError;
 use aabft_gpu_sim::kernels::compare::CompareKernel;
 use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
 use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
 
 /// TMR matrix multiplication with majority voting.
@@ -40,8 +41,13 @@ impl ProtectedGemm for TmrGemm {
         "TMR"
     }
 
-    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult {
-        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    fn multiply_on(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<ProtectedResult, AbftError> {
+        check_shapes(a, b)?;
         let (m, q) = (a.rows(), b.cols());
         let t = self.tiling;
         let (a_buf, pm, pn) = upload_padded(a, t.bm, t.bk);
@@ -52,7 +58,7 @@ impl ProtectedGemm for TmrGemm {
             .map(|_| {
                 let c = DeviceBuffer::zeros(pm * pq);
                 let gemm = GemmKernel::new(&a_buf, &b_buf, &c, pm, pn, pq, t);
-                device.launch(gemm.grid(), &gemm);
+                ctx.launch(gemm.grid(), &gemm);
                 c
             })
             .collect();
@@ -61,12 +67,12 @@ impl ProtectedGemm for TmrGemm {
         let blocks = 64.min(pm * pq);
         let counts01 = DeviceBuffer::zeros(blocks);
         let cmp01 = CompareKernel::new(&replicas[0], &replicas[1], &counts01, 0.0);
-        device.launch(cmp01.grid(), &cmp01);
+        ctx.launch(cmp01.grid(), &cmp01);
         let mismatch01 = cmp01.total_mismatches();
 
         let counts02 = DeviceBuffer::zeros(blocks);
         let cmp02 = CompareKernel::new(&replicas[0], &replicas[2], &counts02, 0.0);
-        device.launch(cmp02.grid(), &cmp02);
+        ctx.launch(cmp02.grid(), &cmp02);
         let mismatch02 = cmp02.total_mismatches();
 
         let detected = mismatch01 > 0 || mismatch02 > 0;
@@ -74,13 +80,14 @@ impl ProtectedGemm for TmrGemm {
         // otherwise replica 0 is the odd one out -> take replica 1.
         let winner = if mismatch01 == 0 || mismatch02 == 0 { &replicas[0] } else { &replicas[1] };
         let product = winner.to_matrix(pm, pq).block(0, 0, m, q);
-        ProtectedResult { product, errors_detected: detected, located: Vec::new() }
+        Ok(ProtectedResult { product, errors_detected: detected, located: Vec::new() })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aabft_gpu_sim::device::Device;
     use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
     use aabft_matrix::gemm;
 

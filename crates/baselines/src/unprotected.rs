@@ -2,11 +2,12 @@
 //! (the paper quotes ~1048 GFLOPS at 8192³, against which A-ABFT's 13.8 %
 //! overhead is measured).
 
-use crate::pipeline::upload_padded;
+use crate::pipeline::{check_shapes, upload_padded};
 use crate::scheme::{ProtectedGemm, ProtectedResult};
-use aabft_gpu_sim::device::Device;
+use aabft_core::AbftError;
 use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
 use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
 
 /// Plain blocked GEMM with no fault tolerance.
@@ -34,8 +35,13 @@ impl ProtectedGemm for UnprotectedGemm {
         "unprotected"
     }
 
-    fn multiply(&self, device: &Device, a: &Matrix<f64>, b: &Matrix<f64>) -> ProtectedResult {
-        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    fn multiply_on(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<ProtectedResult, AbftError> {
+        check_shapes(a, b)?;
         let (m, q) = (a.rows(), b.cols());
         let t = self.tiling;
         let (a_buf, pm, pn) = upload_padded(a, t.bm, t.bk);
@@ -43,18 +49,19 @@ impl ProtectedGemm for UnprotectedGemm {
         assert_eq!(pn, pn2, "inner padding must agree");
         let c_buf = DeviceBuffer::zeros(pm * pq);
         let gemm = GemmKernel::new(&a_buf, &b_buf, &c_buf, pm, pn, pq, t);
-        device.launch(gemm.grid(), &gemm);
-        ProtectedResult {
+        ctx.launch(gemm.grid(), &gemm);
+        Ok(ProtectedResult {
             product: c_buf.to_matrix(pm, pq).block(0, 0, m, q),
             errors_detected: false,
             located: Vec::new(),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aabft_gpu_sim::device::Device;
     use aabft_matrix::gemm;
 
     #[test]

@@ -29,7 +29,7 @@ fn bench_schemes(c: &mut Criterion) {
             (
                 "aabft",
                 Box::new(AAbftScheme::new(
-                    AAbftConfig::builder().block_size(bs).tiling(tiling).build(),
+                    AAbftConfig::builder().block_size(bs).tiling(tiling).build().expect("valid config"),
                 )),
             ),
             ("sea_abft", Box::new(SeaAbft::new(bs).with_tiling(tiling))),

@@ -1,0 +1,129 @@
+//! Measuring what the multi-stream batch engine buys: modelled wall time of
+//! N protected multiplications run sequentially versus through
+//! [`BatchGemm`], on the same device configuration.
+//!
+//! Both paths run on the simulator, so the comparison uses the *modelled*
+//! timeline — [`PerfModel::stream_makespan`] over each run's launch log —
+//! the same way Table I models GFLOPS from measured logs. The report also
+//! carries a bit-identity verdict, pinning the engine's central contract:
+//! batching reorders the modelled timeline, never the numerics.
+
+use aabft_core::{AAbftConfig, AAbftGemm, BatchGemm};
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::perf::PerfModel;
+use aabft_gpu_sim::DeviceConfig;
+use aabft_matrix::gen::InputClass;
+use aabft_matrix::Matrix;
+use rand::SeedableRng;
+
+/// Workload of one batch measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchWorkload {
+    /// Number of GEMM requests in the batch.
+    pub count: usize,
+    /// Square operand size of each request.
+    pub n: usize,
+    /// Streams the batch engine spreads requests over.
+    pub streams: usize,
+    /// SMs of the device configuration both paths run on.
+    pub num_sms: usize,
+    /// Input distribution of the generated operands.
+    pub input: InputClass,
+    /// RNG seed for operand generation.
+    pub seed: u64,
+}
+
+impl Default for BatchWorkload {
+    fn default() -> Self {
+        BatchWorkload {
+            count: 64,
+            n: 128,
+            streams: BatchGemm::DEFAULT_STREAMS,
+            num_sms: 13,
+            input: InputClass::UNIT,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one sequential-vs-batched comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchReport {
+    /// Modelled wall time of the sequential path (seconds).
+    pub sequential_s: f64,
+    /// Modelled wall time of the batched path (seconds).
+    pub batched_s: f64,
+    /// `true` if every batched product is bit-identical to its sequential
+    /// counterpart and detection outcomes agree.
+    pub bit_identical: bool,
+    /// Requests whose check flagged an error (same on both paths when
+    /// `bit_identical`).
+    pub detections: usize,
+}
+
+impl BatchReport {
+    /// Sequential over batched modelled time.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_s / self.batched_s
+    }
+
+    /// Batched throughput in requests per modelled second.
+    pub fn requests_per_second(&self, count: usize) -> f64 {
+        count as f64 / self.batched_s
+    }
+}
+
+fn device(num_sms: usize) -> Device {
+    Device::new(DeviceConfig::builder().num_sms(num_sms).build().expect("valid device config"))
+}
+
+/// Generates the workload's requests deterministically from its seed.
+pub fn generate_requests(w: &BatchWorkload) -> Vec<(Matrix<f64>, Matrix<f64>)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(w.seed);
+    (0..w.count).map(|_| (w.input.generate(w.n, &mut rng), w.input.generate(w.n, &mut rng))).collect()
+}
+
+/// Runs the workload both ways under `config` and reports modelled times,
+/// speedup and the bit-identity verdict.
+pub fn measure_batch(config: &AAbftConfig, w: &BatchWorkload) -> BatchReport {
+    let requests = generate_requests(w);
+    let gemm = AAbftGemm::new(*config);
+    let model = PerfModel::k20c();
+
+    let seq_device = device(w.num_sms);
+    let sequential: Vec<_> = requests.iter().map(|(a, b)| gemm.multiply(&seq_device, a, b)).collect();
+    let sequential_s = model.stream_makespan(&seq_device.take_log(), w.num_sms);
+
+    let batch = BatchGemm::new(gemm).with_streams(w.streams);
+    let bat_device = device(w.num_sms);
+    let batched = batch.execute(&bat_device, &requests).expect("pre-validated requests");
+    let batched_s = model.stream_makespan(&bat_device.take_log(), w.num_sms);
+
+    let bit_identical = sequential.len() == batched.len()
+        && sequential.iter().zip(&batched).all(|(s, o)| {
+            s.product.as_slice() == o.product.as_slice()
+                && s.errors_detected() == o.errors_detected()
+        });
+    let detections = batched.iter().filter(|o| o.errors_detected()).count();
+    BatchReport { sequential_s, batched_s, bit_identical, detections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aabft_gpu_sim::kernels::gemm::GemmTiling;
+
+    #[test]
+    fn small_batch_overlaps_and_stays_bit_identical() {
+        let config = AAbftConfig::builder()
+            .block_size(4)
+            .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+            .build()
+            .expect("valid config");
+        let w = BatchWorkload { count: 8, n: 16, streams: 4, ..Default::default() };
+        let r = measure_batch(&config, &w);
+        assert!(r.bit_identical, "batched products must match sequential bitwise");
+        assert!(r.speedup() > 1.0, "streams must overlap: speedup {}", r.speedup());
+        assert_eq!(r.detections, 0);
+    }
+}

@@ -42,7 +42,7 @@ fn main() {
             faults_per_run: 1,
         };
         let aabft =
-            AAbftScheme::new(AAbftConfig::builder().block_size(bs).tiling(tiling).build());
+            AAbftScheme::new(AAbftConfig::builder().block_size(bs).tiling(tiling).build().expect("valid config"));
         let ra = run_campaign(&aabft, &config);
         let sea = SeaAbft::new(bs).with_tiling(tiling);
         let rs = run_campaign(&sea, &config);

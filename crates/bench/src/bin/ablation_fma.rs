@@ -38,7 +38,7 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let a = InputClass::UNIT.generate(n, &mut rng);
     let b = InputClass::UNIT.generate(n, &mut rng);
-    let config = AAbftConfig::builder().mul_mode(MulMode::Fused).build();
+    let config = AAbftConfig::builder().mul_mode(MulMode::Fused).build().expect("valid config");
     let outcome = AAbftGemm::new(config).multiply(&Device::with_defaults(), &a, &b);
     println!();
     println!(

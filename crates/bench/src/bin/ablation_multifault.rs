@@ -48,7 +48,7 @@ fn main() {
         };
         // Without recovery: measure raw detection of the corrupted product.
         let plain =
-            AAbftScheme::new(AAbftConfig::builder().block_size(bs).tiling(tiling).build());
+            AAbftScheme::new(AAbftConfig::builder().block_size(bs).tiling(tiling).build().expect("valid config"));
         let rp = run_campaign(&plain, &config);
         // With recovery: the returned product should be healed. Checksum
         // reconstruction leaves a residue at checksum-rounding level
@@ -59,7 +59,7 @@ fn main() {
                 .block_size(bs)
                 .tiling(tiling)
                 .recovery(RecoveryPolicy::CorrectOrRecompute)
-                .build(),
+                .build().expect("valid config"),
         );
         let rr = run_campaign(&recovering, &config);
         let healed = rr.trials.iter().filter(|t| t.max_deviation < 1e-9).count();

@@ -98,7 +98,7 @@ pub fn sweep(config: &Fig4Config) -> Vec<Fig4Cell> {
                     faults_per_run: 1,
                 };
                 let aabft = AAbftScheme::new(
-                    AAbftConfig::builder().block_size(config.bs).tiling(config.tiling).build(),
+                    AAbftConfig::builder().block_size(config.bs).tiling(config.tiling).build().expect("valid config"),
                 );
                 let r = run_campaign(&aabft, &campaign);
                 cells.push(Fig4Cell {

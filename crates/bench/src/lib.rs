@@ -7,6 +7,8 @@
 //! * [`quality`] — bound-quality rows for Tables II–IV (exact rounding
 //!   error vs A-ABFT vs SEA bounds);
 //! * [`fig4`] — fault-injection detection-rate sweeps for Figure 4;
+//! * [`batch`] — sequential-vs-batched modelled wall time of the
+//!   multi-stream batch engine;
 //! * [`args`] — tiny CLI parsing for the `table*`/`figure4`/`ablation_*`
 //!   binaries.
 //!
@@ -17,6 +19,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod args;
+pub mod batch;
 pub mod fig4;
 pub mod jsonout;
 pub mod predict;

@@ -367,7 +367,7 @@ mod tests {
                         .block_size(shape.bs)
                         .p(shape.p)
                         .tiling(shape.tiling)
-                        .build(),
+                        .build().expect("valid config"),
                 )
                 .multiply(&device, &a, &b);
             }

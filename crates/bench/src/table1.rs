@@ -72,7 +72,7 @@ pub fn simulated_row(n: usize, bs: usize, p: usize, tiling: GemmTiling, seed: u6
         n,
         abft: run(&FixedBoundAbft::new(1e-9, bs).with_tiling(tiling)),
         aabft: run(&AAbftScheme::new(
-            AAbftConfig::builder().block_size(bs).p(p).tiling(tiling).build(),
+            AAbftConfig::builder().block_size(bs).p(p).tiling(tiling).build().expect("valid config"),
         )),
         sea: run(&SeaAbft::new(bs).with_tiling(tiling)),
         tmr: run(&TmrGemm::new().with_tiling(tiling)),

@@ -37,7 +37,7 @@ fn measured(kind: SchemeKind, shape: &PredictShape, seed: u64) -> Vec<LaunchReco
                     .block_size(shape.bs)
                     .p(shape.p)
                     .tiling(shape.tiling)
-                    .build(),
+                    .build().expect("valid config"),
             )
             .multiply(&device, &a, &b);
         }

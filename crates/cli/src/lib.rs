@@ -84,6 +84,10 @@ COMMANDS
   multiply   run a protected multiplication
              --n 256  --bs 32 --p 2 --omega 3.0 --input unit|hundred|dynamic
              --correct true --recompute true --seed 1
+  batch      run N protected multiplications through the multi-stream
+             batch engine and compare modelled wall time with N
+             sequential multiplies
+             --count 64 --n 128 --bs 32 --streams 8 --sms 13 --seed 1
   inject     arm one fault and run a protected multiplication
              --n 128 --site inner-mul|inner-add|final-add --sm 0 --module 0
              --k 1000 --bit 58
@@ -150,7 +154,7 @@ fn build_config(args: &Args) -> AAbftConfig {
     } else if args.get("correct", false) {
         builder = builder.correct(true);
     }
-    builder.build()
+    builder.build().unwrap_or_else(|e| panic!("invalid configuration: {e}"))
 }
 
 /// `aabft multiply` — protected GEMM on random inputs with a model-time
@@ -184,6 +188,41 @@ pub fn cmd_multiply(args: &Args) {
         println!("    {name:<22} {:.3} ms", t * 1e3);
     }
     session.finish(&log);
+}
+
+/// `aabft batch` — N protected multiplications through the multi-stream
+/// batch engine, reporting modelled throughput, the speedup over running
+/// the same requests sequentially, and the bit-identity verdict.
+pub fn cmd_batch(args: &Args) {
+    use aabft_bench::batch::{measure_batch, BatchWorkload};
+    let session = ObsSession::begin(args);
+    let workload = BatchWorkload {
+        count: args.get("count", 64usize),
+        n: args.get("n", 128usize),
+        streams: args.get("streams", aabft_core::BatchGemm::DEFAULT_STREAMS),
+        num_sms: args.get("sms", 13usize),
+        input: parse_input(args),
+        seed: args.get("seed", 1u64),
+    };
+    let config = build_config(args);
+    let report = measure_batch(&config, &workload);
+    println!(
+        "batch: {} protected multiplies, n = {}, BS = {}, {} streams, {} SMs",
+        workload.count, workload.n, config.block_size, workload.streams, workload.num_sms
+    );
+    println!("  sequential (modelled) : {:.3} ms", 1e3 * report.sequential_s);
+    println!("  batched    (modelled) : {:.3} ms", 1e3 * report.batched_s);
+    println!("  speedup               : {:.2}x", report.speedup());
+    println!(
+        "  throughput            : {:.1} requests/s (modelled)",
+        report.requests_per_second(workload.count)
+    );
+    println!("  errors detected       : {}", report.detections);
+    println!(
+        "  bit-identical         : {}",
+        if report.bit_identical { "yes" } else { "NO — MISMATCH" }
+    );
+    session.finish(&[]);
 }
 
 /// `aabft inject` — one precisely targeted fault, end to end.
@@ -240,7 +279,13 @@ pub fn cmd_campaign(args: &Args) {
     let scheme = args.get("scheme", "aabft".to_string());
     let report = match scheme.as_str() {
         "aabft" => run_campaign(
-            &AAbftScheme::new(AAbftConfig::builder().block_size(bs).tiling(tiling).build()),
+            &AAbftScheme::new(
+                AAbftConfig::builder()
+                    .block_size(bs)
+                    .tiling(tiling)
+                    .build()
+                    .unwrap_or_else(|e| panic!("invalid configuration: {e}")),
+            ),
             &config,
         ),
         "sea" => run_campaign(&SeaAbft::new(bs).with_tiling(tiling), &config),
@@ -456,6 +501,7 @@ mod tests {
     #[test]
     fn subcommands_run_end_to_end() {
         cmd_multiply(&args(&[("n", "48"), ("bs", "8"), ("correct", "true")]));
+        cmd_batch(&args(&[("count", "6"), ("n", "16"), ("bs", "4"), ("streams", "3")]));
         cmd_inject(&args(&[("n", "48"), ("bs", "8"), ("k", "5"), ("site", "final-add")]));
         cmd_bounds(&args(&[("n", "64"), ("bs", "8"), ("samples", "64")]));
         cmd_perf(&args(&[("sizes", "512")]));

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! aabft multiply --n 256 --correct true          # protected GEMM
+//! aabft batch --count 64 --n 128 --streams 8     # multi-stream batch engine
 //! aabft inject --n 128 --site inner-add --bit 58 # one targeted fault
 //! aabft campaign --n 96 --scheme sea --trials 200
 //! aabft bounds --n 256 --input hundred           # Tables II-IV row
@@ -9,8 +10,8 @@
 //! ```
 
 use aabft_cli::{
-    cmd_bounds, cmd_campaign, cmd_gemv, cmd_inject, cmd_lu, cmd_multiply, cmd_perf, cmd_profile,
-    usage,
+    cmd_batch, cmd_bounds, cmd_campaign, cmd_gemv, cmd_inject, cmd_lu, cmd_multiply, cmd_perf,
+    cmd_profile, usage,
 };
 
 fn main() {
@@ -23,6 +24,7 @@ fn main() {
     let parsed = aabft_bench::args::Args::from_args(rest);
     match cmd.as_str() {
         "multiply" => cmd_multiply(&parsed),
+        "batch" => cmd_batch(&parsed),
         "inject" => cmd_inject(&parsed),
         "campaign" => cmd_campaign(&parsed),
         "bounds" => cmd_bounds(&parsed),

@@ -241,7 +241,7 @@ mod tests {
             AAbftConfig::builder()
                 .block_size(4)
                 .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
-                .build(),
+                .build().expect("valid config"),
         )
     }
 

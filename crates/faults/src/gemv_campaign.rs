@@ -149,7 +149,7 @@ mod tests {
             spec: FaultSpec::single(site, region),
             trials: 40,
             seed: 11,
-            config: AAbftConfig::builder().block_size(16).build(),
+            config: AAbftConfig::builder().block_size(16).build().expect("valid config"),
         }
     }
 

@@ -10,9 +10,11 @@
 //! and apply armed fault injections.
 
 use crate::dim::{BlockIdx, GridDim};
+use crate::error::ConfigError;
 use crate::inject::{FaultSite, InjectionPlan, InjectionState};
 use crate::mem::DeviceBuffer;
 use crate::stats::{KernelStats, LaunchRecord};
+use crate::stream::{Event, StreamId, StreamTable};
 use aabft_obs::Obs;
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -22,6 +24,9 @@ use std::sync::Arc;
 /// Hardware-shape parameters of the simulated device.
 ///
 /// Defaults model the Nvidia K20c (GK110) used in the paper: 13 SMX units.
+/// Construct via [`DeviceConfig::builder`] to get typed validation errors
+/// instead of panics; raw-struct construction is kept for literals that are
+/// correct by inspection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceConfig {
     /// Number of streaming multiprocessors.
@@ -34,6 +39,62 @@ pub struct DeviceConfig {
 impl Default for DeviceConfig {
     fn default() -> Self {
         DeviceConfig { num_sms: 13, max_modules: 64 }
+    }
+}
+
+impl DeviceConfig {
+    /// Starts building a configuration from the K20c-like defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aabft_gpu_sim::device::DeviceConfig;
+    ///
+    /// let config = DeviceConfig::builder().num_sms(4).build().unwrap();
+    /// assert_eq!(config.num_sms, 4);
+    /// assert!(DeviceConfig::builder().num_sms(0).build().is_err());
+    /// ```
+    pub fn builder() -> DeviceConfigBuilder {
+        DeviceConfigBuilder { config: DeviceConfig::default() }
+    }
+
+    /// Checks invariants, returning a typed error naming the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_sms == 0 {
+            return Err(ConfigError::new("num_sms", self.num_sms, "at least one SM"));
+        }
+        if self.max_modules == 0 {
+            return Err(ConfigError::new("max_modules", self.max_modules, "at least one module"));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`DeviceConfig`].
+#[derive(Debug, Clone)]
+pub struct DeviceConfigBuilder {
+    config: DeviceConfig,
+}
+
+impl DeviceConfigBuilder {
+    /// Sets the number of streaming multiprocessors.
+    pub fn num_sms(mut self, n: usize) -> Self {
+        self.config.num_sms = n;
+        self
+    }
+
+    /// Sets the per-thread functional-unit index bound.
+    pub fn max_modules(mut self, n: usize) -> Self {
+        self.config.max_modules = n;
+        self
+    }
+
+    /// Finalises the configuration, rejecting invalid shapes with a typed
+    /// error.
+    pub fn build(self) -> Result<DeviceConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -76,6 +137,9 @@ pub struct Device {
     sm_counts: Vec<Mutex<Vec<[u64; FaultSite::COUNT]>>>,
     log: Mutex<Vec<LaunchRecord>>,
     launch_seq: AtomicU64,
+    /// Stream bookkeeping: id allocation, per-stream launch frontiers and
+    /// pending event waits.
+    streams: Mutex<StreamTable>,
     /// Observability sink: kernel spans and hardware counters land here.
     /// Defaults to the process-global context; tests attach fresh ones.
     obs: Arc<Obs>,
@@ -99,6 +163,7 @@ impl Device {
             sm_counts,
             log: Mutex::new(Vec::new()),
             launch_seq: AtomicU64::new(0),
+            streams: Mutex::new(StreamTable::default()),
             obs: aabft_obs::global(),
         }
     }
@@ -183,20 +248,66 @@ impl Device {
         linear_block % self.config.num_sms
     }
 
-    /// Launches `kernel` over `grid` and returns the merged stats. The
-    /// launch is also appended to the device's launch log for performance
-    /// modelling.
+    /// The device's default stream (stream 0).
+    pub fn default_stream(&self) -> StreamId {
+        StreamId::DEFAULT
+    }
+
+    /// Creates a fresh stream: an independent ordered launch queue whose
+    /// launches may overlap other streams' in the modelled timeline.
+    pub fn create_stream(&self) -> StreamId {
+        self.streams.lock().create()
+    }
+
+    /// Records an event at `stream`'s current launch frontier.
+    pub fn record_event(&self, stream: StreamId) -> Event {
+        self.streams.lock().record(stream)
+    }
+
+    /// Orders `stream`'s *subsequent* launches after `event` in the
+    /// modelled timeline (CUDA `cudaStreamWaitEvent` analogue).
+    pub fn wait_event(&self, stream: StreamId, event: &Event) {
+        self.streams.lock().wait(stream, event);
+    }
+
+    /// Launches `kernel` over `grid` on the default stream and returns the
+    /// merged stats. The launch is also appended to the device's launch log
+    /// for performance modelling.
     pub fn launch<K: Kernel + ?Sized>(&self, grid: GridDim, kernel: &K) -> KernelStats {
+        self.launch_on(StreamId::DEFAULT, grid, kernel)
+    }
+
+    /// Launches `kernel` over `grid` on `stream`.
+    ///
+    /// Functionally the kernel executes immediately (host-side, exactly as
+    /// [`Device::launch`] always has), so results never depend on stream
+    /// assignment; the stream and the dependency edges it implies are
+    /// recorded in the launch log, where
+    /// [`PerfModel::schedule`](crate::perf::PerfModel::schedule) uses them
+    /// to overlap independent streams in the modelled timeline.
+    pub fn launch_on<K: Kernel + ?Sized>(
+        &self,
+        stream: StreamId,
+        grid: GridDim,
+        kernel: &K,
+    ) -> KernelStats {
         let injections = self.injections.lock().clone();
         let num_sms = self.config.num_sms;
         let max_modules = self.config.max_modules;
         let blocks: Vec<BlockIdx> = grid.iter().collect();
         let seq = self.launch_seq.fetch_add(1, Ordering::Relaxed);
+        let deps = {
+            let mut table = self.streams.lock();
+            let deps = table.take_deps(stream);
+            table.advance(stream, seq);
+            deps
+        };
         let mut span = self
             .obs
             .recorder
             .span("kernel", kernel.name())
             .attr("phase", kernel.phase())
+            .attr("stream", stream.raw())
             .attr("seq", seq);
 
         let per_sm: Vec<KernelStats> = (0..num_sms)
@@ -237,6 +348,8 @@ impl Device {
         m.counter_add("sim.blocks", total.blocks);
         self.log.lock().push(LaunchRecord {
             seq,
+            stream: stream.raw(),
+            deps,
             name: kernel.name().to_string(),
             phase: kernel.phase().to_string(),
             utilization: kernel.utilization(),
@@ -594,6 +707,57 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].cat, "kernel");
         assert!(spans[0].args.iter().any(|(k, _)| k == "phase"));
+    }
+
+    #[test]
+    fn launch_on_records_stream_and_dep_chain() {
+        let device = Device::with_defaults();
+        let out = DeviceBuffer::zeros(8);
+        let s = device.create_stream();
+        device.launch_on(s, GridDim::new(4, 2), &FillKernel { out: &out });
+        device.launch_on(s, GridDim::new(4, 2), &FillKernel { out: &out });
+        device.launch(GridDim::new(4, 2), &FillKernel { out: &out });
+        let log = device.take_log();
+        assert_eq!(log[0].stream, s.raw());
+        assert!(log[0].deps.is_empty(), "first launch on a fresh stream");
+        assert_eq!(log[1].deps, vec![log[0].seq], "chained to its stream predecessor");
+        assert_eq!(log[2].stream, 0, "plain launch goes to the default stream");
+        assert!(log[2].deps.is_empty(), "default stream had no prior launch");
+    }
+
+    #[test]
+    fn events_order_launches_across_streams() {
+        let device = Device::with_defaults();
+        let out = DeviceBuffer::zeros(8);
+        let s1 = device.create_stream();
+        let s2 = device.create_stream();
+        assert_ne!(s1, s2);
+        device.launch_on(s1, GridDim::new(4, 2), &FillKernel { out: &out });
+        let e = device.record_event(s1);
+        device.wait_event(s2, &e);
+        device.launch_on(s2, GridDim::new(4, 2), &FillKernel { out: &out });
+        device.launch_on(s2, GridDim::new(4, 2), &FillKernel { out: &out });
+        let log = device.take_log();
+        assert_eq!(log[1].deps, vec![log[0].seq], "wait turned into a cross-stream dep");
+        assert_eq!(log[2].deps, vec![log[1].seq], "waits drain after one launch");
+    }
+
+    #[test]
+    fn stream_assignment_never_changes_results() {
+        let sequential = {
+            let device = Device::with_defaults();
+            let out = DeviceBuffer::zeros(8);
+            device.launch(GridDim::new(4, 2), &FillKernel { out: &out });
+            out.to_vec()
+        };
+        let streamed = {
+            let device = Device::with_defaults();
+            let out = DeviceBuffer::zeros(8);
+            let s = device.create_stream();
+            device.launch_on(s, GridDim::new(4, 2), &FillKernel { out: &out });
+            out.to_vec()
+        };
+        assert_eq!(sequential, streamed);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Typed configuration errors.
+//!
+//! Validating builders ([`crate::device::DeviceConfig::builder`],
+//! `AAbftConfig::builder` in `aabft-core`) reject bad parameters with a
+//! [`ConfigError`] instead of panicking, so services can surface
+//! misconfiguration to callers. Raw-struct construction keeps its internal
+//! invariant asserts for programmer errors.
+
+use std::fmt;
+
+/// A rejected configuration parameter: which parameter, the offending
+/// value, and the requirement it violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The parameter that failed validation (e.g. `"num_sms"`,
+    /// `"block_size"`).
+    pub param: &'static str,
+    /// The rejected value, rendered for display.
+    pub got: String,
+    /// The requirement the value violated.
+    pub requirement: &'static str,
+}
+
+impl ConfigError {
+    /// Builds an error for `param` with the offending value and the
+    /// requirement it violated.
+    pub fn new(param: &'static str, got: impl fmt::Display, requirement: &'static str) -> Self {
+        ConfigError { param, got: got.to_string(), requirement }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: got {}, requires {}", self.param, self.got, self.requirement)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter_and_requirement() {
+        let e = ConfigError::new("num_sms", 0usize, "at least one SM");
+        assert_eq!(e.param, "num_sms");
+        assert_eq!(e.to_string(), "invalid num_sms: got 0, requires at least one SM");
+    }
+}

@@ -56,12 +56,37 @@ impl GemmTiling {
     ///
     /// Panics if `bm % rx != 0` or `bn % ry != 0` or any field is zero.
     pub fn validate(&self) {
-        assert!(
-            self.bm > 0 && self.bn > 0 && self.bk > 0 && self.rx > 0 && self.ry > 0,
-            "tiling fields must be positive: {self:?}"
-        );
-        assert_eq!(self.bm % self.rx, 0, "bm must be divisible by rx");
-        assert_eq!(self.bn % self.ry, 0, "bn must be divisible by ry");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks divisibility constraints, returning a typed error instead of
+    /// panicking (validating config builders route through this).
+    pub fn check(&self) -> Result<(), crate::error::ConfigError> {
+        use crate::error::ConfigError;
+        if self.bm == 0 || self.bn == 0 || self.bk == 0 || self.rx == 0 || self.ry == 0 {
+            return Err(ConfigError::new(
+                "tiling",
+                format!("{self:?}"),
+                "all tile-shape fields positive",
+            ));
+        }
+        if !self.bm.is_multiple_of(self.rx) {
+            return Err(ConfigError::new(
+                "tiling.bm",
+                format!("bm={} rx={}", self.bm, self.rx),
+                "bm divisible by rx",
+            ));
+        }
+        if !self.bn.is_multiple_of(self.ry) {
+            return Err(ConfigError::new(
+                "tiling.bn",
+                format!("bn={} ry={}", self.bn, self.ry),
+                "bn divisible by ry",
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -16,6 +16,9 @@
 //! * [`stats`]/[`perf`] — instruction/memory counters per launch and the
 //!   roofline-style K20c performance model that converts them into the
 //!   GFLOPS figures of the paper's Table I;
+//! * [`stream`] — CUDA-style streams and events plus the [`stream::ExecCtx`]
+//!   execution context; launches on distinct streams overlap in the modelled
+//!   timeline ([`perf::PerfModel::schedule`]) without changing results;
 //! * [`trace`] — Chrome-trace reconstruction of the launch log on a
 //!   modelled-time axis, one track per simulated SM;
 //! * [`kernels`] — the blocked GEMM of Algorithm 3 and a comparison kernel.
@@ -28,16 +31,20 @@
 
 pub mod device;
 pub mod dim;
+pub mod error;
 pub mod inject;
 pub mod kernels;
 pub mod mem;
 pub mod perf;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
-pub use device::{BlockCtx, Device, DeviceConfig, Kernel};
+pub use device::{BlockCtx, Device, DeviceConfig, DeviceConfigBuilder, Kernel};
 pub use dim::{BlockIdx, GridDim};
+pub use error::ConfigError;
 pub use inject::{FaultSite, InjectionPlan};
 pub use mem::{DeviceBuffer, SharedTile};
-pub use perf::{PerfModel, PhaseCost};
+pub use perf::{PerfModel, PhaseCost, Schedule, ScheduledLaunch};
 pub use stats::{KernelStats, LaunchRecord};
+pub use stream::{Event, ExecCtx, StreamId};

@@ -120,6 +120,27 @@ impl DeviceBuffer {
         Matrix::from_vec(rows, cols, v)
     }
 
+    /// Uploads `src` into the buffer starting at word `offset` (between
+    /// launches; the batch engine refills pooled buffers this way instead
+    /// of reallocating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len()` exceeds the buffer length.
+    pub fn write_slice(&self, offset: usize, src: &[f64]) {
+        assert!(
+            offset + src.len() <= self.len,
+            "device buffer upload of {} words at {offset} out of {}",
+            src.len(),
+            self.len
+        );
+        // SAFETY: bounds checked above; called between kernel launches
+        // (no concurrent writers).
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr().add(offset), src.len());
+        }
+    }
+
     /// Overwrites the whole buffer with zeros (between launches).
     pub fn clear(&self) {
         // SAFETY: called between kernel launches (no concurrent writers).
@@ -200,6 +221,21 @@ mod tests {
     #[should_panic]
     fn buffer_oob_panics() {
         DeviceBuffer::zeros(2).get(2);
+    }
+
+    #[test]
+    fn write_slice_refills_in_place() {
+        let b = DeviceBuffer::zeros(5);
+        b.write_slice(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(b.to_vec(), vec![0.0, 1.0, 2.0, 3.0, 0.0]);
+        b.write_slice(0, &[9.0]);
+        assert_eq!(b.get(0), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn write_slice_oob_panics() {
+        DeviceBuffer::zeros(2).write_slice(1, &[1.0, 2.0]);
     }
 
     #[test]

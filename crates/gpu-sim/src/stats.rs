@@ -65,6 +65,13 @@ pub struct LaunchRecord {
     /// launch runs under rayon, but launches themselves are sequenced, so
     /// sorting by `seq` always reproduces submission order.
     pub seq: u64,
+    /// Stream the launch was issued to (`0` = default stream). Launches on
+    /// the same stream are modelled as executing in `seq` order; distinct
+    /// streams may overlap in the modelled timeline.
+    pub stream: u64,
+    /// `seq` values this launch is ordered after: its stream predecessor
+    /// plus any event waits registered before it was issued.
+    pub deps: Vec<u64>,
     /// Kernel name (as reported by the kernel).
     pub name: String,
     /// Pipeline phase the kernel belongs to (e.g. `"encode"`, `"gemm"`,
@@ -85,6 +92,8 @@ impl LaunchRecord {
     pub fn synthetic(name: &str, utilization: f64, stats: KernelStats) -> Self {
         LaunchRecord {
             seq: 0,
+            stream: 0,
+            deps: Vec::new(),
             name: name.to_string(),
             phase: name.to_string(),
             utilization,

@@ -1,0 +1,229 @@
+//! Streams, events and the execution context.
+//!
+//! A [`StreamId`] names an ordered launch queue on a [`Device`], exactly
+//! like a CUDA stream: launches issued to the same stream are modelled as
+//! executing in issue order, launches on *different* streams may overlap in
+//! the modelled timeline (sharing the device's SMs — see
+//! [`crate::perf::PerfModel::schedule`]). [`Event`]s carry ordering across
+//! streams: recording captures a stream's current frontier, waiting makes
+//! another stream's subsequent launches depend on it.
+//!
+//! The simulator executes kernels functionally at issue time (host-side,
+//! synchronously), so streams never change *results* — only the modelled
+//! timeline and the dependency edges recorded in the launch log. Issuing
+//! launches in a data-dependency-respecting order remains the caller's
+//! contract, as it is on real hardware within one stream.
+//!
+//! [`ExecCtx`] bundles the device, the stream to issue on, and the
+//! observability sink — the single execution-context argument the protected
+//! GEMM entry points take.
+
+use crate::device::{Device, Kernel};
+use crate::dim::GridDim;
+use crate::stats::KernelStats;
+use aabft_obs::Obs;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle of one ordered launch queue on a device.
+///
+/// Obtain via [`Device::default_stream`] or [`Device::create_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub(crate) u64);
+
+impl StreamId {
+    /// The device's default stream (stream 0); plain
+    /// [`Device::launch`](crate::device::Device::launch) issues here.
+    pub const DEFAULT: StreamId = StreamId(0);
+
+    /// The raw stream number (as recorded in
+    /// [`LaunchRecord::stream`](crate::stats::LaunchRecord::stream)).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for StreamId {
+    fn default() -> Self {
+        StreamId::DEFAULT
+    }
+}
+
+/// A recorded point in a stream's launch order (CUDA `cudaEventRecord`
+/// analogue). Waiting on it from another stream orders that stream's
+/// subsequent launches after every launch the event captured.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// `seq` of the last launch in the stream when the event was recorded;
+    /// `None` if the stream had no launches yet (waiting is then a no-op).
+    pub(crate) seq: Option<u64>,
+}
+
+impl Event {
+    /// The launch sequence number this event captured, if any.
+    pub fn seq(&self) -> Option<u64> {
+        self.seq
+    }
+}
+
+/// Per-device stream bookkeeping: the id counter, each stream's launch
+/// frontier, and event waits pending for each stream's next launch.
+#[derive(Debug, Default)]
+pub(crate) struct StreamTable {
+    next_id: u64,
+    last_launch: HashMap<u64, u64>,
+    pending_waits: HashMap<u64, Vec<u64>>,
+}
+
+impl StreamTable {
+    /// Allocates a fresh non-default stream id.
+    pub(crate) fn create(&mut self) -> StreamId {
+        self.next_id += 1;
+        StreamId(self.next_id)
+    }
+
+    /// Dependencies of the next launch on `stream`: its own frontier plus
+    /// any event waits registered since the previous launch (drained).
+    pub(crate) fn take_deps(&mut self, stream: StreamId) -> Vec<u64> {
+        let mut deps = Vec::new();
+        if let Some(&prev) = self.last_launch.get(&stream.0) {
+            deps.push(prev);
+        }
+        if let Some(waits) = self.pending_waits.remove(&stream.0) {
+            for w in waits {
+                if !deps.contains(&w) {
+                    deps.push(w);
+                }
+            }
+        }
+        deps
+    }
+
+    /// Advances `stream`'s frontier to launch `seq`.
+    pub(crate) fn advance(&mut self, stream: StreamId, seq: u64) {
+        self.last_launch.insert(stream.0, seq);
+    }
+
+    /// Captures `stream`'s current frontier as an event.
+    pub(crate) fn record(&self, stream: StreamId) -> Event {
+        Event { seq: self.last_launch.get(&stream.0).copied() }
+    }
+
+    /// Registers `event` as a dependency of `stream`'s next launch.
+    pub(crate) fn wait(&mut self, stream: StreamId, event: &Event) {
+        if let Some(seq) = event.seq {
+            self.pending_waits.entry(stream.0).or_default().push(seq);
+        }
+    }
+}
+
+/// Execution context of a protected operation: the device to launch on,
+/// the stream to issue to, and the observability sink spans/metrics land
+/// in.
+///
+/// The convenience constructor [`ExecCtx::new`] targets the default stream
+/// with the device's own observability context, which reproduces the
+/// historical `multiply(&device, ...)` behaviour exactly; the batch engine
+/// builds one context per request with [`ExecCtx::on_stream`].
+///
+/// # Examples
+///
+/// ```
+/// use aabft_gpu_sim::{Device, ExecCtx};
+///
+/// let device = Device::with_defaults();
+/// let ctx = ExecCtx::new(&device);
+/// assert_eq!(ctx.stream, device.default_stream());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecCtx<'a> {
+    /// The device kernels are launched on.
+    pub device: &'a Device,
+    /// The stream launches are issued to.
+    pub stream: StreamId,
+    /// Observability sink for spans and counters.
+    pub obs: Arc<Obs>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Context on the device's default stream, reporting into the device's
+    /// observability context — the drop-in equivalent of the pre-stream
+    /// API.
+    pub fn new(device: &'a Device) -> Self {
+        ExecCtx { device, stream: device.default_stream(), obs: device.obs().clone() }
+    }
+
+    /// Context issuing to a specific stream.
+    pub fn on_stream(device: &'a Device, stream: StreamId) -> Self {
+        ExecCtx { device, stream, obs: device.obs().clone() }
+    }
+
+    /// Replaces the observability sink (tests attach fresh contexts).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Launches `kernel` on this context's stream.
+    pub fn launch<K: Kernel + ?Sized>(&self, grid: GridDim, kernel: &K) -> KernelStats {
+        self.device.launch_on(self.stream, grid, kernel)
+    }
+
+    /// Records an event at this context's stream frontier.
+    pub fn record_event(&self) -> Event {
+        self.device.record_event(self.stream)
+    }
+
+    /// Orders this context's subsequent launches after `event`.
+    pub fn wait_event(&self, event: &Event) {
+        self.device.wait_event(self.stream, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_table_chains_deps_within_a_stream() {
+        let mut t = StreamTable::default();
+        let s = t.create();
+        assert!(t.take_deps(s).is_empty(), "first launch has no deps");
+        t.advance(s, 7);
+        assert_eq!(t.take_deps(s), vec![7]);
+    }
+
+    #[test]
+    fn events_carry_cross_stream_deps_once() {
+        let mut t = StreamTable::default();
+        let s1 = t.create();
+        let s2 = t.create();
+        t.advance(s1, 3);
+        let e = t.record(s1);
+        assert_eq!(e.seq(), Some(3));
+        t.wait(s2, &e);
+        assert_eq!(t.take_deps(s2), vec![3]);
+        assert!(t.take_deps(s2).is_empty(), "waits drain after one launch");
+    }
+
+    #[test]
+    fn waiting_on_an_empty_stream_is_a_noop() {
+        let mut t = StreamTable::default();
+        let s1 = t.create();
+        let s2 = t.create();
+        let e = t.record(s1);
+        assert_eq!(e.seq(), None);
+        t.wait(s2, &e);
+        assert!(t.take_deps(s2).is_empty());
+    }
+
+    #[test]
+    fn duplicate_deps_are_collapsed() {
+        let mut t = StreamTable::default();
+        let s = t.create();
+        t.advance(s, 4);
+        let e = t.record(s);
+        t.wait(s, &e); // self-wait duplicates the frontier dep
+        assert_eq!(t.take_deps(s), vec![4]);
+    }
+}

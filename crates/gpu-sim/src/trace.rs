@@ -1,12 +1,15 @@
 //! Chrome-trace reconstruction of a device's launch log.
 //!
 //! The simulator executes kernels functionally and *models* time, so the
-//! trace is rebuilt after the fact: launches are laid out sequentially on
-//! a modelled-time axis (each occupying its [`PerfModel::kernel_time`]
-//! window), and within each launch every simulated SM gets a slice on its
-//! own track sized by [`PerfModel::sm_time`] of its share of the work.
-//! Host-side spans (wall clock, from the [`aabft_obs::Recorder`]) go on a
-//! separate process so the two time bases are never mixed on one track.
+//! trace is rebuilt after the fact: the launch log is run through the
+//! stream scheduler ([`PerfModel::schedule`]), each launch occupies the
+//! busy window the schedule assigned it, and within a launch every active
+//! SM gets a slice on its own track sized by [`PerfModel::sm_time`] of its
+//! share of the work. Launches of a single stream tile one after another
+//! (the historical sequential layout); overlapping streams appear side by
+//! side on the SM tracks the scheduler allocated them. Host-side spans
+//! (wall clock, from the [`aabft_obs::Recorder`]) go on a separate process
+//! so the two time bases are never mixed on one track.
 
 use aabft_obs::{ChromeTrace, JsonValue, SpanRecord};
 
@@ -20,42 +23,49 @@ pub const HOST_PID: u32 = 1;
 pub const DEVICE_PID: u32 = 2;
 
 /// Appends the modelled device timeline to `trace` under [`DEVICE_PID`]:
-/// one named track per simulated SM, launches in `seq` order, SM slices
-/// clamped inside their launch window (tracks never overlap). Returns the
-/// modelled end time in microseconds.
+/// one named track per simulated SM, launches placed at the busy windows
+/// the stream scheduler assigned them, SM slices clamped inside their
+/// launch window (tracks never overlap). Each launch's active per-SM work
+/// shares are drawn on the SM tracks the scheduler allocated to it, so
+/// concurrent streams show up side by side. Returns the modelled end time
+/// (the schedule makespan) in microseconds.
 pub fn add_device_timeline(
     trace: &mut ChromeTrace,
     log: &[LaunchRecord],
     model: &PerfModel,
 ) -> f64 {
-    let mut ordered: Vec<&LaunchRecord> = log.iter().collect();
-    ordered.sort_by_key(|r| r.seq);
-
-    let num_sms = ordered.iter().map(|r| r.per_sm.len()).max().unwrap_or(0);
+    let num_sms = log.iter().map(|r| r.per_sm.len()).max().unwrap_or(0);
     trace.name_process(DEVICE_PID, "gpu-sim device (modelled time)");
     for sm in 0..num_sms {
         trace.name_thread(DEVICE_PID, sm as u32, &format!("SM {sm}"));
     }
 
-    let mut t_us = 0.0;
-    for rec in ordered {
-        let window_us = model.kernel_time(rec) * 1e6;
-        // SM work begins once the launch overhead (driver time) is paid.
-        let start_us = t_us + model.launch_overhead * 1e6;
-        for (sm, stats) in rec.per_sm.iter().enumerate() {
-            if stats.blocks == 0 && stats.flops() == 0 && stats.gmem_bytes() == 0 {
-                continue;
-            }
+    let schedule = model.schedule(log, num_sms.max(1));
+    let by_seq: std::collections::HashMap<u64, &LaunchRecord> =
+        log.iter().map(|r| (r.seq, r)).collect();
+    for placed in &schedule.launches {
+        let rec = by_seq[&placed.seq];
+        let start_us = placed.busy_start * 1e6;
+        // The k-th active per-SM work share lands on the k-th SM the
+        // scheduler allocated (the functional executor's round-robin SM
+        // indices and the scheduler's allocation are independent
+        // labellings, so the trace uses the scheduler's).
+        let active = rec.per_sm.iter().enumerate().filter(|(_, stats)| {
+            stats.blocks != 0 || stats.flops() != 0 || stats.gmem_bytes() != 0
+        });
+        for (k, (sm, stats)) in active.enumerate() {
+            let track = placed.sm_ids.get(k).copied().unwrap_or(sm);
             let dur_us = model.sm_time(rec, sm) * 1e6;
             trace.complete(
                 DEVICE_PID,
-                sm as u32,
+                track as u32,
                 &rec.name,
                 &format!("kernel,{}", rec.phase),
                 start_us,
                 dur_us,
                 vec![
                     ("seq".to_string(), JsonValue::UInt(rec.seq)),
+                    ("stream".to_string(), JsonValue::UInt(rec.stream)),
                     ("phase".to_string(), JsonValue::Str(rec.phase.clone())),
                     ("flops".to_string(), JsonValue::UInt(stats.flops())),
                     ("blocks".to_string(), JsonValue::UInt(stats.blocks)),
@@ -63,9 +73,8 @@ pub fn add_device_timeline(
                 ],
             );
         }
-        t_us += window_us;
     }
-    t_us
+    schedule.makespan * 1e6
 }
 
 /// Builds a complete trace: host spans under [`HOST_PID`] (if any) plus
@@ -100,6 +109,8 @@ mod tests {
         }
         LaunchRecord {
             seq,
+            stream: 0,
+            deps: if seq == 0 { vec![] } else { vec![seq - 1] },
             name: format!("k{seq}"),
             phase: phase.to_string(),
             utilization: 0.9,
@@ -181,6 +192,32 @@ mod tests {
             .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
             .collect();
         assert_eq!(slices.len(), 1, "SM 1 did nothing");
+    }
+
+    #[test]
+    fn concurrent_streams_share_the_timeline() {
+        let model = PerfModel::k20c();
+        // Two independent single-SM launches on different streams: the
+        // schedule overlaps them, so the trace ends well before the
+        // sequential pipeline time and uses two distinct tracks.
+        let mut a = launch(0, "gemm", &[50_000_000, 0]);
+        a.stream = 1;
+        a.deps.clear();
+        let mut b = launch(1, "gemm", &[50_000_000, 0]);
+        b.stream = 2;
+        b.deps.clear();
+        let log = vec![a, b];
+        let mut trace = ChromeTrace::new();
+        let end_us = add_device_timeline(&mut trace, &log, &model);
+        assert!(end_us < model.pipeline_time(&log) * 1e6 * 0.75, "end_us = {end_us}");
+        let json = aabft_obs::json::parse(&trace.render()).expect("valid json");
+        let events = json.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .map(|e| e.get("tid").and_then(|t| t.as_u64()).unwrap())
+            .collect();
+        assert_eq!(tids.len(), 2, "concurrent launches use distinct SM tracks");
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() {
             faults_per_run: 1,
         };
         let aabft = AAbftScheme::new(
-            AAbftConfig::builder().block_size(bs).tiling(tiling).build(),
+            AAbftConfig::builder().block_size(bs).tiling(tiling).build().expect("valid config"),
         );
         let ra = run_campaign(&aabft, &config);
         let sea = SeaAbft::new(bs).with_tiling(tiling);

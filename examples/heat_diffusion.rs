@@ -52,7 +52,7 @@ fn main() {
     });
     let mut reference = state.clone();
 
-    let gemm_op = AAbftGemm::new(AAbftConfig::builder().correct(true).build());
+    let gemm_op = AAbftGemm::new(AAbftConfig::builder().correct(true).build().expect("valid config"));
     let device = Device::with_defaults();
 
     for step in 0..steps {

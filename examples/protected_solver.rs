@@ -39,7 +39,7 @@ fn dot(x: &[f64], y: &[f64]) -> f64 {
 fn main() {
     let n = 128;
     let (a, b) = spd_system(n);
-    let config = AAbftConfig::builder().block_size(16).build();
+    let config = AAbftConfig::builder().block_size(16).build().expect("valid config");
 
     // Conjugate gradients with protected matvecs.
     let mut x = vec![0.0; n];

@@ -19,7 +19,7 @@ fn main() {
 
     // 2. An A-ABFT operator with the paper's defaults (BS = 32, p = 2,
     //    3-sigma bounds) and single-error correction enabled.
-    let gemm = AAbftGemm::new(AAbftConfig::builder().correct(true).build());
+    let gemm = AAbftGemm::new(AAbftConfig::builder().correct(true).build().expect("valid config"));
     let device = Device::with_defaults();
 
     // 3. A clean run: no calibration, no manual tolerances — the rounding

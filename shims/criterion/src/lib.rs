@@ -200,8 +200,7 @@ mod tests {
 
     #[test]
     fn harness_runs() {
-        let mut c = Criterion::default();
-        c.sample_size = 3;
+        let mut c = Criterion { sample_size: 3 };
         sample_bench(&mut c);
     }
 

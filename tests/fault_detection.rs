@@ -29,7 +29,7 @@ fn campaign(site: FaultSite, region: BitRegion, bits: u32, trials: usize) -> Cam
 }
 
 fn aabft() -> AAbftScheme {
-    AAbftScheme::new(AAbftConfig::builder().block_size(8).tiling(tiling()).build())
+    AAbftScheme::new(AAbftConfig::builder().block_size(8).tiling(tiling()).build().expect("valid config"))
 }
 
 #[test]

@@ -18,7 +18,7 @@ fn traced_multiply(n: usize) -> (std::sync::Arc<Obs>, Vec<aabft::gpu::stats::Lau
     let config = AAbftConfig::builder()
         .block_size(8)
         .tiling(GemmTiling { bm: 16, bn: 16, bk: 8, rx: 4, ry: 4 })
-        .build();
+        .build().expect("valid config");
     let mut device = Device::with_defaults();
     let obs = Obs::new_shared();
     obs.recorder.set_enabled(true);

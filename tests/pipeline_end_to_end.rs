@@ -14,7 +14,7 @@ fn small_tiling() -> GemmTiling {
 }
 
 fn config(bs: usize) -> AAbftConfig {
-    AAbftConfig::builder().block_size(bs).tiling(small_tiling()).build()
+    AAbftConfig::builder().block_size(bs).tiling(small_tiling()).build().expect("valid config")
 }
 
 #[test]
@@ -102,7 +102,7 @@ fn single_error_correction_restores_bitwise_block_sums() {
         .block_size(8)
         .tiling(small_tiling())
         .correct(true)
-        .build();
+        .build().expect("valid config");
     // Exponent-flip faults at several coordinates; every detected single
     // error must be repaired to within checksum rounding.
     for (sm, k) in [(0, 1), (1, 7), (2, 3), (3, 11)] {
@@ -138,7 +138,7 @@ fn recompute_policy_recovers_unlocatable_errors() {
         .block_size(8)
         .tiling(small_tiling())
         .recovery(RecoveryPolicy::CorrectOrRecompute)
-        .build();
+        .build().expect("valid config");
     // Sweep injections; whenever a fault corrupts a *checksum* element the
     // report has a mismatch without intersection — only the recompute
     // policy heals those. In every fired case the final product must match
@@ -184,7 +184,7 @@ fn fma_mode_full_pipeline() {
         .block_size(8)
         .tiling(small_tiling())
         .mul_mode(aabft::numerics::MulMode::Fused)
-        .build();
+        .build().expect("valid config");
     let outcome = AAbftGemm::new(fused).multiply(&Device::with_defaults(), &a, &b);
     assert!(!outcome.errors_detected(), "FMA mode must not false-positive");
     assert!(outcome.product.approx_eq(&gemm::multiply(&a, &b), 1e-12));
