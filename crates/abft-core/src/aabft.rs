@@ -315,7 +315,9 @@ impl AAbftGemm {
         for i in 0..n {
             bufs.b.write_slice(i * plan.cols.total, b.row(i));
         }
-        Ok(MultiplyRun { config: self.config, m, q, plan, bufs })
+        let run = MultiplyRun { config: self.config, m, n, q, plan, bufs };
+        run.land_memory_faults(ctx, "upload");
+        Ok(run)
     }
 }
 
@@ -327,6 +329,7 @@ impl AAbftGemm {
 pub struct MultiplyRun {
     config: AAbftConfig,
     m: usize,
+    n: usize,
     q: usize,
     plan: GemmPlan,
     bufs: RunBuffers,
@@ -338,6 +341,17 @@ impl MultiplyRun {
         &self.plan
     }
 
+    /// Gives armed memory-at-rest faults ([`aabft_gpu_sim::MemoryFaultPlan`])
+    /// their chance to land after `phase`. A pure host-side hook: no kernel
+    /// launch, no span, so the observability and launch-count contracts of a
+    /// fault-free run are untouched.
+    fn land_memory_faults(&self, ctx: &ExecCtx<'_>, phase: &str) {
+        ctx.device.apply_memory_faults(
+            phase,
+            &[("a", &self.bufs.a), ("b", &self.bufs.b), ("c", &self.bufs.c)],
+        );
+    }
+
     /// Step 1: encoding + per-block p-max for both operands.
     pub fn encode(&self, ctx: &ExecCtx<'_>) {
         let _s = aabft_obs::span!(ctx.obs, "phase", "encode");
@@ -347,6 +361,7 @@ impl MultiplyRun {
         let encode_b =
             EncodeRowsKernel::new(&self.bufs.b, &self.bufs.pmax_b, self.plan.cols, self.plan.inner);
         ctx.launch(encode_b.grid(), &encode_b);
+        self.land_memory_faults(ctx, "encode");
     }
 
     /// Step 2: the multiplication over the augmented operands.
@@ -364,6 +379,7 @@ impl MultiplyRun {
         .with_mul_mode(self.config.mul_mode)
         .with_rounding(self.config.rounding);
         ctx.launch(gemm.grid(), &gemm);
+        self.land_memory_faults(ctx, "gemm");
     }
 
     /// Step 3: global p-max reduction (the paper overlaps this with the
@@ -374,6 +390,7 @@ impl MultiplyRun {
         ctx.launch(reduce_a.grid(), &reduce_a);
         let reduce_b = ReducePMaxKernel::new(&self.bufs.pmax_b);
         ctx.launch(reduce_b.grid(), &reduce_b);
+        self.land_memory_faults(ctx, "pmax_reduce");
     }
 
     /// Step 4: bounds + reference checksums + comparison. The diagnostics
@@ -395,6 +412,7 @@ impl MultiplyRun {
         )
         .with_diag(&self.bufs.diag);
         ctx.launch(check.grid(), &check);
+        self.land_memory_faults(ctx, "check");
     }
 
     /// Host epilogue: decode the report, apply the recovery policy, strip
@@ -402,15 +420,13 @@ impl MultiplyRun {
     /// Returns the outcome together with the buffers, so pooled buffers
     /// can be recycled.
     pub fn finish(self, ctx: &ExecCtx<'_>) -> (AAbftOutcome, RunBuffers) {
-        let MultiplyRun { config, m, q, plan, bufs } = self;
-        let GemmPlan { rows, inner, cols } = plan;
         let _s = aabft_obs::span!(ctx.obs, "phase", "recover");
-        let report = CheckReport::from_raw(&bufs.report.to_vec(), rows, cols);
-        let mut full = FullChecksummed {
-            matrix: bufs.c.to_matrix(rows.total, cols.total),
-            rows,
-            cols,
-        };
+        let report = self.decode_report();
+        let GemmPlan { rows, inner, cols } = self.plan;
+        let config = self.config;
+        let bufs = &self.bufs;
+        let mut full =
+            FullChecksummed { matrix: bufs.c.to_matrix(rows.total, cols.total), rows, cols };
         let RecoveryOutcome { corrections, recomputed_blocks } =
             apply_policy(config.recovery, &mut full, &report, |blocks, prod| {
                 // Selective block recompute on the device, then refresh the
@@ -430,6 +446,39 @@ impl MultiplyRun {
                 prod.matrix = bufs.c.to_matrix(rows.total, cols.total);
             });
         drop(_s);
+        self.conclude(ctx, Some(full), report, corrections, recomputed_blocks)
+    }
+
+    /// Like [`MultiplyRun::finish`] but for the self-healing executor, which
+    /// has already run its own recovery ladder: no policy is applied, the
+    /// repair history is taken as given and the product is read back as-is.
+    pub(crate) fn finish_healed(
+        self,
+        ctx: &ExecCtx<'_>,
+        report: CheckReport,
+        corrections: Vec<Correction>,
+        recomputed_blocks: Vec<(usize, usize)>,
+    ) -> (AAbftOutcome, RunBuffers) {
+        self.conclude(ctx, None, report, corrections, recomputed_blocks)
+    }
+
+    /// Shared tail of [`MultiplyRun::finish`]/[`MultiplyRun::finish_healed`]:
+    /// strip to the caller's shape and emit the per-multiplication metrics.
+    fn conclude(
+        self,
+        ctx: &ExecCtx<'_>,
+        full: Option<FullChecksummed>,
+        report: CheckReport,
+        corrections: Vec<Correction>,
+        recomputed_blocks: Vec<(usize, usize)>,
+    ) -> (AAbftOutcome, RunBuffers) {
+        let MultiplyRun { config, m, q, plan, bufs, .. } = self;
+        let GemmPlan { rows, cols, .. } = plan;
+        let full = full.unwrap_or_else(|| FullChecksummed {
+            matrix: bufs.c.to_matrix(rows.total, cols.total),
+            rows,
+            cols,
+        });
         let product = full.matrix.block(0, 0, m, q);
 
         // ABFT-domain metrics: one sample per protected multiplication.
@@ -451,6 +500,74 @@ impl MultiplyRun {
         }
 
         (AAbftOutcome { product, full, report, corrections, recomputed_blocks }, bufs)
+    }
+
+    // ---- self-healing executor hooks (crate-internal) ----------------------
+
+    /// Decodes the current contents of the report buffer.
+    pub(crate) fn decode_report(&self) -> CheckReport {
+        CheckReport::from_raw(&self.bufs.report.to_vec(), self.plan.rows, self.plan.cols)
+    }
+
+    /// Rezeros the report/diagnostic buffers so the check can be re-run
+    /// after a repair.
+    pub(crate) fn clear_check(&self) {
+        self.bufs.report.clear();
+        self.bufs.diag.clear();
+    }
+
+    /// Rung 0 of the recovery ladder: repairs the single located error from
+    /// the checksums on the host and writes the repaired elements back into
+    /// the device product, so the next check pass verifies the repair.
+    pub(crate) fn correct_on_device(&self, report: &CheckReport) -> Vec<Correction> {
+        let GemmPlan { rows, cols, .. } = self.plan;
+        let mut full =
+            FullChecksummed { matrix: self.bufs.c.to_matrix(rows.total, cols.total), rows, cols };
+        let applied = crate::correct::correct_located_errors(&mut full, report);
+        for c in &applied {
+            self.bufs.c.set(c.row * cols.total + c.col, c.after);
+        }
+        applied
+    }
+
+    /// Rung 1: recomputes the given result blocks (plus their checksum
+    /// segments) from the operand buffers on the device.
+    pub(crate) fn recompute_on_device(&self, ctx: &ExecCtx<'_>, blocks: &[(usize, usize)]) {
+        let GemmPlan { rows, inner, cols } = self.plan;
+        let kernel = RecomputeBlocksKernel::new(
+            &self.bufs.a,
+            &self.bufs.b,
+            &self.bufs.c,
+            inner,
+            cols.total,
+            self.config.block_size,
+            rows.data,
+            cols.data,
+            blocks,
+        );
+        ctx.launch(kernel.grid(), &kernel);
+    }
+
+    /// Rung 2: rezeros every buffer and re-uploads the operands, exactly as
+    /// [`AAbftGemm::begin_with`] does — the caller then re-runs
+    /// encode/gemm/reduce before re-checking.
+    pub(crate) fn reupload(&self, ctx: &ExecCtx<'_>, a: &Matrix<f64>, b: &Matrix<f64>) {
+        assert_eq!((a.rows(), a.cols(), b.cols()), (self.m, self.n, self.q), "reupload shape");
+        let _s = aabft_obs::span!(ctx.obs, "phase", "upload");
+        self.bufs.reset();
+        for i in 0..self.m {
+            self.bufs.a.write_slice(i * self.plan.inner, a.row(i));
+        }
+        for i in 0..self.n {
+            self.bufs.b.write_slice(i * self.plan.cols.total, b.row(i));
+        }
+        self.land_memory_faults(ctx, "upload");
+    }
+
+    /// Abandons the run (budget exhausted), returning the buffers for
+    /// recycling without releasing any product.
+    pub(crate) fn into_buffers(self) -> RunBuffers {
+        self.bufs
     }
 }
 

@@ -24,6 +24,7 @@
 
 use crate::aabft::{AAbftGemm, AAbftOutcome, GemmPlan, MultiplyRun, RunBuffers};
 use crate::error::AbftError;
+use crate::heal::{heal_run, HealedOutcome, DEFAULT_HEAL_BUDGET};
 use crate::recover::RecoveryPolicy;
 use aabft_gpu_sim::device::Device;
 use aabft_gpu_sim::stream::{ExecCtx, StreamId};
@@ -63,6 +64,7 @@ pub type PlanKey = (usize, usize, usize, usize);
 pub struct BatchGemm {
     gemm: AAbftGemm,
     streams: usize,
+    heal_budget: u32,
     plans: Mutex<HashMap<PlanKey, GemmPlan>>,
     pool: Mutex<HashMap<PlanKey, Vec<RunBuffers>>>,
 }
@@ -76,6 +78,7 @@ impl BatchGemm {
         BatchGemm {
             gemm,
             streams: Self::DEFAULT_STREAMS,
+            heal_budget: DEFAULT_HEAL_BUDGET,
             plans: Mutex::new(HashMap::new()),
             pool: Mutex::new(HashMap::new()),
         }
@@ -84,6 +87,14 @@ impl BatchGemm {
     /// Sets the number of streams requests are spread over (at least 1).
     pub fn with_streams(mut self, streams: usize) -> Self {
         self.streams = streams.max(1);
+        self
+    }
+
+    /// Sets the per-request self-healing retry budget used by
+    /// [`BatchGemm::execute_verified`]. A budget of 0 makes any detected
+    /// error immediately unrecoverable for its request.
+    pub fn with_heal_budget(mut self, budget: u32) -> Self {
+        self.heal_budget = budget;
         self
     }
 
@@ -230,6 +241,115 @@ impl BatchGemm {
         }
         Ok(outcomes)
     }
+
+    /// Executes `requests` under the verified self-healing executor
+    /// ([`crate::heal::SelfHealingGemm`] semantics) with **fault isolation**:
+    /// every request gets its own `Result` slot, in request order.
+    ///
+    /// A request whose shape is invalid, or whose recovery exhausts the
+    /// heal budget ([`BatchGemm::with_heal_budget`]), fails alone with a
+    /// typed error — sibling requests' results are unaffected (the device
+    /// phases run on per-request streams and disjoint buffers, so a
+    /// poisoned request cannot perturb another's product). Pooled buffers
+    /// are recycled on both the success and the failure path.
+    pub fn execute_verified(
+        &self,
+        device: &Device,
+        requests: &[(Matrix<f64>, Matrix<f64>)],
+    ) -> Vec<Result<HealedOutcome, AbftError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let obs = device.obs().clone();
+        let bs = self.gemm.config().block_size;
+        let streams: Vec<StreamId> =
+            (0..self.streams.min(requests.len())).map(|_| device.create_stream()).collect();
+        let _batch = aabft_obs::span!(
+            obs,
+            "batch",
+            "batch_execute_verified",
+            "requests" => requests.len() as u64,
+            "streams" => streams.len() as u64,
+            "budget" => u64::from(self.heal_budget),
+        );
+        obs.metrics.counter_add("batch.requests", requests.len() as u64);
+        obs.metrics.gauge_set("batch.streams", streams.len() as f64);
+
+        // Upload phase: a shape-mismatched request fails in place *before*
+        // pulling pooled buffers, so it cannot strand or consume pool
+        // capacity; the remaining requests proceed normally.
+        let mut results: Vec<Option<Result<HealedOutcome, AbftError>>> =
+            requests.iter().map(|_| None).collect();
+        let mut runs: Vec<(usize, StreamId, PlanKey, MultiplyRun)> =
+            Vec::with_capacity(requests.len());
+        for (i, (a, b)) in requests.iter().enumerate() {
+            if a.cols() != b.rows() {
+                results[i] = Some(Err(AbftError::ShapeMismatch {
+                    op: "batch",
+                    left: a.shape(),
+                    right: b.shape(),
+                }));
+                continue;
+            }
+            let stream = streams[i % streams.len()];
+            let ctx = ExecCtx::on_stream(device, stream);
+            let _req = aabft_obs::span!(
+                obs,
+                "batch",
+                "request",
+                "request" => i as u64,
+                "stream" => stream.raw(),
+                "m" => a.rows() as u64,
+                "n" => a.cols() as u64,
+                "q" => b.cols() as u64,
+            );
+            obs.metrics.counter_inc(&format!("batch.stream.{}.requests", stream.raw()));
+            let key: PlanKey = (a.rows(), a.cols(), b.cols(), bs);
+            let plan = self.plan_for(key, &obs);
+            let bufs = self.buffers_for(key, &plan, &obs);
+            match self.gemm.begin_with(&ctx, a, b, bufs) {
+                Ok(run) => runs.push((i, stream, key, run)),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+
+        // Device phases interleaved across the valid requests, exactly as
+        // in [`BatchGemm::execute`].
+        for (_, stream, _, run) in &runs {
+            run.encode(&ExecCtx::on_stream(device, *stream));
+        }
+        for (_, stream, _, run) in &runs {
+            run.gemm(&ExecCtx::on_stream(device, *stream));
+        }
+        for (_, stream, _, run) in &runs {
+            run.reduce(&ExecCtx::on_stream(device, *stream));
+        }
+        for (_, stream, _, run) in &runs {
+            run.check(&ExecCtx::on_stream(device, *stream));
+        }
+
+        // Verified epilogue: each request runs its own healing loop on its
+        // own stream. Sequential, because healing may launch repair kernels
+        // and the launch log must stay deterministic. The buffers come back
+        // on *both* paths — an unrecoverable request still returns its
+        // pooled buffers instead of leaking them.
+        for (i, stream, key, run) in runs {
+            let ctx = ExecCtx::on_stream(device, stream);
+            let (a, b) = &requests[i];
+            let (result, bufs) = heal_run(&self.gemm, self.heal_budget, &ctx, a, b, run);
+            match &result {
+                Ok(_) => obs.metrics.counter_inc("batch.verified_requests"),
+                Err(_) => obs.metrics.counter_inc("batch.unrecovered"),
+            }
+            self.pool.lock().entry(key).or_default().push(bufs);
+            results[i] = Some(result);
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every request slot is filled"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +438,99 @@ mod tests {
             batched < sequential / 1.5,
             "batched {batched} vs sequential {sequential}"
         );
+    }
+
+    #[test]
+    fn verified_batch_matches_plain_batch_when_fault_free() {
+        let reqs = requests(5);
+        let batch = BatchGemm::new(small_gemm()).with_streams(3);
+        let plain = batch.execute(&Device::with_defaults(), &reqs).unwrap();
+        let verified = batch.execute_verified(&Device::with_defaults(), &reqs);
+        assert_eq!(verified.len(), 5);
+        for (p, v) in plain.iter().zip(&verified) {
+            let healed = v.as_ref().expect("fault-free request verifies");
+            assert_eq!(healed.attempts, 0);
+            assert_eq!(p.product, healed.outcome.product, "verified path must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn exhausted_request_fails_alone_without_poisoning_siblings() {
+        use aabft_gpu_sim::MemoryFaultPlan;
+
+        let reqs = requests(4);
+        let clean = BatchGemm::new(small_gemm())
+            .with_streams(2)
+            .execute(&Device::with_defaults(), &reqs)
+            .unwrap();
+
+        // The fault fires once, at the first "gemm" phase boundary — i.e.
+        // deterministically in request 0's product buffer (data region,
+        // high exponent bit: unmissable).
+        let arm = |device: &Device| {
+            let plan = small_gemm().plan(16, 16, 16);
+            device.arm_memory_fault(MemoryFaultPlan {
+                buffer: "c",
+                word: 2 * plan.cols.total + 3,
+                mask: 1 << 62,
+                after_phase: "gemm",
+            });
+        };
+
+        // Budget 0: the poisoned request is immediately unrecoverable. It
+        // must fail alone; siblings stay bit-identical to the clean batch,
+        // and its pooled buffers come back for reuse.
+        let batch = BatchGemm::new(small_gemm()).with_streams(2).with_heal_budget(0);
+        let device = Device::with_defaults();
+        arm(&device);
+        let results = batch.execute_verified(&device, &reqs);
+        assert_eq!(device.disarm_count(), 1, "memory fault must land");
+        match &results[0] {
+            Err(AbftError::Unrecovered { attempts: 0, residual }) => {
+                assert!(residual.errors_detected());
+            }
+            other => panic!("request 0 should be unrecovered, got {other:?}"),
+        }
+        for (i, clean_outcome) in clean.iter().enumerate().skip(1) {
+            let healed = results[i].as_ref().expect("sibling requests verify");
+            assert_eq!(healed.attempts, 0, "siblings see no faults");
+            assert_eq!(
+                clean_outcome.product, healed.outcome.product,
+                "sibling request {i} must be bit-identical to the clean batch"
+            );
+        }
+        assert_eq!(batch.pooled_buffers(), 4, "failed request's buffers are recycled");
+
+        // Default budget: the same fault heals and every request verifies.
+        let batch = BatchGemm::new(small_gemm()).with_streams(2);
+        let device = Device::with_defaults();
+        arm(&device);
+        let results = batch.execute_verified(&device, &reqs);
+        assert_eq!(device.disarm_count(), 1);
+        let healed = results[0].as_ref().expect("poisoned request heals under budget");
+        assert!(healed.attempts > 0);
+        // Checksum-based repair reconstructs the element through a different
+        // rounding path, so request 0 matches to tolerance, not bitwise.
+        assert!(
+            clean[0].product.approx_eq(&healed.outcome.product, 1e-11),
+            "healed to the clean product, max diff {}",
+            clean[0].product.max_abs_diff(&healed.outcome.product)
+        );
+        for (i, clean_outcome) in clean.iter().enumerate().skip(1) {
+            assert_eq!(clean_outcome.product, results[i].as_ref().unwrap().outcome.product);
+        }
+    }
+
+    #[test]
+    fn mismatched_request_fails_in_place_in_verified_mode() {
+        let batch = BatchGemm::new(small_gemm());
+        let device = Device::with_defaults();
+        let good = requests(1).remove(0);
+        let bad = (Matrix::zeros(16, 16), Matrix::zeros(12, 16));
+        let results = batch.execute_verified(&device, &[bad, good]);
+        assert!(matches!(results[0], Err(AbftError::ShapeMismatch { op: "batch", .. })));
+        assert!(results[1].is_ok(), "valid sibling still runs");
+        assert_eq!(batch.pooled_buffers(), 1, "only the valid request consumed buffers");
     }
 
     #[test]

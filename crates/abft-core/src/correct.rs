@@ -100,4 +100,111 @@ mod tests {
         assert!(applied.is_empty());
         assert_eq!(product.matrix, before);
     }
+
+    #[test]
+    fn checksum_element_corruption_is_never_corrected_against() {
+        use crate::recover::{apply_policy, RecoveryPolicy};
+
+        // Corrupt a *checksum* element, not a data element. The column
+        // checksum mismatches but no data row does, so there is no located
+        // intersection — the classic single-error condition fails and the
+        // correction path must not "repair" a (clean) data element against
+        // the corrupted checksum.
+        let mut product = clean_product(8, 4);
+        let clean = product.matrix.clone();
+        let cs_line = product.rows.checksum_line(0);
+        product.matrix[(cs_line, 6)] += 3.0;
+        let report = CheckReport {
+            col_mismatches: vec![(0, 6)],
+            row_mismatches: vec![],
+            located: vec![],
+        };
+        assert!(!report.single_error());
+        let out = apply_policy(RecoveryPolicy::CorrectSingle, &mut product, &report, |_, _| {
+            panic!("CorrectSingle must not recompute")
+        });
+        assert!(out.corrections.is_empty());
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(product.matrix[(i, j)], clean[(i, j)], "data region untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn two_errors_in_one_block_column_fall_through_to_recompute() {
+        use crate::recover::{apply_policy, flagged_blocks, RecoveryPolicy};
+
+        // Two corrupted elements in the same column of block (0, 0): one
+        // column mismatch, two row mismatches. Reconstruction from the
+        // column checksum would fold each error into the other's repair
+        // ("others" contains the sibling corruption), so correction must
+        // never run — the report is ambiguous and the policy escalates.
+        let mut product = clean_product(8, 4);
+        let clean = product.matrix.clone();
+        product.matrix[(0, 1)] += 0.5;
+        product.matrix[(2, 1)] += 0.25;
+        let report = CheckReport {
+            col_mismatches: vec![(0, 1)],
+            row_mismatches: vec![(0, 0), (2, 0)],
+            located: vec![(0, 1), (2, 1)],
+        };
+        assert!(!report.single_error());
+
+        // Sanity-check the hazard: blind reconstruction would mis-correct.
+        let mut blind = FullChecksummed {
+            matrix: product.matrix.clone(),
+            rows: product.rows,
+            cols: product.cols,
+        };
+        let applied = correct_located_errors(&mut blind, &report);
+        assert_eq!(applied.len(), 2);
+        assert!(
+            (blind.matrix[(0, 1)] - clean[(0, 1)]).abs() > 0.1,
+            "blind reconstruction absorbs the sibling error — exactly why it must not run"
+        );
+
+        // The policy takes the recompute path instead and repairs exactly.
+        let out = apply_policy(
+            RecoveryPolicy::CorrectOrRecompute,
+            &mut product,
+            &report,
+            |blocks, prod| {
+                assert_eq!(blocks, flagged_blocks(&report, 4).as_slice());
+                for i in 0..4 {
+                    for j in 0..4 {
+                        prod.matrix[(i, j)] = clean[(i, j)];
+                    }
+                }
+            },
+        );
+        assert!(out.corrections.is_empty(), "ambiguous report must never be 'corrected'");
+        assert_eq!(out.recomputed_blocks, vec![(0, 0)]);
+        assert_eq!(product.matrix, clean);
+    }
+
+    #[test]
+    fn correction_survives_corruption_many_orders_above_the_data() {
+        // Reconstruction subtracts the block's *other* elements from the
+        // trusted checksum — all of data magnitude — so the corrupted value
+        // (~1e15 above the data) never enters the arithmetic and cannot
+        // cancel catastrophically.
+        let mut product = clean_product(8, 4);
+        let clean = product.matrix.clone();
+        product.matrix[(5, 6)] += 1.0e15;
+        let report = CheckReport {
+            col_mismatches: vec![(1, 6)],
+            row_mismatches: vec![(5, 1)],
+            located: vec![(5, 6)],
+        };
+        let applied = correct_located_errors(&mut product, &report);
+        assert_eq!(applied.len(), 1);
+        assert!((applied[0].before - clean[(5, 6)]).abs() > 1.0e14);
+        assert!(
+            (product.matrix[(5, 6)] - clean[(5, 6)]).abs() < 1e-12,
+            "repaired to {} expected {}",
+            product.matrix[(5, 6)],
+            clean[(5, 6)]
+        );
+    }
 }

@@ -6,6 +6,7 @@
 //! invariants (kernel index arithmetic, buffer layout contracts) keep their
 //! asserts — those are programmer errors, not user input.
 
+use crate::check::CheckReport;
 use aabft_gpu_sim::ConfigError;
 use std::fmt;
 
@@ -23,6 +24,15 @@ pub enum AbftError {
         /// Shape of the right operand (`(rows, 1)` for vectors).
         right: (usize, usize),
     },
+    /// The self-healing executor exhausted its retry budget without
+    /// producing a product that passes the check. The fail-safe: no result
+    /// is released, and the final residual report says what still mismatched.
+    Unrecovered {
+        /// Recovery attempts performed before giving up.
+        attempts: u32,
+        /// The check report of the last (failed) verification pass.
+        residual: CheckReport,
+    },
 }
 
 impl fmt::Display for AbftError {
@@ -34,6 +44,13 @@ impl fmt::Display for AbftError {
                 "{op}: inner dimensions must agree: {}x{} vs {}x{}",
                 left.0, left.1, right.0, right.1
             ),
+            AbftError::Unrecovered { attempts, residual } => write!(
+                f,
+                "self-healing retry budget exhausted after {attempts} attempt(s): \
+                 {} column / {} row mismatches remain; no product released",
+                residual.col_mismatches.len(),
+                residual.row_mismatches.len()
+            ),
         }
     }
 }
@@ -42,7 +59,7 @@ impl std::error::Error for AbftError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AbftError::Config(e) => Some(e),
-            AbftError::ShapeMismatch { .. } => None,
+            AbftError::ShapeMismatch { .. } | AbftError::Unrecovered { .. } => None,
         }
     }
 }
@@ -66,5 +83,18 @@ mod tests {
         let s = AbftError::ShapeMismatch { op: "multiply", left: (4, 3), right: (5, 2) };
         assert_eq!(s.to_string(), "multiply: inner dimensions must agree: 4x3 vs 5x2");
         assert!(std::error::Error::source(&s).is_none());
+
+        let u = AbftError::Unrecovered {
+            attempts: 4,
+            residual: CheckReport {
+                col_mismatches: vec![(0, 1), (1, 2)],
+                row_mismatches: vec![(3, 0)],
+                located: vec![],
+            },
+        };
+        let msg = u.to_string();
+        assert!(msg.contains("after 4 attempt(s)"), "{msg}");
+        assert!(msg.contains("2 column / 1 row"), "{msg}");
+        assert!(std::error::Error::source(&u).is_none());
     }
 }

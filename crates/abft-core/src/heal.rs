@@ -1,0 +1,387 @@
+//! Verified self-healing execution: re-check after every repair, escalate
+//! on failure, fail safe when the budget runs out.
+//!
+//! The paper's Algorithm 2 ends at "write back error location or start
+//! correction", and the plain recovery ladder ([`crate::recover`]) trusts
+//! whatever repair it applies. That trust is misplaced once the fault model
+//! covers the whole pipeline: the checker can be the corrupted party, a
+//! checksum element can be the corrupted party (so "correcting" against it
+//! *introduces* an error), and a repair kernel can itself be struck.
+//!
+//! [`SelfHealingGemm`] closes the loop. After the initial check, it runs a
+//! bounded retry loop; every attempt applies one rung of the escalation
+//! ladder and then **re-runs the check kernel** before believing anything:
+//!
+//! 1. rung 0 — repair a single located error from the checksums
+//!    ([`crate::correct`]);
+//! 2. rung 1 — recompute every flagged block from the operand buffers
+//!    ([`crate::recover::RecomputeBlocksKernel`]);
+//! 3. rung 2 — re-upload the operands and re-run
+//!    encode → multiply → reduce wholesale;
+//! 4. fail-safe — give up with [`AbftError::Unrecovered`] carrying the
+//!    residual report; no unverified product is ever released.
+//!
+//! A failed re-check raises the floor: the next attempt starts at the rung
+//! above the one that just failed, so a corrupted checksum (which makes
+//! rung 0 "repair" the wrong element — the re-check catches it via the
+//! other axis' checksum) escalates to recomputation, and corrupted operand
+//! or p-max state (which recomputation inherits) escalates to the full
+//! re-run.
+//!
+//! Every attempt emits a `recover`-category span plus the
+//! `recovery.attempts` / `recovery.escalations` / `recovery.verified_ok` /
+//! `recovery.unrecovered` counters.
+
+use crate::aabft::{AAbftGemm, AAbftOutcome, MultiplyRun, RunBuffers};
+use crate::error::AbftError;
+use crate::recover::{flagged_blocks, RecoveryAction};
+use aabft_gpu_sim::ExecCtx;
+use aabft_matrix::Matrix;
+
+/// Default retry budget: enough for correct → recompute → re-run → one
+/// spare verification-driven retry under the single-fault model.
+pub const DEFAULT_HEAL_BUDGET: u32 = 4;
+
+/// A verified, self-healed protected multiplication.
+#[derive(Debug)]
+pub struct HealedOutcome {
+    /// The verified outcome. Its `report` is the final (clean) check
+    /// report; the repair history lives in `corrections` /
+    /// `recomputed_blocks`.
+    pub outcome: AAbftOutcome,
+    /// Recovery attempts performed (0 for a clean first check).
+    pub attempts: u32,
+    /// Times the ladder moved to a higher rung than the previous attempt.
+    pub escalations: u32,
+    /// The strongest repair rung used.
+    pub action: RecoveryAction,
+}
+
+impl HealedOutcome {
+    /// `true` if the run needed any repair at all.
+    pub fn healed(&self) -> bool {
+        self.attempts > 0
+    }
+}
+
+/// The verified self-healing executor around [`AAbftGemm`].
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::{AAbftConfig, AAbftGemm, SelfHealingGemm};
+/// use aabft_gpu_sim::Device;
+/// use aabft_matrix::Matrix;
+///
+/// let a = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.3).sin());
+/// let b = Matrix::from_fn(8, 8, |i, j| ((i * 2 + j) as f64 * 0.2).cos());
+/// let config = AAbftConfig::builder().block_size(4).build().unwrap();
+/// let heal = SelfHealingGemm::new(AAbftGemm::new(config));
+/// let healed = heal.multiply(&Device::with_defaults(), &a, &b).unwrap();
+/// assert_eq!(healed.attempts, 0); // fault-free: verified on the first check
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SelfHealingGemm {
+    gemm: AAbftGemm,
+    budget: u32,
+}
+
+impl SelfHealingGemm {
+    /// Wraps a protected GEMM with the default retry budget.
+    pub fn new(gemm: AAbftGemm) -> Self {
+        SelfHealingGemm { gemm, budget: DEFAULT_HEAL_BUDGET }
+    }
+
+    /// Sets the retry budget (attempts before [`AbftError::Unrecovered`]).
+    /// A budget of 0 means any detected error is immediately unrecoverable.
+    pub fn with_budget(mut self, budget: u32) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The wrapped operator.
+    pub fn gemm(&self) -> &AAbftGemm {
+        &self.gemm
+    }
+
+    /// The retry budget.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Convenience wrapper running on the device's default stream.
+    pub fn multiply(
+        &self,
+        device: &aabft_gpu_sim::Device,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<HealedOutcome, AbftError> {
+        self.execute(&ExecCtx::new(device), a, b)
+    }
+
+    /// Runs the protected multiplication and heals it until the check
+    /// passes or the budget is exhausted. On success every released product
+    /// has passed the check *after* the last repair; on budget exhaustion
+    /// returns [`AbftError::Unrecovered`] and no product.
+    pub fn execute(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<HealedOutcome, AbftError> {
+        let _pipeline = aabft_obs::span!(
+            ctx.obs,
+            "abft",
+            "selfheal_multiply",
+            "m" => a.rows() as u64,
+            "n" => a.cols() as u64,
+            "q" => b.cols() as u64,
+            "budget" => self.budget as u64,
+        );
+        let run = self.gemm.begin(ctx, a, b)?;
+        run.encode(ctx);
+        run.gemm(ctx);
+        run.reduce(ctx);
+        run.check(ctx);
+        let (result, _bufs) = heal_run(&self.gemm, self.budget, ctx, a, b, run);
+        result
+    }
+}
+
+/// The healing loop over an already-checked [`MultiplyRun`]. Returns the
+/// result together with the run's buffers so pooled buffers survive both
+/// the success and the fail-safe path (the batch engine depends on that).
+pub(crate) fn heal_run(
+    gemm: &AAbftGemm,
+    budget: u32,
+    ctx: &ExecCtx<'_>,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    run: MultiplyRun,
+) -> (Result<HealedOutcome, AbftError>, RunBuffers) {
+    let metrics = &ctx.obs.metrics;
+    let bs = gemm.config().block_size;
+    let mut attempts = 0u32;
+    let mut escalations = 0u32;
+    // The ladder floor: a failed attempt at rung r raises it to r + 1, so
+    // the loop never retries a rung the re-check has already disproven.
+    let mut floor = 0u32;
+    let mut prev_rung: Option<u32> = None;
+    let mut action = RecoveryAction::NoneNeeded;
+    let mut corrections = Vec::new();
+    let mut recomputed: Vec<(usize, usize)> = Vec::new();
+
+    loop {
+        let report = run.decode_report();
+        if !report.errors_detected() {
+            metrics.counter_inc("recovery.verified_ok");
+            let (outcome, bufs) = run.finish_healed(ctx, report, corrections, recomputed);
+            return (Ok(HealedOutcome { outcome, attempts, escalations, action }), bufs);
+        }
+        if attempts >= budget {
+            metrics.counter_inc("recovery.unrecovered");
+            return (
+                Err(AbftError::Unrecovered { attempts, residual: report }),
+                run.into_buffers(),
+            );
+        }
+
+        attempts += 1;
+        metrics.counter_inc("recovery.attempts");
+        // Rung 0 only applies to an unambiguous single located error; any
+        // other report starts at recomputation.
+        let rung = if floor == 0 && report.single_error() { 0 } else { floor.clamp(1, 2) };
+        if prev_rung.is_some_and(|p| rung > p) {
+            escalations += 1;
+            metrics.counter_inc("recovery.escalations");
+        }
+        let span = aabft_obs::span!(
+            ctx.obs,
+            "recover",
+            "heal_attempt",
+            "attempt" => attempts as u64,
+            "rung" => rung as u64,
+            "col_mismatches" => report.col_mismatches.len() as u64,
+            "row_mismatches" => report.row_mismatches.len() as u64,
+        );
+        match rung {
+            0 => {
+                corrections.extend(run.correct_on_device(&report));
+                action = action.max(RecoveryAction::Corrected);
+            }
+            1 => {
+                let blocks = flagged_blocks(&report, bs);
+                run.recompute_on_device(ctx, &blocks);
+                recomputed.extend(blocks);
+                recomputed.sort_unstable();
+                recomputed.dedup();
+                action = action.max(RecoveryAction::Recomputed);
+            }
+            _ => {
+                // Wholesale re-run: earlier partial repairs are superseded
+                // by the recomputed product, so the history resets.
+                run.reupload(ctx, a, b);
+                run.encode(ctx);
+                run.gemm(ctx);
+                run.reduce(ctx);
+                corrections.clear();
+                recomputed.clear();
+                action = action.max(RecoveryAction::Reran);
+            }
+        }
+        drop(span);
+        prev_rung = Some(rung);
+        floor = rung + 1;
+        // Verify the repair: nothing is believed until the checker agrees.
+        run.clear_check();
+        run.check(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AAbftConfig;
+    use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+    use aabft_gpu_sim::kernels::gemm::GemmTiling;
+    use aabft_gpu_sim::{Device, FaultScope, KernelFaultPlan, MemoryFaultPlan};
+    use aabft_matrix::gemm::multiply as host_multiply;
+
+    fn small_heal() -> SelfHealingGemm {
+        let config = AAbftConfig::builder()
+            .block_size(4)
+            .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+            .build()
+            .expect("valid test config");
+        SelfHealingGemm::new(AAbftGemm::new(config))
+    }
+
+    fn inputs(n: usize) -> (Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) as f64 * 0.19).sin()),
+            Matrix::from_fn(n, n, |i, j| ((i * 11 + j) as f64 * 0.23).cos()),
+        )
+    }
+
+    #[test]
+    fn clean_run_verifies_on_first_check() {
+        let (a, b) = inputs(16);
+        let device = Device::with_defaults();
+        let healed = small_heal().multiply(&device, &a, &b).unwrap();
+        assert_eq!(healed.attempts, 0);
+        assert_eq!(healed.escalations, 0);
+        assert_eq!(healed.action, RecoveryAction::NoneNeeded);
+        assert!(healed.outcome.product.approx_eq(&host_multiply(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn gemm_fault_is_healed_and_verified() {
+        let (a, b) = inputs(16);
+        let device = Device::with_defaults();
+        device.arm_injection(InjectionPlan {
+            sm: 0,
+            site: FaultSite::FinalAdd,
+            module: 0,
+            k_injection: 3,
+            mask: 1 << 62,
+        });
+        let healed = small_heal().multiply(&device, &a, &b).unwrap();
+        assert!(device.disarm_injection(), "fault must strike");
+        assert!(healed.healed(), "fault must require healing");
+        assert!(healed.action > RecoveryAction::NoneNeeded);
+        assert!(
+            healed.outcome.product.approx_eq(&host_multiply(&a, &b), 1e-11),
+            "healed product must match the reference, max diff {}",
+            healed.outcome.product.max_abs_diff(&host_multiply(&a, &b))
+        );
+        assert!(!healed.outcome.report.errors_detected(), "final report is clean");
+    }
+
+    #[test]
+    fn corrupted_checksum_row_in_memory_is_healed() {
+        let (a, b) = inputs(16);
+        let device = Device::with_defaults();
+        let heal = small_heal();
+        let plan = heal.gemm().plan(16, 16, 16);
+        // Flip a high exponent bit of a checksum-row element of the product
+        // after the multiply: the "trusted" checksum is the corrupted party.
+        let word = plan.rows.checksum_line(0) * plan.cols.total + 1;
+        device.arm_memory_fault(MemoryFaultPlan {
+            buffer: "c",
+            word,
+            mask: 1 << 62,
+            after_phase: "gemm",
+        });
+        let healed = heal.multiply(&device, &a, &b).unwrap();
+        assert_eq!(device.disarm_count(), 1, "memory fault must land");
+        assert!(healed.healed());
+        assert!(healed.outcome.product.approx_eq(&host_multiply(&a, &b), 1e-11));
+        assert!(!healed.outcome.report.errors_detected());
+    }
+
+    #[test]
+    fn check_kernel_fault_self_heals_via_recheck() {
+        let (a, b) = inputs(16);
+        let device = Device::with_defaults();
+        // Strike the checker itself: whatever it mis-flags (or mis-computes)
+        // is re-verified by the next clean check pass.
+        device.arm_kernel_fault(KernelFaultPlan {
+            scope: FaultScope::Check,
+            sm: 0,
+            k_injection: 7,
+            mask: 1 << 62,
+        });
+        let healed = small_heal().multiply(&device, &a, &b).unwrap();
+        assert!(healed.outcome.product.approx_eq(&host_multiply(&a, &b), 1e-11));
+        assert!(!healed.outcome.report.errors_detected());
+    }
+
+    #[test]
+    fn budget_zero_fails_safe_with_residual_report() {
+        let (a, b) = inputs(16);
+        let device = Device::with_defaults();
+        device.arm_injection(InjectionPlan {
+            sm: 0,
+            site: FaultSite::FinalAdd,
+            module: 0,
+            k_injection: 3,
+            mask: 1 << 62,
+        });
+        let err = small_heal().with_budget(0).multiply(&device, &a, &b).unwrap_err();
+        match err {
+            AbftError::Unrecovered { attempts, residual } => {
+                assert_eq!(attempts, 0);
+                assert!(residual.errors_detected(), "residual report carries the mismatches");
+            }
+            other => panic!("expected Unrecovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healing_emits_recovery_counters_and_spans() {
+        let (a, b) = inputs(16);
+        let mut device = Device::with_defaults();
+        let obs = aabft_obs::Obs::new_shared();
+        obs.recorder.set_enabled(true);
+        device.set_obs(obs.clone());
+        device.arm_injection(InjectionPlan {
+            sm: 0,
+            site: FaultSite::FinalAdd,
+            module: 0,
+            k_injection: 3,
+            mask: 1 << 62,
+        });
+        let healed = small_heal().multiply(&device, &a, &b).unwrap();
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("recovery.attempts"), healed.attempts as u64);
+        assert_eq!(snap.counter("recovery.verified_ok"), 1);
+        assert_eq!(snap.counter("recovery.escalations"), healed.escalations as u64);
+        assert_eq!(snap.counter("recovery.unrecovered"), 0);
+        let spans = obs.recorder.spans();
+        assert!(spans.iter().any(|s| s.cat == "abft" && s.name == "selfheal_multiply"));
+        assert_eq!(
+            spans.iter().filter(|s| s.cat == "recover" && s.name == "heal_attempt").count(),
+            healed.attempts as usize
+        );
+    }
+}

@@ -173,7 +173,12 @@ impl Kernel for CheckKernel<'_> {
             max_resid = max_resid.max(diff.abs());
             max_y = max_y.max(y);
             max_eps = max_eps.max(eps);
-            if ctx.abs(diff) > eps {
+            // A non-finite residual, bound or tolerance always counts as a
+            // mismatch: `NaN > eps` is false, so without the explicit test a
+            // fault corrupting an element (or the bound pipeline) to NaN/Inf
+            // would sail through undetected.
+            let adiff = ctx.abs(diff);
+            if !(diff.is_finite() && y.is_finite() && eps.is_finite()) || adiff > eps {
                 col_mask |= 1 << tid;
             }
         }
@@ -200,7 +205,9 @@ impl Kernel for CheckKernel<'_> {
             max_resid = max_resid.max(diff.abs());
             max_y = max_y.max(y);
             max_eps = max_eps.max(eps);
-            if ctx.abs(diff) > eps {
+            // Non-finite values are mismatches by definition (see above).
+            let adiff = ctx.abs(diff);
+            if !(diff.is_finite() && y.is_finite() && eps.is_finite()) || adiff > eps {
                 row_mask |= 1 << tid;
             }
         }
@@ -324,6 +331,47 @@ mod tests {
         c[(5, 6)] += 1e-18;
         let (report, _) = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
         assert!(report.iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn nan_corruption_is_flagged_not_silently_passed() {
+        let bs = 4;
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.29).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((2 * i + j) as f64 * 0.17).cos());
+        let acc = encode_columns(&a, bs, 1, 1);
+        let brc = encode_rows(&b, bs, 1, 1);
+        let mut c = gemm::multiply(&acc.matrix, &brc.matrix);
+        // Exponent-field flip producing NaN: force element (5, 6) to a value
+        // with exponent 0x3ff (1.5), then flip bit 62 — the exponent becomes
+        // 0x7ff with a non-zero mantissa. This is exactly the corruption an
+        // `InjectionPlan { mask: 1 << 62, .. }` produces on such a value.
+        c[(5, 6)] = f64::from_bits(1.5f64.to_bits() ^ (1 << 62));
+        assert!(c[(5, 6)].is_nan());
+        // Before the finiteness test, `abs(NaN) > eps` was false and the
+        // corruption passed the check silently.
+        let (report, _) = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        let col_mask = report[6] as u64;
+        let row_mask = report[7] as u64;
+        assert_eq!(col_mask, 1 << 2, "NaN at column 6 must flag local column 2");
+        assert_eq!(row_mask, 1 << 1, "NaN at row 5 must flag local row 1");
+    }
+
+    #[test]
+    fn infinity_corruption_is_flagged() {
+        let bs = 4;
+        let a: Matrix = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64 * 0.29).sin());
+        let b: Matrix = Matrix::from_fn(8, 8, |i, j| ((2 * i + j) as f64 * 0.17).cos());
+        let acc = encode_columns(&a, bs, 1, 1);
+        let brc = encode_rows(&b, bs, 1, 1);
+        let mut c = gemm::multiply(&acc.matrix, &brc.matrix);
+        // +Inf in a *checksum* element: reference - checksum = -Inf, which
+        // compares false against every eps under `abs(diff) > eps`... except
+        // that abs(-Inf) > eps is true; the dangerous case is Inf - Inf = NaN
+        // when data and checksum both blow up. Cover plain Inf here too.
+        let cs = acc.rows.checksum_line(0);
+        c[(cs, 2)] = f64::INFINITY;
+        let (report, _) = run_check(&c, acc.rows, brc.cols, &acc.matrix, &brc.matrix, 2, 3.0);
+        assert_eq!(report[0] as u64, 1 << 2, "Inf checksum must flag its column");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod encoding;
 pub mod error;
 pub mod error_map;
 pub mod gemv;
+pub mod heal;
 pub mod kernels;
 pub mod lu;
 pub mod pmax;
@@ -59,5 +60,6 @@ pub use classify::ErrorClass;
 pub use config::AAbftConfig;
 pub use correct::Correction;
 pub use error::AbftError;
-pub use recover::{RecoveryOutcome, RecoveryPolicy};
+pub use heal::{HealedOutcome, SelfHealingGemm, DEFAULT_HEAL_BUDGET};
+pub use recover::{RecoveryAction, RecoveryOutcome, RecoveryPolicy};
 pub use pmax::PMaxTable;

@@ -30,6 +30,37 @@ pub enum RecoveryPolicy {
     CorrectOrRecompute,
 }
 
+/// The strongest repair action a (self-healing) run performed, ordered by
+/// escalation rung: checksum-reconstruction correction, selective block
+/// recomputation, full re-run, or giving up. Campaign reports aggregate
+/// these into per-scope recovery columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryAction {
+    /// The check passed without any repair.
+    NoneNeeded,
+    /// A single located error was repaired from the checksums.
+    Corrected,
+    /// Flagged blocks were recomputed from the operands.
+    Recomputed,
+    /// The whole multiply was re-run from re-uploaded operands.
+    Reran,
+    /// The retry budget ran out; no verified product exists.
+    Unrecovered,
+}
+
+impl RecoveryAction {
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryAction::NoneNeeded => "none",
+            RecoveryAction::Corrected => "corrected",
+            RecoveryAction::Recomputed => "recomputed",
+            RecoveryAction::Reran => "reran",
+            RecoveryAction::Unrecovered => "unrecovered",
+        }
+    }
+}
+
 /// Summary of one recovery pass.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecoveryOutcome {
@@ -171,21 +202,27 @@ pub fn apply_policy(
     }
 
     if policy == RecoveryPolicy::CorrectOrRecompute {
-        // Every block touched by any mismatch gets recomputed.
-        let bs = product.rows.block_size;
-        let mut blocks: Vec<(usize, usize)> = Vec::new();
-        for &(bi, col) in &report.col_mismatches {
-            blocks.push((bi, col / bs));
-        }
-        for &(row, bj) in &report.row_mismatches {
-            blocks.push((row / bs, bj));
-        }
-        blocks.sort_unstable();
-        blocks.dedup();
+        let blocks = flagged_blocks(report, product.rows.block_size);
         recompute(&blocks, product);
         outcome.recomputed_blocks = blocks;
     }
     outcome
+}
+
+/// The sorted, deduplicated `(block_row, block_col)` result blocks touched
+/// by any mismatch in `report` — the recompute target set of the recovery
+/// ladder's second rung.
+pub fn flagged_blocks(report: &CheckReport, bs: usize) -> Vec<(usize, usize)> {
+    let mut blocks: Vec<(usize, usize)> = Vec::new();
+    for &(bi, col) in &report.col_mismatches {
+        blocks.push((bi, col / bs));
+    }
+    for &(row, bj) in &report.row_mismatches {
+        blocks.push((row / bs, bj));
+    }
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks
 }
 
 #[cfg(test)]
@@ -276,6 +313,26 @@ mod tests {
         assert_eq!(out.recomputed_blocks, vec![(0, 0)]);
         assert!(out.corrections.is_empty());
         assert_eq!(product.matrix, clean, "recompute must restore the block exactly");
+    }
+
+    #[test]
+    fn flagged_blocks_dedups_and_sorts() {
+        let report = CheckReport {
+            col_mismatches: vec![(1, 6), (0, 1)],
+            row_mismatches: vec![(5, 1), (1, 0)],
+            located: vec![],
+        };
+        assert_eq!(flagged_blocks(&report, 4), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn recovery_actions_order_by_escalation_rung() {
+        use RecoveryAction::*;
+        assert!(NoneNeeded < Corrected);
+        assert!(Corrected < Recomputed);
+        assert!(Recomputed < Reran);
+        assert!(Reran < Unrecovered);
+        assert_eq!(Recomputed.label(), "recomputed");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! keep the operator's full staged/batched API.
 
 use crate::scheme::{ProtectedGemm, ProtectedResult};
-use aabft_core::{AAbftGemm, AAbftOutcome, AbftError};
+use aabft_core::{AAbftGemm, AAbftOutcome, AbftError, RecoveryAction, SelfHealingGemm};
 use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
 
@@ -16,7 +16,19 @@ pub type AAbftScheme = AAbftGemm;
 impl From<AAbftOutcome> for ProtectedResult {
     fn from(outcome: AAbftOutcome) -> Self {
         let errors_detected = outcome.report.errors_detected();
-        ProtectedResult { product: outcome.product, errors_detected, located: outcome.report.located }
+        let recovery = if !outcome.recomputed_blocks.is_empty() {
+            Some(RecoveryAction::Recomputed)
+        } else if !outcome.corrections.is_empty() {
+            Some(RecoveryAction::Corrected)
+        } else {
+            None
+        };
+        ProtectedResult {
+            product: outcome.product,
+            errors_detected,
+            located: outcome.report.located,
+            recovery,
+        }
     }
 }
 
@@ -32,6 +44,33 @@ impl ProtectedGemm for AAbftGemm {
         b: &Matrix<f64>,
     ) -> Result<ProtectedResult, AbftError> {
         Ok(self.execute(ctx, a, b)?.into())
+    }
+}
+
+impl ProtectedGemm for SelfHealingGemm {
+    fn name(&self) -> &'static str {
+        "A-ABFT+heal"
+    }
+
+    /// Runs the verified self-healing pipeline. `errors_detected` reports
+    /// whether *any* check pass flagged an error (the released product
+    /// itself has always passed a final check); budget exhaustion surfaces
+    /// as [`AbftError::Unrecovered`].
+    fn multiply_on(
+        &self,
+        ctx: &ExecCtx<'_>,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) -> Result<ProtectedResult, AbftError> {
+        let healed = self.execute(ctx, a, b)?;
+        let detected = healed.healed();
+        let located = healed.outcome.corrections.iter().map(|c| (c.row, c.col)).collect();
+        Ok(ProtectedResult {
+            product: healed.outcome.product,
+            errors_detected: detected,
+            located,
+            recovery: Some(healed.action),
+        })
     }
 }
 

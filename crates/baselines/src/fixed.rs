@@ -93,6 +93,7 @@ impl ProtectedGemm for FixedBoundAbft {
             product: enc.product(a.rows(), b.cols()),
             errors_detected: report.errors_detected(),
             located: report.located,
+            recovery: None,
         })
     }
 }

@@ -13,7 +13,7 @@
 //! on top of it, so every scheme is automatically runnable under the batch
 //! engine (see [`crate::batch`]) and on explicit streams.
 
-use aabft_core::AbftError;
+use aabft_core::{AbftError, RecoveryAction};
 use aabft_gpu_sim::device::Device;
 use aabft_gpu_sim::ExecCtx;
 use aabft_matrix::Matrix;
@@ -28,6 +28,9 @@ pub struct ProtectedResult {
     /// Error locations (global data coordinates) for schemes that localise;
     /// empty otherwise.
     pub located: Vec<(usize, usize)>,
+    /// Strongest recovery action the scheme performed; `None` for schemes
+    /// without a recovery path (detection-only baselines).
+    pub recovery: Option<RecoveryAction>,
 }
 
 /// A fault-tolerant (or reference) matrix-multiplication scheme running on

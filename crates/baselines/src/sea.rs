@@ -102,6 +102,7 @@ impl ProtectedGemm for SeaAbft {
             product: enc.product(a.rows(), b.cols()),
             errors_detected: report.errors_detected(),
             located: report.located,
+            recovery: None,
         })
     }
 }

@@ -80,7 +80,12 @@ impl ProtectedGemm for TmrGemm {
         // otherwise replica 0 is the odd one out -> take replica 1.
         let winner = if mismatch01 == 0 || mismatch02 == 0 { &replicas[0] } else { &replicas[1] };
         let product = winner.to_matrix(pm, pq).block(0, 0, m, q);
-        Ok(ProtectedResult { product, errors_detected: detected, located: Vec::new() })
+        Ok(ProtectedResult {
+            product,
+            errors_detected: detected,
+            located: Vec::new(),
+            recovery: None,
+        })
     }
 }
 

@@ -54,6 +54,7 @@ impl ProtectedGemm for UnprotectedGemm {
             product: c_buf.to_matrix(pm, pq).block(0, 0, m, q),
             errors_detected: false,
             located: Vec::new(),
+            recovery: None,
         })
     }
 }

@@ -12,7 +12,7 @@ use aabft_baselines::{AAbftScheme, SeaAbft};
 use aabft_bench::args::Args;
 use aabft_core::AAbftConfig;
 use aabft_faults::campaign::{run_campaign, CampaignConfig};
-use aabft_faults::plan::FaultSpec;
+use aabft_faults::plan::{FaultSpec, InjectScope};
 use aabft_gpu_sim::inject::FaultSite;
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
 use aabft_matrix::gen::InputClass;
@@ -40,6 +40,7 @@ fn main() {
             block_size: bs,
             tiling,
             faults_per_run: 1,
+            scope: InjectScope::GemmSites,
         };
         let aabft =
             AAbftScheme::new(AAbftConfig::builder().block_size(bs).tiling(tiling).build().expect("valid config"));

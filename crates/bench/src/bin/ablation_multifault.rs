@@ -14,7 +14,7 @@ use aabft_core::recover::RecoveryPolicy;
 use aabft_core::AAbftConfig;
 use aabft_faults::bitflip::BitRegion;
 use aabft_faults::campaign::{run_campaign, CampaignConfig};
-use aabft_faults::plan::FaultSpec;
+use aabft_faults::plan::{FaultSpec, InjectScope};
 use aabft_gpu_sim::inject::FaultSite;
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
 use aabft_matrix::gen::InputClass;
@@ -45,6 +45,7 @@ fn main() {
             block_size: bs,
             tiling,
             faults_per_run: faults,
+            scope: InjectScope::GemmSites,
         };
         // Without recovery: measure raw detection of the corrupted product.
         let plain =

@@ -10,7 +10,7 @@ use aabft_core::AAbftConfig;
 use aabft_faults::bitflip::BitRegion;
 use aabft_faults::campaign::{run_campaign, CampaignConfig};
 use aabft_faults::outcome::DetectionStats;
-use aabft_faults::plan::FaultSpec;
+use aabft_faults::plan::{FaultSpec, InjectScope};
 use aabft_gpu_sim::inject::FaultSite;
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
 use aabft_matrix::gen::InputClass;
@@ -96,6 +96,7 @@ pub fn sweep(config: &Fig4Config) -> Vec<Fig4Cell> {
                     block_size: config.bs,
                     tiling: config.tiling,
                     faults_per_run: 1,
+                    scope: InjectScope::GemmSites,
                 };
                 let aabft = AAbftScheme::new(
                     AAbftConfig::builder().block_size(config.bs).tiling(config.tiling).build().expect("valid config"),

@@ -105,6 +105,7 @@ pub fn gemm_stats(m: usize, n: usize, q: usize, t: GemmTiling) -> KernelStats {
     KernelStats {
         fmul: mnq,
         fadd: mnq + (m * q) as u64,
+        fpu_ticks: 2 * mnq + (m * q) as u64,
         ffma: 0,
         fcmp: 0,
         gmem_loads: blocks * k_tiles * tile_words + (m * q) as u64,
@@ -122,6 +123,7 @@ fn encode_plain_stats(blocks_i: usize, blocks_k: usize, bs: usize) -> KernelStat
     let bs = bs as u64;
     KernelStats {
         fadd: blocks * bs * bs,
+        fpu_ticks: blocks * bs * bs,
         gmem_loads: blocks * bs * bs,
         gmem_stores: blocks * bs,
         blocks,
@@ -137,6 +139,7 @@ fn encode_aabft_stats(blocks_i: usize, blocks_k: usize, bs: usize, p: usize) -> 
     KernelStats {
         fadd: blocks * bs * bs,
         fcmp: blocks * (bs * bs + p * (bs * bs + bs)),
+        fpu_ticks: blocks * (2 * bs * bs + p * (bs * bs + bs)),
         gmem_loads: blocks * bs * bs,
         gmem_stores: blocks * (bs + p * (2 * bs + 2)),
         smem_accesses: blocks * (bs * bs + bs + p * bs * bs),
@@ -151,6 +154,7 @@ fn reduce_stats(lines: usize, kblocks: usize, p: usize) -> KernelStats {
     let (lines, kblocks, p) = (lines as u64, kblocks as u64, p as u64);
     KernelStats {
         fcmp: lines * p * kblocks * p,
+        fpu_ticks: lines * p * kblocks * p,
         gmem_loads: lines * 2 * kblocks * p,
         gmem_stores: lines * 2 * p,
         blocks: lines,
@@ -167,6 +171,7 @@ fn check_aabft_stats(row_blocks: usize, col_blocks: usize, bs: usize, p: usize) 
         fadd: blocks * (2 * bs * (bs + 1) + 2 * bs * 4),
         fmul: blocks * 2 * bs * (p * p + 2 + 8),
         fcmp: blocks * 2 * bs * (4 + 2 + 1),
+        fpu_ticks: blocks * 2 * bs * (bs + 2),
         gmem_loads: blocks * (4 * p + 2 * bs * (bs + 1 + 2 * p)),
         gmem_stores: blocks * 2,
         smem_accesses: blocks * bs * bs,
@@ -186,10 +191,12 @@ fn check_baseline_stats(row_blocks: usize, col_blocks: usize, bs: usize, sea: bo
     let per_tid_loads = bs + 1 + if sea { bs + 2 } else { 0 };
     let per_tid_fadd = bs + 1 + if sea { bs + 2 } else { 0 };
     let per_tid_fmul = if sea { 4 } else { 0 };
+    let per_tid_noted = if sea { 2 + 4 } else { 0 };
     KernelStats {
         fadd: blocks * 2 * bs * per_tid_fadd,
         fmul: blocks * 2 * bs * per_tid_fmul,
         fcmp: blocks * 2 * bs,
+        fpu_ticks: blocks * 2 * bs * (per_tid_fadd + per_tid_fmul + 1 - per_tid_noted),
         gmem_loads: blocks * 2 * bs * per_tid_loads,
         gmem_stores: blocks * 2,
         blocks,
@@ -208,6 +215,7 @@ fn norm_stats(lines: usize, len: usize, red: usize) -> KernelStats {
         fadd: blocks * len,
         fmul: blocks * len,
         fcmp: blocks,
+        fpu_ticks: 2 * blocks * len,
         gmem_loads: lines as u64 * len,
         gmem_stores: blocks,
         smem_accesses: blocks * len,
@@ -225,6 +233,7 @@ fn compare_stats(len: usize, nblocks: usize) -> KernelStats {
     KernelStats {
         fadd: len,
         fcmp: len,
+        fpu_ticks: 2 * len,
         gmem_loads: 2 * len,
         gmem_stores: nblocks as u64,
         blocks: nblocks as u64,

@@ -17,10 +17,11 @@ use aabft_bench::args::Args;
 use aabft_bench::quality::{measure, QualityConfig};
 use aabft_bench::table1::modelled_row;
 use aabft_core::recover::RecoveryPolicy;
-use aabft_core::{AAbftConfig, AAbftGemm};
+use aabft_core::{AAbftConfig, AAbftGemm, SelfHealingGemm, DEFAULT_HEAL_BUDGET};
 use aabft_faults::bitflip::BitRegion;
-use aabft_faults::campaign::{run_campaign, CampaignConfig};
-use aabft_faults::plan::FaultSpec;
+use aabft_faults::campaign::{run_campaign, run_selfheal_campaign, CampaignConfig};
+use aabft_faults::plan::{FaultSpec, InjectScope, MemScope};
+use aabft_gpu_sim::inject::FaultScope;
 use aabft_gpu_sim::device::Device;
 use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
@@ -94,6 +95,13 @@ COMMANDS
   campaign   run a detection campaign
              --n 96 --scheme aabft|sea|abft|tmr --site inner-add
              --region mantissa|exponent|sign --bits 1 --trials 200 --seed 7
+             self-healing mode (whole-pipeline faults, verified release):
+             --selfheal true --budget 4
+             --scope sites|encode|gemm|pmax|check|recompute|
+                     mem-a|mem-b|mem-c|mem-checksum
+             gate flags (non-zero exit on violation):
+             --assert-min-detection 90 --assert-zero-sdc true
+             --assert-zero-unrecovered true
   bounds     print a bound-quality row (Tables II-IV style)
              --n 256 --input unit|hundred|dynamic --samples 1024
   perf       print Table-I style modelled GFLOPS
@@ -141,6 +149,24 @@ fn parse_region(args: &Args) -> BitRegion {
         "exponent" => BitRegion::Exponent,
         "sign" => BitRegion::Sign,
         other => panic!("unknown region {other:?} (mantissa|exponent|sign)"),
+    }
+}
+
+fn parse_scope(args: &Args) -> InjectScope {
+    match args.get("scope", "sites".to_string()).as_str() {
+        "sites" => InjectScope::GemmSites,
+        "encode" => InjectScope::Kernel(FaultScope::Encode),
+        "gemm" => InjectScope::Kernel(FaultScope::Gemm),
+        "pmax" => InjectScope::Kernel(FaultScope::PMaxReduce),
+        "check" => InjectScope::Kernel(FaultScope::Check),
+        "recompute" => InjectScope::Kernel(FaultScope::Recompute),
+        "mem-a" => InjectScope::Memory(MemScope::OperandA),
+        "mem-b" => InjectScope::Memory(MemScope::OperandB),
+        "mem-c" => InjectScope::Memory(MemScope::Product),
+        "mem-checksum" => InjectScope::Memory(MemScope::ChecksumRows),
+        other => panic!(
+            "unknown scope {other:?} (sites|encode|gemm|pmax|check|recompute|mem-a|mem-b|mem-c|mem-checksum)"
+        ),
     }
 }
 
@@ -254,12 +280,17 @@ pub fn cmd_inject(args: &Args) {
     session.finish(&device.take_log());
 }
 
-/// `aabft campaign` — a detection campaign for one scheme.
+/// `aabft campaign` — a detection campaign for one scheme. With
+/// `--selfheal true` the campaign runs the verified self-healing executor
+/// instead, arming faults in the scope selected by `--scope` (any pipeline
+/// kernel or device memory at rest) and judging the post-recovery product.
 pub fn cmd_campaign(args: &Args) {
     let session = ObsSession::begin(args);
     let n = args.get("n", 96usize);
     let bs = args.get("bs", 16usize);
     let tiling = GemmTiling { bm: 32, bn: 32, bk: 8, rx: 4, ry: 4 };
+    let scope = parse_scope(args);
+    let selfheal = args.get("selfheal", false);
     let config = CampaignConfig {
         n,
         input: parse_input(args),
@@ -275,38 +306,87 @@ pub fn cmd_campaign(args: &Args) {
         block_size: bs,
         tiling,
         faults_per_run: args.get("faults", 1usize),
+        scope,
+    };
+    let aabft_config = || {
+        AAbftConfig::builder()
+            .block_size(bs)
+            .tiling(tiling)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid configuration: {e}"))
     };
     let scheme = args.get("scheme", "aabft".to_string());
-    let report = match scheme.as_str() {
-        "aabft" => run_campaign(
-            &AAbftScheme::new(
-                AAbftConfig::builder()
-                    .block_size(bs)
-                    .tiling(tiling)
-                    .build()
-                    .unwrap_or_else(|e| panic!("invalid configuration: {e}")),
+    let report = if selfheal {
+        let heal = SelfHealingGemm::new(AAbftGemm::new(aabft_config()))
+            .with_budget(args.get("budget", DEFAULT_HEAL_BUDGET));
+        run_selfheal_campaign(&heal, &config)
+    } else {
+        assert!(
+            matches!(scope, InjectScope::GemmSites),
+            "--scope {} needs --selfheal true (plain campaigns only inject GEMM sites)",
+            scope.label()
+        );
+        match scheme.as_str() {
+            "aabft" => run_campaign(&AAbftScheme::new(aabft_config()), &config),
+            "sea" => run_campaign(&SeaAbft::new(bs).with_tiling(tiling), &config),
+            "abft" => run_campaign(
+                &FixedBoundAbft::new(args.get("epsilon", 1e-9), bs).with_tiling(tiling),
+                &config,
             ),
-            &config,
-        ),
-        "sea" => run_campaign(&SeaAbft::new(bs).with_tiling(tiling), &config),
-        "abft" => run_campaign(
-            &FixedBoundAbft::new(args.get("epsilon", 1e-9), bs).with_tiling(tiling),
-            &config,
-        ),
-        "tmr" => run_campaign(&TmrGemm::new().with_tiling(tiling), &config),
-        other => panic!("unknown scheme {other:?} (aabft|sea|abft|tmr)"),
+            "tmr" => run_campaign(&TmrGemm::new().with_tiling(tiling), &config),
+            other => panic!("unknown scheme {other:?} (aabft|sea|abft|tmr)"),
+        }
     };
     let s = report.stats;
-    println!("campaign: {} on n = {n}, {:?}", report.scheme, config.spec);
+    println!(
+        "campaign: {} on n = {n}, scope {}, {:?}",
+        report.scheme,
+        scope.label(),
+        config.spec
+    );
     println!("  trials          : {}", s.total());
-    println!("  critical        : {} ({} detected = {:.1}%)", s.critical, s.critical_detected,
-        100.0 * s.detection_rate());
+    if s.critical > 0 {
+        println!("  critical        : {} ({} detected = {:.1}%)", s.critical, s.critical_detected,
+            100.0 * s.detection_rate());
+    } else {
+        println!("  critical        : 0");
+    }
     println!("  tolerable       : {} ({} flagged)", s.tolerable, s.tolerable_detected);
     println!("  rounding-level  : {} ({} false positives)", s.benign, s.benign_detected);
     println!("  masked/checksum : {} ({} detected)", s.masked, s.masked_detected);
+    let recovered = s.corrected + s.recomputed + s.reran;
+    if selfheal || recovered + s.unrecovered + s.mis_corrected > 0 {
+        println!("  corrected       : {}", s.corrected);
+        println!("  recomputed      : {}", s.recomputed);
+        println!("  re-ran          : {}", s.reran);
+        println!("  unrecovered     : {} (explicit fail-safe, no product released)", s.unrecovered);
+        println!("  mis-corrected   : {} (released product still critical = silent SDC)",
+            s.mis_corrected);
+    }
     // Campaigns run one device per trial; the trace carries the tagged
     // trial spans rather than a single device timeline.
     session.finish(&[]);
+
+    let mut violations = Vec::new();
+    let min_detection = args.get("assert-min-detection", -1.0f64);
+    if min_detection >= 0.0 && 100.0 * s.detection_rate() < min_detection {
+        violations.push(format!(
+            "critical-fault detection {:.1}% below required {min_detection}%",
+            100.0 * s.detection_rate()
+        ));
+    }
+    if args.get("assert-zero-sdc", false) && s.mis_corrected > 0 {
+        violations.push(format!("{} trial(s) released a critically wrong product", s.mis_corrected));
+    }
+    if args.get("assert-zero-unrecovered", false) && s.unrecovered > 0 {
+        violations.push(format!("{} trial(s) exhausted the recovery budget", s.unrecovered));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("ASSERTION FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// `aabft bounds` — one Tables-II–IV-style row.
@@ -506,6 +586,16 @@ mod tests {
         cmd_bounds(&args(&[("n", "64"), ("bs", "8"), ("samples", "64")]));
         cmd_perf(&args(&[("sizes", "512")]));
         cmd_campaign(&args(&[("n", "32"), ("bs", "8"), ("trials", "10"), ("scheme", "aabft")]));
+        cmd_campaign(&args(&[
+            ("n", "32"),
+            ("bs", "8"),
+            ("trials", "5"),
+            ("selfheal", "true"),
+            ("scope", "check"),
+            ("region", "exponent"),
+            ("assert-zero-sdc", "true"),
+            ("assert-zero-unrecovered", "true"),
+        ]));
         cmd_gemv(&args(&[("n", "48"), ("bs", "8"), ("inject", "true"), ("recompute", "true")]));
         cmd_lu(&args(&[("n", "32"), ("check-every", "4")]));
         cmd_profile(&args(&[("n", "48"), ("bs", "8")]));

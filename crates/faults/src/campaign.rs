@@ -8,11 +8,16 @@
 //! probabilistic model at `3σ`, exactly as the paper sets its baseline.
 
 use crate::outcome::{DetectionStats, GroundTruth, Trial};
-use crate::plan::{random_plan, FaultSpec, GemmShape};
+use crate::plan::{
+    mem_region_for, random_kernel_plan, random_memory_plan, random_plan, scope_ops_per_sm,
+    FaultSpec, GemmShape, InjectScope,
+};
 use aabft_baselines::{ProtectedGemm, ProtectedResult};
 use aabft_core::classify::classify_element;
 use aabft_core::encoding::AugmentedLayout;
+use aabft_core::{AbftError, RecoveryAction, SelfHealingGemm};
 use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::inject::FaultScope;
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
 use aabft_matrix::gen::InputClass;
 use aabft_matrix::Matrix;
@@ -45,6 +50,11 @@ pub struct CampaignConfig {
     /// Simultaneous faults injected per multiplication (the paper injects
     /// one; higher counts stress localisation and recovery).
     pub faults_per_run: usize,
+    /// Where the faults strike: the multiplication kernel's FP instruction
+    /// sites (the paper's model), another pipeline kernel, or device memory
+    /// at a phase boundary. Non-`GemmSites` scopes are only meaningful
+    /// under [`run_selfheal_campaign`], which knows the whole pipeline.
+    pub scope: InjectScope,
 }
 
 impl CampaignConfig {
@@ -178,6 +188,197 @@ pub fn run_campaign_with_obs<S: ProtectedGemm + Sync>(
     CampaignReport { scheme: scheme.name(), config: *config, stats, trials }
 }
 
+/// Runs a whole-pipeline fault campaign against the verified self-healing
+/// executor (convenience wrapper over
+/// [`run_selfheal_campaign_with_obs`] on the process-global registry).
+pub fn run_selfheal_campaign(heal: &SelfHealingGemm, config: &CampaignConfig) -> CampaignReport {
+    run_selfheal_campaign_with_obs(heal, config, &aabft_obs::global())
+}
+
+/// Runs `config.trials` fault injections against [`SelfHealingGemm`], with
+/// faults drawn from `config.scope`: the multiplication kernel's FP sites,
+/// any other pipeline kernel (encode / p-max reduce / check / recompute),
+/// or device memory between launches — including the product's checksum
+/// rows.
+///
+/// Kernel scopes are calibrated from a clean run's launch log
+/// ([`scope_ops_per_sm`]); deterministic execution makes those op counts
+/// exact for the fault runs. The recompute scope is special: the clean run
+/// never recovers, so each trial arms two primary GEMM-site faults (a
+/// multi-error that forces the recompute rung) plus the scoped fault inside
+/// the repair kernel itself.
+///
+/// Every trial ends in exactly one of two states — a verified product
+/// (judged against the clean reference post-recovery) or the explicit
+/// [`AbftError::Unrecovered`] fail-safe, recorded as a detected critical
+/// with [`RecoveryAction::Unrecovered`]. Released-but-still-critical trials
+/// land in [`DetectionStats::mis_corrected`]; the executor's zero-SDC claim
+/// is `mis_corrected == 0`.
+pub fn run_selfheal_campaign_with_obs(
+    heal: &SelfHealingGemm,
+    config: &CampaignConfig,
+    obs: &Arc<Obs>,
+) -> CampaignReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let a = config.input.generate(config.n, &mut rng);
+    let b = config.input.generate(config.n, &mut rng);
+
+    // Clean reference run; its launch log calibrates kernel-scope faults.
+    let (clean, log, num_sms) = {
+        let mut device = Device::with_defaults();
+        device.set_obs(obs.clone());
+        let healed = heal.multiply(&device, &a, &b).expect("clean run must verify");
+        assert_eq!(healed.attempts, 0, "clean run needs no healing");
+        let num_sms = device.config().num_sms;
+        (healed.outcome.product, device.take_log(), num_sms)
+    };
+
+    let shape = config.shape();
+    let bs = config.block_size;
+    let rows = AugmentedLayout::new(config.n, bs, config.tiling.bm);
+    let cols = AugmentedLayout::new(config.n, bs, config.tiling.bn);
+    let inner = shape.n;
+    let model = RoundingModel::binary64();
+    // Exact tick count of recomputing one flagged block (bs² data elements
+    // plus two bs-wide checksum segments, 2 FPU ops per inner step) — the
+    // k-range for faults inside the repair kernel, which the clean run
+    // never executes.
+    let recompute_block_ops = ((bs * bs + 2 * bs) * 2 * inner) as u64;
+
+    let trials: Vec<Trial> = (0..config.trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut trial_rng =
+                rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37 * (t as u64 + 1)));
+            // Decorrelate from the matrix-generation stream.
+            let _: u64 = trial_rng.gen();
+            let mut device = Device::with_defaults();
+            device.set_obs(obs.clone());
+            let faults = config.faults_per_run.max(1);
+            match config.scope {
+                InjectScope::GemmSites => {
+                    let plans: Vec<_> = (0..faults)
+                        .map(|_| random_plan(config.spec, &shape, device.config(), &mut trial_rng))
+                        .collect();
+                    device.arm_injections(&plans);
+                }
+                InjectScope::Kernel(FaultScope::Recompute) => {
+                    // Force the recovery path: two primary GEMM-site faults
+                    // make a multi-error the correction rung cannot repair,
+                    // so the recompute kernel actually runs — with a fault
+                    // of its own armed inside it.
+                    let primaries: Vec<_> = (0..faults.max(2))
+                        .map(|_| random_plan(config.spec, &shape, device.config(), &mut trial_rng))
+                        .collect();
+                    device.arm_injections(&primaries);
+                    let ops: Vec<u64> = (0..num_sms)
+                        .map(|sm| if sm == 0 { recompute_block_ops } else { 0 })
+                        .collect();
+                    if let Some(plan) = random_kernel_plan(
+                        FaultScope::Recompute,
+                        config.spec,
+                        &ops,
+                        &mut trial_rng,
+                    ) {
+                        device.arm_kernel_fault(plan);
+                    }
+                }
+                InjectScope::Kernel(scope) => {
+                    let ops = scope_ops_per_sm(&log, scope, num_sms);
+                    let plans: Vec<_> = (0..faults)
+                        .filter_map(|_| {
+                            random_kernel_plan(scope, config.spec, &ops, &mut trial_rng)
+                        })
+                        .collect();
+                    assert!(!plans.is_empty(), "scope {scope:?} executes no operations");
+                    device.arm_kernel_faults(&plans);
+                }
+                InjectScope::Memory(mem) => {
+                    let region = mem_region_for(mem, &rows, inner, &cols);
+                    let plans: Vec<_> = (0..faults)
+                        .map(|_| random_memory_plan(region, config.spec, &mut trial_rng))
+                        .collect();
+                    device.arm_memory_faults(&plans);
+                }
+            }
+
+            let mut span = aabft_obs::span!(
+                obs,
+                "campaign",
+                "trial",
+                "scheme" => "A-ABFT+heal",
+                "trial" => t as u64,
+                "scope" => config.scope.label(),
+            );
+            let result = heal.multiply(&device, &a, &b);
+            let fired = device.disarm_count() > 0;
+            let trial = match result {
+                Ok(healed) => {
+                    if !fired {
+                        Trial {
+                            truth: GroundTruth::NotFired,
+                            detected: healed.attempts > 0,
+                            max_deviation: 0.0,
+                            recovery: Some(healed.action),
+                        }
+                    } else {
+                        let repair = (healed.action == RecoveryAction::Corrected).then_some(bs);
+                        let (truth, worst) = classify_product(
+                            &healed.outcome.product,
+                            &clean,
+                            &a,
+                            &b,
+                            &model,
+                            config.omega,
+                            repair,
+                        );
+                        Trial {
+                            truth,
+                            detected: healed.attempts > 0,
+                            max_deviation: worst,
+                            recovery: Some(healed.action),
+                        }
+                    }
+                }
+                // Fail-safe: the executor refused to release a product.
+                // Counted as a detected critical (the fault defeated every
+                // repair rung) — but never as silent corruption.
+                Err(AbftError::Unrecovered { .. }) => Trial {
+                    truth: GroundTruth::Critical,
+                    detected: true,
+                    max_deviation: f64::INFINITY,
+                    recovery: Some(RecoveryAction::Unrecovered),
+                },
+                Err(e) => panic!("unexpected campaign error: {e}"),
+            };
+            span.add_attr("truth", format!("{:?}", trial.truth));
+            span.add_attr("detected", trial.detected);
+            if let Some(r) = trial.recovery {
+                span.add_attr("recovery", r.label());
+            }
+            trial
+        })
+        .collect();
+
+    let mut stats = DetectionStats::default();
+    for t in &trials {
+        stats.record(t);
+    }
+
+    let m = &obs.metrics;
+    m.counter_add("campaign.trials", stats.total());
+    m.counter_add("campaign.critical", stats.critical);
+    m.counter_add("campaign.critical_detected", stats.critical_detected);
+    m.counter_add("campaign.false_positives", stats.benign_detected);
+    m.counter_add("campaign.corrected", stats.corrected);
+    m.counter_add("campaign.recomputed", stats.recomputed);
+    m.counter_add("campaign.reran", stats.reran);
+    m.counter_add("campaign.unrecovered", stats.unrecovered);
+    m.counter_add("campaign.mis_corrected", stats.mis_corrected);
+
+    CampaignReport { scheme: "A-ABFT+heal", config: *config, stats, trials }
+}
+
 /// Judges one trial: locates the worst deviation of the returned product
 /// from the clean reference and classifies it.
 pub fn judge_trial(
@@ -190,28 +391,101 @@ pub fn judge_trial(
     omega: f64,
 ) -> Trial {
     if !fired {
-        return Trial { truth: GroundTruth::NotFired, detected: result.errors_detected, max_deviation: 0.0 };
+        return Trial {
+            truth: GroundTruth::NotFired,
+            detected: result.errors_detected,
+            max_deviation: 0.0,
+            recovery: result.recovery,
+        };
     }
+    // When the scheme carries a recovery path, the judged product is the
+    // *post-recovery* product — exactly what the caller would receive.
+    let (truth, worst) = classify_product(&result.product, clean, a, b, model, omega, None);
+    Trial { truth, detected: result.errors_detected, max_deviation: worst, recovery: result.recovery }
+}
+
+/// Ground truth of a released product: the worst data-region deviation from
+/// the clean reference, classified with the probabilistic model on the
+/// affected element's actual operands.
+///
+/// `repair_block` is the partitioned block size when the product went
+/// through checksum-reconstruction correction: a repaired element carries
+/// the rounding of the *reconstruction* path (a checksum dot over
+/// block-column sums, whose magnitudes — and hence noise floor — exceed the
+/// single element's), so the classification noise floor widens to cover
+/// both computation paths. Without it a ~`1e-15` repair residue on a
+/// near-cancelling element would be misread as critical corruption.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_product(
+    product: &Matrix<f64>,
+    clean: &Matrix<f64>,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    model: &RoundingModel,
+    omega: f64,
+    repair_block: Option<usize>,
+) -> (GroundTruth, f64) {
     let mut worst = 0.0f64;
     let mut loc = None;
     for i in 0..clean.rows() {
         for j in 0..clean.cols() {
-            let d = (result.product[(i, j)] - clean[(i, j)]).abs();
-            if d > worst {
-                worst = d;
+            let d = (product[(i, j)] - clean[(i, j)]).abs();
+            if d.is_nan() || d > worst {
+                worst = if d.is_nan() { f64::INFINITY } else { d };
                 loc = Some((i, j));
+                if worst.is_infinite() {
+                    break;
+                }
             }
+        }
+        if worst.is_infinite() {
+            break;
         }
     }
     let truth = match loc {
         None => GroundTruth::NoDataEffect,
+        Some(_) if worst.is_infinite() => GroundTruth::Critical,
         Some((i, j)) => {
             let b_col = b.col(j);
-            classify_element(clean[(i, j)], result.product[(i, j)], a.row(i), &b_col, model, omega)
-                .into()
+            match repair_block {
+                None => classify_element(
+                    clean[(i, j)],
+                    product[(i, j)],
+                    a.row(i),
+                    &b_col,
+                    model,
+                    omega,
+                )
+                .into(),
+                Some(bs) => {
+                    let mut moments = model.inner_product_moments(a.row(i), &b_col);
+                    let lo = (i / bs) * bs;
+                    let hi = (lo + bs).min(a.rows());
+                    // The reconstruction `cs - Σ_{r≠i} c_r` carries three
+                    // error sources: the checksum dot itself (over the
+                    // block-column sum of `A`), the GEMM rounding already
+                    // inside each subtracted sibling, and the subtraction
+                    // chain's own rounding at checksum magnitude.
+                    let sum_row: Vec<f64> =
+                        (0..a.cols()).map(|k| (lo..hi).map(|r| a[(r, k)]).sum()).collect();
+                    moments.variance += model.inner_product_moments(&sum_row, &b_col).variance;
+                    for r in (lo..hi).filter(|&r| r != i) {
+                        moments.variance += model.inner_product_moments(a.row(r), &b_col).variance;
+                    }
+                    let mut chain = vec![(lo..hi).map(|r| clean[(r, j)]).sum::<f64>()];
+                    chain.extend((lo..hi).filter(|&r| r != i).map(|r| -clean[(r, j)]));
+                    moments.variance += model.sum_moments(&chain).variance;
+                    aabft_core::classify::classify(
+                        (product[(i, j)] - clean[(i, j)]).abs(),
+                        &moments,
+                        omega,
+                    )
+                    .into()
+                }
+            }
         }
     };
-    Trial { truth, detected: result.errors_detected, max_deviation: worst }
+    (truth, worst)
 }
 
 #[cfg(test)]
@@ -233,6 +507,7 @@ mod tests {
             block_size: 4,
             tiling: GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 },
             faults_per_run: 1,
+            scope: InjectScope::GemmSites,
         }
     }
 
@@ -310,6 +585,49 @@ mod tests {
                 assert!(s.args.iter().any(|(k, _)| k == key), "trial span missing {key}");
             }
         }
+    }
+
+    fn tiny_heal() -> SelfHealingGemm {
+        SelfHealingGemm::new(tiny_scheme())
+    }
+
+    #[test]
+    fn selfheal_campaign_is_deterministic() {
+        let config = tiny_config(FaultSite::FinalAdd, BitRegion::Exponent);
+        let r1 = run_selfheal_campaign(&tiny_heal(), &config);
+        let r2 = run_selfheal_campaign(&tiny_heal(), &config);
+        assert_eq!(r1.trials, r2.trials);
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(r1.scheme, "A-ABFT+heal");
+    }
+
+    #[test]
+    fn selfheal_campaign_on_gemm_sites_heals_every_exponent_fault() {
+        let config = tiny_config(FaultSite::FinalAdd, BitRegion::Exponent);
+        let r = run_selfheal_campaign(&tiny_heal(), &config);
+        assert_eq!(r.stats.total() as usize, config.trials);
+        assert_eq!(r.stats.not_fired, 0, "{:?}", r.stats);
+        assert_eq!(r.stats.mis_corrected, 0, "zero silent SDC: {:?}", r.stats);
+        assert_eq!(r.stats.unrecovered, 0, "single faults heal within budget: {:?}", r.stats);
+        // Every released product passed the final check, so nothing is
+        // critical post-recovery.
+        assert_eq!(r.stats.critical, 0, "{:?}", r.stats);
+        let repairs = r.stats.corrected + r.stats.recomputed + r.stats.reran;
+        assert!(repairs > 0, "exponent faults must trigger repairs: {:?}", r.stats);
+    }
+
+    #[test]
+    fn selfheal_campaign_reports_recovery_counters() {
+        let config = tiny_config(FaultSite::FinalAdd, BitRegion::Exponent);
+        let obs = aabft_obs::Obs::new_shared();
+        let r = run_selfheal_campaign_with_obs(&tiny_heal(), &config, &obs);
+        let m = &obs.metrics;
+        assert_eq!(m.counter("campaign.trials"), config.trials as u64);
+        assert_eq!(m.counter("campaign.corrected"), r.stats.corrected);
+        assert_eq!(m.counter("campaign.recomputed"), r.stats.recomputed);
+        assert_eq!(m.counter("campaign.unrecovered"), r.stats.unrecovered);
+        assert_eq!(m.counter("campaign.mis_corrected"), 0);
+        assert!(m.counter("recovery.verified_ok") >= config.trials as u64);
     }
 
     #[test]

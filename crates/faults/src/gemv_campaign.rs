@@ -108,6 +108,7 @@ pub fn run_gemv_campaign(config: &GemvCampaignConfig) -> GemvCampaignReport {
                     truth: GroundTruth::NotFired,
                     detected: outcome.errors_detected(),
                     max_deviation: 0.0,
+                    recovery: None,
                 };
             }
             let mut worst = 0.0f64;
@@ -126,7 +127,7 @@ pub fn run_gemv_campaign(config: &GemvCampaignConfig) -> GemvCampaignReport {
                     classify(worst, &moments, config.config.omega).into()
                 }
             };
-            Trial { truth, detected: outcome.errors_detected(), max_deviation: worst }
+            Trial { truth, detected: outcome.errors_detected(), max_deviation: worst, recovery: None }
         })
         .collect();
 

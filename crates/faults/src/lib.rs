@@ -32,6 +32,6 @@ pub mod outcome;
 pub mod plan;
 
 pub use bitflip::BitRegion;
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use campaign::{run_campaign, run_selfheal_campaign, CampaignConfig, CampaignReport};
 pub use outcome::{DetectionStats, GroundTruth, Trial};
-pub use plan::{FaultSpec, GemmShape};
+pub use plan::{FaultSpec, GemmShape, InjectScope, MemScope};

@@ -6,6 +6,7 @@
 //! flagged it. Figure 4 reports the fraction of critical errors detected.
 
 use aabft_core::classify::ErrorClass;
+use aabft_core::RecoveryAction;
 
 /// What one injected fault actually did to the caller-visible product.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,8 +41,13 @@ pub struct Trial {
     pub truth: GroundTruth,
     /// Whether the scheme flagged an error.
     pub detected: bool,
-    /// Magnitude of the worst data-region deviation.
+    /// Magnitude of the worst data-region deviation — for a trial run under
+    /// a recovery policy, of the *post-recovery* product the caller would
+    /// actually receive.
     pub max_deviation: f64,
+    /// Strongest recovery action taken (`None` when the scheme ran without
+    /// a recovery policy).
+    pub recovery: Option<RecoveryAction>,
 }
 
 /// Aggregated campaign statistics.
@@ -67,6 +73,20 @@ pub struct DetectionStats {
     pub masked_detected: u64,
     /// Trials whose fault never fired.
     pub not_fired: u64,
+    /// Trials repaired by checksum-reconstruction correction.
+    pub corrected: u64,
+    /// Trials repaired by recomputing flagged blocks.
+    pub recomputed: u64,
+    /// Trials repaired by a full re-run of the multiplication.
+    pub reran: u64,
+    /// Trials whose recovery exhausted its budget (fail-safe: no product
+    /// released).
+    pub unrecovered: u64,
+    /// Silent-data-corruption trials under a recovery policy: the scheme
+    /// released a product as good (repaired or unflagged) that is still
+    /// critically wrong. The zero-SDC guarantee of the verified self-healing
+    /// executor is exactly `mis_corrected == 0`.
+    pub mis_corrected: u64,
 }
 
 impl DetectionStats {
@@ -90,6 +110,22 @@ impl DetectionStats {
                 self.masked += 1;
                 self.masked_detected += u64::from(t.detected);
             }
+        }
+        match t.recovery {
+            Some(RecoveryAction::Corrected) => self.corrected += 1,
+            Some(RecoveryAction::Recomputed) => self.recomputed += 1,
+            Some(RecoveryAction::Reran) => self.reran += 1,
+            Some(RecoveryAction::Unrecovered) => self.unrecovered += 1,
+            Some(RecoveryAction::NoneNeeded) | None => {}
+        }
+        // Under a recovery policy, a released product (anything except the
+        // fail-safe) that is still critically wrong is silent data
+        // corruption — whether a repair made it worse or the check never
+        // flagged it.
+        if t.truth == GroundTruth::Critical
+            && matches!(t.recovery, Some(r) if r != RecoveryAction::Unrecovered)
+        {
+            self.mis_corrected += 1;
         }
     }
 
@@ -130,6 +166,11 @@ impl DetectionStats {
         self.masked += other.masked;
         self.masked_detected += other.masked_detected;
         self.not_fired += other.not_fired;
+        self.corrected += other.corrected;
+        self.recomputed += other.recomputed;
+        self.reran += other.reran;
+        self.unrecovered += other.unrecovered;
+        self.mis_corrected += other.mis_corrected;
     }
 }
 
@@ -156,10 +197,30 @@ mod tests {
     #[test]
     fn record_and_rates() {
         let mut s = DetectionStats::default();
-        s.record(&Trial { truth: GroundTruth::Critical, detected: true, max_deviation: 1.0 });
-        s.record(&Trial { truth: GroundTruth::Critical, detected: false, max_deviation: 1.0 });
-        s.record(&Trial { truth: GroundTruth::Rounding, detected: false, max_deviation: 0.0 });
-        s.record(&Trial { truth: GroundTruth::NoDataEffect, detected: true, max_deviation: 0.0 });
+        s.record(&Trial {
+            truth: GroundTruth::Critical,
+            detected: true,
+            max_deviation: 1.0,
+            recovery: None,
+        });
+        s.record(&Trial {
+            truth: GroundTruth::Critical,
+            detected: false,
+            max_deviation: 1.0,
+            recovery: None,
+        });
+        s.record(&Trial {
+            truth: GroundTruth::Rounding,
+            detected: false,
+            max_deviation: 0.0,
+            recovery: None,
+        });
+        s.record(&Trial {
+            truth: GroundTruth::NoDataEffect,
+            detected: true,
+            max_deviation: 0.0,
+            recovery: None,
+        });
         assert_eq!(s.critical, 2);
         assert_eq!(s.critical_detected, 1);
         assert_eq!(s.detection_rate(), 0.5);
@@ -168,6 +229,64 @@ mod tests {
         assert_eq!(s.masked, 1);
         assert_eq!(s.masked_detected, 1);
         assert_eq!(s.total(), 4);
+        assert_eq!(s.mis_corrected, 0, "no recovery policy, no SDC accounting");
+    }
+
+    #[test]
+    fn recovery_columns_and_mis_correction_accounting() {
+        let mut s = DetectionStats::default();
+        // Healed trials: the released product is clean, truth is benign.
+        s.record(&Trial {
+            truth: GroundTruth::NoDataEffect,
+            detected: true,
+            max_deviation: 0.0,
+            recovery: Some(RecoveryAction::Corrected),
+        });
+        s.record(&Trial {
+            truth: GroundTruth::Rounding,
+            detected: true,
+            max_deviation: 1e-16,
+            recovery: Some(RecoveryAction::Recomputed),
+        });
+        s.record(&Trial {
+            truth: GroundTruth::NoDataEffect,
+            detected: true,
+            max_deviation: 0.0,
+            recovery: Some(RecoveryAction::Reran),
+        });
+        // Fail-safe: critical but *not* released — not an SDC.
+        s.record(&Trial {
+            truth: GroundTruth::Critical,
+            detected: true,
+            max_deviation: f64::INFINITY,
+            recovery: Some(RecoveryAction::Unrecovered),
+        });
+        // The one outcome the self-healing executor must never produce: a
+        // released product that is still critically wrong.
+        s.record(&Trial {
+            truth: GroundTruth::Critical,
+            detected: true,
+            max_deviation: 9.0,
+            recovery: Some(RecoveryAction::Corrected),
+        });
+        s.record(&Trial {
+            truth: GroundTruth::Critical,
+            detected: false,
+            max_deviation: 9.0,
+            recovery: Some(RecoveryAction::NoneNeeded),
+        });
+        assert_eq!(s.corrected, 2);
+        assert_eq!(s.recomputed, 1);
+        assert_eq!(s.reran, 1);
+        assert_eq!(s.unrecovered, 1);
+        assert_eq!(s.mis_corrected, 2, "released-critical counts, fail-safe does not");
+
+        let mut merged = DetectionStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.unrecovered, 2);
+        assert_eq!(merged.mis_corrected, 4);
+        assert_eq!(merged.corrected, 4);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! multiplication shape.
 
 use crate::bitflip::{mask_for, BitRegion};
+use aabft_core::encoding::AugmentedLayout;
 use aabft_gpu_sim::device::DeviceConfig;
-use aabft_gpu_sim::inject::{FaultSite, InjectionPlan};
+use aabft_gpu_sim::inject::{FaultScope, FaultSite, InjectionPlan, KernelFaultPlan, MemoryFaultPlan};
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use aabft_gpu_sim::LaunchRecord;
 use rand::Rng;
 
 /// Static description of the fault population to sample from.
@@ -43,6 +45,176 @@ impl FaultSpec {
         };
         FaultSpec { site, region, bits: 1, fixed_bit: Some(bit) }
     }
+}
+
+/// Device buffer region a memory-at-rest fault may strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemScope {
+    /// The augmented `A` operand buffer (after encoding, so the flip is a
+    /// genuine post-encode corruption, not garbage-in).
+    OperandA,
+    /// The augmented `B` operand buffer (after encoding).
+    OperandB,
+    /// The whole augmented product buffer (after the multiplication).
+    Product,
+    /// Only the checksum-row lines of the product — corrupting the
+    /// "trusted" reference itself (after the multiplication).
+    ChecksumRows,
+}
+
+impl MemScope {
+    /// All memory scopes, for sweeps.
+    pub const ALL: [MemScope; 4] =
+        [MemScope::OperandA, MemScope::OperandB, MemScope::Product, MemScope::ChecksumRows];
+
+    /// Short label for CLI flags and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemScope::OperandA => "mem-a",
+            MemScope::OperandB => "mem-b",
+            MemScope::Product => "mem-c",
+            MemScope::ChecksumRows => "mem-checksum",
+        }
+    }
+}
+
+/// Where a campaign injects its faults: the classic GEMM FP-instruction
+/// sites, a pipeline kernel by scope, or a device buffer between launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectScope {
+    /// Dynamic FP instructions of the multiplication kernel (the paper's
+    /// fault model; uses [`random_plan`]).
+    GemmSites,
+    /// Dynamic FP operations of a pipeline kernel selected by scope —
+    /// encode, p-max reduce, check or recompute (uses
+    /// [`random_kernel_plan`]).
+    Kernel(FaultScope),
+    /// A bit flip in a device buffer at a phase boundary (uses
+    /// [`random_memory_plan`]).
+    Memory(MemScope),
+}
+
+impl InjectScope {
+    /// Short label for CLI flags and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectScope::GemmSites => "sites",
+            InjectScope::Kernel(s) => s.label(),
+            InjectScope::Memory(m) => m.label(),
+        }
+    }
+}
+
+/// Sums each SM's dynamic FPU-operation count over every launch in `log`
+/// whose phase matches `scope` — the calibration a kernel-scope fault needs
+/// so its `k_injection` is guaranteed to be reachable. Deterministic
+/// execution makes counts from a clean run transferable to fault runs.
+pub fn scope_ops_per_sm(log: &[LaunchRecord], scope: FaultScope, num_sms: usize) -> Vec<u64> {
+    let mut ops = vec![0u64; num_sms];
+    for rec in log {
+        if !scope.matches(&rec.phase) {
+            continue;
+        }
+        for (sm, stats) in rec.per_sm.iter().enumerate() {
+            if sm < num_sms {
+                ops[sm] += stats.fpu_ticks;
+            }
+        }
+    }
+    ops
+}
+
+/// Draws a kernel-scope fault guaranteed to fire: a busy SM (weighted by
+/// its op count) and a `k_injection` within that SM's dynamic operations
+/// under `scope`. Returns `None` if the scope executes no operations at all
+/// (e.g. the recompute scope in a run that never recovers).
+pub fn random_kernel_plan<R: Rng + ?Sized>(
+    scope: FaultScope,
+    spec: FaultSpec,
+    ops_per_sm: &[u64],
+    rng: &mut R,
+) -> Option<KernelFaultPlan> {
+    let total: u64 = ops_per_sm.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    // Uniform over dynamic operations (not over SMs): pick the op index,
+    // then find which SM executes it.
+    let mut pick = rng.gen_range(0..total);
+    let mut sm = 0;
+    for (i, &ops) in ops_per_sm.iter().enumerate() {
+        if pick < ops {
+            sm = i;
+            break;
+        }
+        pick -= ops;
+    }
+    let k_injection = pick + 1; // 1-based within the SM's op stream
+    let mask = match spec.fixed_bit {
+        Some(bit) => 1u64 << bit,
+        None => mask_for(spec.region, spec.bits, rng),
+    };
+    Some(KernelFaultPlan { scope, sm, k_injection, mask })
+}
+
+/// A contiguous word range of a named device buffer, armed at a phase
+/// boundary — the sampling domain of [`random_memory_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Buffer label as registered by the pipeline (`"a"`, `"b"`, `"c"`).
+    pub buffer: &'static str,
+    /// Pipeline phase after which the flip lands.
+    pub after_phase: &'static str,
+    /// First word of the range (inclusive).
+    pub lo: usize,
+    /// One past the last word of the range.
+    pub hi: usize,
+}
+
+/// The buffer region a [`MemScope`] corresponds to under the augmented
+/// layouts of one multiplication.
+///
+/// Operand scopes arm *after encoding*: a pre-encode flip would be encoded
+/// into consistent checksums (garbage-in-garbage-out, undetectable by any
+/// checksum scheme). Product scopes arm after the multiplication.
+pub fn mem_region_for(
+    scope: MemScope,
+    rows: &AugmentedLayout,
+    inner: usize,
+    cols: &AugmentedLayout,
+) -> MemRegion {
+    match scope {
+        MemScope::OperandA => {
+            MemRegion { buffer: "a", after_phase: "encode", lo: 0, hi: rows.total * inner }
+        }
+        MemScope::OperandB => {
+            MemRegion { buffer: "b", after_phase: "encode", lo: 0, hi: inner * cols.total }
+        }
+        MemScope::Product => {
+            MemRegion { buffer: "c", after_phase: "gemm", lo: 0, hi: rows.total * cols.total }
+        }
+        MemScope::ChecksumRows => MemRegion {
+            buffer: "c",
+            after_phase: "gemm",
+            lo: rows.data * cols.total,
+            hi: (rows.data + rows.blocks) * cols.total,
+        },
+    }
+}
+
+/// Draws a uniformly random memory-at-rest fault within `region`.
+pub fn random_memory_plan<R: Rng + ?Sized>(
+    region: MemRegion,
+    spec: FaultSpec,
+    rng: &mut R,
+) -> MemoryFaultPlan {
+    assert!(region.lo < region.hi, "empty memory region");
+    let word = rng.gen_range(region.lo..region.hi);
+    let mask = match spec.fixed_bit {
+        Some(bit) => 1u64 << bit,
+        None => mask_for(spec.region, spec.bits, rng),
+    };
+    MemoryFaultPlan { buffer: region.buffer, word, mask, after_phase: region.after_phase }
 }
 
 /// GEMM launch geometry needed to bound `kInjection` so every drawn fault
@@ -184,5 +356,104 @@ mod tests {
         let s = shape();
         let total: usize = (0..13).map(|sm| s.blocks_on_sm(sm, 13)).sum();
         assert_eq!(total, s.total_blocks());
+    }
+
+    fn pipeline_log() -> (Vec<aabft_gpu_sim::LaunchRecord>, usize) {
+        use aabft_core::{AAbftConfig, AAbftGemm};
+        use aabft_matrix::Matrix;
+        let config = AAbftConfig::builder()
+            .block_size(4)
+            .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+            .build()
+            .expect("valid config");
+        let a = Matrix::from_fn(16, 16, |i, j| ((i + j) as f64 * 0.3).sin());
+        let b = Matrix::from_fn(16, 16, |i, j| ((i * 2 + j) as f64 * 0.2).cos());
+        let device = Device::with_defaults();
+        AAbftGemm::new(config).multiply(&device, &a, &b);
+        let num_sms = device.config().num_sms;
+        (device.take_log(), num_sms)
+    }
+
+    #[test]
+    fn scope_ops_match_launch_log_tick_sums() {
+        let (log, num_sms) = pipeline_log();
+        for scope in FaultScope::ALL {
+            let ops = scope_ops_per_sm(&log, scope, num_sms);
+            let expect: u64 = log
+                .iter()
+                .filter(|r| r.phase == scope.label())
+                .map(|r| r.stats.fpu_ticks)
+                .sum();
+            assert_eq!(ops.iter().sum::<u64>(), expect, "scope {scope:?}");
+        }
+        // A clean pipeline runs encode/gemm/pmax_reduce/check but never the
+        // recompute kernel.
+        assert!(scope_ops_per_sm(&log, FaultScope::Encode, num_sms).iter().sum::<u64>() > 0);
+        assert!(scope_ops_per_sm(&log, FaultScope::Check, num_sms).iter().sum::<u64>() > 0);
+        assert_eq!(scope_ops_per_sm(&log, FaultScope::Recompute, num_sms).iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn kernel_plans_from_calibrated_counts_always_fire() {
+        use rand::SeedableRng;
+        let (log, num_sms) = pipeline_log();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for scope in [FaultScope::Encode, FaultScope::PMaxReduce, FaultScope::Check] {
+            let ops = scope_ops_per_sm(&log, scope, num_sms);
+            for _ in 0..10 {
+                let spec = FaultSpec::single(FaultSite::InnerAdd, BitRegion::Mantissa);
+                let plan = random_kernel_plan(scope, spec, &ops, &mut rng)
+                    .expect("scope has operations");
+                assert!(plan.k_injection >= 1 && plan.k_injection <= ops[plan.sm]);
+            }
+        }
+        let none = random_kernel_plan(
+            FaultScope::Recompute,
+            FaultSpec::single(FaultSite::InnerAdd, BitRegion::Mantissa),
+            &scope_ops_per_sm(&log, FaultScope::Recompute, num_sms),
+            &mut rng,
+        );
+        assert!(none.is_none(), "idle scope yields no plan");
+    }
+
+    #[test]
+    fn mem_regions_cover_the_right_words() {
+        use aabft_core::encoding::AugmentedLayout;
+        let rows = AugmentedLayout::new(16, 4, 8);
+        let cols = AugmentedLayout::new(16, 4, 8);
+        let inner = 16;
+
+        let r = mem_region_for(MemScope::OperandA, &rows, inner, &cols);
+        assert_eq!((r.buffer, r.after_phase), ("a", "encode"));
+        assert_eq!((r.lo, r.hi), (0, rows.total * inner));
+
+        let r = mem_region_for(MemScope::ChecksumRows, &rows, inner, &cols);
+        assert_eq!((r.buffer, r.after_phase), ("c", "gemm"));
+        assert_eq!(r.lo, rows.data * cols.total);
+        assert_eq!(r.hi, (rows.data + rows.blocks) * cols.total);
+        assert!(r.hi <= rows.total * cols.total, "stays inside the product buffer");
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let spec = FaultSpec::single(FaultSite::InnerAdd, BitRegion::Exponent);
+            let plan = random_memory_plan(r, spec, &mut rng);
+            assert!(plan.word >= r.lo && plan.word < r.hi);
+            assert_eq!(plan.mask.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn inject_scope_labels_are_distinct() {
+        use std::collections::HashSet;
+        let mut labels = HashSet::new();
+        labels.insert(InjectScope::GemmSites.label());
+        for s in FaultScope::ALL {
+            labels.insert(InjectScope::Kernel(s).label());
+        }
+        for m in MemScope::ALL {
+            labels.insert(InjectScope::Memory(m).label());
+        }
+        assert_eq!(labels.len(), 1 + FaultScope::ALL.len() + MemScope::ALL.len());
     }
 }

@@ -11,7 +11,10 @@
 
 use crate::dim::{BlockIdx, GridDim};
 use crate::error::ConfigError;
-use crate::inject::{FaultSite, InjectionPlan, InjectionState};
+use crate::inject::{
+    FaultSite, InjectionPlan, InjectionState, KernelFaultPlan, KernelFaultState, MemoryFaultPlan,
+    MemoryFaultState,
+};
 use crate::mem::DeviceBuffer;
 use crate::stats::{KernelStats, LaunchRecord};
 use crate::stream::{Event, StreamId, StreamTable};
@@ -135,6 +138,13 @@ pub struct Device {
     /// `kInjection` addresses an instruction within the whole armed window
     /// — e.g. any of TMR's three replica launches.
     sm_counts: Vec<Mutex<Vec<[u64; FaultSite::COUNT]>>>,
+    /// Kernel-scope faults: bit flips armed against whole pipeline phases
+    /// (encode/reduce/check/recompute/...), ticking along each SM's dynamic
+    /// FPU-operation count within the scope.
+    kernel_faults: Mutex<Vec<Arc<KernelFaultState>>>,
+    /// Memory-at-rest faults, applied by the pipeline between launches via
+    /// [`Device::apply_memory_faults`].
+    memory_faults: Mutex<Vec<Arc<MemoryFaultState>>>,
     log: Mutex<Vec<LaunchRecord>>,
     launch_seq: AtomicU64,
     /// Stream bookkeeping: id allocation, per-stream launch frontiers and
@@ -161,6 +171,8 @@ impl Device {
             config,
             injections: Mutex::new(Vec::new()),
             sm_counts,
+            kernel_faults: Mutex::new(Vec::new()),
+            memory_faults: Mutex::new(Vec::new()),
             log: Mutex::new(Vec::new()),
             launch_seq: AtomicU64::new(0),
             streams: Mutex::new(StreamTable::default()),
@@ -230,17 +242,99 @@ impl Device {
             plans.iter().map(|&p| Arc::new(InjectionState::new(p))).collect();
     }
 
+    /// Arms a kernel-scope fault: a bit flip in the `k_injection`-th FPU
+    /// operation SM `sm` executes inside launches of the plan's scope. It
+    /// strikes at most once; arming replaces any previous kernel-scope set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan targets an SM outside the device shape or a zero
+    /// `k_injection` (the count is 1-based).
+    pub fn arm_kernel_fault(&self, plan: KernelFaultPlan) {
+        self.arm_kernel_faults(&[plan]);
+    }
+
+    /// Arms several simultaneous kernel-scope faults, replacing any
+    /// previously armed set (and its operation counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Device::arm_kernel_fault`].
+    pub fn arm_kernel_faults(&self, plans: &[KernelFaultPlan]) {
+        for plan in plans {
+            assert!(
+                plan.sm < self.config.num_sms,
+                "plan targets SM {} of {}",
+                plan.sm,
+                self.config.num_sms
+            );
+            assert!(plan.k_injection > 0, "k_injection is 1-based");
+        }
+        *self.kernel_faults.lock() =
+            plans.iter().map(|&p| Arc::new(KernelFaultState::new(p))).collect();
+    }
+
+    /// Arms a memory-at-rest fault; the pipeline lands it via
+    /// [`Device::apply_memory_faults`] at the matching phase boundary.
+    pub fn arm_memory_fault(&self, plan: MemoryFaultPlan) {
+        self.arm_memory_faults(&[plan]);
+    }
+
+    /// Arms several memory-at-rest faults, replacing any previous set.
+    pub fn arm_memory_faults(&self, plans: &[MemoryFaultPlan]) {
+        *self.memory_faults.lock() =
+            plans.iter().map(|&p| Arc::new(MemoryFaultState::new(p))).collect();
+    }
+
+    /// Applies armed memory faults whose `after_phase` matches `phase` to
+    /// the named `buffers`; returns how many flips landed. Pipelines call
+    /// this after each phase with the device buffers they expose; each
+    /// fault lands at most once, at the first matching boundary.
+    pub fn apply_memory_faults(&self, phase: &str, buffers: &[(&str, &DeviceBuffer)]) -> usize {
+        let armed = self.memory_faults.lock().clone();
+        if armed.is_empty() {
+            return 0;
+        }
+        let mut landed = 0usize;
+        for state in &armed {
+            if state.has_fired() || state.plan.after_phase != phase {
+                continue;
+            }
+            let Some((_, buf)) = buffers.iter().find(|(name, _)| *name == state.plan.buffer)
+            else {
+                continue;
+            };
+            if buf.is_empty() || !state.mark_fired() {
+                continue;
+            }
+            buf.flip_bits(state.plan.word % buf.len(), state.plan.mask);
+            landed += 1;
+        }
+        if landed > 0 {
+            self.obs.metrics.counter_add("sim.memory_faults", landed as u64);
+        }
+        landed
+    }
+
     /// Disarms all injections; returns `true` if at least one fault struck.
     pub fn disarm_injection(&self) -> bool {
         self.disarm_count() > 0
     }
 
-    /// Disarms all injections; returns how many faults struck.
+    /// Disarms all armed faults of every kind (GEMM-site injections,
+    /// kernel-scope faults, memory faults); returns how many struck.
     pub fn disarm_count(&self) -> usize {
-        std::mem::take(&mut *self.injections.lock())
+        let sites =
+            std::mem::take(&mut *self.injections.lock()).iter().filter(|s| s.has_fired()).count();
+        let kernels = std::mem::take(&mut *self.kernel_faults.lock())
             .iter()
             .filter(|s| s.has_fired())
-            .count()
+            .count();
+        let mems = std::mem::take(&mut *self.memory_faults.lock())
+            .iter()
+            .filter(|s| s.has_fired())
+            .count();
+        sites + kernels + mems
     }
 
     /// The SM a given linear block index is scheduled on (round-robin).
@@ -292,6 +386,13 @@ impl Device {
         kernel: &K,
     ) -> KernelStats {
         let injections = self.injections.lock().clone();
+        let scoped: Vec<Arc<KernelFaultState>> = self
+            .kernel_faults
+            .lock()
+            .iter()
+            .filter(|s| s.plan.scope.matches(kernel.phase()))
+            .cloned()
+            .collect();
         let num_sms = self.config.num_sms;
         let max_modules = self.config.max_modules;
         let blocks: Vec<BlockIdx> = grid.iter().collect();
@@ -326,6 +427,7 @@ impl Device {
                         stats: KernelStats { blocks: 1, ..Default::default() },
                         sm_counts: &mut counts_guard,
                         injections: &injections,
+                        scoped: &scoped,
                     };
                     kernel.run_block(&mut ctx);
                     stats.merge(&ctx.stats);
@@ -400,6 +502,8 @@ pub struct BlockCtx<'a> {
     stats: KernelStats,
     sm_counts: &'a mut Vec<[u64; FaultSite::COUNT]>,
     injections: &'a [Arc<InjectionState>],
+    /// Kernel-scope faults whose scope matched this launch's phase.
+    scoped: &'a [Arc<KernelFaultState>],
 }
 
 impl BlockCtx<'_> {
@@ -418,48 +522,65 @@ impl BlockCtx<'_> {
         self.stats.threads += n as u64;
     }
 
-    // ---- plain FPU ops (counted, not injectable) --------------------------
+    /// Routes an FPU result through the kernel-scope fault channel: every
+    /// arithmetic method calls this, so `stats.fpu_ticks` counts dynamic FPU
+    /// operations in issue order and armed in-scope faults ([`KernelFaultState`])
+    /// tick along the exact same sequence.
+    #[inline]
+    fn scoped_tick(&mut self, value: f64) -> f64 {
+        self.stats.fpu_ticks += 1;
+        if self.scoped.is_empty() {
+            return value;
+        }
+        let mut v = value;
+        for fault in self.scoped {
+            v = fault.tick(self.sm_id, v);
+        }
+        v
+    }
+
+    // ---- plain FPU ops (counted; injectable via kernel-scope faults) -------
 
     /// Floating-point addition.
     #[inline]
     pub fn add(&mut self, a: f64, b: f64) -> f64 {
         self.stats.fadd += 1;
-        a + b
+        self.scoped_tick(a + b)
     }
 
     /// Floating-point subtraction.
     #[inline]
     pub fn sub(&mut self, a: f64, b: f64) -> f64 {
         self.stats.fadd += 1;
-        a - b
+        self.scoped_tick(a - b)
     }
 
     /// Floating-point multiplication.
     #[inline]
     pub fn mul(&mut self, a: f64, b: f64) -> f64 {
         self.stats.fmul += 1;
-        a * b
+        self.scoped_tick(a * b)
     }
 
     /// Fused multiply-add `a·b + c` (one instruction, two FLOPs).
     #[inline]
     pub fn fma(&mut self, a: f64, b: f64, c: f64) -> f64 {
         self.stats.ffma += 1;
-        a.mul_add(b, c)
+        self.scoped_tick(a.mul_add(b, c))
     }
 
     /// Absolute value / comparison-class op (counted as simple FP op).
     #[inline]
     pub fn abs(&mut self, a: f64) -> f64 {
         self.stats.fcmp += 1;
-        a.abs()
+        self.scoped_tick(a.abs())
     }
 
     /// Max-class op (counted as simple FP op).
     #[inline]
     pub fn max(&mut self, a: f64, b: f64) -> f64 {
         self.stats.fcmp += 1;
-        a.max(b)
+        self.scoped_tick(a.max(b))
     }
 
     // ---- injectable FPU ops (Alg. 3 fault targets) -------------------------
@@ -470,7 +591,8 @@ impl BlockCtx<'_> {
     pub fn add_at(&mut self, site: FaultSite, module: usize, a: f64, b: f64) -> f64 {
         self.stats.fadd += 1;
         let r = a + b;
-        self.apply_injection(site, module, r)
+        let r = self.apply_injection(site, module, r);
+        self.scoped_tick(r)
     }
 
     /// Inner-loop multiplication on functional unit `module`.
@@ -478,7 +600,8 @@ impl BlockCtx<'_> {
     pub fn mul_at(&mut self, site: FaultSite, module: usize, a: f64, b: f64) -> f64 {
         self.stats.fmul += 1;
         let r = a * b;
-        self.apply_injection(site, module, r)
+        let r = self.apply_injection(site, module, r);
+        self.scoped_tick(r)
     }
 
     /// Inner-loop / final-sum addition under an explicit rounding mode
@@ -495,7 +618,8 @@ impl BlockCtx<'_> {
     ) -> f64 {
         self.stats.fadd += 1;
         let r = aabft_numerics::rounding::add_with_mode(a, b, mode);
-        self.apply_injection(site, module, r)
+        let r = self.apply_injection(site, module, r);
+        self.scoped_tick(r)
     }
 
     /// Inner-loop multiplication under an explicit rounding mode.
@@ -510,7 +634,8 @@ impl BlockCtx<'_> {
     ) -> f64 {
         self.stats.fmul += 1;
         let r = aabft_numerics::rounding::mul_with_mode(a, b, mode);
-        self.apply_injection(site, module, r)
+        let r = self.apply_injection(site, module, r);
+        self.scoped_tick(r)
     }
 
     /// Fused multiply-add on functional unit `module` (fault strikes the
@@ -519,7 +644,8 @@ impl BlockCtx<'_> {
     pub fn fma_at(&mut self, site: FaultSite, module: usize, a: f64, b: f64, c: f64) -> f64 {
         self.stats.ffma += 1;
         let r = a.mul_add(b, c);
-        self.apply_injection(site, module, r)
+        let r = self.apply_injection(site, module, r);
+        self.scoped_tick(r)
     }
 
     #[inline]
@@ -678,6 +804,86 @@ mod tests {
         let out = DeviceBuffer::zeros(4);
         device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
         assert!(!device.disarm_injection());
+    }
+
+    #[test]
+    fn fpu_ticks_count_dynamic_ops_in_issue_order() {
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let out = DeviceBuffer::zeros(4);
+        let stats = device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
+        // Each block issues 4 mul_at + 4 add_at = 8 FPU operations.
+        assert_eq!(stats.fpu_ticks, 32);
+        let log = device.take_log();
+        let per_sm_ticks: u64 = log[0].per_sm.iter().map(|s| s.fpu_ticks).sum();
+        assert_eq!(per_sm_ticks, 32, "per-SM split carries the tick counts");
+    }
+
+    #[test]
+    fn kernel_scope_fault_strikes_kth_op_deterministically() {
+        use crate::inject::{FaultScope, KernelFaultPlan};
+        let run = |armed: bool| {
+            let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+            let out = DeviceBuffer::zeros(4);
+            if armed {
+                // Blocks 1 and 3 run on SM 1; each issues mul,add,... pairs.
+                // Tick 10 on SM 1 is the first add of block 3 (partial sum 1).
+                device.arm_kernel_fault(KernelFaultPlan {
+                    scope: FaultScope::Any,
+                    sm: 1,
+                    k_injection: 10,
+                    mask: 1 << 63, // sign flip
+                });
+            }
+            device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
+            (device.disarm_count(), out.to_vec())
+        };
+        let (fired, v) = run(true);
+        assert_eq!(fired, 1);
+        assert_eq!(v[..3], [10.0, 10.0, 10.0]);
+        // Block 3: first partial sum 1 becomes -1; -1 + 2 + 3 + 4 = 8.
+        assert_eq!(v[3], 8.0);
+        assert_eq!(run(true), (fired, v), "kernel-scope faults are deterministic");
+        assert_eq!(run(false).1[3], 10.0);
+    }
+
+    #[test]
+    fn kernel_scope_fault_respects_phase_filter() {
+        use crate::inject::{FaultScope, KernelFaultPlan};
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let out = DeviceBuffer::zeros(4);
+        // AccumKernel's phase is its name ("accum"); an encode-scope fault
+        // never matches, so the counter never advances and nothing fires.
+        device.arm_kernel_fault(KernelFaultPlan {
+            scope: FaultScope::Encode,
+            sm: 1,
+            k_injection: 1,
+            mask: 1 << 63,
+        });
+        device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
+        assert_eq!(out.to_vec(), vec![10.0; 4]);
+        assert_eq!(device.disarm_count(), 0);
+    }
+
+    #[test]
+    fn memory_fault_lands_once_at_phase_boundary() {
+        use crate::inject::MemoryFaultPlan;
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let out = DeviceBuffer::zeros(4);
+        device.arm_memory_fault(MemoryFaultPlan {
+            buffer: "out",
+            word: 6, // taken modulo the buffer length: word 2
+            mask: 1 << 63,
+            after_phase: "accum",
+        });
+        device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
+        // Wrong phase or unknown buffer: nothing lands.
+        assert_eq!(device.apply_memory_faults("gemm", &[("out", &out)]), 0);
+        assert_eq!(device.apply_memory_faults("accum", &[("other", &out)]), 0);
+        assert_eq!(device.apply_memory_faults("accum", &[("out", &out)]), 1);
+        assert_eq!(out.to_vec(), vec![10.0, 10.0, -10.0, 10.0]);
+        // Fire-once: a second matching boundary is a no-op.
+        assert_eq!(device.apply_memory_faults("accum", &[("out", &out)]), 0);
+        assert_eq!(device.disarm_count(), 1);
     }
 
     #[test]

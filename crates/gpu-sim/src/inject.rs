@@ -6,8 +6,19 @@
 //! final-sum add), the module (which of the `RX·RY` per-thread adders or
 //! multipliers), the dynamic instance `kInjection` at which it fires, and
 //! the XOR error vector applied to the result word.
+//!
+//! Beyond the paper's GEMM-only sites, two further fault models make the
+//! *whole* pipeline injectable:
+//!
+//! * [`KernelFaultPlan`] — a bit flip in the k-th floating-point operation
+//!   (of any class) an SM executes inside launches of a given pipeline
+//!   phase ([`FaultScope`]): encode, p-max reduce, check, recompute, or any
+//!   kernel at all;
+//! * [`MemoryFaultPlan`] — a bit flip in a named device buffer applied at a
+//!   phase boundary, modelling corruption of data at rest (including the
+//!   checksum rows the checker itself trusts).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The three floating-point operation classes Algorithm 3 exposes as fault
 /// targets.
@@ -121,6 +132,166 @@ impl InjectionState {
     }
 }
 
+/// Pipeline phase a kernel-level fault is armed against.
+///
+/// Scopes match on the `phase` string a kernel reports (see
+/// `Kernel::phase`), so a fault armed for [`FaultScope::Check`] strikes the
+/// checker itself — the case where the detector is the corrupted party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultScope {
+    /// Checksum/p-max encoding kernels (`phase == "encode"`).
+    Encode,
+    /// The protected multiply itself (`phase == "gemm"`).
+    Gemm,
+    /// The p-max tree reduction (`phase == "pmax_reduce"`).
+    PMaxReduce,
+    /// The bound-compare check kernel (`phase == "check"`).
+    Check,
+    /// Block recomputation during recovery (`phase == "recompute"`).
+    Recompute,
+    /// Any launched kernel, whatever its phase.
+    Any,
+}
+
+impl FaultScope {
+    /// The concrete (non-`Any`) scopes, for campaign sweeps.
+    pub const ALL: [FaultScope; 5] = [
+        FaultScope::Encode,
+        FaultScope::Gemm,
+        FaultScope::PMaxReduce,
+        FaultScope::Check,
+        FaultScope::Recompute,
+    ];
+
+    /// The phase string this scope matches (`"any"` for [`FaultScope::Any`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultScope::Encode => "encode",
+            FaultScope::Gemm => "gemm",
+            FaultScope::PMaxReduce => "pmax_reduce",
+            FaultScope::Check => "check",
+            FaultScope::Recompute => "recompute",
+            FaultScope::Any => "any",
+        }
+    }
+
+    /// Whether a kernel launched under `phase` is inside this scope.
+    #[inline]
+    pub fn matches(self, phase: &str) -> bool {
+        self == FaultScope::Any || phase == self.label()
+    }
+}
+
+/// A planned fault in an arbitrary pipeline kernel: the `k_injection`-th
+/// floating-point operation (of any class) that SM `sm` executes inside
+/// launches whose phase matches `scope` has `mask` XORed onto its result.
+///
+/// Unlike [`InjectionPlan`], which addresses the GEMM inner loop by
+/// `(site, module)`, this counts every FPU operation the SM performs in
+/// scope — the same count `KernelStats::fpu_ticks` reports, so a clean
+/// run's launch log calibrates the sampling range exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelFaultPlan {
+    /// Pipeline phase(s) the fault is armed against.
+    pub scope: FaultScope,
+    /// Streaming multiprocessor the fault strikes.
+    pub sm: usize,
+    /// 1-based dynamic FPU-operation count on `sm` (within scope) at which
+    /// the fault fires.
+    pub k_injection: u64,
+    /// Error vector XORed onto the result's bit pattern.
+    pub mask: u64,
+}
+
+/// Shared state of one armed kernel-scope fault: the plan, the per-SM
+/// operation counter, and a fired flag so it strikes exactly once.
+#[derive(Debug)]
+pub struct KernelFaultState {
+    /// The planned fault.
+    pub plan: KernelFaultPlan,
+    count: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl KernelFaultState {
+    /// Arms a new kernel-scope fault.
+    pub fn new(plan: KernelFaultPlan) -> Self {
+        KernelFaultState { plan, count: AtomicU64::new(0), fired: AtomicBool::new(false) }
+    }
+
+    /// `true` once the fault has struck.
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Number of in-scope FPU operations the target SM has executed so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Advances the per-SM operation count and applies the fault to `value`
+    /// when the count reaches `k_injection`. Callers only invoke this for
+    /// launches whose phase matched `plan.scope`.
+    #[inline]
+    pub fn tick(&self, sm: usize, value: f64) -> f64 {
+        if sm != self.plan.sm {
+            return value;
+        }
+        let count = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        if count == self.plan.k_injection && !self.fired.swap(true, Ordering::Relaxed) {
+            f64::from_bits(value.to_bits() ^ self.plan.mask)
+        } else {
+            value
+        }
+    }
+}
+
+/// A planned fault in device memory at rest: after the next launch of
+/// phase `after_phase` completes, `mask` is XORed onto word `word` of the
+/// buffer the pipeline exposes under `buffer`.
+///
+/// This models corruption between kernels — DRAM/cache upsets that ECC-less
+/// parts cannot see — and can target the checksum rows themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFaultPlan {
+    /// Label of the device buffer to corrupt (e.g. `"a"`, `"b"`, `"c"`).
+    pub buffer: &'static str,
+    /// Word index within the buffer (taken modulo the buffer length).
+    pub word: usize,
+    /// Error vector XORed onto the word's bit pattern.
+    pub mask: u64,
+    /// Pipeline phase after which the flip is applied (e.g. `"gemm"` flips
+    /// the product before the check reads it).
+    pub after_phase: &'static str,
+}
+
+/// Shared state of one armed memory fault: the plan plus a fired flag so
+/// the flip lands exactly once.
+#[derive(Debug)]
+pub struct MemoryFaultState {
+    /// The planned fault.
+    pub plan: MemoryFaultPlan,
+    fired: AtomicBool,
+}
+
+impl MemoryFaultState {
+    /// Arms a new memory fault.
+    pub fn new(plan: MemoryFaultPlan) -> Self {
+        MemoryFaultState { plan, fired: AtomicBool::new(false) }
+    }
+
+    /// `true` once the flip has landed.
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Marks the fault as fired; returns `false` if it had already fired.
+    #[inline]
+    pub fn mark_fired(&self) -> bool {
+        !self.fired.swap(true, Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +340,52 @@ mod tests {
         let v = 3.75f64;
         let corrupted = st.apply(0, FaultSite::InnerMul, 0, 1, v);
         assert_eq!(corrupted.to_bits(), v.to_bits() ^ 0b1011);
+    }
+
+    #[test]
+    fn scope_matches_phase_strings() {
+        for scope in FaultScope::ALL {
+            assert!(scope.matches(scope.label()));
+            assert!(FaultScope::Any.matches(scope.label()));
+        }
+        assert!(!FaultScope::Encode.matches("gemm"));
+        assert!(!FaultScope::Check.matches("recompute"));
+    }
+
+    #[test]
+    fn kernel_fault_fires_once_at_kth_op_on_target_sm() {
+        let st = KernelFaultState::new(KernelFaultPlan {
+            scope: FaultScope::Check,
+            sm: 2,
+            k_injection: 3,
+            mask: 1 << 52,
+        });
+        // Other SMs never advance the count.
+        assert_eq!(st.tick(0, 1.0), 1.0);
+        assert_eq!(st.ops_seen(), 0);
+        // Ops 1 and 2 on the target SM pass through.
+        assert_eq!(st.tick(2, 1.0), 1.0);
+        assert_eq!(st.tick(2, 1.0), 1.0);
+        assert!(!st.has_fired());
+        // Op 3 corrupts (1.0 -> 0.5 under a low-exponent-bit flip).
+        assert_eq!(st.tick(2, 1.0), 0.5);
+        assert!(st.has_fired());
+        // And never again.
+        assert_eq!(st.tick(2, 1.0), 1.0);
+        assert_eq!(st.ops_seen(), 4);
+    }
+
+    #[test]
+    fn memory_fault_marks_fired_once() {
+        let st = MemoryFaultState::new(MemoryFaultPlan {
+            buffer: "c",
+            word: 7,
+            mask: 1 << 62,
+            after_phase: "gemm",
+        });
+        assert!(!st.has_fired());
+        assert!(st.mark_fired());
+        assert!(st.has_fired());
+        assert!(!st.mark_fired());
     }
 }

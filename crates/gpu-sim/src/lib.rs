@@ -43,7 +43,7 @@ pub mod trace;
 pub use device::{BlockCtx, Device, DeviceConfig, DeviceConfigBuilder, Kernel};
 pub use dim::{BlockIdx, GridDim};
 pub use error::ConfigError;
-pub use inject::{FaultSite, InjectionPlan};
+pub use inject::{FaultScope, FaultSite, InjectionPlan, KernelFaultPlan, MemoryFaultPlan};
 pub use mem::{DeviceBuffer, SharedTile};
 pub use perf::{PerfModel, PhaseCost, Schedule, ScheduledLaunch};
 pub use stats::{KernelStats, LaunchRecord};

@@ -141,6 +141,19 @@ impl DeviceBuffer {
         }
     }
 
+    /// XORs `mask` onto the bit pattern of word `idx` and returns the
+    /// corrupted value (between launches; this is the memory-fault hook —
+    /// see [`crate::inject::MemoryFaultPlan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn flip_bits(&self, idx: usize, mask: u64) -> f64 {
+        let corrupted = f64::from_bits(self.get(idx).to_bits() ^ mask);
+        self.set(idx, corrupted);
+        corrupted
+    }
+
     /// Overwrites the whole buffer with zeros (between launches).
     pub fn clear(&self) {
         // SAFETY: called between kernel launches (no concurrent writers).
@@ -221,6 +234,21 @@ mod tests {
     #[should_panic]
     fn buffer_oob_panics() {
         DeviceBuffer::zeros(2).get(2);
+    }
+
+    #[test]
+    fn flip_bits_xors_word_in_place() {
+        let b = DeviceBuffer::from_vec(vec![1.0, 1.5, 2.0]);
+        // Flipping bit 62 of 1.5 (exponent 0x3ff) sets the exponent to
+        // 0x7ff with a non-zero mantissa: NaN.
+        let corrupted = b.flip_bits(1, 1 << 62);
+        assert!(corrupted.is_nan());
+        assert!(b.get(1).is_nan());
+        assert_eq!(b.get(1).to_bits(), 1.5f64.to_bits() ^ (1 << 62));
+        // Neighbours untouched; flipping back restores the value.
+        assert_eq!(b.get(0), 1.0);
+        assert_eq!(b.get(2), 2.0);
+        assert_eq!(b.flip_bits(1, 1 << 62), 1.5);
     }
 
     #[test]

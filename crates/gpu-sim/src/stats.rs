@@ -25,6 +25,12 @@ pub struct KernelStats {
     pub gmem_stores: u64,
     /// Shared-memory accesses (loads + stores).
     pub smem_accesses: u64,
+    /// Dynamic FPU operations issued through the `BlockCtx` arithmetic
+    /// methods, in issue order. This is the count kernel-scope fault
+    /// injection ([`crate::inject::KernelFaultPlan`]) ticks along, so the
+    /// per-SM value from a clean run's launch log bounds `k_injection`
+    /// sampling exactly. Bulk `note_ops` estimates do **not** advance it.
+    pub fpu_ticks: u64,
     /// Thread blocks executed.
     pub blocks: u64,
     /// Total threads across all blocks.
@@ -51,6 +57,7 @@ impl KernelStats {
         self.gmem_loads += other.gmem_loads;
         self.gmem_stores += other.gmem_stores;
         self.smem_accesses += other.smem_accesses;
+        self.fpu_ticks += other.fpu_ticks;
         self.blocks += other.blocks;
         self.threads += other.threads;
     }

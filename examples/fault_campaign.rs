@@ -9,7 +9,7 @@ use aabft::baselines::{AAbftScheme, SeaAbft};
 use aabft::core::AAbftConfig;
 use aabft::faults::bitflip::BitRegion;
 use aabft::faults::campaign::{run_campaign, CampaignConfig};
-use aabft::faults::plan::FaultSpec;
+use aabft::faults::plan::{FaultSpec, InjectScope};
 use aabft::gpu::kernels::gemm::GemmTiling;
 use aabft::gpu::FaultSite;
 use aabft::matrix::gen::InputClass;
@@ -36,6 +36,7 @@ fn main() {
             block_size: bs,
             tiling,
             faults_per_run: 1,
+            scope: InjectScope::GemmSites,
         };
         let aabft = AAbftScheme::new(
             AAbftConfig::builder().block_size(bs).tiling(tiling).build().expect("valid config"),

@@ -17,4 +17,19 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Deterministic-seed fault-campaign smoke: exponent flips must stay >= 90%
+# detected on the plain scheme, and the self-healing executor must release
+# no critically wrong product (zero silent SDC) and exhaust no budget,
+# whether faults strike the GEMM arithmetic or the checksum rows in memory.
+echo "==> fault-campaign smoke (seeded)"
+aabft="cargo run --release -q -p aabft-cli --bin aabft --"
+$aabft campaign --n 32 --bs 8 --trials 100 --seed 7 --region exponent \
+    --scheme aabft --assert-min-detection 90
+$aabft campaign --n 32 --bs 8 --trials 100 --seed 7 --region exponent \
+    --selfheal true --scope sites \
+    --assert-zero-sdc true --assert-zero-unrecovered true
+$aabft campaign --n 32 --bs 8 --trials 60 --seed 11 --region exponent \
+    --selfheal true --scope mem-checksum \
+    --assert-zero-sdc true --assert-zero-unrecovered true
+
 echo "tier-1: all green"

@@ -5,7 +5,7 @@ use aabft::baselines::{AAbftScheme, SeaAbft, TmrGemm};
 use aabft::core::AAbftConfig;
 use aabft::faults::bitflip::BitRegion;
 use aabft::faults::campaign::{run_campaign, CampaignConfig};
-use aabft::faults::plan::FaultSpec;
+use aabft::faults::plan::{FaultSpec, InjectScope};
 use aabft::gpu::kernels::gemm::GemmTiling;
 use aabft::gpu::FaultSite;
 use aabft::matrix::gen::InputClass;
@@ -25,6 +25,7 @@ fn campaign(site: FaultSite, region: BitRegion, bits: u32, trials: usize) -> Cam
         block_size: 8,
         tiling: tiling(),
         faults_per_run: 1,
+        scope: InjectScope::GemmSites,
     }
 }
 

@@ -1,0 +1,152 @@
+//! End-to-end acceptance tests for verified self-healing execution: fault
+//! campaigns striking every pipeline kernel and device memory at rest (the
+//! checksum rows included) must end every trial either verified-correct or
+//! as an explicit `Unrecovered` refusal — never as silent data corruption —
+//! and one exhausted request in a batch must fail alone.
+
+use aabft::core::{AAbftConfig, AAbftGemm, BatchGemm, SelfHealingGemm};
+use aabft::faults::bitflip::BitRegion;
+use aabft::faults::campaign::{run_selfheal_campaign, CampaignConfig};
+use aabft::faults::plan::{FaultSpec, InjectScope, MemScope};
+use aabft::gpu::kernels::gemm::GemmTiling;
+use aabft::gpu::{Device, FaultScope, FaultSite, MemoryFaultPlan};
+use aabft::matrix::gen::InputClass;
+use aabft::matrix::Matrix;
+
+fn config() -> AAbftConfig {
+    AAbftConfig::builder()
+        .block_size(4)
+        .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+        .build()
+        .expect("valid test config")
+}
+
+fn campaign(scope: InjectScope, trials: usize) -> CampaignConfig {
+    CampaignConfig {
+        n: 16,
+        input: InputClass::UNIT,
+        spec: FaultSpec {
+            site: FaultSite::InnerAdd,
+            region: BitRegion::Exponent,
+            bits: 1,
+            fixed_bit: None,
+        },
+        trials,
+        seed: 0x5e1f_4ea1,
+        omega: 3.0,
+        block_size: 4,
+        tiling: GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 },
+        faults_per_run: 1,
+        scope,
+    }
+}
+
+/// The acceptance criterion of the self-healing executor: under faults in
+/// any pipeline kernel or any device buffer, every trial either releases a
+/// verified product (no critical deviation survives) or refuses explicitly.
+/// `mis_corrected == 0` is the zero-silent-SDC claim.
+#[test]
+fn every_scope_ends_verified_or_explicitly_unrecovered() {
+    let scopes = [
+        InjectScope::Kernel(FaultScope::Encode),
+        InjectScope::Kernel(FaultScope::Gemm),
+        InjectScope::Kernel(FaultScope::PMaxReduce),
+        InjectScope::Kernel(FaultScope::Check),
+        InjectScope::Kernel(FaultScope::Recompute),
+        InjectScope::Memory(MemScope::OperandA),
+        InjectScope::Memory(MemScope::OperandB),
+        InjectScope::Memory(MemScope::Product),
+        InjectScope::Memory(MemScope::ChecksumRows),
+    ];
+    let heal = SelfHealingGemm::new(AAbftGemm::new(config()));
+    let trials = 20;
+    for scope in scopes {
+        let report = run_selfheal_campaign(&heal, &campaign(scope, trials));
+        let s = report.stats;
+        assert_eq!(s.total(), trials as u64, "scope {}: every trial must be judged", scope.label());
+        assert_eq!(
+            s.mis_corrected, 0,
+            "scope {}: a released product was still critically wrong (silent SDC)",
+            scope.label()
+        );
+        assert_eq!(
+            s.unrecovered, 0,
+            "scope {}: single faults must be healed within the default budget",
+            scope.label()
+        );
+    }
+}
+
+/// Cross-checks the campaign verdicts against a direct run: a bit flip in
+/// the product's checksum rows (memory at rest, after the GEMM) heals and
+/// the released product matches an unfaulted reference.
+#[test]
+fn checksum_row_memory_fault_heals_to_the_clean_product() {
+    let heal = SelfHealingGemm::new(AAbftGemm::new(config()));
+    let a: Matrix = Matrix::from_fn(16, 16, |i, j| ((i * 5 + j) as f64 * 0.19).sin());
+    let b: Matrix = Matrix::from_fn(16, 16, |i, j| ((i + j * 3) as f64 * 0.23).cos());
+    let clean = heal.multiply(&Device::with_defaults(), &a, &b).expect("clean run heals trivially");
+    assert_eq!(clean.attempts, 0);
+
+    let device = Device::with_defaults();
+    let plan = heal.gemm().plan(16, 16, 16);
+    let word = plan.rows.checksum_line(1) * plan.cols.total + 2;
+    device.arm_memory_fault(MemoryFaultPlan {
+        buffer: "c",
+        word,
+        mask: 1 << 61,
+        after_phase: "gemm",
+    });
+    let healed = heal.multiply(&device, &a, &b).expect("checksum-row flip must heal");
+    assert_eq!(device.disarm_count(), 1, "the armed memory fault must have fired");
+    assert!(healed.attempts >= 1, "the flip must be detected and retried");
+    assert!(
+        healed.outcome.product.approx_eq(&clean.outcome.product, 1e-11),
+        "released product must match the unfaulted reference"
+    );
+}
+
+/// Fault isolation in the batch engine: the request whose recovery budget
+/// is exhausted fails alone with an explicit error while its siblings'
+/// products stay bit-identical to an unfaulted batch.
+#[test]
+fn exhausted_batch_request_fails_alone() {
+    let requests: Vec<(Matrix<f64>, Matrix<f64>)> = (0..4)
+        .map(|r| {
+            (
+                Matrix::from_fn(16, 16, |i, j| ((i + j * 2 + r) as f64 * 0.31).sin()),
+                Matrix::from_fn(16, 16, |i, j| ((i * 3 + j + r) as f64 * 0.17).cos()),
+            )
+        })
+        .collect();
+    let clean: Vec<Matrix<f64>> = BatchGemm::new(AAbftGemm::new(config()))
+        .execute_verified(&Device::with_defaults(), &requests)
+        .into_iter()
+        .map(|r| r.expect("clean batch verifies").outcome.product)
+        .collect();
+
+    // Budget 0: the first detected error is immediately unrecoverable.
+    let batch = BatchGemm::new(AAbftGemm::new(config())).with_heal_budget(0);
+    let device = Device::with_defaults();
+    let plan = batch.gemm().plan(16, 16, 16);
+    device.arm_memory_fault(MemoryFaultPlan {
+        buffer: "c",
+        word: 2 * plan.cols.total + 3,
+        mask: 1 << 62,
+        after_phase: "gemm",
+    });
+    let results = batch.execute_verified(&device, &requests);
+    assert_eq!(results.len(), 4);
+    assert!(
+        matches!(results[0], Err(aabft::core::AbftError::Unrecovered { .. })),
+        "the struck request must fail explicitly, got {:?}",
+        results[0].as_ref().map(|h| h.attempts)
+    );
+    for (i, r) in results.iter().enumerate().skip(1) {
+        let healed = r.as_ref().expect("sibling requests must succeed");
+        assert_eq!(
+            healed.outcome.product, clean[i],
+            "sibling request {i} must stay bit-identical to the unfaulted batch"
+        );
+    }
+}
