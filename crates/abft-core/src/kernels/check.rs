@@ -14,8 +14,9 @@ use crate::encoding::AugmentedLayout;
 use crate::kernels::buffers::PMaxBuffers;
 use crate::pmax::upper_bound_y;
 use aabft_gpu_sim::device::{BlockCtx, Kernel};
-use aabft_gpu_sim::dim::GridDim;
+use aabft_gpu_sim::dim::{BlockIdx, GridDim};
 use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::stats::KernelStats;
 use aabft_numerics::RoundingModel;
 
 /// Modelled utilization of the `BS × 1`-thread checking kernel.
@@ -125,6 +126,17 @@ impl<'a> CheckKernel<'a> {
         ctx.note_ops(4, 8, 2);
         checksum_epsilon(self.inner, y, self.omega, &self.model)
     }
+
+    /// Clean-path twin of [`CheckKernel::load_entry`] (no per-op counting).
+    fn load_entry_clean(pm: &PMaxBuffers, line: usize) -> (Vec<f64>, Vec<usize>) {
+        let mut vals = Vec::with_capacity(pm.p);
+        let mut idxs = Vec::with_capacity(pm.p);
+        for s in 0..pm.p {
+            vals.push(pm.final_vals.get(pm.final_index(line, s)));
+            idxs.push(pm.final_idxs.get(pm.final_index(line, s)) as usize);
+        }
+        (vals, idxs)
+    }
 }
 
 impl Kernel for CheckKernel<'_> {
@@ -222,6 +234,88 @@ impl Kernel for CheckKernel<'_> {
             diag.set(d + 1, max_y);
             diag.set(d + 2, max_eps);
         }
+    }
+
+    fn supports_clean_path(&self) -> bool {
+        true
+    }
+
+    fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        let bs = self.rows.block_size;
+        let block_j = block.x;
+        let block_i = block.y;
+        let (row0, col0) = (block_i * bs, block_j * bs);
+        let width = self.cols.total;
+
+        let cs_row_line = self.rows.checksum_line(block_i);
+        let (a_cs_vals, a_cs_idxs) = Self::load_entry_clean(self.pmax_a, cs_row_line);
+        let (mut max_resid, mut max_y, mut max_eps) = (0.0f64, 0.0f64, 0.0f64);
+
+        let mut col_mask = 0u64;
+        for tid in 0..bs {
+            let j = col0 + tid;
+            let mut reference = 0.0;
+            for i in 0..bs {
+                reference += self.c.get((row0 + i) * width + j);
+            }
+            let checksum = self.c.get(cs_row_line * width + j);
+            let (b_vals, b_idxs) = Self::load_entry_clean(self.pmax_b, j);
+            let y = upper_bound_y(&a_cs_vals, &a_cs_idxs, &b_vals, &b_idxs);
+            let eps = checksum_epsilon(self.inner, y, self.omega, &self.model);
+            let diff = reference - checksum;
+            max_resid = max_resid.max(diff.abs());
+            max_y = max_y.max(y);
+            max_eps = max_eps.max(eps);
+            if !(diff.is_finite() && y.is_finite() && eps.is_finite()) || diff.abs() > eps {
+                col_mask |= 1 << tid;
+            }
+        }
+
+        let cs_col_line = self.cols.checksum_line(block_j);
+        let (b_cs_vals, b_cs_idxs) = Self::load_entry_clean(self.pmax_b, cs_col_line);
+        let mut row_mask = 0u64;
+        for tid in 0..bs {
+            let i = row0 + tid;
+            let mut reference = 0.0;
+            for j in 0..bs {
+                reference += self.c.get(i * width + col0 + j);
+            }
+            let checksum = self.c.get(i * width + cs_col_line);
+            let (a_vals, a_idxs) = Self::load_entry_clean(self.pmax_a, i);
+            let y = upper_bound_y(&a_vals, &a_idxs, &b_cs_vals, &b_cs_idxs);
+            let eps = checksum_epsilon(self.inner, y, self.omega, &self.model);
+            let diff = reference - checksum;
+            max_resid = max_resid.max(diff.abs());
+            max_y = max_y.max(y);
+            max_eps = max_eps.max(eps);
+            if !(diff.is_finite() && y.is_finite() && eps.is_finite()) || diff.abs() > eps {
+                row_mask |= 1 << tid;
+            }
+        }
+
+        let slot = (block_i * self.cols.blocks + block_j) * REPORT_WORDS;
+        self.report.set(slot, col_mask as f64);
+        self.report.set(slot + 1, row_mask as f64);
+        if let Some(diag) = self.diag {
+            let d = (block_i * self.cols.blocks + block_j) * DIAG_WORDS;
+            diag.set(d, max_resid);
+            diag.set(d + 1, max_y);
+            diag.set(d + 2, max_eps);
+        }
+
+        // Closed-form per-block stats: 2·bs checksum lines, each bs reference
+        // adds, one checksum load, one p-max entry, the bound/ε evaluation
+        // (note_ops: p²+2 fmul + 4 fcmp for y, then 4/8/2 for ε) and the
+        // residual sub + abs (DESIGN.md §11).
+        let (bs, p) = (bs as u64, self.pmax_a.p as u64);
+        stats.threads += bs;
+        stats.gmem_loads += 4 * p + 2 * bs * (bs + 1 + 2 * p);
+        stats.gmem_stores += 2;
+        stats.fadd += 2 * bs * (bs + 5);
+        stats.fmul += 2 * bs * (p * p + 10);
+        stats.fcmp += 2 * bs * 7;
+        stats.smem_accesses += bs * bs;
+        stats.fpu_ticks += 2 * bs * (bs + 2);
     }
 }
 

@@ -11,13 +11,54 @@
 use super::buffers::PMaxBuffers;
 use crate::encoding::AugmentedLayout;
 use aabft_gpu_sim::device::{BlockCtx, Kernel};
-use aabft_gpu_sim::dim::GridDim;
+use aabft_gpu_sim::dim::{BlockIdx, GridDim};
 use aabft_gpu_sim::mem::{DeviceBuffer, SharedTile};
+use aabft_gpu_sim::stats::KernelStats;
+use std::cell::RefCell;
 
 /// Modelled utilization of the `BS × 1`-thread encoding kernels: low
 /// occupancy and strided access keep them far from peak (the paper's
 /// motivation for fusing them with the p-max search).
 pub const ENCODE_UTILIZATION: f64 = 0.008;
+
+/// Per-worker-thread encode scratch (the `BS × BS` absolute-value tile, the
+/// checksum accumulators and the checksum-line copy), reused across blocks
+/// instead of reallocated per `run_block`.
+#[derive(Debug)]
+struct EncodeScratch {
+    tile: SharedTile,
+    sums: Vec<f64>,
+    cs_abs: Vec<f64>,
+}
+
+impl EncodeScratch {
+    const fn new() -> Self {
+        EncodeScratch { tile: SharedTile::empty(), sums: Vec::new(), cs_abs: Vec::new() }
+    }
+
+    fn reset(&mut self, bs: usize) {
+        self.tile.reset(bs, bs);
+        self.sums.clear();
+        self.sums.resize(bs, 0.0);
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<EncodeScratch> = const { RefCell::new(EncodeScratch::new()) };
+}
+
+/// Closed-form per-block stats of either encoding kernel: one add + one abs
+/// per element, then `p` scan-and-zero rounds over the tile and the checksum
+/// line (derivation in DESIGN.md §11).
+fn encode_block_stats(stats: &mut KernelStats, bs: u64, p: u64) {
+    stats.threads += bs;
+    stats.gmem_loads += bs * bs;
+    stats.gmem_stores += bs + p * (2 * bs + 2);
+    stats.fadd += bs * bs;
+    stats.fcmp += bs * bs + p * (bs * bs + bs);
+    stats.smem_accesses += bs * bs + bs + p * bs * bs;
+    stats.fpu_ticks += 2 * bs * bs + p * (bs * bs + bs);
+}
 
 /// Encoding kernel for the `A` operand: writes the per-block-row column
 /// checksums into the augmented matrix and emits p-max partials per
@@ -70,11 +111,14 @@ impl Kernel for EncodeColumnsKernel<'_> {
         let (row0, col0) = (block_i * bs, block_k * bs);
         ctx.declare_threads(bs);
 
+        SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        scratch.reset(bs);
+        let EncodeScratch { tile, sums, cs_abs } = &mut *scratch;
+
         // Phase 1 (Fig. 2): accumulate column checksums top to bottom,
         // replacing visited elements by their absolute values in shared
         // memory. Thread `tid` owns column `col0 + tid`.
-        let mut tile = SharedTile::new(bs, bs);
-        let mut sums = vec![0.0f64; bs];
         for i in 0..bs {
             for (tid, sum) in sums.iter_mut().enumerate() {
                 let v = ctx.load(self.a, (row0 + i) * self.cols + col0 + tid);
@@ -90,7 +134,8 @@ impl Kernel for EncodeColumnsKernel<'_> {
         // Phase 2 (Fig. 3): p rounds of scan-and-zero per row; thread `tid`
         // owns row `row0 + tid`. The checksum line participates through its
         // absolute values (Alg. 1's `localSums` / `maxSum`).
-        let mut cs_abs: Vec<f64> = sums.iter().map(|&s| s.abs()).collect();
+        cs_abs.clear();
+        cs_abs.extend(sums.iter().map(|&s| s.abs()));
         ctx.note_smem(bs as u64);
         for slot in 0..self.pmax.p {
             for tid in 0..bs {
@@ -125,6 +170,71 @@ impl Kernel for EncodeColumnsKernel<'_> {
             ctx.store(&self.pmax.partial_idxs, pi, (col0 + max_j) as f64);
             cs_abs[max_j] = 0.0;
         }
+        });
+    }
+
+    fn supports_clean_path(&self) -> bool {
+        true
+    }
+
+    fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        let bs = self.rows.block_size;
+        let block_i = block.y;
+        let block_k = block.x;
+        let (row0, col0) = (block_i * bs, block_k * bs);
+
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            scratch.reset(bs);
+            let EncodeScratch { tile, sums, cs_abs } = &mut *scratch;
+            let tile = tile.as_mut_slice();
+
+            for i in 0..bs {
+                for (tid, sum) in sums.iter_mut().enumerate() {
+                    let v = self.a.get((row0 + i) * self.cols + col0 + tid);
+                    *sum += v;
+                    tile[i * bs + tid] = v.abs();
+                }
+            }
+            for (tid, &sum) in sums.iter().enumerate() {
+                self.a.set(self.rows.checksum_line(block_i) * self.cols + col0 + tid, sum);
+            }
+
+            cs_abs.clear();
+            cs_abs.extend(sums.iter().map(|&s| s.abs()));
+            for slot in 0..self.pmax.p {
+                for tid in 0..bs {
+                    let mut max_val = 0.0f64;
+                    let mut max_j = 0usize;
+                    for (j, &v) in tile[tid * bs..(tid + 1) * bs].iter().enumerate() {
+                        // Same max-scan predicate as the instrumented path.
+                        if max_val.max(v) > max_val {
+                            max_val = v;
+                            max_j = j;
+                        }
+                    }
+                    let pi = self.pmax.partial_index(row0 + tid, block_k, slot);
+                    self.pmax.partial_vals.set(pi, max_val);
+                    self.pmax.partial_idxs.set(pi, (col0 + max_j) as f64);
+                    tile[tid * bs + max_j] = 0.0;
+                }
+                let mut max_val = 0.0f64;
+                let mut max_j = 0usize;
+                for (j, &v) in cs_abs.iter().enumerate() {
+                    if max_val.max(v) > max_val {
+                        max_val = v;
+                        max_j = j;
+                    }
+                }
+                let pi =
+                    self.pmax.partial_index(self.rows.checksum_line(block_i), block_k, slot);
+                self.pmax.partial_vals.set(pi, max_val);
+                self.pmax.partial_idxs.set(pi, (col0 + max_j) as f64);
+                cs_abs[max_j] = 0.0;
+            }
+        });
+
+        encode_block_stats(stats, bs as u64, self.pmax.p as u64);
     }
 }
 
@@ -180,9 +290,12 @@ impl Kernel for EncodeRowsKernel<'_> {
         let width = self.cols.total;
         ctx.declare_threads(bs);
 
+        SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        scratch.reset(bs);
+        let EncodeScratch { tile, sums, cs_abs } = &mut *scratch;
+
         // Phase 1: row checksums; thread `tid` owns row `row0 + tid`.
-        let mut tile = SharedTile::new(bs, bs);
-        let mut sums = vec![0.0f64; bs];
         for j in 0..bs {
             for (tid, sum) in sums.iter_mut().enumerate() {
                 let v = ctx.load(self.b, (row0 + tid) * width + col0 + j);
@@ -196,7 +309,8 @@ impl Kernel for EncodeRowsKernel<'_> {
         }
 
         // Phase 2: p-max per column; thread `tid` owns column `col0 + tid`.
-        let mut cs_abs: Vec<f64> = sums.iter().map(|&s| s.abs()).collect();
+        cs_abs.clear();
+        cs_abs.extend(sums.iter().map(|&s| s.abs()));
         ctx.note_smem(bs as u64);
         for slot in 0..self.pmax.p {
             for tid in 0..bs {
@@ -231,6 +345,72 @@ impl Kernel for EncodeRowsKernel<'_> {
             ctx.store(&self.pmax.partial_idxs, pi, (row0 + max_i) as f64);
             cs_abs[max_i] = 0.0;
         }
+        });
+    }
+
+    fn supports_clean_path(&self) -> bool {
+        true
+    }
+
+    fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        let bs = self.cols.block_size;
+        let block_k = block.y;
+        let block_j = block.x;
+        let (row0, col0) = (block_k * bs, block_j * bs);
+        let width = self.cols.total;
+
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            scratch.reset(bs);
+            let EncodeScratch { tile, sums, cs_abs } = &mut *scratch;
+            let tile = tile.as_mut_slice();
+
+            for j in 0..bs {
+                for (tid, sum) in sums.iter_mut().enumerate() {
+                    let v = self.b.get((row0 + tid) * width + col0 + j);
+                    *sum += v;
+                    tile[tid * bs + j] = v.abs();
+                }
+            }
+            for (tid, &sum) in sums.iter().enumerate() {
+                self.b.set((row0 + tid) * width + self.cols.checksum_line(block_j), sum);
+            }
+
+            cs_abs.clear();
+            cs_abs.extend(sums.iter().map(|&s| s.abs()));
+            for slot in 0..self.pmax.p {
+                for tid in 0..bs {
+                    let mut max_val = 0.0f64;
+                    let mut max_i = 0usize;
+                    for i in 0..bs {
+                        let v = tile[i * bs + tid];
+                        if max_val.max(v) > max_val {
+                            max_val = v;
+                            max_i = i;
+                        }
+                    }
+                    let pi = self.pmax.partial_index(col0 + tid, block_k, slot);
+                    self.pmax.partial_vals.set(pi, max_val);
+                    self.pmax.partial_idxs.set(pi, (row0 + max_i) as f64);
+                    tile[max_i * bs + tid] = 0.0;
+                }
+                let mut max_val = 0.0f64;
+                let mut max_i = 0usize;
+                for (i, &v) in cs_abs.iter().enumerate() {
+                    if max_val.max(v) > max_val {
+                        max_val = v;
+                        max_i = i;
+                    }
+                }
+                let pi =
+                    self.pmax.partial_index(self.cols.checksum_line(block_j), block_k, slot);
+                self.pmax.partial_vals.set(pi, max_val);
+                self.pmax.partial_idxs.set(pi, (row0 + max_i) as f64);
+                cs_abs[max_i] = 0.0;
+            }
+        });
+
+        encode_block_stats(stats, bs as u64, self.pmax.p as u64);
     }
 }
 

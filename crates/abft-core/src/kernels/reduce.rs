@@ -7,10 +7,17 @@
 
 use super::buffers::PMaxBuffers;
 use aabft_gpu_sim::device::{BlockCtx, Kernel};
-use aabft_gpu_sim::dim::GridDim;
+use aabft_gpu_sim::dim::{BlockIdx, GridDim};
+use aabft_gpu_sim::stats::KernelStats;
+use std::cell::RefCell;
 
 /// Modelled utilization of the reduction (tiny, latency-bound kernel).
 pub const REDUCE_UTILIZATION: f64 = 0.01;
+
+thread_local! {
+    /// Per-worker-thread candidate list, reused across blocks.
+    static CAND: RefCell<Vec<(f64, usize)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Reduces per-block p-max partials to per-line global tables. One thread
 /// block handles one line.
@@ -48,8 +55,9 @@ impl Kernel for ReducePMaxKernel<'_> {
         let pm = self.pmax;
         ctx.declare_threads(pm.p);
 
-        // Load all candidates for this line.
-        let mut cand: Vec<(f64, usize)> = Vec::with_capacity(pm.blocks * pm.p);
+        CAND.with(|cand| {
+        let mut cand = cand.borrow_mut();
+        cand.clear();
         for b in 0..pm.blocks {
             for s in 0..pm.p {
                 let i = pm.partial_index(line, b, s);
@@ -76,6 +84,49 @@ impl Kernel for ReducePMaxKernel<'_> {
             ctx.store(&pm.final_idxs, pm.final_index(line, slot), k as f64);
             cand[best].0 = -1.0; // below any absolute value
         }
+        });
+    }
+
+    fn supports_clean_path(&self) -> bool {
+        true
+    }
+
+    fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        let line = block.x;
+        let pm = self.pmax;
+
+        CAND.with(|cand| {
+            let mut cand = cand.borrow_mut();
+            cand.clear();
+            for b in 0..pm.blocks {
+                for s in 0..pm.p {
+                    let i = pm.partial_index(line, b, s);
+                    cand.push((pm.partial_vals.get(i), pm.partial_idxs.get(i) as usize));
+                }
+            }
+            for slot in 0..pm.p {
+                let mut best = 0usize;
+                for (j, &(v, _)) in cand.iter().enumerate() {
+                    let cur = cand[best].0;
+                    // Same max-scan predicate as the instrumented path
+                    // (first-found wins ties).
+                    if cur.max(v) > cur {
+                        best = j;
+                    }
+                }
+                let (v, k) = cand[best];
+                pm.final_vals.set(pm.final_index(line, slot), v);
+                pm.final_idxs.set(pm.final_index(line, slot), k as f64);
+                cand[best].0 = -1.0;
+            }
+        });
+
+        let (blocks, p) = (pm.blocks as u64, pm.p as u64);
+        stats.threads += p;
+        stats.gmem_loads += 2 * blocks * p;
+        stats.gmem_stores += 2 * p;
+        stats.fcmp += p * blocks * p;
+        stats.fpu_ticks += p * blocks * p;
     }
 }
 

@@ -13,8 +13,9 @@ use crate::check::CheckReport;
 use crate::correct::{correct_located_errors, Correction};
 use crate::encoding::FullChecksummed;
 use aabft_gpu_sim::device::{BlockCtx, Kernel};
-use aabft_gpu_sim::dim::GridDim;
+use aabft_gpu_sim::dim::{BlockIdx, GridDim};
 use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::stats::KernelStats;
 
 /// What the pipeline should do about flagged errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -174,6 +175,49 @@ impl Kernel for RecomputeBlocksKernel<'_> {
             let v = self.dot(ctx, row, cs_col);
             ctx.store(self.c, row * self.c_width + cs_col, v);
         }
+    }
+
+    fn supports_clean_path(&self) -> bool {
+        true
+    }
+
+    fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        let (bi, bj) = self.targets[block.x];
+        let bs = self.bs;
+        let dot = |row: usize, col: usize| {
+            let mut s = 0.0;
+            for k in 0..self.inner {
+                s += self.a.get(row * self.inner + k) * self.b.get(k * self.c_width + col);
+            }
+            s
+        };
+        for i in 0..bs {
+            for j in 0..bs {
+                let (row, col) = (bi * bs + i, bj * bs + j);
+                self.c.set(row * self.c_width + col, dot(row, col));
+            }
+        }
+        let cs_row = self.cs_row_base + bi;
+        for j in 0..bs {
+            let col = bj * bs + j;
+            self.c.set(cs_row * self.c_width + col, dot(cs_row, col));
+        }
+        let cs_col = self.cs_col_base + bj;
+        for i in 0..bs {
+            let row = bi * bs + i;
+            self.c.set(row * self.c_width + cs_col, dot(row, cs_col));
+        }
+
+        // bs² data dots + bs checksum-row dots + bs checksum-column dots,
+        // each `inner` (2 loads, mul, add) long plus one store.
+        let d = (bs * bs + 2 * bs) as u64;
+        let inner = self.inner as u64;
+        stats.threads += bs as u64;
+        stats.gmem_loads += 2 * d * inner;
+        stats.gmem_stores += d;
+        stats.fmul += d * inner;
+        stats.fadd += d * inner;
+        stats.fpu_ticks += 2 * d * inner;
     }
 }
 

@@ -1,0 +1,112 @@
+//! Perf-trajectory benchmark: clean-path vs instrumented protected multiply.
+//!
+//! Times the full A-ABFT pipeline (encode → gemm → reduce → check) on a
+//! fault-free device, where every launch takes the clean path, against the
+//! same device with the instrumented per-op path forced — and proves on the
+//! way that both paths produce bit-identical products and that armed fault
+//! plans disable the clean path. Results land in `BENCH_gemm.json` at the
+//! repo root so subsequent PRs can track regressions.
+//!
+//! ```text
+//! cargo run --release -p aabft-bench --bin bench_gemm
+//! cargo run --release -p aabft-bench --bin bench_gemm -- \
+//!     --sizes 256,512,1024 --reps 3 --json BENCH_gemm.json --assert-speedup 5
+//! ```
+
+use aabft_bench::args::Args;
+use aabft_bench::jsonout::{write_array, JsonObject};
+use aabft_core::{AAbftConfig, AAbftGemm};
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::inject::{FaultScope, KernelFaultPlan};
+use aabft_matrix::Matrix;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.sizes("sizes", &[256, 512, 1024]);
+    let reps = args.get("reps", 3usize);
+    let json = args.get("json", "BENCH_gemm.json".to_string());
+    let assert_speedup = args.get("assert-speedup", 0.0f64);
+    let assert_dispatch = args.get("assert-dispatch", false);
+
+    let gemm = AAbftGemm::new(AAbftConfig::default());
+    let mut records = Vec::new();
+
+    println!("Protected multiply, clean path vs instrumented (best of {reps}):");
+    println!("{:>6} {:>12} {:>14} {:>9} {:>8}", "n", "clean ms", "instrum. ms", "speedup", "GFLOP/s");
+    for &n in &sizes {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) as f64 * 0.017).sin());
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) as f64 * 0.013).cos());
+
+        let clean_dev = Device::with_defaults();
+        let mut clean_product = None;
+        let clean_s = best_of(reps, || {
+            clean_product = Some(gemm.multiply(&clean_dev, &a, &b).product);
+        });
+        let clean_launches = clean_dev.clean_path_launches();
+        assert!(clean_launches > 0, "fault-free run must engage the clean path");
+
+        let inst_dev = Device::with_defaults();
+        inst_dev.set_force_instrumented(true);
+        let mut inst_product = None;
+        let inst_s = best_of(reps, || {
+            inst_product = Some(gemm.multiply(&inst_dev, &a, &b).product);
+        });
+        assert_eq!(inst_dev.clean_path_launches(), 0, "forced device must stay instrumented");
+
+        let (cp, ip) = (clean_product.expect("ran"), inst_product.expect("ran"));
+        assert!(cp.approx_eq(&ip, 0.0), "clean and instrumented products must be bit-identical");
+
+        if assert_dispatch {
+            // A plan that can never fire still must force the instrumented
+            // path for as long as it is armed.
+            clean_dev.arm_kernel_fault(KernelFaultPlan {
+                scope: FaultScope::Any,
+                sm: 0,
+                k_injection: u64::MAX,
+                mask: 1,
+            });
+            gemm.multiply(&clean_dev, &a, &b);
+            clean_dev.disarm_count();
+            assert_eq!(
+                clean_dev.clean_path_launches(),
+                clean_launches,
+                "armed fault plan must disable the clean path"
+            );
+        }
+
+        let speedup = inst_s / clean_s;
+        let gflops = 2.0 * (n as f64).powi(3) / clean_s / 1e9;
+        println!("{n:>6} {:>12.3} {:>14.3} {speedup:>8.2}x {gflops:>8.2}", clean_s * 1e3, inst_s * 1e3);
+        records.push(
+            JsonObject::new()
+                .int("n", n as u64)
+                .num("clean_ms", clean_s * 1e3)
+                .num("instrumented_ms", inst_s * 1e3)
+                .num("speedup", speedup)
+                .num("host_gflops", gflops)
+                .int("reps", reps as u64)
+                .int("clean_launches_per_run", clean_launches / reps.max(1) as u64),
+        );
+        if assert_speedup > 0.0 {
+            assert!(
+                speedup >= assert_speedup,
+                "speedup {speedup:.2}x at n = {n} below required {assert_speedup}x"
+            );
+        }
+    }
+
+    write_array(std::path::Path::new(&json), &records);
+    println!("wrote {json}");
+}

@@ -21,7 +21,7 @@ use crate::stream::{Event, StreamId, StreamTable};
 use aabft_obs::Obs;
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Hardware-shape parameters of the simulated device.
@@ -153,6 +153,11 @@ pub struct Device {
     /// Observability sink: kernel spans and hardware counters land here.
     /// Defaults to the process-global context; tests attach fresh ones.
     obs: Arc<Obs>,
+    /// Number of launches that took the clean (uninstrumented) path.
+    clean_path_launches: AtomicU64,
+    /// When set, every launch uses the instrumented per-op path even if no
+    /// fault plan is armed (path-equivalence tests and benchmarks).
+    force_instrumented: AtomicBool,
 }
 
 impl Device {
@@ -177,6 +182,8 @@ impl Device {
             launch_seq: AtomicU64::new(0),
             streams: Mutex::new(StreamTable::default()),
             obs: aabft_obs::global(),
+            clean_path_launches: AtomicU64::new(0),
+            force_instrumented: AtomicBool::new(false),
         }
     }
 
@@ -199,6 +206,24 @@ impl Device {
     /// The observability context this device reports into.
     pub fn obs(&self) -> &Arc<Obs> {
         &self.obs
+    }
+
+    /// How many launches so far took the clean (uninstrumented) fast path.
+    /// Zero whenever any fault plan was armed across all launches.
+    pub fn clean_path_launches(&self) -> u64 {
+        self.clean_path_launches.load(Ordering::Relaxed)
+    }
+
+    /// Forces every launch through the instrumented per-op path regardless
+    /// of fault-plan state. Benchmarks and path-equivalence tests use this
+    /// to obtain the reference execution on an otherwise clean device.
+    pub fn set_force_instrumented(&self, force: bool) {
+        self.force_instrumented.store(force, Ordering::Relaxed);
+    }
+
+    /// Whether the instrumented path is currently forced.
+    pub fn force_instrumented(&self) -> bool {
+        self.force_instrumented.load(Ordering::Relaxed)
     }
 
     /// Arms a fault injection; it strikes (at most once) during subsequent
@@ -393,6 +418,15 @@ impl Device {
             .filter(|s| s.plan.scope.matches(kernel.phase()))
             .cloned()
             .collect();
+        // Clean-path dispatch: a launch may skip per-op instrumentation only
+        // when *no* fault plan of any kind is armed on the device — not just
+        // none matching this phase — so campaigns always observe the
+        // instrumented execution they calibrate against.
+        let clean = kernel.supports_clean_path()
+            && !self.force_instrumented.load(Ordering::Relaxed)
+            && injections.is_empty()
+            && self.kernel_faults.lock().is_empty()
+            && self.memory_faults.lock().is_empty();
         let num_sms = self.config.num_sms;
         let max_modules = self.config.max_modules;
         let blocks: Vec<BlockIdx> = grid.iter().collect();
@@ -414,9 +448,24 @@ impl Device {
         let per_sm: Vec<KernelStats> = (0..num_sms)
             .into_par_iter()
             .map(|sm_id| {
+                let mut stats = KernelStats::default();
+                if clean {
+                    // Fast path: no dynamic-instance counters to maintain and
+                    // no injection tables to probe; blocks account their work
+                    // in closed form into a per-block stats record that keeps
+                    // the per-SM split identical to the instrumented path.
+                    for (linear, &block) in blocks.iter().enumerate() {
+                        if linear % num_sms != sm_id {
+                            continue;
+                        }
+                        let mut block_stats = KernelStats { blocks: 1, ..Default::default() };
+                        kernel.run_block_clean(block, &mut block_stats);
+                        stats.merge(&block_stats);
+                    }
+                    return stats;
+                }
                 let mut counts_guard = self.sm_counts[sm_id].lock();
                 debug_assert_eq!(counts_guard.len(), max_modules);
-                let mut stats = KernelStats::default();
                 for (linear, &block) in blocks.iter().enumerate() {
                     if linear % num_sms != sm_id {
                         continue;
@@ -444,6 +493,10 @@ impl Device {
         span.add_attr("blocks", total.blocks);
         drop(span);
         let m = &self.obs.metrics;
+        if clean {
+            self.clean_path_launches.fetch_add(1, Ordering::Relaxed);
+            m.counter_inc("sim.clean_launches");
+        }
         m.counter_inc("sim.launches");
         m.counter_add("sim.flops", total.flops());
         m.counter_add("sim.gmem_bytes", total.gmem_bytes());
@@ -485,6 +538,22 @@ pub trait Kernel: Sync {
     }
     /// Executes one thread block.
     fn run_block(&self, ctx: &mut BlockCtx<'_>);
+    /// Whether this kernel provides a clean-path [`Kernel::run_block_clean`]
+    /// that is bit-identical to [`Kernel::run_block`] under the current
+    /// kernel configuration (e.g. only for round-to-nearest arithmetic).
+    /// The device only dispatches to the clean path when this returns `true`
+    /// *and* no fault plan of any kind is armed.
+    fn supports_clean_path(&self) -> bool {
+        false
+    }
+    /// Executes one thread block on the clean path: identical arithmetic in
+    /// identical order, but operating on buffers directly and accounting
+    /// `stats` (including `fpu_ticks`) in closed form instead of per-op.
+    /// `stats` arrives with `blocks == 1` already set, mirroring the
+    /// instrumented per-block context.
+    fn run_block_clean(&self, _block: BlockIdx, _stats: &mut KernelStats) {
+        unreachable!("kernel declares supports_clean_path() but provides no run_block_clean()")
+    }
     /// Fraction of peak FP throughput this kernel can reach (occupancy /
     /// utilization class used by the performance model). Defaults to a
     /// well-utilised compute kernel.
@@ -975,6 +1044,80 @@ mod tests {
             out.to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    struct DualFill<'a> {
+        out: &'a DeviceBuffer,
+    }
+    impl Kernel for DualFill<'_> {
+        fn name(&self) -> &'static str {
+            "dualfill"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let i = ctx.block().y * 4 + ctx.block().x;
+            let v = ctx.mul(i as f64, 2.0);
+            ctx.store(self.out, i, v);
+        }
+        fn supports_clean_path(&self) -> bool {
+            true
+        }
+        fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+            let i = block.y * 4 + block.x;
+            self.out.set(i, i as f64 * 2.0);
+            stats.fmul += 1;
+            stats.fpu_ticks += 1;
+            stats.gmem_stores += 1;
+        }
+    }
+
+    #[test]
+    fn clean_path_engages_only_when_nothing_is_armed() {
+        use crate::inject::{FaultScope, KernelFaultPlan, MemoryFaultPlan};
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let out = DeviceBuffer::zeros(8);
+        let clean = device.launch(GridDim::new(4, 2), &DualFill { out: &out });
+        assert_eq!(device.clean_path_launches(), 1);
+        let clean_vals = out.to_vec();
+
+        device.set_force_instrumented(true);
+        let forced = device.launch(GridDim::new(4, 2), &DualFill { out: &out });
+        device.set_force_instrumented(false);
+        assert_eq!(device.clean_path_launches(), 1, "forced launch stays instrumented");
+        assert_eq!(clean, forced, "closed-form stats match per-op accounting");
+        assert_eq!(clean_vals, out.to_vec());
+        let log = device.take_log();
+        assert_eq!(log[0].per_sm, log[1].per_sm, "per-SM split matches too");
+
+        // Any armed plan — GEMM-site, kernel-scope or memory — forces the
+        // instrumented path, even when its scope can never match.
+        device.arm_kernel_fault(KernelFaultPlan {
+            scope: FaultScope::Encode,
+            sm: 0,
+            k_injection: 1,
+            mask: 1,
+        });
+        device.launch(GridDim::new(4, 2), &DualFill { out: &out });
+        device.disarm_count();
+        device.arm_memory_fault(MemoryFaultPlan {
+            buffer: "unused",
+            word: 0,
+            mask: 1,
+            after_phase: "never",
+        });
+        device.launch(GridDim::new(4, 2), &DualFill { out: &out });
+        device.disarm_count();
+        assert_eq!(device.clean_path_launches(), 1);
+
+        device.launch(GridDim::new(4, 2), &DualFill { out: &out });
+        assert_eq!(device.clean_path_launches(), 2, "clean path resumes after disarm");
+    }
+
+    #[test]
+    fn kernels_without_clean_path_always_instrument() {
+        let device = Device::with_defaults();
+        let out = DeviceBuffer::zeros(8);
+        device.launch(GridDim::new(4, 2), &FillKernel { out: &out });
+        assert_eq!(device.clean_path_launches(), 0);
     }
 
     #[test]

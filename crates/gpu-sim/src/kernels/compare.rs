@@ -6,8 +6,9 @@
 //! count to a per-block output slot; the host reduces those counts.
 
 use crate::device::{BlockCtx, Kernel};
-use crate::dim::GridDim;
+use crate::dim::{BlockIdx, GridDim};
 use crate::mem::DeviceBuffer;
+use crate::stats::KernelStats;
 
 /// Compares two equal-length buffers; block `i` scans chunk `i` and writes
 /// its mismatch count (as an f64 word) to `counts[i]`.
@@ -80,6 +81,30 @@ impl Kernel for CompareKernel<'_> {
             }
         }
         ctx.store(self.counts, b, mismatches as f64);
+    }
+
+    fn supports_clean_path(&self) -> bool {
+        true
+    }
+
+    fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        let b = block.x;
+        let start = b * self.chunk;
+        let end = (start + self.chunk).min(self.x.len());
+        let mut mismatches = 0u64;
+        for i in start..end {
+            if (self.x.get(i) - self.y.get(i)).abs() > self.tolerance {
+                mismatches += 1;
+            }
+        }
+        self.counts.set(b, mismatches as f64);
+        let e = (end - start) as u64;
+        stats.threads += 32.min(self.chunk).max(1) as u64;
+        stats.gmem_loads += 2 * e;
+        stats.gmem_stores += 1;
+        stats.fadd += e;
+        stats.fcmp += e;
+        stats.fpu_ticks += 2 * e;
     }
 }
 

@@ -9,10 +9,40 @@
 //! the inner-loop multiply, the inner-loop add, and the final merge add.
 
 use crate::device::{BlockCtx, Kernel};
-use crate::dim::GridDim;
+use crate::dim::{BlockIdx, GridDim};
 use crate::inject::FaultSite;
 use crate::mem::{DeviceBuffer, SharedTile};
+use crate::stats::KernelStats;
 use aabft_numerics::{MulMode, RoundingMode};
+use std::cell::RefCell;
+
+/// Per-worker-thread GEMM scratch: the shared-memory tiles and register
+/// accumulators live once per thread and are reshaped per block, instead of
+/// being reallocated inside every `run_block`.
+#[derive(Debug)]
+struct GemmScratch {
+    sm_a: SharedTile,
+    sm_b: SharedTile,
+    accum: Vec<f64>,
+}
+
+impl GemmScratch {
+    const fn new() -> Self {
+        GemmScratch { sm_a: SharedTile::empty(), sm_b: SharedTile::empty(), accum: Vec::new() }
+    }
+
+    /// Reshapes the tiles and zeroes the accumulators for one block.
+    fn reset(&mut self, bm: usize, bn: usize, bk: usize) {
+        self.sm_a.reset(bm, bk);
+        self.sm_b.reset(bk, bn);
+        self.accum.clear();
+        self.accum.resize(bm * bn, 0.0);
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<GemmScratch> = const { RefCell::new(GemmScratch::new()) };
+}
 
 /// Tile-shape parameters of the blocked GEMM (the `BM/BN/BK/RX/RY` of
 /// Algorithm 3).
@@ -220,11 +250,10 @@ impl Kernel for GemmKernel<'_> {
         let threads_x = bn / ry;
         ctx.declare_threads(threads_y * threads_x);
 
-        let mut sm_a = SharedTile::new(bm, bk);
-        let mut sm_b = SharedTile::new(bk, bn);
-        // Per-thread register accumulators, all threads' state held at once
-        // (the simulator runs the block's threads cooperatively).
-        let mut accum = vec![0.0f64; threads_y * threads_x * rx * ry];
+        SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        scratch.reset(bm, bn, bk);
+        let GemmScratch { sm_a, sm_b, accum } = &mut *scratch;
 
         let k_tiles = self.n / bk;
         for kt in 0..k_tiles {
@@ -310,6 +339,170 @@ impl Kernel for GemmKernel<'_> {
                         ctx.store(self.c, idx, merged);
                     }
                 }
+            }
+        }
+        });
+    }
+
+    fn supports_clean_path(&self) -> bool {
+        // Truncating arithmetic goes through error-free transforms whose
+        // cost is the whole point of measuring — no fast path for it.
+        self.rounding == RoundingMode::Nearest
+    }
+
+    fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        let GemmTiling { bm, bn, bk, rx, ry } = self.tiling;
+        let (row0, col0) = (block.y * bm, block.x * bn);
+        let threads_y = bm / rx;
+        let threads_x = bn / ry;
+
+        if rx == 4 && ry == 4 {
+            // Register-blocked specialization of the default micro-tile: the
+            // 4×4 accumulator lives in a fixed-size array (registers), and
+            // the k loop walks 0..n directly — the same per-accumulator
+            // order as the instrumented path's kt-outer/ki-inner loops, so
+            // results stay bit-identical while skipping the tile staging.
+            let (n, q) = (self.n, self.q);
+            for ty in 0..threads_y {
+                let r0 = row0 + ty * 4;
+                for tx in 0..threads_x {
+                    let c0 = col0 + tx * 4;
+                    let mut acc = [0.0f64; 16];
+                    match self.mul_mode {
+                        MulMode::Separate => {
+                            for k in 0..n {
+                                let bb = k * q + c0;
+                                let b0 = self.b.get(bb);
+                                let b1 = self.b.get(bb + 1);
+                                let b2 = self.b.get(bb + 2);
+                                let b3 = self.b.get(bb + 3);
+                                for i in 0..4 {
+                                    let av = self.a.get((r0 + i) * n + k);
+                                    acc[i * 4] += av * b0;
+                                    acc[i * 4 + 1] += av * b1;
+                                    acc[i * 4 + 2] += av * b2;
+                                    acc[i * 4 + 3] += av * b3;
+                                }
+                            }
+                        }
+                        MulMode::Fused => {
+                            for k in 0..n {
+                                let bb = k * q + c0;
+                                let b0 = self.b.get(bb);
+                                let b1 = self.b.get(bb + 1);
+                                let b2 = self.b.get(bb + 2);
+                                let b3 = self.b.get(bb + 3);
+                                for i in 0..4 {
+                                    let av = self.a.get((r0 + i) * n + k);
+                                    acc[i * 4] = av.mul_add(b0, acc[i * 4]);
+                                    acc[i * 4 + 1] = av.mul_add(b1, acc[i * 4 + 1]);
+                                    acc[i * 4 + 2] = av.mul_add(b2, acc[i * 4 + 2]);
+                                    acc[i * 4 + 3] = av.mul_add(b3, acc[i * 4 + 3]);
+                                }
+                            }
+                        }
+                    }
+                    for i in 0..4 {
+                        for j in 0..4 {
+                            let idx = (r0 + i) * q + c0 + j;
+                            self.c.set(idx, self.c.get(idx) + acc[i * 4 + j]);
+                        }
+                    }
+                }
+            }
+            self.account_clean_block(stats);
+            return;
+        }
+
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            scratch.reset(bm, bn, bk);
+            let GemmScratch { sm_a, sm_b, accum } = &mut *scratch;
+            let sm_a = sm_a.as_mut_slice();
+            let sm_b = sm_b.as_mut_slice();
+
+            let k_tiles = self.n / bk;
+            for kt in 0..k_tiles {
+                let k0 = kt * bk;
+                for i in 0..bm {
+                    self.a.read_slice((row0 + i) * self.n + k0, &mut sm_a[i * bk..(i + 1) * bk]);
+                }
+                for kk in 0..bk {
+                    self.b.read_slice((k0 + kk) * self.q + col0, &mut sm_b[kk * bn..(kk + 1) * bn]);
+                }
+
+                // Same ty → tx → ki → i → j order as the instrumented path:
+                // each accumulator sees its products in the identical
+                // sequence, so round-to-nearest results are bit-identical.
+                for ty in 0..threads_y {
+                    for tx in 0..threads_x {
+                        let base = (ty * threads_x + tx) * rx * ry;
+                        let acc = &mut accum[base..base + rx * ry];
+                        for ki in 0..bk {
+                            let b_row = &sm_b[ki * bn + tx * ry..ki * bn + tx * ry + ry];
+                            for i in 0..rx {
+                                let a_val = sm_a[(ty * rx + i) * bk + ki];
+                                let acc_row = &mut acc[i * ry..i * ry + ry];
+                                match self.mul_mode {
+                                    MulMode::Separate => {
+                                        for (c, &b_val) in acc_row.iter_mut().zip(b_row) {
+                                            *c += a_val * b_val;
+                                        }
+                                    }
+                                    MulMode::Fused => {
+                                        for (c, &b_val) in acc_row.iter_mut().zip(b_row) {
+                                            *c = a_val.mul_add(b_val, *c);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            for ty in 0..threads_y {
+                for tx in 0..threads_x {
+                    let base = (ty * threads_x + tx) * rx * ry;
+                    for i in 0..rx {
+                        let gi = row0 + ty * rx + i;
+                        for j in 0..ry {
+                            let gj = col0 + tx * ry + j;
+                            let idx = gi * self.q + gj;
+                            self.c.set(idx, self.c.get(idx) + accum[base + i * ry + j]);
+                        }
+                    }
+                }
+            }
+        });
+
+        self.account_clean_block(stats);
+    }
+}
+
+impl GemmKernel<'_> {
+    /// Closed-form accounting for one clean-path block, mirroring exactly
+    /// what the instrumented path counts (derivation in DESIGN.md §11).
+    fn account_clean_block(&self, stats: &mut KernelStats) {
+        let GemmTiling { bm, bn, bk, rx, ry } = self.tiling;
+        let threads = ((bm / rx) * (bn / ry)) as u64;
+        let elems = (bm * bn) as u64;
+        let k_tiles = (self.n / bk) as u64;
+        let n = self.n as u64;
+        stats.threads += threads;
+        stats.gmem_loads += k_tiles * (bm * bk + bk * bn) as u64 + elems;
+        stats.gmem_stores += elems;
+        stats.smem_accesses += k_tiles * ((bm * bk + bk * bn) as u64 + threads * (bk * (rx + ry)) as u64);
+        match self.mul_mode {
+            MulMode::Separate => {
+                stats.fmul += n * elems;
+                stats.fadd += n * elems + elems;
+                stats.fpu_ticks += 2 * n * elems + elems;
+            }
+            MulMode::Fused => {
+                stats.ffma += n * elems;
+                stats.fadd += elems;
+                stats.fpu_ticks += n * elems + elems;
             }
         }
     }

@@ -7,9 +7,10 @@
 //! sites see the same dynamic-instance semantics as the GEMM kernel.
 
 use crate::device::{BlockCtx, Kernel};
-use crate::dim::GridDim;
+use crate::dim::{BlockIdx, GridDim};
 use crate::inject::FaultSite;
 use crate::mem::DeviceBuffer;
+use crate::stats::KernelStats;
 
 /// Tile shape of the blocked GEMV.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +119,33 @@ impl Kernel for GemvKernel<'_> {
                 ctx.store(self.y, row, merged);
             }
         }
+    }
+
+    fn supports_clean_path(&self) -> bool {
+        true
+    }
+
+    fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        let GemvTiling { bm, rx } = self.tiling;
+        let row0 = block.x * bm;
+        // Same row order (t, r) and inner k order as the instrumented path.
+        for t in 0..(bm / rx) {
+            for r in 0..rx {
+                let row = row0 + t * rx + r;
+                let mut acc = 0.0;
+                for k in 0..self.n {
+                    acc += self.a.get(row * self.n + k) * self.x.get(k);
+                }
+                self.y.set(row, self.y.get(row) + acc);
+            }
+        }
+        let (bm, n) = (bm as u64, self.n as u64);
+        stats.threads += bm / rx as u64;
+        stats.gmem_loads += 2 * bm * n + bm;
+        stats.gmem_stores += bm;
+        stats.fmul += bm * n;
+        stats.fadd += bm * n + bm;
+        stats.fpu_ticks += 2 * bm * n + bm;
     }
 }
 

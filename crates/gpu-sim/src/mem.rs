@@ -141,6 +141,29 @@ impl DeviceBuffer {
         }
     }
 
+    /// Downloads `dst.len()` words starting at word `offset` into `dst`
+    /// (clean-path kernels stage tiles this way; copying instead of handing
+    /// out a `&[f64]` view keeps concurrent disjoint writes through the raw
+    /// pointer free of aliasing references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + dst.len()` exceeds the buffer length.
+    #[inline]
+    pub fn read_slice(&self, offset: usize, dst: &mut [f64]) {
+        assert!(
+            offset + dst.len() <= self.len,
+            "device buffer download of {} words at {offset} out of {}",
+            dst.len(),
+            self.len
+        );
+        // SAFETY: bounds checked above; racing with a concurrent write to
+        // these words is the kernel author's contract violation (as on HW).
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr().add(offset), dst.as_mut_ptr(), dst.len());
+        }
+    }
+
     /// XORs `mask` onto the bit pattern of word `idx` and returns the
     /// corrupted value (between launches; this is the memory-fault hook —
     /// see [`crate::inject::MemoryFaultPlan`]).
@@ -183,6 +206,12 @@ impl SharedTile {
         SharedTile { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// An empty `0 × 0` tile, allocation-free and `const` so worker-thread
+    /// scratch can start from it and grow via [`SharedTile::reset`].
+    pub const fn empty() -> Self {
+        SharedTile { rows: 0, cols: 0, data: Vec::new() }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -191,6 +220,29 @@ impl SharedTile {
     /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Reshapes the tile in place, reusing its allocation (worker threads
+    /// keep one tile alive across blocks instead of reallocating per block).
+    /// Surviving contents are unspecified — callers must overwrite every
+    /// slot before reading it, which the tiled kernels do by construction.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// The tile's backing storage in row-major order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing storage (clean-path kernels stage bulk
+    /// copies directly into it).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Reads element `(i, j)`.
@@ -267,11 +319,30 @@ mod tests {
     }
 
     #[test]
+    fn read_slice_downloads_in_place() {
+        let b = DeviceBuffer::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mut dst = [0.0; 3];
+        b.read_slice(1, &mut dst);
+        assert_eq!(dst, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_slice_oob_panics() {
+        DeviceBuffer::zeros(2).read_slice(1, &mut [0.0; 2]);
+    }
+
+    #[test]
     fn shared_tile() {
         let mut t = SharedTile::new(2, 3);
         t.set(1, 2, 9.0);
         assert_eq!(t.get(1, 2), 9.0);
         assert_eq!(t.get(0, 0), 0.0);
         assert_eq!((t.rows(), t.cols()), (2, 3));
+        t.reset(3, 4);
+        assert_eq!((t.rows(), t.cols()), (3, 4));
+        assert_eq!(t.as_slice().len(), 12);
+        t.as_mut_slice()[11] = 5.0;
+        assert_eq!(t.get(2, 3), 5.0);
     }
 }

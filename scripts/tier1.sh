@@ -32,4 +32,14 @@ $aabft campaign --n 32 --bs 8 --trials 60 --seed 11 --region exponent \
     --selfheal true --scope mem-checksum \
     --assert-zero-sdc true --assert-zero-unrecovered true
 
+# Dual-path smoke: tiny clean-vs-instrumented bench run. The binary itself
+# asserts that fault-free runs engage the clean path (clean_path_launches
+# > 0), that a forced device never does, that both paths produce
+# bit-identical products, and (--assert-dispatch) that an armed fault plan
+# keeps the counter flat. No speedup floor at these tiny sizes — the full
+# perf numbers live in BENCH_gemm.json.
+echo "==> dual-path bench smoke"
+cargo run --release -q -p aabft-bench --bin bench_gemm -- \
+    --sizes 64,128 --reps 1 --json target/BENCH_smoke.json --assert-dispatch true
+
 echo "tier-1: all green"
