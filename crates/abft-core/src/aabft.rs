@@ -30,9 +30,10 @@ use crate::kernels::check::{CheckKernel, DIAG_WORDS, REPORT_WORDS};
 use crate::kernels::encode::{EncodeColumnsKernel, EncodeRowsKernel};
 use crate::kernels::reduce::ReducePMaxKernel;
 use crate::recover::{apply_policy, RecomputeBlocksKernel, RecoveryOutcome};
-use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::device::{Device, Kernel};
 use aabft_gpu_sim::kernels::gemm::GemmKernel;
 use aabft_gpu_sim::mem::DeviceBuffer;
+use aabft_gpu_sim::pack::PackPool;
 use aabft_gpu_sim::{ConfigError, ExecCtx};
 use aabft_matrix::Matrix;
 
@@ -93,6 +94,10 @@ pub struct RunBuffers {
     pub report: DeviceBuffer,
     /// Check diagnostics words per result block.
     pub diag: DeviceBuffer,
+    /// Pack-panel pool for the clean-path GEMM engine. Pooled `RunBuffers`
+    /// carry their panels with them, so the batch engine's per-plan buffer
+    /// pool reuses pack allocations across requests of the same shape.
+    pub pack: PackPool,
 }
 
 impl RunBuffers {
@@ -107,6 +112,7 @@ impl RunBuffers {
             pmax_b: PMaxBuffers::new(plan.cols.total, plan.inner / bs, p),
             report: DeviceBuffer::zeros(REPORT_WORDS * plan.rows.blocks * plan.cols.blocks),
             diag: DeviceBuffer::zeros(DIAG_WORDS * plan.rows.blocks * plan.cols.blocks),
+            pack: PackPool::new(),
         }
     }
 
@@ -249,8 +255,7 @@ impl AAbftGemm {
             "p" => self.config.p as u64,
         );
         let run = self.begin(ctx, a, b)?;
-        run.encode(ctx);
-        run.gemm(ctx);
+        run.encode_and_gemm(ctx);
         run.reduce(ctx);
         run.check(ctx);
         let (outcome, _bufs) = run.finish(ctx);
@@ -364,10 +369,10 @@ impl MultiplyRun {
         self.land_memory_faults(ctx, "encode");
     }
 
-    /// Step 2: the multiplication over the augmented operands.
-    pub fn gemm(&self, ctx: &ExecCtx<'_>) {
-        let _s = aabft_obs::span!(ctx.obs, "phase", "gemm");
-        let gemm = GemmKernel::new(
+    /// The multiplication kernel over this run's augmented operands,
+    /// wired to the run's pack-panel pool.
+    fn gemm_kernel(&self) -> GemmKernel<'_> {
+        GemmKernel::new(
             &self.bufs.a,
             &self.bufs.b,
             &self.bufs.c,
@@ -377,8 +382,49 @@ impl MultiplyRun {
             self.config.tiling,
         )
         .with_mul_mode(self.config.mul_mode)
-        .with_rounding(self.config.rounding);
+        .with_rounding(self.config.rounding)
+        .with_pack_pool(&self.bufs.pack)
+    }
+
+    /// Step 2: the multiplication over the augmented operands.
+    pub fn gemm(&self, ctx: &ExecCtx<'_>) {
+        let _s = aabft_obs::span!(ctx.obs, "phase", "gemm");
+        let gemm = self.gemm_kernel();
         ctx.launch(gemm.grid(), &gemm);
+        self.land_memory_faults(ctx, "gemm");
+    }
+
+    /// Steps 1+2 as one fused dispatch: both encode kernels run as the
+    /// first stage and the packed GEMM as the second of a single
+    /// [`aabft_gpu_sim::Device::launch_fused_on`] call, dropping the clean
+    /// path of a protected multiply from 6 dispatches to 4 (the analogue
+    /// of paper Alg. 1 fusing encoding with the p-max search). Falls back
+    /// to the classic separate [`MultiplyRun::encode`] +
+    /// [`MultiplyRun::gemm`] phases whenever any fault plan is armed, the
+    /// instrumented path is forced, or the GEMM configuration has no clean
+    /// body — campaigns keep the exact 6-launch shape (and the
+    /// inter-phase memory-fault landing points) they calibrate against.
+    pub fn encode_and_gemm(&self, ctx: &ExecCtx<'_>) {
+        let gemm = self.gemm_kernel();
+        if !ctx.device.fusion_viable() || !gemm.supports_clean_path() {
+            self.encode(ctx);
+            self.gemm(ctx);
+            return;
+        }
+        let _se = aabft_obs::span!(ctx.obs, "phase", "encode");
+        let _sg = aabft_obs::span!(ctx.obs, "phase", "gemm");
+        let encode_a =
+            EncodeColumnsKernel::new(&self.bufs.a, &self.bufs.pmax_a, self.plan.rows, self.plan.inner);
+        let encode_b =
+            EncodeRowsKernel::new(&self.bufs.b, &self.bufs.pmax_b, self.plan.cols, self.plan.inner);
+        ctx.launch_fused(&[
+            &[(encode_a.grid(), &encode_a as &dyn Kernel), (encode_b.grid(), &encode_b)],
+            &[(gemm.grid(), &gemm)],
+        ]);
+        // Parity with the separate phases: nothing is armed here (fusion
+        // viability was just checked), so these are no-ops, but the hook
+        // order stays identical.
+        self.land_memory_faults(ctx, "encode");
         self.land_memory_faults(ctx, "gemm");
     }
 

@@ -195,15 +195,13 @@ impl BatchGemm {
             runs.push((stream, self.gemm.begin_with(&ctx, a, b, bufs)?));
         }
 
-        // Issue the device phases interleaved across requests: all encodes,
-        // then all gemms, then all reductions, then all checks. Each
-        // request's launches stay ordered on its own stream; requests on
-        // different streams overlap in the modelled timeline.
+        // Issue the device phases interleaved across requests: all fused
+        // encode+gemm dispatches, then all reductions, then all checks.
+        // Each request's launches stay ordered on its own stream; requests
+        // on different streams overlap in the modelled timeline (which
+        // follows the per-stream dependency edges, not issue order).
         for (stream, run) in &runs {
-            run.encode(&ExecCtx::on_stream(device, *stream));
-        }
-        for (stream, run) in &runs {
-            run.gemm(&ExecCtx::on_stream(device, *stream));
+            run.encode_and_gemm(&ExecCtx::on_stream(device, *stream));
         }
         for (stream, run) in &runs {
             run.reduce(&ExecCtx::on_stream(device, *stream));
@@ -316,10 +314,7 @@ impl BatchGemm {
         // Device phases interleaved across the valid requests, exactly as
         // in [`BatchGemm::execute`].
         for (_, stream, _, run) in &runs {
-            run.encode(&ExecCtx::on_stream(device, *stream));
-        }
-        for (_, stream, _, run) in &runs {
-            run.gemm(&ExecCtx::on_stream(device, *stream));
+            run.encode_and_gemm(&ExecCtx::on_stream(device, *stream));
         }
         for (_, stream, _, run) in &runs {
             run.reduce(&ExecCtx::on_stream(device, *stream));

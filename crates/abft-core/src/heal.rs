@@ -139,8 +139,7 @@ impl SelfHealingGemm {
             "budget" => self.budget as u64,
         );
         let run = self.gemm.begin(ctx, a, b)?;
-        run.encode(ctx);
-        run.gemm(ctx);
+        run.encode_and_gemm(ctx);
         run.reduce(ctx);
         run.check(ctx);
         let (result, _bufs) = heal_run(&self.gemm, self.budget, ctx, a, b, run);
@@ -221,8 +220,7 @@ pub(crate) fn heal_run(
                 // Wholesale re-run: earlier partial repairs are superseded
                 // by the recomputed product, so the history resets.
                 run.reupload(ctx, a, b);
-                run.encode(ctx);
-                run.gemm(ctx);
+                run.encode_and_gemm(ctx);
                 run.reduce(ctx);
                 corrections.clear();
                 recomputed.clear();

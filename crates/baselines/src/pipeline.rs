@@ -8,7 +8,7 @@ use aabft_core::kernels::check::REPORT_WORDS;
 use aabft_core::AbftError;
 use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
 use aabft_gpu_sim::mem::DeviceBuffer;
-use aabft_gpu_sim::ExecCtx;
+use aabft_gpu_sim::{ExecCtx, Kernel};
 use aabft_matrix::Matrix;
 
 fn gcd(a: usize, b: usize) -> usize {
@@ -80,14 +80,18 @@ impl EncodedProduct {
             DeviceBuffer::from_matrix(&aug)
         };
 
-        let enc_a = EncodeColumnsPlain::new(&a_buf, rows, inner);
-        ctx.launch(enc_a.grid(), &enc_a);
-        let enc_b = EncodeRowsPlain::new(&b_buf, cols, inner);
-        ctx.launch(enc_b.grid(), &enc_b);
-
+        // Encode + multiply as one fused dispatch on the clean path (the
+        // same 3-launches-to-1 fusion the A-ABFT pipeline uses); with any
+        // fault plan armed this degrades to the classic three separate
+        // instrumented launches in identical order.
         let c_buf = DeviceBuffer::zeros(rows.total * cols.total);
+        let enc_a = EncodeColumnsPlain::new(&a_buf, rows, inner);
+        let enc_b = EncodeRowsPlain::new(&b_buf, cols, inner);
         let gemm = GemmKernel::new(&a_buf, &b_buf, &c_buf, rows.total, inner, cols.total, tiling);
-        ctx.launch(gemm.grid(), &gemm);
+        ctx.launch_fused(&[
+            &[(enc_a.grid(), &enc_a as &dyn Kernel), (enc_b.grid(), &enc_b)],
+            &[(gemm.grid(), &gemm)],
+        ]);
 
         Ok(EncodedProduct { a_buf, b_buf, c_buf, rows, cols, inner })
     }

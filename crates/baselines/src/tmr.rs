@@ -13,7 +13,7 @@ use aabft_core::AbftError;
 use aabft_gpu_sim::kernels::compare::CompareKernel;
 use aabft_gpu_sim::kernels::gemm::{GemmKernel, GemmTiling};
 use aabft_gpu_sim::mem::DeviceBuffer;
-use aabft_gpu_sim::ExecCtx;
+use aabft_gpu_sim::{ExecCtx, Kernel};
 use aabft_matrix::Matrix;
 
 /// TMR matrix multiplication with majority voting.
@@ -54,14 +54,20 @@ impl ProtectedGemm for TmrGemm {
         let (b_buf, pn2, pq) = upload_padded(b, t.bk, t.bn);
         assert_eq!(pn, pn2, "inner padding must agree");
 
-        let replicas: Vec<DeviceBuffer> = (0..3)
-            .map(|_| {
-                let c = DeviceBuffer::zeros(pm * pq);
-                let gemm = GemmKernel::new(&a_buf, &b_buf, &c, pm, pn, pq, t);
-                ctx.launch(gemm.grid(), &gemm);
-                c
-            })
+        // The three replicas write disjoint buffers, so on the clean path
+        // they run as a single-stage fused dispatch (1 dispatch instead of
+        // 3); armed fault plans degrade to three separate instrumented
+        // launches in the same order, preserving the per-replica injection
+        // behaviour the voting test below relies on.
+        let replicas: Vec<DeviceBuffer> =
+            (0..3).map(|_| DeviceBuffer::zeros(pm * pq)).collect();
+        let kernels: Vec<GemmKernel<'_>> = replicas
+            .iter()
+            .map(|c| GemmKernel::new(&a_buf, &b_buf, c, pm, pn, pq, t))
             .collect();
+        let parts: Vec<(aabft_gpu_sim::GridDim, &dyn Kernel)> =
+            kernels.iter().map(|k| (k.grid(), k as &dyn Kernel)).collect();
+        ctx.launch_fused(&[&parts]);
 
         // Vote: compare replica 0 against 1 and against 2.
         let blocks = 64.min(pm * pq);

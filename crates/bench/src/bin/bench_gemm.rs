@@ -1,109 +1,263 @@
 //! Perf-trajectory benchmark: clean-path vs instrumented protected multiply.
 //!
-//! Times the full A-ABFT pipeline (encode → gemm → reduce → check) on a
-//! fault-free device, where every launch takes the clean path, against the
+//! Times the full A-ABFT pipeline (fused encode+gemm → reduce → check) on a
+//! fault-free device, where every dispatch takes the clean path, against the
 //! same device with the instrumented per-op path forced — and proves on the
 //! way that both paths produce bit-identical products and that armed fault
-//! plans disable the clean path. Results land in `BENCH_gemm.json` at the
-//! repo root so subsequent PRs can track regressions.
+//! plans disable the clean path. `--engine both` additionally races the
+//! packed clean engine (DESIGN §12) against the scalar one over the same
+//! inputs, which is the engine-vs-engine speedup the perf trajectory in the
+//! README tracks. Results land in `BENCH_gemm.json` at the repo root so
+//! subsequent PRs can track regressions.
 //!
 //! ```text
 //! cargo run --release -p aabft-bench --bin bench_gemm
 //! cargo run --release -p aabft-bench --bin bench_gemm -- \
-//!     --sizes 256,512,1024 --reps 3 --json BENCH_gemm.json --assert-speedup 5
+//!     --sizes 512 --reps 2 --engine both --instrumented false \
+//!     --assert-speedup 2.5 --assert-dispatch packed
 //! ```
+//!
+//! Flags: `--sizes a,b,c` problem sizes; `--reps k` timed repetitions
+//! (min + median are reported); `--warmup w` untimed repetitions first;
+//! `--engine packed|scalar|both` clean engine(s) to measure;
+//! `--instrumented false` skips the (slow) forced-instrumented reference;
+//! `--assert-speedup x` requires packed ≥ x· scalar (falls back to
+//! clean-vs-instrumented when only one engine runs); `--assert-dispatch
+//! true` verifies armed plans disable the clean path, `packed` additionally
+//! pins the fused 4-dispatch shape and the packed-block telemetry.
 
 use aabft_bench::args::Args;
 use aabft_bench::jsonout::{write_array, JsonObject};
 use aabft_core::{AAbftConfig, AAbftGemm};
 use aabft_gpu_sim::device::Device;
 use aabft_gpu_sim::inject::{FaultScope, KernelFaultPlan};
+use aabft_gpu_sim::pack::{self, CleanEngine};
 use aabft_matrix::Matrix;
 use std::time::Instant;
 
-/// Best-of-`reps` wall time of `f`, in seconds.
-fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let t = Instant::now();
+/// Runs `f` untimed `warmup` times, then timed `reps` times; returns
+/// `(min, median)` wall seconds.
+fn min_median<F: FnMut()>(warmup: usize, reps: usize, mut f: F) -> (f64, f64) {
+    for _ in 0..warmup {
         f();
-        best = best.min(t.elapsed().as_secs_f64());
     }
-    best
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let mid = times.len() / 2;
+    let median = if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        (times[mid - 1] + times[mid]) / 2.0
+    };
+    (times[0], median)
+}
+
+/// One engine's measurement over a fixed `(a, b)` pair.
+struct EngineRun {
+    engine: CleanEngine,
+    min_s: f64,
+    median_s: f64,
+    product: Matrix<f64>,
+    clean_launches_per_run: u64,
+    dispatches_per_run: u64,
+    dev: Device,
+}
+
+fn engine_name(e: CleanEngine) -> &'static str {
+    match e {
+        CleanEngine::Packed => "packed",
+        CleanEngine::Scalar => "scalar",
+    }
+}
+
+fn measure_engine(
+    gemm: &AAbftGemm,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    engine: CleanEngine,
+    warmup: usize,
+    reps: usize,
+) -> EngineRun {
+    pack::set_default_engine(engine);
+    let dev = Device::with_defaults();
+    let mut product = None;
+    let (min_s, median_s) = min_median(warmup, reps, || {
+        product = Some(gemm.multiply(&dev, a, b).product);
+    });
+    pack::set_default_engine(CleanEngine::Packed);
+    let runs = (warmup + reps.max(1)) as u64;
+    let clean_launches = dev.clean_path_launches();
+    assert!(clean_launches > 0, "fault-free run must engage the clean path");
+    EngineRun {
+        engine,
+        min_s,
+        median_s,
+        product: product.expect("ran"),
+        clean_launches_per_run: clean_launches / runs,
+        dispatches_per_run: dev.dispatches() / runs,
+        dev,
+    }
 }
 
 fn main() {
     let args = Args::parse();
-    let sizes = args.sizes("sizes", &[256, 512, 1024]);
+    let sizes = args.sizes("sizes", &[256, 512, 1024, 2048]);
     let reps = args.get("reps", 3usize);
+    let warmup = args.get("warmup", 1usize);
     let json = args.get("json", "BENCH_gemm.json".to_string());
     let assert_speedup = args.get("assert-speedup", 0.0f64);
-    let assert_dispatch = args.get("assert-dispatch", false);
+    let assert_dispatch = args.get("assert-dispatch", "false".to_string());
+    let engine_flag = args.get("engine", "both".to_string());
+    let instrumented = args.get("instrumented", true);
+
+    let engines: Vec<CleanEngine> = match engine_flag.as_str() {
+        "packed" => vec![CleanEngine::Packed],
+        "scalar" => vec![CleanEngine::Scalar],
+        "both" => vec![CleanEngine::Packed, CleanEngine::Scalar],
+        other => panic!("--engine {other:?}: expected packed, scalar or both"),
+    };
+    if !matches!(assert_dispatch.as_str(), "false" | "true" | "packed") {
+        panic!("--assert-dispatch {assert_dispatch:?}: expected false, true or packed");
+    }
 
     let gemm = AAbftGemm::new(AAbftConfig::default());
     let mut records = Vec::new();
 
-    println!("Protected multiply, clean path vs instrumented (best of {reps}):");
-    println!("{:>6} {:>12} {:>14} {:>9} {:>8}", "n", "clean ms", "instrum. ms", "speedup", "GFLOP/s");
+    println!("Protected multiply, clean path vs instrumented ({reps} reps, {warmup} warmup):");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>12} {:>9} {:>8}",
+        "n", "engine", "min ms", "median ms", "instrum. ms", "speedup", "GFLOP/s"
+    );
     for &n in &sizes {
         let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) as f64 * 0.017).sin());
         let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) as f64 * 0.013).cos());
 
-        let clean_dev = Device::with_defaults();
-        let mut clean_product = None;
-        let clean_s = best_of(reps, || {
-            clean_product = Some(gemm.multiply(&clean_dev, &a, &b).product);
-        });
-        let clean_launches = clean_dev.clean_path_launches();
-        assert!(clean_launches > 0, "fault-free run must engage the clean path");
+        let blocks_before = pack::packed_blocks();
+        let runs: Vec<EngineRun> =
+            engines.iter().map(|&e| measure_engine(&gemm, &a, &b, e, warmup, reps)).collect();
 
-        let inst_dev = Device::with_defaults();
-        inst_dev.set_force_instrumented(true);
-        let mut inst_product = None;
-        let inst_s = best_of(reps, || {
-            inst_product = Some(gemm.multiply(&inst_dev, &a, &b).product);
-        });
-        assert_eq!(inst_dev.clean_path_launches(), 0, "forced device must stay instrumented");
+        // The forced-instrumented reference (the slow path both engines
+        // must agree with bit-for-bit).
+        let inst = if instrumented {
+            let inst_dev = Device::with_defaults();
+            inst_dev.set_force_instrumented(true);
+            let mut inst_product = None;
+            let (inst_min, _) = min_median(warmup.min(1), reps, || {
+                inst_product = Some(gemm.multiply(&inst_dev, &a, &b).product);
+            });
+            assert_eq!(inst_dev.clean_path_launches(), 0, "forced device must stay instrumented");
+            Some((inst_min, inst_product.expect("ran")))
+        } else {
+            None
+        };
 
-        let (cp, ip) = (clean_product.expect("ran"), inst_product.expect("ran"));
-        assert!(cp.approx_eq(&ip, 0.0), "clean and instrumented products must be bit-identical");
+        for r in &runs {
+            assert!(
+                r.product.approx_eq(&runs[0].product, 0.0),
+                "clean engines must produce bit-identical products"
+            );
+            if let Some((_, ip)) = &inst {
+                assert!(
+                    r.product.approx_eq(ip, 0.0),
+                    "clean and instrumented products must be bit-identical"
+                );
+            }
+        }
 
-        if assert_dispatch {
+        if assert_dispatch != "false" {
             // A plan that can never fire still must force the instrumented
             // path for as long as it is armed.
-            clean_dev.arm_kernel_fault(KernelFaultPlan {
+            let dev = &runs[0].dev;
+            let clean_launches = dev.clean_path_launches();
+            dev.arm_kernel_fault(KernelFaultPlan {
                 scope: FaultScope::Any,
                 sm: 0,
                 k_injection: u64::MAX,
                 mask: 1,
             });
-            gemm.multiply(&clean_dev, &a, &b);
-            clean_dev.disarm_count();
+            gemm.multiply(dev, &a, &b);
+            dev.disarm_count();
             assert_eq!(
-                clean_dev.clean_path_launches(),
+                dev.clean_path_launches(),
                 clean_launches,
                 "armed fault plan must disable the clean path"
             );
         }
+        if assert_dispatch == "packed" {
+            let packed = runs
+                .iter()
+                .find(|r| r.engine == CleanEngine::Packed)
+                .expect("--assert-dispatch packed needs the packed engine in --engine");
+            assert_eq!(
+                packed.dispatches_per_run, 4,
+                "fused encode+gemm must run the clean pipeline in 4 dispatches"
+            );
+            assert!(
+                pack::packed_blocks() > blocks_before,
+                "packed engine must report packed-block telemetry"
+            );
+        }
 
-        let speedup = inst_s / clean_s;
-        let gflops = 2.0 * (n as f64).powi(3) / clean_s / 1e9;
-        println!("{n:>6} {:>12.3} {:>14.3} {speedup:>8.2}x {gflops:>8.2}", clean_s * 1e3, inst_s * 1e3);
-        records.push(
-            JsonObject::new()
+        let scalar_min =
+            runs.iter().find(|r| r.engine == CleanEngine::Scalar).map(|r| r.min_s);
+        for r in &runs {
+            let speedup_vs_inst = inst.as_ref().map(|(im, _)| im / r.min_s);
+            let speedup_vs_scalar = match (r.engine, scalar_min) {
+                (CleanEngine::Packed, Some(s)) => Some(s / r.min_s),
+                _ => None,
+            };
+            let gflops = 2.0 * (n as f64).powi(3) / r.min_s / 1e9;
+            let inst_col =
+                inst.as_ref().map_or("-".into(), |(im, _)| format!("{:.3}", im * 1e3));
+            let speed_col = speedup_vs_inst
+                .or(speedup_vs_scalar)
+                .map_or("-".into(), |s| format!("{s:.2}x"));
+            println!(
+                "{n:>6} {:>8} {:>10.3} {:>10.3} {:>12} {speed_col:>9} {gflops:>8.2}",
+                engine_name(r.engine),
+                r.min_s * 1e3,
+                r.median_s * 1e3,
+                inst_col,
+            );
+
+            let mut rec = JsonObject::new()
                 .int("n", n as u64)
-                .num("clean_ms", clean_s * 1e3)
-                .num("instrumented_ms", inst_s * 1e3)
-                .num("speedup", speedup)
+                .str("engine", engine_name(r.engine))
+                .num("clean_ms", r.min_s * 1e3)
+                .num("clean_ms_median", r.median_s * 1e3)
                 .num("host_gflops", gflops)
                 .int("reps", reps as u64)
-                .int("clean_launches_per_run", clean_launches / reps.max(1) as u64),
-        );
-        if assert_speedup > 0.0 {
-            assert!(
-                speedup >= assert_speedup,
-                "speedup {speedup:.2}x at n = {n} below required {assert_speedup}x"
-            );
+                .int("warmup", warmup as u64)
+                .int("clean_launches_per_run", r.clean_launches_per_run)
+                .int("dispatches_per_run", r.dispatches_per_run);
+            if let Some((im, _)) = &inst {
+                rec = rec.num("instrumented_ms", im * 1e3);
+            }
+            if let Some(s) = speedup_vs_inst {
+                rec = rec.num("speedup", s);
+            }
+            if let Some(s) = speedup_vs_scalar {
+                rec = rec.num("speedup_vs_scalar", s);
+            }
+            records.push(rec);
+
+            // The floor applies to the engine race when both engines ran,
+            // and to the clean-vs-instrumented ratio otherwise.
+            if assert_speedup > 0.0 {
+                if let Some(s) = speedup_vs_scalar.or(speedup_vs_inst) {
+                    assert!(
+                        s >= assert_speedup,
+                        "speedup {s:.2}x at n = {n} ({}) below required {assert_speedup}x",
+                        engine_name(r.engine)
+                    );
+                }
+            }
         }
     }
 

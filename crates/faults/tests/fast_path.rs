@@ -47,7 +47,19 @@ fn assert_logs_identical(clean: &[LaunchRecord], inst: &[LaunchRecord]) {
 /// same inputs; returns (clean device, clean log, instrumented log) after
 /// asserting the products and full checksummed matrices are bit-identical.
 fn run_both(config: AAbftConfig, n: usize) -> (Device, Vec<LaunchRecord>, Vec<LaunchRecord>) {
-    let (a, b) = inputs(n);
+    run_both_shape(config, n, n, n)
+}
+
+/// [`run_both`] over rectangular `m × n · n × q` operands (packing edge
+/// cases: degenerate vectors, shapes the block size does not divide).
+fn run_both_shape(
+    config: AAbftConfig,
+    m: usize,
+    n: usize,
+    q: usize,
+) -> (Device, Vec<LaunchRecord>, Vec<LaunchRecord>) {
+    let a = Matrix::from_fn(m, n, |i, j| ((i * 7 + j * 3) as f64 * 0.017).sin());
+    let b = Matrix::from_fn(n, q, |i, j| ((i * 5 + j * 11) as f64 * 0.013).cos());
     let gemm = AAbftGemm::new(config);
 
     let clean_dev = Device::with_defaults();
@@ -70,14 +82,28 @@ fn run_both(config: AAbftConfig, n: usize) -> (Device, Vec<LaunchRecord>, Vec<La
     (clean_dev, clean_log, inst_log)
 }
 
+/// The fault-free pipeline's dispatch shape: the fused encode+GEMM
+/// epilogue merges 3 of the 6 logical launches into one dispatch, so the
+/// launch log still shows 6 records while the device reports 4 clean
+/// dispatches (DESIGN §12).
+fn assert_fused_clean_shape(clean_dev: &Device, clean_log: &[LaunchRecord]) {
+    assert_eq!(clean_log.len(), 6, "the pipeline still files 6 launch records");
+    assert_eq!(
+        clean_dev.dispatches(),
+        4,
+        "fused encode+gemm drops the clean pipeline from 6 dispatches to 4"
+    );
+    assert_eq!(
+        clean_dev.clean_path_launches(),
+        clean_dev.dispatches(),
+        "every fault-free dispatch must take the clean path"
+    );
+}
+
 #[test]
 fn protected_multiply_bit_identical_with_identical_logs_separate() {
     let (clean_dev, clean_log, inst_log) = run_both(AAbftConfig::default(), 64);
-    assert_eq!(
-        clean_dev.clean_path_launches(),
-        clean_log.len() as u64,
-        "every fault-free launch must take the clean path"
-    );
+    assert_fused_clean_shape(&clean_dev, &clean_log);
     assert_logs_identical(&clean_log, &inst_log);
 }
 
@@ -86,7 +112,7 @@ fn protected_multiply_bit_identical_with_identical_logs_fused() {
     let config =
         AAbftConfig::builder().mul_mode(MulMode::Fused).build().expect("valid config");
     let (clean_dev, clean_log, inst_log) = run_both(config, 64);
-    assert_eq!(clean_dev.clean_path_launches(), clean_log.len() as u64);
+    assert_fused_clean_shape(&clean_dev, &clean_log);
     assert_logs_identical(&clean_log, &inst_log);
 }
 
@@ -131,6 +157,79 @@ fn fault_scope_calibration_sees_identical_per_sm_ticks() {
             assert!(c.iter().sum::<u64>() > 0, "clean path must report nonzero ticks");
         }
     }
+}
+
+#[test]
+fn armed_plan_restores_the_six_dispatch_shape_and_calibration() {
+    // The fused encode+GEMM epilogue is a clean-path-only optimisation:
+    // the moment any fault plan is armed, the pipeline must fall back to
+    // six separate instrumented launches (faults need per-phase landing
+    // points), and a campaign calibrating from a *fused* clean log must
+    // see the exact per-SM tick totals of the armed run.
+    use aabft_faults::plan::scope_ops_per_sm;
+    let (a, b) = inputs(64);
+    let gemm = AAbftGemm::new(AAbftConfig::default());
+
+    let clean_dev = Device::with_defaults();
+    gemm.multiply(&clean_dev, &a, &b);
+    let clean_log = clean_dev.take_log();
+    assert_fused_clean_shape(&clean_dev, &clean_log);
+
+    // Armed with a plan that can never fire: same arithmetic, separate
+    // instrumented dispatches.
+    let armed_dev = Device::with_defaults();
+    armed_dev.arm_kernel_fault(KernelFaultPlan {
+        scope: FaultScope::Any,
+        sm: 0,
+        k_injection: u64::MAX,
+        mask: 1,
+    });
+    gemm.multiply(&armed_dev, &a, &b);
+    let armed_log = armed_dev.take_log();
+    assert_eq!(armed_log.len(), 6, "armed pipeline files the same 6 records");
+    assert_eq!(armed_dev.dispatches(), 6, "the separate 6-dispatch shape reappears");
+    assert_eq!(armed_dev.clean_path_launches(), 0, "armed device must never go clean");
+
+    // The two logs are indistinguishable record-for-record, so campaign
+    // tick calibration cannot tell which dispatch shape produced them.
+    assert_logs_identical(&clean_log, &armed_log);
+    let num_sms = clean_dev.config().num_sms;
+    for scope in [
+        FaultScope::Encode,
+        FaultScope::Gemm,
+        FaultScope::PMaxReduce,
+        FaultScope::Check,
+        FaultScope::Any,
+    ] {
+        assert_eq!(
+            scope_ops_per_sm(&clean_log, scope, num_sms),
+            scope_ops_per_sm(&armed_log, scope, num_sms),
+            "{scope:?}: calibration from the fused clean log must match the armed run"
+        );
+    }
+}
+
+#[test]
+fn unaligned_and_degenerate_shapes_stay_bit_identical() {
+    // BS = 32 does not divide n = 100, so the last checksum block is
+    // ragged and the augmented extent is not a tile multiple before
+    // padding.
+    run_both_shape(AAbftConfig::default(), 100, 100, 100);
+
+    // Small tiles, shapes nothing divides (prime-ish extents exercise
+    // edge panels in both packing dimensions).
+    let small = AAbftConfig::builder()
+        .block_size(8)
+        .tiling(GemmTiling { bm: 16, bn: 16, bk: 8, rx: 4, ry: 4 })
+        .build()
+        .expect("valid config");
+    run_both_shape(small, 37, 23, 41);
+
+    // Degenerate operands: a 1×k row vector, a k×1 column vector, and
+    // the 1×1 scalar product.
+    run_both_shape(small, 1, 96, 64);
+    run_both_shape(small, 64, 96, 1);
+    run_both_shape(small, 1, 1, 1);
 }
 
 #[test]

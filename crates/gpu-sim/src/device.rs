@@ -153,8 +153,14 @@ pub struct Device {
     /// Observability sink: kernel spans and hardware counters land here.
     /// Defaults to the process-global context; tests attach fresh ones.
     obs: Arc<Obs>,
-    /// Number of launches that took the clean (uninstrumented) path.
+    /// Number of *dispatches* that took the clean (uninstrumented) path.
+    /// A fused dispatch ([`Device::launch_fused_on`]) counts once however
+    /// many launch records it files.
     clean_path_launches: AtomicU64,
+    /// Number of physical dispatch events: one per [`Device::launch_on`]
+    /// call plus one per fused clean dispatch (which files several launch
+    /// records but crosses the host→device boundary once).
+    dispatches: AtomicU64,
     /// When set, every launch uses the instrumented per-op path even if no
     /// fault plan is armed (path-equivalence tests and benchmarks).
     force_instrumented: AtomicBool,
@@ -183,6 +189,7 @@ impl Device {
             streams: Mutex::new(StreamTable::default()),
             obs: aabft_obs::global(),
             clean_path_launches: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
             force_instrumented: AtomicBool::new(false),
         }
     }
@@ -208,10 +215,33 @@ impl Device {
         &self.obs
     }
 
-    /// How many launches so far took the clean (uninstrumented) fast path.
-    /// Zero whenever any fault plan was armed across all launches.
+    /// How many *dispatches* so far took the clean (uninstrumented) fast
+    /// path. Zero whenever any fault plan was armed across all launches.
+    /// A fused clean dispatch counts once even though it files one launch
+    /// record per fused kernel (DESIGN §12), so a fused protected multiply
+    /// reports 4 here against 6 launch-log records.
     pub fn clean_path_launches(&self) -> u64 {
         self.clean_path_launches.load(Ordering::Relaxed)
+    }
+
+    /// Total physical dispatch events: one per [`Device::launch_on`] call
+    /// plus one per fused clean dispatch. A fused protected multiply shows
+    /// 4 dispatches; the same pipeline with any fault plan armed falls back
+    /// to the 6-dispatch shape.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Whether a fused clean dispatch is currently possible: no fault plan
+    /// of any kind armed and the instrumented path not forced. Pipelines
+    /// consult this *before* issuing a fused dispatch so armed campaigns
+    /// keep the exact separate-launch shape (including the inter-phase
+    /// memory-fault landing points) they calibrate against.
+    pub fn fusion_viable(&self) -> bool {
+        !self.force_instrumented.load(Ordering::Relaxed)
+            && self.injections.lock().is_empty()
+            && self.kernel_faults.lock().is_empty()
+            && self.memory_faults.lock().is_empty()
     }
 
     /// Forces every launch through the instrumented per-op path regardless
@@ -497,6 +527,8 @@ impl Device {
             self.clean_path_launches.fetch_add(1, Ordering::Relaxed);
             m.counter_inc("sim.clean_launches");
         }
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        m.counter_inc("sim.dispatches");
         m.counter_inc("sim.launches");
         m.counter_add("sim.flops", total.flops());
         m.counter_add("sim.gmem_bytes", total.gmem_bytes());
@@ -517,6 +549,135 @@ impl Device {
     /// Drains the launch log (records since the last call).
     pub fn take_log(&self) -> Vec<LaunchRecord> {
         std::mem::take(&mut *self.log.lock())
+    }
+
+    /// Issues several kernels as **one fused dispatch** when every kernel
+    /// supports the clean path and no fault plan is armed; otherwise every
+    /// kernel is launched separately through [`Device::launch_on`] in
+    /// order (the exact pre-fusion shape, instrumented as required).
+    ///
+    /// `stages` is a barrier-separated schedule: kernels within one stage
+    /// are independent (disjoint outputs) and execute in the same parallel
+    /// pass; a stage only starts after the previous stage completed — this
+    /// is how the fused encode→GEMM epilogue orders the checksum-line
+    /// writes before the multiplication reads them, like a grid-wide sync
+    /// inside a megakernel.
+    ///
+    /// The fused dispatch still files **one launch record and one kernel
+    /// span per kernel**, with the same seq/dep chain, names, phases,
+    /// stats and per-SM splits as separate launches — launch logs,
+    /// `PerfModel`, traces and tick calibration cannot tell the difference
+    /// (DESIGN §12). What changes is the dispatch count:
+    /// [`Device::dispatches`] and [`Device::clean_path_launches`] advance
+    /// once per fused dispatch.
+    ///
+    /// Returns the merged stats of every kernel in issue order.
+    pub fn launch_fused_on(
+        &self,
+        stream: StreamId,
+        stages: &[&[(GridDim, &dyn Kernel)]],
+    ) -> Vec<KernelStats> {
+        let fused = self.fusion_viable()
+            && stages.iter().all(|stage| stage.iter().all(|(_, k)| k.supports_clean_path()));
+        if !fused {
+            return stages
+                .iter()
+                .flat_map(|stage| stage.iter().map(|&(grid, kernel)| self.launch_on(stream, grid, kernel)))
+                .collect();
+        }
+
+        let num_sms = self.config.num_sms;
+        let m = &self.obs.metrics;
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        m.counter_inc("sim.dispatches");
+        self.clean_path_launches.fetch_add(1, Ordering::Relaxed);
+        m.counter_inc("sim.clean_launches");
+
+        let mut out = Vec::new();
+        for stage in stages {
+            // Sequence numbers and dependency edges are taken per kernel in
+            // issue order, exactly as separate launches would have.
+            let meta: Vec<(u64, Vec<u64>)> = stage
+                .iter()
+                .map(|_| {
+                    let seq = self.launch_seq.fetch_add(1, Ordering::Relaxed);
+                    let mut table = self.streams.lock();
+                    let deps = table.take_deps(stream);
+                    table.advance(stream, seq);
+                    (seq, deps)
+                })
+                .collect();
+            let blocks: Vec<Vec<BlockIdx>> =
+                stage.iter().map(|(grid, _)| grid.iter().collect()).collect();
+            let spans: Vec<_> = stage
+                .iter()
+                .zip(&meta)
+                .map(|(&(_, kernel), &(seq, _))| {
+                    self.obs
+                        .recorder
+                        .span("kernel", kernel.name())
+                        .attr("phase", kernel.phase())
+                        .attr("stream", stream.raw())
+                        .attr("seq", seq)
+                })
+                .collect();
+
+            // One parallel pass over the SMs executes every kernel of the
+            // stage; each SM keeps the per-kernel round-robin block
+            // assignment (`linear % num_sms`), so the per-SM stats split
+            // matches separate launches exactly.
+            let by_sm: Vec<Vec<KernelStats>> = (0..num_sms)
+                .into_par_iter()
+                .map(|sm_id| {
+                    stage
+                        .iter()
+                        .zip(&blocks)
+                        .map(|(&(_, kernel), blocks)| {
+                            let mut stats = KernelStats::default();
+                            for (linear, &block) in blocks.iter().enumerate() {
+                                if linear % num_sms != sm_id {
+                                    continue;
+                                }
+                                let mut block_stats =
+                                    KernelStats { blocks: 1, ..Default::default() };
+                                kernel.run_block_clean(block, &mut block_stats);
+                                stats.merge(&block_stats);
+                            }
+                            stats
+                        })
+                        .collect()
+                })
+                .collect();
+
+            for (part, ((&(_, kernel), (seq, deps)), mut span)) in
+                stage.iter().zip(meta).zip(spans).enumerate()
+            {
+                let per_sm: Vec<KernelStats> = by_sm.iter().map(|sm| sm[part]).collect();
+                let mut total = KernelStats::default();
+                for s in &per_sm {
+                    total.merge(s);
+                }
+                span.add_attr("flops", total.flops());
+                span.add_attr("blocks", total.blocks);
+                drop(span);
+                m.counter_inc("sim.launches");
+                m.counter_add("sim.flops", total.flops());
+                m.counter_add("sim.gmem_bytes", total.gmem_bytes());
+                m.counter_add("sim.blocks", total.blocks);
+                self.log.lock().push(LaunchRecord {
+                    seq,
+                    stream: stream.raw(),
+                    deps,
+                    name: kernel.name().to_string(),
+                    phase: kernel.phase().to_string(),
+                    utilization: kernel.utilization(),
+                    stats: total,
+                    per_sm,
+                });
+                out.push(total);
+            }
+        }
+        out
     }
 }
 

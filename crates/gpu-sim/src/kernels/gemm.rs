@@ -12,6 +12,7 @@ use crate::device::{BlockCtx, Kernel};
 use crate::dim::{BlockIdx, GridDim};
 use crate::inject::FaultSite;
 use crate::mem::{DeviceBuffer, SharedTile};
+use crate::pack::{self, CleanEngine, PackBuf, PackPool, MR, NR};
 use crate::stats::KernelStats;
 use aabft_numerics::{MulMode, RoundingMode};
 use std::cell::RefCell;
@@ -153,6 +154,11 @@ pub struct GemmKernel<'a> {
     mul_mode: MulMode,
     rounding: RoundingMode,
     utilization: f64,
+    engine: Option<CleanEngine>,
+    pack_pool: Option<&'a PackPool>,
+    /// Process-unique pack epoch: a [`PackBuf`] holding this epoch's panels
+    /// skips re-packing (operands cannot change between a kernel's blocks).
+    pack_epoch: u64,
 }
 
 impl<'a> GemmKernel<'a> {
@@ -190,7 +196,26 @@ impl<'a> GemmKernel<'a> {
             mul_mode: MulMode::Separate,
             rounding: RoundingMode::Nearest,
             utilization: 0.896,
+            engine: None,
+            pack_pool: None,
+            pack_epoch: pack::next_epoch(),
         }
+    }
+
+    /// Pins the clean-path engine for this kernel instance (tests and A/B
+    /// benchmarks; the default follows [`pack::default_engine`]).
+    pub fn with_clean_engine(mut self, engine: CleanEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Attaches a [`PackPool`] whose buffers the packed clean engine checks
+    /// out per block instead of using the thread-local arena — the batch
+    /// engine threads one per pooled `RunBuffers`, so panel allocations
+    /// are reused across batch requests of the same plan.
+    pub fn with_pack_pool(mut self, pool: &'a PackPool) -> Self {
+        self.pack_pool = Some(pool);
+        self
     }
 
     /// Switches the kernel to fused multiply-add arithmetic
@@ -351,6 +376,124 @@ impl Kernel for GemmKernel<'_> {
     }
 
     fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
+        match self.engine.unwrap_or_else(pack::default_engine) {
+            CleanEngine::Packed => {
+                match self.pack_pool {
+                    Some(pool) => {
+                        let mut buf = pool.take();
+                        self.run_block_packed(block, &mut buf);
+                        pool.put(buf);
+                    }
+                    None => pack::with_thread_buf(|buf| self.run_block_packed(block, buf)),
+                }
+                self.account_clean_block(stats);
+            }
+            CleanEngine::Scalar => self.run_block_scalar(block, stats),
+        }
+    }
+}
+
+impl GemmKernel<'_> {
+    /// Packed clean block: pack the block's `A` rows and `B` columns into
+    /// micro-panels, then run the 8×8 microkernel over every panel pair.
+    /// Each accumulator still consumes its products in ascending-`k` order
+    /// — the same per-accumulator sequence as the instrumented tile loops
+    /// — so results are bit-identical for any tiling; only the iteration
+    /// order *across* independent accumulators changes, which round-to-
+    /// nearest arithmetic cannot observe.
+    fn run_block_packed(&self, block: BlockIdx, buf: &mut PackBuf) {
+        let GemmTiling { bm, bn, .. } = self.tiling;
+        let (row0, col0) = (block.y * bm, block.x * bn);
+        let (n, q) = (self.n, self.q);
+        // No-op for every block after this worker's first (epoch hit).
+        buf.pack_all(self.pack_epoch, self.a, self.b, self.m, bm, n, n, q, bn, q);
+        pack::note_packed_block();
+        let (ppa, ppb) = (bm.div_ceil(MR), bn.div_ceil(NR));
+
+        for pi in 0..ppa {
+            let mr = MR.min(bm - pi * MR);
+            let ap = buf.a_panel(block.y * ppa + pi, mr, n);
+            for pj in 0..ppb {
+                let nr = NR.min(bn - pj * NR);
+                let bp = buf.b_panel(block.x * ppb + pj, nr, n);
+                let mut acc = [0.0f64; MR * NR];
+
+                if mr == MR && nr == NR {
+                    // Hot case: full 8×8 micro-tile, computed as two 4×8
+                    // register sub-tiles. A sub-tile's 32 live accumulators
+                    // plus the loaded panel fragments fit a 16×256-bit
+                    // vector register file (the full 8×8 tile alone would
+                    // consume it and spill every iteration); its four rows
+                    // of two vectors give 8 independent FMA chains. Each
+                    // accumulator still consumes its products in ascending
+                    // k — splitting rows only reorders work *across*
+                    // accumulators.
+                    for half in 0..2 {
+                        let i0 = half * 4;
+                        let mut sub = [0.0f64; 4 * NR];
+                        match self.mul_mode {
+                            MulMode::Separate => {
+                                for (af, bf) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+                                    for i in 0..4 {
+                                        let av = af[i0 + i];
+                                        for j in 0..NR {
+                                            sub[i * NR + j] += av * bf[j];
+                                        }
+                                    }
+                                }
+                            }
+                            MulMode::Fused => {
+                                for (af, bf) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+                                    for i in 0..4 {
+                                        let av = af[i0 + i];
+                                        for j in 0..NR {
+                                            sub[i * NR + j] =
+                                                av.mul_add(bf[j], sub[i * NR + j]);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        acc[i0 * NR..(i0 + 4) * NR].copy_from_slice(&sub);
+                    }
+                } else {
+                    // Edge micro-tiles (bm or bn not a multiple of 8).
+                    match self.mul_mode {
+                        MulMode::Separate => {
+                            for (af, bf) in ap.chunks_exact(mr).zip(bp.chunks_exact(nr)) {
+                                for (i, &av) in af.iter().enumerate() {
+                                    for (j, &bv) in bf.iter().enumerate() {
+                                        acc[i * NR + j] += av * bv;
+                                    }
+                                }
+                            }
+                        }
+                        MulMode::Fused => {
+                            for (af, bf) in ap.chunks_exact(mr).zip(bp.chunks_exact(nr)) {
+                                for (i, &av) in af.iter().enumerate() {
+                                    for (j, &bv) in bf.iter().enumerate() {
+                                        acc[i * NR + j] = av.mul_add(bv, acc[i * NR + j]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                for i in 0..mr {
+                    let base = (row0 + pi * MR + i) * q + col0 + pj * NR;
+                    for j in 0..nr {
+                        self.c.set(base + j, self.c.get(base + j) + acc[i * NR + j]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The PR-4 clean body (4×4 register blocking over direct buffer
+    /// reads), kept as the `CleanEngine::Scalar` baseline `bench_gemm`
+    /// measures the packed engine against.
+    fn run_block_scalar(&self, block: BlockIdx, stats: &mut KernelStats) {
         let GemmTiling { bm, bn, bk, rx, ry } = self.tiling;
         let (row0, col0) = (block.y * bm, block.x * bn);
         let threads_y = bm / rx;

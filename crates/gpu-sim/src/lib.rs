@@ -35,6 +35,7 @@ pub mod error;
 pub mod inject;
 pub mod kernels;
 pub mod mem;
+pub mod pack;
 pub mod perf;
 pub mod stats;
 pub mod stream;
@@ -45,6 +46,7 @@ pub use dim::{BlockIdx, GridDim};
 pub use error::ConfigError;
 pub use inject::{FaultScope, FaultSite, InjectionPlan, KernelFaultPlan, MemoryFaultPlan};
 pub use mem::{DeviceBuffer, SharedTile};
+pub use pack::{CleanEngine, PackBuf, PackPool};
 pub use perf::{PerfModel, PhaseCost, Schedule, ScheduledLaunch};
 pub use stats::{KernelStats, LaunchRecord};
 pub use stream::{Event, ExecCtx, StreamId};

@@ -1,0 +1,344 @@
+//! BLAS-style operand packing for the clean-path GEMM engine (DESIGN §12).
+//!
+//! The packed engine copies both operands into contiguous micro-panels
+//! before the microkernel runs: `A` rows are packed into column-panels of
+//! up to [`MR`] rows laid out k-major (the `MR` values a given `k`
+//! contributes sit next to each other) and `B` columns into row-panels of
+//! up to [`NR`] columns. The microkernel then streams both panels front to
+//! back, so the hot k-loop touches two forward-moving cache lines instead
+//! of `MR + 1` strided ones and performs no per-element bounds checks at
+//! all — those happen once per row during packing via
+//! [`DeviceBuffer::read_slice`].
+//!
+//! Packing happens **once per kernel instance**, not per block: every
+//! [`GemmKernel`](crate::kernels::gemm::GemmKernel) draws a fresh *pack
+//! epoch* at construction, and [`PackBuf::pack_all`] is a no-op when the
+//! buffer already holds that epoch's panels. Since a kernel's operands
+//! cannot change between its blocks (only `C` is written), each worker
+//! packs the full operands on its first block and every later block reuses
+//! them — the O(n³/bn) per-block copy cost collapses to O(n²) per launch.
+//!
+//! Pack buffers are likewise reused, never reallocated per block: kernels
+//! that carry a [`PackPool`] (the batch engine threads one through every
+//! pooled `RunBuffers`, so panel storage survives across batch requests)
+//! check a [`PackBuf`] out per block and return it afterwards; kernels
+//! without a pool fall back to a thread-local arena with the same reuse
+//! property.
+
+use crate::mem::DeviceBuffer;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Micro-panel height: rows of `A` per column-panel (microkernel rows).
+pub const MR: usize = 8;
+/// Micro-panel width: columns of `B` per row-panel (microkernel columns).
+pub const NR: usize = 8;
+
+/// Which clean-path GEMM body the device dispatches to.
+///
+/// Both engines are bit-identical to the instrumented path (every
+/// accumulator consumes its products in ascending-`k` order); they differ
+/// only in speed and in the `sim.packed_blocks` telemetry. `Scalar` is the
+/// PR-4 register-blocked body kept as the A/B baseline for `bench_gemm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanEngine {
+    /// Packed micro-panels + 8×8 microkernel (the default).
+    Packed,
+    /// Direct `DeviceBuffer` reads, 4×4 register blocking.
+    Scalar,
+}
+
+/// Process-wide default engine (kernels may override per instance).
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
+/// Source of pack epochs; 0 is reserved for "nothing packed".
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+/// Total clean blocks executed by the packed engine (telemetry for
+/// `bench_gemm --assert-dispatch packed` and the tier-1 smoke gate).
+static PACKED_BLOCKS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the process-wide default clean engine (used by `bench_gemm` to A/B
+/// the packed engine against the scalar baseline through the full
+/// pipeline). Kernels constructed with an explicit engine are unaffected.
+pub fn set_default_engine(engine: CleanEngine) {
+    DEFAULT_ENGINE.store(matches!(engine, CleanEngine::Scalar) as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide default clean engine.
+pub fn default_engine() -> CleanEngine {
+    if DEFAULT_ENGINE.load(Ordering::Relaxed) == 0 {
+        CleanEngine::Packed
+    } else {
+        CleanEngine::Scalar
+    }
+}
+
+/// Records one block executed by the packed engine.
+pub(crate) fn note_packed_block() {
+    PACKED_BLOCKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Monotonic count of blocks executed by the packed engine since process
+/// start.
+pub fn packed_blocks() -> u64 {
+    PACKED_BLOCKS.load(Ordering::Relaxed)
+}
+
+/// Draws a fresh, process-unique pack epoch (never 0). Each GEMM kernel
+/// instance takes one at construction; a [`PackBuf`] holding that epoch's
+/// panels skips re-packing for every subsequent block of the same kernel.
+pub fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Reusable packing storage for one GEMM kernel's operands: `A`
+/// column-panels, `B` row-panels and a row staging buffer. Panels are laid
+/// out per-panel at a fixed [`MR`]·k / [`NR`]·k stride so edge panels
+/// (fewer than `MR` rows or `NR` columns) address the same offsets as full
+/// ones; panel indices count globally across block rows/columns.
+#[derive(Debug, Default)]
+pub struct PackBuf {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    row: Vec<f64>,
+    /// Pack epoch whose panels the buffer currently holds (0 = none).
+    key: u64,
+}
+
+impl PackBuf {
+    /// Grows the storage (never shrinks) for `a_panels`/`b_panels` panels
+    /// of depth `k` and a `row_len` staging row.
+    fn ensure(&mut self, a_panels: usize, b_panels: usize, k: usize, row_len: usize) {
+        if self.a.len() < a_panels * MR * k {
+            self.a.resize(a_panels * MR * k, 0.0);
+        }
+        if self.b.len() < b_panels * NR * k {
+            self.b.resize(b_panels * NR * k, 0.0);
+        }
+        if self.row.len() < row_len {
+            self.row.resize(row_len, 0.0);
+        }
+    }
+
+    /// Packs the whole row-major `m × k` matrix `a` (pitch `lda`) into
+    /// column-panels, block row by block row: block row `by` covers rows
+    /// `by·bm ..`, its panel `pi` holds up to [`MR`] of those rows k-major
+    /// with element `(i, k)` at `k·mr + i`. Global panel index:
+    /// `by · ⌈bm/MR⌉ + pi`.
+    pub fn pack_a(&mut self, a: &DeviceBuffer, m: usize, bm: usize, k: usize, lda: usize) {
+        debug_assert_eq!(m % bm, 0, "GEMM operands are padded to block multiples");
+        let ppb = bm.div_ceil(MR);
+        self.ensure((m / bm) * ppb, 0, k, k);
+        for by in 0..m / bm {
+            for pi in 0..ppb {
+                let mr = MR.min(bm - pi * MR);
+                let base = (by * ppb + pi) * MR * k;
+                let panel = &mut self.a[base..base + mr * k];
+                for i in 0..mr {
+                    a.read_slice((by * bm + pi * MR + i) * lda, &mut self.row[..k]);
+                    for (kk, &v) in self.row[..k].iter().enumerate() {
+                        panel[kk * mr + i] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Packs the whole row-major `k × q` matrix `b` (pitch `ldb`) into
+    /// row-panels, block column by block column: block column `bx` covers
+    /// columns `bx·bn ..`, its panel `pj` holds up to [`NR`] of those
+    /// columns with element `(k, j)` at `k·nr + j`. Global panel index:
+    /// `bx · ⌈bn/NR⌉ + pj`.
+    pub fn pack_b(&mut self, b: &DeviceBuffer, q: usize, bn: usize, k: usize, ldb: usize) {
+        debug_assert_eq!(q % bn, 0, "GEMM operands are padded to block multiples");
+        let ppb = bn.div_ceil(NR);
+        self.ensure(0, (q / bn) * ppb, k, k.max(bn));
+        for bx in 0..q / bn {
+            for kk in 0..k {
+                b.read_slice(kk * ldb + bx * bn, &mut self.row[..bn]);
+                for pj in 0..ppb {
+                    let nr = NR.min(bn - pj * NR);
+                    let base = (bx * ppb + pj) * NR * k + kk * nr;
+                    self.b[base..base + nr].copy_from_slice(&self.row[pj * NR..pj * NR + nr]);
+                }
+            }
+        }
+    }
+
+    /// Packs both operands unless the buffer already holds `epoch`'s
+    /// panels (every block after a worker's first is a no-op). `lda`/`ldb`
+    /// are the row pitches of `a`/`b`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pack_all(
+        &mut self,
+        epoch: u64,
+        a: &DeviceBuffer,
+        b: &DeviceBuffer,
+        m: usize,
+        bm: usize,
+        k: usize,
+        lda: usize,
+        q: usize,
+        bn: usize,
+        ldb: usize,
+    ) {
+        if self.key == epoch && epoch != 0 {
+            return;
+        }
+        self.pack_a(a, m, bm, k, lda);
+        self.pack_b(b, q, bn, k, ldb);
+        self.key = epoch;
+    }
+
+    /// Global panel `pi` of the packed `A` (rows `mr`, depth `k`).
+    pub fn a_panel(&self, pi: usize, mr: usize, k: usize) -> &[f64] {
+        &self.a[pi * MR * k..pi * MR * k + mr * k]
+    }
+
+    /// Global panel `pj` of the packed `B` (columns `nr`, depth `k`).
+    pub fn b_panel(&self, pj: usize, nr: usize, k: usize) -> &[f64] {
+        &self.b[pj * NR * k..pj * NR * k + nr * k]
+    }
+}
+
+/// A shared pool of [`PackBuf`]s. Clean GEMM blocks check a buffer out,
+/// pack into it and return it, so the pool's high-water mark is the number
+/// of worker threads concurrently inside the packed engine — and the
+/// allocations live as long as the pool (the batch engine keeps one per
+/// pooled `RunBuffers`, reusing panels across requests of the same plan).
+#[derive(Debug, Default)]
+pub struct PackPool {
+    bufs: Mutex<Vec<PackBuf>>,
+}
+
+impl PackPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a buffer out (allocating an empty one on a dry pool).
+    pub fn take(&self) -> PackBuf {
+        self.bufs.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn put(&self, buf: PackBuf) {
+        self.bufs.lock().push(buf);
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn len(&self) -> usize {
+        self.bufs.lock().len()
+    }
+
+    /// Whether the pool currently holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.lock().is_empty()
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<PackBuf> = RefCell::new(PackBuf::default());
+}
+
+/// Runs `f` with this thread's arena [`PackBuf`] (kernels without a
+/// [`PackPool`]; the arena persists for the thread's lifetime, so panels
+/// are reused across blocks and launches).
+pub fn with_thread_buf<R>(f: impl FnOnce(&mut PackBuf) -> R) -> R {
+    ARENA.with(|arena| f(&mut arena.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(len: usize) -> DeviceBuffer {
+        let buf = DeviceBuffer::zeros(len);
+        buf.write_slice(0, &(0..len).map(|x| x as f64).collect::<Vec<_>>());
+        buf
+    }
+
+    #[test]
+    fn packs_a_into_k_major_panels() {
+        let a = iota(60);
+        // 12 rows × 5 cols, one 12-row block: panels of 8 and 4 rows.
+        let mut buf = PackBuf::default();
+        buf.pack_a(&a, 12, 12, 5, 5);
+        let p0 = buf.a_panel(0, 8, 5);
+        assert_eq!(p0[0], 0.0); // (i=0, k=0)
+        assert_eq!(p0[1], 5.0); // (i=1, k=0) = a[1][0]
+        assert_eq!(p0[8], 1.0); // (i=0, k=1) = a[0][1]
+        let p1 = buf.a_panel(1, 4, 5);
+        assert_eq!(p1[0], 40.0); // (i=8, k=0) = a[8][0]
+        assert_eq!(p1[4 + 1], 46.0); // (i=9, k=1) = a[9][1]
+    }
+
+    #[test]
+    fn packs_b_into_row_panels() {
+        let b = iota(36);
+        // 3 rows (k) × 12 cols, one 12-column block: panels of 8 and 4
+        // columns.
+        let mut buf = PackBuf::default();
+        buf.pack_b(&b, 12, 12, 3, 12);
+        let p0 = buf.b_panel(0, 8, 3);
+        assert_eq!(&p0[..8], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(p0[8], 12.0); // (k=1, j=0) = b[1][0]
+        let p1 = buf.b_panel(1, 4, 3);
+        assert_eq!(&p1[..4], &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(p1[4], 20.0); // (k=1, j=8) = b[1][8]
+    }
+
+    #[test]
+    fn packs_all_block_columns_with_global_panel_indices() {
+        let b = iota(48);
+        // 3 rows (k) × 16 cols in two 8-column blocks: one panel each.
+        let mut buf = PackBuf::default();
+        buf.pack_b(&b, 16, 8, 3, 16);
+        let p0 = buf.b_panel(0, 8, 3);
+        assert_eq!(&p0[..8], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let p1 = buf.b_panel(1, 8, 3);
+        assert_eq!(p1[0], 8.0); // (k=0, j=8): first column of block 1
+        assert_eq!(p1[8], 24.0); // (k=1, j=8) = b[1][8]
+    }
+
+    #[test]
+    fn pack_all_skips_repacking_within_an_epoch() {
+        let a = iota(16); // 4×4
+        let b = iota(16);
+        let mut buf = PackBuf::default();
+        let epoch = next_epoch();
+        buf.pack_all(epoch, &a, &b, 4, 4, 4, 4, 4, 4, 4);
+        assert_eq!(buf.a_panel(0, 4, 4)[0], 0.0);
+        // Mutating the operand without changing the epoch must NOT be
+        // picked up (same kernel instance ⇒ operands cannot change)...
+        a.set(0, 99.0);
+        buf.pack_all(epoch, &a, &b, 4, 4, 4, 4, 4, 4, 4);
+        assert_eq!(buf.a_panel(0, 4, 4)[0], 0.0, "epoch hit must skip the re-pack");
+        // ...while a fresh epoch (a new kernel) re-packs.
+        buf.pack_all(next_epoch(), &a, &b, 4, 4, 4, 4, 4, 4, 4);
+        assert_eq!(buf.a_panel(0, 4, 4)[0], 99.0, "new epoch must re-pack");
+    }
+
+    #[test]
+    fn pool_reuses_buffers() {
+        let pool = PackPool::new();
+        let mut buf = pool.take();
+        buf.ensure(2, 2, 32, 32);
+        let cap = buf.a.capacity();
+        pool.put(buf);
+        assert_eq!(pool.len(), 1);
+        let again = pool.take();
+        assert_eq!(again.a.capacity(), cap, "pooled allocation must be reused");
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn default_engine_toggles() {
+        assert_eq!(default_engine(), CleanEngine::Packed);
+        set_default_engine(CleanEngine::Scalar);
+        assert_eq!(default_engine(), CleanEngine::Scalar);
+        set_default_engine(CleanEngine::Packed);
+        assert_eq!(default_engine(), CleanEngine::Packed);
+    }
+}

@@ -169,6 +169,14 @@ impl<'a> ExecCtx<'a> {
         self.device.launch_on(self.stream, grid, kernel)
     }
 
+    /// Issues a barrier-separated schedule of kernels as one fused clean
+    /// dispatch on this context's stream when possible, falling back to
+    /// separate (instrumented as required) launches otherwise — see
+    /// [`Device::launch_fused_on`].
+    pub fn launch_fused(&self, stages: &[&[(GridDim, &dyn Kernel)]]) -> Vec<KernelStats> {
+        self.device.launch_fused_on(self.stream, stages)
+    }
+
     /// Records an event at this context's stream frontier.
     pub fn record_event(&self) -> Event {
         self.device.record_event(self.stream)

@@ -16,6 +16,9 @@ cargo test -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+# The packed clean-path engine (pack module + microkernel) gets an
+# explicit pass so a lint regression there names the right crate.
+cargo clippy -p aabft-gpu-sim --all-targets -- -D warnings
 
 # Deterministic-seed fault-campaign smoke: exponent flips must stay >= 90%
 # detected on the plain scheme, and the self-healing executor must release
@@ -40,6 +43,17 @@ $aabft campaign --n 32 --bs 8 --trials 60 --seed 11 --region exponent \
 # perf numbers live in BENCH_gemm.json.
 echo "==> dual-path bench smoke"
 cargo run --release -q -p aabft-bench --bin bench_gemm -- \
-    --sizes 64,128 --reps 1 --json target/BENCH_smoke.json --assert-dispatch true
+    --sizes 64,128 --reps 1 --engine packed --instrumented true \
+    --json target/BENCH_smoke.json --assert-dispatch true
+
+# Packed-engine gate: the packed clean engine must beat the PR-4 scalar
+# body by >= 2.5x on identical inputs (bit-identity is asserted inside),
+# and the fused encode+gemm epilogue must run the clean pipeline in 4
+# dispatches with packed-block telemetry advancing.
+echo "==> packed engine gate"
+cargo run --release -q -p aabft-bench --bin bench_gemm -- \
+    --sizes 1024 --reps 2 --engine both --instrumented false \
+    --json target/BENCH_packed_gate.json \
+    --assert-speedup 2.5 --assert-dispatch packed
 
 echo "tier-1: all green"
