@@ -37,6 +37,29 @@ use aabft_gpu_sim::pack::PackPool;
 use aabft_gpu_sim::{ConfigError, ExecCtx};
 use aabft_matrix::Matrix;
 
+/// Smoothing factor for the `abft.fault_rate_ewma` gauge: each check
+/// verdict contributes a 0/1 "flagged" sample with this weight, so the
+/// gauge tracks the recent per-check detected-fault probability over
+/// roughly the last `1/α = 10` checks.
+const FAULT_RATE_EWMA_ALPHA: f64 = 0.1;
+
+/// Feeds one check verdict into the online fault-rate estimator
+/// (`abft.fault_rate_ewma`): an EWMA of the flagged/clean bit, seeded by
+/// the first sample. Plain runs sample once per multiply (in
+/// `conclude`); the self-healing loop samples every decoded verdict,
+/// including re-checks after repair. The read-modify-write is not
+/// atomic; under a rayon campaign concurrent updates may drop samples,
+/// which only slows convergence — the gauge always stays a convex
+/// combination of 0/1 samples, hence within [0, 1].
+pub(crate) fn observe_fault_rate(metrics: &aabft_obs::Metrics, flagged: bool) {
+    let sample = f64::from(u8::from(flagged));
+    let ewma = match metrics.gauge("abft.fault_rate_ewma") {
+        Some(prev) => prev + FAULT_RATE_EWMA_ALPHA * (sample - prev),
+        None => sample,
+    };
+    metrics.gauge_set("abft.fault_rate_ewma", ewma);
+}
+
 /// Result of one protected multiplication.
 #[derive(Debug)]
 pub struct AAbftOutcome {
@@ -320,7 +343,15 @@ impl AAbftGemm {
         for i in 0..n {
             bufs.b.write_slice(i * plan.cols.total, b.row(i));
         }
-        let run = MultiplyRun { config: self.config, m, n, q, plan, bufs };
+        let run = MultiplyRun {
+            config: self.config,
+            m,
+            n,
+            q,
+            plan,
+            bufs,
+            launch_base: ctx.device.launches_issued(),
+        };
         run.land_memory_faults(ctx, "upload");
         Ok(run)
     }
@@ -338,6 +369,11 @@ pub struct MultiplyRun {
     q: usize,
     plan: GemmPlan,
     bufs: RunBuffers,
+    /// Device launch-sequence frontier when this run began; the distance
+    /// from here to a completed check is the run's detection latency in
+    /// launches (on a shared device, interleaved runs' launches count —
+    /// that is the real distance to detection the host observes).
+    launch_base: u64,
 }
 
 impl MultiplyRun {
@@ -458,6 +494,14 @@ impl MultiplyRun {
         )
         .with_diag(&self.bufs.diag);
         ctx.launch(check.grid(), &check);
+        // Detection latency: launches issued between pipeline start and
+        // the comparison that could flag. Heal re-checks observe again at
+        // their larger distance, so the histogram's tail shows how much
+        // of the ladder ran before the verdict.
+        ctx.obs.metrics.observe(
+            "check.detection_latency_launches",
+            ctx.device.launches_issued().saturating_sub(self.launch_base) as f64,
+        );
         self.land_memory_faults(ctx, "check");
     }
 
@@ -518,6 +562,10 @@ impl MultiplyRun {
         corrections: Vec<Correction>,
         recomputed_blocks: Vec<(usize, usize)>,
     ) -> (AAbftOutcome, RunBuffers) {
+        // `finish` passes the readback it already holds; `finish_healed`
+        // passes None — which also tells us the healing loop owns the
+        // fault-rate samples for this run.
+        let sample_fault_rate = full.is_some();
         let MultiplyRun { config, m, q, plan, bufs, .. } = self;
         let GemmPlan { rows, cols, .. } = plan;
         let full = full.unwrap_or_else(|| FullChecksummed {
@@ -539,10 +587,42 @@ impl MultiplyRun {
         metrics.counter_add("abft.corrections", corrections.len() as u64);
         metrics.counter_add("abft.recomputed_blocks", recomputed_blocks.len() as u64);
         metrics.gauge_set("abft.pmax_p", config.p as f64);
+        let mut eps_lo = f64::INFINITY;
+        let mut eps_hi = 0.0_f64;
         for block in bufs.diag.to_vec().chunks_exact(DIAG_WORDS) {
             metrics.observe("check.residual", block[0]);
             metrics.observe("check.bound_y", block[1]);
             metrics.observe("check.epsilon", block[2]);
+            // Detector headroom: the fraction of its autonomous tolerance
+            // ε the block's worst residual consumed. Passing blocks
+            // (residual ≤ ε) feed `check.headroom`, whose p99 stays
+            // strictly below 1 on a healthy run; flagged blocks feed
+            // `check.exceedance` instead, so fault campaigns cannot smear
+            // the headroom tail they are supposed to leave intact.
+            let (resid, eps) = (block[0], block[2]);
+            if eps > 0.0 {
+                if resid <= eps {
+                    metrics.observe("check.headroom", resid / eps);
+                } else {
+                    metrics.observe("check.exceedance", resid / eps);
+                }
+                eps_lo = eps_lo.min(eps);
+                eps_hi = eps_hi.max(eps);
+            }
+        }
+        // Epsilon drift: spread of the per-block autonomous tolerances
+        // within one multiply (max ε / min ε ≥ 1). A drifting bound —
+        // e.g. a p-max estimate degrading across blocks — widens this.
+        if eps_lo.is_finite() && eps_lo > 0.0 {
+            metrics.observe("check.epsilon_drift", eps_hi / eps_lo);
+        }
+        // Plain runs sample the fault-rate estimator here, with the check
+        // verdict recovery acted on. Healed runs sampled every decoded
+        // verdict inside the healing loop already — their `report` is the
+        // final clean re-check, which the loop has sampled, so sampling
+        // again would double-count it.
+        if sample_fault_rate {
+            observe_fault_rate(metrics, report.errors_detected());
         }
 
         (AAbftOutcome { product, full, report, corrections, recomputed_blocks }, bufs)
@@ -812,6 +892,27 @@ mod tests {
         assert_eq!(resid.count, 16);
         let eps = obs.metrics.histogram("check.epsilon").expect("epsilon histogram");
         assert!(resid.max <= eps.max, "clean-run residuals stay within tolerance");
+
+        // Detector-health telemetry: every block passed, so each one
+        // contributes a headroom sample strictly below 1, no exceedance
+        // samples exist, epsilon drift is >= 1, the check observed its
+        // latency in launches (6-launch pipeline, check last), and the
+        // clean run seeds the fault-rate EWMA at zero.
+        let headroom = obs.metrics.histogram("check.headroom").expect("headroom histogram");
+        assert_eq!(headroom.count, 16);
+        assert!(headroom.max < 1.0, "clean-run headroom max {}", headroom.max);
+        assert!(headroom.p99() < 1.0, "clean-run headroom p99 {}", headroom.p99());
+        assert!(obs.metrics.histogram("check.exceedance").is_none());
+        let drift = obs.metrics.histogram("check.epsilon_drift").expect("drift histogram");
+        assert_eq!(drift.count, 1);
+        assert!(drift.min >= 1.0);
+        let latency = obs
+            .metrics
+            .histogram("check.detection_latency_launches")
+            .expect("latency histogram");
+        assert_eq!(latency.count, 1);
+        assert_eq!(latency.max, 6.0);
+        assert_eq!(obs.metrics.gauge("abft.fault_rate_ewma"), Some(0.0));
 
         let spans = obs.recorder.spans();
         assert!(spans.iter().any(|s| s.cat == "abft" && s.name == "aabft_multiply"));

@@ -172,6 +172,7 @@ pub(crate) fn heal_run(
 
     loop {
         let report = run.decode_report();
+        crate::aabft::observe_fault_rate(metrics, report.errors_detected());
         if !report.errors_detected() {
             metrics.counter_inc("recovery.verified_ok");
             let (outcome, bufs) = run.finish_healed(ctx, report, corrections, recomputed);

@@ -1,0 +1,100 @@
+//! Bench regression gate: re-measures the packed clean-path GEMM and
+//! fails (exit 1) when it regresses against the committed baseline.
+//!
+//! Reads one record (`--n`, packed engine) out of the `bench_gemm` JSON
+//! baseline (`BENCH_gemm.json` at the repo root), runs a fresh
+//! min-of-`--reps` measurement of the same protected multiply with the
+//! same input generation, and compares host GFLOP/s. A fresh result more
+//! than `--max-regress` percent below the baseline is a tier-1 failure;
+//! an improvement beyond the same margin is reported (the baseline is
+//! stale) but does not fail.
+//!
+//! ```text
+//! cargo run --release -p aabft-bench --bin bench_check -- \
+//!     --baseline BENCH_gemm.json --n 1024 --reps 3 --max-regress 15
+//! ```
+//!
+//! Reads `clean_ms_min` from the baseline, falling back to the
+//! deprecated `clean_ms` alias (DESIGN §13).
+
+use aabft_bench::args::Args;
+use aabft_core::{AAbftConfig, AAbftGemm};
+use aabft_gpu_sim::device::Device;
+use aabft_gpu_sim::pack::{self, CleanEngine};
+use aabft_matrix::Matrix;
+use aabft_obs::json::JsonValue;
+use std::time::Instant;
+
+/// Finds the baseline record for `(n, engine)` in the bench_gemm array.
+fn find_record<'a>(records: &'a JsonValue, n: u64, engine: &str) -> Option<&'a JsonValue> {
+    records.as_array()?.iter().find(|r| {
+        r.get("n").and_then(|v| v.as_u64()) == Some(n)
+            && r.get("engine").and_then(|v| v.as_str()) == Some(engine)
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let baseline_path = args.get("baseline", "BENCH_gemm.json".to_string());
+    let n = args.get("n", 1024usize);
+    let reps = args.get("reps", 3usize);
+    let warmup = args.get("warmup", 1usize);
+    let max_regress = args.get("max-regress", 15.0f64);
+
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("reading baseline {baseline_path:?}: {e}"));
+    let records = aabft_obs::json::parse(&text)
+        .unwrap_or_else(|e| panic!("{baseline_path}: invalid JSON: {e}"));
+    let rec = find_record(&records, n as u64, "packed")
+        .unwrap_or_else(|| panic!("{baseline_path}: no packed record at n = {n}"));
+    let base_ms = rec
+        .get("clean_ms_min")
+        .or_else(|| rec.get("clean_ms")) // deprecated alias
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("{baseline_path}: record lacks clean_ms_min/clean_ms"));
+    let base_gflops = rec
+        .get("host_gflops")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("{baseline_path}: record lacks host_gflops"));
+
+    // Same inputs and measurement discipline as bench_gemm: fault-free
+    // device, packed clean engine, min over timed reps.
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) as f64 * 0.017).sin());
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) as f64 * 0.013).cos());
+    let gemm = AAbftGemm::new(AAbftConfig::default());
+    pack::set_default_engine(CleanEngine::Packed);
+    let dev = Device::with_defaults();
+    for _ in 0..warmup {
+        gemm.multiply(&dev, &a, &b);
+    }
+    let min_s = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            gemm.multiply(&dev, &a, &b);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(dev.clean_path_launches() > 0, "fault-free run must engage the clean path");
+
+    let fresh_gflops = 2.0 * (n as f64).powi(3) / min_s / 1e9;
+    let ratio = fresh_gflops / base_gflops;
+    println!("bench_check: packed clean GEMM at n = {n} ({reps} reps, {warmup} warmup)");
+    println!("  baseline : {base_ms:>9.3} ms  {base_gflops:>8.2} GFLOP/s  ({baseline_path})");
+    println!("  fresh    : {:>9.3} ms  {fresh_gflops:>8.2} GFLOP/s", min_s * 1e3);
+    println!("  ratio    : {ratio:.3}x  (gate: >= {:.3}x)", 1.0 - max_regress / 100.0);
+
+    if fresh_gflops < base_gflops * (1.0 - max_regress / 100.0) {
+        eprintln!(
+            "REGRESSION: fresh {fresh_gflops:.2} GFLOP/s is more than {max_regress}% below \
+             baseline {base_gflops:.2} — rerun bench_gemm and investigate before re-baselining"
+        );
+        std::process::exit(1);
+    }
+    if fresh_gflops > base_gflops * (1.0 + max_regress / 100.0) {
+        println!(
+            "note: fresh result beats baseline by more than {max_regress}% — consider \
+             regenerating {baseline_path} (cargo run --release -p aabft-bench --bin bench_gemm)"
+        );
+    }
+    println!("bench_check: OK");
+}

@@ -226,9 +226,13 @@ fn main() {
                 inst_col,
             );
 
+            // `clean_ms_min` is the canonical field; `clean_ms` is a
+            // deprecated alias kept for one release so existing baseline
+            // consumers keep parsing (DESIGN §13).
             let mut rec = JsonObject::new()
                 .int("n", n as u64)
                 .str("engine", engine_name(r.engine))
+                .num("clean_ms_min", r.min_s * 1e3)
                 .num("clean_ms", r.min_s * 1e3)
                 .num("clean_ms_median", r.median_s * 1e3)
                 .num("host_gflops", gflops)

@@ -19,7 +19,9 @@ use aabft_bench::table1::modelled_row;
 use aabft_core::recover::RecoveryPolicy;
 use aabft_core::{AAbftConfig, AAbftGemm, SelfHealingGemm, DEFAULT_HEAL_BUDGET};
 use aabft_faults::bitflip::BitRegion;
-use aabft_faults::campaign::{run_campaign, run_selfheal_campaign, CampaignConfig};
+use aabft_faults::campaign::{
+    run_campaign, run_selfheal_campaign, run_selfheal_campaign_chunked, CampaignConfig,
+};
 use aabft_faults::plan::{FaultSpec, InjectScope, MemScope};
 use aabft_gpu_sim::inject::FaultScope;
 use aabft_gpu_sim::device::Device;
@@ -29,9 +31,10 @@ use aabft_gpu_sim::perf::PerfModel;
 use aabft_gpu_sim::stats::LaunchRecord;
 use aabft_gpu_sim::trace::build_trace;
 use aabft_matrix::gen::InputClass;
-use aabft_obs::Obs;
+use aabft_obs::json::JsonValue;
+use aabft_obs::{JsonObject, Obs, Snapshotter};
 use rand::SeedableRng;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Observability session shared by every subcommand: the process-global
@@ -102,12 +105,27 @@ COMMANDS
              gate flags (non-zero exit on violation):
              --assert-min-detection 90 --assert-zero-sdc true
              --assert-zero-unrecovered true
+             run-health telemetry (self-heal campaigns):
+             --snapshot <path>  periodic JSONL registry snapshots
+             --snapshot-every N  trials per snapshot epoch (default trials/8)
+             --json <path>  write the final DetectionStats as JSON
+  report     render a run-health report from snapshot JSONL
+             --snapshots <path> (from campaign --snapshot)
+             --campaign <path>  (from campaign --json; cross-checked
+             field-for-field against the snapshot counters)
+             gate flags (non-zero exit on violation):
+             --assert-min-detection 90 --assert-headroom-p99 1.0
+             --assert-zero-sdc true --assert-zero-unrecovered true
   bounds     print a bound-quality row (Tables II-IV style)
              --n 256 --input unit|hundred|dynamic --samples 1024
   perf       print Table-I style modelled GFLOPS
              --sizes 512,1024,...,8192 --bs 32 --p 2
   profile    per-phase time/FLOP/traffic breakdown of one protected multiply
              --n 1024 --bs 32 --p 2
+             --folded <path>     write per-launch folded stacks (flamegraph
+                                 collapsed format, values in modelled µs)
+             --folded-sm <path>  per-SM variant (load balance; per-SM times
+                                 overlap, totals are not pipeline time)
   gemv       protected matrix-vector multiply (optionally with a fault)
              --n 128 --bs 16 --inject true --recompute true
   lu         protected LU factorization
@@ -316,11 +334,32 @@ pub fn cmd_campaign(args: &Args) {
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"))
     };
     let scheme = args.get("scheme", "aabft".to_string());
+    let snapshot_path = args.get("snapshot", String::new());
     let report = if selfheal {
         let heal = SelfHealingGemm::new(AAbftGemm::new(aabft_config()))
             .with_budget(args.get("budget", DEFAULT_HEAL_BUDGET));
-        run_selfheal_campaign(&heal, &config)
+        if snapshot_path.is_empty() {
+            run_selfheal_campaign(&heal, &config)
+        } else {
+            // Snapshot the registry every chunk of trials; the chunked
+            // runner keeps campaign.* counters exactly in step with its
+            // DetectionStats, so the last snapshot equals the final
+            // statistics field-for-field.
+            let every = args.get("snapshot-every", config.trials.div_ceil(8).max(1));
+            let mut snap = Snapshotter::create(session.obs.clone(), Path::new(&snapshot_path))
+                .unwrap_or_else(|e| panic!("creating {snapshot_path:?}: {e}"));
+            let report =
+                run_selfheal_campaign_chunked(&heal, &config, &session.obs, every, |_, _| {
+                    snap.tick().unwrap_or_else(|e| panic!("writing {snapshot_path:?}: {e}"));
+                });
+            println!("snapshots written to {snapshot_path} ({} epochs)", snap.epochs());
+            report
+        }
     } else {
+        assert!(
+            snapshot_path.is_empty(),
+            "--snapshot needs --selfheal true (plain campaigns are single-batch)"
+        );
         assert!(
             matches!(scope, InjectScope::GemmSites),
             "--scope {} needs --selfheal true (plain campaigns only inject GEMM sites)",
@@ -363,6 +402,21 @@ pub fn cmd_campaign(args: &Args) {
         println!("  mis-corrected   : {} (released product still critical = silent SDC)",
             s.mis_corrected);
     }
+    let json_path = args.get("json", String::new());
+    if !json_path.is_empty() {
+        let o = JsonObject::new()
+            .str("scheme", report.scheme)
+            .int("n", n as u64)
+            .int("trials", config.trials as u64)
+            .int("seed", config.seed)
+            .str("scope", scope.label())
+            .object("stats", s.to_json());
+        let mut text = o.render();
+        text.push('\n');
+        std::fs::write(&json_path, text).unwrap_or_else(|e| panic!("writing {json_path:?}: {e}"));
+        println!("campaign stats written to {json_path}");
+    }
+
     // Campaigns run one device per trial; the trace carries the tagged
     // trial spans rather than a single device timeline.
     session.finish(&[]);
@@ -535,7 +589,225 @@ pub fn cmd_profile(args: &Args) {
     println!("  errors detected : {}", outcome.errors_detected());
     println!();
     print!("{}", session.obs.metrics.snapshot().render_table());
+
+    // Folded-stack export: one line per launch record, consumable by
+    // flamegraph tooling; parsing it back and summing per phase/kernel
+    // reproduces the table above exactly (same additions, same order).
+    let folded = args.get("folded", String::new());
+    if !folded.is_empty() {
+        let text = aabft_gpu_sim::folded::folded_stacks(&log, &model);
+        std::fs::write(&folded, &text).unwrap_or_else(|e| panic!("writing {folded:?}: {e}"));
+        println!("folded stacks written to {folded} ({} lines)", text.lines().count());
+    }
+    let folded_sm = args.get("folded-sm", String::new());
+    if !folded_sm.is_empty() {
+        let text = aabft_gpu_sim::folded::folded_stacks_per_sm(&log, &model);
+        std::fs::write(&folded_sm, &text).unwrap_or_else(|e| panic!("writing {folded_sm:?}: {e}"));
+        println!("per-SM folded stacks written to {folded_sm} ({} lines)", text.lines().count());
+    }
     session.finish(&log);
+}
+
+/// Counter value from one snapshot record (0 if absent).
+fn snap_counter(snap: &JsonValue, name: &str) -> u64 {
+    snap.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+/// Histogram statistic from one snapshot record.
+fn snap_hist(snap: &JsonValue, name: &str, field: &str) -> Option<f64> {
+    snap.get("histograms").and_then(|h| h.get(name)).and_then(|h| h.get(field)).and_then(|v| v.as_f64())
+}
+
+/// `aabft report` — renders a run-health report from the snapshot JSONL
+/// a self-heal campaign wrote with `--snapshot`: detection aggregates,
+/// recovery-ladder usage, detector-headroom percentiles and the
+/// per-epoch throughput trajectory. With `--campaign <path>` (the
+/// `--json` output of the same run) the snapshot counters are
+/// cross-checked against the campaign's own `DetectionStats`. `--assert-*`
+/// flags turn report lines into gates: any violation exits non-zero.
+pub fn cmd_report(args: &Args) {
+    let snap_path = args.get("snapshots", String::new());
+    assert!(
+        !snap_path.is_empty(),
+        "aabft report needs --snapshots <path> (JSONL from `aabft campaign --snapshot`)"
+    );
+    let text = std::fs::read_to_string(&snap_path)
+        .unwrap_or_else(|e| panic!("reading {snap_path:?}: {e}"));
+    let snaps: Vec<JsonValue> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            aabft_obs::json::parse(l)
+                .unwrap_or_else(|e| panic!("{snap_path}:{}: invalid snapshot: {e}", i + 1))
+        })
+        .collect();
+    assert!(!snaps.is_empty(), "no snapshots in {snap_path}");
+    let last = snaps.last().unwrap();
+    let mut violations: Vec<String> = Vec::new();
+
+    let first_t = snaps[0].get("t_us").and_then(|v| v.as_f64()).unwrap_or(0.0)
+        - snaps[0].get("dt_us").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let last_t = last.get("t_us").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    println!(
+        "run-health report: {} epochs over {:.1} ms ({})",
+        snaps.len(),
+        (last_t - first_t) / 1e3,
+        snap_path
+    );
+
+    // Detection: campaign ground truth next to the detector's own view.
+    let trials = snap_counter(last, "campaign.trials");
+    let critical = snap_counter(last, "campaign.critical");
+    let detected = snap_counter(last, "campaign.critical_detected");
+    println!("  detection");
+    println!("    multiplies        : {}", snap_counter(last, "abft.multiplies"));
+    println!("    detections        : {}", snap_counter(last, "abft.detections"));
+    if critical > 0 {
+        println!(
+            "    campaign critical : {critical} of {trials} trials, {detected} detected ({:.1}%)",
+            100.0 * detected as f64 / critical as f64
+        );
+    } else {
+        println!("    campaign critical : 0 of {trials} trials");
+    }
+    if let Some(ewma) = last.get("gauges").and_then(|g| g.get("abft.fault_rate_ewma")).and_then(|v| v.as_f64()) {
+        println!("    fault-rate EWMA   : {ewma:.3} (recent per-check flag probability)");
+    }
+
+    // Recovery ladder.
+    println!("  recovery ladder");
+    println!(
+        "    corrected / recomputed / re-ran : {} / {} / {}",
+        snap_counter(last, "campaign.corrected"),
+        snap_counter(last, "campaign.recomputed"),
+        snap_counter(last, "campaign.reran"),
+    );
+    println!(
+        "    attempts {} escalations {} verified-ok {} unrecovered {}",
+        snap_counter(last, "recovery.attempts"),
+        snap_counter(last, "recovery.escalations"),
+        snap_counter(last, "recovery.verified_ok"),
+        snap_counter(last, "campaign.unrecovered"),
+    );
+
+    // Detector headroom (residual/ε on passing blocks).
+    println!("  detector headroom (residual/\u{3b5}, passing blocks)");
+    match (snap_hist(last, "check.headroom", "p50"), snap_hist(last, "check.headroom", "p99")) {
+        (Some(p50), Some(p99)) => {
+            println!(
+                "    n {}  p50 {:.3e}  p99 {:.3e}  max {:.3e}",
+                snap_hist(last, "check.headroom", "count").unwrap_or(0.0),
+                p50,
+                p99,
+                snap_hist(last, "check.headroom", "max").unwrap_or(f64::NAN),
+            );
+        }
+        _ => println!("    (no headroom samples)"),
+    }
+    if let Some(n) = snap_hist(last, "check.exceedance", "count") {
+        println!(
+            "    exceedance: {n} flagged block(s), worst {:.3e}x over tolerance",
+            snap_hist(last, "check.exceedance", "max").unwrap_or(f64::NAN)
+        );
+    }
+    if let (Some(p50), Some(p99)) = (
+        snap_hist(last, "check.detection_latency_launches", "p50"),
+        snap_hist(last, "check.detection_latency_launches", "p99"),
+    ) {
+        println!("    detection latency (launches): p50 {p50:.0}  p99 {p99:.0}");
+    }
+
+    // Throughput trajectory: simulated FLOPs retired per wall-clock epoch.
+    println!("  throughput trajectory (simulated GFLOP per host second)");
+    for snap in &snaps {
+        let epoch = snap.get("epoch").and_then(|v| v.as_u64()).unwrap_or(0);
+        let dflops = snap.get("deltas").and_then(|d| d.get("sim.flops")).and_then(|v| v.as_u64()).unwrap_or(0);
+        let dt_us = snap.get("dt_us").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if dt_us > 0.0 {
+            println!(
+                "    epoch {epoch:>3}: {:>8.2}  ({} trials done)",
+                dflops as f64 / dt_us / 1e3,
+                snap_counter(snap, "campaign.trials"),
+            );
+        }
+    }
+
+    // Cross-check against the campaign's own statistics.
+    let campaign_path = args.get("campaign", String::new());
+    if !campaign_path.is_empty() {
+        let ctext = std::fs::read_to_string(&campaign_path)
+            .unwrap_or_else(|e| panic!("reading {campaign_path:?}: {e}"));
+        let cjson = aabft_obs::json::parse(&ctext)
+            .unwrap_or_else(|e| panic!("{campaign_path}: invalid campaign JSON: {e}"));
+        let stats = cjson.get("stats").expect("campaign JSON has a stats object");
+        let stat = |name: &str| stats.get(name).and_then(|v| v.as_u64()).unwrap_or(0);
+        let pairs = [
+            ("campaign.trials", stat("total")),
+            ("campaign.critical", stat("critical")),
+            ("campaign.critical_detected", stat("critical_detected")),
+            ("campaign.false_positives", stat("benign_detected")),
+            ("campaign.corrected", stat("corrected")),
+            ("campaign.recomputed", stat("recomputed")),
+            ("campaign.reran", stat("reran")),
+            ("campaign.unrecovered", stat("unrecovered")),
+            ("campaign.mis_corrected", stat("mis_corrected")),
+        ];
+        let mut mismatches = 0;
+        for (counter, expect) in pairs {
+            let got = snap_counter(last, counter);
+            if got != expect {
+                mismatches += 1;
+                violations.push(format!(
+                    "snapshot {counter} = {got} but campaign stats say {expect}"
+                ));
+            }
+        }
+        if mismatches == 0 {
+            println!("  consistency: snapshot aggregates match campaign DetectionStats exactly");
+        } else {
+            println!("  consistency: {mismatches} MISMATCH(ES) between snapshots and campaign stats");
+        }
+    }
+
+    // Gates.
+    let min_detection = args.get("assert-min-detection", -1.0f64);
+    if min_detection >= 0.0 && critical > 0 {
+        let rate = 100.0 * detected as f64 / critical as f64;
+        if rate < min_detection {
+            violations.push(format!(
+                "critical-fault detection {rate:.1}% below required {min_detection}%"
+            ));
+        }
+    }
+    let headroom_ceiling = args.get("assert-headroom-p99", f64::NAN);
+    if headroom_ceiling.is_finite() {
+        match snap_hist(last, "check.headroom", "p99") {
+            Some(p99) if p99 < headroom_ceiling => {}
+            Some(p99) => violations.push(format!(
+                "headroom p99 {p99:.3e} not below required {headroom_ceiling}"
+            )),
+            None => violations.push("no headroom samples to gate on".to_string()),
+        }
+    }
+    if args.get("assert-zero-sdc", false) && snap_counter(last, "campaign.mis_corrected") > 0 {
+        violations.push(format!(
+            "{} trial(s) released a critically wrong product",
+            snap_counter(last, "campaign.mis_corrected")
+        ));
+    }
+    if args.get("assert-zero-unrecovered", false) && snap_counter(last, "campaign.unrecovered") > 0 {
+        violations.push(format!(
+            "{} trial(s) exhausted the recovery budget",
+            snap_counter(last, "campaign.unrecovered")
+        ));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("ASSERTION FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]
@@ -599,6 +871,69 @@ mod tests {
         cmd_gemv(&args(&[("n", "48"), ("bs", "8"), ("inject", "true"), ("recompute", "true")]));
         cmd_lu(&args(&[("n", "32"), ("check-every", "4")]));
         cmd_profile(&args(&[("n", "48"), ("bs", "8")]));
+    }
+
+    #[test]
+    fn campaign_snapshots_feed_the_report_gates() {
+        let dir = std::env::temp_dir();
+        let snaps = dir.join("aabft_cli_test_snapshots.jsonl");
+        let stats = dir.join("aabft_cli_test_campaign.json");
+        cmd_campaign(&args(&[
+            ("n", "32"),
+            ("bs", "8"),
+            ("trials", "12"),
+            ("seed", "11"),
+            ("selfheal", "true"),
+            ("scope", "check"),
+            ("region", "exponent"),
+            ("snapshot", snaps.to_str().unwrap()),
+            ("snapshot-every", "4"),
+            ("json", stats.to_str().unwrap()),
+        ]));
+
+        // 12 trials in chunks of 4 → 3 snapshot epochs, valid JSONL.
+        let text = std::fs::read_to_string(&snaps).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let last = aabft_obs::json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            last.get("counters")
+                .and_then(|c| c.get("campaign.trials"))
+                .and_then(|v| v.as_u64()),
+            Some(12)
+        );
+
+        // Campaign JSON carries the same stats object the report checks.
+        let c = aabft_obs::json::parse(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+        assert_eq!(c.get("stats").and_then(|s| s.get("total")).and_then(|v| v.as_u64()), Some(12));
+
+        // The report over both artifacts passes its gates (a violation
+        // would exit(1) and abort the test binary).
+        cmd_report(&args(&[
+            ("snapshots", snaps.to_str().unwrap()),
+            ("campaign", stats.to_str().unwrap()),
+            ("assert-min-detection", "90"),
+            ("assert-headroom-p99", "1.0"),
+            ("assert-zero-sdc", "true"),
+            ("assert-zero-unrecovered", "true"),
+        ]));
+        std::fs::remove_file(&snaps).ok();
+        std::fs::remove_file(&stats).ok();
+    }
+
+    #[test]
+    fn profile_folded_export_round_trips() {
+        let dir = std::env::temp_dir();
+        let folded = dir.join("aabft_cli_test_profile.folded");
+        cmd_profile(&args(&[("n", "48"), ("bs", "8"), ("folded", folded.to_str().unwrap())]));
+        let text = std::fs::read_to_string(&folded).unwrap();
+        let lines = aabft_gpu_sim::folded::parse_folded(&text).expect("parsable folded stacks");
+        assert!(!lines.is_empty());
+        for l in &lines {
+            assert_eq!(l.frames[0], "aabft");
+            assert_eq!(l.frames.len(), 5);
+            assert!(l.value > 0.0);
+        }
+        std::fs::remove_file(&folded).ok();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use aabft_cli::{
     cmd_batch, cmd_bounds, cmd_campaign, cmd_gemv, cmd_inject, cmd_lu, cmd_multiply, cmd_perf,
-    cmd_profile, usage,
+    cmd_profile, cmd_report, usage,
 };
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
         "bounds" => cmd_bounds(&parsed),
         "perf" => cmd_perf(&parsed),
         "profile" => cmd_profile(&parsed),
+        "report" => cmd_report(&parsed),
         "gemv" => cmd_gemv(&parsed),
         "lu" => cmd_lu(&parsed),
         "help" | "--help" | "-h" => println!("{}", usage()),

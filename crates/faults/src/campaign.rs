@@ -219,6 +219,26 @@ pub fn run_selfheal_campaign_with_obs(
     config: &CampaignConfig,
     obs: &Arc<Obs>,
 ) -> CampaignReport {
+    run_selfheal_campaign_chunked(heal, config, obs, config.trials.max(1), |_, _| {})
+}
+
+/// [`run_selfheal_campaign_with_obs`] in chunks of `chunk` trials, with a
+/// telemetry hook between chunks.
+///
+/// Each trial is seeded purely by its index, so chunked execution is
+/// trial-for-trial identical to the single-batch run. After every chunk
+/// the cumulative `campaign.*` counters are brought exactly up to the
+/// statistics so far (delta emission), then `after_chunk(trials_done,
+/// &stats)` runs — the place a [`aabft_obs::Snapshotter`] ticks. At the
+/// final chunk the registry's campaign counters therefore equal the
+/// returned [`DetectionStats`] field-for-field.
+pub fn run_selfheal_campaign_chunked(
+    heal: &SelfHealingGemm,
+    config: &CampaignConfig,
+    obs: &Arc<Obs>,
+    chunk: usize,
+    mut after_chunk: impl FnMut(usize, &DetectionStats),
+) -> CampaignReport {
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let a = config.input.generate(config.n, &mut rng);
     let b = config.input.generate(config.n, &mut rng);
@@ -245,9 +265,8 @@ pub fn run_selfheal_campaign_with_obs(
     // never executes.
     let recompute_block_ops = ((bs * bs + 2 * bs) * 2 * inner) as u64;
 
-    let trials: Vec<Trial> = (0..config.trials)
-        .into_par_iter()
-        .map(|t| {
+    let run_trial = |t: usize| -> Trial {
+        {
             let mut trial_rng =
                 rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37 * (t as u64 + 1)));
             // Decorrelate from the matrix-generation stream.
@@ -357,26 +376,49 @@ pub fn run_selfheal_campaign_with_obs(
                 span.add_attr("recovery", r.label());
             }
             trial
-        })
-        .collect();
+        }
+    };
 
+    let chunk = chunk.max(1);
+    let mut trials: Vec<Trial> = Vec::with_capacity(config.trials);
     let mut stats = DetectionStats::default();
-    for t in &trials {
-        stats.record(t);
+    let mut emitted = DetectionStats::default();
+    let mut start = 0;
+    while start < config.trials {
+        let end = config.trials.min(start + chunk);
+        let batch: Vec<Trial> = (start..end).into_par_iter().map(&run_trial).collect();
+        for t in &batch {
+            stats.record(t);
+        }
+        trials.extend(batch);
+        emit_selfheal_counters(&obs.metrics, &stats, &mut emitted);
+        after_chunk(end, &stats);
+        start = end;
     }
 
-    let m = &obs.metrics;
-    m.counter_add("campaign.trials", stats.total());
-    m.counter_add("campaign.critical", stats.critical);
-    m.counter_add("campaign.critical_detected", stats.critical_detected);
-    m.counter_add("campaign.false_positives", stats.benign_detected);
-    m.counter_add("campaign.corrected", stats.corrected);
-    m.counter_add("campaign.recomputed", stats.recomputed);
-    m.counter_add("campaign.reran", stats.reran);
-    m.counter_add("campaign.unrecovered", stats.unrecovered);
-    m.counter_add("campaign.mis_corrected", stats.mis_corrected);
-
     CampaignReport { scheme: "A-ABFT+heal", config: *config, stats, trials }
+}
+
+/// Raises the cumulative `campaign.*` counters from `emitted` to `stats`
+/// (delta emission), then records `stats` as emitted. Keeping the registry
+/// exactly in step with the campaign's own statistics is what lets a
+/// snapshot taken between chunks cross-check against the final
+/// [`DetectionStats`] field-for-field.
+fn emit_selfheal_counters(
+    m: &aabft_obs::Metrics,
+    stats: &DetectionStats,
+    emitted: &mut DetectionStats,
+) {
+    m.counter_add("campaign.trials", stats.total() - emitted.total());
+    m.counter_add("campaign.critical", stats.critical - emitted.critical);
+    m.counter_add("campaign.critical_detected", stats.critical_detected - emitted.critical_detected);
+    m.counter_add("campaign.false_positives", stats.benign_detected - emitted.benign_detected);
+    m.counter_add("campaign.corrected", stats.corrected - emitted.corrected);
+    m.counter_add("campaign.recomputed", stats.recomputed - emitted.recomputed);
+    m.counter_add("campaign.reran", stats.reran - emitted.reran);
+    m.counter_add("campaign.unrecovered", stats.unrecovered - emitted.unrecovered);
+    m.counter_add("campaign.mis_corrected", stats.mis_corrected - emitted.mis_corrected);
+    *emitted = *stats;
 }
 
 /// Judges one trial: locates the worst deviation of the returned product

@@ -155,6 +155,33 @@ impl DetectionStats {
         self.critical + self.tolerable + self.benign + self.masked + self.not_fired
     }
 
+    /// Serialises every field plus the derived detection rate, the shape
+    /// `aabft campaign --json` writes and `aabft report` cross-checks
+    /// against snapshot counters.
+    pub fn to_json(&self) -> aabft_obs::JsonObject {
+        let mut o = aabft_obs::JsonObject::new();
+        for (k, v) in [
+            ("critical", self.critical),
+            ("critical_detected", self.critical_detected),
+            ("tolerable", self.tolerable),
+            ("tolerable_detected", self.tolerable_detected),
+            ("benign", self.benign),
+            ("benign_detected", self.benign_detected),
+            ("masked", self.masked),
+            ("masked_detected", self.masked_detected),
+            ("not_fired", self.not_fired),
+            ("corrected", self.corrected),
+            ("recomputed", self.recomputed),
+            ("reran", self.reran),
+            ("unrecovered", self.unrecovered),
+            ("mis_corrected", self.mis_corrected),
+            ("total", self.total()),
+        ] {
+            o = o.int(k, v);
+        }
+        o.num("detection_rate", self.detection_rate())
+    }
+
     /// Merges another aggregate into this one.
     pub fn merge(&mut self, other: &DetectionStats) {
         self.critical += other.critical;

@@ -232,6 +232,14 @@ impl Device {
         self.dispatches.load(Ordering::Relaxed)
     }
 
+    /// Total kernel launches issued so far — the launch-log sequence
+    /// frontier. Detector telemetry reads this to express detection
+    /// latency in launches (seq distance from pipeline start to the
+    /// check that flagged).
+    pub fn launches_issued(&self) -> u64 {
+        self.launch_seq.load(Ordering::Relaxed)
+    }
+
     /// Whether a fused clean dispatch is currently possible: no fault plan
     /// of any kind armed and the instrumented path not forced. Pipelines
     /// consult this *before* issuing a fused dispatch so armed campaigns
@@ -542,6 +550,7 @@ impl Device {
             utilization: kernel.utilization(),
             stats: total,
             per_sm,
+            clean,
         });
         total
     }
@@ -673,6 +682,9 @@ impl Device {
                     utilization: kernel.utilization(),
                     stats: total,
                     per_sm,
+                    // Fused dispatches only exist on the clean path
+                    // (fusion_viable() gates them).
+                    clean: true,
                 });
                 out.push(total);
             }

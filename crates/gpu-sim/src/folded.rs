@@ -1,0 +1,239 @@
+//! Folded-stack export of per-kernel time attribution, consumable by
+//! flamegraph tooling (`flamegraph.pl`, inferno, speedscope's collapsed
+//! importer).
+//!
+//! One line per launch record, in log (= submission) order:
+//!
+//! ```text
+//! aabft;<engine>;<clean|instrumented>;<phase>;<kernel> <microseconds>
+//! ```
+//!
+//! The value is the [`PerfModel::kernel_time`] of that launch in
+//! microseconds, printed with Rust's shortest-round-trip `Display` so
+//! [`parse_folded`] recovers it bit-exactly. Because every launch gets
+//! its own line and file order preserves log order, summing parsed
+//! values per phase reproduces `PerfModel::phase_breakdown` — the same
+//! additions in the same order — and summing per kernel name reproduces
+//! the per-kernel totals, with no quantisation between export and
+//! ingest.
+//!
+//! Frames, root first:
+//!
+//! * `aabft` — fixed root so multiple exports merge cleanly;
+//! * engine — the process-wide clean engine at export time
+//!   ([`pack::default_engine`]): `packed` or `scalar`;
+//! * path — `clean` for launches that took the uninstrumented fast
+//!   path, `instrumented` otherwise ([`LaunchRecord::clean`]);
+//! * phase — pipeline phase (`encode`, `gemm`, `pmax_reduce`, `check`);
+//! * kernel — the kernel name.
+//!
+//! [`folded_stacks_per_sm`] appends an `smN` leaf frame and attributes
+//! [`PerfModel::sm_time`] instead; per-SM times overlap in wall clock,
+//! so that variant shows load balance and does **not** sum to
+//! [`PerfModel::pipeline_time`].
+
+use std::fmt::Write as _;
+
+use crate::pack::{self, CleanEngine};
+use crate::perf::PerfModel;
+use crate::stats::LaunchRecord;
+
+/// One parsed folded-stack line: frames root-first plus the sample value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldedLine {
+    /// Stack frames, root first.
+    pub frames: Vec<String>,
+    /// Sample value (microseconds for this exporter).
+    pub value: f64,
+}
+
+fn engine_frame() -> &'static str {
+    match pack::default_engine() {
+        CleanEngine::Packed => "packed",
+        CleanEngine::Scalar => "scalar",
+    }
+}
+
+fn path_frame(rec: &LaunchRecord) -> &'static str {
+    if rec.clean {
+        "clean"
+    } else {
+        "instrumented"
+    }
+}
+
+/// Renders one folded-stack line per launch record (log order), valued
+/// in modelled microseconds.
+pub fn folded_stacks(log: &[LaunchRecord], model: &PerfModel) -> String {
+    let engine = engine_frame();
+    let mut out = String::new();
+    for rec in log {
+        let us = model.kernel_time(rec) * 1e6;
+        let _ = writeln!(
+            out,
+            "aabft;{engine};{};{};{} {us}",
+            path_frame(rec),
+            rec.phase,
+            rec.name
+        );
+    }
+    out
+}
+
+/// Per-SM variant: one line per (launch, SM) pair with an `smN` leaf
+/// frame, valued at [`PerfModel::sm_time`] in microseconds. Shows load
+/// balance across SMs; the per-SM times of one launch overlap in wall
+/// clock, so totals exceed nothing meaningful — do not compare against
+/// [`PerfModel::pipeline_time`].
+pub fn folded_stacks_per_sm(log: &[LaunchRecord], model: &PerfModel) -> String {
+    let engine = engine_frame();
+    let mut out = String::new();
+    for rec in log {
+        for sm in 0..rec.per_sm.len() {
+            let us = model.sm_time(rec, sm) * 1e6;
+            if us <= 0.0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "aabft;{engine};{};{};{};sm{sm} {us}",
+                path_frame(rec),
+                rec.phase,
+                rec.name
+            );
+        }
+    }
+    out
+}
+
+/// Parses folded-stack text (`frame;frame;... value` per line) back
+/// into lines. Blank lines are skipped; a line without a value, with a
+/// non-numeric value, or with an empty stack is an error naming the
+/// offending line number.
+pub fn parse_folded(text: &str) -> Result<Vec<FoldedLine>, String> {
+    let mut lines = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let raw = raw.trim_end();
+        if raw.is_empty() {
+            continue;
+        }
+        let (stack, value) = raw
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value field: {raw:?}", i + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|e| format!("line {}: bad value {value:?}: {e}", i + 1))?;
+        if stack.is_empty() {
+            return Err(format!("line {}: empty stack", i + 1));
+        }
+        let frames: Vec<String> = stack.split(';').map(str::to_string).collect();
+        if frames.iter().any(String::is_empty) {
+            return Err(format!("line {}: empty frame in {stack:?}", i + 1));
+        }
+        lines.push(FoldedLine { frames, value });
+    }
+    Ok(lines)
+}
+
+/// Sums parsed values grouped by the frame at `depth` (file order per
+/// group, so sums match the exporter's addition order exactly). Lines
+/// whose stack is shorter than `depth + 1` are skipped.
+pub fn totals_by_frame(lines: &[FoldedLine], depth: usize) -> Vec<(String, f64)> {
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    for line in lines {
+        let Some(frame) = line.frames.get(depth) else { continue };
+        match totals.iter_mut().find(|(name, _)| name == frame) {
+            Some((_, t)) => *t += line.value,
+            None => totals.push((frame.clone(), line.value)),
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::KernelStats;
+
+    fn rec(name: &str, phase: &str, flops: u64, clean: bool) -> LaunchRecord {
+        let mut r = LaunchRecord::synthetic(
+            name,
+            0.9,
+            KernelStats { fadd: flops, blocks: 1, ..Default::default() },
+        );
+        r.phase = phase.to_string();
+        r.clean = clean;
+        r
+    }
+
+    #[test]
+    fn folded_round_trips_and_sums_match_phase_breakdown() {
+        let model = PerfModel::k20c();
+        let log = vec![
+            rec("encode_a", "encode", 1_000_000, true),
+            rec("encode_b", "encode", 2_000_000, true),
+            rec("block_gemm", "gemm", 900_000_000, true),
+            rec("check", "check", 500_000, false),
+        ];
+        let text = folded_stacks(&log, &model);
+        let lines = parse_folded(&text).expect("round trip");
+        assert_eq!(lines.len(), log.len());
+
+        // Every line: fixed root, engine, path split, 5 frames.
+        for (line, rec) in lines.iter().zip(&log) {
+            assert_eq!(line.frames.len(), 5);
+            assert_eq!(line.frames[0], "aabft");
+            assert!(line.frames[1] == "packed" || line.frames[1] == "scalar");
+            assert_eq!(line.frames[2], if rec.clean { "clean" } else { "instrumented" });
+            assert_eq!(line.frames[3], rec.phase);
+            assert_eq!(line.frames[4], rec.name);
+            // Shortest-round-trip Display: the parsed value is bit-exact.
+            assert_eq!(line.value, model.kernel_time(rec) * 1e6);
+        }
+
+        // Phase totals equal phase_breakdown times — identical additions
+        // in identical order, scaled once per term.
+        let phases = model.phase_breakdown(&log);
+        let by_phase = totals_by_frame(&lines, 3);
+        assert_eq!(by_phase.len(), phases.len());
+        for (cost, (name, total_us)) in phases.iter().zip(&by_phase) {
+            assert_eq!(&cost.phase, name);
+            let direct: f64 = log
+                .iter()
+                .filter(|r| r.phase == cost.phase)
+                .map(|r| model.kernel_time(r) * 1e6)
+                .sum();
+            assert_eq!(*total_us, direct);
+            assert!((total_us / 1e6 - cost.time).abs() <= 1e-12 * cost.time);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_folded("no_value_here").is_err());
+        assert!(parse_folded("a;b notanumber").is_err());
+        assert!(parse_folded(" 1.0").is_err());
+        assert!(parse_folded("a;;b 1.0").is_err());
+        assert_eq!(parse_folded("\n\n").unwrap().len(), 0);
+        let ok = parse_folded("a;b 1.5\nc 2.0\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[0].frames, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(ok[1].value, 2.0);
+    }
+
+    #[test]
+    fn per_sm_variant_adds_sm_leaf_frames() {
+        let model = PerfModel::k20c();
+        let mut r = rec("block_gemm", "gemm", 10_000_000, true);
+        r.per_sm = vec![
+            KernelStats { fadd: 6_000_000, blocks: 1, ..Default::default() },
+            KernelStats { fadd: 4_000_000, blocks: 1, ..Default::default() },
+        ];
+        let text = folded_stacks_per_sm(&[r], &model);
+        let lines = parse_folded(&text).expect("valid");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].frames.last().unwrap(), "sm0");
+        assert_eq!(lines[1].frames.last().unwrap(), "sm1");
+        assert!(lines.iter().all(|l| l.value > 0.0));
+    }
+}

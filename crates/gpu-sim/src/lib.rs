@@ -32,6 +32,7 @@
 pub mod device;
 pub mod dim;
 pub mod error;
+pub mod folded;
 pub mod inject;
 pub mod kernels;
 pub mod mem;

@@ -91,6 +91,9 @@ pub struct LaunchRecord {
     pub stats: KernelStats,
     /// Per-SM split of `stats` (index = SM id), for per-SM trace tracks.
     pub per_sm: Vec<KernelStats>,
+    /// Whether this launch ran the clean (uninstrumented) fast path.
+    /// Folded-stack attribution splits time on this flag.
+    pub clean: bool,
 }
 
 impl LaunchRecord {
@@ -106,6 +109,7 @@ impl LaunchRecord {
             utilization,
             stats,
             per_sm: Vec::new(),
+            clean: false,
         }
     }
 }

@@ -116,6 +116,7 @@ mod tests {
             utilization: 0.9,
             stats,
             per_sm,
+            clean: false,
         }
     }
 

@@ -6,9 +6,13 @@
 //!   ([`Recorder`], [`SpanGuard`]), wall-clock timestamps, per-thread
 //!   tracks, and a JSONL exporter;
 //! * [`metrics`] — a typed registry ([`Metrics`]) of counters, gauges
-//!   and histograms for ABFT-domain signals (detections, corrections,
-//!   recomputations, bound `y` vs observed residual, p-max depth) next
-//!   to the simulator's hardware counters;
+//!   and log-bucketed histograms for ABFT-domain signals (detections,
+//!   corrections, recomputations, bound `y` vs observed residual,
+//!   detector headroom, p-max depth) next to the simulator's hardware
+//!   counters;
+//! * [`telemetry`] — run-health time series: rolling windows
+//!   ([`Rolling`]) and a [`Snapshotter`] emitting periodic JSONL
+//!   snapshots keyed by the recorder's monotonic run clock;
 //! * [`chrome`] + [`json`] — exporters: Chrome trace-event JSON
 //!   ([`chrome::ChromeTrace`]) loadable in `chrome://tracing` /
 //!   Perfetto, a metrics summary table, and the shared JSON
@@ -23,13 +27,15 @@ pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod telemetry;
 
 use std::sync::{Arc, OnceLock};
 
 pub use chrome::ChromeTrace;
 pub use json::{JsonObject, JsonValue};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use recorder::{Recorder, SpanGuard, SpanRecord};
+pub use telemetry::{Rolling, Snapshotter};
 
 /// An observability context: one metrics registry plus one recorder.
 #[derive(Debug, Default)]

@@ -20,7 +20,19 @@ use parking_lot::Mutex;
 use crate::json::{JsonObject, JsonValue};
 
 /// Aggregate of one histogram metric.
-#[derive(Debug, Clone, Copy)]
+///
+/// Beyond count/sum/min/max, observations are binned into sparse
+/// log-spaced buckets (HDR-histogram style) so percentiles survive
+/// aggregation and windowed merging. A positive finite value lands in
+/// the bucket named by the top 16 bits of its IEEE-754 encoding — sign,
+/// the full 11-bit exponent, and the 4 leading mantissa bits — i.e. 16
+/// sub-buckets per octave, bounding the relative quantisation error of
+/// a reported percentile at 1/16 ≈ 6.25%. Zero, negative and NaN
+/// observations are counted in a dedicated `nonpos` bucket (residuals,
+/// bounds, ratios and durations are all non-negative, so that bucket
+/// stays in the far-left tail where it cannot distort upper
+/// percentiles).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Number of observations.
     pub count: u64,
@@ -30,14 +42,26 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Sparse log buckets: key = top 16 bits of `f64::to_bits`, value =
+    /// observation count. Only positive finite values are bucketed here.
+    pub buckets: BTreeMap<u16, u64>,
+    /// Observations that were zero, negative or NaN.
+    pub nonpos: u64,
 }
 
 impl Histogram {
-    fn observe(&mut self, v: f64) {
+    /// Records one observation (used standalone for windowed aggregation;
+    /// registry users go through [`Metrics::observe`]).
+    pub fn observe(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        if v > 0.0 {
+            *self.buckets.entry((v.to_bits() >> 48) as u16).or_insert(0) += 1;
+        } else {
+            self.nonpos += 1;
+        }
     }
 
     /// Mean of the observations (0 when empty).
@@ -48,11 +72,78 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Lower edge of bucket `key` — the smallest f64 that bins there.
+    fn bucket_floor(key: u16) -> f64 {
+        f64::from_bits(u64::from(key) << 48)
+    }
+
+    /// Folds another histogram into this one. Counts, buckets, min and
+    /// max merge exactly (bucket-wise addition is associative and
+    /// commutative); `sum` is a float accumulation, so cross-window
+    /// merges reproduce it only up to rounding.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.nonpos += other.nonpos;
+        for (k, n) in &other.buckets {
+            *self.buckets.entry(*k).or_insert(0) += n;
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`), 0 when empty.
+    ///
+    /// Walks the log buckets in ascending value order — the `nonpos`
+    /// bucket first, represented by `min(min, 0)` — and reports the
+    /// *lower edge* of the bucket holding the `ceil(q·count)`-th
+    /// observation, clamped into `[min, max]`. Reporting the lower edge
+    /// guarantees `percentile(q) <= max` for every `q`, so an asserted
+    /// percentile ceiling (e.g. "headroom p99 < 1") can never be a
+    /// quantisation artefact.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = self.nonpos;
+        let mut value = if self.nonpos > 0 { self.min.min(0.0) } else { f64::NAN };
+        if seen < rank {
+            for (k, n) in &self.buckets {
+                value = Self::bucket_floor(*k);
+                seen += n;
+                if seen >= rank {
+                    break;
+                }
+            }
+        }
+        // Manual clamp: `f64::clamp` panics when min > max, which a
+        // pathological all-NaN histogram can produce.
+        value.max(self.min).min(self.max)
+    }
+
+    /// Median (`percentile(0.5)`).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    /// 99th percentile (`percentile(0.99)`).
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: BTreeMap::new(),
+            nonpos: 0,
+        }
     }
 }
 
@@ -118,7 +209,7 @@ impl Metrics {
 
     /// Aggregate of histogram `name`, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.inner.lock().histograms.get(name).copied()
+        self.inner.lock().histograms.get(name).cloned()
     }
 
     /// Clears every metric.
@@ -177,7 +268,9 @@ impl MetricsSnapshot {
                     .num("sum", h.sum)
                     .num("mean", h.mean())
                     .num("min", h.min)
-                    .num("max", h.max),
+                    .num("max", h.max)
+                    .num("p50", h.p50())
+                    .num("p99", h.p99()),
             );
         }
         JsonObject::new()
@@ -211,10 +304,12 @@ impl MetricsSnapshot {
         for (k, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{k:width$}  n={} mean={:.3e} min={:.3e} max={:.3e}",
+                "{k:width$}  n={} mean={:.3e} min={:.3e} p50={:.3e} p99={:.3e} max={:.3e}",
                 h.count,
                 h.mean(),
                 h.min,
+                h.p50(),
+                h.p99(),
                 h.max
             );
         }
@@ -265,6 +360,61 @@ mod tests {
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 9.0);
         assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_reports_bucket_floor_within_range() {
+        let m = Metrics::new();
+        for i in 1..=1000u64 {
+            m.observe("lat", i as f64);
+        }
+        let h = m.histogram("lat").expect("recorded");
+        let p50 = h.p50();
+        let p99 = h.p99();
+        // Lower-edge reporting: never above the true quantile, never more
+        // than one sub-bucket (6.25%) below it, and never above max.
+        assert!((500.0 * (1.0 - 1.0 / 16.0)..=500.0).contains(&p50), "p50 = {p50}");
+        assert!((990.0 * (1.0 - 1.0 / 16.0)..=990.0).contains(&p99), "p99 = {p99}");
+        assert!(p99 <= h.max);
+        assert_eq!(h.percentile(0.0), h.min);
+        assert_eq!(h.percentile(1.0).max(h.min), h.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_handles_empty_single_and_nonpos() {
+        assert_eq!(Histogram::default().percentile(0.5), 0.0);
+        let mut h = Histogram::default();
+        h.observe(2.5);
+        assert_eq!(h.p50(), 2.5);
+        assert_eq!(h.p99(), 2.5);
+        let mut z = Histogram::default();
+        z.observe(0.0);
+        z.observe(-3.0);
+        z.observe(4.0);
+        assert_eq!(z.nonpos, 2);
+        assert_eq!(z.percentile(0.4), -3.0);
+        assert!(z.p99() <= 4.0);
+    }
+
+    #[test]
+    fn merge_is_exact_on_structure() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for (i, v) in [0.1, 7.0, 1e-9, 42.0, 0.0, 2.71].iter().enumerate() {
+            if i % 2 == 0 { a.observe(*v) } else { b.observe(*v) }
+            whole.observe(*v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, whole.count);
+        assert_eq!(merged.min, whole.min);
+        assert_eq!(merged.max, whole.max);
+        assert_eq!(merged.nonpos, whole.nonpos);
+        assert_eq!(merged.buckets, whole.buckets);
+        assert!((merged.sum - whole.sum).abs() <= 1e-12 * whole.sum.abs());
+        assert_eq!(merged.p50(), whole.p50());
+        assert_eq!(merged.p99(), whole.p99());
     }
 
     #[test]

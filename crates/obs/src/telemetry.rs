@@ -1,0 +1,347 @@
+//! Run-health telemetry: rolling windows over per-epoch counter deltas
+//! and a [`Snapshotter`] that appends periodic JSONL snapshots of the
+//! metrics registry, keyed by the recorder's monotonic run clock.
+//!
+//! A snapshot line carries four views of the registry:
+//!
+//! * `counters` — cumulative counts **since the snapshotter was
+//!   created** (the creation-time registry state is the baseline, so a
+//!   process-global registry dirtied by earlier runs still yields exact
+//!   per-run aggregates);
+//! * `deltas` — counter increments since the previous epoch (only
+//!   non-zero entries are emitted);
+//! * `gauges` — last-write-wins values, raw;
+//! * `histograms` — count/sum/mean/min/max plus log-bucket p50/p99,
+//!   baseline-subtracted bucket-wise (counts, buckets and sum subtract
+//!   exactly; `min`/`max` are the registry-cumulative extremes, which
+//!   only widens — never tightens — the clamp on reported percentiles).
+//!
+//! `rolling` adds a windowed aggregate (sum and mean of the last
+//! [`DEFAULT_ROLLING_WINDOW`] epoch deltas) per counter, the smoothing
+//! substrate for rate displays in `aabft report`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::json::{JsonObject, JsonValue};
+use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::Obs;
+
+/// Epochs a [`Rolling`] window retains by default.
+pub const DEFAULT_ROLLING_WINDOW: usize = 8;
+
+/// Fixed-capacity rolling window over `f64` samples.
+///
+/// Push per-epoch counter deltas for a rolling rate, or gauge samples
+/// for a rolling average; the oldest sample falls out once the window
+/// is full.
+#[derive(Debug, Clone)]
+pub struct Rolling {
+    cap: usize,
+    slots: VecDeque<f64>,
+}
+
+impl Rolling {
+    /// Creates a window retaining the last `cap` samples (min 1).
+    pub fn new(cap: usize) -> Self {
+        Rolling { cap: cap.max(1), slots: VecDeque::new() }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, v: f64) {
+        if self.slots.len() == self.cap {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(v);
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() == self.cap
+    }
+
+    /// Sum of the retained samples.
+    pub fn sum(&self) -> f64 {
+        self.slots.iter().sum()
+    }
+
+    /// Mean of the retained samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.slots.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.slots.len() as f64
+        }
+    }
+
+    /// Most recent sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.slots.back().copied()
+    }
+}
+
+/// Subtracts the baseline from a cumulative histogram, bucket-wise.
+///
+/// Counts, `nonpos` and log buckets subtract exactly (they are
+/// monotone); `sum` subtracts up to float rounding; `min`/`max` keep
+/// the cumulative extremes (the windowed extremes are unrecoverable
+/// from aggregates — keeping the wider range only loosens the
+/// percentile clamp outward, so percentile ceilings stay trustworthy).
+fn histogram_since(cur: &Histogram, base: Option<&Histogram>) -> Histogram {
+    let Some(base) = base else { return cur.clone() };
+    let mut buckets = BTreeMap::new();
+    for (k, n) in &cur.buckets {
+        let d = n.saturating_sub(base.buckets.get(k).copied().unwrap_or(0));
+        if d > 0 {
+            buckets.insert(*k, d);
+        }
+    }
+    Histogram {
+        count: cur.count.saturating_sub(base.count),
+        sum: cur.sum - base.sum,
+        min: cur.min,
+        max: cur.max,
+        buckets,
+        nonpos: cur.nonpos.saturating_sub(base.nonpos),
+    }
+}
+
+/// Emits periodic JSONL snapshots of an [`Obs`] registry.
+///
+/// Created against a registry *baseline* (its state at creation time)
+/// and a target path (truncated on creation); each [`Snapshotter::tick`]
+/// appends one self-contained JSON line.
+pub struct Snapshotter {
+    obs: Arc<Obs>,
+    path: PathBuf,
+    epoch: u64,
+    baseline: MetricsSnapshot,
+    prev: MetricsSnapshot,
+    /// Run clock at creation / the previous tick — `dt_us` in each
+    /// record is the wall-clock width of that record's delta window.
+    t_prev: f64,
+    windows: BTreeMap<String, Rolling>,
+    window: usize,
+}
+
+impl std::fmt::Debug for Snapshotter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshotter")
+            .field("path", &self.path)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl Snapshotter {
+    /// Creates a snapshotter writing JSONL to `path` (truncated here),
+    /// baselining the registry's current state.
+    pub fn create(obs: Arc<Obs>, path: &Path) -> std::io::Result<Self> {
+        std::fs::write(path, "")?;
+        let baseline = obs.metrics.snapshot();
+        let t_prev = obs.recorder.now_us();
+        Ok(Snapshotter {
+            obs,
+            path: path.to_path_buf(),
+            epoch: 0,
+            prev: baseline.clone(),
+            baseline,
+            t_prev,
+            windows: BTreeMap::new(),
+            window: DEFAULT_ROLLING_WINDOW,
+        })
+    }
+
+    /// Sets the rolling-window length (epochs) for `rolling` aggregates.
+    pub fn with_window(mut self, epochs: usize) -> Self {
+        self.window = epochs.max(1);
+        self
+    }
+
+    /// Epochs emitted so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Path the snapshots are appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Captures the registry, appends one JSONL snapshot, and returns
+    /// the record that was written.
+    pub fn tick(&mut self) -> std::io::Result<JsonValue> {
+        let snap = self.obs.metrics.snapshot();
+        let t_us = self.obs.recorder.now_us();
+
+        let mut counters = JsonObject::new();
+        let mut deltas = JsonObject::new();
+        let mut rolling = JsonObject::new();
+        for (k, v) in &snap.counters {
+            counters = counters.int(k, v - self.baseline.counter(k));
+            let d = v - self.prev.counter(k);
+            if d > 0 {
+                deltas = deltas.int(k, d);
+            }
+            let w = self
+                .windows
+                .entry(k.clone())
+                .or_insert_with(|| Rolling::new(self.window));
+            w.push(d as f64);
+            rolling = rolling.object(
+                k,
+                JsonObject::new()
+                    .int("window", w.len() as u64)
+                    .num("sum", w.sum())
+                    .num("mean", w.mean()),
+            );
+        }
+
+        let mut gauges = JsonObject::new();
+        for (k, v) in &snap.gauges {
+            gauges = gauges.num(k, *v);
+        }
+
+        let mut hists = JsonObject::new();
+        for (k, h) in &snap.histograms {
+            let h = histogram_since(h, self.baseline.histograms.get(k));
+            if h.count == 0 {
+                continue;
+            }
+            hists = hists.object(
+                k,
+                JsonObject::new()
+                    .int("count", h.count)
+                    .num("sum", h.sum)
+                    .num("mean", h.mean())
+                    .num("min", h.min)
+                    .num("max", h.max)
+                    .num("p50", h.p50())
+                    .num("p99", h.p99()),
+            );
+        }
+
+        let record = JsonObject::new()
+            .int("epoch", self.epoch)
+            .num("t_us", t_us)
+            .num("dt_us", t_us - self.t_prev)
+            .object("counters", counters)
+            .object("deltas", deltas)
+            .object("gauges", gauges)
+            .object("histograms", hists)
+            .object("rolling", rolling)
+            .into_value();
+
+        let mut file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        let mut line = record.render();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+
+        self.prev = snap;
+        self.t_prev = t_us;
+        self.epoch += 1;
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_window_evicts_oldest() {
+        let mut w = Rolling::new(3);
+        assert!(w.is_empty());
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.sum(), 9.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.last(), Some(4.0));
+    }
+
+    #[test]
+    fn snapshotter_baselines_and_deltas() {
+        let dir = std::env::temp_dir().join("aabft_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap_baseline.jsonl");
+
+        let obs = Obs::new_shared();
+        obs.metrics.counter_add("abft.multiplies", 7); // pre-existing dirt
+        obs.metrics.observe("check.headroom", 0.5);
+
+        let mut snap = Snapshotter::create(obs.clone(), &path).unwrap().with_window(2);
+        obs.metrics.counter_add("abft.multiplies", 3);
+        obs.metrics.observe("check.headroom", 0.25);
+        let r0 = snap.tick().unwrap();
+
+        // Cumulative counters start at the creation baseline, not zero.
+        let c = r0.get("counters").and_then(|c| c.get("abft.multiplies"));
+        assert_eq!(c.and_then(|v| v.as_u64()), Some(3));
+        let d = r0.get("deltas").and_then(|c| c.get("abft.multiplies"));
+        assert_eq!(d.and_then(|v| v.as_u64()), Some(3));
+        // Histogram is baseline-subtracted: only the post-creation sample.
+        let h = r0.get("histograms").and_then(|h| h.get("check.headroom")).expect("hist");
+        assert_eq!(h.get("count").and_then(|v| v.as_u64()), Some(1));
+
+        obs.metrics.counter_add("abft.multiplies", 2);
+        let r1 = snap.tick().unwrap();
+        assert_eq!(
+            r1.get("counters").and_then(|c| c.get("abft.multiplies")).and_then(|v| v.as_u64()),
+            Some(5)
+        );
+        assert_eq!(
+            r1.get("deltas").and_then(|c| c.get("abft.multiplies")).and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        // Rolling window of the last 2 deltas: 3 + 2.
+        let roll = r1.get("rolling").and_then(|r| r.get("abft.multiplies")).expect("rolling");
+        assert_eq!(roll.get("sum").and_then(|v| v.as_f64()), Some(5.0));
+        assert_eq!(snap.epochs(), 2);
+
+        // The file holds one valid JSON object per line, epochs in order.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let epochs: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                crate::json::parse(l).expect("valid JSONL").get("epoch").and_then(|v| v.as_u64()).unwrap()
+            })
+            .collect();
+        assert_eq!(epochs, vec![0, 1]);
+        // Monotonic run clock.
+        let ts: Vec<f64> = text
+            .lines()
+            .map(|l| crate::json::parse(l).unwrap().get("t_us").and_then(|v| v.as_f64()).unwrap())
+            .collect();
+        assert!(ts[0] <= ts[1]);
+    }
+
+    #[test]
+    fn histogram_since_subtracts_buckets_exactly() {
+        let mut base = Histogram::default();
+        base.observe(1.0);
+        base.observe(8.0);
+        let mut cur = base.clone();
+        cur.observe(8.0);
+        cur.observe(0.0);
+        let d = histogram_since(&cur, Some(&base));
+        assert_eq!(d.count, 2);
+        assert_eq!(d.nonpos, 1);
+        assert_eq!(d.buckets.values().sum::<u64>(), 1);
+        assert!((d.sum - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the log-bucketed histogram: percentile bounds,
+//! empty/single-bucket edges, and cross-window merge associativity —
+//! the invariants `telemetry::Snapshotter` and `aabft report` lean on.
+
+use aabft_obs::Histogram;
+use proptest::prelude::*;
+
+fn hist(values: &[f64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// Exact (non-float) part of the aggregate: everything that must merge
+/// associatively bit-for-bit.
+fn structure(h: &Histogram) -> (u64, u64, f64, f64, Vec<(u16, u64)>) {
+    (
+        h.count,
+        h.nonpos,
+        h.min,
+        h.max,
+        h.buckets.iter().map(|(k, n)| (*k, *n)).collect(),
+    )
+}
+
+#[test]
+fn empty_histogram_is_merge_identity() {
+    let empty = Histogram::default();
+    assert_eq!(empty.percentile(0.0), 0.0);
+    assert_eq!(empty.percentile(0.5), 0.0);
+    assert_eq!(empty.percentile(1.0), 0.0);
+
+    let mut merged = hist(&[1.0, 2.0, 3.0]);
+    let before = structure(&merged);
+    let sum = merged.sum;
+    merged.merge(&empty);
+    assert_eq!(structure(&merged), before);
+    assert_eq!(merged.sum, sum);
+
+    let mut from_empty = Histogram::default();
+    from_empty.merge(&hist(&[1.0, 2.0, 3.0]));
+    assert_eq!(structure(&from_empty), before);
+}
+
+proptest! {
+    #[test]
+    fn single_bucket_percentiles_collapse_to_the_value(
+        v in 1e-12f64..1e12,
+        reps in 1usize..50,
+    ) {
+        // All observations identical => one bucket; every percentile is
+        // clamped to [min, max] = [v, v].
+        let h = hist(&vec![v; reps]);
+        prop_assert_eq!(h.buckets.len(), 1);
+        prop_assert_eq!(h.p50(), v);
+        prop_assert_eq!(h.p99(), v);
+        prop_assert_eq!(h.percentile(0.0), v);
+        prop_assert_eq!(h.percentile(1.0), v);
+    }
+
+    #[test]
+    fn percentile_brackets_the_true_quantile(
+        values in prop::collection::vec(1e-9f64..1e9, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let p = h.percentile(q);
+        // Lower-edge reporting: never above the true quantile, never
+        // below it by more than one 1/16-octave sub-bucket.
+        prop_assert!(p <= truth, "p({q}) = {p} > true {truth}");
+        prop_assert!(p >= truth * (15.0 / 16.0), "p({q}) = {p} too far under {truth}");
+        prop_assert!(p >= h.min && p <= h.max);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q(
+        values in prop::collection::vec(1e-9f64..1e9, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = hist(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.percentile(lo) <= h.percentile(hi));
+    }
+
+    #[test]
+    fn cross_window_merge_is_associative_and_order_free(
+        a in prop::collection::vec(1e-9f64..1e9, 0..40),
+        b in prop::collection::vec(1e-9f64..1e9, 0..40),
+        c in prop::collection::vec(1e-9f64..1e9, 0..40),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = hist(&a);
+        left.merge(&hist(&b));
+        left.merge(&hist(&c));
+        // a ⊕ (b ⊕ c)
+        let mut bc = hist(&b);
+        bc.merge(&hist(&c));
+        let mut right = hist(&a);
+        right.merge(&bc);
+        // One unwindowed stream.
+        let whole: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let stream = hist(&whole);
+
+        // Counts, extremes and buckets merge exactly regardless of
+        // association; percentiles (derived from them) follow.
+        prop_assert_eq!(structure(&left), structure(&right));
+        prop_assert_eq!(structure(&left), structure(&stream));
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(left.percentile(q), right.percentile(q));
+            prop_assert_eq!(left.percentile(q), stream.percentile(q));
+        }
+        // The float sum is only reproduced up to rounding.
+        let tol = 1e-12 * stream.sum.abs().max(1.0);
+        prop_assert!((left.sum - right.sum).abs() <= tol);
+        prop_assert!((left.sum - stream.sum).abs() <= tol);
+    }
+
+    #[test]
+    fn nonpositive_observations_stay_in_the_left_tail(
+        pos in prop::collection::vec(1e-6f64..1e6, 1..40),
+        zeros in 0usize..10,
+    ) {
+        let mut values = pos.clone();
+        values.extend(std::iter::repeat_n(0.0, zeros));
+        let h = hist(&values);
+        prop_assert_eq!(h.nonpos, zeros as u64);
+        // Upper percentiles are computed over the positive buckets; the
+        // nonpos bucket can only pull low quantiles down, never push
+        // p99 above the observed maximum.
+        prop_assert!(h.p99() <= h.max);
+        if zeros > 0 {
+            prop_assert_eq!(h.percentile(0.0), 0.0);
+        }
+    }
+}

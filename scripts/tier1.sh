@@ -19,6 +19,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # The packed clean-path engine (pack module + microkernel) gets an
 # explicit pass so a lint regression there names the right crate.
 cargo clippy -p aabft-gpu-sim --all-targets -- -D warnings
+# Telemetry (snapshotter + histogram percentiles) likewise gets a named
+# pass: its property tests live under --all-targets.
+cargo clippy -p aabft-obs --all-targets -- -D warnings
 
 # Deterministic-seed fault-campaign smoke: exponent flips must stay >= 90%
 # detected on the plain scheme, and the self-healing executor must release
@@ -33,6 +36,20 @@ $aabft campaign --n 32 --bs 8 --trials 100 --seed 7 --region exponent \
     --assert-zero-sdc true --assert-zero-unrecovered true
 $aabft campaign --n 32 --bs 8 --trials 60 --seed 11 --region exponent \
     --selfheal true --scope mem-checksum \
+    --assert-zero-sdc true --assert-zero-unrecovered true
+
+# Run-health telemetry smoke: a snapshotted campaign followed by `aabft
+# report` over its artifacts. The report gates detection >= 90%, headroom
+# p99 < 1.0, zero silent SDC and zero unrecovered trials, and cross-checks
+# the snapshot aggregates against the campaign's own DetectionStats.
+echo "==> run-health report smoke (seeded)"
+$aabft campaign --n 32 --bs 8 --trials 60 --seed 13 --region exponent \
+    --selfheal true --scope check \
+    --snapshot target/SNAP_smoke.jsonl --snapshot-every 20 \
+    --json target/CAMPAIGN_smoke.json
+$aabft report --snapshots target/SNAP_smoke.jsonl \
+    --campaign target/CAMPAIGN_smoke.json \
+    --assert-min-detection 90 --assert-headroom-p99 1.0 \
     --assert-zero-sdc true --assert-zero-unrecovered true
 
 # Dual-path smoke: tiny clean-vs-instrumented bench run. The binary itself
@@ -55,5 +72,13 @@ cargo run --release -q -p aabft-bench --bin bench_gemm -- \
     --sizes 1024 --reps 2 --engine both --instrumented false \
     --json target/BENCH_packed_gate.json \
     --assert-speedup 2.5 --assert-dispatch packed
+
+# Bench regression gate: a fresh packed measurement at n=1024 must stay
+# within 15% of the committed BENCH_gemm.json baseline's GFLOP/s.
+# 5 reps: min-of-N needs a few samples to shake off container timing
+# noise before the 15% band is trustworthy.
+echo "==> bench regression gate"
+cargo run --release -q -p aabft-bench --bin bench_check -- \
+    --baseline BENCH_gemm.json --n 1024 --reps 5 --max-regress 15
 
 echo "tier-1: all green"

@@ -92,6 +92,67 @@ fn protected_multiply_produces_valid_chrome_trace() {
 }
 
 #[test]
+fn fused_dispatch_keeps_six_logical_spans_over_four_dispatches() {
+    // The PR-5 fused clean path collapses the six-kernel pipeline into
+    // four physical dispatches; the launch log must still expose all six
+    // logical spans with the sequential seq/deps chain observers rely on.
+    let n = 64;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) as f64 * 0.19).sin());
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 11 + j) as f64 * 0.23).cos());
+    let config = AAbftConfig::builder()
+        .block_size(8)
+        .tiling(GemmTiling { bm: 16, bn: 16, bk: 8, rx: 4, ry: 4 })
+        .build()
+        .expect("valid config");
+    let mut device = Device::with_defaults();
+    assert!(device.fusion_viable(), "default device must support fusion");
+    let obs = Obs::new_shared();
+    obs.recorder.set_enabled(true);
+    device.set_obs(obs.clone());
+    let outcome = AAbftGemm::new(config).multiply(&device, &a, &b);
+    assert!(!outcome.errors_detected());
+
+    assert_eq!(device.dispatches(), 4, "fused clean pipeline is 4 physical dispatches");
+    assert_eq!(device.clean_path_launches(), 4);
+    let log = device.take_log();
+    assert_eq!(log.len(), 6, "per-part launch records keep the 6 logical spans");
+    assert_eq!(obs.metrics.counter("sim.launches"), 6);
+    assert_eq!(obs.metrics.counter("sim.dispatches"), 4);
+
+    // Logical pipeline order, consecutive seqs, linear dependency chain —
+    // identical to the unfused shape.
+    let phases: Vec<&str> = log.iter().map(|r| r.phase.as_str()).collect();
+    assert_eq!(phases, ["encode", "encode", "gemm", "pmax_reduce", "pmax_reduce", "check"]);
+    for (i, rec) in log.iter().enumerate() {
+        assert_eq!(rec.seq, i as u64, "seqs are consecutive from 0");
+        assert!(rec.clean, "launch {} must be attributed to the clean path", rec.name);
+        if i == 0 {
+            assert!(rec.deps.is_empty(), "first launch has no predecessor");
+        } else {
+            assert_eq!(rec.deps, vec![rec.seq - 1], "launch {} chains on its predecessor", rec.name);
+        }
+    }
+
+    // Each logical span still renders as its own device slice.
+    let trace = build_trace(&obs.recorder.spans(), &log, &PerfModel::k20c());
+    let v = aabft::obs::json::parse(&trace.render()).expect("valid JSON");
+    let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("array");
+    let device_seqs: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| {
+            e.get("pid").and_then(|p| p.as_u64()) == Some(u64::from(DEVICE_PID))
+                && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+        })
+        .filter_map(|e| e.get("args").and_then(|a| a.get("seq")).and_then(|s| s.as_u64()))
+        .collect();
+    assert_eq!(
+        device_seqs.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3, 4, 5],
+        "all six kernel spans appear on the device timeline"
+    );
+}
+
+#[test]
 fn metrics_flops_match_device_log() {
     let (obs, log) = traced_multiply(64);
     let logged: u64 = log.iter().map(|r| r.stats.flops()).sum();
