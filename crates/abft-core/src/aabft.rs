@@ -406,8 +406,12 @@ impl MultiplyRun {
     }
 
     /// The multiplication kernel over this run's augmented operands,
-    /// wired to the run's pack-panel pool.
-    fn gemm_kernel(&self) -> GemmKernel<'_> {
+    /// wired to the run's pack-panel pool and the device's clean engine
+    /// (per-device [`DeviceConfig`] choice, falling back to the deprecated
+    /// process-wide default).
+    ///
+    /// [`DeviceConfig`]: aabft_gpu_sim::device::DeviceConfig
+    fn gemm_kernel(&self, ctx: &ExecCtx<'_>) -> GemmKernel<'_> {
         GemmKernel::new(
             &self.bufs.a,
             &self.bufs.b,
@@ -420,12 +424,13 @@ impl MultiplyRun {
         .with_mul_mode(self.config.mul_mode)
         .with_rounding(self.config.rounding)
         .with_pack_pool(&self.bufs.pack)
+        .with_clean_engine(ctx.device.clean_engine())
     }
 
     /// Step 2: the multiplication over the augmented operands.
     pub fn gemm(&self, ctx: &ExecCtx<'_>) {
         let _s = aabft_obs::span!(ctx.obs, "phase", "gemm");
-        let gemm = self.gemm_kernel();
+        let gemm = self.gemm_kernel(ctx);
         ctx.launch(gemm.grid(), &gemm);
         self.land_memory_faults(ctx, "gemm");
     }
@@ -441,7 +446,7 @@ impl MultiplyRun {
     /// body — campaigns keep the exact 6-launch shape (and the
     /// inter-phase memory-fault landing points) they calibrate against.
     pub fn encode_and_gemm(&self, ctx: &ExecCtx<'_>) {
-        let gemm = self.gemm_kernel();
+        let gemm = self.gemm_kernel(ctx);
         if !ctx.device.fusion_viable() || !gemm.supports_clean_path() {
             self.encode(ctx);
             self.gemm(ctx);
@@ -550,6 +555,33 @@ impl MultiplyRun {
         recomputed_blocks: Vec<(usize, usize)>,
     ) -> (AAbftOutcome, RunBuffers) {
         self.conclude(ctx, None, report, corrections, recomputed_blocks)
+    }
+
+    /// Epilogue for an unprotected run (no reduce/check phases were
+    /// issued): reads the product back and strips it to the caller's
+    /// shape without decoding the report buffer — it holds stale data
+    /// from whatever run last used these pooled buffers. No detector
+    /// metrics are emitted; the outcome carries an empty report, so
+    /// `errors_detected()` is `false` by construction, meaning
+    /// "unverified", not "verified clean".
+    pub(crate) fn finish_unchecked(self, ctx: &ExecCtx<'_>) -> (AAbftOutcome, RunBuffers) {
+        let _s = aabft_obs::span!(ctx.obs, "phase", "readback");
+        let MultiplyRun { m, q, plan, bufs, .. } = self;
+        let GemmPlan { rows, cols, .. } = plan;
+        let full =
+            FullChecksummed { matrix: bufs.c.to_matrix(rows.total, cols.total), rows, cols };
+        let product = full.matrix.block(0, 0, m, q);
+        ctx.obs.metrics.counter_inc("abft.unprotected_multiplies");
+        (
+            AAbftOutcome {
+                product,
+                full,
+                report: CheckReport::default(),
+                corrections: Vec::new(),
+                recomputed_blocks: Vec::new(),
+            },
+            bufs,
+        )
     }
 
     /// Shared tail of [`MultiplyRun::finish`]/[`MultiplyRun::finish_healed`]:

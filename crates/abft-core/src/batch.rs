@@ -1,7 +1,7 @@
 //! Multi-stream batched execution of protected multiplications.
 //!
-//! [`BatchGemm`] accepts N protected-GEMM requests and runs them through
-//! the A-ABFT pipeline with three forms of reuse/overlap a loop of
+//! [`BatchGemm`] accepts N GEMM requests ([`GemmRequest`]) and runs them
+//! through the A-ABFT pipeline with four forms of reuse/overlap a loop of
 //! [`AAbftGemm::multiply`] calls cannot get:
 //!
 //! * **plan caching** — augmented layouts are computed once per distinct
@@ -9,23 +9,37 @@
 //! * **buffer pooling** — device buffers ([`RunBuffers`]) are recycled
 //!   across requests of the same shape instead of reallocated;
 //! * **stream overlap** — requests are spread round-robin over a set of
-//!   streams and their encode/gemm/reduce/check phases are issued
-//!   interleaved, so the stream scheduler
+//!   streams, so the stream scheduler
 //!   ([`aabft_gpu_sim::PerfModel::schedule`]) overlaps different requests'
-//!   kernels on the device's SMs in the modelled timeline.
+//!   kernels on the device's SMs in the modelled timeline;
+//! * **macro-parallel dispatch** — on a fault-free device every request's
+//!   device phases run on a separate worker thread (whole-request
+//!   dispatch), so N requests use N host workers end to end instead of
+//!   funneling through one thread pool launch by launch. Whenever any
+//!   fault plan is armed or the instrumented path is forced, the batch
+//!   falls back to the sequential interleaved issue order, which keeps
+//!   memory-fault landing points and the launch log exactly as campaigns
+//!   calibrate them.
 //!
 //! Kernels execute functionally at issue time, so batching never changes
 //! numeric results: the products are bit-identical to sequential execution
-//! (a property the tests pin down). Host epilogues (report decoding,
-//! correction) run in parallel under the rayon shim — except under
+//! whatever the worker count or arrival order (a property the tests pin
+//! down). Host epilogues (report decoding, correction) run in parallel
+//! under the rayon shim — except when a request heals or the policy is
 //! [`RecoveryPolicy::CorrectOrRecompute`], where the epilogue launches
-//! recompute kernels and stays sequential to keep the launch log
+//! recovery kernels and stays sequential to keep the launch log
 //! deterministic.
+//!
+//! Each request carries a [`ProtectionPolicy`] choosing its pipeline:
+//! unprotected (multiply only), plain A-ABFT detection, or verified
+//! self-healing with a per-request budget. Plain `(A, B)` pairs convert
+//! into requests with the default policy, so untyped call sites migrate
+//! mechanically.
 
 use crate::aabft::{AAbftGemm, AAbftOutcome, GemmPlan, MultiplyRun, RunBuffers};
 use crate::error::AbftError;
 use crate::heal::{heal_run, HealedOutcome, DEFAULT_HEAL_BUDGET};
-use crate::recover::RecoveryPolicy;
+use crate::recover::{RecoveryAction, RecoveryPolicy};
 use aabft_gpu_sim::device::Device;
 use aabft_gpu_sim::stream::{ExecCtx, StreamId};
 use aabft_matrix::Matrix;
@@ -36,27 +50,128 @@ use std::collections::HashMap;
 /// Cache key of a request shape: `(m, n, q, block_size)`.
 pub type PlanKey = (usize, usize, usize, usize);
 
+/// Per-request fault-tolerance policy: what the batch engine owes this
+/// multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtectionPolicy {
+    /// Multiply only: no checksum verification runs (the reduce and check
+    /// phases are skipped). The outcome's report is empty by construction
+    /// — `errors_detected()` returning `false` means "unverified", not
+    /// "verified clean".
+    Unprotected,
+    /// The full A-ABFT detection pipeline (encode → multiply → p-max
+    /// reduce → autonomous check), with the operator's recovery policy
+    /// applied in the epilogue. The default, and the semantics untyped
+    /// `(A, B)` call sites get.
+    #[default]
+    AAbft,
+    /// Verified self-healing ([`crate::heal::SelfHealingGemm`] semantics)
+    /// with a per-request retry budget overriding the batch-level
+    /// [`BatchGemm::with_heal_budget`] default.
+    SelfHealing {
+        /// Recovery attempts before the request fails with
+        /// [`AbftError::Unrecovered`]; 0 makes any detected error
+        /// immediately unrecoverable.
+        budget: u32,
+    },
+}
+
+/// One typed batch-admission request: compute `C = A · B` under `policy`.
+///
+/// # Examples
+///
+/// ```
+/// use aabft_core::{GemmRequest, ProtectionPolicy};
+/// use aabft_matrix::Matrix;
+///
+/// let a = Matrix::from_fn(8, 8, |i, j| (i + j) as f64);
+/// let b = Matrix::from_fn(8, 8, |i, j| (i * j) as f64);
+/// // Default policy is full A-ABFT detection…
+/// let protected = GemmRequest::new(a.clone(), b.clone());
+/// assert_eq!(protected.policy, ProtectionPolicy::AAbft);
+/// // …and plain pairs convert mechanically.
+/// let from_pair: GemmRequest = (a.clone(), b.clone()).into();
+/// assert_eq!(from_pair.policy, ProtectionPolicy::AAbft);
+/// // Per-request overrides:
+/// let fast = GemmRequest::new(a, b).with_policy(ProtectionPolicy::Unprotected);
+/// assert_eq!(fast.policy, ProtectionPolicy::Unprotected);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GemmRequest {
+    /// Left operand (`m × n`).
+    pub a: Matrix<f64>,
+    /// Right operand (`n × q`).
+    pub b: Matrix<f64>,
+    /// Fault-tolerance policy for this request.
+    pub policy: ProtectionPolicy,
+}
+
+impl GemmRequest {
+    /// A request under the default policy ([`ProtectionPolicy::AAbft`]).
+    pub fn new(a: Matrix<f64>, b: Matrix<f64>) -> Self {
+        GemmRequest { a, b, policy: ProtectionPolicy::default() }
+    }
+
+    /// Overrides the policy.
+    pub fn with_policy(mut self, policy: ProtectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Whether the verification phases (reduce, check) run for this
+    /// request.
+    fn verified_phases(&self) -> bool {
+        self.policy != ProtectionPolicy::Unprotected
+    }
+}
+
+impl From<(Matrix<f64>, Matrix<f64>)> for GemmRequest {
+    fn from((a, b): (Matrix<f64>, Matrix<f64>)) -> Self {
+        GemmRequest::new(a, b)
+    }
+}
+
+/// Borrowed pairs clone their operands — the migration path for call
+/// sites holding `&[(Matrix, Matrix)]`. Pass owned requests to avoid the
+/// copies.
+impl From<&(Matrix<f64>, Matrix<f64>)> for GemmRequest {
+    fn from((a, b): &(Matrix<f64>, Matrix<f64>)) -> Self {
+        GemmRequest::new(a.clone(), b.clone())
+    }
+}
+
+impl From<&GemmRequest> for GemmRequest {
+    fn from(req: &GemmRequest) -> Self {
+        req.clone()
+    }
+}
+
 /// Batched protected-GEMM service (see the module docs).
 ///
 /// # Examples
 ///
 /// ```
-/// use aabft_core::{AAbftConfig, AAbftGemm, BatchGemm};
+/// use aabft_core::{AAbftConfig, AAbftGemm, BatchGemm, GemmRequest, ProtectionPolicy};
 /// use aabft_gpu_sim::Device;
 /// use aabft_matrix::Matrix;
 ///
 /// let config = AAbftConfig::builder().block_size(4).build().unwrap();
 /// let batch = BatchGemm::new(AAbftGemm::new(config)).with_streams(4);
 /// let device = Device::with_defaults();
-/// let requests: Vec<_> = (0..6)
+/// let requests: Vec<GemmRequest> = (0..6)
 ///     .map(|r| {
-///         (
-///             Matrix::from_fn(8, 8, |i, j| ((r + i + j) as f64 * 0.1).sin()),
-///             Matrix::from_fn(8, 8, |i, j| ((r + i * 2 + j) as f64 * 0.1).cos()),
-///         )
+///         let a = Matrix::from_fn(8, 8, |i, j| ((r + i + j) as f64 * 0.1).sin());
+///         let b = Matrix::from_fn(8, 8, |i, j| ((r + i * 2 + j) as f64 * 0.1).cos());
+///         // Every third request skips verification.
+///         let policy = if r % 3 == 0 {
+///             ProtectionPolicy::Unprotected
+///         } else {
+///             ProtectionPolicy::AAbft
+///         };
+///         GemmRequest::new(a, b).with_policy(policy)
 ///     })
 ///     .collect();
-/// let outcomes = batch.execute(&device, &requests).unwrap();
+/// let outcomes = batch.execute(&device, requests).unwrap();
 /// assert_eq!(outcomes.len(), 6);
 /// assert!(outcomes.iter().all(|o| !o.errors_detected()));
 /// ```
@@ -91,8 +206,9 @@ impl BatchGemm {
     }
 
     /// Sets the per-request self-healing retry budget used by
-    /// [`BatchGemm::execute_verified`]. A budget of 0 makes any detected
-    /// error immediately unrecoverable for its request.
+    /// [`BatchGemm::execute_verified`] for requests that do not carry
+    /// their own ([`ProtectionPolicy::SelfHealing`]). A budget of 0 makes
+    /// any detected error immediately unrecoverable for its request.
     pub fn with_heal_budget(mut self, budget: u32) -> Self {
         self.heal_budget = budget;
         self
@@ -133,25 +249,116 @@ impl BatchGemm {
         RunBuffers::for_plan(plan, self.gemm.config().p)
     }
 
-    /// Executes `requests` (pairs `(A, B)`, each computing `C = A · B`)
-    /// and returns their outcomes in request order.
+    /// Issues the device phases of every admitted run.
     ///
-    /// Rejects any shape-mismatched request with a typed error before a
-    /// single kernel is issued.
-    pub fn execute(
+    /// On a fault-free device ([`Device::fusion_viable`]) this is the
+    /// macro-parallel path: requests are dispatched whole onto worker
+    /// threads in three phase waves — every request's fused encode+gemm,
+    /// then (for verifying policies) every reduction, then every check.
+    /// Within a wave each worker runs its requests' full phase; the
+    /// nested-parallelism guard in the rayon shim keeps each launch's
+    /// block loop serial on its worker, so request-level parallelism owns
+    /// the thread budget. The waves keep launches phase-grouped in the
+    /// log, which is what the stream scheduler's greedy seq-order pass
+    /// packs best (and exactly the order a single worker produces).
+    ///
+    /// With any fault plan armed (or instrumentation forced) the same
+    /// phase order is issued sequentially from the host thread,
+    /// preserving the exact pre-macro-parallel launch order and the
+    /// inter-phase memory-fault landing points campaigns calibrate
+    /// against.
+    fn run_device_phases(
         &self,
         device: &Device,
-        requests: &[(Matrix<f64>, Matrix<f64>)],
-    ) -> Result<Vec<AAbftOutcome>, AbftError> {
+        runs: &[(StreamId, MultiplyRun)],
+        policies: &[&GemmRequest],
+    ) {
+        debug_assert_eq!(runs.len(), policies.len());
+        if device.fusion_viable() {
+            let wave = |phase: fn(&MultiplyRun, &ExecCtx<'_>), verified_only: bool| {
+                let _dispatched: Vec<()> = (0..runs.len())
+                    .into_par_iter()
+                    .map(|i| {
+                        if verified_only && !policies[i].verified_phases() {
+                            return;
+                        }
+                        let (stream, run) = &runs[i];
+                        phase(run, &ExecCtx::on_stream(device, *stream));
+                    })
+                    .collect();
+            };
+            wave(MultiplyRun::encode_and_gemm, false);
+            wave(MultiplyRun::reduce, true);
+            wave(MultiplyRun::check, true);
+            return;
+        }
+        for (stream, run) in runs {
+            run.encode_and_gemm(&ExecCtx::on_stream(device, *stream));
+        }
+        for ((stream, run), req) in runs.iter().zip(policies) {
+            if req.verified_phases() {
+                run.reduce(&ExecCtx::on_stream(device, *stream));
+            }
+        }
+        for ((stream, run), req) in runs.iter().zip(policies) {
+            if req.verified_phases() {
+                run.check(&ExecCtx::on_stream(device, *stream));
+            }
+        }
+    }
+
+    /// Epilogue of one request under its policy, for [`BatchGemm::execute`].
+    fn finish_one(
+        &self,
+        device: &Device,
+        stream: StreamId,
+        run: MultiplyRun,
+        req: &GemmRequest,
+    ) -> (Result<AAbftOutcome, AbftError>, RunBuffers) {
+        let ctx = ExecCtx::on_stream(device, stream);
+        match req.policy {
+            ProtectionPolicy::Unprotected => {
+                let (outcome, bufs) = run.finish_unchecked(&ctx);
+                (Ok(outcome), bufs)
+            }
+            ProtectionPolicy::AAbft => {
+                let (outcome, bufs) = run.finish(&ctx);
+                (Ok(outcome), bufs)
+            }
+            ProtectionPolicy::SelfHealing { budget } => {
+                let (result, bufs) = heal_run(&self.gemm, budget, &ctx, &req.a, &req.b, run);
+                (result.map(|healed| healed.outcome), bufs)
+            }
+        }
+    }
+
+    /// Executes `requests` and returns their outcomes in request order.
+    ///
+    /// Accepts anything that converts into [`GemmRequest`]s — typed
+    /// requests, or plain `(A, B)` pairs (owned or borrowed), which get
+    /// the default [`ProtectionPolicy::AAbft`].
+    ///
+    /// Rejects any shape-mismatched request with a typed error before a
+    /// single kernel is issued; this all-or-nothing surface also fails
+    /// wholesale when a [`ProtectionPolicy::SelfHealing`] request
+    /// exhausts its budget (per-request fault isolation lives in
+    /// [`BatchGemm::execute_verified`]). Sibling outcomes are computed
+    /// and their buffers pooled before the error returns.
+    pub fn execute<I>(&self, device: &Device, requests: I) -> Result<Vec<AAbftOutcome>, AbftError>
+    where
+        I: IntoIterator,
+        I::Item: Into<GemmRequest>,
+    {
+        let requests: Vec<GemmRequest> = requests.into_iter().map(Into::into).collect();
         if requests.is_empty() {
             return Ok(Vec::new());
         }
-        for (a, b) in requests {
-            if a.cols() != b.rows() {
+        for req in &requests {
+            if req.a.cols() != req.b.rows() {
                 return Err(AbftError::ShapeMismatch {
                     op: "batch",
-                    left: a.shape(),
-                    right: b.shape(),
+                    left: req.a.shape(),
+                    right: req.b.shape(),
                 });
             }
         }
@@ -171,10 +378,12 @@ impl BatchGemm {
         obs.metrics.gauge_set("batch.streams", streams.len() as f64);
 
         // Upload phase (host-side): plan lookup, pooled buffers, operand
-        // upload. Each request gets a per-request span carrying its stream.
+        // upload. Sequential so the plan/pool cache counters stay
+        // deterministic whatever the worker count. Each request gets a
+        // per-request span carrying its stream.
         let mut keys = Vec::with_capacity(requests.len());
         let mut runs: Vec<(StreamId, MultiplyRun)> = Vec::with_capacity(requests.len());
-        for (i, (a, b)) in requests.iter().enumerate() {
+        for (i, req) in requests.iter().enumerate() {
             let stream = streams[i % streams.len()];
             let ctx = ExecCtx::on_stream(device, stream);
             let _req = aabft_obs::span!(
@@ -183,41 +392,31 @@ impl BatchGemm {
                 "request",
                 "request" => i as u64,
                 "stream" => stream.raw(),
-                "m" => a.rows() as u64,
-                "n" => a.cols() as u64,
-                "q" => b.cols() as u64,
+                "m" => req.a.rows() as u64,
+                "n" => req.a.cols() as u64,
+                "q" => req.b.cols() as u64,
             );
             obs.metrics.counter_inc(&format!("batch.stream.{}.requests", stream.raw()));
-            let key: PlanKey = (a.rows(), a.cols(), b.cols(), bs);
+            let key: PlanKey = (req.a.rows(), req.a.cols(), req.b.cols(), bs);
             let plan = self.plan_for(key, &obs);
             let bufs = self.buffers_for(key, &plan, &obs);
             keys.push(key);
-            runs.push((stream, self.gemm.begin_with(&ctx, a, b, bufs)?));
+            runs.push((stream, self.gemm.begin_with(&ctx, &req.a, &req.b, bufs)?));
         }
 
-        // Issue the device phases interleaved across requests: all fused
-        // encode+gemm dispatches, then all reductions, then all checks.
-        // Each request's launches stay ordered on its own stream; requests
-        // on different streams overlap in the modelled timeline (which
-        // follows the per-stream dependency edges, not issue order).
-        for (stream, run) in &runs {
-            run.encode_and_gemm(&ExecCtx::on_stream(device, *stream));
-        }
-        for (stream, run) in &runs {
-            run.reduce(&ExecCtx::on_stream(device, *stream));
-        }
-        for (stream, run) in &runs {
-            run.check(&ExecCtx::on_stream(device, *stream));
-        }
+        let policies: Vec<&GemmRequest> = requests.iter().collect();
+        self.run_device_phases(device, &runs, &policies);
 
-        // Host epilogue. Parallel under the rayon shim, except when the
-        // recovery policy launches recompute kernels — then sequential, so
-        // the launch log (and the modelled timeline) stays deterministic.
-        let sequential_epilogue =
-            self.gemm.config().recovery == RecoveryPolicy::CorrectOrRecompute;
-        let finished: Vec<(AAbftOutcome, RunBuffers)> = if sequential_epilogue {
+        // Host epilogue. Parallel under the rayon shim, except when a
+        // request may launch recovery kernels (self-healing policies, or
+        // the operator-wide CorrectOrRecompute) — then sequential, so the
+        // launch log (and the modelled timeline) stays deterministic.
+        let sequential_epilogue = self.gemm.config().recovery == RecoveryPolicy::CorrectOrRecompute
+            || requests.iter().any(|r| matches!(r.policy, ProtectionPolicy::SelfHealing { .. }));
+        let finished: Vec<(Result<AAbftOutcome, AbftError>, RunBuffers)> = if sequential_epilogue {
             runs.into_iter()
-                .map(|(stream, run)| run.finish(&ExecCtx::on_stream(device, stream)))
+                .zip(&requests)
+                .map(|((stream, run), req)| self.finish_one(device, stream, run, req))
                 .collect()
         } else {
             let slots: Vec<Mutex<Option<(StreamId, MultiplyRun)>>> =
@@ -226,35 +425,58 @@ impl BatchGemm {
                 .into_par_iter()
                 .map(|i| {
                     let (stream, run) = slots[i].lock().take().expect("each slot taken once");
-                    run.finish(&ExecCtx::on_stream(device, stream))
+                    self.finish_one(device, stream, run, &requests[i])
                 })
                 .collect()
         };
 
+        // Pool every request's buffers — including those of a failed
+        // self-healing request — before propagating the first error.
         let mut outcomes = Vec::with_capacity(finished.len());
+        let mut first_err = None;
         let mut pool = self.pool.lock();
-        for ((outcome, bufs), key) in finished.into_iter().zip(keys) {
+        for ((result, bufs), key) in finished.into_iter().zip(keys) {
             pool.entry(key).or_default().push(bufs);
-            outcomes.push(outcome);
+            match result {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
         }
-        Ok(outcomes)
+        drop(pool);
+        match first_err {
+            None => Ok(outcomes),
+            Some(e) => Err(e),
+        }
     }
 
-    /// Executes `requests` under the verified self-healing executor
-    /// ([`crate::heal::SelfHealingGemm`] semantics) with **fault isolation**:
-    /// every request gets its own `Result` slot, in request order.
+    /// Executes `requests` with **fault isolation**: every request gets
+    /// its own `Result` slot, in request order.
     ///
-    /// A request whose shape is invalid, or whose recovery exhausts the
-    /// heal budget ([`BatchGemm::with_heal_budget`]), fails alone with a
-    /// typed error — sibling requests' results are unaffected (the device
-    /// phases run on per-request streams and disjoint buffers, so a
-    /// poisoned request cannot perturb another's product). Pooled buffers
-    /// are recycled on both the success and the failure path.
-    pub fn execute_verified(
+    /// Verifying requests run the self-healing executor
+    /// ([`crate::heal::SelfHealingGemm`] semantics) — under the batch
+    /// budget ([`BatchGemm::with_heal_budget`]) for the default policy,
+    /// or their own for [`ProtectionPolicy::SelfHealing`].
+    /// [`ProtectionPolicy::Unprotected`] requests skip verification and
+    /// report `attempts == 0` with an empty outcome report.
+    ///
+    /// A request whose shape is invalid, or whose recovery exhausts its
+    /// budget, fails alone with a typed error — sibling requests'
+    /// results are unaffected (the device phases run on per-request
+    /// streams and disjoint buffers, so a poisoned request cannot
+    /// perturb another's product). Pooled buffers are recycled on both
+    /// the success and the failure path.
+    pub fn execute_verified<I>(
         &self,
         device: &Device,
-        requests: &[(Matrix<f64>, Matrix<f64>)],
-    ) -> Vec<Result<HealedOutcome, AbftError>> {
+        requests: I,
+    ) -> Vec<Result<HealedOutcome, AbftError>>
+    where
+        I: IntoIterator,
+        I::Item: Into<GemmRequest>,
+    {
+        let requests: Vec<GemmRequest> = requests.into_iter().map(Into::into).collect();
         if requests.is_empty() {
             return Vec::new();
         }
@@ -280,12 +502,12 @@ impl BatchGemm {
             requests.iter().map(|_| None).collect();
         let mut runs: Vec<(usize, StreamId, PlanKey, MultiplyRun)> =
             Vec::with_capacity(requests.len());
-        for (i, (a, b)) in requests.iter().enumerate() {
-            if a.cols() != b.rows() {
+        for (i, req) in requests.iter().enumerate() {
+            if req.a.cols() != req.b.rows() {
                 results[i] = Some(Err(AbftError::ShapeMismatch {
                     op: "batch",
-                    left: a.shape(),
-                    right: b.shape(),
+                    left: req.a.shape(),
+                    right: req.b.shape(),
                 }));
                 continue;
             }
@@ -297,30 +519,59 @@ impl BatchGemm {
                 "request",
                 "request" => i as u64,
                 "stream" => stream.raw(),
-                "m" => a.rows() as u64,
-                "n" => a.cols() as u64,
-                "q" => b.cols() as u64,
+                "m" => req.a.rows() as u64,
+                "n" => req.a.cols() as u64,
+                "q" => req.b.cols() as u64,
             );
             obs.metrics.counter_inc(&format!("batch.stream.{}.requests", stream.raw()));
-            let key: PlanKey = (a.rows(), a.cols(), b.cols(), bs);
+            let key: PlanKey = (req.a.rows(), req.a.cols(), req.b.cols(), bs);
             let plan = self.plan_for(key, &obs);
             let bufs = self.buffers_for(key, &plan, &obs);
-            match self.gemm.begin_with(&ctx, a, b, bufs) {
+            match self.gemm.begin_with(&ctx, &req.a, &req.b, bufs) {
                 Ok(run) => runs.push((i, stream, key, run)),
                 Err(e) => results[i] = Some(Err(e)),
             }
         }
 
-        // Device phases interleaved across the valid requests, exactly as
-        // in [`BatchGemm::execute`].
-        for (_, stream, _, run) in &runs {
-            run.encode_and_gemm(&ExecCtx::on_stream(device, *stream));
-        }
-        for (_, stream, _, run) in &runs {
-            run.reduce(&ExecCtx::on_stream(device, *stream));
-        }
-        for (_, stream, _, run) in &runs {
-            run.check(&ExecCtx::on_stream(device, *stream));
+        // Device phases over the admitted runs, macro-parallel when the
+        // device is fault-free — same dispatch policy as
+        // [`BatchGemm::run_device_phases`], over `(stream, &run)` views
+        // because the runs stay in their `(index, key)` context here.
+        let policies: Vec<&GemmRequest> = runs.iter().map(|&(i, ..)| &requests[i]).collect();
+        {
+            let pairs: Vec<(StreamId, &MultiplyRun)> =
+                runs.iter().map(|(_, s, _, r)| (*s, r)).collect();
+            if device.fusion_viable() {
+                let wave = |phase: fn(&MultiplyRun, &ExecCtx<'_>), verified_only: bool| {
+                    let _dispatched: Vec<()> = (0..pairs.len())
+                        .into_par_iter()
+                        .map(|j| {
+                            if verified_only && !policies[j].verified_phases() {
+                                return;
+                            }
+                            let (stream, run) = pairs[j];
+                            phase(run, &ExecCtx::on_stream(device, stream));
+                        })
+                        .collect();
+                };
+                wave(MultiplyRun::encode_and_gemm, false);
+                wave(MultiplyRun::reduce, true);
+                wave(MultiplyRun::check, true);
+            } else {
+                for &(stream, run) in &pairs {
+                    run.encode_and_gemm(&ExecCtx::on_stream(device, stream));
+                }
+                for (&(stream, run), req) in pairs.iter().zip(&policies) {
+                    if req.verified_phases() {
+                        run.reduce(&ExecCtx::on_stream(device, stream));
+                    }
+                }
+                for (&(stream, run), req) in pairs.iter().zip(&policies) {
+                    if req.verified_phases() {
+                        run.check(&ExecCtx::on_stream(device, stream));
+                    }
+                }
+            }
         }
 
         // Verified epilogue: each request runs its own healing loop on its
@@ -330,11 +581,35 @@ impl BatchGemm {
         // pooled buffers instead of leaking them.
         for (i, stream, key, run) in runs {
             let ctx = ExecCtx::on_stream(device, stream);
-            let (a, b) = &requests[i];
-            let (result, bufs) = heal_run(&self.gemm, self.heal_budget, &ctx, a, b, run);
-            match &result {
-                Ok(_) => obs.metrics.counter_inc("batch.verified_requests"),
-                Err(_) => obs.metrics.counter_inc("batch.unrecovered"),
+            let req = &requests[i];
+            let (result, bufs) = match req.policy {
+                ProtectionPolicy::Unprotected => {
+                    let (outcome, bufs) = run.finish_unchecked(&ctx);
+                    obs.metrics.counter_inc("batch.unprotected_requests");
+                    (
+                        Ok(HealedOutcome {
+                            outcome,
+                            attempts: 0,
+                            escalations: 0,
+                            // Nothing was checked, so nothing needed repair
+                            // — by decree, not by verification.
+                            action: RecoveryAction::NoneNeeded,
+                        }),
+                        bufs,
+                    )
+                }
+                ProtectionPolicy::AAbft => {
+                    heal_run(&self.gemm, self.heal_budget, &ctx, &req.a, &req.b, run)
+                }
+                ProtectionPolicy::SelfHealing { budget } => {
+                    heal_run(&self.gemm, budget, &ctx, &req.a, &req.b, run)
+                }
+            };
+            if req.verified_phases() {
+                match &result {
+                    Ok(_) => obs.metrics.counter_inc("batch.verified_requests"),
+                    Err(_) => obs.metrics.counter_inc("batch.unrecovered"),
+                }
             }
             self.pool.lock().entry(key).or_default().push(bufs);
             results[i] = Some(result);
@@ -447,6 +722,92 @@ mod tests {
             assert_eq!(healed.attempts, 0);
             assert_eq!(p.product, healed.outcome.product, "verified path must be bit-identical");
         }
+    }
+
+    #[test]
+    fn outcomes_are_independent_of_worker_count_and_arrival_order() {
+        let reqs = requests(6);
+        let batch = BatchGemm::new(small_gemm()).with_streams(3);
+        let baseline = batch.execute(&Device::with_defaults(), &reqs).unwrap();
+
+        for workers in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build().unwrap();
+
+            let outcomes =
+                pool.install(|| batch.execute(&Device::with_defaults(), &reqs).unwrap());
+            for (i, (base, out)) in baseline.iter().zip(&outcomes).enumerate() {
+                assert_eq!(
+                    base.product, out.product,
+                    "request {i} product drifted under {workers} workers"
+                );
+                assert_eq!(base.report, out.report);
+            }
+
+            // Arrival order: the same requests submitted reversed come back
+            // reversed — each outcome is a pure function of its request.
+            let mut reversed = reqs.clone();
+            reversed.reverse();
+            let outcomes =
+                pool.install(|| batch.execute(&Device::with_defaults(), &reversed).unwrap());
+            for (i, out) in outcomes.iter().enumerate() {
+                let base = &baseline[reqs.len() - 1 - i];
+                assert_eq!(
+                    base.product, out.product,
+                    "request {i} depends on arrival order under {workers} workers"
+                );
+                assert_eq!(base.report, out.report);
+            }
+        }
+    }
+
+    #[test]
+    fn policies_select_pipeline_per_request() {
+        let reqs = requests(2);
+        let batch = BatchGemm::new(small_gemm()).with_streams(2);
+        let protected = batch.execute(&Device::with_defaults(), &reqs).unwrap();
+
+        // Same operands, first request unprotected: its product's data
+        // region is bit-identical (same multiply kernel), its report is
+        // empty, and it files fewer launches (no reduce, no check).
+        let device = Device::with_defaults();
+        let typed: Vec<GemmRequest> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, pair)| {
+                let req = GemmRequest::from(pair);
+                if i == 0 {
+                    req.with_policy(ProtectionPolicy::Unprotected)
+                } else {
+                    req
+                }
+            })
+            .collect();
+        let outcomes = batch.execute(&device, typed).unwrap();
+        let log = device.take_log();
+        assert_eq!(outcomes[0].product, protected[0].product);
+        assert_eq!(outcomes[1].product, protected[1].product);
+        assert!(!outcomes[0].errors_detected());
+        assert!(outcomes[0].report.col_mismatches.is_empty());
+        // Protected request: encode ×2 + gemm + reduce ×2 + check = 6
+        // records; unprotected: encode ×2 + gemm = 3.
+        assert_eq!(log.len(), 9, "3 unprotected + 6 protected launch records");
+        assert_eq!(log.iter().filter(|r| r.phase == "check").count(), 1);
+        assert_eq!(log.iter().filter(|r| r.phase == "pmax_reduce").count(), 2);
+
+        // Verified surface: an unprotected request reports a no-op heal.
+        let verified = batch.execute_verified(&Device::with_defaults(), {
+            let mut t: Vec<GemmRequest> = reqs.iter().map(GemmRequest::from).collect();
+            t[0].policy = ProtectionPolicy::Unprotected;
+            t[1].policy = ProtectionPolicy::SelfHealing { budget: 2 };
+            t
+        });
+        let unprotected = verified[0].as_ref().unwrap();
+        assert_eq!(unprotected.attempts, 0);
+        assert_eq!(unprotected.action, RecoveryAction::NoneNeeded);
+        assert_eq!(unprotected.outcome.product, protected[0].product);
+        let healed = verified[1].as_ref().unwrap();
+        assert_eq!(healed.attempts, 0, "fault-free self-healing request verifies clean");
+        assert_eq!(healed.outcome.product, protected[1].product);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod recover;
 pub mod weighted;
 
 pub use aabft::{AAbftGemm, AAbftOutcome, GemmPlan, MultiplyRun, RunBuffers};
-pub use batch::BatchGemm;
+pub use batch::{BatchGemm, GemmRequest, ProtectionPolicy};
 pub use check::CheckReport;
 pub use classify::ErrorClass;
 pub use config::AAbftConfig;

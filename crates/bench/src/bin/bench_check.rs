@@ -14,13 +14,13 @@
 //!     --baseline BENCH_gemm.json --n 1024 --reps 3 --max-regress 15
 //! ```
 //!
-//! Reads `clean_ms_min` from the baseline, falling back to the
-//! deprecated `clean_ms` alias (DESIGN §13).
+//! Reads `clean_ms_min` from the baseline; the `clean_ms` alias that
+//! shadowed it for one release is gone (DESIGN §13).
 
 use aabft_bench::args::Args;
 use aabft_core::{AAbftConfig, AAbftGemm};
-use aabft_gpu_sim::device::Device;
-use aabft_gpu_sim::pack::{self, CleanEngine};
+use aabft_gpu_sim::device::{Device, DeviceConfig};
+use aabft_gpu_sim::pack::CleanEngine;
 use aabft_matrix::Matrix;
 use aabft_obs::json::JsonValue;
 use std::time::Instant;
@@ -49,9 +49,8 @@ fn main() {
         .unwrap_or_else(|| panic!("{baseline_path}: no packed record at n = {n}"));
     let base_ms = rec
         .get("clean_ms_min")
-        .or_else(|| rec.get("clean_ms")) // deprecated alias
         .and_then(|v| v.as_f64())
-        .unwrap_or_else(|| panic!("{baseline_path}: record lacks clean_ms_min/clean_ms"));
+        .unwrap_or_else(|| panic!("{baseline_path}: record lacks clean_ms_min"));
     let base_gflops = rec
         .get("host_gflops")
         .and_then(|v| v.as_f64())
@@ -62,8 +61,12 @@ fn main() {
     let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) as f64 * 0.017).sin());
     let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) as f64 * 0.013).cos());
     let gemm = AAbftGemm::new(AAbftConfig::default());
-    pack::set_default_engine(CleanEngine::Packed);
-    let dev = Device::with_defaults();
+    let dev = Device::new(
+        DeviceConfig::builder()
+            .clean_engine(CleanEngine::Packed)
+            .build()
+            .expect("default shape is valid"),
+    );
     for _ in 0..warmup {
         gemm.multiply(&dev, &a, &b);
     }

@@ -210,6 +210,55 @@ fn armed_plan_restores_the_six_dispatch_shape_and_calibration() {
 }
 
 #[test]
+fn clean_path_is_bit_identical_under_every_worker_count() {
+    // The macro-parallel clean path (DESIGN §14) partitions the block space
+    // across worker threads, but every accumulator still sums its k-terms
+    // in ascending order on exactly one worker — so any worker count must
+    // reproduce the single-worker run bit for bit, launch log included
+    // (field by field, per-SM stats splits and all), and both must stay
+    // indistinguishable from the forced-instrumented reference.
+    let (a, b) = inputs(64);
+    let gemm = AAbftGemm::new(AAbftConfig::default());
+
+    let run_with = |workers: usize| {
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(workers).build().expect("pool builds");
+        pool.install(|| {
+            let dev = Device::with_defaults();
+            let out = gemm.multiply(&dev, &a, &b);
+            assert!(
+                dev.clean_path_launches() > 0,
+                "fault-free run must engage the clean path under {workers} workers"
+            );
+            (out, dev.take_log())
+        })
+    };
+
+    let (reference, reference_log) = run_with(1);
+    for workers in [2usize, 4, 8] {
+        let (out, log) = run_with(workers);
+        assert_eq!(
+            out.full.matrix.max_abs_diff(&reference.full.matrix),
+            0.0,
+            "augmented product must be bit-identical under {workers} workers"
+        );
+        assert_eq!(
+            out.product.max_abs_diff(&reference.product),
+            0.0,
+            "released product must be bit-identical under {workers} workers"
+        );
+        assert!(!out.report.errors_detected(), "fault-free run reports clean");
+        assert_logs_identical(&log, &reference_log);
+    }
+
+    let inst_dev = Device::with_defaults();
+    inst_dev.set_force_instrumented(true);
+    let inst = gemm.multiply(&inst_dev, &a, &b);
+    assert_eq!(inst.product.max_abs_diff(&reference.product), 0.0);
+    assert_logs_identical(&reference_log, &inst_dev.take_log());
+}
+
+#[test]
 fn unaligned_and_degenerate_shapes_stay_bit_identical() {
     // BS = 32 does not divide n = 100, so the last checksum block is
     // ragged and the augmented extent is not a tile multiple before

@@ -37,11 +37,16 @@ pub struct DeviceConfig {
     /// Maximum `moduleID` (per-thread functional-unit index) kernels may
     /// target; bounds the per-SM dynamic-instance counter table.
     pub max_modules: usize,
+    /// Clean-path GEMM engine for kernels launched on this device. `None`
+    /// falls back to the deprecated process-wide default
+    /// ([`crate::pack::default_engine`]); prefer setting it here so two
+    /// devices in one process can run different engines.
+    pub clean_engine: Option<crate::pack::CleanEngine>,
 }
 
 impl Default for DeviceConfig {
     fn default() -> Self {
-        DeviceConfig { num_sms: 13, max_modules: 64 }
+        DeviceConfig { num_sms: 13, max_modules: 64, clean_engine: None }
     }
 }
 
@@ -90,6 +95,24 @@ impl DeviceConfigBuilder {
     /// Sets the per-thread functional-unit index bound.
     pub fn max_modules(mut self, n: usize) -> Self {
         self.config.max_modules = n;
+        self
+    }
+
+    /// Pins the clean-path GEMM engine for devices built from this
+    /// configuration, replacing the deprecated process-global default.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aabft_gpu_sim::device::DeviceConfig;
+    /// use aabft_gpu_sim::pack::CleanEngine;
+    ///
+    /// let config =
+    ///     DeviceConfig::builder().clean_engine(CleanEngine::Scalar).build().unwrap();
+    /// assert_eq!(config.clean_engine, Some(CleanEngine::Scalar));
+    /// ```
+    pub fn clean_engine(mut self, engine: crate::pack::CleanEngine) -> Self {
+        self.config.clean_engine = Some(engine);
         self
     }
 
@@ -202,6 +225,14 @@ impl Device {
     /// The device configuration.
     pub fn config(&self) -> DeviceConfig {
         self.config
+    }
+
+    /// The clean-path GEMM engine this device runs: the configured
+    /// per-device choice, falling back to the deprecated process-wide
+    /// default when the configuration leaves it unset.
+    pub fn clean_engine(&self) -> crate::pack::CleanEngine {
+        #[allow(deprecated)]
+        self.config.clean_engine.unwrap_or_else(crate::pack::default_engine)
     }
 
     /// Points this device at a specific observability context (tests use
@@ -483,45 +514,50 @@ impl Device {
             .attr("stream", stream.raw())
             .attr("seq", seq);
 
-        let per_sm: Vec<KernelStats> = (0..num_sms)
-            .into_par_iter()
-            .map(|sm_id| {
-                let mut stats = KernelStats::default();
-                if clean {
-                    // Fast path: no dynamic-instance counters to maintain and
-                    // no injection tables to probe; blocks account their work
-                    // in closed form into a per-block stats record that keeps
-                    // the per-SM split identical to the instrumented path.
+        let per_sm: Vec<KernelStats> = if clean {
+            // Fast path: no dynamic-instance counters to maintain and no
+            // injection tables to probe, so the partition unit is the
+            // *block*, not the SM — every worker thread claims blocks from
+            // the shared cursor instead of 13 SM-sized batches gating the
+            // fan-out. Blocks write disjoint outputs (the kernel author's
+            // contract for clean bodies) and account their work in closed
+            // form into per-block stats records, which fold back into the
+            // round-robin per-SM split the instrumented path reports.
+            let per_block: Vec<KernelStats> = (0..blocks.len())
+                .into_par_iter()
+                .map(|linear| {
+                    let mut block_stats = KernelStats { blocks: 1, ..Default::default() };
+                    kernel.run_block_clean(blocks[linear], &mut block_stats);
+                    block_stats
+                })
+                .collect();
+            fold_per_sm(num_sms, &per_block)
+        } else {
+            (0..num_sms)
+                .into_par_iter()
+                .map(|sm_id| {
+                    let mut stats = KernelStats::default();
+                    let mut counts_guard = self.sm_counts[sm_id].lock();
+                    debug_assert_eq!(counts_guard.len(), max_modules);
                     for (linear, &block) in blocks.iter().enumerate() {
                         if linear % num_sms != sm_id {
                             continue;
                         }
-                        let mut block_stats = KernelStats { blocks: 1, ..Default::default() };
-                        kernel.run_block_clean(block, &mut block_stats);
-                        stats.merge(&block_stats);
+                        let mut ctx = BlockCtx {
+                            block,
+                            sm_id,
+                            stats: KernelStats { blocks: 1, ..Default::default() },
+                            sm_counts: &mut counts_guard,
+                            injections: &injections,
+                            scoped: &scoped,
+                        };
+                        kernel.run_block(&mut ctx);
+                        stats.merge(&ctx.stats);
                     }
-                    return stats;
-                }
-                let mut counts_guard = self.sm_counts[sm_id].lock();
-                debug_assert_eq!(counts_guard.len(), max_modules);
-                for (linear, &block) in blocks.iter().enumerate() {
-                    if linear % num_sms != sm_id {
-                        continue;
-                    }
-                    let mut ctx = BlockCtx {
-                        block,
-                        sm_id,
-                        stats: KernelStats { blocks: 1, ..Default::default() },
-                        sm_counts: &mut counts_guard,
-                        injections: &injections,
-                        scoped: &scoped,
-                    };
-                    kernel.run_block(&mut ctx);
-                    stats.merge(&ctx.stats);
-                }
-                stats
-            })
-            .collect();
+                    stats
+                })
+                .collect()
+        };
 
         let mut total = KernelStats::default();
         for s in &per_sm {
@@ -631,37 +667,37 @@ impl Device {
                 })
                 .collect();
 
-            // One parallel pass over the SMs executes every kernel of the
-            // stage; each SM keeps the per-kernel round-robin block
-            // assignment (`linear % num_sms`), so the per-SM stats split
-            // matches separate launches exactly.
-            let by_sm: Vec<Vec<KernelStats>> = (0..num_sms)
+            // One parallel pass executes every block of every kernel in the
+            // stage, partitioned at block granularity (same flat work-list
+            // the single-kernel clean launch uses — kernels in a stage have
+            // disjoint outputs by the stage contract, so their blocks can
+            // interleave freely across workers). Folding each kernel's
+            // per-block records by `linear % num_sms` reproduces the
+            // round-robin per-SM split separate launches report.
+            let items: Vec<(usize, usize)> = blocks
+                .iter()
+                .enumerate()
+                .flat_map(|(part, bl)| (0..bl.len()).map(move |linear| (part, linear)))
+                .collect();
+            let per_item: Vec<KernelStats> = (0..items.len())
                 .into_par_iter()
-                .map(|sm_id| {
-                    stage
-                        .iter()
-                        .zip(&blocks)
-                        .map(|(&(_, kernel), blocks)| {
-                            let mut stats = KernelStats::default();
-                            for (linear, &block) in blocks.iter().enumerate() {
-                                if linear % num_sms != sm_id {
-                                    continue;
-                                }
-                                let mut block_stats =
-                                    KernelStats { blocks: 1, ..Default::default() };
-                                kernel.run_block_clean(block, &mut block_stats);
-                                stats.merge(&block_stats);
-                            }
-                            stats
-                        })
-                        .collect()
+                .map(|idx| {
+                    let (part, linear) = items[idx];
+                    let mut block_stats = KernelStats { blocks: 1, ..Default::default() };
+                    stage[part].1.run_block_clean(blocks[part][linear], &mut block_stats);
+                    block_stats
                 })
                 .collect();
+            let mut by_kernel: Vec<Vec<KernelStats>> =
+                stage.iter().map(|_| vec![KernelStats::default(); num_sms]).collect();
+            for (&(part, linear), s) in items.iter().zip(&per_item) {
+                by_kernel[part][linear % num_sms].merge(s);
+            }
 
             for (part, ((&(_, kernel), (seq, deps)), mut span)) in
                 stage.iter().zip(meta).zip(spans).enumerate()
             {
-                let per_sm: Vec<KernelStats> = by_sm.iter().map(|sm| sm[part]).collect();
+                let per_sm: Vec<KernelStats> = std::mem::take(&mut by_kernel[part]);
                 let mut total = KernelStats::default();
                 for s in &per_sm {
                     total.merge(s);
@@ -691,6 +727,17 @@ impl Device {
         }
         out
     }
+}
+
+/// Folds per-block stats (in linear block order) into the round-robin
+/// per-SM split (`linear % num_sms`) the instrumented path reports, so
+/// block-partitioned clean launches file indistinguishable records.
+fn fold_per_sm(num_sms: usize, per_block: &[KernelStats]) -> Vec<KernelStats> {
+    let mut per_sm = vec![KernelStats::default(); num_sms];
+    for (linear, s) in per_block.iter().enumerate() {
+        per_sm[linear % num_sms].merge(s);
+    }
+    per_sm
 }
 
 /// A GPU kernel: code executed once per thread block.
@@ -1009,7 +1056,7 @@ mod tests {
 
     #[test]
     fn injection_strikes_exactly_once_and_is_deterministic() {
-        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4, clean_engine: None });
         let out = DeviceBuffer::zeros(4);
         // Blocks 0 and 2 run on SM 0; blocks 1 and 3 on SM 1 (round-robin).
         // Target the 6th InnerAdd on SM 1 => second add of block 3.
@@ -1034,7 +1081,7 @@ mod tests {
 
     #[test]
     fn disarm_reports_unfired() {
-        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4, clean_engine: None });
         device.arm_injection(InjectionPlan {
             sm: 1,
             site: FaultSite::FinalAdd,
@@ -1050,7 +1097,7 @@ mod tests {
 
     #[test]
     fn fpu_ticks_count_dynamic_ops_in_issue_order() {
-        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4, clean_engine: None });
         let out = DeviceBuffer::zeros(4);
         let stats = device.launch(GridDim::linear_1d(4), &AccumKernel { out: &out });
         // Each block issues 4 mul_at + 4 add_at = 8 FPU operations.
@@ -1064,7 +1111,7 @@ mod tests {
     fn kernel_scope_fault_strikes_kth_op_deterministically() {
         use crate::inject::{FaultScope, KernelFaultPlan};
         let run = |armed: bool| {
-            let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+            let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4, clean_engine: None });
             let out = DeviceBuffer::zeros(4);
             if armed {
                 // Blocks 1 and 3 run on SM 1; each issues mul,add,... pairs.
@@ -1091,7 +1138,7 @@ mod tests {
     #[test]
     fn kernel_scope_fault_respects_phase_filter() {
         use crate::inject::{FaultScope, KernelFaultPlan};
-        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4, clean_engine: None });
         let out = DeviceBuffer::zeros(4);
         // AccumKernel's phase is its name ("accum"); an encode-scope fault
         // never matches, so the counter never advances and nothing fires.
@@ -1109,7 +1156,7 @@ mod tests {
     #[test]
     fn memory_fault_lands_once_at_phase_boundary() {
         use crate::inject::MemoryFaultPlan;
-        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4, clean_engine: None });
         let out = DeviceBuffer::zeros(4);
         device.arm_memory_fault(MemoryFaultPlan {
             buffer: "out",
@@ -1246,7 +1293,7 @@ mod tests {
     #[test]
     fn clean_path_engages_only_when_nothing_is_armed() {
         use crate::inject::{FaultScope, KernelFaultPlan, MemoryFaultPlan};
-        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4, clean_engine: None });
         let out = DeviceBuffer::zeros(8);
         let clean = device.launch(GridDim::new(4, 2), &DualFill { out: &out });
         assert_eq!(device.clean_path_launches(), 1);
@@ -1296,7 +1343,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "targets SM")]
     fn arming_out_of_range_sm_panics() {
-        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4 });
+        let device = Device::new(DeviceConfig { num_sms: 2, max_modules: 4, clean_engine: None });
         device.arm_injection(InjectionPlan {
             sm: 7,
             site: FaultSite::InnerMul,

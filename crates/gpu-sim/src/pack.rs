@@ -49,6 +49,19 @@ pub enum CleanEngine {
     Scalar,
 }
 
+impl std::str::FromStr for CleanEngine {
+    type Err = String;
+
+    /// Parses the `--engine` spelling used by the bench binaries.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "packed" => Ok(CleanEngine::Packed),
+            "scalar" => Ok(CleanEngine::Scalar),
+            other => Err(format!("unknown clean engine {other:?} (packed|scalar)")),
+        }
+    }
+}
+
 /// Process-wide default engine (kernels may override per instance).
 static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
 /// Source of pack epochs; 0 is reserved for "nothing packed".
@@ -57,14 +70,27 @@ static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 /// `bench_gemm --assert-dispatch packed` and the tier-1 smoke gate).
 static PACKED_BLOCKS: AtomicU64 = AtomicU64::new(0);
 
-/// Sets the process-wide default clean engine (used by `bench_gemm` to A/B
-/// the packed engine against the scalar baseline through the full
-/// pipeline). Kernels constructed with an explicit engine are unaffected.
+/// Sets the process-wide default clean engine. Kernels constructed with an
+/// explicit engine, and devices whose [`DeviceConfig`] pins one, are
+/// unaffected.
+///
+/// Deprecated: the process-global atomic cannot express two devices running
+/// different engines in one process, and it leaks configuration across
+/// unrelated tests. Pin the engine per device instead:
+/// `DeviceConfig::builder().clean_engine(...)`. Kept as a fallback for one
+/// release.
+///
+/// [`DeviceConfig`]: crate::device::DeviceConfig
+#[deprecated(
+    since = "0.7.0",
+    note = "pin the engine per device with DeviceConfig::builder().clean_engine(...)"
+)]
 pub fn set_default_engine(engine: CleanEngine) {
     DEFAULT_ENGINE.store(matches!(engine, CleanEngine::Scalar) as u8, Ordering::Relaxed);
 }
 
-/// The current process-wide default clean engine.
+/// The current process-wide default clean engine — the fallback when
+/// neither the kernel nor the device pins one.
 pub fn default_engine() -> CleanEngine {
     if DEFAULT_ENGINE.load(Ordering::Relaxed) == 0 {
         CleanEngine::Packed
@@ -334,6 +360,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercising the fallback until the setter is removed
     fn default_engine_toggles() {
         assert_eq!(default_engine(), CleanEngine::Packed);
         set_default_engine(CleanEngine::Scalar);

@@ -24,7 +24,7 @@ impl Kernel for SmRecorder<'_> {
 
 #[test]
 fn blocks_are_assigned_round_robin() {
-    let device = Device::new(DeviceConfig { num_sms: 4, max_modules: 8 });
+    let device = Device::new(DeviceConfig { num_sms: 4, max_modules: 8, clean_engine: None });
     let out = DeviceBuffer::zeros(10);
     device.launch(GridDim::linear_1d(10), &SmRecorder { out: &out });
     let sms: Vec<usize> = out.to_vec().iter().map(|&v| v as usize).collect();
@@ -109,7 +109,7 @@ fn gemm_composes_with_compare() {
 #[test]
 fn many_sms_with_few_blocks() {
     // More SMs than blocks: the tail SMs stay idle without issue.
-    let device = Device::new(DeviceConfig { num_sms: 13, max_modules: 4 });
+    let device = Device::new(DeviceConfig { num_sms: 13, max_modules: 4, clean_engine: None });
     let out = DeviceBuffer::zeros(3);
     let stats = device.launch(GridDim::linear_1d(3), &SmRecorder { out: &out });
     assert_eq!(stats.blocks, 3);

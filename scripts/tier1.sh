@@ -22,6 +22,9 @@ cargo clippy -p aabft-gpu-sim --all-targets -- -D warnings
 # Telemetry (snapshotter + histogram percentiles) likewise gets a named
 # pass: its property tests live under --all-targets.
 cargo clippy -p aabft-obs --all-targets -- -D warnings
+# The typed GemmRequest batch API and the macro-parallel dispatch live in
+# aabft-core; a named pass keeps lint regressions on the new surface loud.
+cargo clippy -p aabft-core --all-targets -- -D warnings
 
 # Deterministic-seed fault-campaign smoke: exponent flips must stay >= 90%
 # detected on the plain scheme, and the self-healing executor must release
@@ -72,6 +75,18 @@ cargo run --release -q -p aabft-bench --bin bench_gemm -- \
     --sizes 1024 --reps 2 --engine both --instrumented false \
     --json target/BENCH_packed_gate.json \
     --assert-speedup 2.5 --assert-dispatch packed
+
+# Thread-scaling gate: the macro-parallel clean path (DESIGN §14) must
+# race all hardware threads (--threads 0) against a single worker at
+# n=2048 and win by >= 2.0x. bench_gemm adapts the floor to the host —
+# min(2.0, 0.7 * hw_threads) — and skips the race entirely when the
+# worker counts collapse (single-core container), so this line is safe
+# everywhere while still biting on real multicore machines.
+echo "==> thread-scaling gate"
+cargo run --release -q -p aabft-bench --bin bench_gemm -- \
+    --sizes 2048 --reps 2 --engine packed --instrumented false \
+    --threads 1,0 --json target/BENCH_threads_gate.json \
+    --assert-speedup 2.0
 
 # Bench regression gate: a fresh packed measurement at n=1024 must stay
 # within 15% of the committed BENCH_gemm.json baseline's GFLOP/s.

@@ -1,13 +1,32 @@
 //! Offline stand-in for the `rayon` crate.
 //!
-//! The workspace only uses `(range).into_par_iter().map(f).collect()`, so
-//! that is what this crate provides: a data-parallel map over an index
-//! range, executed on std scoped threads claiming *chunks* of indices from
-//! a shared atomic cursor (dynamic load balancing, like rayon's work
-//! stealing at this grain, without a cache-line bounce per item now that
-//! clean-path blocks are cheap). Results are returned in input order, so
-//! callers observe rayon's exact semantics.
+//! The workspace uses `(range).into_par_iter().map(f).collect()` plus the
+//! `ThreadPoolBuilder`/`ThreadPool::install` sizing API, so that is what
+//! this crate provides: a data-parallel map over an index range, executed
+//! on std scoped threads claiming *chunks* of indices from a shared atomic
+//! cursor (dynamic load balancing, like rayon's work stealing at this
+//! grain, without a cache-line bounce per item now that clean-path blocks
+//! are cheap). Results are returned in input order, so callers observe
+//! rayon's exact semantics.
+//!
+//! Worker-count resolution, highest priority first:
+//!
+//! 1. a [`ThreadPool::install`] scope on the calling thread;
+//! 2. a process-global pool from [`ThreadPoolBuilder::build_global`];
+//! 3. the `RAYON_NUM_THREADS` environment variable;
+//! 4. `std::thread::available_parallelism()`.
+//!
+//! An explicit pool size is honoured even beyond the hardware parallelism
+//! (the threads timeshare), which keeps thread-count matrix tests
+//! meaningful on small containers.
+//!
+//! Nested parallelism is flattened rather than compounded: a par call
+//! issued from inside a worker thread runs serially on that worker. The
+//! outermost parallel level (e.g. `BatchGemm` dispatching whole requests)
+//! therefore owns the thread budget, and inner levels (per-block kernel
+//! loops) degrade to plain loops instead of exploding the thread count.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Everything callers need: `use rayon::prelude::*;`.
@@ -89,15 +108,116 @@ where
     }
 }
 
-/// Number of worker threads: the available parallelism, overridable (and
-/// disableable) via `RAYON_NUM_THREADS`, as with real rayon.
-fn num_threads(jobs: usize) -> usize {
-    let hw = std::env::var("RAYON_NUM_THREADS")
+/// Process-global worker-count override (0 = unset), set by
+/// [`ThreadPoolBuilder::build_global`].
+static GLOBAL_POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Worker-count override installed on this thread by
+    /// [`ThreadPool::install`] (0 = none).
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Set on pool worker threads: par calls from inside a worker run
+    /// serially instead of spawning a second tier of threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The hardware/environment default worker count (resolution steps 3–4).
+fn default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-    hw.min(jobs).max(1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// The worker count par calls on the current thread would use (before
+/// clamping to the job count). Mirrors `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    let global = GLOBAL_POOL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    default_threads()
+}
+
+/// Builder for a sized [`ThreadPool`], mirroring rayon's.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Pool construction error. This shim never actually fails to build; the
+/// type exists so call sites match rayon's `Result` signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with automatic sizing (env, then hardware).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the worker count. `0` means automatic, as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// The count this builder resolves to right now (0 → env/hardware).
+    fn resolve(&self) -> usize {
+        if self.num_threads > 0 { self.num_threads } else { default_threads() }
+    }
+
+    /// Builds a pool handle. Sizing is resolved eagerly, so an automatic
+    /// pool pins the env/hardware answer observed at build time.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.resolve() })
+    }
+
+    /// Installs this sizing as the process-global default (resolution
+    /// step 2). Unlike rayon, repeat calls simply replace the override.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_POOL_THREADS.store(self.resolve(), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A sized worker pool. This shim spawns scoped threads per par call
+/// rather than keeping workers alive, so the pool is just a sizing scope.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's worker count governing every par call
+    /// `op` issues on the calling thread. Scopes nest; the innermost wins.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        let out = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        out
+    }
 }
 
 fn par_map_range<R, F>(range: std::ops::Range<usize>, f: &F) -> Vec<R>
@@ -110,7 +230,7 @@ where
     if len == 0 {
         return Vec::new();
     }
-    let workers = num_threads(len);
+    let workers = current_num_threads().min(len).max(1);
     if workers == 1 {
         return (start..range.end).map(f).collect();
     }
@@ -133,17 +253,20 @@ where
         for _ in 0..workers {
             let cursor = &cursor;
             let slots_ptr = &slots_ptr;
-            scope.spawn(move || loop {
-                let chunk = cursor.fetch_add(grain, Ordering::Relaxed);
-                if chunk >= len {
-                    break;
-                }
-                for i in chunk..(chunk + grain).min(len) {
-                    let value = f(start + i);
-                    // SAFETY: chunks come from a fetch_add of `grain`, so no
-                    // two workers ever claim the same slot, and `slots`
-                    // outlives the scope.
-                    unsafe { *slots_ptr.0.add(i) = Some(value) };
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let chunk = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if chunk >= len {
+                        break;
+                    }
+                    for i in chunk..(chunk + grain).min(len) {
+                        let value = f(start + i);
+                        // SAFETY: chunks come from a fetch_add of `grain`,
+                        // so no two workers ever claim the same slot, and
+                        // `slots` outlives the scope.
+                        unsafe { *slots_ptr.0.add(i) = Some(value) };
+                    }
                 }
             });
         }
@@ -155,6 +278,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -200,5 +324,77 @@ mod tests {
             .collect();
         assert_eq!(hits.load(Ordering::Relaxed), 64);
         assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn install_overrides_worker_count_even_past_hardware() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let seen = Mutex::new(HashSet::new());
+        let v: Vec<usize> = pool.install(|| {
+            assert_eq!(current_num_threads(), 4);
+            (0..256)
+                .into_par_iter()
+                .map(|i| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(v, (0..256).collect::<Vec<_>>());
+        // Work runs on spawned workers (not the calling thread); how many
+        // of the four get a chunk depends on scheduling, so only bound it.
+        let seen = seen.lock().unwrap();
+        assert!(!seen.contains(&std::thread::current().id()));
+        assert!((1..=4).contains(&seen.len()), "worker threads: {}", seen.len());
+        // The override does not leak past the install scope.
+        assert!(INSTALLED_THREADS.with(|c| c.get()) == 0);
+    }
+
+    #[test]
+    fn install_scopes_nest_innermost_wins() {
+        let outer = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 8);
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 8);
+        });
+    }
+
+    #[test]
+    fn nested_par_calls_inside_workers_run_serially() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let max_inner = AtomicUsize::new(0);
+        let v: Vec<usize> = pool.install(|| {
+            (0..8)
+                .into_par_iter()
+                .map(|i| {
+                    // Inside a worker the resolved count collapses to 1, so
+                    // this inner map runs inline on the same thread.
+                    max_inner.fetch_max(current_num_threads(), Ordering::Relaxed);
+                    let outer_thread = std::thread::current().id();
+                    let inner: Vec<usize> = (0..16)
+                        .into_par_iter()
+                        .map(|j| {
+                            assert_eq!(std::thread::current().id(), outer_thread);
+                            j
+                        })
+                        .collect();
+                    inner.len() + i
+                })
+                .collect()
+        });
+        assert_eq!(v, (0..8).map(|i| 16 + i).collect::<Vec<_>>());
+        assert_eq!(max_inner.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_threads_means_automatic() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 }
