@@ -407,8 +407,7 @@ impl MultiplyRun {
 
     /// The multiplication kernel over this run's augmented operands,
     /// wired to the run's pack-panel pool and the device's clean engine
-    /// (per-device [`DeviceConfig`] choice, falling back to the deprecated
-    /// process-wide default).
+    /// (the per-device [`DeviceConfig`] choice).
     ///
     /// [`DeviceConfig`]: aabft_gpu_sim::device::DeviceConfig
     fn gemm_kernel(&self, ctx: &ExecCtx<'_>) -> GemmKernel<'_> {

@@ -811,6 +811,61 @@ mod tests {
     }
 
     #[test]
+    fn budget_zero_policy_fails_fast_without_recovery_launches() {
+        use aabft_gpu_sim::MemoryFaultPlan;
+
+        let reqs = requests(3);
+        let clean = BatchGemm::new(small_gemm()).execute(&Device::with_defaults(), &reqs).unwrap();
+
+        // The engine keeps its default budget; only request 0 opts into
+        // budget 0, so the fail-fast below is the per-request policy, not
+        // an engine-wide setting. One stream: the first "gemm" boundary —
+        // where the fault lands — is deterministically request 0's.
+        let batch = BatchGemm::new(small_gemm()).with_streams(1);
+        let device = Device::with_defaults();
+        let plan = small_gemm().plan(16, 16, 16);
+        device.arm_memory_fault(MemoryFaultPlan {
+            buffer: "c",
+            word: 2 * plan.cols.total + 3,
+            mask: 1 << 62,
+            after_phase: "gemm",
+        });
+        let typed: Vec<GemmRequest> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, pair)| {
+                let req = GemmRequest::from(pair);
+                if i == 0 {
+                    req.with_policy(ProtectionPolicy::SelfHealing { budget: 0 })
+                } else {
+                    req
+                }
+            })
+            .collect();
+        let results = batch.execute_verified(&device, typed);
+        assert_eq!(device.disarm_count(), 1, "memory fault must land");
+        match &results[0] {
+            Err(AbftError::Unrecovered { attempts: 0, residual }) => {
+                assert!(residual.errors_detected());
+            }
+            other => panic!("request 0 should fail fast, got {other:?}"),
+        }
+        // Fail-fast means zero recovery work was launched: three protected
+        // first runs file 6 records each and no recompute kernel appears.
+        let log = device.take_log();
+        assert_eq!(log.len(), 18, "no launches beyond the three first runs");
+        assert!(log.iter().all(|r| r.phase != "recompute"), "no recompute attempts");
+        for (i, clean_outcome) in clean.iter().enumerate().skip(1) {
+            let healed = results[i].as_ref().expect("sibling requests verify");
+            assert_eq!(healed.attempts, 0);
+            assert_eq!(
+                clean_outcome.product, healed.outcome.product,
+                "sibling request {i} must stay bit-identical to the clean batch"
+            );
+        }
+    }
+
+    #[test]
     fn exhausted_request_fails_alone_without_poisoning_siblings() {
         use aabft_gpu_sim::MemoryFaultPlan;
 

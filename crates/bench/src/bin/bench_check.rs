@@ -16,6 +16,11 @@
 //!
 //! Reads `clean_ms_min` from the baseline; the `clean_ms` alias that
 //! shadowed it for one release is gone (DESIGN §13).
+//!
+//! The re-measurement pins its rayon worker count to the baseline
+//! record's `threads` field (default 1), so the gate compares
+//! like-for-like even on hosts with a different core count than the
+//! machine that committed the baseline.
 
 use aabft_bench::args::Args;
 use aabft_core::{AAbftConfig, AAbftGemm};
@@ -55,6 +60,13 @@ fn main() {
         .get("host_gflops")
         .and_then(|v| v.as_f64())
         .unwrap_or_else(|| panic!("{baseline_path}: record lacks host_gflops"));
+    // Host fairness: replay under the worker count the baseline was
+    // measured with, not whatever this host happens to have.
+    let threads = rec.get("threads").and_then(|v| v.as_u64()).unwrap_or(1) as usize;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool builds");
 
     // Same inputs and measurement discipline as bench_gemm: fault-free
     // device, packed clean engine, min over timed reps.
@@ -68,12 +80,12 @@ fn main() {
             .expect("default shape is valid"),
     );
     for _ in 0..warmup {
-        gemm.multiply(&dev, &a, &b);
+        pool.install(|| gemm.multiply(&dev, &a, &b));
     }
     let min_s = (0..reps.max(1))
         .map(|_| {
             let t = Instant::now();
-            gemm.multiply(&dev, &a, &b);
+            pool.install(|| gemm.multiply(&dev, &a, &b));
             t.elapsed().as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min);
@@ -81,7 +93,10 @@ fn main() {
 
     let fresh_gflops = 2.0 * (n as f64).powi(3) / min_s / 1e9;
     let ratio = fresh_gflops / base_gflops;
-    println!("bench_check: packed clean GEMM at n = {n} ({reps} reps, {warmup} warmup)");
+    println!(
+        "bench_check: packed clean GEMM at n = {n} \
+         ({reps} reps, {warmup} warmup, {threads} threads pinned from baseline)"
+    );
     println!("  baseline : {base_ms:>9.3} ms  {base_gflops:>8.2} GFLOP/s  ({baseline_path})");
     println!("  fresh    : {:>9.3} ms  {fresh_gflops:>8.2} GFLOP/s", min_s * 1e3);
     println!("  ratio    : {ratio:.3}x  (gate: >= {:.3}x)", 1.0 - max_regress / 100.0);

@@ -109,8 +109,7 @@ fn measure_engine(
     reps: usize,
     pool: &rayon::ThreadPool,
 ) -> EngineRun {
-    // The engine is pinned per device via the config (DESIGN §12) — the
-    // deprecated process-global default never moves.
+    // The engine is pinned per device via the config (DESIGN §12).
     let dev = Device::new(
         DeviceConfig::builder().clean_engine(engine).build().expect("default shape is valid"),
     );

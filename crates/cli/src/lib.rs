@@ -130,6 +130,17 @@ COMMANDS
              --n 128 --bs 16 --inject true --recompute true
   lu         protected LU factorization
              --n 64 --check-every 8
+  serve      ABFT-as-a-service load/chaos bench: bounded-queue admission,
+             deadline classes, adaptive micro-batching, EWMA escalation
+             ladder and per-replica circuit breakers
+             --n 32 --replicas 2 --rates 200,0 (requests/s, 0 = blast)
+             --requests 160 --queue-cap 256 --wave 8
+             --interactive-ms 20 --batch-ms 500 --retries 2
+             --mix verified|mixed --seed 7
+             chaos: --storm true --storm-every 3 --cooldown 120
+             --json BENCH_serve.json  one record per load level
+             gate flags (non-zero exit on violation):
+             --assert-zero-sdc true --assert-shed true --assert-ladder true
   help       this text
 
 OBSERVABILITY (all commands)
@@ -595,17 +606,151 @@ pub fn cmd_profile(args: &Args) {
     // reproduces the table above exactly (same additions, same order).
     let folded = args.get("folded", String::new());
     if !folded.is_empty() {
-        let text = aabft_gpu_sim::folded::folded_stacks(&log, &model);
+        let text = aabft_gpu_sim::folded::folded_stacks(&log, &model, device.clean_engine());
         std::fs::write(&folded, &text).unwrap_or_else(|e| panic!("writing {folded:?}: {e}"));
         println!("folded stacks written to {folded} ({} lines)", text.lines().count());
     }
     let folded_sm = args.get("folded-sm", String::new());
     if !folded_sm.is_empty() {
-        let text = aabft_gpu_sim::folded::folded_stacks_per_sm(&log, &model);
+        let text =
+            aabft_gpu_sim::folded::folded_stacks_per_sm(&log, &model, device.clean_engine());
         std::fs::write(&folded_sm, &text).unwrap_or_else(|e| panic!("writing {folded_sm:?}: {e}"));
         println!("per-SM folded stacks written to {folded_sm} ({} lines)", text.lines().count());
     }
     session.finish(&log);
+}
+
+/// `aabft serve` — the ABFT-as-a-service load-and-chaos bench: drives
+/// seeded open-loop traffic (optionally with a fault storm over the
+/// middle third of each level) through a [`aabft_serve::Server`] per
+/// offered rate, judges every released product against a host
+/// reference, and writes one JSON record per level. `--assert-*` flags
+/// turn service-level objectives into gates (non-zero exit on
+/// violation); the exactly-one-outcome accounting is always enforced.
+pub fn cmd_serve(args: &Args) {
+    use aabft_serve::bench::{run_bench, BenchConfig, TenantMix};
+    use aabft_serve::{LadderConfig, ServeConfig};
+    use std::time::Duration;
+
+    let session = ObsSession::begin(args);
+    let rates: Vec<f64> = args
+        .get("rates", "200,0".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--rates {s:?}: {e:?}")))
+        .collect();
+    let serve = ServeConfig {
+        queue_capacity: args.get("queue-cap", 256usize),
+        max_wave: args.get("wave", 8usize),
+        interactive_deadline: Duration::from_millis(args.get("interactive-ms", 20u64)),
+        batch_deadline: Duration::from_millis(args.get("batch-ms", 500u64)),
+        max_retries: args.get("retries", 2u32),
+        ladder: LadderConfig {
+            quiet_ticks: args.get("quiet-ticks", 8u32),
+            ..LadderConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let cfg = BenchConfig {
+        n: args.get("n", 32usize),
+        replicas: args.get("replicas", 2usize),
+        rates,
+        requests: args.get("requests", 160usize),
+        storm: args.get("storm", false),
+        storm_every: args.get("storm-every", 3usize),
+        cooldown: args.get("cooldown", 120usize),
+        mix: args.get("mix", TenantMix::Verified),
+        seed: args.get("seed", 7u64),
+        serve,
+        config: build_config(args),
+    };
+    let reports = run_bench(&cfg, &session.obs);
+
+    println!(
+        "serve bench: n = {}, {} replica(s), {} tenant mix{}",
+        cfg.n,
+        cfg.replicas,
+        args.get("mix", "verified".to_string()),
+        if cfg.storm { ", seeded fault storm" } else { "" }
+    );
+    println!(
+        "{:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>9} {:>9} {:>10} {:>7}",
+        "rate", "sub", "shed", "done", "miss", "unrec", "retry", "sdc", "p50 ms", "p99 ms", "gemms/s", "ladder"
+    );
+    for r in &reports {
+        println!(
+            "{:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>9.3} {:>9.3} {:>10.1} {:>7}",
+            if r.rate > 0.0 { format!("{:.0}/s", r.rate) } else { "blast".to_string() },
+            r.submitted,
+            r.shed,
+            r.completed,
+            r.deadline_missed,
+            r.unrecovered,
+            r.retries,
+            r.sdc,
+            r.p50_ms,
+            r.p99_ms,
+            r.gemms_per_sec,
+            format!("{:?}", r.ladder_peak),
+        );
+    }
+    for r in &reports {
+        if r.strikes > 0 || r.escalations > 0 {
+            println!(
+                "  level {}: {} strikes, ewma peak {:.3}, esc {} / deesc {}, breaker trips {}, end {:?}",
+                if r.rate > 0.0 { format!("{:.0}/s", r.rate) } else { "blast".to_string() },
+                r.strikes,
+                r.ewma_peak,
+                r.escalations,
+                r.deescalations,
+                r.breaker_trips,
+                r.ladder_end,
+            );
+        }
+    }
+
+    let json_path = args.get("json", String::new());
+    if !json_path.is_empty() {
+        let records: Vec<JsonObject> = reports.iter().map(|r| r.to_json()).collect();
+        aabft_obs::json::write_array(Path::new(&json_path), &records);
+        println!("level reports written to {json_path}");
+    }
+    session.finish(&[]);
+
+    let mut violations = Vec::new();
+    for r in &reports {
+        // The core service invariant, gated unconditionally: every
+        // accepted request resolved to exactly one terminal outcome.
+        if r.accepted != r.completed + r.deadline_missed + r.unrecovered {
+            violations.push(format!(
+                "level {}: {} accepted but {} resolved",
+                r.rate,
+                r.accepted,
+                r.completed + r.deadline_missed + r.unrecovered
+            ));
+        }
+    }
+    let sdc: u64 = reports.iter().map(|r| r.sdc).sum();
+    if args.get("assert-zero-sdc", false) && sdc > 0 {
+        violations.push(format!("{sdc} released product(s) were critically wrong (SDC)"));
+    }
+    if args.get("assert-shed", false) && reports.iter().all(|r| r.shed == 0) {
+        violations.push("no level shed load (overload never engaged admission control)".into());
+    }
+    if args.get("assert-ladder", false)
+        && !reports.iter().any(|r| r.escalations > 0 && r.deescalations > 0)
+    {
+        violations.push(format!(
+            "no level both escalated and de-escalated (esc {:?}, deesc {:?})",
+            reports.iter().map(|r| r.escalations).collect::<Vec<_>>(),
+            reports.iter().map(|r| r.deescalations).collect::<Vec<_>>()
+        ));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("ASSERTION FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Counter value from one snapshot record (0 if absent).

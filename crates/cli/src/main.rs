@@ -11,7 +11,7 @@
 
 use aabft_cli::{
     cmd_batch, cmd_bounds, cmd_campaign, cmd_gemv, cmd_inject, cmd_lu, cmd_multiply, cmd_perf,
-    cmd_profile, cmd_report, usage,
+    cmd_profile, cmd_report, cmd_serve, usage,
 };
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
         "report" => cmd_report(&parsed),
         "gemv" => cmd_gemv(&parsed),
         "lu" => cmd_lu(&parsed),
+        "serve" => cmd_serve(&parsed),
         "help" | "--help" | "-h" => println!("{}", usage()),
         other => {
             eprintln!("unknown command {other:?}\n{}", usage());

@@ -38,9 +38,8 @@ pub struct DeviceConfig {
     /// target; bounds the per-SM dynamic-instance counter table.
     pub max_modules: usize,
     /// Clean-path GEMM engine for kernels launched on this device. `None`
-    /// falls back to the deprecated process-wide default
-    /// ([`crate::pack::default_engine`]); prefer setting it here so two
-    /// devices in one process can run different engines.
+    /// means the packed default; set it explicitly so two devices in one
+    /// process can run different engines.
     pub clean_engine: Option<crate::pack::CleanEngine>,
 }
 
@@ -99,7 +98,7 @@ impl DeviceConfigBuilder {
     }
 
     /// Pins the clean-path GEMM engine for devices built from this
-    /// configuration, replacing the deprecated process-global default.
+    /// configuration (the packed engine when left unset).
     ///
     /// # Examples
     ///
@@ -228,11 +227,10 @@ impl Device {
     }
 
     /// The clean-path GEMM engine this device runs: the configured
-    /// per-device choice, falling back to the deprecated process-wide
-    /// default when the configuration leaves it unset.
+    /// per-device choice, defaulting to the packed engine when the
+    /// configuration leaves it unset.
     pub fn clean_engine(&self) -> crate::pack::CleanEngine {
-        #[allow(deprecated)]
-        self.config.clean_engine.unwrap_or_else(crate::pack::default_engine)
+        self.config.clean_engine.unwrap_or(crate::pack::CleanEngine::Packed)
     }
 
     /// Points this device at a specific observability context (tests use

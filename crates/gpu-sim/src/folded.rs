@@ -20,8 +20,9 @@
 //! Frames, root first:
 //!
 //! * `aabft` — fixed root so multiple exports merge cleanly;
-//! * engine — the process-wide clean engine at export time
-//!   ([`pack::default_engine`]): `packed` or `scalar`;
+//! * engine — the caller-supplied clean engine of the device whose log
+//!   is being exported ([`crate::device::Device::clean_engine`]):
+//!   `packed` or `scalar`;
 //! * path — `clean` for launches that took the uninstrumented fast
 //!   path, `instrumented` otherwise ([`LaunchRecord::clean`]);
 //! * phase — pipeline phase (`encode`, `gemm`, `pmax_reduce`, `check`);
@@ -34,7 +35,7 @@
 
 use std::fmt::Write as _;
 
-use crate::pack::{self, CleanEngine};
+use crate::pack::CleanEngine;
 use crate::perf::PerfModel;
 use crate::stats::LaunchRecord;
 
@@ -47,8 +48,8 @@ pub struct FoldedLine {
     pub value: f64,
 }
 
-fn engine_frame() -> &'static str {
-    match pack::default_engine() {
+fn engine_frame(engine: CleanEngine) -> &'static str {
+    match engine {
         CleanEngine::Packed => "packed",
         CleanEngine::Scalar => "scalar",
     }
@@ -63,9 +64,12 @@ fn path_frame(rec: &LaunchRecord) -> &'static str {
 }
 
 /// Renders one folded-stack line per launch record (log order), valued
-/// in modelled microseconds.
-pub fn folded_stacks(log: &[LaunchRecord], model: &PerfModel) -> String {
-    let engine = engine_frame();
+/// in modelled microseconds. `engine` labels the second frame — pass the
+/// [`Device::clean_engine`] of the device that produced the log.
+///
+/// [`Device::clean_engine`]: crate::device::Device::clean_engine
+pub fn folded_stacks(log: &[LaunchRecord], model: &PerfModel, engine: CleanEngine) -> String {
+    let engine = engine_frame(engine);
     let mut out = String::new();
     for rec in log {
         let us = model.kernel_time(rec) * 1e6;
@@ -85,8 +89,12 @@ pub fn folded_stacks(log: &[LaunchRecord], model: &PerfModel) -> String {
 /// balance across SMs; the per-SM times of one launch overlap in wall
 /// clock, so totals exceed nothing meaningful — do not compare against
 /// [`PerfModel::pipeline_time`].
-pub fn folded_stacks_per_sm(log: &[LaunchRecord], model: &PerfModel) -> String {
-    let engine = engine_frame();
+pub fn folded_stacks_per_sm(
+    log: &[LaunchRecord],
+    model: &PerfModel,
+    engine: CleanEngine,
+) -> String {
+    let engine = engine_frame(engine);
     let mut out = String::new();
     for rec in log {
         for sm in 0..rec.per_sm.len() {
@@ -175,7 +183,7 @@ mod tests {
             rec("block_gemm", "gemm", 900_000_000, true),
             rec("check", "check", 500_000, false),
         ];
-        let text = folded_stacks(&log, &model);
+        let text = folded_stacks(&log, &model, CleanEngine::Packed);
         let lines = parse_folded(&text).expect("round trip");
         assert_eq!(lines.len(), log.len());
 
@@ -229,7 +237,7 @@ mod tests {
             KernelStats { fadd: 6_000_000, blocks: 1, ..Default::default() },
             KernelStats { fadd: 4_000_000, blocks: 1, ..Default::default() },
         ];
-        let text = folded_stacks_per_sm(&[r], &model);
+        let text = folded_stacks_per_sm(&[r], &model, CleanEngine::Packed);
         let lines = parse_folded(&text).expect("valid");
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0].frames.last().unwrap(), "sm0");

@@ -203,7 +203,7 @@ impl<'a> GemmKernel<'a> {
     }
 
     /// Pins the clean-path engine for this kernel instance (tests and A/B
-    /// benchmarks; the default follows [`pack::default_engine`]).
+    /// benchmarks; the default is the packed engine).
     pub fn with_clean_engine(mut self, engine: CleanEngine) -> Self {
         self.engine = Some(engine);
         self
@@ -376,7 +376,7 @@ impl Kernel for GemmKernel<'_> {
     }
 
     fn run_block_clean(&self, block: BlockIdx, stats: &mut KernelStats) {
-        match self.engine.unwrap_or_else(pack::default_engine) {
+        match self.engine.unwrap_or(CleanEngine::Packed) {
             CleanEngine::Packed => {
                 match self.pack_pool {
                     Some(pool) => {

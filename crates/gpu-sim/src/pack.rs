@@ -28,7 +28,7 @@
 use crate::mem::DeviceBuffer;
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Micro-panel height: rows of `A` per column-panel (microkernel rows).
 pub const MR: usize = 8;
@@ -62,42 +62,11 @@ impl std::str::FromStr for CleanEngine {
     }
 }
 
-/// Process-wide default engine (kernels may override per instance).
-static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
 /// Source of pack epochs; 0 is reserved for "nothing packed".
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 /// Total clean blocks executed by the packed engine (telemetry for
 /// `bench_gemm --assert-dispatch packed` and the tier-1 smoke gate).
 static PACKED_BLOCKS: AtomicU64 = AtomicU64::new(0);
-
-/// Sets the process-wide default clean engine. Kernels constructed with an
-/// explicit engine, and devices whose [`DeviceConfig`] pins one, are
-/// unaffected.
-///
-/// Deprecated: the process-global atomic cannot express two devices running
-/// different engines in one process, and it leaks configuration across
-/// unrelated tests. Pin the engine per device instead:
-/// `DeviceConfig::builder().clean_engine(...)`. Kept as a fallback for one
-/// release.
-///
-/// [`DeviceConfig`]: crate::device::DeviceConfig
-#[deprecated(
-    since = "0.7.0",
-    note = "pin the engine per device with DeviceConfig::builder().clean_engine(...)"
-)]
-pub fn set_default_engine(engine: CleanEngine) {
-    DEFAULT_ENGINE.store(matches!(engine, CleanEngine::Scalar) as u8, Ordering::Relaxed);
-}
-
-/// The current process-wide default clean engine — the fallback when
-/// neither the kernel nor the device pins one.
-pub fn default_engine() -> CleanEngine {
-    if DEFAULT_ENGINE.load(Ordering::Relaxed) == 0 {
-        CleanEngine::Packed
-    } else {
-        CleanEngine::Scalar
-    }
-}
 
 /// Records one block executed by the packed engine.
 pub(crate) fn note_packed_block() {
@@ -360,12 +329,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercising the fallback until the setter is removed
-    fn default_engine_toggles() {
-        assert_eq!(default_engine(), CleanEngine::Packed);
-        set_default_engine(CleanEngine::Scalar);
-        assert_eq!(default_engine(), CleanEngine::Scalar);
-        set_default_engine(CleanEngine::Packed);
-        assert_eq!(default_engine(), CleanEngine::Packed);
+    fn clean_engine_parses_bench_spellings() {
+        // The process-global default is gone (DESIGN §14 follow-up): the
+        // engine is pinned per device via DeviceConfig, and the bench
+        // `--engine` flag parses through FromStr.
+        assert_eq!("packed".parse::<CleanEngine>(), Ok(CleanEngine::Packed));
+        assert_eq!("scalar".parse::<CleanEngine>(), Ok(CleanEngine::Scalar));
+        assert!("fused".parse::<CleanEngine>().is_err());
     }
 }

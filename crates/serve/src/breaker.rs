@@ -1,0 +1,178 @@
+//! Per-replica circuit breaker.
+//!
+//! A replica that keeps exhausting heal budgets is presumed sick
+//! (resident hard fault, not transient flips): after
+//! [`BreakerConfig::trip_after`] *consecutive* `Unrecovered` results its
+//! breaker opens and the replica's dispatcher stops taking waves — the
+//! shared queue drains to the healthy replicas. After
+//! [`BreakerConfig::cooloff`] the breaker half-opens and admits a single
+//! probe wave: success re-closes it, another failure re-opens it for a
+//! fresh cooloff.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive `Unrecovered` results that open the breaker.
+    pub trip_after: u32,
+    /// Quarantine duration before a half-open probe.
+    pub cooloff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { trip_after: 3, cooloff: Duration::from_millis(50) }
+    }
+}
+
+/// Breaker states (the classic three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: full waves.
+    Closed,
+    /// Quarantined: no dispatch until the cooloff elapses.
+    Open,
+    /// Probing: one single-request wave decides.
+    HalfOpen,
+}
+
+/// What the dispatcher may do this iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Take a full wave.
+    Full,
+    /// Take a single-request probe wave.
+    Probe,
+    /// Take nothing; the replica is quarantined.
+    Quarantined,
+}
+
+#[derive(Debug)]
+struct State {
+    state: BreakerState,
+    consecutive: u32,
+    open_until: Instant,
+    trips: u32,
+}
+
+/// One replica's circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let state = State {
+            state: BreakerState::Closed,
+            consecutive: 0,
+            open_until: Instant::now(),
+            trips: 0,
+        };
+        CircuitBreaker { cfg, state: Mutex::new(state) }
+    }
+
+    /// The current state (open breakers whose cooloff elapsed still read
+    /// as open until the next [`CircuitBreaker::admit`]).
+    pub fn state(&self) -> BreakerState {
+        self.state.lock().expect("breaker lock").state
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u32 {
+        self.state.lock().expect("breaker lock").trips
+    }
+
+    /// Gate for one dispatcher iteration.
+    pub fn admit(&self) -> Admission {
+        let mut s = self.state.lock().expect("breaker lock");
+        match s.state {
+            BreakerState::Closed => Admission::Full,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => {
+                if Instant::now() >= s.open_until {
+                    s.state = BreakerState::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::Quarantined
+                }
+            }
+        }
+    }
+
+    /// Records a request that resolved without exhausting its budget.
+    pub fn record_success(&self) {
+        let mut s = self.state.lock().expect("breaker lock");
+        s.consecutive = 0;
+        if s.state == BreakerState::HalfOpen {
+            s.state = BreakerState::Closed;
+        }
+    }
+
+    /// Records one `Unrecovered` result; returns `true` when this very
+    /// call tripped the breaker open.
+    pub fn record_unrecovered(&self) -> bool {
+        let mut s = self.state.lock().expect("breaker lock");
+        s.consecutive += 1;
+        let trip = match s.state {
+            BreakerState::HalfOpen => true, // failed probe: straight back open
+            BreakerState::Closed => s.consecutive >= self.cfg.trip_after,
+            BreakerState::Open => false,
+        };
+        if trip {
+            s.state = BreakerState::Open;
+            s.open_until = Instant::now() + self.cfg.cooloff;
+            s.trips += 1;
+            s.consecutive = 0;
+        }
+        trip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            cooloff: Duration::from_secs(3600),
+        });
+        assert_eq!(b.admit(), Admission::Full);
+        assert!(!b.record_unrecovered());
+        assert!(!b.record_unrecovered());
+        b.record_success(); // streak broken
+        assert!(!b.record_unrecovered());
+        assert!(!b.record_unrecovered());
+        assert!(b.record_unrecovered());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Quarantined);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            trip_after: 1,
+            cooloff: Duration::from_millis(1),
+        });
+        assert!(b.record_unrecovered());
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Failed probe: straight back to quarantine.
+        assert!(b.record_unrecovered());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Full);
+    }
+}

@@ -1,0 +1,245 @@
+//! The EWMA-fault-rate-driven escalation ladder.
+//!
+//! The heal/check pipeline maintains the `abft.fault_rate_ewma` gauge
+//! (one 0/1 sample per check verdict, α = 0.1). The ladder reads that
+//! gauge once per dispatch wave and maps it to a protection *floor*
+//! applied to every tenant's requested policy:
+//!
+//! * `Base` — requests run as submitted;
+//! * `Verify` — `Unprotected` tenants are upgraded to full A-ABFT
+//!   detection (nobody runs unverified while faults are being seen);
+//! * `Heal` — everything runs under the self-healing executor with the
+//!   ladder's budget (tenants with a larger own budget keep it).
+//!
+//! Escalation is immediate on threshold crossing; de-escalation steps
+//! down one level only after [`LadderConfig::quiet_ticks`] consecutive
+//! quiet observations, so a storm's tail cannot flap the floor.
+
+use std::sync::Mutex;
+
+use aabft_core::batch::ProtectionPolicy;
+use aabft_obs::Metrics;
+
+/// Protection floor levels, weakest to strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderLevel {
+    /// Requested policies pass through unchanged.
+    Base,
+    /// Every request at least verifies (A-ABFT detection).
+    Verify,
+    /// Every request runs self-healing.
+    Heal,
+}
+
+impl LadderLevel {
+    fn as_index(self) -> u32 {
+        match self {
+            LadderLevel::Base => 0,
+            LadderLevel::Verify => 1,
+            LadderLevel::Heal => 2,
+        }
+    }
+
+    fn step_down(self) -> LadderLevel {
+        match self {
+            LadderLevel::Heal => LadderLevel::Verify,
+            _ => LadderLevel::Base,
+        }
+    }
+}
+
+/// Ladder thresholds and hysteresis.
+#[derive(Debug, Clone, Copy)]
+pub struct LadderConfig {
+    /// EWMA at or above which the floor rises to [`LadderLevel::Verify`].
+    pub escalate_verify: f64,
+    /// EWMA at or above which the floor rises to [`LadderLevel::Heal`].
+    pub escalate_heal: f64,
+    /// EWMA below which an observation counts as quiet.
+    pub deescalate_below: f64,
+    /// Consecutive quiet observations required to step down one level.
+    pub quiet_ticks: u32,
+    /// Heal budget imposed at [`LadderLevel::Heal`] (a tenant's larger
+    /// own budget wins).
+    pub heal_budget: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            escalate_verify: 0.05,
+            escalate_heal: 0.20,
+            deescalate_below: 0.02,
+            quiet_ticks: 8,
+            heal_budget: aabft_core::heal::DEFAULT_HEAL_BUDGET,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    level: LadderLevel,
+    quiet: u32,
+    peak: LadderLevel,
+}
+
+/// Shared ladder state; one instance per server, observed by every
+/// dispatcher.
+#[derive(Debug)]
+pub struct EscalationLadder {
+    cfg: LadderConfig,
+    state: Mutex<State>,
+}
+
+impl EscalationLadder {
+    /// A ladder starting at [`LadderLevel::Base`].
+    pub fn new(cfg: LadderConfig) -> Self {
+        let state = State { level: LadderLevel::Base, quiet: 0, peak: LadderLevel::Base };
+        EscalationLadder { cfg, state: Mutex::new(state) }
+    }
+
+    /// The current floor.
+    pub fn level(&self) -> LadderLevel {
+        self.state.lock().expect("ladder lock").level
+    }
+
+    /// The strongest floor reached so far (report surface).
+    pub fn peak(&self) -> LadderLevel {
+        self.state.lock().expect("ladder lock").peak
+    }
+
+    /// One control tick: reads `abft.fault_rate_ewma` from `metrics`,
+    /// moves the floor, and mirrors it into the `serve.ladder_level`
+    /// gauge plus `serve.escalations` / `serve.deescalations` counters.
+    /// Returns the floor to use for the wave being built.
+    pub fn observe(&self, metrics: &Metrics) -> LadderLevel {
+        let ewma = metrics.gauge("abft.fault_rate_ewma").unwrap_or(0.0);
+        let mut state = self.state.lock().expect("ladder lock");
+
+        let target = if ewma >= self.cfg.escalate_heal {
+            Some(LadderLevel::Heal)
+        } else if ewma >= self.cfg.escalate_verify {
+            Some(LadderLevel::Verify)
+        } else {
+            None
+        };
+        match target {
+            Some(t) if t > state.level => {
+                metrics.counter_add("serve.escalations", t.as_index() as u64 - state.level.as_index() as u64);
+                state.level = t;
+                state.quiet = 0;
+            }
+            Some(_) => state.quiet = 0,
+            None if ewma < self.cfg.deescalate_below => {
+                state.quiet += 1;
+                if state.quiet >= self.cfg.quiet_ticks && state.level > LadderLevel::Base {
+                    state.level = state.level.step_down();
+                    state.quiet = 0;
+                    metrics.counter_inc("serve.deescalations");
+                }
+            }
+            // Between the quiet band and the verify threshold: hold.
+            None => state.quiet = 0,
+        }
+        if state.level > state.peak {
+            state.peak = state.level;
+        }
+        metrics.gauge_set("serve.ladder_level", f64::from(state.level.as_index()));
+        metrics.gauge_set("serve.ladder_peak", f64::from(state.peak.as_index()));
+        state.level
+    }
+
+    /// Applies floor `level` to a tenant's requested policy. Never
+    /// weakens the request.
+    pub fn apply(&self, requested: ProtectionPolicy, level: LadderLevel) -> ProtectionPolicy {
+        match level {
+            LadderLevel::Base => requested,
+            LadderLevel::Verify => match requested {
+                ProtectionPolicy::Unprotected => ProtectionPolicy::AAbft,
+                other => other,
+            },
+            LadderLevel::Heal => match requested {
+                ProtectionPolicy::SelfHealing { budget } => ProtectionPolicy::SelfHealing {
+                    budget: budget.max(self.cfg.heal_budget),
+                },
+                _ => ProtectionPolicy::SelfHealing { budget: self.cfg.heal_budget },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> EscalationLadder {
+        EscalationLadder::new(LadderConfig { quiet_ticks: 2, ..LadderConfig::default() })
+    }
+
+    fn tick(l: &EscalationLadder, m: &Metrics, ewma: f64) -> LadderLevel {
+        m.gauge_set("abft.fault_rate_ewma", ewma);
+        l.observe(m)
+    }
+
+    #[test]
+    fn escalates_immediately_and_deescalates_after_quiet_window() {
+        let l = ladder();
+        let m = Metrics::new();
+        assert_eq!(l.observe(&m), LadderLevel::Base); // no gauge yet
+        assert_eq!(tick(&l, &m, 0.06), LadderLevel::Verify);
+        assert_eq!(tick(&l, &m, 0.30), LadderLevel::Heal);
+        assert_eq!(m.counter("serve.escalations"), 2);
+        assert_eq!(l.peak(), LadderLevel::Heal);
+
+        // One quiet tick holds; the second steps down one level at a time.
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Heal);
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Verify);
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Verify);
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Base);
+        assert_eq!(m.counter("serve.deescalations"), 2);
+        assert_eq!(l.peak(), LadderLevel::Heal, "peak is sticky");
+    }
+
+    #[test]
+    fn mid_band_resets_the_quiet_streak() {
+        let l = ladder();
+        let m = Metrics::new();
+        assert_eq!(tick(&l, &m, 0.25), LadderLevel::Heal);
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Heal);
+        // 0.03 is quiet-band-adjacent but not quiet: streak resets.
+        assert_eq!(tick(&l, &m, 0.03), LadderLevel::Heal);
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Heal);
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Verify);
+    }
+
+    #[test]
+    fn base_to_heal_jump_counts_both_rungs() {
+        let l = ladder();
+        let m = Metrics::new();
+        assert_eq!(tick(&l, &m, 0.5), LadderLevel::Heal);
+        assert_eq!(m.counter("serve.escalations"), 2);
+    }
+
+    #[test]
+    fn apply_upgrades_but_never_weakens() {
+        let l = ladder();
+        let un = ProtectionPolicy::Unprotected;
+        let ab = ProtectionPolicy::AAbft;
+        let heal9 = ProtectionPolicy::SelfHealing { budget: 9 };
+
+        assert_eq!(l.apply(un, LadderLevel::Base), un);
+        assert_eq!(l.apply(un, LadderLevel::Verify), ab);
+        assert_eq!(
+            l.apply(un, LadderLevel::Heal),
+            ProtectionPolicy::SelfHealing { budget: l.cfg.heal_budget }
+        );
+        assert_eq!(l.apply(ab, LadderLevel::Verify), ab);
+        assert_eq!(
+            l.apply(ab, LadderLevel::Heal),
+            ProtectionPolicy::SelfHealing { budget: l.cfg.heal_budget }
+        );
+        // A tenant's own larger budget survives the floor.
+        assert_eq!(l.apply(heal9, LadderLevel::Heal), heal9);
+        assert_eq!(l.apply(heal9, LadderLevel::Verify), heal9);
+    }
+}

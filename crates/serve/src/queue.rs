@@ -1,0 +1,173 @@
+//! The bounded submission queue: admission control, deadline sweeping
+//! and shape-coalescing wave extraction.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the parking_lot shim carries
+//! no condvar). One queue is shared by every replica dispatcher; a
+//! quarantined replica simply stops taking waves, so its share of the
+//! queue drains to the healthy replicas with no hand-off machinery.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use aabft_core::batch::ProtectionPolicy;
+use aabft_matrix::Matrix;
+
+use crate::request::{DeadlineClass, Rejected, Slot};
+
+/// Coalescing key: requests of equal `(m, n, q)` share a cached plan and
+/// pooled buffers in the batch engine, so a wave sticks to one key.
+pub(crate) type ShapeKey = (usize, usize, usize);
+
+/// One admitted request waiting for dispatch.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub a: Matrix<f64>,
+    pub b: Matrix<f64>,
+    /// The tenant's requested policy (ladder floor OR-ed in at dispatch).
+    pub policy: ProtectionPolicy,
+    pub class: DeadlineClass,
+    pub slot: Arc<Slot>,
+    pub submitted: Instant,
+    /// Absolute cancellation time (`None` = unbounded).
+    pub deadline: Option<Instant>,
+    /// Earliest dispatch time — retry backoff parks the entry without
+    /// blocking the queue behind it.
+    pub not_before: Option<Instant>,
+    /// Whole-request retries already performed.
+    pub retries: u32,
+}
+
+impl Pending {
+    pub(crate) fn shape_key(&self) -> ShapeKey {
+        (self.a.rows(), self.a.cols(), self.b.cols())
+    }
+
+    fn ready(&self, now: Instant) -> bool {
+        self.not_before.is_none_or(|t| t <= now)
+    }
+
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+}
+
+/// What a dispatcher got back from one [`Queue::take_wave`] call.
+pub(crate) enum Taken {
+    /// A coalesced wave (nonempty) plus any entries whose deadline
+    /// expired during the sweep — the caller resolves those as missed.
+    Wave { batch: Vec<Pending>, expired: Vec<Pending> },
+    /// Nothing dispatchable right now (park elapsed, or only backed-off
+    /// entries remain); expired entries are still swept and returned.
+    Empty { expired: Vec<Pending> },
+    /// The queue is closed and fully drained: the dispatcher exits.
+    Drained,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded MPMC submission queue.
+#[derive(Debug)]
+pub(crate) struct Queue {
+    inner: Mutex<Inner>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Queue { inner: Mutex::new(Inner::default()), nonempty: Condvar::new(), capacity }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Admits `p` or sheds it: full queue → [`Rejected::QueueFull`],
+    /// closed queue → [`Rejected::ShuttingDown`].
+    pub(crate) fn submit(&self, p: Pending) -> Result<(), Rejected> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(Rejected::ShuttingDown);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(Rejected::QueueFull { capacity: self.capacity });
+        }
+        inner.items.push_back(p);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Re-enqueues a retrying entry at the front. Bypasses the capacity
+    /// bound: the entry already holds an outstanding ticket, and dropping
+    /// it here would break the exactly-one-outcome guarantee.
+    pub(crate) fn requeue(&self, p: Pending) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.items.push_front(p);
+        drop(inner);
+        self.nonempty.notify_one();
+    }
+
+    /// Closes admission; dispatchers drain the remainder and then see
+    /// [`Taken::Drained`].
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.nonempty.notify_all();
+    }
+
+    pub(crate) fn is_drained(&self) -> bool {
+        let inner = self.inner.lock().expect("queue lock");
+        inner.closed && inner.items.is_empty()
+    }
+
+    /// Sweeps expired entries, then extracts up to `max` ready entries
+    /// sharing the shape key of the oldest ready entry (adaptive
+    /// micro-batching: one wave, one plan, pooled buffers). Parks up to
+    /// `park` when nothing is dispatchable.
+    pub(crate) fn take_wave(&self, max: usize, park: Duration) -> Taken {
+        debug_assert!(max >= 1);
+        let mut inner = self.inner.lock().expect("queue lock");
+        let now = Instant::now();
+
+        let mut expired = Vec::new();
+        let mut i = 0;
+        while i < inner.items.len() {
+            if inner.items[i].expired(now) {
+                expired.push(inner.items.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+
+        let first_ready = inner.items.iter().position(|p| p.ready(now));
+        let Some(first) = first_ready else {
+            if inner.closed && inner.items.is_empty() && expired.is_empty() {
+                return Taken::Drained;
+            }
+            if expired.is_empty() && !inner.closed {
+                // Nothing to do: park until a submit/requeue or timeout.
+                let (_guard, _timeout) =
+                    self.nonempty.wait_timeout(inner, park).expect("queue lock");
+            }
+            return Taken::Empty { expired };
+        };
+
+        let lead = inner.items.remove(first).expect("index in bounds");
+        let key = lead.shape_key();
+        let mut batch = vec![lead];
+        let mut i = first; // entries before `first` are not ready; skip them
+        while batch.len() < max && i < inner.items.len() {
+            if inner.items[i].ready(now) && inner.items[i].shape_key() == key {
+                batch.push(inner.items.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        Taken::Wave { batch, expired }
+    }
+}

@@ -1,0 +1,380 @@
+//! The server: replica dispatchers pulling coalesced waves from the
+//! shared admission queue through the batch engine, with retry,
+//! escalation and circuit breaking around every wave.
+//!
+//! One OS thread per replica device. Each iteration a dispatcher:
+//!
+//! 1. asks its breaker for admission (full wave / probe / quarantined);
+//! 2. takes a shape-coalesced wave from the shared queue (sweeping
+//!    deadline-expired entries, which it resolves as
+//!    [`ServeOutcome::DeadlineMissed`]);
+//! 3. ticks the escalation ladder and applies the resulting protection
+//!    floor to every request in the wave;
+//! 4. runs the wave through [`BatchGemm::execute_verified`] on its
+//!    device (plan cache, buffer pools and pack pools shared across
+//!    replicas through the one engine);
+//! 5. resolves each result: completions resolve their ticket,
+//!    `Unrecovered` results retry with exponential backoff until
+//!    [`ServeConfig::max_retries`], then resolve as
+//!    [`ServeOutcome::Unrecovered`] and feed the breaker.
+//!
+//! Shutdown closes the queue; dispatchers drain the remainder (so every
+//! accepted ticket resolves) and exit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aabft_core::batch::{BatchGemm, GemmRequest, ProtectionPolicy};
+use aabft_core::error::AbftError;
+use aabft_core::AAbftGemm;
+use aabft_gpu_sim::device::Device;
+use aabft_obs::Obs;
+
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
+use crate::ladder::{EscalationLadder, LadderConfig};
+use crate::queue::{Pending, Queue, Taken};
+use crate::request::{Completed, DeadlineClass, Rejected, ServeOutcome, ServeRequest, Slot, Ticket};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Bounded submission-queue capacity; submissions beyond it are shed
+    /// with [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one dispatch wave.
+    pub max_wave: usize,
+    /// Deadline for [`DeadlineClass::Interactive`] requests.
+    pub interactive_deadline: Duration,
+    /// Deadline for [`DeadlineClass::Batch`] requests.
+    pub batch_deadline: Duration,
+    /// Whole-request retries after an `Unrecovered` result.
+    pub max_retries: u32,
+    /// Base retry backoff; doubles per retry.
+    pub retry_backoff: Duration,
+    /// Dispatcher park time when the queue has nothing dispatchable.
+    pub park: Duration,
+    /// Escalation-ladder thresholds.
+    pub ladder: LadderConfig,
+    /// Per-replica circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            max_wave: 8,
+            interactive_deadline: Duration::from_millis(20),
+            batch_deadline: Duration::from_millis(500),
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(500),
+            park: Duration::from_millis(1),
+            ladder: LadderConfig::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// One replica: a device plus its breaker.
+struct Replica {
+    device: Device,
+    breaker: CircuitBreaker,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Queue,
+    ladder: EscalationLadder,
+    engine: BatchGemm,
+    replicas: Vec<Replica>,
+    obs: Arc<Obs>,
+    accepted: AtomicU64,
+    resolved: AtomicU64,
+}
+
+impl Shared {
+    fn resolve(&self, p: Pending, outcome: ServeOutcome) {
+        self.obs.metrics.counter_inc(&format!("serve.{}", outcome.label()));
+        self.resolved.fetch_add(1, Ordering::Relaxed);
+        p.slot.resolve(outcome);
+    }
+
+    fn resolve_expired(&self, expired: Vec<Pending>) {
+        let now = Instant::now();
+        for p in expired {
+            let waited = now.duration_since(p.submitted);
+            self.obs.metrics.observe("serve.queue_wait_ms", waited.as_secs_f64() * 1e3);
+            let outcome = ServeOutcome::DeadlineMissed { class: p.class, waited };
+            self.resolve(p, outcome);
+        }
+    }
+}
+
+/// The ABFT service front end over a set of replica devices.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts one dispatcher thread per device. All devices are pointed
+    /// at `obs`, so their metrics (including `abft.fault_rate_ewma`, the
+    /// ladder's input) aggregate in one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn start(cfg: ServeConfig, gemm: AAbftGemm, devices: Vec<Device>, obs: Arc<Obs>) -> Server {
+        assert!(!devices.is_empty(), "a server needs at least one replica device");
+        let replicas: Vec<Replica> = devices
+            .into_iter()
+            .map(|mut device| {
+                device.set_obs(obs.clone());
+                Replica { device, breaker: CircuitBreaker::new(cfg.breaker) }
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Queue::new(cfg.queue_capacity),
+            ladder: EscalationLadder::new(cfg.ladder),
+            engine: BatchGemm::new(gemm).with_streams(cfg.max_wave),
+            replicas,
+            obs,
+            accepted: AtomicU64::new(0),
+            resolved: AtomicU64::new(0),
+        });
+        let workers = (0..shared.replicas.len())
+            .map(|idx| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("aabft-serve-{idx}"))
+                    .spawn(move || dispatch_loop(&shared, idx))
+                    .expect("spawning dispatcher")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Admits `req` or sheds it. An `Ok` ticket is guaranteed to resolve
+    /// to exactly one [`ServeOutcome`]; an `Err` means the request was
+    /// never enqueued.
+    pub fn submit(&self, req: ServeRequest) -> Result<Ticket, Rejected> {
+        let metrics = &self.shared.obs.metrics;
+        metrics.counter_inc("serve.submitted");
+        if req.a.cols() != req.b.rows() {
+            metrics.counter_inc("serve.rejected_shape");
+            return Err(Rejected::ShapeMismatch(AbftError::ShapeMismatch {
+                op: "serve",
+                left: req.a.shape(),
+                right: req.b.shape(),
+            }));
+        }
+        let now = Instant::now();
+        let deadline = match req.class {
+            DeadlineClass::Interactive => Some(now + self.shared.cfg.interactive_deadline),
+            DeadlineClass::Batch => Some(now + self.shared.cfg.batch_deadline),
+            DeadlineClass::Unbounded => None,
+        };
+        let slot = Arc::new(Slot::default());
+        let pending = Pending {
+            a: req.a,
+            b: req.b,
+            policy: req.policy,
+            class: req.class,
+            slot: slot.clone(),
+            submitted: now,
+            deadline,
+            not_before: None,
+            retries: 0,
+        };
+        match self.shared.queue.submit(pending) {
+            Ok(()) => {
+                metrics.counter_inc("serve.accepted");
+                self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                metrics.gauge_set("serve.queue_depth", self.shared.queue.len() as f64);
+                Ok(Ticket { slot })
+            }
+            Err(rej) => {
+                metrics.counter_inc("serve.shed");
+                Err(rej)
+            }
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.shared.replicas.len()
+    }
+
+    /// Replica `idx`'s device — the chaos generator's fault-arming
+    /// surface.
+    pub fn device(&self, idx: usize) -> &Device {
+        &self.shared.replicas[idx].device
+    }
+
+    /// Replica `idx`'s breaker trip count.
+    pub fn breaker_trips(&self, idx: usize) -> u32 {
+        self.shared.replicas[idx].breaker.trips()
+    }
+
+    /// Replica `idx`'s current breaker state.
+    pub fn breaker_state(&self, idx: usize) -> crate::breaker::BreakerState {
+        self.shared.replicas[idx].breaker.state()
+    }
+
+    /// The escalation ladder (shared across dispatchers).
+    pub fn ladder(&self) -> &EscalationLadder {
+        &self.shared.ladder
+    }
+
+    /// Requests accepted and requests resolved so far. After
+    /// [`Server::shutdown`] these are equal: every accepted ticket has
+    /// its terminal outcome.
+    pub fn accounting(&self) -> (u64, u64) {
+        (
+            self.shared.accepted.load(Ordering::Relaxed),
+            self.shared.resolved.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Current queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Closes admission, drains every queued request to its terminal
+    /// outcome, and joins the dispatchers.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a dispatcher panic (none are expected; a panicked
+    /// dispatcher would strand tickets).
+    pub fn shutdown(self) {
+        self.shared.queue.close();
+        for w in self.workers {
+            w.join().expect("dispatcher thread panicked");
+        }
+        let (accepted, resolved) = (
+            self.shared.accepted.load(Ordering::Relaxed),
+            self.shared.resolved.load(Ordering::Relaxed),
+        );
+        debug_assert_eq!(accepted, resolved, "every accepted request must resolve");
+    }
+}
+
+fn dispatch_loop(shared: &Shared, idx: usize) {
+    let replica = &shared.replicas[idx];
+    let metrics = &shared.obs.metrics;
+    loop {
+        let max = match replica.breaker.admit() {
+            Admission::Full => shared.cfg.max_wave,
+            Admission::Probe => 1,
+            Admission::Quarantined => {
+                metrics.gauge_set(&format!("serve.replica.{idx}.quarantined"), 1.0);
+                if shared.queue.is_drained() {
+                    return;
+                }
+                std::thread::sleep(shared.cfg.park);
+                continue;
+            }
+        };
+        metrics.gauge_set(&format!("serve.replica.{idx}.quarantined"), 0.0);
+        match shared.queue.take_wave(max, shared.cfg.park) {
+            Taken::Drained => return,
+            Taken::Empty { expired } => {
+                shared.resolve_expired(expired);
+            }
+            Taken::Wave { batch, expired } => {
+                shared.resolve_expired(expired);
+                run_wave(shared, idx, batch);
+            }
+        }
+    }
+}
+
+fn run_wave(shared: &Shared, idx: usize, batch: Vec<Pending>) {
+    let replica = &shared.replicas[idx];
+    let metrics = &shared.obs.metrics;
+    let level = shared.ladder.observe(metrics);
+    let (m, n, q) = batch[0].shape_key();
+    let _wave = aabft_obs::span!(
+        shared.obs,
+        "serve",
+        "wave",
+        "replica" => idx as u64,
+        "requests" => batch.len() as u64,
+        "level" => format!("{level:?}"),
+        "m" => m as u64,
+        "n" => n as u64,
+        "q" => q as u64,
+    );
+    metrics.counter_inc("serve.waves");
+    metrics.observe("serve.wave_size", batch.len() as f64);
+
+    let effective: Vec<ProtectionPolicy> =
+        batch.iter().map(|p| shared.ladder.apply(p.policy, level)).collect();
+    let requests: Vec<GemmRequest> = batch
+        .iter()
+        .zip(&effective)
+        .map(|(p, &policy)| GemmRequest::new(p.a.clone(), p.b.clone()).with_policy(policy))
+        .collect();
+    let results = shared.engine.execute_verified(&replica.device, requests);
+    // Bound memory under sustained traffic: the launch log is per-device
+    // telemetry that nobody drains in service mode.
+    let _ = replica.device.take_log();
+
+    let now = Instant::now();
+    for (pending, result) in batch.into_iter().zip(results) {
+        match result {
+            Ok(healed) => {
+                replica.breaker.record_success();
+                let latency = now.duration_since(pending.submitted);
+                let late = pending.deadline.is_some_and(|d| now > d);
+                if late {
+                    metrics.counter_inc("serve.late_completions");
+                }
+                metrics.observe("serve.latency_ms", latency.as_secs_f64() * 1e3);
+                let policy = shared.ladder.apply(pending.policy, level);
+                let outcome = ServeOutcome::Completed(Completed {
+                    product: healed.outcome.product,
+                    policy,
+                    attempts: healed.attempts,
+                    retries: pending.retries,
+                    late,
+                    latency,
+                    replica: idx,
+                });
+                shared.resolve(pending, outcome);
+            }
+            Err(err) => {
+                let attempts = match err {
+                    AbftError::Unrecovered { attempts, .. } => attempts,
+                    // Shapes are validated at admission; anything else
+                    // here is an engine invariant violation.
+                    _ => {
+                        metrics.counter_inc("serve.internal_errors");
+                        0
+                    }
+                };
+                let tripped = replica.breaker.record_unrecovered();
+                if tripped {
+                    metrics.counter_inc("serve.breaker_trips");
+                }
+                let mut pending = pending;
+                if pending.retries < shared.cfg.max_retries {
+                    pending.retries += 1;
+                    let backoff = shared.cfg.retry_backoff * 2u32.pow(pending.retries - 1);
+                    pending.not_before = Some(now + backoff);
+                    metrics.counter_inc("serve.retries");
+                    shared.queue.requeue(pending);
+                } else {
+                    let outcome =
+                        ServeOutcome::Unrecovered { attempts, retries: pending.retries };
+                    shared.resolve(pending, outcome);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! End-to-end service semantics: admission control under overload,
+//! deadline cancellation, retry-with-backoff around heal budgets,
+//! breaker quarantine, and the storm-time escalation ladder — with the
+//! exactly-one-terminal-outcome accounting checked throughout.
+
+use std::time::Duration;
+
+use aabft_core::batch::ProtectionPolicy;
+use aabft_core::{AAbftConfig, AAbftGemm};
+use aabft_gpu_sim::kernels::gemm::GemmTiling;
+use aabft_gpu_sim::{Device, MemoryFaultPlan};
+use aabft_matrix::Matrix;
+use aabft_obs::Obs;
+use aabft_serve::bench::{run_bench, BenchConfig, TenantMix};
+use aabft_serve::ladder::LadderConfig;
+use aabft_serve::{
+    BreakerConfig, BreakerState, DeadlineClass, ServeConfig, ServeOutcome, ServeRequest, Server,
+};
+
+fn small_gemm() -> AAbftGemm {
+    AAbftGemm::new(
+        AAbftConfig::builder()
+            .block_size(4)
+            .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+            .build()
+            .expect("valid test config"),
+    )
+}
+
+fn operands(r: usize) -> (Matrix<f64>, Matrix<f64>) {
+    (
+        Matrix::from_fn(16, 16, |i, j| ((r * 5 + i * 3 + j) as f64 * 0.17).sin()),
+        Matrix::from_fn(16, 16, |i, j| ((r * 7 + i + j * 2) as f64 * 0.13).cos()),
+    )
+}
+
+/// Overload: a tiny queue blasted with unpaced submissions must shed
+/// explicitly at admission, and every accepted ticket must still resolve
+/// to exactly one terminal outcome.
+#[test]
+fn overload_sheds_and_every_accepted_request_resolves() {
+    let cfg = ServeConfig { queue_capacity: 2, max_wave: 2, ..ServeConfig::default() };
+    let obs = Obs::new_shared();
+    let server = Server::start(cfg, small_gemm(), vec![Device::with_defaults()], obs.clone());
+
+    let total = 200;
+    let mut tickets = Vec::new();
+    let mut shed = 0u64;
+    for r in 0..total {
+        let (a, b) = operands(r);
+        let req = ServeRequest::new(a, b).with_class(DeadlineClass::Unbounded);
+        match server.submit(req) {
+            Ok(t) => tickets.push(t),
+            Err(rej) => {
+                assert!(
+                    matches!(rej, aabft_serve::Rejected::QueueFull { capacity: 2 }),
+                    "only QueueFull sheds here, got {rej}"
+                );
+                shed += 1;
+            }
+        }
+    }
+    assert!(shed > 0, "a 2-deep queue cannot absorb a 200-request blast");
+    let accepted = tickets.len() as u64;
+    server.shutdown();
+
+    let mut completed = 0u64;
+    for t in tickets {
+        match t.wait() {
+            ServeOutcome::Completed(c) => {
+                assert_eq!(c.product.shape(), (16, 16));
+                completed += 1;
+            }
+            other => panic!("unbounded fault-free requests complete, got {other:?}"),
+        }
+    }
+    assert_eq!(completed, accepted);
+    assert_eq!(completed + shed, total as u64, "every submission has one fate");
+    assert_eq!(obs.metrics.counter("serve.shed"), shed);
+    assert_eq!(obs.metrics.counter("serve.completed"), completed);
+}
+
+/// Deadline semantics: an interactive request whose deadline has already
+/// passed is cancelled in the queue (never executed), while batch-class
+/// traffic in the same queue completes.
+#[test]
+fn expired_interactive_requests_are_cancelled_not_run() {
+    let cfg = ServeConfig {
+        interactive_deadline: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let obs = Obs::new_shared();
+    let server = Server::start(cfg, small_gemm(), vec![Device::with_defaults()], obs.clone());
+
+    let mut interactive = Vec::new();
+    for r in 0..4 {
+        let (a, b) = operands(r);
+        let req = ServeRequest::new(a, b).with_class(DeadlineClass::Interactive);
+        interactive.push(server.submit(req).expect("admitted"));
+    }
+    let (a, b) = operands(9);
+    let batch = server.submit(ServeRequest::new(a, b)).expect("admitted");
+    server.shutdown();
+
+    for t in interactive {
+        match t.wait() {
+            ServeOutcome::DeadlineMissed { class, .. } => {
+                assert_eq!(class, DeadlineClass::Interactive);
+            }
+            other => panic!("a zero deadline must cancel in queue, got {other:?}"),
+        }
+    }
+    assert!(matches!(batch.wait(), ServeOutcome::Completed(_)));
+    assert_eq!(obs.metrics.counter("serve.deadline-missed"), 4);
+}
+
+/// The resilience controller: a fail-fast `SelfHealing { budget: 0 }`
+/// tenant struck by a one-shot fault resolves `Unrecovered` on the first
+/// try, is retried with backoff, and completes cleanly on the retry.
+#[test]
+fn unrecovered_request_retries_and_completes() {
+    let cfg = ServeConfig {
+        max_retries: 1,
+        retry_backoff: Duration::from_micros(100),
+        ..ServeConfig::default()
+    };
+    let obs = Obs::new_shared();
+    let gemm = small_gemm();
+    let server = Server::start(cfg, gemm, vec![Device::with_defaults()], obs.clone());
+
+    let plan = gemm.plan(16, 16, 16);
+    server.device(0).arm_memory_fault(MemoryFaultPlan {
+        buffer: "c",
+        word: 2 * plan.cols.total + 3,
+        mask: 1 << 62,
+        after_phase: "gemm",
+    });
+    let (a, b) = operands(3);
+    let req = ServeRequest::new(a, b)
+        .with_policy(ProtectionPolicy::SelfHealing { budget: 0 })
+        .with_class(DeadlineClass::Unbounded);
+    let ticket = server.submit(req).expect("admitted");
+    server.shutdown();
+
+    match ticket.wait() {
+        ServeOutcome::Completed(c) => {
+            assert_eq!(c.retries, 1, "first try hit the fault, the retry ran clean");
+            assert_eq!(c.attempts, 0, "the clean retry needed no healing");
+        }
+        other => panic!("the retry must complete, got {other:?}"),
+    }
+    assert_eq!(obs.metrics.counter("serve.retries"), 1);
+    assert_eq!(obs.metrics.counter("serve.unrecovered"), 0, "retry absorbed the failure");
+}
+
+/// With retries disabled the same failure is terminal: the caller gets an
+/// explicit `Unrecovered` (no product released) and the breaker trips
+/// after consecutive failures, then recovers through a half-open probe.
+#[test]
+fn terminal_unrecovered_trips_the_breaker_and_probe_recovers() {
+    let cfg = ServeConfig {
+        max_retries: 0,
+        breaker: BreakerConfig { trip_after: 1, cooloff: Duration::from_millis(5) },
+        ..ServeConfig::default()
+    };
+    let obs = Obs::new_shared();
+    let gemm = small_gemm();
+    let server = Server::start(cfg, gemm, vec![Device::with_defaults()], obs.clone());
+
+    let plan = gemm.plan(16, 16, 16);
+    server.device(0).arm_memory_fault(MemoryFaultPlan {
+        buffer: "c",
+        word: 2 * plan.cols.total + 3,
+        mask: 1 << 62,
+        after_phase: "gemm",
+    });
+    let (a, b) = operands(4);
+    let req = ServeRequest::new(a, b)
+        .with_policy(ProtectionPolicy::SelfHealing { budget: 0 })
+        .with_class(DeadlineClass::Unbounded);
+    let doomed = server.submit(req).expect("admitted");
+
+    // Wait for the trip so the follow-up demonstrably goes through a
+    // quarantine + half-open probe rather than a still-closed breaker.
+    match doomed.wait() {
+        ServeOutcome::Unrecovered { attempts, retries } => {
+            assert_eq!(attempts, 0);
+            assert_eq!(retries, 0);
+        }
+        other => panic!("retries are disabled, got {other:?}"),
+    }
+    assert_eq!(server.breaker_trips(0), 1);
+
+    let (a, b) = operands(5);
+    let req = ServeRequest::new(a, b).with_class(DeadlineClass::Unbounded);
+    let probe = server.submit(req).expect("admitted");
+    match probe.wait() {
+        ServeOutcome::Completed(c) => assert!(!c.healed()),
+        other => panic!("the probe wave runs clean, got {other:?}"),
+    }
+    assert!(
+        matches!(server.breaker_state(0), BreakerState::Closed),
+        "a successful probe re-closes the breaker"
+    );
+    server.shutdown();
+    assert_eq!(obs.metrics.counter("serve.breaker_trips"), 1);
+}
+
+/// The whole loop under a seeded storm, via the bench harness: the ladder
+/// escalates while the fault-rate EWMA is elevated and de-escalates in
+/// the quiet cooldown, no silent data corruption is released, and the
+/// level's accounting closes (every accepted request has one outcome).
+#[test]
+fn storm_escalates_the_ladder_and_releases_no_sdc() {
+    let cfg = BenchConfig {
+        n: 16,
+        replicas: 2,
+        rates: vec![0.0],
+        requests: 60,
+        storm: true,
+        storm_every: 3,
+        cooldown: 120,
+        mix: TenantMix::Verified,
+        seed: 11,
+        serve: ServeConfig {
+            // The ladder's quiet window is under test, not deadline
+            // pressure: give batch traffic room to complete so the
+            // cooldown actually produces clean check samples.
+            batch_deadline: Duration::from_secs(30),
+            interactive_deadline: Duration::from_secs(30),
+            ladder: LadderConfig { quiet_ticks: 2, ..LadderConfig::default() },
+            ..ServeConfig::default()
+        },
+        config: AAbftConfig::builder()
+            .block_size(4)
+            .tiling(GemmTiling { bm: 8, bn: 8, bk: 4, rx: 2, ry: 2 })
+            .build()
+            .expect("valid test config"),
+    };
+    let obs = Obs::new_shared();
+    let reports = run_bench(&cfg, &obs);
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+
+    assert_eq!(r.sdc, 0, "verified tenants must never release a critical product");
+    assert!(r.strikes > 0, "the storm must actually strike");
+    assert!(r.escalations > 0, "an elevated EWMA must raise the floor");
+    assert!(r.deescalations > 0, "the quiet cooldown must lower it again");
+    assert!(r.ewma_peak > 0.0);
+    assert!(r.completed > 0);
+    assert_eq!(
+        r.accepted,
+        r.completed + r.deadline_missed + r.unrecovered,
+        "every accepted request resolves to exactly one terminal outcome"
+    );
+    assert_eq!(r.submitted, r.accepted + r.shed);
+}

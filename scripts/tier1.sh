@@ -25,6 +25,8 @@ cargo clippy -p aabft-obs --all-targets -- -D warnings
 # The typed GemmRequest batch API and the macro-parallel dispatch live in
 # aabft-core; a named pass keeps lint regressions on the new surface loud.
 cargo clippy -p aabft-core --all-targets -- -D warnings
+# The service layer (queue, ladder, breaker, chaos bench) likewise.
+cargo clippy -p aabft-serve --all-targets -- -D warnings
 
 # Deterministic-seed fault-campaign smoke: exponent flips must stay >= 90%
 # detected on the plain scheme, and the self-healing executor must release
@@ -87,6 +89,20 @@ cargo run --release -q -p aabft-bench --bin bench_gemm -- \
     --sizes 2048 --reps 2 --engine packed --instrumented false \
     --threads 1,0 --json target/BENCH_threads_gate.json \
     --assert-speedup 2.0
+
+# Serving smoke (DESIGN §15): a seeded fault storm against the server at
+# two load levels. Gates: zero SDC released, at least one request shed at
+# admission (queue-cap 8 under blast), and a full escalation-ladder round
+# trip (escalates under the storm, de-escalates in the quiet cooldown).
+# The bench itself additionally asserts per level that every accepted
+# request resolves to exactly one terminal outcome, and exits non-zero on
+# any panic in the dispatcher.
+echo "==> serve smoke (seeded storm)"
+$aabft serve --n 16 --bs 4 --rates 400,0 --requests 90 --queue-cap 8 \
+    --storm true --storm-every 1 --cooldown 150 --quiet-ticks 2 \
+    --batch-ms 30000 --interactive-ms 30000 \
+    --json target/BENCH_serve_smoke.json \
+    --assert-zero-sdc true --assert-shed true --assert-ladder true
 
 # Bench regression gate: a fresh packed measurement at n=1024 must stay
 # within 15% of the committed BENCH_gemm.json baseline's GFLOP/s.

@@ -8,7 +8,9 @@
 //! * [`core`] — the A-ABFT scheme itself;
 //! * [`baselines`] — fixed-bound ABFT, SEA-ABFT, TMR, unprotected;
 //! * [`faults`] — bit-flip campaigns reproducing Figure 4;
-//! * [`obs`] — spans, metrics and Chrome-trace export across the pipeline.
+//! * [`obs`] — spans, metrics and Chrome-trace export across the pipeline;
+//! * [`serve`] — the service front end: admission queue, deadlines,
+//!   escalation ladder and circuit breakers over the batch engine.
 //!
 //! # Quick start
 //!
@@ -34,3 +36,4 @@ pub use aabft_gpu_sim as gpu;
 pub use aabft_matrix as matrix;
 pub use aabft_numerics as numerics;
 pub use aabft_obs as obs;
+pub use aabft_serve as serve;

@@ -139,7 +139,7 @@ fn folded_stacks_round_trip_against_perf_model() {
     let log = device.take_log();
     let model = PerfModel::k20c();
 
-    let text = folded_stacks(&log, &model);
+    let text = folded_stacks(&log, &model, device.clean_engine());
     let lines = parse_folded(&text).expect("folded output parses back");
     assert_eq!(lines.len(), log.len(), "one folded line per launch record");
 

@@ -106,6 +106,39 @@ fn checksum_row_memory_fault_heals_to_the_clean_product() {
     );
 }
 
+/// A zero retry budget is the fail-fast contract: the first decode that
+/// finds errors refuses immediately as `Unrecovered { attempts: 0 }` with
+/// no recovery work — not one repair, re-check or recompute launch.
+#[test]
+fn budget_zero_refuses_fast_without_recovery_work() {
+    let heal = SelfHealingGemm::new(AAbftGemm::new(config())).with_budget(0);
+    let a: Matrix = Matrix::from_fn(16, 16, |i, j| ((i * 5 + j) as f64 * 0.19).sin());
+    let b: Matrix = Matrix::from_fn(16, 16, |i, j| ((i + j * 3) as f64 * 0.23).cos());
+
+    let device = Device::with_defaults();
+    let plan = heal.gemm().plan(16, 16, 16);
+    device.arm_memory_fault(MemoryFaultPlan {
+        buffer: "c",
+        word: 2 * plan.cols.total + 3,
+        mask: 1 << 62,
+        after_phase: "gemm",
+    });
+    let err = heal.multiply(&device, &a, &b).expect_err("budget 0 must refuse");
+    assert_eq!(device.disarm_count(), 1, "the armed fault must have fired");
+    match err {
+        aabft::core::AbftError::Unrecovered { attempts, residual } => {
+            assert_eq!(attempts, 0, "no recovery attempts under a zero budget");
+            assert!(residual.errors_detected());
+        }
+        other => panic!("expected Unrecovered, got {other:?}"),
+    }
+    // Exactly one protected run (encode ×2 + gemm + reduce ×2 + check)
+    // was launched; the refusal added nothing.
+    let log = device.take_log();
+    assert_eq!(log.len(), 6, "no launches beyond the failed first run");
+    assert!(log.iter().all(|r| r.phase != "recompute"), "no recompute attempts");
+}
+
 /// Fault isolation in the batch engine: the request whose recovery budget
 /// is exhausted fails alone with an explicit error while its siblings'
 /// products stay bit-identical to an unfaulted batch.
