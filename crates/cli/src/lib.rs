@@ -113,6 +113,8 @@ COMMANDS
              --snapshots <path> (from campaign --snapshot)
              --campaign <path>  (from campaign --json; cross-checked
              field-for-field against the snapshot counters)
+             --serve-metrics <path>  (from serve --metrics; placement
+             balance: shard depths, per-replica waves/steals/busy)
              gate flags (non-zero exit on violation):
              --assert-min-detection 90 --assert-headroom-p99 1.0
              --assert-zero-sdc true --assert-zero-unrecovered true
@@ -130,10 +132,12 @@ COMMANDS
              --n 128 --bs 16 --inject true --recompute true
   lu         protected LU factorization
              --n 64 --check-every 8
-  serve      ABFT-as-a-service load/chaos bench: bounded-queue admission,
-             deadline classes, adaptive micro-batching, EWMA escalation
-             ladder and per-replica circuit breakers
-             --n 32 --replicas 2 --rates 200,0 (requests/s, 0 = blast)
+  serve      ABFT-as-a-service load/chaos bench: shape-sharded admission,
+             PerfModel-costed placement with work stealing, deadline
+             classes, EWMA escalation ladder, per-replica breakers
+             --n 32 --rates 200,0 (requests/s, 0 = blast)
+             --replicas 2 (count) or 26:packed,6:scalar,... (het specs)
+             --policy round-robin|costed|costed-stealing
              --requests 160 --queue-cap 256 --wave 8
              --interactive-ms 20 --batch-ms 500 --retries 2
              --mix verified|mixed --seed 7
@@ -141,6 +145,10 @@ COMMANDS
              --json BENCH_serve.json  one record per load level
              gate flags (non-zero exit on violation):
              --assert-zero-sdc true --assert-shed true --assert-ladder true
+             placement matrix (replays one skewed-shape stream per policy
+             over a heterogeneous fleet, reports per-replica utilization):
+             --policy-matrix true --small-n 64 --big-n 256 --big-every 4
+             --requests 48 --assert-policy-speedup 1.3
   help       this text
 
 OBSERVABILITY (all commands)
@@ -620,6 +628,20 @@ pub fn cmd_profile(args: &Args) {
     session.finish(&log);
 }
 
+/// Parses `--replicas`: either a plain count (`3`, homogeneous default
+/// replicas) or a comma-separated heterogeneous spec list
+/// (`26:packed,6:scalar,6:scalar`).
+fn parse_replicas(args: &Args, default: &str) -> Vec<aabft_serve::ReplicaSpec> {
+    use aabft_serve::ReplicaSpec;
+    let raw = args.get("replicas", default.to_string());
+    if let Ok(count) = raw.trim().parse::<usize>() {
+        return ReplicaSpec::defaults(count.max(1));
+    }
+    raw.split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--replicas: {e}")))
+        .collect()
+}
+
 /// `aabft serve` — the ABFT-as-a-service load-and-chaos bench: drives
 /// seeded open-loop traffic (optionally with a fault storm over the
 /// middle third of each level) through a [`aabft_serve::Server`] per
@@ -627,9 +649,12 @@ pub fn cmd_profile(args: &Args) {
 /// reference, and writes one JSON record per level. `--assert-*` flags
 /// turn service-level objectives into gates (non-zero exit on
 /// violation); the exactly-one-outcome accounting is always enforced.
+/// With `--policy-matrix true`, instead replays one skewed-shape stream
+/// over a heterogeneous fleet once per placement policy and gates the
+/// costed+stealing throughput win over round-robin.
 pub fn cmd_serve(args: &Args) {
     use aabft_serve::bench::{run_bench, BenchConfig, TenantMix};
-    use aabft_serve::{LadderConfig, ServeConfig};
+    use aabft_serve::{LadderConfig, PlacePolicy, ServeConfig};
     use std::time::Duration;
 
     let session = ObsSession::begin(args);
@@ -638,9 +663,11 @@ pub fn cmd_serve(args: &Args) {
         .split(',')
         .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--rates {s:?}: {e:?}")))
         .collect();
+    let policy: PlacePolicy = args.get("policy", PlacePolicy::default());
     let serve = ServeConfig {
         queue_capacity: args.get("queue-cap", 256usize),
         max_wave: args.get("wave", 8usize),
+        policy,
         interactive_deadline: Duration::from_millis(args.get("interactive-ms", 20u64)),
         batch_deadline: Duration::from_millis(args.get("batch-ms", 500u64)),
         max_retries: args.get("retries", 2u32),
@@ -650,9 +677,15 @@ pub fn cmd_serve(args: &Args) {
         },
         ..ServeConfig::default()
     };
+
+    if args.get("policy-matrix", false) {
+        run_serve_policy_matrix(args, serve, &session);
+        return;
+    }
+
     let cfg = BenchConfig {
         n: args.get("n", 32usize),
-        replicas: args.get("replicas", 2usize),
+        replicas: parse_replicas(args, "2").len(),
         rates,
         requests: args.get("requests", 160usize),
         storm: args.get("storm", false),
@@ -753,6 +786,114 @@ pub fn cmd_serve(args: &Args) {
     }
 }
 
+/// `aabft serve --policy-matrix true` — replays one seeded skewed-shape
+/// stream over a heterogeneous replica fleet once per placement policy
+/// and reports GEMMs/s plus per-replica utilization for each.
+fn run_serve_policy_matrix(args: &Args, serve: aabft_serve::ServeConfig, session: &ObsSession) {
+    use aabft_serve::bench::{run_policy_matrix, MatrixBenchConfig};
+    use aabft_serve::PlacePolicy;
+
+    let defaults = MatrixBenchConfig::default();
+    let cfg = MatrixBenchConfig {
+        small_n: args.get("small-n", defaults.small_n),
+        big_n: args.get("big-n", defaults.big_n),
+        big_every: args.get("big-every", defaults.big_every),
+        requests: args.get("requests", defaults.requests),
+        replicas: parse_replicas(args, "26:packed,6:scalar,6:scalar"),
+        seed: args.get("seed", defaults.seed),
+        serve,
+        config: build_config(args),
+    };
+    let reports = run_policy_matrix(&cfg, &session.obs);
+
+    let labels: Vec<String> =
+        cfg.replicas.iter().map(aabft_serve::ReplicaSpec::label).collect();
+    println!(
+        "serve policy matrix: {} requests ({}³ skewed with {}³ every {}), replicas [{}]",
+        cfg.requests,
+        cfg.small_n,
+        cfg.big_n,
+        cfg.big_every,
+        labels.join(", ")
+    );
+    println!(
+        "{:>16} {:>6} {:>5} {:>7} {:>8} {:>10}  per-replica util (waves, stolen)",
+        "policy", "done", "sdc", "steals", "wall s", "gemms/s"
+    );
+    for r in &reports {
+        let util: Vec<String> = r
+            .per_replica
+            .iter()
+            .map(|u| {
+                format!("{} {:.0}% ({}w,{}s)", u.label, 100.0 * u.utilization, u.waves, u.steals)
+            })
+            .collect();
+        println!(
+            "{:>16} {:>6} {:>5} {:>7} {:>8.3} {:>10.1}  {}",
+            r.policy.label(),
+            r.completed,
+            r.sdc,
+            r.steals,
+            r.wall_s,
+            r.gemms_per_sec,
+            util.join("  ")
+        );
+    }
+    let speedup = |p: PlacePolicy| {
+        reports.iter().find(|r| r.policy == p).map_or(0.0, |r| r.gemms_per_sec)
+    };
+    let rr = speedup(PlacePolicy::RoundRobin);
+    let stealing = speedup(PlacePolicy::CostedStealing);
+    if rr > 0.0 {
+        println!(
+            "costed+stealing vs round-robin: {:.2}x GEMMs/s (costed alone: {:.2}x)",
+            stealing / rr,
+            speedup(PlacePolicy::Costed) / rr
+        );
+    }
+
+    let json_path = args.get("json", String::new());
+    if !json_path.is_empty() {
+        let records: Vec<JsonObject> = reports.iter().map(|r| r.to_json()).collect();
+        aabft_obs::json::write_array(Path::new(&json_path), &records);
+        println!("policy reports written to {json_path}");
+    }
+    session.finish(&[]);
+
+    let mut violations = Vec::new();
+    for r in &reports {
+        if r.completed != r.submitted {
+            violations.push(format!(
+                "{}: {} submitted but {} completed",
+                r.policy.label(),
+                r.submitted,
+                r.completed
+            ));
+        }
+    }
+    if args.get("assert-zero-sdc", false) {
+        let sdc: u64 = reports.iter().map(|r| r.sdc).sum();
+        if sdc > 0 {
+            violations.push(format!("{sdc} released product(s) were critically wrong (SDC)"));
+        }
+    }
+    let floor = args.get("assert-policy-speedup", f64::NAN);
+    if floor.is_finite() && (rr <= 0.0 || stealing / rr < floor) {
+        violations.push(format!(
+            "costed+stealing {:.1} GEMMs/s is {:.2}x round-robin {:.1}, below required {floor}x",
+            stealing,
+            if rr > 0.0 { stealing / rr } else { f64::NAN },
+            rr
+        ));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("ASSERTION FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Counter value from one snapshot record (0 if absent).
 fn snap_counter(snap: &JsonValue, name: &str) -> u64 {
     snap.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
@@ -763,6 +904,69 @@ fn snap_hist(snap: &JsonValue, name: &str, field: &str) -> Option<f64> {
     snap.get("histograms").and_then(|h| h.get(name)).and_then(|h| h.get(field)).and_then(|v| v.as_f64())
 }
 
+/// Gauge value from a metrics-registry JSON (written by `--metrics`).
+fn metrics_gauge(metrics: &JsonValue, name: &str) -> Option<f64> {
+    metrics.get("gauges").and_then(|g| g.get(name)).and_then(|v| v.as_f64())
+}
+
+/// Counter value from a metrics-registry JSON.
+fn metrics_counter(metrics: &JsonValue, name: &str) -> u64 {
+    metrics.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+/// Renders the serve placement-balance section from a metrics-registry
+/// JSON: queue/shard depths and per-replica waves, steals, busy time and
+/// inflight modelled cost.
+fn report_serve_metrics(path: &str) {
+    use aabft_obs::json::JsonValue;
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"));
+    let metrics = aabft_obs::json::parse(&text)
+        .unwrap_or_else(|e| panic!("{path}: invalid metrics JSON: {e}"));
+
+    println!("serve placement balance ({path})");
+    println!(
+        "  waves {} (stolen {}), queue depth {:.0}, {} shard class(es)",
+        metrics_counter(&metrics, "serve.waves"),
+        metrics_counter(&metrics, "serve.steals"),
+        metrics_gauge(&metrics, "serve.queue_depth").unwrap_or(0.0),
+        metrics_gauge(&metrics, "serve.shards").unwrap_or(0.0),
+    );
+    if let Some(JsonValue::Object(gauges)) = metrics.get("gauges") {
+        let mut shards: Vec<(&str, f64)> = gauges
+            .iter()
+            .filter_map(|(k, v)| {
+                let class = k.strip_prefix("serve.shard.")?.strip_suffix(".depth")?;
+                Some((class, v.as_f64()?))
+            })
+            .collect();
+        shards.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (class, depth) in shards {
+            println!("    shard {class:>16}: depth {depth:.0}");
+        }
+    }
+    for r in 0.. {
+        let waves = metrics_counter(&metrics, &format!("serve.replica.{r}.waves"));
+        let busy = metrics_gauge(&metrics, &format!("serve.replica.{r}.busy_us"));
+        if waves == 0 && busy.is_none() {
+            break;
+        }
+        println!(
+            "  replica {r}: {waves} wave(s), {} stolen, busy {:.1} ms, inflight cost {:.3e}{}",
+            metrics_counter(&metrics, &format!("serve.replica.{r}.steals")),
+            busy.unwrap_or(0.0) / 1e3,
+            metrics_gauge(&metrics, &format!("serve.replica.{r}.inflight_cost")).unwrap_or(0.0),
+            if metrics_gauge(&metrics, &format!("serve.replica.{r}.quarantined"))
+                == Some(1.0)
+            {
+                " [quarantined]"
+            } else {
+                ""
+            },
+        );
+    }
+}
+
 /// `aabft report` — renders a run-health report from the snapshot JSONL
 /// a self-heal campaign wrote with `--snapshot`: detection aggregates,
 /// recovery-ladder usage, detector-headroom percentiles and the
@@ -770,11 +974,21 @@ fn snap_hist(snap: &JsonValue, name: &str, field: &str) -> Option<f64> {
 /// `--json` output of the same run) the snapshot counters are
 /// cross-checked against the campaign's own `DetectionStats`. `--assert-*`
 /// flags turn report lines into gates: any violation exits non-zero.
+/// `--serve-metrics <path>` (a metrics-registry JSON from `aabft
+/// serve --metrics`) prepends the serve placement-balance section.
 pub fn cmd_report(args: &Args) {
     let snap_path = args.get("snapshots", String::new());
+    let serve_metrics = args.get("serve-metrics", String::new());
+    if !serve_metrics.is_empty() {
+        report_serve_metrics(&serve_metrics);
+        if snap_path.is_empty() {
+            return;
+        }
+    }
     assert!(
         !snap_path.is_empty(),
-        "aabft report needs --snapshots <path> (JSONL from `aabft campaign --snapshot`)"
+        "aabft report needs --snapshots <path> (JSONL from `aabft campaign --snapshot`) \
+         and/or --serve-metrics <path> (JSON from `aabft serve --metrics`)"
     );
     let text = std::fs::read_to_string(&snap_path)
         .unwrap_or_else(|e| panic!("reading {snap_path:?}: {e}"));

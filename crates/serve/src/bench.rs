@@ -15,6 +15,16 @@
 //! ([`GroundTruth::Critical`]) is a silent data corruption. Verified
 //! completions passed the checksum check, so any `Critical` among them
 //! is the exact failure A-ABFT exists to prevent — the zero-SDC gate.
+//!
+//! A second bench mode, [`run_policy_matrix`], measures the placement
+//! plane itself: a seeded skewed-shape request stream (mostly small
+//! GEMMs, every k-th a large one) over heterogeneous replicas, replayed
+//! once per [`PlacePolicy`], reporting GEMMs/s and per-replica
+//! utilization. Blind round-robin lands a share of the large GEMMs on
+//! small/scalar replicas, which burn several times the compute per
+//! product; costed placement keeps them on the replica the `PerfModel`
+//! says finishes them soonest, so the same stream drains measurably
+//! faster — the headline claim gated by `tier1.sh`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,7 +33,6 @@ use aabft_core::batch::ProtectionPolicy;
 use aabft_core::{AAbftConfig, AAbftGemm};
 use aabft_faults::campaign::classify_product;
 use aabft_faults::GroundTruth;
-use aabft_gpu_sim::device::Device;
 use aabft_matrix::gen::InputClass;
 use aabft_matrix::Matrix;
 use aabft_numerics::RoundingModel;
@@ -34,6 +43,7 @@ use aabft_obs::Obs;
 
 use crate::chaos::{Storm, StormConfig};
 use crate::ladder::LadderLevel;
+use crate::placement::{PlacePolicy, ReplicaSpec};
 use crate::request::{DeadlineClass, Rejected, ServeOutcome, ServeRequest};
 use crate::server::{ServeConfig, Server};
 
@@ -270,8 +280,9 @@ fn run_level(
     let late0 = metrics.counter("serve.late_completions");
 
     let gemm = AAbftGemm::new(*gemm_config);
-    let devices = (0..cfg.replicas.max(1)).map(|_| Device::with_defaults()).collect();
-    let server = Server::start(cfg.serve, AAbftGemm::new(*gemm_config), devices, obs.clone());
+    let specs = ReplicaSpec::defaults(cfg.replicas.max(1));
+    let server = Server::start(cfg.serve, AAbftGemm::new(*gemm_config), specs, obs.clone())
+        .expect("bench ServeConfig is valid");
     let mut storm = cfg.storm.then(|| {
         let storm_cfg = StormConfig { seed: cfg.seed, ..StormConfig::default() };
         Storm::calibrate(&storm_cfg, &gemm, cfg.n)
@@ -390,5 +401,242 @@ fn run_level(
         ladder_end,
         ewma_peak,
         breaker_trips: breakers,
+    }
+}
+
+/// The skewed-shape, heterogeneous-replica placement bench: one seeded
+/// request stream replayed once per placement policy over the same
+/// replica fleet.
+#[derive(Debug, Clone)]
+pub struct MatrixBenchConfig {
+    /// Dimension of the common (small) GEMMs.
+    pub small_n: usize,
+    /// Dimension of the heavy (large) GEMMs.
+    pub big_n: usize,
+    /// Every `big_every`-th submission is a large GEMM (the skew).
+    pub big_every: usize,
+    /// Submissions per policy run.
+    pub requests: usize,
+    /// The heterogeneous replica fleet (shared across policies).
+    pub replicas: Vec<ReplicaSpec>,
+    /// Input-pool seed.
+    pub seed: u64,
+    /// Server tuning (`policy` and `queue_capacity` are overridden per
+    /// run: each policy gets its own server, and the queue is widened to
+    /// hold the whole stream so shedding never skews the comparison).
+    pub serve: ServeConfig,
+    /// Protected-GEMM configuration.
+    pub config: AAbftConfig,
+}
+
+impl Default for MatrixBenchConfig {
+    fn default() -> Self {
+        MatrixBenchConfig {
+            small_n: 64,
+            big_n: 256,
+            big_every: 4,
+            requests: 48,
+            replicas: vec![
+                "26:packed".parse().expect("valid default replica"),
+                "6:scalar".parse().expect("valid default replica"),
+                "6:scalar".parse().expect("valid default replica"),
+            ],
+            seed: 7,
+            serve: ServeConfig::default(),
+            config: AAbftConfig::default(),
+        }
+    }
+}
+
+impl MatrixBenchConfig {
+    /// Whether submission `t` is a large GEMM.
+    fn is_big(&self, t: usize) -> bool {
+        self.big_every > 0 && t.is_multiple_of(self.big_every)
+    }
+}
+
+/// One replica's share of a policy run.
+#[derive(Debug)]
+pub struct ReplicaUtil {
+    /// Replica label, e.g. `26sm:packed`.
+    pub label: String,
+    /// Waves this replica dispatched.
+    pub waves: u64,
+    /// Waves this replica stole.
+    pub steals: u64,
+    /// Wall time spent executing waves, seconds.
+    pub busy_s: f64,
+    /// Busy time over run wall time.
+    pub utilization: f64,
+}
+
+/// One policy's row in the placement matrix.
+#[derive(Debug)]
+pub struct PolicyReport {
+    /// The placement policy measured.
+    pub policy: PlacePolicy,
+    /// Submissions (all admitted; the queue is sized to the stream).
+    pub submitted: u64,
+    /// Products released.
+    pub completed: u64,
+    /// Released products judged critically wrong.
+    pub sdc: u64,
+    /// Waves stolen across the fleet.
+    pub steals: u64,
+    /// Run wall time, seconds.
+    pub wall_s: f64,
+    /// Completions per wall-clock second — the headline metric.
+    pub gemms_per_sec: f64,
+    /// Median submit-to-resolve latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Per-replica placement balance.
+    pub per_replica: Vec<ReplicaUtil>,
+}
+
+impl PolicyReport {
+    /// Flat JSON record (one element of the `policy_matrix` array in
+    /// `BENCH_serve.json`).
+    pub fn to_json(&self) -> JsonObject {
+        let mut obj = JsonObject::new()
+            .str("policy", self.policy.label())
+            .int("submitted", self.submitted)
+            .int("completed", self.completed)
+            .int("sdc", self.sdc)
+            .int("steals", self.steals)
+            .num("wall_s", self.wall_s)
+            .num("gemms_per_sec", self.gemms_per_sec)
+            .num("p50_ms", self.p50_ms)
+            .num("p99_ms", self.p99_ms);
+        for (idx, r) in self.per_replica.iter().enumerate() {
+            obj = obj
+                .str(&format!("replica{idx}"), &r.label)
+                .int(&format!("replica{idx}_waves"), r.waves)
+                .int(&format!("replica{idx}_steals"), r.steals)
+                .num(&format!("replica{idx}_busy_s"), r.busy_s)
+                .num(&format!("replica{idx}_utilization"), r.utilization);
+        }
+        obj
+    }
+}
+
+/// Runs the skewed-shape stream once per policy (round-robin, costed,
+/// costed+stealing) and returns one report per policy, in that order.
+pub fn run_policy_matrix(cfg: &MatrixBenchConfig, obs: &Arc<Obs>) -> Vec<PolicyReport> {
+    let small = InputPool::new(cfg.small_n, 3, cfg.seed);
+    let big = InputPool::new(cfg.big_n, 2, cfg.seed ^ 0x5eed);
+    [PlacePolicy::RoundRobin, PlacePolicy::Costed, PlacePolicy::CostedStealing]
+        .into_iter()
+        .map(|policy| run_policy(cfg, policy, &small, &big, obs))
+        .collect()
+}
+
+fn run_policy(
+    cfg: &MatrixBenchConfig,
+    policy: PlacePolicy,
+    small: &InputPool,
+    big: &InputPool,
+    obs: &Arc<Obs>,
+) -> PolicyReport {
+    let _run = aabft_obs::span!(
+        obs, "serve", "policy_run",
+        "policy" => policy.label(),
+        "requests" => cfg.requests as u64,
+    );
+    let mut serve = cfg.serve;
+    serve.policy = policy;
+    serve.queue_capacity = serve.queue_capacity.max(cfg.requests);
+    let server = Server::start(
+        serve,
+        AAbftGemm::new(cfg.config),
+        cfg.replicas.clone(),
+        obs.clone(),
+    )
+    .expect("matrix bench ServeConfig is valid");
+
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(cfg.requests);
+    for t in 0..cfg.requests {
+        let pool = if cfg.is_big(t) { big } else { small };
+        let (a, b, _) = pool.get(t);
+        // Unbounded + A-ABFT everywhere: the matrix isolates placement
+        // throughput, so no deadline shedding and every product verified.
+        let req = ServeRequest::new(a.clone(), b.clone())
+            .with_policy(ProtectionPolicy::AAbft)
+            .with_class(DeadlineClass::Unbounded);
+        match server.submit(req) {
+            Ok(ticket) => tickets.push((t, ticket)),
+            Err(rej) => panic!("matrix bench queue sized to stream, yet: {rej}"),
+        }
+    }
+    let submitted = tickets.len() as u64;
+    // Wait for every ticket before reading the clock or the per-replica
+    // accounts: under blast submission, nearly all the work happens
+    // after the submit loop returns. SDC judgment runs outside the timed
+    // window so host-side classification cost never skews the
+    // policy-to-policy throughput ratio.
+    let outcomes: Vec<(usize, ServeOutcome)> =
+        tickets.into_iter().map(|(t, ticket)| (t, ticket.wait())).collect();
+    let wall = start.elapsed();
+    let steals = server.steals();
+    let per_replica_raw: Vec<(String, u64, u64, Duration)> = (0..server.replicas())
+        .map(|r| {
+            (
+                server.replica_spec(r).label(),
+                server.replica_waves(r),
+                server.replica_steals(r),
+                server.replica_busy(r),
+            )
+        })
+        .collect();
+    server.shutdown();
+
+    let model = RoundingModel::binary64();
+    let bs = cfg.config.block_size;
+    let mut completed = 0u64;
+    let mut sdc = 0u64;
+    let mut latencies_ms = Vec::with_capacity(outcomes.len());
+    for (t, outcome) in outcomes {
+        match outcome {
+            ServeOutcome::Completed(c) => {
+                completed += 1;
+                latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                let pool = if cfg.is_big(t) { big } else { small };
+                let (a, b, clean) = pool.get(t);
+                let repair = c.healed().then_some(bs);
+                let (truth, _) = classify_product(
+                    &c.product, clean, a, b, &model, cfg.config.omega, repair,
+                );
+                if truth == GroundTruth::Critical {
+                    sdc += 1;
+                    obs.metrics.counter_inc("serve.sdc");
+                }
+            }
+            other => panic!("unbounded verified request must complete, got {other:?}"),
+        }
+    }
+    latencies_ms.sort_by(f64::total_cmp);
+
+    PolicyReport {
+        policy,
+        submitted,
+        completed,
+        sdc,
+        steals,
+        wall_s: wall.as_secs_f64(),
+        gemms_per_sec: completed as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        per_replica: per_replica_raw
+            .into_iter()
+            .map(|(label, waves, steals, busy)| ReplicaUtil {
+                label,
+                waves,
+                steals,
+                busy_s: busy.as_secs_f64(),
+                utilization: busy.as_secs_f64() / wall.as_secs_f64(),
+            })
+            .collect(),
     }
 }

@@ -9,8 +9,13 @@
 //!   protection policy + deadline class), synchronous [`Rejected`]
 //!   admission errors, the exactly-once [`ServeOutcome`], and the
 //!   [`Ticket`] a caller waits on;
-//! * [`queue`] — the bounded admission queue: explicit load shedding at
-//!   capacity, deadline sweeping, and shape-coalesced wave extraction;
+//! * [`queue`] — the bounded, shape-sharded admission plane: explicit
+//!   load shedding at capacity, deadline sweeping, and wave extraction
+//!   from per-shape-class shards;
+//! * [`placement`] — heterogeneous [`ReplicaSpec`]s (per-replica SM
+//!   count and clean engine) and the [`PlacePolicy`] that costs ready
+//!   waves against each replica's own `PerfModel`
+//!   (round-robin / costed / costed+stealing);
 //! * [`ladder`] — the [`EscalationLadder`]: maps the
 //!   `abft.fault_rate_ewma` gauge to a protection floor
 //!   (`Base → Verify → Heal`) with hysteresis on the way down;
@@ -29,16 +34,16 @@
 //! # Example
 //!
 //! ```
-//! use aabft_gpu_sim::device::Device;
 //! use aabft_matrix::Matrix;
-//! use aabft_serve::{ServeConfig, ServeOutcome, ServeRequest, Server};
+//! use aabft_serve::{ReplicaSpec, ServeConfig, ServeOutcome, ServeRequest, Server};
 //!
 //! let server = Server::start(
 //!     ServeConfig::default(),
 //!     aabft_core::AAbftGemm::default(),
-//!     vec![Device::with_defaults()],
+//!     ReplicaSpec::defaults(1),
 //!     aabft_obs::Obs::new_shared(),
-//! );
+//! )
+//! .expect("valid config");
 //! let a = Matrix::from_fn(8, 8, |i, j| (i + 2 * j) as f64);
 //! let b = Matrix::from_fn(8, 8, |i, j| (i * j + 1) as f64);
 //! let ticket = server.submit(ServeRequest::new(a, b)).expect("admitted");
@@ -55,6 +60,7 @@ pub mod bench;
 pub mod breaker;
 pub mod chaos;
 pub mod ladder;
+pub mod placement;
 pub mod queue;
 pub mod request;
 pub mod server;
@@ -63,7 +69,8 @@ pub use bench::{BenchConfig, LevelReport, TenantMix};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{Storm, StormConfig};
 pub use ladder::{EscalationLadder, LadderConfig, LadderLevel};
+pub use placement::{PlacePolicy, Placement, ReplicaSpec};
 pub use request::{
     Completed, DeadlineClass, Rejected, ServeOutcome, ServeRequest, Ticket,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, ServeError, Server};

@@ -1,0 +1,266 @@
+//! Replica specifications and the PerfModel-costed placement plane.
+//!
+//! PR 8's server cloned identical devices; here replicas become
+//! heterogeneous first-class citizens: each [`ReplicaSpec`] carries its
+//! own [`DeviceConfig`] (SM count, clean-path engine) and a
+//! [`PerfModel`] scaled to that configuration, so the dispatcher can
+//! *cost* a ready wave against every replica with
+//! [`PerfModel::gemm_wave_cost`] (which routes through
+//! `PerfModel::schedule`/`stream_makespan`) and route heavy shapes to
+//! the replicas that finish them soonest.
+//!
+//! Three [`PlacePolicy`] variants ride the same sharded queue:
+//!
+//! * `RoundRobin` — blind per-request rotation across replicas, the
+//!   PR-8-equivalent baseline;
+//! * `Costed` — a replica takes a shard only when it is the modelled
+//!   argmin (inflight cost + wave cost) among live replicas;
+//! * `CostedStealing` — costed, plus an otherwise-idle replica drains
+//!   the heaviest *eligible* shard (one whose backlog outlasts the
+//!   best replica's modelled drain) instead of parking.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use aabft_gpu_sim::device::{Device, DeviceConfig};
+use aabft_gpu_sim::pack::CleanEngine;
+use aabft_gpu_sim::perf::PerfModel;
+
+/// Measured clean-engine throughput ratio (DESIGN §12 / `BENCH_gemm.json`):
+/// the packed microkernel sustains ~3.4× the scalar body on identical
+/// inputs, so a scalar replica is modelled at `1/3.4` of the packed rates.
+const SCALAR_ENGINE_SLOWDOWN: f64 = 3.4;
+
+/// Baseline SM count the [`PerfModel::k20c`] rates describe.
+const BASELINE_SMS: f64 = 13.0;
+
+/// One replica's hardware description: device shape plus the performance
+/// model placement costs it with.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    /// Device configuration (SM count, clean-path engine).
+    pub device: DeviceConfig,
+    /// Roofline model scaled to this replica's size and engine.
+    pub perf: PerfModel,
+}
+
+impl Default for ReplicaSpec {
+    fn default() -> Self {
+        ReplicaSpec::from_device(DeviceConfig::default())
+    }
+}
+
+impl ReplicaSpec {
+    /// Derives the spec from a device configuration: the K20c roofline
+    /// scaled by the SM-count ratio and, for the scalar clean engine, by
+    /// the measured engine slowdown.
+    pub fn from_device(device: DeviceConfig) -> Self {
+        let sms_scale = device.num_sms as f64 / BASELINE_SMS;
+        let engine_scale = match device.clean_engine.unwrap_or(CleanEngine::Packed) {
+            CleanEngine::Packed => 1.0,
+            CleanEngine::Scalar => 1.0 / SCALAR_ENGINE_SLOWDOWN,
+        };
+        ReplicaSpec {
+            device,
+            perf: PerfModel::k20c().scaled(sms_scale * engine_scale),
+        }
+    }
+
+    /// `count` identical default replicas (the homogeneous PR-8 shape).
+    pub fn defaults(count: usize) -> Vec<ReplicaSpec> {
+        (0..count).map(|_| ReplicaSpec::default()).collect()
+    }
+
+    /// Builds this replica's device.
+    pub fn build_device(&self) -> Device {
+        Device::new(self.device)
+    }
+
+    /// Short label for logs and reports, e.g. `26sm:packed`.
+    pub fn label(&self) -> String {
+        let engine = match self.device.clean_engine.unwrap_or(CleanEngine::Packed) {
+            CleanEngine::Packed => "packed",
+            CleanEngine::Scalar => "scalar",
+        };
+        format!("{}sm:{engine}", self.device.num_sms)
+    }
+}
+
+impl std::str::FromStr for ReplicaSpec {
+    type Err = String;
+
+    /// Parses the CLI spelling `SMS[:ENGINE]`, e.g. `13`, `26:packed`,
+    /// `4:scalar`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sms, engine) = match s.split_once(':') {
+            Some((sms, engine)) => (sms, Some(engine)),
+            None => (s, None),
+        };
+        let sms: usize = sms
+            .trim()
+            .parse()
+            .map_err(|e| format!("replica spec {s:?}: SM count: {e}"))?;
+        let mut builder = DeviceConfig::builder().num_sms(sms);
+        if let Some(engine) = engine {
+            builder = builder.clean_engine(
+                engine.trim().parse::<CleanEngine>().map_err(|e| format!("replica spec {s:?}: {e}"))?,
+            );
+        }
+        let device = builder.build().map_err(|e| format!("replica spec {s:?}: {e}"))?;
+        Ok(ReplicaSpec::from_device(device))
+    }
+}
+
+/// How the dispatcher maps ready waves onto replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacePolicy {
+    /// Blind per-request rotation (the PR-8-equivalent baseline).
+    RoundRobin,
+    /// PerfModel-costed placement: a replica takes a shard only when it
+    /// is the modelled best fit among live replicas.
+    Costed,
+    /// Costed placement plus work stealing for idle replicas. The
+    /// default.
+    #[default]
+    CostedStealing,
+}
+
+impl PlacePolicy {
+    /// Whether idle replicas may steal ineligible shards.
+    pub fn steals(self) -> bool {
+        matches!(self, PlacePolicy::CostedStealing)
+    }
+
+    /// Whether placement is modelled-cost-driven (vs blind rotation).
+    pub fn costed(self) -> bool {
+        !matches!(self, PlacePolicy::RoundRobin)
+    }
+
+    /// Short label for reports and JSON records.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacePolicy::RoundRobin => "round-robin",
+            PlacePolicy::Costed => "costed",
+            PlacePolicy::CostedStealing => "costed-stealing",
+        }
+    }
+}
+
+impl std::str::FromStr for PlacePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round-robin" | "rr" => Ok(PlacePolicy::RoundRobin),
+            "costed" => Ok(PlacePolicy::Costed),
+            "costed-stealing" | "stealing" => Ok(PlacePolicy::CostedStealing),
+            other => Err(format!(
+                "unknown placement policy {other:?} (round-robin|costed|costed-stealing)"
+            )),
+        }
+    }
+}
+
+/// Memo key for one costed wave: shape class `(m, n, q)` plus batch size.
+type WaveKey = (usize, usize, usize, usize);
+
+/// The cost oracle: per-replica modelled wave costs, memoised per shape
+/// class (costs are deterministic in `(shape, count, replica)`).
+#[derive(Debug)]
+pub struct Placement {
+    specs: Vec<ReplicaSpec>,
+    cache: Mutex<HashMap<WaveKey, Vec<f64>>>,
+}
+
+impl Placement {
+    /// A placement plane over `specs`.
+    pub fn new(specs: Vec<ReplicaSpec>) -> Self {
+        Placement { specs, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The replica specs, in replica-index order.
+    pub fn specs(&self) -> &[ReplicaSpec] {
+        &self.specs
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Modelled cost (seconds) of a `count`-request wave of shape
+    /// `(m, n, q)` on each replica, memoised. Index = replica.
+    pub fn wave_costs(&self, key: (usize, usize, usize), count: usize) -> Vec<f64> {
+        let count = count.max(1);
+        let cache_key = (key.0, key.1, key.2, count);
+        let mut cache = self.cache.lock().expect("placement cache lock");
+        cache
+            .entry(cache_key)
+            .or_insert_with(|| {
+                let shapes = vec![key; count];
+                self.specs
+                    .iter()
+                    .map(|spec| spec.perf.gemm_wave_cost(&shapes, spec.device.num_sms))
+                    .collect()
+            })
+            .clone()
+    }
+
+    /// Modelled cost of one request of shape `key` on `replica`.
+    pub fn request_cost(&self, key: (usize, usize, usize), replica: usize) -> f64 {
+        self.wave_costs(key, 1)[replica]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_and_scaling() {
+        let fast: ReplicaSpec = "26:packed".parse().expect("valid spec");
+        let slow: ReplicaSpec = "4:scalar".parse().expect("valid spec");
+        let default: ReplicaSpec = "13".parse().expect("valid spec");
+        assert_eq!(fast.device.num_sms, 26);
+        assert_eq!(slow.device.clean_engine, Some(CleanEngine::Scalar));
+        assert_eq!(default.device.num_sms, 13);
+        assert_eq!(default.device.clean_engine, None);
+        assert!(fast.perf.peak_dp_flops > default.perf.peak_dp_flops);
+        assert!(slow.perf.peak_dp_flops < default.perf.peak_dp_flops);
+        assert_eq!(fast.label(), "26sm:packed");
+
+        assert!("0:packed".parse::<ReplicaSpec>().is_err(), "zero SMs rejected");
+        assert!("13:vector".parse::<ReplicaSpec>().is_err(), "unknown engine rejected");
+        assert!("x".parse::<ReplicaSpec>().is_err());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!("rr".parse::<PlacePolicy>().unwrap(), PlacePolicy::RoundRobin);
+        assert_eq!("costed".parse::<PlacePolicy>().unwrap(), PlacePolicy::Costed);
+        assert_eq!(
+            "costed-stealing".parse::<PlacePolicy>().unwrap(),
+            PlacePolicy::CostedStealing
+        );
+        assert!("random".parse::<PlacePolicy>().is_err());
+        assert!(PlacePolicy::CostedStealing.steals());
+        assert!(!PlacePolicy::Costed.steals());
+        assert!(!PlacePolicy::RoundRobin.costed());
+    }
+
+    #[test]
+    fn fast_replica_wins_heavy_shapes() {
+        let placement = Placement::new(vec![
+            "26:packed".parse().unwrap(),
+            "4:scalar".parse().unwrap(),
+        ]);
+        let heavy = placement.wave_costs((512, 512, 512), 4);
+        assert!(
+            heavy[0] < heavy[1] / 4.0,
+            "26sm packed must dominate 4sm scalar on 512³: {heavy:?}"
+        );
+        // Memoisation returns identical vectors.
+        assert_eq!(placement.wave_costs((512, 512, 512), 4), heavy);
+        assert!(placement.request_cost((64, 64, 64), 0) > 0.0);
+    }
+}

@@ -1,10 +1,33 @@
-//! The bounded submission queue: admission control, deadline sweeping
-//! and shape-coalescing wave extraction.
+//! The sharded admission plane: bounded admission, deadline sweeping,
+//! per-shape-class shards, and policy-driven wave extraction with
+//! PerfModel-costed placement and work stealing.
+//!
+//! PR 8 kept one shared FIFO; a wave could only coalesce same-shape
+//! requests that happened to be adjacent, and placement was blind
+//! first-come-first-served. Here admitted requests land in *shards*
+//! keyed by their rounded shape class ([`shard_class`]), so the batch
+//! engine's plan/pack caches stay hot per shard, and each dispatcher
+//! asks [`ShardedQueue::take_wave`] for the shard it is *best suited
+//! for* under the configured [`PlacePolicy`]:
+//!
+//! * `RoundRobin` — every request is stamped with a home replica at
+//!   admission (blind rotation); a dispatcher takes only its own
+//!   entries.
+//! * `Costed` — a dispatcher takes a shard only when it is the argmin
+//!   of `inflight + wave_cost` over live replicas (costs from each
+//!   replica's own scaled [`PerfModel`], see [`Placement`]).
+//! * `CostedStealing` — costed, plus: an idle dispatcher drains the
+//!   heaviest *eligible* shard (one whose modelled backlog on its best
+//!   replica outlasts the thief's own wave cost) instead of parking.
 //!
 //! Built on `std::sync::{Mutex, Condvar}` (the parking_lot shim carries
-//! no condvar). One queue is shared by every replica dispatcher; a
-//! quarantined replica simply stops taking waves, so its share of the
-//! queue drains to the healthy replicas with no hand-off machinery.
+//! no condvar); one mutex guards all shards, which keeps placement
+//! decisions atomic with extraction. A closed queue drains policy-free:
+//! any dispatcher takes the oldest ready wave, so no entry can strand
+//! behind a policy constraint during shutdown.
+//!
+//! [`Placement`]: crate::placement::Placement
+//! [`PerfModel`]: aabft_gpu_sim::perf::PerfModel
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -13,11 +36,23 @@ use std::time::{Duration, Instant};
 use aabft_core::batch::ProtectionPolicy;
 use aabft_matrix::Matrix;
 
+use crate::placement::{PlacePolicy, Placement};
 use crate::request::{DeadlineClass, Rejected, Slot};
 
 /// Coalescing key: requests of equal `(m, n, q)` share a cached plan and
 /// pooled buffers in the batch engine, so a wave sticks to one key.
 pub(crate) type ShapeKey = (usize, usize, usize);
+
+/// A shape's shard class: each dimension rounded up to the next power of
+/// two (floored at 8). Shapes of one class share a shard — and thereby a
+/// dispatch affinity — so plan and pack-buffer caches stay hot per
+/// shard; waves still coalesce on the *exact* key within a shard.
+pub(crate) fn shard_class(key: ShapeKey) -> ShapeKey {
+    fn round(d: usize) -> usize {
+        d.max(8).next_power_of_two()
+    }
+    (round(key.0), round(key.1), round(key.2))
+}
 
 /// One admitted request waiting for dispatch.
 #[derive(Debug)]
@@ -36,6 +71,9 @@ pub(crate) struct Pending {
     pub not_before: Option<Instant>,
     /// Whole-request retries already performed.
     pub retries: u32,
+    /// Home replica under [`PlacePolicy::RoundRobin`] (stamped at
+    /// admission; ignored by the costed policies).
+    pub home: usize,
 }
 
 impl Pending {
@@ -52,69 +90,155 @@ impl Pending {
     }
 }
 
-/// What a dispatcher got back from one [`Queue::take_wave`] call.
+/// What a dispatcher got back from one [`ShardedQueue::take_wave`] call.
 pub(crate) enum Taken {
     /// A coalesced wave (nonempty) plus any entries whose deadline
     /// expired during the sweep — the caller resolves those as missed.
-    Wave { batch: Vec<Pending>, expired: Vec<Pending> },
-    /// Nothing dispatchable right now (park elapsed, or only backed-off
-    /// entries remain); expired entries are still swept and returned.
+    Wave {
+        batch: Vec<Pending>,
+        expired: Vec<Pending>,
+        /// Modelled cost of this wave on the taking replica; charged to
+        /// its inflight account until [`ShardedQueue::finish`].
+        cost: f64,
+        /// `true` when the wave was stolen (the taker was not the
+        /// modelled best replica for its shard).
+        stolen: bool,
+    },
+    /// Nothing dispatchable for this replica right now (park elapsed, or
+    /// only backed-off / other-replica entries remain); expired entries
+    /// are still swept and returned.
     Empty { expired: Vec<Pending> },
     /// The queue is closed and fully drained: the dispatcher exits.
     Drained,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
+/// One shape-class shard.
+#[derive(Debug)]
+struct Shard {
+    class: ShapeKey,
     items: VecDeque<Pending>,
-    closed: bool,
 }
 
-/// Bounded MPMC submission queue.
 #[derive(Debug)]
-pub(crate) struct Queue {
+struct Inner {
+    shards: Vec<Shard>,
+    /// Total queued entries across shards (capacity accounting).
+    len: usize,
+    closed: bool,
+    /// Round-robin stamp for the next admission.
+    rr_next: usize,
+    /// Per-replica modelled cost of waves currently executing.
+    inflight: Vec<f64>,
+    /// Replicas currently accepting work (breaker-closed or probing).
+    alive: Vec<bool>,
+    /// Waves stolen so far (telemetry mirror).
+    steals: u64,
+}
+
+impl Inner {
+    fn shard_mut(&mut self, class: ShapeKey) -> &mut Shard {
+        if let Some(i) = self.shards.iter().position(|s| s.class == class) {
+            return &mut self.shards[i];
+        }
+        self.shards.push(Shard { class, items: VecDeque::new() });
+        self.shards.last_mut().expect("just pushed")
+    }
+
+    /// Live replicas to cost against; falls back to *all* replicas when
+    /// every breaker is open so placement stays total.
+    fn live(&self) -> Vec<usize> {
+        let live: Vec<usize> =
+            (0..self.alive.len()).filter(|&r| self.alive[r]).collect();
+        if live.is_empty() {
+            (0..self.alive.len()).collect()
+        } else {
+            live
+        }
+    }
+}
+
+/// Bounded, sharded MPMC submission queue.
+#[derive(Debug)]
+pub(crate) struct ShardedQueue {
     inner: Mutex<Inner>,
     nonempty: Condvar,
     capacity: usize,
+    policy: PlacePolicy,
+    placement: Arc<Placement>,
 }
 
-impl Queue {
-    pub(crate) fn new(capacity: usize) -> Self {
-        Queue { inner: Mutex::new(Inner::default()), nonempty: Condvar::new(), capacity }
+/// Per-shard depth snapshot for gauges.
+pub(crate) struct ShardDepth {
+    pub class: ShapeKey,
+    pub depth: usize,
+}
+
+impl ShardedQueue {
+    pub(crate) fn new(capacity: usize, policy: PlacePolicy, placement: Arc<Placement>) -> Self {
+        let replicas = placement.replicas();
+        let inner = Inner {
+            shards: Vec::new(),
+            len: 0,
+            closed: false,
+            rr_next: 0,
+            inflight: vec![0.0; replicas],
+            alive: vec![true; replicas],
+            steals: 0,
+        };
+        ShardedQueue { inner: Mutex::new(inner), nonempty: Condvar::new(), capacity, policy, placement }
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        self.inner.lock().expect("queue lock").len
+    }
+
+    /// Depth of every shard (placement-balance gauges).
+    pub(crate) fn shard_depths(&self) -> Vec<ShardDepth> {
+        let inner = self.inner.lock().expect("queue lock");
+        inner
+            .shards
+            .iter()
+            .map(|s| ShardDepth { class: s.class, depth: s.items.len() })
+            .collect()
     }
 
     /// Admits `p` or sheds it: full queue → [`Rejected::QueueFull`],
-    /// closed queue → [`Rejected::ShuttingDown`].
-    pub(crate) fn submit(&self, p: Pending) -> Result<(), Rejected> {
+    /// closed queue → [`Rejected::ShuttingDown`]. Stamps the round-robin
+    /// home and files the entry in its shape-class shard.
+    pub(crate) fn submit(&self, mut p: Pending) -> Result<(), Rejected> {
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.closed {
             return Err(Rejected::ShuttingDown);
         }
-        if inner.items.len() >= self.capacity {
+        if inner.len >= self.capacity {
             return Err(Rejected::QueueFull { capacity: self.capacity });
         }
-        inner.items.push_back(p);
+        let live = inner.live();
+        p.home = live[inner.rr_next % live.len()];
+        inner.rr_next += 1;
+        let class = shard_class(p.shape_key());
+        inner.shard_mut(class).items.push_back(p);
+        inner.len += 1;
         drop(inner);
         self.nonempty.notify_one();
         Ok(())
     }
 
-    /// Re-enqueues a retrying entry at the front. Bypasses the capacity
-    /// bound: the entry already holds an outstanding ticket, and dropping
-    /// it here would break the exactly-one-outcome guarantee.
+    /// Re-enqueues a retrying entry at the front of its shard. Bypasses
+    /// the capacity bound: the entry already holds an outstanding
+    /// ticket, and dropping it here would break the exactly-one-outcome
+    /// guarantee.
     pub(crate) fn requeue(&self, p: Pending) {
         let mut inner = self.inner.lock().expect("queue lock");
-        inner.items.push_front(p);
+        let class = shard_class(p.shape_key());
+        inner.shard_mut(class).items.push_front(p);
+        inner.len += 1;
         drop(inner);
         self.nonempty.notify_one();
     }
 
-    /// Closes admission; dispatchers drain the remainder and then see
-    /// [`Taken::Drained`].
+    /// Closes admission; dispatchers drain the remainder (policy-free)
+    /// and then see [`Taken::Drained`].
     pub(crate) fn close(&self) {
         self.inner.lock().expect("queue lock").closed = true;
         self.nonempty.notify_all();
@@ -122,52 +246,407 @@ impl Queue {
 
     pub(crate) fn is_drained(&self) -> bool {
         let inner = self.inner.lock().expect("queue lock");
-        inner.closed && inner.items.is_empty()
+        inner.closed && inner.len == 0
     }
 
-    /// Sweeps expired entries, then extracts up to `max` ready entries
-    /// sharing the shape key of the oldest ready entry (adaptive
-    /// micro-batching: one wave, one plan, pooled buffers). Parks up to
-    /// `park` when nothing is dispatchable.
-    pub(crate) fn take_wave(&self, max: usize, park: Duration) -> Taken {
+    /// Marks a replica (not) accepting work. A quarantined replica's
+    /// shard affinity redistributes immediately: round-robin homes are
+    /// restamped onto live replicas, and the costed argmin simply stops
+    /// considering it. Waking parked dispatchers lets them re-evaluate.
+    pub(crate) fn set_alive(&self, replica: usize, alive: bool) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.alive[replica] == alive {
+            return;
+        }
+        inner.alive[replica] = alive;
+        if !alive {
+            let live = inner.live();
+            let mut next = 0usize;
+            for shard in &mut inner.shards {
+                for p in &mut shard.items {
+                    if p.home == replica {
+                        p.home = live[next % live.len()];
+                        next += 1;
+                    }
+                }
+            }
+        }
+        drop(inner);
+        self.nonempty.notify_all();
+    }
+
+    /// Credits back a completed wave's modelled cost and wakes parked
+    /// dispatchers (the argmin may have shifted).
+    pub(crate) fn finish(&self, replica: usize, cost: f64) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.inflight[replica] = (inner.inflight[replica] - cost).max(0.0);
+        drop(inner);
+        self.nonempty.notify_all();
+    }
+
+    /// Per-replica inflight modelled cost (gauges).
+    pub(crate) fn inflight(&self) -> Vec<f64> {
+        self.inner.lock().expect("queue lock").inflight.clone()
+    }
+
+    /// Waves stolen so far.
+    pub(crate) fn steals(&self) -> u64 {
+        self.inner.lock().expect("queue lock").steals
+    }
+
+    /// Sweeps expired entries, then extracts up to `max` ready entries of
+    /// one exact shape from the shard this replica should serve under the
+    /// placement policy (see module docs). Parks up to `park` when
+    /// nothing is dispatchable for this replica.
+    pub(crate) fn take_wave(&self, replica: usize, max: usize, park: Duration) -> Taken {
         debug_assert!(max >= 1);
         let mut inner = self.inner.lock().expect("queue lock");
         let now = Instant::now();
 
         let mut expired = Vec::new();
-        let mut i = 0;
-        while i < inner.items.len() {
-            if inner.items[i].expired(now) {
-                expired.push(inner.items.remove(i).expect("index in bounds"));
-            } else {
-                i += 1;
+        for si in 0..inner.shards.len() {
+            let mut i = 0;
+            while i < inner.shards[si].items.len() {
+                if inner.shards[si].items[i].expired(now) {
+                    expired.push(inner.shards[si].items.remove(i).expect("index in bounds"));
+                    inner.len -= 1;
+                } else {
+                    i += 1;
+                }
             }
         }
 
-        let first_ready = inner.items.iter().position(|p| p.ready(now));
-        let Some(first) = first_ready else {
-            if inner.closed && inner.items.is_empty() && expired.is_empty() {
-                return Taken::Drained;
-            }
-            if expired.is_empty() && !inner.closed {
-                // Nothing to do: park until a submit/requeue or timeout.
+        if inner.closed && inner.len == 0 {
+            return if expired.is_empty() { Taken::Drained } else { Taken::Empty { expired } };
+        }
+
+        let choice = self.choose_shard(&inner, replica, max, now);
+        let Some((si, stolen)) = choice else {
+            if expired.is_empty() {
+                // Nothing for this replica: park until a submit/requeue/
+                // finish/close or timeout. Parking while closed is fine —
+                // only backed-off entries remain, and they come ready
+                // within a backoff period.
                 let (_guard, _timeout) =
                     self.nonempty.wait_timeout(inner, park).expect("queue lock");
             }
             return Taken::Empty { expired };
         };
 
-        let lead = inner.items.remove(first).expect("index in bounds");
+        // Extract the wave: the shard's oldest ready entry leads; up to
+        // `max - 1` ready same-exact-shape followers coalesce behind it.
+        // Round-robin placement additionally requires the taker's home
+        // stamp (unless the queue is draining).
+        let unconstrained = self.policy.costed() || inner.closed;
+        let mine = move |p: &Pending| unconstrained || p.home == replica;
+        let items = &mut inner.shards[si].items;
+        let first = items
+            .iter()
+            .position(|p| p.ready(now) && mine(p))
+            .expect("choose_shard found a ready entry");
+        let lead = items.remove(first).expect("index in bounds");
         let key = lead.shape_key();
         let mut batch = vec![lead];
-        let mut i = first; // entries before `first` are not ready; skip them
-        while batch.len() < max && i < inner.items.len() {
-            if inner.items[i].ready(now) && inner.items[i].shape_key() == key {
-                batch.push(inner.items.remove(i).expect("index in bounds"));
+        let mut i = first; // entries before `first` were not eligible
+        while batch.len() < max && i < items.len() {
+            if items[i].ready(now) && items[i].shape_key() == key && mine(&items[i]) {
+                batch.push(items.remove(i).expect("index in bounds"));
             } else {
                 i += 1;
             }
         }
-        Taken::Wave { batch, expired }
+        inner.len -= batch.len();
+        let cost = self.placement.wave_costs(key, batch.len())[replica];
+        inner.inflight[replica] += cost;
+        if stolen {
+            inner.steals += 1;
+        }
+        Taken::Wave { batch, expired, cost, stolen }
+    }
+
+    /// Picks the shard `replica` should serve, or `None` to park.
+    /// Returns `(shard index, stolen)`.
+    fn choose_shard(
+        &self,
+        inner: &Inner,
+        replica: usize,
+        max: usize,
+        now: Instant,
+    ) -> Option<(usize, bool)> {
+        // Draining: take the oldest ready wave regardless of policy so
+        // shutdown cannot strand work behind a placement constraint.
+        if inner.closed {
+            return self
+                .oldest_ready_shard(inner, now, |_| true)
+                .map(|si| (si, false));
+        }
+        match self.policy {
+            PlacePolicy::RoundRobin => self
+                .oldest_ready_shard(inner, now, |p| p.home == replica)
+                .map(|si| (si, false)),
+            PlacePolicy::Costed | PlacePolicy::CostedStealing => {
+                let live = inner.live();
+                // Own takes: shards whose modelled best replica is us.
+                let mut own: Option<(usize, Instant)> = None;
+                // Steal candidates: (shard, modelled backlog on its best
+                // replica) for shards we could drain sooner than their
+                // best replica will get to them.
+                let mut steal: Option<(usize, f64)> = None;
+                for (si, shard) in inner.shards.iter().enumerate() {
+                    let Some(lead) = shard.items.iter().find(|p| p.ready(now)) else {
+                        continue;
+                    };
+                    let key = lead.shape_key();
+                    let count = shard
+                        .items
+                        .iter()
+                        .filter(|p| p.ready(now) && p.shape_key() == key)
+                        .count()
+                        .min(max);
+                    let costs = self.placement.wave_costs(key, count);
+                    let best = live
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            (inner.inflight[a] + costs[a])
+                                .partial_cmp(&(inner.inflight[b] + costs[b]))
+                                .expect("costs are finite")
+                        })
+                        .expect("at least one live replica");
+                    if best == replica {
+                        let oldest = lead.submitted;
+                        if own.is_none_or(|(_, t)| oldest < t) {
+                            own = Some((si, oldest));
+                        }
+                    } else if self.policy.steals() {
+                        // Eligible when the whole backlog, drained by its
+                        // best replica after that replica's current
+                        // inflight work, still outlasts our own wave.
+                        let backlog: f64 = shard
+                            .items
+                            .iter()
+                            .map(|p| self.placement.request_cost(p.shape_key(), best))
+                            .sum();
+                        let ours = costs[replica];
+                        if ours < inner.inflight[best] + backlog
+                            && steal.is_none_or(|(_, heaviest)| backlog > heaviest)
+                        {
+                            steal = Some((si, backlog));
+                        }
+                    }
+                }
+                own.map(|(si, _)| (si, false)).or(steal.map(|(si, _)| (si, true)))
+            }
+        }
+    }
+
+    /// The shard holding the oldest ready entry matching `eligible`.
+    fn oldest_ready_shard(
+        &self,
+        inner: &Inner,
+        now: Instant,
+        eligible: impl Fn(&Pending) -> bool,
+    ) -> Option<usize> {
+        let mut found: Option<(usize, Instant)> = None;
+        for (si, shard) in inner.shards.iter().enumerate() {
+            for p in &shard.items {
+                if p.ready(now) && eligible(p) {
+                    if found.is_none_or(|(_, t)| p.submitted < t) {
+                        found = Some((si, p.submitted));
+                    }
+                    break;
+                }
+            }
+        }
+        found.map(|(si, _)| si)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::ReplicaSpec;
+
+    fn pending(n: usize) -> Pending {
+        let a = Matrix::from_fn(n, n, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(n, n, |i, j| (i * j + 1) as f64);
+        Pending {
+            a,
+            b,
+            policy: ProtectionPolicy::AAbft,
+            class: DeadlineClass::Unbounded,
+            slot: Arc::new(Slot::default()),
+            submitted: Instant::now(),
+            deadline: None,
+            not_before: None,
+            retries: 0,
+            home: 0,
+        }
+    }
+
+    fn queue(capacity: usize, policy: PlacePolicy, specs: Vec<ReplicaSpec>) -> ShardedQueue {
+        ShardedQueue::new(capacity, policy, Arc::new(Placement::new(specs)))
+    }
+
+    const NO_PARK: Duration = Duration::from_millis(0);
+
+    #[test]
+    fn shard_class_rounds_up_to_power_of_two() {
+        assert_eq!(shard_class((48, 48, 48)), (64, 64, 64));
+        assert_eq!(shard_class((8, 8, 8)), (8, 8, 8));
+        assert_eq!(shard_class((3, 5, 9)), (8, 8, 16));
+        assert_eq!(shard_class((64, 64, 64)), (64, 64, 64));
+    }
+
+    #[test]
+    fn capacity_and_shutdown_shed() {
+        let q = queue(2, PlacePolicy::RoundRobin, ReplicaSpec::defaults(1));
+        assert!(q.submit(pending(8)).is_ok());
+        assert!(q.submit(pending(8)).is_ok());
+        assert!(matches!(q.submit(pending(8)), Err(Rejected::QueueFull { capacity: 2 })));
+        q.close();
+        assert!(matches!(q.submit(pending(8)), Err(Rejected::ShuttingDown)));
+        // Requeue bypasses the bound: the entry holds a live ticket.
+        q.requeue(pending(8));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn round_robin_homes_partition_the_stream() {
+        let q = queue(16, PlacePolicy::RoundRobin, ReplicaSpec::defaults(2));
+        for _ in 0..4 {
+            q.submit(pending(8)).unwrap();
+        }
+        // Homes alternate 0,1,0,1 — each replica coalesces only its own.
+        let Taken::Wave { batch, stolen, .. } = q.take_wave(0, 8, NO_PARK) else {
+            panic!("replica 0 has work");
+        };
+        assert_eq!(batch.len(), 2);
+        assert!(!stolen);
+        assert!(batch.iter().all(|p| p.home == 0));
+        let Taken::Wave { batch, .. } = q.take_wave(1, 8, NO_PARK) else {
+            panic!("replica 1 has work");
+        };
+        assert_eq!(batch.len(), 2);
+        assert!(matches!(q.take_wave(0, 8, NO_PARK), Taken::Empty { .. }));
+    }
+
+    #[test]
+    fn waves_coalesce_exact_shape_within_a_shard() {
+        // 48³ and 64³ share the (64,64,64) shard class but must not mix
+        // in one wave (the engine plans per exact shape).
+        let q = queue(16, PlacePolicy::CostedStealing, ReplicaSpec::defaults(1));
+        q.submit(pending(48)).unwrap();
+        q.submit(pending(64)).unwrap();
+        q.submit(pending(48)).unwrap();
+        assert_eq!(q.shard_depths().len(), 1, "one shared shard class");
+        let Taken::Wave { batch, .. } = q.take_wave(0, 8, NO_PARK) else {
+            panic!("expected a wave");
+        };
+        assert_eq!(batch.len(), 2, "the two 48³ entries coalesce past the 64³");
+        assert!(batch.iter().all(|p| p.shape_key() == (48, 48, 48)));
+    }
+
+    #[test]
+    fn costed_placement_keeps_heavy_shapes_off_slow_replicas() {
+        let specs: Vec<ReplicaSpec> =
+            vec!["26:packed".parse().unwrap(), "4:scalar".parse().unwrap()];
+        let q = queue(16, PlacePolicy::Costed, specs);
+        q.submit(pending(256)).unwrap();
+        // The slow scalar replica is not the argmin: it parks.
+        assert!(matches!(q.take_wave(1, 8, NO_PARK), Taken::Empty { .. }));
+        let Taken::Wave { batch, cost, stolen, .. } = q.take_wave(0, 8, NO_PARK) else {
+            panic!("fast replica takes the heavy shard");
+        };
+        assert_eq!(batch.len(), 1);
+        assert!(cost > 0.0);
+        assert!(!stolen);
+        assert_eq!(q.inflight()[0], cost);
+        q.finish(0, cost);
+        assert_eq!(q.inflight()[0], 0.0);
+    }
+
+    #[test]
+    fn idle_replica_steals_heavy_backlog_from_busy_best() {
+        // 512³ puts the modelled cost well past the launch-overhead
+        // floor, so the 8-SM thief runs ~2.5× the 26-SM replica's cost:
+        // never the argmin while the fast replica holds one wave
+        // (2.5s > 2s), yet far cheaper than waiting out an 11-deep
+        // backlog.
+        let specs: Vec<ReplicaSpec> =
+            vec!["26:packed".parse().unwrap(), "8:packed".parse().unwrap()];
+        let q = queue(16, PlacePolicy::CostedStealing, specs);
+        for _ in 0..12 {
+            q.submit(pending(512)).unwrap();
+        }
+        // Fast replica takes a wave and is now busy (inflight charged).
+        let Taken::Wave { stolen, .. } = q.take_wave(0, 1, NO_PARK) else {
+            panic!("fast replica takes first");
+        };
+        assert!(!stolen);
+        // The slower replica is not the argmin, but the backlog on the
+        // busy fast replica outlasts its own wave cost: it steals.
+        let Taken::Wave { batch, stolen, .. } = q.take_wave(1, 1, NO_PARK) else {
+            panic!("idle replica steals the backlog");
+        };
+        assert!(stolen);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(q.steals(), 1);
+    }
+
+    #[test]
+    fn costed_without_stealing_never_steals() {
+        let specs: Vec<ReplicaSpec> =
+            vec!["26:packed".parse().unwrap(), "8:packed".parse().unwrap()];
+        let q = queue(16, PlacePolicy::Costed, specs);
+        for _ in 0..12 {
+            q.submit(pending(512)).unwrap();
+        }
+        let Taken::Wave { .. } = q.take_wave(0, 1, NO_PARK) else {
+            panic!("fast replica takes first");
+        };
+        assert!(matches!(q.take_wave(1, 1, NO_PARK), Taken::Empty { .. }));
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn quarantine_restamps_homes_and_drain_ignores_policy() {
+        let q = queue(16, PlacePolicy::RoundRobin, ReplicaSpec::defaults(2));
+        for _ in 0..4 {
+            q.submit(pending(8)).unwrap();
+        }
+        // Replica 1 quarantined: its homes restamp onto replica 0.
+        q.set_alive(1, false);
+        let Taken::Wave { batch, .. } = q.take_wave(0, 8, NO_PARK) else {
+            panic!("replica 0 owns everything now");
+        };
+        assert_eq!(batch.len(), 4);
+        assert!(batch.iter().all(|p| p.home == 0));
+
+        // Draining: a closed queue hands work to any replica.
+        q.set_alive(1, true);
+        q.submit(pending(8)).unwrap();
+        q.close();
+        let Taken::Wave { batch, .. } = q.take_wave(1, 8, NO_PARK) else {
+            panic!("drain ignores home stamps");
+        };
+        assert_eq!(batch.len(), 1);
+        assert!(matches!(q.take_wave(0, 8, NO_PARK), Taken::Drained));
+        assert!(q.is_drained());
+    }
+
+    #[test]
+    fn deadline_sweep_returns_expired_entries() {
+        let q = queue(16, PlacePolicy::CostedStealing, ReplicaSpec::defaults(1));
+        let mut dead = pending(8);
+        dead.deadline = Some(Instant::now() - Duration::from_millis(1));
+        q.submit(dead).unwrap();
+        q.submit(pending(8)).unwrap();
+        let Taken::Wave { batch, expired, .. } = q.take_wave(0, 8, NO_PARK) else {
+            panic!("live entry still dispatches");
+        };
+        assert_eq!(batch.len(), 1);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(q.len(), 0);
     }
 }

@@ -1,25 +1,28 @@
-//! The server: replica dispatchers pulling coalesced waves from the
-//! shared admission queue through the batch engine, with retry,
+//! The server: per-replica dispatchers pulling costed, shape-sharded
+//! waves from the admission plane through the batch engine, with retry,
 //! escalation and circuit breaking around every wave.
 //!
-//! One OS thread per replica device. Each iteration a dispatcher:
+//! One OS thread per replica. Each iteration a dispatcher:
 //!
-//! 1. asks its breaker for admission (full wave / probe / quarantined);
-//! 2. takes a shape-coalesced wave from the shared queue (sweeping
-//!    deadline-expired entries, which it resolves as
-//!    [`ServeOutcome::DeadlineMissed`]);
+//! 1. asks its breaker for admission (full wave / probe / quarantined) —
+//!    quarantine transitions flip the replica's liveness in the sharded
+//!    queue, so its shard affinity redistributes immediately;
+//! 2. asks [`ShardedQueue::take_wave`] for the shard it should serve
+//!    under the configured [`PlacePolicy`] (sweeping deadline-expired
+//!    entries, which it resolves as [`ServeOutcome::DeadlineMissed`]);
 //! 3. ticks the escalation ladder and applies the resulting protection
 //!    floor to every request in the wave;
-//! 4. runs the wave through [`BatchGemm::execute_verified`] on its
+//! 4. runs the wave through [`BatchGemm::execute_verified`] on its own
 //!    device (plan cache, buffer pools and pack pools shared across
-//!    replicas through the one engine);
+//!    replicas through the one engine), charging the wave's modelled
+//!    cost to its inflight account for the duration;
 //! 5. resolves each result: completions resolve their ticket,
 //!    `Unrecovered` results retry with exponential backoff until
 //!    [`ServeConfig::max_retries`], then resolve as
 //!    [`ServeOutcome::Unrecovered`] and feed the breaker.
 //!
-//! Shutdown closes the queue; dispatchers drain the remainder (so every
-//! accepted ticket resolves) and exit.
+//! Shutdown closes the queue; dispatchers drain the remainder policy-free
+//! (so every accepted ticket resolves) and exit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,7 +37,8 @@ use aabft_obs::Obs;
 
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::ladder::{EscalationLadder, LadderConfig};
-use crate::queue::{Pending, Queue, Taken};
+use crate::placement::{PlacePolicy, Placement, ReplicaSpec};
+use crate::queue::{Pending, ShardedQueue, Taken};
 use crate::request::{Completed, DeadlineClass, Rejected, ServeOutcome, ServeRequest, Slot, Ticket};
 
 /// Server tuning knobs.
@@ -45,6 +49,8 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Maximum requests coalesced into one dispatch wave.
     pub max_wave: usize,
+    /// Placement policy mapping ready waves onto replicas.
+    pub policy: PlacePolicy,
     /// Deadline for [`DeadlineClass::Interactive`] requests.
     pub interactive_deadline: Duration,
     /// Deadline for [`DeadlineClass::Batch`] requests.
@@ -66,6 +72,7 @@ impl Default for ServeConfig {
         ServeConfig {
             queue_capacity: 256,
             max_wave: 8,
+            policy: PlacePolicy::default(),
             interactive_deadline: Duration::from_millis(20),
             batch_deadline: Duration::from_millis(500),
             max_retries: 2,
@@ -77,15 +84,95 @@ impl Default for ServeConfig {
     }
 }
 
-/// One replica: a device plus its breaker.
+/// Typed startup rejection: the configuration cannot run a correct
+/// server, so [`Server::start`] refuses it synchronously instead of
+/// letting a dispatcher thread panic later.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A [`ServeConfig`] field is out of range.
+    Config {
+        /// Offending field.
+        field: &'static str,
+        /// The rejected value.
+        got: String,
+        /// What the field needs to be.
+        need: &'static str,
+    },
+    /// A replica's device configuration failed validation.
+    Replica {
+        /// Replica index in the spec list.
+        index: usize,
+        /// The device-config error.
+        source: aabft_gpu_sim::error::ConfigError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config { field, got, need } => {
+                write!(f, "invalid ServeConfig: {field} = {got} (need {need})")
+            }
+            ServeError::Replica { index, source } => {
+                write!(f, "invalid replica spec {index}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Replica { source, .. } => Some(source),
+            ServeError::Config { .. } => None,
+        }
+    }
+}
+
+fn validate(cfg: &ServeConfig, specs: &[ReplicaSpec]) -> Result<(), ServeError> {
+    if cfg.queue_capacity == 0 {
+        return Err(ServeError::Config {
+            field: "queue_capacity",
+            got: "0".into(),
+            need: "at least 1 queued request",
+        });
+    }
+    if cfg.max_wave == 0 {
+        return Err(ServeError::Config {
+            field: "max_wave",
+            got: "0".into(),
+            need: "at least 1 request per wave",
+        });
+    }
+    if specs.is_empty() {
+        return Err(ServeError::Config {
+            field: "replicas",
+            got: "[]".into(),
+            need: "at least one replica spec",
+        });
+    }
+    for (index, spec) in specs.iter().enumerate() {
+        spec.device.validate().map_err(|source| ServeError::Replica { index, source })?;
+    }
+    Ok(())
+}
+
+/// One replica: its device, breaker, and busy-time account.
 struct Replica {
+    spec: ReplicaSpec,
     device: Device,
     breaker: CircuitBreaker,
+    /// Cumulative wall time spent executing waves, microseconds.
+    busy_us: AtomicU64,
+    /// Waves dispatched (stolen or not).
+    waves: AtomicU64,
+    /// Waves this replica stole.
+    steals: AtomicU64,
 }
 
 struct Shared {
     cfg: ServeConfig,
-    queue: Queue,
+    queue: ShardedQueue,
     ladder: EscalationLadder,
     engine: BatchGemm,
     replicas: Vec<Replica>,
@@ -110,34 +197,73 @@ impl Shared {
             self.resolve(p, outcome);
         }
     }
+
+    /// Refreshes the placement-balance gauges: total and per-shard queue
+    /// depth plus per-replica inflight modelled cost.
+    fn refresh_gauges(&self) {
+        let metrics = &self.obs.metrics;
+        metrics.gauge_set("serve.queue_depth", self.queue.len() as f64);
+        let depths = self.queue.shard_depths();
+        metrics.gauge_set("serve.shards", depths.len() as f64);
+        for d in depths {
+            let (m, n, q) = d.class;
+            metrics.gauge_set(&format!("serve.shard.{m}x{n}x{q}.depth"), d.depth as f64);
+        }
+        for (idx, cost) in self.queue.inflight().iter().enumerate() {
+            metrics.gauge_set(&format!("serve.replica.{idx}.inflight_cost"), *cost);
+        }
+    }
 }
 
-/// The ABFT service front end over a set of replica devices.
+/// The ABFT service front end over a set of heterogeneous replicas.
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("replicas", &self.shared.replicas.len())
+            .field("policy", &self.shared.cfg.policy)
+            .field("queue_len", &self.shared.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Server {
-    /// Starts one dispatcher thread per device. All devices are pointed
-    /// at `obs`, so their metrics (including `abft.fault_rate_ewma`, the
-    /// ladder's input) aggregate in one place.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `devices` is empty.
-    pub fn start(cfg: ServeConfig, gemm: AAbftGemm, devices: Vec<Device>, obs: Arc<Obs>) -> Server {
-        assert!(!devices.is_empty(), "a server needs at least one replica device");
-        let replicas: Vec<Replica> = devices
+    /// Validates `cfg` and the replica specs, builds one device per
+    /// spec, and starts one dispatcher thread per replica. All devices
+    /// are pointed at `obs`, so their metrics (including
+    /// `abft.fault_rate_ewma`, the ladder's input) aggregate in one
+    /// place.
+    pub fn start(
+        cfg: ServeConfig,
+        gemm: AAbftGemm,
+        replicas: Vec<ReplicaSpec>,
+        obs: Arc<Obs>,
+    ) -> Result<Server, ServeError> {
+        validate(&cfg, &replicas)?;
+        let replicas: Vec<Replica> = replicas
             .into_iter()
-            .map(|mut device| {
+            .map(|spec| {
+                let mut device = spec.build_device();
                 device.set_obs(obs.clone());
-                Replica { device, breaker: CircuitBreaker::new(cfg.breaker) }
+                Replica {
+                    spec,
+                    device,
+                    breaker: CircuitBreaker::new(cfg.breaker),
+                    busy_us: AtomicU64::new(0),
+                    waves: AtomicU64::new(0),
+                    steals: AtomicU64::new(0),
+                }
             })
             .collect();
+        let placement =
+            Arc::new(Placement::new(replicas.iter().map(|r| r.spec.clone()).collect()));
         let shared = Arc::new(Shared {
             cfg,
-            queue: Queue::new(cfg.queue_capacity),
+            queue: ShardedQueue::new(cfg.queue_capacity, cfg.policy, placement),
             ladder: EscalationLadder::new(cfg.ladder),
             engine: BatchGemm::new(gemm).with_streams(cfg.max_wave),
             replicas,
@@ -154,7 +280,7 @@ impl Server {
                     .expect("spawning dispatcher")
             })
             .collect();
-        Server { shared, workers }
+        Ok(Server { shared, workers })
     }
 
     /// Admits `req` or sheds it. An `Ok` ticket is guaranteed to resolve
@@ -188,12 +314,13 @@ impl Server {
             deadline,
             not_before: None,
             retries: 0,
+            home: 0, // stamped by the queue at admission
         };
         match self.shared.queue.submit(pending) {
             Ok(()) => {
                 metrics.counter_inc("serve.accepted");
                 self.shared.accepted.fetch_add(1, Ordering::Relaxed);
-                metrics.gauge_set("serve.queue_depth", self.shared.queue.len() as f64);
+                self.shared.refresh_gauges();
                 Ok(Ticket { slot })
             }
             Err(rej) => {
@@ -212,6 +339,31 @@ impl Server {
     /// surface.
     pub fn device(&self, idx: usize) -> &Device {
         &self.shared.replicas[idx].device
+    }
+
+    /// Replica `idx`'s spec (as costed by the placement plane).
+    pub fn replica_spec(&self, idx: usize) -> &ReplicaSpec {
+        &self.shared.replicas[idx].spec
+    }
+
+    /// Cumulative wall time replica `idx` has spent executing waves.
+    pub fn replica_busy(&self, idx: usize) -> Duration {
+        Duration::from_micros(self.shared.replicas[idx].busy_us.load(Ordering::Relaxed))
+    }
+
+    /// Waves replica `idx` has dispatched.
+    pub fn replica_waves(&self, idx: usize) -> u64 {
+        self.shared.replicas[idx].waves.load(Ordering::Relaxed)
+    }
+
+    /// Waves replica `idx` stole from shards affined elsewhere.
+    pub fn replica_steals(&self, idx: usize) -> u64 {
+        self.shared.replicas[idx].steals.load(Ordering::Relaxed)
+    }
+
+    /// Waves stolen across all replicas.
+    pub fn steals(&self) -> u64 {
+        self.shared.queue.steals()
     }
 
     /// Replica `idx`'s breaker trip count.
@@ -239,7 +391,7 @@ impl Server {
         )
     }
 
-    /// Current queue depth.
+    /// Current queue depth (across all shards).
     pub fn queue_len(&self) -> usize {
         self.shared.queue.len()
     }
@@ -267,12 +419,19 @@ impl Server {
 fn dispatch_loop(shared: &Shared, idx: usize) {
     let replica = &shared.replicas[idx];
     let metrics = &shared.obs.metrics;
+    // Tracks the last liveness communicated to the queue so quarantine
+    // transitions redistribute shard affinity exactly once.
+    let mut alive = true;
     loop {
         let max = match replica.breaker.admit() {
             Admission::Full => shared.cfg.max_wave,
             Admission::Probe => 1,
             Admission::Quarantined => {
                 metrics.gauge_set(&format!("serve.replica.{idx}.quarantined"), 1.0);
+                if alive {
+                    alive = false;
+                    shared.queue.set_alive(idx, false);
+                }
                 if shared.queue.is_drained() {
                     return;
                 }
@@ -281,20 +440,24 @@ fn dispatch_loop(shared: &Shared, idx: usize) {
             }
         };
         metrics.gauge_set(&format!("serve.replica.{idx}.quarantined"), 0.0);
-        match shared.queue.take_wave(max, shared.cfg.park) {
+        if !alive {
+            alive = true;
+            shared.queue.set_alive(idx, true);
+        }
+        match shared.queue.take_wave(idx, max, shared.cfg.park) {
             Taken::Drained => return,
             Taken::Empty { expired } => {
                 shared.resolve_expired(expired);
             }
-            Taken::Wave { batch, expired } => {
+            Taken::Wave { batch, expired, cost, stolen } => {
                 shared.resolve_expired(expired);
-                run_wave(shared, idx, batch);
+                run_wave(shared, idx, batch, cost, stolen);
             }
         }
     }
 }
 
-fn run_wave(shared: &Shared, idx: usize, batch: Vec<Pending>) {
+fn run_wave(shared: &Shared, idx: usize, batch: Vec<Pending>, cost: f64, stolen: bool) {
     let replica = &shared.replicas[idx];
     let metrics = &shared.obs.metrics;
     let level = shared.ladder.observe(metrics);
@@ -306,12 +469,21 @@ fn run_wave(shared: &Shared, idx: usize, batch: Vec<Pending>) {
         "replica" => idx as u64,
         "requests" => batch.len() as u64,
         "level" => format!("{level:?}"),
+        "stolen" => u64::from(stolen),
         "m" => m as u64,
         "n" => n as u64,
         "q" => q as u64,
     );
     metrics.counter_inc("serve.waves");
+    metrics.counter_inc(&format!("serve.replica.{idx}.waves"));
+    replica.waves.fetch_add(1, Ordering::Relaxed);
+    if stolen {
+        metrics.counter_inc("serve.steals");
+        metrics.counter_inc(&format!("serve.replica.{idx}.steals"));
+        replica.steals.fetch_add(1, Ordering::Relaxed);
+    }
     metrics.observe("serve.wave_size", batch.len() as f64);
+    metrics.gauge_set(&format!("serve.replica.{idx}.busy"), 1.0);
 
     let effective: Vec<ProtectionPolicy> =
         batch.iter().map(|p| shared.ladder.apply(p.policy, level)).collect();
@@ -320,7 +492,17 @@ fn run_wave(shared: &Shared, idx: usize, batch: Vec<Pending>) {
         .zip(&effective)
         .map(|(p, &policy)| GemmRequest::new(p.a.clone(), p.b.clone()).with_policy(policy))
         .collect();
+    let started = Instant::now();
     let results = shared.engine.execute_verified(&replica.device, requests);
+    let busy = started.elapsed();
+    replica.busy_us.fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
+    metrics.gauge_set(
+        &format!("serve.replica.{idx}.busy_us"),
+        replica.busy_us.load(Ordering::Relaxed) as f64,
+    );
+    metrics.gauge_set(&format!("serve.replica.{idx}.busy"), 0.0);
+    shared.queue.finish(idx, cost);
+    shared.refresh_gauges();
     // Bound memory under sustained traffic: the launch log is per-device
     // telemetry that nobody drains in service mode.
     let _ = replica.device.take_log();

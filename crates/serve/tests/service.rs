@@ -8,13 +8,14 @@ use std::time::Duration;
 use aabft_core::batch::ProtectionPolicy;
 use aabft_core::{AAbftConfig, AAbftGemm};
 use aabft_gpu_sim::kernels::gemm::GemmTiling;
-use aabft_gpu_sim::{Device, MemoryFaultPlan};
+use aabft_gpu_sim::MemoryFaultPlan;
 use aabft_matrix::Matrix;
 use aabft_obs::Obs;
 use aabft_serve::bench::{run_bench, BenchConfig, TenantMix};
 use aabft_serve::ladder::LadderConfig;
 use aabft_serve::{
-    BreakerConfig, BreakerState, DeadlineClass, ServeConfig, ServeOutcome, ServeRequest, Server,
+    BreakerConfig, BreakerState, DeadlineClass, PlacePolicy, ReplicaSpec, ServeConfig,
+    ServeError, ServeOutcome, ServeRequest, Server,
 };
 
 fn small_gemm() -> AAbftGemm {
@@ -41,7 +42,8 @@ fn operands(r: usize) -> (Matrix<f64>, Matrix<f64>) {
 fn overload_sheds_and_every_accepted_request_resolves() {
     let cfg = ServeConfig { queue_capacity: 2, max_wave: 2, ..ServeConfig::default() };
     let obs = Obs::new_shared();
-    let server = Server::start(cfg, small_gemm(), vec![Device::with_defaults()], obs.clone());
+    let server = Server::start(cfg, small_gemm(), ReplicaSpec::defaults(1), obs.clone())
+        .expect("valid test config");
 
     let total = 200;
     let mut tickets = Vec::new();
@@ -90,7 +92,8 @@ fn expired_interactive_requests_are_cancelled_not_run() {
         ..ServeConfig::default()
     };
     let obs = Obs::new_shared();
-    let server = Server::start(cfg, small_gemm(), vec![Device::with_defaults()], obs.clone());
+    let server = Server::start(cfg, small_gemm(), ReplicaSpec::defaults(1), obs.clone())
+        .expect("valid test config");
 
     let mut interactive = Vec::new();
     for r in 0..4 {
@@ -126,7 +129,8 @@ fn unrecovered_request_retries_and_completes() {
     };
     let obs = Obs::new_shared();
     let gemm = small_gemm();
-    let server = Server::start(cfg, gemm, vec![Device::with_defaults()], obs.clone());
+    let server = Server::start(cfg, gemm, ReplicaSpec::defaults(1), obs.clone())
+        .expect("valid test config");
 
     let plan = gemm.plan(16, 16, 16);
     server.device(0).arm_memory_fault(MemoryFaultPlan {
@@ -165,7 +169,8 @@ fn terminal_unrecovered_trips_the_breaker_and_probe_recovers() {
     };
     let obs = Obs::new_shared();
     let gemm = small_gemm();
-    let server = Server::start(cfg, gemm, vec![Device::with_defaults()], obs.clone());
+    let server = Server::start(cfg, gemm, ReplicaSpec::defaults(1), obs.clone())
+        .expect("valid test config");
 
     let plan = gemm.plan(16, 16, 16);
     server.device(0).arm_memory_fault(MemoryFaultPlan {
@@ -254,4 +259,151 @@ fn storm_escalates_the_ladder_and_releases_no_sdc() {
         "every accepted request resolves to exactly one terminal outcome"
     );
     assert_eq!(r.submitted, r.accepted + r.shed);
+}
+
+/// Satellite 1: a config that cannot run a correct server is refused
+/// synchronously with a typed error — no dispatcher thread ever starts,
+/// so nothing can panic later.
+#[test]
+fn invalid_configs_are_rejected_with_typed_errors() {
+    let obs = Obs::new_shared();
+
+    let cfg = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
+    match Server::start(cfg, small_gemm(), ReplicaSpec::defaults(1), obs.clone()) {
+        Err(ServeError::Config { field: "queue_capacity", .. }) => {}
+        other => panic!("zero capacity must be refused, got {other:?}"),
+    }
+
+    let cfg = ServeConfig { max_wave: 0, ..ServeConfig::default() };
+    match Server::start(cfg, small_gemm(), ReplicaSpec::defaults(1), obs.clone()) {
+        Err(ServeError::Config { field: "max_wave", .. }) => {}
+        other => panic!("zero wave must be refused, got {other:?}"),
+    }
+
+    match Server::start(ServeConfig::default(), small_gemm(), Vec::new(), obs.clone()) {
+        Err(ServeError::Config { field: "replicas", .. }) => {}
+        other => panic!("an empty replica set must be refused, got {other:?}"),
+    }
+
+    // The error carries enough to render a useful message.
+    let err = Server::start(
+        ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
+        small_gemm(),
+        ReplicaSpec::defaults(1),
+        obs,
+    )
+    .expect_err("refused");
+    let msg = format!("{err}");
+    assert!(msg.contains("queue_capacity"), "message names the field: {msg}");
+}
+
+/// Satellite 3: the same request stream over one fast and two slow
+/// replicas yields bit-identical products under every placement policy —
+/// placement and steal interleaving affect *where* a GEMM runs, never
+/// its result — and the accounting closes under each.
+#[test]
+fn heterogeneous_replicas_are_bit_identical_across_policies() {
+    let fleet: Vec<ReplicaSpec> = vec![
+        "26:packed".parse().expect("valid spec"),
+        "6:scalar".parse().expect("valid spec"),
+        "6:scalar".parse().expect("valid spec"),
+    ];
+    let total = 24;
+    let mut reference: Option<Vec<Matrix<f64>>> = None;
+
+    for policy in [PlacePolicy::RoundRobin, PlacePolicy::Costed, PlacePolicy::CostedStealing] {
+        let cfg = ServeConfig { policy, queue_capacity: 64, ..ServeConfig::default() };
+        let obs = Obs::new_shared();
+        let server = Server::start(cfg, small_gemm(), fleet.clone(), obs.clone())
+            .expect("valid test config");
+        let tickets: Vec<_> = (0..total)
+            .map(|r| {
+                let (a, b) = operands(r);
+                // Mix shapes so both shard classes and both engines see
+                // traffic under every policy.
+                let (a, b) = if r % 3 == 0 {
+                    (
+                        Matrix::from_fn(32, 32, |i, j| ((r + i * 7 + j) as f64 * 0.11).sin()),
+                        Matrix::from_fn(32, 32, |i, j| ((r * 3 + i + j) as f64 * 0.19).cos()),
+                    )
+                } else {
+                    (a, b)
+                };
+                server
+                    .submit(ServeRequest::new(a, b).with_class(DeadlineClass::Unbounded))
+                    .expect("admitted")
+            })
+            .collect();
+        server.shutdown();
+
+        let products: Vec<Matrix<f64>> = tickets
+            .into_iter()
+            .map(|t| match t.wait() {
+                ServeOutcome::Completed(c) => {
+                    assert!(c.replica < fleet.len());
+                    c.product
+                }
+                other => panic!("fault-free unbounded requests complete, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(obs.metrics.counter("serve.completed"), total as u64);
+        match &reference {
+            None => reference = Some(products),
+            Some(reference) => {
+                for (i, (got, want)) in products.iter().zip(reference).enumerate() {
+                    assert_eq!(
+                        got.as_slice(),
+                        want.as_slice(),
+                        "request {i} differs under {policy:?} — placement must not \
+                         change numerics"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The costed policies place heavy shapes on the fast replica: after a
+/// skewed stream drains, the big-GEMM waves ran on the packed 26-SM
+/// replica, not the scalar stragglers.
+#[test]
+fn costed_placement_routes_heavy_shapes_to_the_fast_replica() {
+    let fleet: Vec<ReplicaSpec> = vec![
+        "26:packed".parse().expect("valid spec"),
+        "6:scalar".parse().expect("valid spec"),
+    ];
+    let cfg = ServeConfig {
+        policy: PlacePolicy::Costed,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let obs = Obs::new_shared();
+    let server =
+        Server::start(cfg, small_gemm(), fleet, obs.clone()).expect("valid test config");
+    let tickets: Vec<_> = (0..6)
+        .map(|r| {
+            // 256³ sits far enough past the launch-overhead floor that
+            // the scalar replica is never the argmin, even against the
+            // packed replica's worst-case inflight (smaller shapes are
+            // overhead-dominated and the model is legitimately
+            // indifferent about them).
+            let a = Matrix::from_fn(256, 256, |i, j| ((r + i * 3 + j) as f64 * 0.07).sin());
+            let b = Matrix::from_fn(256, 256, |i, j| ((r * 5 + i + j * 2) as f64 * 0.05).cos());
+            server
+                .submit(ServeRequest::new(a, b).with_class(DeadlineClass::Unbounded))
+                .expect("admitted")
+        })
+        .collect();
+    // Wait before shutdown: the post-close drain is deliberately
+    // policy-free, so judging placement there would be meaningless.
+    for t in tickets {
+        match t.wait() {
+            ServeOutcome::Completed(c) => assert_eq!(
+                c.replica, 0,
+                "a 256³ wave belongs on the 26-SM packed replica"
+            ),
+            other => panic!("fault-free unbounded requests complete, got {other:?}"),
+        }
+    }
+    server.shutdown();
 }

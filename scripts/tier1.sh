@@ -104,6 +104,18 @@ $aabft serve --n 16 --bs 4 --rates 400,0 --requests 90 --queue-cap 8 \
     --json target/BENCH_serve_smoke.json \
     --assert-zero-sdc true --assert-shed true --assert-ladder true
 
+# Placement-policy gate: one seeded skewed-shape stream (64-cubed with
+# 256-cubed every 4th request) over a heterogeneous fleet, replayed once
+# per placement policy. Costed+stealing must beat shape-blind round-robin
+# GEMMs/s by 1.15x — conservative vs the ~1.4-1.7x observed on the
+# reference container, to leave headroom for timing noise — with zero SDC
+# and every request completed under every policy.
+echo "==> serve placement-policy gate (costed+stealing vs round-robin)"
+$aabft serve --policy-matrix true \
+    --replicas 26:packed,6:scalar,6:scalar \
+    --small-n 64 --big-n 256 --big-every 4 --requests 48 \
+    --assert-zero-sdc true --assert-policy-speedup 1.15
+
 # Bench regression gate: a fresh packed measurement at n=1024 must stay
 # within 15% of the committed BENCH_gemm.json baseline's GFLOP/s.
 # 5 reps: min-of-N needs a few samples to shake off container timing
