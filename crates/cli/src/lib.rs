@@ -114,7 +114,12 @@ COMMANDS
              --campaign <path>  (from campaign --json; cross-checked
              field-for-field against the snapshot counters)
              --serve-metrics <path>  (from serve --metrics; placement
-             balance: shard depths, per-replica waves/steals/busy)
+             balance: shard depths, per-replica waves/steals/busy, and
+             cost-model error: calibration ratios flagged outside
+             [0.5, 2.0], observed per-shard queue delay)
+             --serve-bench <path>  (from serve --json; render the
+             record array, --kind load|policy-matrix|feedback-matrix
+             filters; untagged legacy records inferred from shape)
              gate flags (non-zero exit on violation):
              --assert-min-detection 90 --assert-headroom-p99 1.0
              --assert-zero-sdc true --assert-zero-unrecovered true
@@ -136,7 +141,8 @@ COMMANDS
              PerfModel-costed placement with work stealing, deadline
              classes, EWMA escalation ladder, per-replica breakers
              --n 32 --rates 200,0 (requests/s, 0 = blast)
-             --replicas 2 (count) or 26:packed,6:scalar,... (het specs)
+             --replicas 2 (count) or 26:packed,6:scalar,... (het specs;
+             SMS:ENGINE@CLAIMED prices as CLAIMED — a mis-modelled spec)
              --policy round-robin|costed|costed-stealing
              --requests 160 --queue-cap 256 --wave 8
              --interactive-ms 20 --batch-ms 500 --retries 2
@@ -145,10 +151,19 @@ COMMANDS
              --json BENCH_serve.json  one record per load level
              gate flags (non-zero exit on violation):
              --assert-zero-sdc true --assert-shed true --assert-ladder true
+             --feedback false  disable measured-cost calibration (price
+             waves on the static PerfModel alone)
              placement matrix (replays one skewed-shape stream per policy
              over a heterogeneous fleet, reports per-replica utilization):
              --policy-matrix true --small-n 64 --big-n 256 --big-every 4
-             --requests 48 --assert-policy-speedup 1.3
+             --requests 48 --rounds 1 (best-of-N per row)
+             --assert-policy-speedup 1.3
+             feedback matrix (same stream over a mis-modelled fleet —
+             one replica's spec lies about its engine — static costed
+             vs calibrated costed vs calibrated costed+stealing):
+             --feedback-matrix true
+             --replicas 13:packed,13:scalar@packed
+             --assert-feedback-speedup 1.1
   help       this text
 
 OBSERVABILITY (all commands)
@@ -651,7 +666,10 @@ fn parse_replicas(args: &Args, default: &str) -> Vec<aabft_serve::ReplicaSpec> {
 /// violation); the exactly-one-outcome accounting is always enforced.
 /// With `--policy-matrix true`, instead replays one skewed-shape stream
 /// over a heterogeneous fleet once per placement policy and gates the
-/// costed+stealing throughput win over round-robin.
+/// costed+stealing throughput win over round-robin. With
+/// `--feedback-matrix true`, replays the stream over a mis-modelled
+/// fleet with and without measured-cost calibration and gates the
+/// calibrated win over the static model.
 pub fn cmd_serve(args: &Args) {
     use aabft_serve::bench::{run_bench, BenchConfig, TenantMix};
     use aabft_serve::{LadderConfig, PlacePolicy, ServeConfig};
@@ -668,6 +686,7 @@ pub fn cmd_serve(args: &Args) {
         queue_capacity: args.get("queue-cap", 256usize),
         max_wave: args.get("wave", 8usize),
         policy,
+        feedback: args.get("feedback", true),
         interactive_deadline: Duration::from_millis(args.get("interactive-ms", 20u64)),
         batch_deadline: Duration::from_millis(args.get("batch-ms", 500u64)),
         max_retries: args.get("retries", 2u32),
@@ -678,6 +697,10 @@ pub fn cmd_serve(args: &Args) {
         ..ServeConfig::default()
     };
 
+    if args.get("feedback-matrix", false) {
+        run_serve_feedback_matrix(args, serve, &session);
+        return;
+    }
     if args.get("policy-matrix", false) {
         run_serve_policy_matrix(args, serve, &session);
         return;
@@ -801,6 +824,7 @@ fn run_serve_policy_matrix(args: &Args, serve: aabft_serve::ServeConfig, session
         requests: args.get("requests", defaults.requests),
         replicas: parse_replicas(args, "26:packed,6:scalar,6:scalar"),
         seed: args.get("seed", defaults.seed),
+        rounds: args.get("rounds", defaults.rounds),
         serve,
         config: build_config(args),
     };
@@ -894,6 +918,140 @@ fn run_serve_policy_matrix(args: &Args, serve: aabft_serve::ServeConfig, session
     }
 }
 
+/// `aabft serve --feedback-matrix true` — replays one seeded
+/// skewed-shape stream over a deliberately *mis-modelled* fleet (one
+/// replica's spec claims the packed engine while the device runs
+/// scalar) three ways: static model-only costed placement, calibrated
+/// costed, and calibrated costed+stealing. Reports each row's GEMMs/s
+/// plus the end-of-run measured/modelled calibration ratios, so the
+/// lying replica is visible as a ratio far from its honest peers'.
+fn run_serve_feedback_matrix(args: &Args, serve: aabft_serve::ServeConfig, session: &ObsSession) {
+    use aabft_serve::bench::{run_feedback_matrix, MatrixBenchConfig};
+
+    let defaults = MatrixBenchConfig::default();
+    let cfg = MatrixBenchConfig {
+        small_n: args.get("small-n", defaults.small_n),
+        big_n: args.get("big-n", defaults.big_n),
+        big_every: args.get("big-every", defaults.big_every),
+        requests: args.get("requests", defaults.requests),
+        replicas: parse_replicas(args, "13:packed,13:scalar@packed"),
+        seed: args.get("seed", defaults.seed),
+        rounds: args.get("rounds", defaults.rounds),
+        serve,
+        config: build_config(args),
+    };
+    let reports = run_feedback_matrix(&cfg, &session.obs);
+
+    let labels: Vec<String> =
+        cfg.replicas.iter().map(aabft_serve::ReplicaSpec::label).collect();
+    println!(
+        "serve feedback matrix: {} requests ({}³ skewed with {}³ every {}), replicas [{}]",
+        cfg.requests,
+        cfg.small_n,
+        cfg.big_n,
+        cfg.big_every,
+        labels.join(", ")
+    );
+    println!(
+        "{:>16} {:>8} {:>6} {:>5} {:>7} {:>8} {:>10}  per-replica util (waves, stolen)",
+        "policy", "feedback", "done", "sdc", "steals", "wall s", "gemms/s"
+    );
+    for r in &reports {
+        let util: Vec<String> = r
+            .per_replica
+            .iter()
+            .map(|u| {
+                format!("{} {:.0}% ({}w,{}s)", u.label, 100.0 * u.utilization, u.waves, u.steals)
+            })
+            .collect();
+        println!(
+            "{:>16} {:>8} {:>6} {:>5} {:>7} {:>8.3} {:>10.1}  {}",
+            r.policy.label(),
+            if r.feedback { "on" } else { "off" },
+            r.completed,
+            r.sdc,
+            r.steals,
+            r.wall_s,
+            r.gemms_per_sec,
+            util.join("  ")
+        );
+    }
+    // End-of-run calibration ratios from the last (fully calibrated)
+    // row: the liar's ratio should sit far above its honest peers'.
+    if let Some(last) = reports.last() {
+        println!("  calibration (measured/modelled EWMA, {} row):", last.policy.label());
+        for (idx, u) in last.per_replica.iter().enumerate() {
+            let ratios: Vec<String> = u
+                .calibration
+                .iter()
+                .map(|((m, n, q), ratio)| format!("{m}x{n}x{q} {ratio:.2}"))
+                .collect();
+            println!(
+                "    replica {idx} {:>16}: {}",
+                u.label,
+                if ratios.is_empty() { "(cold)".to_string() } else { ratios.join("  ") }
+            );
+        }
+        println!(
+            "    {} calibration update(s), {} cold-class fallback(s)",
+            last.cal_updates, last.cal_cold_hits
+        );
+    }
+    let static_costed = reports.first().map_or(0.0, |r| r.gemms_per_sec);
+    let feedback_stealing = reports.last().map_or(0.0, |r| r.gemms_per_sec);
+    if static_costed > 0.0 {
+        println!(
+            "feedback costed+stealing vs static costed: {:.2}x GEMMs/s (feedback costed alone: {:.2}x)",
+            feedback_stealing / static_costed,
+            reports.get(1).map_or(0.0, |r| r.gemms_per_sec) / static_costed
+        );
+    }
+
+    let json_path = args.get("json", String::new());
+    if !json_path.is_empty() {
+        let records: Vec<JsonObject> = reports.iter().map(|r| r.to_json()).collect();
+        aabft_obs::json::write_array(Path::new(&json_path), &records);
+        println!("feedback reports written to {json_path}");
+    }
+    session.finish(&[]);
+
+    let mut violations = Vec::new();
+    for r in &reports {
+        if r.completed != r.submitted {
+            violations.push(format!(
+                "{} (feedback {}): {} submitted but {} completed",
+                r.policy.label(),
+                r.feedback,
+                r.submitted,
+                r.completed
+            ));
+        }
+    }
+    if args.get("assert-zero-sdc", false) {
+        let sdc: u64 = reports.iter().map(|r| r.sdc).sum();
+        if sdc > 0 {
+            violations.push(format!("{sdc} released product(s) were critically wrong (SDC)"));
+        }
+    }
+    let floor = args.get("assert-feedback-speedup", f64::NAN);
+    if floor.is_finite()
+        && (static_costed <= 0.0 || feedback_stealing / static_costed < floor)
+    {
+        violations.push(format!(
+            "feedback costed+stealing {:.1} GEMMs/s is {:.2}x static costed {:.1}, below required {floor}x",
+            feedback_stealing,
+            if static_costed > 0.0 { feedback_stealing / static_costed } else { f64::NAN },
+            static_costed
+        ));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("ASSERTION FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Counter value from one snapshot record (0 if absent).
 fn snap_counter(snap: &JsonValue, name: &str) -> u64 {
     snap.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
@@ -965,6 +1123,136 @@ fn report_serve_metrics(path: &str) {
             },
         );
     }
+    report_model_error(&metrics);
+}
+
+/// Renders the cost-model-error section from the calibration gauges the
+/// serve plane exports: per-(replica, shape-class) measured/modelled
+/// EWMA ratios, per-shard observed queueing delay, and the calibration
+/// update/cold-fallback counters. Ratios outside `[0.5, 2.0]` are
+/// flagged `DRIFT` — a replica whose ratio sits far from its peers' for
+/// the same class is mis-modelled (its spec lies about the device).
+fn report_model_error(metrics: &JsonValue) {
+    use aabft_obs::json::JsonValue;
+    let Some(JsonValue::Object(gauges)) = metrics.get("gauges") else {
+        return;
+    };
+    // (replica, class) -> ratio, from `serve.replica.{r}.cal.{class}`.
+    let mut cal: Vec<(u64, &str, f64)> = gauges
+        .iter()
+        .filter_map(|(k, v)| {
+            let rest = k.strip_prefix("serve.replica.")?;
+            let (replica, class) = rest.split_once(".cal.")?;
+            Some((replica.parse().ok()?, class, v.as_f64()?))
+        })
+        .collect();
+    let mut delays: Vec<(&str, f64)> = gauges
+        .iter()
+        .filter_map(|(k, v)| {
+            let class =
+                k.strip_prefix("serve.shard.")?.strip_suffix(".queue_delay_us")?;
+            Some((class, v.as_f64()?))
+        })
+        .collect();
+    let updates = metrics_counter(metrics, "placement.cal.updates");
+    if cal.is_empty() && delays.is_empty() && updates == 0 {
+        return;
+    }
+
+    println!(
+        "  cost-model error ({updates} calibration update(s), {} cold fallback(s))",
+        metrics_counter(metrics, "placement.cal.cold_hits")
+    );
+    cal.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    for (replica, class, ratio) in &cal {
+        println!(
+            "    replica {replica} {class:>14}: measured/modelled {ratio:8.2}{}",
+            if !(0.5..=2.0).contains(ratio) { "  DRIFT (outside [0.5, 2.0])" } else { "" }
+        );
+    }
+    delays.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (class, delay_us) in delays {
+        println!("    shard {class:>16}: observed queue delay {:.3} ms", delay_us / 1e3);
+    }
+}
+
+/// Renders a `BENCH_serve.json` record array (from `aabft serve
+/// --json`), optionally filtered to one record kind. Records carry a
+/// `kind` tag (`"load"`, `"policy-matrix"`, `"feedback-matrix"`);
+/// untagged legacy records are inferred from shape — a `rate` field
+/// means a load level, a `policy` field means a policy-matrix row.
+fn report_serve_bench(path: &str, kind_filter: &str) {
+    use aabft_obs::json::JsonValue;
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"));
+    let parsed = aabft_obs::json::parse(&text)
+        .unwrap_or_else(|e| panic!("{path}: invalid bench JSON: {e}"));
+    let JsonValue::Array(records) = parsed else {
+        panic!("{path}: expected a JSON array of bench records");
+    };
+
+    let kind_of = |r: &JsonValue| -> String {
+        if let Some(k) = r.get("kind").and_then(|v| v.as_str()) {
+            return k.to_string();
+        }
+        // Legacy untagged records: infer from shape.
+        if r.get("rate").is_some() {
+            "load".to_string()
+        } else if r.get("policy").is_some() {
+            "policy-matrix".to_string()
+        } else {
+            "unknown".to_string()
+        }
+    };
+    let selected: Vec<(&JsonValue, String)> = records
+        .iter()
+        .map(|r| {
+            let k = kind_of(r);
+            (r, k)
+        })
+        .filter(|(_, k)| kind_filter.is_empty() || k == kind_filter)
+        .collect();
+    println!(
+        "serve bench records ({path}): {} of {} match{}",
+        selected.len(),
+        records.len(),
+        if kind_filter.is_empty() {
+            String::new()
+        } else {
+            format!(" kind {kind_filter:?}")
+        }
+    );
+    let num = |r: &JsonValue, k: &str| r.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let int = |r: &JsonValue, k: &str| r.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    for (r, kind) in &selected {
+        match kind.as_str() {
+            "load" => println!(
+                "  [load] rate {:>6} sub {} shed {} done {} sdc {} p99 {:.3} ms {:.1} gemms/s",
+                if num(r, "rate") > 0.0 {
+                    format!("{:.0}/s", num(r, "rate"))
+                } else {
+                    "blast".to_string()
+                },
+                int(r, "submitted"),
+                int(r, "shed"),
+                int(r, "completed"),
+                int(r, "sdc"),
+                num(r, "p99_ms"),
+                num(r, "gemms_per_sec"),
+            ),
+            "policy-matrix" | "feedback-matrix" => println!(
+                "  [{kind}] {:>16} feedback {:>5} done {} sdc {} steals {} {:.1} gemms/s, {} cal update(s)",
+                r.get("policy").and_then(|v| v.as_str()).unwrap_or("?"),
+                r.get("feedback").and_then(|v| v.as_str()).unwrap_or("n/a"),
+                int(r, "completed"),
+                int(r, "sdc"),
+                int(r, "steals"),
+                num(r, "gemms_per_sec"),
+                int(r, "cal_updates"),
+            ),
+            other => println!("  [{other}] unrecognized record shape"),
+        }
+    }
 }
 
 /// `aabft report` — renders a run-health report from the snapshot JSONL
@@ -979,6 +1267,13 @@ fn report_serve_metrics(path: &str) {
 pub fn cmd_report(args: &Args) {
     let snap_path = args.get("snapshots", String::new());
     let serve_metrics = args.get("serve-metrics", String::new());
+    let serve_bench = args.get("serve-bench", String::new());
+    if !serve_bench.is_empty() {
+        report_serve_bench(&serve_bench, &args.get("kind", String::new()));
+        if snap_path.is_empty() && serve_metrics.is_empty() {
+            return;
+        }
+    }
     if !serve_metrics.is_empty() {
         report_serve_metrics(&serve_metrics);
         if snap_path.is_empty() {
@@ -987,8 +1282,9 @@ pub fn cmd_report(args: &Args) {
     }
     assert!(
         !snap_path.is_empty(),
-        "aabft report needs --snapshots <path> (JSONL from `aabft campaign --snapshot`) \
-         and/or --serve-metrics <path> (JSON from `aabft serve --metrics`)"
+        "aabft report needs --snapshots <path> (JSONL from `aabft campaign --snapshot`), \
+         --serve-metrics <path> (JSON from `aabft serve --metrics`), and/or \
+         --serve-bench <path> (JSON from `aabft serve --json`)"
     );
     let text = std::fs::read_to_string(&snap_path)
         .unwrap_or_else(|e| panic!("reading {snap_path:?}: {e}"));

@@ -307,6 +307,16 @@ impl PerfModel {
         self.stream_makespan(&log, num_sms)
     }
 
+    /// Modelled cost of a single protected GEMM request — the
+    /// denominator handle for measured/modelled calibration bookkeeping:
+    /// the service layer's per-(replica, shape-class) EWMA ratios divide
+    /// measured wall latency by exactly this quantity, so keeping it a
+    /// named handle (rather than an ad-hoc one-shape wave) pins the
+    /// contract that numerator and denominator price the same work.
+    pub fn gemm_request_cost(&self, shape: (usize, usize, usize), num_sms: usize) -> f64 {
+        self.gemm_wave_cost(&[shape], num_sms)
+    }
+
     /// Modelled busy time of SM `sm` during launch `rec` (for per-SM
     /// trace tracks): the roofline at per-SM shares of the device rates,
     /// without launch overhead (driver time, not SM occupancy), clamped
@@ -534,6 +544,23 @@ mod tests {
         let one = m.gemm_wave_cost(&[(128, 128, 128)], 13);
         let two = m.gemm_wave_cost(&[(128, 128, 128), (128, 128, 128)], 13);
         assert!(two >= one && two <= 2.0 * one + m.launch_overhead);
+    }
+
+    #[test]
+    fn request_cost_handle_matches_single_shape_wave() {
+        // The calibration contract: the ratio denominator is exactly the
+        // one-shape wave cost, across model scalings and SM counts.
+        let m = PerfModel::k20c();
+        for &(shape, sms) in
+            &[((64, 64, 64), 13), ((256, 256, 256), 26), ((1024, 32, 512), 6)]
+        {
+            assert_eq!(m.gemm_request_cost(shape, sms), m.gemm_wave_cost(&[shape], sms));
+            let scaled = m.scaled(0.5);
+            assert_eq!(
+                scaled.gemm_request_cost(shape, sms),
+                scaled.gemm_wave_cost(&[shape], sms)
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //! product; costed placement keeps them on the replica the `PerfModel`
 //! says finishes them soonest, so the same stream drains measurably
 //! faster — the headline claim gated by `tier1.sh`.
+//!
+//! A third mode, [`run_feedback_matrix`], turns the lens on the cost
+//! model itself: the fleet contains a *mis-modelled* replica (scalar
+//! engine, priced as packed), so the static model confidently routes
+//! heavy waves to the slowest machine. The matrix replays the stream
+//! under static `Costed`, calibrated `Costed`, and calibrated
+//! `CostedStealing`, recording each replica's end-of-run calibration
+//! ratios — the liar's converge away from 1.0 — and the throughput the
+//! feedback plane recovers.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -192,9 +201,11 @@ pub struct LevelReport {
 }
 
 impl LevelReport {
-    /// Flat JSON record (one element of the `BENCH_serve.json` array).
+    /// Flat JSON record (one element of the `BENCH_serve.json` array),
+    /// tagged `kind: "load"` so mixed-record files filter cleanly.
     pub fn to_json(&self) -> JsonObject {
         JsonObject::new()
+            .str("kind", "load")
             .num("rate", self.rate)
             .int("submitted", self.submitted)
             .int("accepted", self.accepted)
@@ -421,6 +432,12 @@ pub struct MatrixBenchConfig {
     pub replicas: Vec<ReplicaSpec>,
     /// Input-pool seed.
     pub seed: u64,
+    /// Rounds per (policy, feedback) row; the row reports its best
+    /// round by GEMMs/s. On a loaded or single-core host the wall time
+    /// of one short run carries scheduler noise comparable to the
+    /// placement effect being measured — best-of-N gives every row the
+    /// same number of tries at a quiet machine.
+    pub rounds: usize,
     /// Server tuning (`policy` and `queue_capacity` are overridden per
     /// run: each policy gets its own server, and the queue is widened to
     /// hold the whole stream so shedding never skews the comparison).
@@ -442,6 +459,7 @@ impl Default for MatrixBenchConfig {
                 "6:scalar".parse().expect("valid default replica"),
             ],
             seed: 7,
+            rounds: 1,
             serve: ServeConfig::default(),
             config: AAbftConfig::default(),
         }
@@ -468,13 +486,20 @@ pub struct ReplicaUtil {
     pub busy_s: f64,
     /// Busy time over run wall time.
     pub utilization: f64,
+    /// End-of-run calibration snapshot: `(shape class, measured/modelled
+    /// EWMA)` per calibrated class.
+    pub calibration: Vec<((usize, usize, usize), f64)>,
 }
 
 /// One policy's row in the placement matrix.
 #[derive(Debug)]
 pub struct PolicyReport {
+    /// Record tag: `"policy-matrix"` or `"feedback-matrix"`.
+    pub kind: &'static str,
     /// The placement policy measured.
     pub policy: PlacePolicy,
+    /// Whether measured-cost feedback priced this run's waves.
+    pub feedback: bool,
     /// Submissions (all admitted; the queue is sized to the stream).
     pub submitted: u64,
     /// Products released.
@@ -491,16 +516,22 @@ pub struct PolicyReport {
     pub p50_ms: f64,
     /// 99th-percentile latency, milliseconds.
     pub p99_ms: f64,
+    /// Calibration samples absorbed during the run.
+    pub cal_updates: u64,
+    /// Cold-class fallbacks taken during the run.
+    pub cal_cold_hits: u64,
     /// Per-replica placement balance.
     pub per_replica: Vec<ReplicaUtil>,
 }
 
 impl PolicyReport {
-    /// Flat JSON record (one element of the `policy_matrix` array in
-    /// `BENCH_serve.json`).
+    /// Flat JSON record (one element of the `BENCH_serve.json` array),
+    /// tagged with its `kind` (`"policy-matrix"` or `"feedback-matrix"`).
     pub fn to_json(&self) -> JsonObject {
         let mut obj = JsonObject::new()
+            .str("kind", self.kind)
             .str("policy", self.policy.label())
+            .str("feedback", if self.feedback { "true" } else { "false" })
             .int("submitted", self.submitted)
             .int("completed", self.completed)
             .int("sdc", self.sdc)
@@ -508,7 +539,9 @@ impl PolicyReport {
             .num("wall_s", self.wall_s)
             .num("gemms_per_sec", self.gemms_per_sec)
             .num("p50_ms", self.p50_ms)
-            .num("p99_ms", self.p99_ms);
+            .num("p99_ms", self.p99_ms)
+            .int("cal_updates", self.cal_updates)
+            .int("cal_cold_hits", self.cal_cold_hits);
         for (idx, r) in self.per_replica.iter().enumerate() {
             obj = obj
                 .str(&format!("replica{idx}"), &r.label)
@@ -516,6 +549,9 @@ impl PolicyReport {
                 .int(&format!("replica{idx}_steals"), r.steals)
                 .num(&format!("replica{idx}_busy_s"), r.busy_s)
                 .num(&format!("replica{idx}_utilization"), r.utilization);
+            for &((m, n, q), ratio) in &r.calibration {
+                obj = obj.num(&format!("replica{idx}_cal_{m}x{n}x{q}"), ratio);
+            }
         }
         obj
     }
@@ -523,18 +559,75 @@ impl PolicyReport {
 
 /// Runs the skewed-shape stream once per policy (round-robin, costed,
 /// costed+stealing) and returns one report per policy, in that order.
+/// All three runs price with measured-cost feedback (the production
+/// default); the records tag as `"policy-matrix"`.
 pub fn run_policy_matrix(cfg: &MatrixBenchConfig, obs: &Arc<Obs>) -> Vec<PolicyReport> {
     let small = InputPool::new(cfg.small_n, 3, cfg.seed);
     let big = InputPool::new(cfg.big_n, 2, cfg.seed ^ 0x5eed);
     [PlacePolicy::RoundRobin, PlacePolicy::Costed, PlacePolicy::CostedStealing]
         .into_iter()
-        .map(|policy| run_policy(cfg, policy, &small, &big, obs))
+        .map(|policy| run_policy(cfg, "policy-matrix", policy, true, &small, &big, obs))
         .collect()
+}
+
+/// The mis-modelled fleet the feedback matrix defaults to: an honest
+/// replica next to a *liar* with the identical claimed spec — same SM
+/// count, both priced as packed — whose device actually runs the scalar
+/// engine, several times slower. The static model cannot tell them
+/// apart, so it splits waves evenly and pays the liar's tax on half the
+/// stream; only measured feedback can rig the split toward the honest
+/// twin.
+pub fn mis_modelled_fleet() -> Vec<ReplicaSpec> {
+    vec![
+        "13:packed".parse().expect("valid fleet spec"),
+        "13:scalar@packed".parse().expect("valid fleet spec"),
+    ]
+}
+
+/// The measured-cost-feedback shootout: the same seeded skewed stream
+/// over a deliberately mis-modelled fleet (see [`mis_modelled_fleet`]),
+/// three ways — static model-only `Costed` (the PR-9 behaviour, which
+/// trusts the lying spec), calibrated `Costed`, and calibrated
+/// `CostedStealing` with the adaptive observed-delay steal rule. Records
+/// tag as `"feedback-matrix"`; the tier-1 gate compares the last row's
+/// GEMMs/s against the first.
+pub fn run_feedback_matrix(cfg: &MatrixBenchConfig, obs: &Arc<Obs>) -> Vec<PolicyReport> {
+    let small = InputPool::new(cfg.small_n, 3, cfg.seed);
+    let big = InputPool::new(cfg.big_n, 2, cfg.seed ^ 0x5eed);
+    [
+        (PlacePolicy::Costed, false),
+        (PlacePolicy::Costed, true),
+        (PlacePolicy::CostedStealing, true),
+    ]
+    .into_iter()
+    .map(|(policy, feedback)| {
+        run_policy(cfg, "feedback-matrix", policy, feedback, &small, &big, obs)
+    })
+    .collect()
 }
 
 fn run_policy(
     cfg: &MatrixBenchConfig,
+    kind: &'static str,
     policy: PlacePolicy,
+    feedback: bool,
+    small: &InputPool,
+    big: &InputPool,
+    obs: &Arc<Obs>,
+) -> PolicyReport {
+    (0..cfg.rounds.max(1))
+        .map(|round| run_policy_once(cfg, kind, policy, feedback, round, small, big, obs))
+        .max_by(|a, b| a.gemms_per_sec.total_cmp(&b.gemms_per_sec))
+        .expect("at least one round")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_policy_once(
+    cfg: &MatrixBenchConfig,
+    kind: &'static str,
+    policy: PlacePolicy,
+    feedback: bool,
+    round: usize,
     small: &InputPool,
     big: &InputPool,
     obs: &Arc<Obs>,
@@ -542,10 +635,13 @@ fn run_policy(
     let _run = aabft_obs::span!(
         obs, "serve", "policy_run",
         "policy" => policy.label(),
+        "feedback" => u64::from(feedback),
+        "round" => round as u64,
         "requests" => cfg.requests as u64,
     );
     let mut serve = cfg.serve;
     serve.policy = policy;
+    serve.feedback = feedback;
     serve.queue_capacity = serve.queue_capacity.max(cfg.requests);
     let server = Server::start(
         serve,
@@ -580,16 +676,21 @@ fn run_policy(
         tickets.into_iter().map(|(t, ticket)| (t, ticket.wait())).collect();
     let wall = start.elapsed();
     let steals = server.steals();
-    let per_replica_raw: Vec<(String, u64, u64, Duration)> = (0..server.replicas())
-        .map(|r| {
-            (
-                server.replica_spec(r).label(),
-                server.replica_waves(r),
-                server.replica_steals(r),
-                server.replica_busy(r),
-            )
-        })
-        .collect();
+    let placement = server.placement();
+    type ReplicaRaw = (String, u64, u64, Duration, Vec<((usize, usize, usize), f64)>);
+    let per_replica_raw: Vec<ReplicaRaw> =
+        (0..server.replicas())
+            .map(|r| {
+                (
+                    server.replica_spec(r).label(),
+                    server.replica_waves(r),
+                    server.replica_steals(r),
+                    server.replica_busy(r),
+                    placement.calibration(r),
+                )
+            })
+            .collect();
+    let (cal_updates, cal_cold_hits) = (placement.cal_updates(), placement.cal_cold_hits());
     server.shutdown();
 
     let model = RoundingModel::binary64();
@@ -619,7 +720,9 @@ fn run_policy(
     latencies_ms.sort_by(f64::total_cmp);
 
     PolicyReport {
+        kind,
         policy,
+        feedback,
         submitted,
         completed,
         sdc,
@@ -628,14 +731,17 @@ fn run_policy(
         gemms_per_sec: completed as f64 / wall.as_secs_f64(),
         p50_ms: percentile(&latencies_ms, 0.50),
         p99_ms: percentile(&latencies_ms, 0.99),
+        cal_updates,
+        cal_cold_hits,
         per_replica: per_replica_raw
             .into_iter()
-            .map(|(label, waves, steals, busy)| ReplicaUtil {
+            .map(|(label, waves, steals, busy, calibration)| ReplicaUtil {
                 label,
                 waves,
                 steals,
                 busy_s: busy.as_secs_f64(),
                 utilization: busy.as_secs_f64() / wall.as_secs_f64(),
+                calibration,
             })
             .collect(),
     }

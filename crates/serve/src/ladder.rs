@@ -13,7 +13,11 @@
 //!
 //! Escalation is immediate on threshold crossing; de-escalation steps
 //! down one level only after [`LadderConfig::quiet_ticks`] consecutive
-//! quiet observations, so a storm's tail cannot flap the floor.
+//! quiet observations, so a storm's tail cannot flap the floor. An
+//! *absent* gauge (no verified wave has reported yet) is distinguished
+//! from a measured zero: the ladder holds rather than treating silence
+//! as quiet, so a fleet serving only `Unprotected` traffic cannot
+//! silently de-escalate.
 
 use std::sync::Mutex;
 
@@ -112,8 +116,18 @@ impl EscalationLadder {
     /// moves the floor, and mirrors it into the `serve.ladder_level`
     /// gauge plus `serve.escalations` / `serve.deescalations` counters.
     /// Returns the floor to use for the wave being built.
+    ///
+    /// An *absent* gauge is not a measured zero: it means no verified
+    /// wave has published a verdict yet (e.g. the fleet is serving only
+    /// `Unprotected` traffic), so the ladder holds its level and the
+    /// quiet streak does not advance — silence is no evidence of health.
     pub fn observe(&self, metrics: &Metrics) -> LadderLevel {
-        let ewma = metrics.gauge("abft.fault_rate_ewma").unwrap_or(0.0);
+        let Some(ewma) = metrics.gauge("abft.fault_rate_ewma") else {
+            let state = self.state.lock().expect("ladder lock");
+            metrics.gauge_set("serve.ladder_level", f64::from(state.level.as_index()));
+            metrics.gauge_set("serve.ladder_peak", f64::from(state.peak.as_index()));
+            return state.level;
+        };
         let mut state = self.state.lock().expect("ladder lock");
 
         let target = if ewma >= self.cfg.escalate_heal {
@@ -218,6 +232,28 @@ mod tests {
         let m = Metrics::new();
         assert_eq!(tick(&l, &m, 0.5), LadderLevel::Heal);
         assert_eq!(m.counter("serve.escalations"), 2);
+    }
+
+    #[test]
+    fn absent_gauge_holds_rather_than_deescalating() {
+        // A storm escalates to Heal; afterwards only Unprotected traffic
+        // flows, so no check verdict ever publishes the EWMA gauge. The
+        // ladder must hold — an absent gauge is missing evidence, not a
+        // measured-zero fault rate.
+        let l = ladder();
+        let m = Metrics::new();
+        assert_eq!(tick(&l, &m, 0.5), LadderLevel::Heal);
+        let blind = Metrics::new(); // no abft.fault_rate_ewma at all
+        for _ in 0..6 {
+            assert_eq!(l.observe(&blind), LadderLevel::Heal, "absent gauge holds");
+        }
+        assert_eq!(blind.counter("serve.deescalations"), 0);
+        // The level gauge still mirrors, so dashboards see the hold.
+        assert_eq!(blind.gauge("serve.ladder_level"), Some(2.0));
+        // Quiet-streak state is untouched: two *measured* zeros still
+        // step down exactly one level.
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Heal);
+        assert_eq!(tick(&l, &m, 0.0), LadderLevel::Verify);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * [`placement`] — heterogeneous [`ReplicaSpec`]s (per-replica SM
 //!   count and clean engine) and the [`PlacePolicy`] that costs ready
 //!   waves against each replica's own `PerfModel`
-//!   (round-robin / costed / costed+stealing);
+//!   (round-robin / costed / costed+stealing), with an online
+//!   calibration plane: per-(replica, shape-class) EWMAs of
+//!   measured/modelled latency blend into every price, so placement
+//!   corrects model error — including a replica whose spec lies about
+//!   its engine — as it serves;
 //! * [`ladder`] — the [`EscalationLadder`]: maps the
 //!   `abft.fault_rate_ewma` gauge to a protection floor
 //!   (`Base → Verify → Heal`) with hysteresis on the way down;
@@ -65,11 +69,11 @@ pub mod queue;
 pub mod request;
 pub mod server;
 
-pub use bench::{BenchConfig, LevelReport, TenantMix};
+pub use bench::{BenchConfig, LevelReport, MatrixBenchConfig, PolicyReport, TenantMix};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{Storm, StormConfig};
 pub use ladder::{EscalationLadder, LadderConfig, LadderLevel};
-pub use placement::{PlacePolicy, Placement, ReplicaSpec};
+pub use placement::{shape_class, PlacePolicy, Placement, ReplicaSpec};
 pub use request::{
     Completed, DeadlineClass, Rejected, ServeOutcome, ServeRequest, Ticket,
 };

@@ -14,11 +14,23 @@
 //!   admission (blind rotation); a dispatcher takes only its own
 //!   entries.
 //! * `Costed` — a dispatcher takes a shard only when it is the argmin
-//!   of `inflight + wave_cost` over live replicas (costs from each
-//!   replica's own scaled [`PerfModel`], see [`Placement`]).
+//!   of `inflight + wave_cost` over live replicas, where wave costs are
+//!   *calibrated*: each replica's scaled [`PerfModel`] estimate blended
+//!   with the measured/modelled EWMA for that shape class (see
+//!   [`Placement::calibrated_wave_costs`]).
 //! * `CostedStealing` — costed, plus: an idle dispatcher drains the
-//!   heaviest *eligible* shard (one whose modelled backlog on its best
-//!   replica outlasts the thief's own wave cost) instead of parking.
+//!   heaviest *eligible* shard instead of parking. A shard is eligible
+//!   when its backlog on its best replica outlasts the thief's own
+//!   calibrated wave cost, **or** when its observed queueing delay —
+//!   the per-class EWMA of admit→dispatch age, maxed with the lead
+//!   entry's current age — exceeds that cost: if work demonstrably
+//!   waits longer than the thief needs to run it, the thief runs it,
+//!   whatever the model claims about the backlog.
+//!
+//! The queue also maintains the observed-delay signal itself: every
+//! dispatched entry contributes its admit→dispatch age to its shard
+//! class's EWMA ([`ShardedQueue::queue_delays`]), which the server
+//! exports as `serve.shard.{class}.queue_delay_us` gauges.
 //!
 //! Built on `std::sync::{Mutex, Condvar}` (the parking_lot shim carries
 //! no condvar); one mutex guards all shards, which keeps placement
@@ -29,30 +41,51 @@
 //! [`Placement`]: crate::placement::Placement
 //! [`PerfModel`]: aabft_gpu_sim::perf::PerfModel
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use aabft_core::batch::ProtectionPolicy;
 use aabft_matrix::Matrix;
 
-use crate::placement::{PlacePolicy, Placement};
+use crate::placement::{shape_class, PlacePolicy, Placement};
 use crate::request::{DeadlineClass, Rejected, Slot};
 
 /// Coalescing key: requests of equal `(m, n, q)` share a cached plan and
 /// pooled buffers in the batch engine, so a wave sticks to one key.
 pub(crate) type ShapeKey = (usize, usize, usize);
 
-/// A shape's shard class: each dimension rounded up to the next power of
-/// two (floored at 8). Shapes of one class share a shard — and thereby a
-/// dispatch affinity — so plan and pack-buffer caches stay hot per
-/// shard; waves still coalesce on the *exact* key within a shard.
+/// A shape's shard class — the same power-of-two rounding the
+/// calibration plane keys ratios by ([`shape_class`]), so a shard's
+/// dispatch affinity and its cost calibration always agree. Shapes of
+/// one class share a shard so plan and pack-buffer caches stay hot;
+/// waves still coalesce on the *exact* key within a shard.
 pub(crate) fn shard_class(key: ShapeKey) -> ShapeKey {
-    fn round(d: usize) -> usize {
-        d.max(8).next_power_of_two()
-    }
-    (round(key.0), round(key.1), round(key.2))
+    shape_class(key)
 }
+
+/// EWMA smoothing for the per-class observed queueing delay; matched to
+/// the calibration plane's pace so the steal signal and the cost signal
+/// adapt on the same timescale.
+const DELAY_ALPHA: f64 = 0.25;
+
+/// Hysteresis on the observed-delay steal: the thief must beat the
+/// class's observed wait by this factor, not merely undercut it. A
+/// steal moves a whole wave off the replica the cost model still thinks
+/// is best, and the observed-delay signal is the noisiest input the
+/// scheduler has (a dispatch-age EWMA on a shared host), so it should
+/// only override the model when the gap is clear — EWMA noise alone
+/// must not open it.
+const STEAL_MARGIN: f64 = 2.0;
+
+/// Cycle-efficiency bound on any steal: the thief's host-cycle cost for
+/// the wave (calibrated device cost × SM width) may exceed the best
+/// replica's by at most this factor. Stealing buys latency with *spare*
+/// capacity; a thief that would burn several times the silicon — e.g. a
+/// scalar-engine replica grabbing work a packed-engine peer will drain
+/// shortly — converts queueing delay into fleet-wide waste, slowing
+/// every other tenant to rescue one.
+const STEAL_EFFICIENCY: f64 = 1.5;
 
 /// One admitted request waiting for dispatch.
 #[derive(Debug)]
@@ -97,9 +130,13 @@ pub(crate) enum Taken {
     Wave {
         batch: Vec<Pending>,
         expired: Vec<Pending>,
-        /// Modelled cost of this wave on the taking replica; charged to
-        /// its inflight account until [`ShardedQueue::finish`].
+        /// Calibrated cost of this wave on the taking replica; charged
+        /// to its inflight account until [`ShardedQueue::finish`].
         cost: f64,
+        /// Pure analytic-model cost of this wave on the taking replica —
+        /// the denominator for the measured/modelled calibration sample
+        /// the server records once the wave completes.
+        modelled: f64,
         /// `true` when the wave was stolen (the taker was not the
         /// modelled best replica for its shard).
         stolen: bool,
@@ -133,6 +170,9 @@ struct Inner {
     alive: Vec<bool>,
     /// Waves stolen so far (telemetry mirror).
     steals: u64,
+    /// Observed queueing delay per shard class: EWMA of admit→dispatch
+    /// age in seconds, fed at every wave extraction.
+    delay: HashMap<ShapeKey, f64>,
 }
 
 impl Inner {
@@ -184,6 +224,7 @@ impl ShardedQueue {
             inflight: vec![0.0; replicas],
             alive: vec![true; replicas],
             steals: 0,
+            delay: HashMap::new(),
         };
         ShardedQueue { inner: Mutex::new(inner), nonempty: Condvar::new(), capacity, policy, placement }
     }
@@ -294,6 +335,15 @@ impl ShardedQueue {
         self.inner.lock().expect("queue lock").steals
     }
 
+    /// Observed queueing delay per shard class (EWMA of admit→dispatch
+    /// age, seconds), sorted by class. Gauge surface.
+    pub(crate) fn queue_delays(&self) -> Vec<(ShapeKey, f64)> {
+        let inner = self.inner.lock().expect("queue lock");
+        let mut out: Vec<_> = inner.delay.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
     /// Sweeps expired entries, then extracts up to `max` ready entries of
     /// one exact shape from the shard this replica should serve under the
     /// placement policy (see module docs). Parks up to `park` when
@@ -356,12 +406,21 @@ impl ShardedQueue {
             }
         }
         inner.len -= batch.len();
-        let cost = self.placement.wave_costs(key, batch.len())[replica];
+        // Every dispatched entry is one admit→dispatch sample for its
+        // class's observed-delay EWMA (the adaptive steal signal).
+        let class = shard_class(key);
+        for p in &batch {
+            let waited = now.duration_since(p.submitted).as_secs_f64();
+            let delay = inner.delay.entry(class).or_insert(waited);
+            *delay += DELAY_ALPHA * (waited - *delay);
+        }
+        let cost = self.placement.calibrated_wave_costs(key, batch.len())[replica];
+        let modelled = self.placement.wave_costs(key, batch.len())[replica];
         inner.inflight[replica] += cost;
         if stolen {
             inner.steals += 1;
         }
-        Taken::Wave { batch, expired, cost, stolen }
+        Taken::Wave { batch, expired, cost, modelled, stolen }
     }
 
     /// Picks the shard `replica` should serve, or `None` to park.
@@ -386,11 +445,10 @@ impl ShardedQueue {
                 .map(|si| (si, false)),
             PlacePolicy::Costed | PlacePolicy::CostedStealing => {
                 let live = inner.live();
-                // Own takes: shards whose modelled best replica is us.
+                // Own takes: shards whose calibrated best replica is us.
                 let mut own: Option<(usize, Instant)> = None;
-                // Steal candidates: (shard, modelled backlog on its best
-                // replica) for shards we could drain sooner than their
-                // best replica will get to them.
+                // Steal candidates: (shard, pressure) for shards whose
+                // wait — modelled or observed — outlasts our own wave.
                 let mut steal: Option<(usize, f64)> = None;
                 for (si, shard) in inner.shards.iter().enumerate() {
                     let Some(lead) = shard.items.iter().find(|p| p.ready(now)) else {
@@ -403,7 +461,7 @@ impl ShardedQueue {
                         .filter(|p| p.ready(now) && p.shape_key() == key)
                         .count()
                         .min(max);
-                    let costs = self.placement.wave_costs(key, count);
+                    let costs = self.placement.calibrated_wave_costs(key, count);
                     let best = live
                         .iter()
                         .copied()
@@ -418,20 +476,57 @@ impl ShardedQueue {
                         if own.is_none_or(|(_, t)| oldest < t) {
                             own = Some((si, oldest));
                         }
-                    } else if self.policy.steals() {
-                        // Eligible when the whole backlog, drained by its
-                        // best replica after that replica's current
-                        // inflight work, still outlasts our own wave.
+                    } else if self.policy.steals()
+                        && (!self.placement.feedback() || self.placement.is_warm(replica))
+                    {
+                        // A steal is the thief betting its own price
+                        // against the victim's backlog — with feedback
+                        // on, a replica that has never produced a
+                        // measured sample hasn't earned that trust (its
+                        // spec may be the lie calibration exists to
+                        // catch), so it serves only waves routed to it
+                        // until its first measurement lands.
+                        // Eligible when either signal says waiting beats
+                        // doing it ourselves: (a) the calibrated backlog,
+                        // drained by its best replica after that
+                        // replica's current inflight work, outlasts our
+                        // own wave; or (b) the shard's *observed*
+                        // queueing delay — the dispatch-age EWMA maxed
+                        // with the lead entry's current age — already
+                        // exceeds our calibrated cost. (b) is what fires
+                        // when the model lies: the backlog looks cheap on
+                        // a replica that in truth drains it slowly, and
+                        // only measured wait exposes that.
                         let backlog: f64 = shard
                             .items
                             .iter()
-                            .map(|p| self.placement.request_cost(p.shape_key(), best))
+                            .map(|p| self.placement.calibrated_request_cost(p.shape_key(), best))
                             .sum();
+                        let modelled_wait = inner.inflight[best] + backlog;
+                        // Observed signal: the class's dispatch-age EWMA
+                        // — what entries like this one *actually* waited
+                        // recently. Deliberately not the lead entry's
+                        // current age: under a blast every shard's lead
+                        // is as old as the run, and that signal would
+                        // tell every idle replica to steal everything.
+                        let observed_wait =
+                            inner.delay.get(&shard.class).copied().unwrap_or(0.0);
                         let ours = costs[replica];
-                        if ours < inner.inflight[best] + backlog
-                            && steal.is_none_or(|(_, heaviest)| backlog > heaviest)
+                        // The observed comparison crosses unit systems:
+                        // delays are host wall seconds, prices are
+                        // calibrated device-seconds. Scale our price to
+                        // host wall before comparing.
+                        let ours_host = ours * self.placement.host_scale(replica);
+                        let best_host =
+                            costs[best] * self.placement.host_scale(best);
+                        let efficient = ours_host <= best_host * STEAL_EFFICIENCY;
+                        let pressure = modelled_wait.max(observed_wait);
+                        if efficient
+                            && (ours < modelled_wait
+                                || ours_host * STEAL_MARGIN < observed_wait)
+                            && steal.is_none_or(|(_, heaviest)| pressure > heaviest)
                         {
-                            steal = Some((si, backlog));
+                            steal = Some((si, pressure));
                         }
                     }
                 }
@@ -575,7 +670,11 @@ mod tests {
         // backlog.
         let specs: Vec<ReplicaSpec> =
             vec!["26:packed".parse().unwrap(), "8:packed".parse().unwrap()];
-        let q = queue(16, PlacePolicy::CostedStealing, specs);
+        let placement = Arc::new(Placement::new(specs));
+        // One neutral sample (measured == modelled, ratio 1) warms the
+        // thief without moving its price: a cold replica may not steal.
+        placement.record_measured(1, (512, 512, 512), 1.0, 1.0);
+        let q = ShardedQueue::new(16, PlacePolicy::CostedStealing, placement);
         for _ in 0..12 {
             q.submit(pending(512)).unwrap();
         }
@@ -633,6 +732,92 @@ mod tests {
         assert_eq!(batch.len(), 1);
         assert!(matches!(q.take_wave(0, 8, NO_PARK), Taken::Drained));
         assert!(q.is_drained());
+    }
+
+    #[test]
+    fn measured_feedback_flips_the_costed_argmin() {
+        // Replica 0 lies: it runs the scalar engine but its spec prices
+        // it as packed, so the static model routes heavy work to it.
+        let placement = Arc::new(Placement::new(vec![
+            "6:scalar@packed".parse().unwrap(),
+            "6:scalar".parse().unwrap(),
+        ]));
+        let q = ShardedQueue::new(16, PlacePolicy::Costed, placement.clone());
+        q.submit(pending(256)).unwrap();
+        // Cold calibration: the liar is the modelled argmin; the honest
+        // replica parks, and the wave's calibrated cost equals modelled.
+        assert!(matches!(q.take_wave(1, 8, NO_PARK), Taken::Empty { .. }));
+        let Taken::Wave { batch, cost, modelled, .. } = q.take_wave(0, 8, NO_PARK) else {
+            panic!("liar takes the wave while the model is trusted");
+        };
+        assert_eq!(batch.len(), 1);
+        assert_eq!(cost, modelled, "cold ratio is 1.0");
+        q.finish(0, cost);
+        // Measured truth arrives: the liar ran 5× slower than modelled,
+        // the honest replica exactly as modelled. (Both sides must be
+        // measured: an unmeasured replica borrows the fleet-median
+        // ratio — here the liar's own 5× — precisely so that cold
+        // replicas don't look artificially cheap next to warm ones.)
+        placement.record_measured(0, (256, 256, 256), 5.0 * modelled, modelled);
+        let honest = placement.request_cost((256, 256, 256), 1);
+        placement.record_measured(1, (256, 256, 256), honest, honest);
+        q.submit(pending(256)).unwrap();
+        // The calibrated argmin flips to the honest replica.
+        assert!(matches!(q.take_wave(0, 8, NO_PARK), Taken::Empty { .. }));
+        let Taken::Wave { batch, stolen, .. } = q.take_wave(1, 8, NO_PARK) else {
+            panic!("honest replica wins once the lie is measured");
+        };
+        assert_eq!(batch.len(), 1);
+        assert!(!stolen, "an argmin take is not a steal");
+    }
+
+    #[test]
+    fn observed_queue_delay_triggers_adaptive_steal() {
+        // 256³ on the 4-SM thief is ~6.5× pricier than on the fast
+        // replica, so the modelled-backlog rule never fires (ours >
+        // one-deep backlog-on-best). But this class's entries have
+        // demonstrably waited ~30 s to dispatch — the observed
+        // dispatch-age EWMA says the model is wrong about this shard,
+        // and the warm, cycle-efficient (same engine) thief steals.
+        let specs: Vec<ReplicaSpec> =
+            vec!["26:packed".parse().unwrap(), "4:packed".parse().unwrap()];
+        let placement = Arc::new(Placement::new(specs));
+        placement.record_measured(1, (256, 256, 256), 1.0, 1.0);
+        let q = ShardedQueue::new(16, PlacePolicy::CostedStealing, placement);
+        // Seed the class's delay EWMA with a genuinely ancient dispatch.
+        let mut stale = pending(256);
+        stale.submitted = Instant::now() - Duration::from_secs(30);
+        q.submit(stale).unwrap();
+        let Taken::Wave { stolen, .. } = q.take_wave(0, 8, NO_PARK) else {
+            panic!("fast replica drains the seed entry");
+        };
+        assert!(!stolen);
+        // Fast replica is now loaded; the next entry of the class would
+        // be its take again (still the argmin), but the observed wait
+        // dwarfs the thief's host-scaled price.
+        q.submit(pending(256)).unwrap();
+        let Taken::Wave { batch, stolen, .. } = q.take_wave(1, 8, NO_PARK) else {
+            panic!("observed wait must trigger the adaptive steal");
+        };
+        assert!(stolen);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(q.steals(), 1);
+    }
+
+    #[test]
+    fn dispatch_feeds_the_queue_delay_ewma() {
+        let q = queue(16, PlacePolicy::CostedStealing, ReplicaSpec::defaults(1));
+        assert!(q.queue_delays().is_empty(), "no samples before any dispatch");
+        let mut p = pending(64);
+        p.submitted = Instant::now() - Duration::from_millis(250);
+        q.submit(p).unwrap();
+        let Taken::Wave { .. } = q.take_wave(0, 8, NO_PARK) else {
+            panic!("expected a wave");
+        };
+        let delays = q.queue_delays();
+        assert_eq!(delays.len(), 1);
+        assert_eq!(delays[0].0, (64, 64, 64));
+        assert!(delays[0].1 >= 0.25, "EWMA seeds from the first sample: {delays:?}");
     }
 
     #[test]

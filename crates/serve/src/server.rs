@@ -14,8 +14,10 @@
 //!    floor to every request in the wave;
 //! 4. runs the wave through [`BatchGemm::execute_verified`] on its own
 //!    device (plan cache, buffer pools and pack pools shared across
-//!    replicas through the one engine), charging the wave's modelled
-//!    cost to its inflight account for the duration;
+//!    replicas through the one engine), charging the wave's calibrated
+//!    cost to its inflight account for the duration and feeding the
+//!    measured wall latency back into the placement plane's
+//!    per-(replica, shape-class) calibration EWMA;
 //! 5. resolves each result: completions resolve their ticket,
 //!    `Unrecovered` results retry with exponential backoff until
 //!    [`ServeConfig::max_retries`], then resolve as
@@ -51,6 +53,11 @@ pub struct ServeConfig {
     pub max_wave: usize,
     /// Placement policy mapping ready waves onto replicas.
     pub policy: PlacePolicy,
+    /// Whether the costed policies price waves with measured-cost
+    /// feedback (`modelled × calibration ratio`); `false` restores the
+    /// PR-9 static analytic-model pricing. Measurements are recorded
+    /// either way, so the model-error telemetry stays comparable.
+    pub feedback: bool,
     /// Deadline for [`DeadlineClass::Interactive`] requests.
     pub interactive_deadline: Duration,
     /// Deadline for [`DeadlineClass::Batch`] requests.
@@ -73,6 +80,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             max_wave: 8,
             policy: PlacePolicy::default(),
+            feedback: true,
             interactive_deadline: Duration::from_millis(20),
             batch_deadline: Duration::from_millis(500),
             max_retries: 2,
@@ -173,12 +181,17 @@ struct Replica {
 struct Shared {
     cfg: ServeConfig,
     queue: ShardedQueue,
+    placement: Arc<Placement>,
     ladder: EscalationLadder,
     engine: BatchGemm,
     replicas: Vec<Replica>,
     obs: Arc<Obs>,
     accepted: AtomicU64,
     resolved: AtomicU64,
+    /// Calibration counts already mirrored into the obs counters, so
+    /// `placement.cal.{updates,cold_hits}` advance by deltas.
+    cal_updates_exported: AtomicU64,
+    cal_cold_exported: AtomicU64,
 }
 
 impl Shared {
@@ -199,7 +212,8 @@ impl Shared {
     }
 
     /// Refreshes the placement-balance gauges: total and per-shard queue
-    /// depth plus per-replica inflight modelled cost.
+    /// depth, per-shard observed queueing delay, per-replica inflight
+    /// calibrated cost, and the calibration-plane counters.
     fn refresh_gauges(&self) {
         let metrics = &self.obs.metrics;
         metrics.gauge_set("serve.queue_depth", self.queue.len() as f64);
@@ -209,8 +223,44 @@ impl Shared {
             let (m, n, q) = d.class;
             metrics.gauge_set(&format!("serve.shard.{m}x{n}x{q}.depth"), d.depth as f64);
         }
+        for (class, delay) in self.queue.queue_delays() {
+            let (m, n, q) = class;
+            metrics.gauge_set(&format!("serve.shard.{m}x{n}x{q}.queue_delay_us"), delay * 1e6);
+        }
         for (idx, cost) in self.queue.inflight().iter().enumerate() {
             metrics.gauge_set(&format!("serve.replica.{idx}.inflight_cost"), *cost);
+        }
+        export_counter_delta(
+            metrics,
+            "placement.cal.updates",
+            self.placement.cal_updates(),
+            &self.cal_updates_exported,
+        );
+        export_counter_delta(
+            metrics,
+            "placement.cal.cold_hits",
+            self.placement.cal_cold_hits(),
+            &self.cal_cold_exported,
+        );
+    }
+}
+
+/// Advances a monotonic obs counter to `total` by adding the delta since
+/// the last export (`exported` remembers what has been mirrored).
+fn export_counter_delta(
+    metrics: &aabft_obs::Metrics,
+    name: &str,
+    total: u64,
+    exported: &AtomicU64,
+) {
+    let mut prev = exported.load(Ordering::Relaxed);
+    while total > prev {
+        match exported.compare_exchange_weak(prev, total, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                metrics.counter_add(name, total - prev);
+                return;
+            }
+            Err(seen) => prev = seen,
         }
     }
 }
@@ -259,17 +309,22 @@ impl Server {
                 }
             })
             .collect();
-        let placement =
-            Arc::new(Placement::new(replicas.iter().map(|r| r.spec.clone()).collect()));
+        let placement = Arc::new(Placement::with_feedback(
+            replicas.iter().map(|r| r.spec.clone()).collect(),
+            cfg.feedback,
+        ));
         let shared = Arc::new(Shared {
             cfg,
-            queue: ShardedQueue::new(cfg.queue_capacity, cfg.policy, placement),
+            queue: ShardedQueue::new(cfg.queue_capacity, cfg.policy, placement.clone()),
+            placement,
             ladder: EscalationLadder::new(cfg.ladder),
             engine: BatchGemm::new(gemm).with_streams(cfg.max_wave),
             replicas,
             obs,
             accepted: AtomicU64::new(0),
             resolved: AtomicU64::new(0),
+            cal_updates_exported: AtomicU64::new(0),
+            cal_cold_exported: AtomicU64::new(0),
         });
         let workers = (0..shared.replicas.len())
             .map(|idx| {
@@ -366,6 +421,12 @@ impl Server {
         self.shared.queue.steals()
     }
 
+    /// The placement plane — calibration snapshots
+    /// ([`Placement::calibration`]) and counter surface.
+    pub fn placement(&self) -> Arc<Placement> {
+        self.shared.placement.clone()
+    }
+
     /// Replica `idx`'s breaker trip count.
     pub fn breaker_trips(&self, idx: usize) -> u32 {
         self.shared.replicas[idx].breaker.trips()
@@ -449,15 +510,32 @@ fn dispatch_loop(shared: &Shared, idx: usize) {
             Taken::Empty { expired } => {
                 shared.resolve_expired(expired);
             }
-            Taken::Wave { batch, expired, cost, stolen } => {
+            Taken::Wave { batch, expired, cost, modelled, stolen } => {
                 shared.resolve_expired(expired);
-                run_wave(shared, idx, batch, cost, stolen);
+                run_wave(shared, idx, batch, cost, modelled, stolen);
             }
         }
     }
 }
 
-fn run_wave(shared: &Shared, idx: usize, batch: Vec<Pending>, cost: f64, stolen: bool) {
+/// Cumulative scheduled CPU time of the calling thread, in seconds,
+/// from Linux CFS accounting (`/proc/thread-self/schedstat`, first
+/// field, nanoseconds). `None` off Linux or when the kernel doesn't
+/// expose schedstats; callers fall back to wall time.
+fn thread_runtime_s() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    let ns: u64 = stat.split_whitespace().next()?.parse().ok()?;
+    Some(ns as f64 / 1e9)
+}
+
+fn run_wave(
+    shared: &Shared,
+    idx: usize,
+    batch: Vec<Pending>,
+    cost: f64,
+    modelled: f64,
+    stolen: bool,
+) {
     let replica = &shared.replicas[idx];
     let metrics = &shared.obs.metrics;
     let level = shared.ladder.observe(metrics);
@@ -492,9 +570,33 @@ fn run_wave(shared: &Shared, idx: usize, batch: Vec<Pending>, cost: f64, stolen:
         .zip(&effective)
         .map(|(p, &policy)| GemmRequest::new(p.a.clone(), p.b.clone()).with_policy(policy))
         .collect();
+    let cpu_started = thread_runtime_s();
     let started = Instant::now();
     let results = shared.engine.execute_verified(&replica.device, requests);
     let busy = started.elapsed();
+    // Close the cost loop: this wave's measured latency against its
+    // pure-model price becomes one calibration sample for (replica,
+    // shape class), exported as a ratio gauge. The sample wants the
+    // wave's *device occupancy*, and on a host-simulated device that is
+    // the dispatcher thread's CPU time, not its wall: when several
+    // dispatchers share cores, wall charges this replica for time the
+    // scheduler gave its peers, inflating every concurrent measurement
+    // alike and compressing the very ratios calibration exists to
+    // expose. Wall is the fallback where the kernel doesn't account
+    // per-thread runtime.
+    let cpu_busy = match (cpu_started, thread_runtime_s()) {
+        (Some(before), Some(after)) if after > before => after - before,
+        _ => busy.as_secs_f64(),
+    };
+    // The host also serializes work the simulated device would spread
+    // across its SMs, so device seconds are host seconds over SM width
+    // — without that normalization every replica measures alike per
+    // engine and calibration would erase the fleet's legitimate
+    // SM-count differences along with the spec lies.
+    let device_s = cpu_busy / replica.device.config().num_sms.max(1) as f64;
+    let ratio = shared.placement.record_measured(idx, (m, n, q), device_s, modelled);
+    let (cm, cn, cq) = crate::placement::shape_class((m, n, q));
+    metrics.gauge_set(&format!("serve.replica.{idx}.cal.{cm}x{cn}x{cq}"), ratio);
     replica.busy_us.fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
     metrics.gauge_set(
         &format!("serve.replica.{idx}.busy_us"),
@@ -502,6 +604,11 @@ fn run_wave(shared: &Shared, idx: usize, batch: Vec<Pending>, cost: f64, stolen:
     );
     metrics.gauge_set(&format!("serve.replica.{idx}.busy"), 0.0);
     shared.queue.finish(idx, cost);
+    // Tick the ladder on this wave's own verdicts too: the dispatch-time
+    // observation reads the fault EWMA from *before* the wave executed,
+    // so a storm whose last faulty wave sees no successor dispatch would
+    // decay away unobserved and never raise the floor.
+    shared.ladder.observe(metrics);
     shared.refresh_gauges();
     // Bound memory under sustained traffic: the launch log is per-device
     // telemetry that nobody drains in service mode.

@@ -233,7 +233,22 @@ fn storm_escalates_the_ladder_and_releases_no_sdc() {
             // cooldown actually produces clean check samples.
             batch_deadline: Duration::from_secs(30),
             interactive_deadline: Duration::from_secs(30),
-            ladder: LadderConfig { quiet_ticks: 2, ..LadderConfig::default() },
+            // escalate_verify below the worst-case decay between a
+            // detection and the next ladder observation: a detection
+            // lifts the fault EWMA to >= 0.1 and each clean check decays
+            // it by 0.9; with a detection first in a full 8-deep wave
+            // plus the other replica's concurrent clean wave interleaved
+            // (global gauge), up to ~15 clean samples can land before
+            // the faulty wave's completion observation — 0.1 x 0.9^15
+            // ~= 0.021, which the default 0.05 threshold misses. That
+            // made this test timing-flaky; the quiet band moves down
+            // with it so the cooldown still de-escalates.
+            ladder: LadderConfig {
+                quiet_ticks: 2,
+                escalate_verify: 0.015,
+                deescalate_below: 0.005,
+                ..LadderConfig::default()
+            },
             ..ServeConfig::default()
         },
         config: AAbftConfig::builder()
@@ -405,5 +420,148 @@ fn costed_placement_routes_heavy_shapes_to_the_fast_replica() {
             other => panic!("fault-free unbounded requests complete, got {other:?}"),
         }
     }
+    server.shutdown();
+}
+
+/// Measured-cost feedback corrects a lying `ReplicaSpec`: a fleet of two
+/// replicas with *identical claimed specs* — one honestly packed, one a
+/// scalar engine claiming packed — starts out model-indifferent, but after
+/// each replica serves one measured heavy wave, every subsequent heavy
+/// request lands on the honest replica because the liar's calibration
+/// ratio has converged away from its twin's.
+#[test]
+fn feedback_calibration_stops_routing_heavy_waves_to_the_liar() {
+    let fleet: Vec<ReplicaSpec> = vec![
+        "13:packed".parse().expect("valid spec"),
+        "13:scalar@packed".parse().expect("valid spec"),
+    ];
+    let cfg = ServeConfig {
+        policy: PlacePolicy::Costed,
+        queue_capacity: 64,
+        // One request per wave: each request is one measured sample, so
+        // the warm-up schedule below is exact.
+        max_wave: 1,
+        ..ServeConfig::default()
+    };
+    let obs = Obs::new_shared();
+    let server =
+        Server::start(cfg, small_gemm(), fleet, obs.clone()).expect("valid test config");
+
+    let heavy = |r: usize| {
+        let a = Matrix::from_fn(256, 256, |i, j| ((r + i * 3 + j) as f64 * 0.07).sin());
+        let b = Matrix::from_fn(256, 256, |i, j| ((r * 5 + i + j * 2) as f64 * 0.05).cos());
+        ServeRequest::new(a, b).with_class(DeadlineClass::Unbounded)
+    };
+
+    // Warm-up: two back-to-back submissions. The claimed specs price
+    // identically, so inflight accounting sends one wave to each replica
+    // and both earn a measured sample for the 256-class.
+    let first = server.submit(heavy(0)).expect("admitted");
+    let second = server.submit(heavy(1)).expect("admitted");
+    for t in [first, second] {
+        match t.wait() {
+            ServeOutcome::Completed(_) => {}
+            other => panic!("fault-free warm-up completes, got {other:?}"),
+        }
+    }
+    let placement = server.placement();
+    assert!(
+        placement.is_warm(0) && placement.is_warm(1),
+        "the symmetric warm-up leaves a measured sample on both replicas"
+    );
+
+    // Converged: serialized heavy requests (idle fleet each time) must all
+    // land on the honest replica — the liar's blended price now carries
+    // its measured ratio, which is several times its twin's.
+    for r in 2..5 {
+        match server.submit(heavy(r)).expect("admitted").wait() {
+            ServeOutcome::Completed(c) => assert_eq!(
+                c.replica, 0,
+                "calibrated placement keeps heavy waves off the lying replica"
+            ),
+            other => panic!("fault-free unbounded requests complete, got {other:?}"),
+        }
+    }
+
+    let key = (256, 256, 256);
+    assert!(
+        placement.ratio(1, key) > placement.ratio(0, key),
+        "the scalar liar's measured/modelled ratio ({:.2}) exceeds its honest twin's ({:.2})",
+        placement.ratio(1, key),
+        placement.ratio(0, key),
+    );
+    server.shutdown();
+}
+
+/// A replica's calibration state is placement history, not breaker state:
+/// tripping the breaker and recovering through a half-open probe must not
+/// reset the measured ratios the replica earned before quarantine.
+#[test]
+fn calibration_survives_the_breaker_round_trip() {
+    let cfg = ServeConfig {
+        max_retries: 0,
+        breaker: BreakerConfig { trip_after: 1, cooloff: Duration::from_millis(5) },
+        ..ServeConfig::default()
+    };
+    let obs = Obs::new_shared();
+    let gemm = small_gemm();
+    let server = Server::start(cfg, gemm, ReplicaSpec::defaults(1), obs.clone())
+        .expect("valid test config");
+
+    // Warm a 64-class ratio with a clean wave, distinct from the 16-class
+    // the doomed and probe waves will touch.
+    let a = Matrix::from_fn(64, 64, |i, j| ((i * 3 + j) as f64 * 0.07).sin());
+    let b = Matrix::from_fn(64, 64, |i, j| ((i + j * 2) as f64 * 0.05).cos());
+    let warm = server
+        .submit(ServeRequest::new(a, b).with_class(DeadlineClass::Unbounded))
+        .expect("admitted");
+    match warm.wait() {
+        ServeOutcome::Completed(_) => {}
+        other => panic!("the warm-up wave runs clean, got {other:?}"),
+    }
+    let placement = server.placement();
+    let key = (64, 64, 64);
+    let warmed = placement.ratio(0, key);
+    assert!(placement.is_warm(0), "the clean wave left a measured sample");
+
+    // Trip: a terminal Unrecovered on a 16x16 wave quarantines the replica.
+    let plan = gemm.plan(16, 16, 16);
+    server.device(0).arm_memory_fault(MemoryFaultPlan {
+        buffer: "c",
+        word: 2 * plan.cols.total + 3,
+        mask: 1 << 62,
+        after_phase: "gemm",
+    });
+    let (a, b) = operands(8);
+    let req = ServeRequest::new(a, b)
+        .with_policy(ProtectionPolicy::SelfHealing { budget: 0 })
+        .with_class(DeadlineClass::Unbounded);
+    match server.submit(req).expect("admitted").wait() {
+        ServeOutcome::Unrecovered { .. } => {}
+        other => panic!("retries are disabled, got {other:?}"),
+    }
+    assert_eq!(server.breaker_trips(0), 1);
+
+    // Recover through the half-open probe, then check the round trip left
+    // the 64-class calibration exactly where the clean wave put it.
+    let (a, b) = operands(9);
+    let req = ServeRequest::new(a, b).with_class(DeadlineClass::Unbounded);
+    match server.submit(req).expect("admitted").wait() {
+        ServeOutcome::Completed(c) => assert!(!c.healed()),
+        other => panic!("the probe wave runs clean, got {other:?}"),
+    }
+    assert!(
+        matches!(server.breaker_state(0), BreakerState::Closed),
+        "a successful probe re-closes the breaker"
+    );
+    assert_eq!(
+        placement.ratio(0, key),
+        warmed,
+        "quarantine and recovery must not touch the 64-class calibration"
+    );
+    assert!(
+        placement.calibration(0).iter().any(|(class, _)| *class == key),
+        "the warmed class is still present after the breaker round trip"
+    );
     server.shutdown();
 }

@@ -116,6 +116,20 @@ $aabft serve --policy-matrix true \
     --small-n 64 --big-n 256 --big-every 4 --requests 48 \
     --assert-zero-sdc true --assert-policy-speedup 1.15
 
+# Feedback-placement gate: the same seeded stream over a deliberately
+# mis-modelled fleet — a packed replica and a scalar replica whose spec
+# *claims* packed, so the static cost model prices the pair identically
+# and splits heavy waves 50/50, paying the liar tax on half of them.
+# Measured-cost feedback must recover at least 1.1x GEMMs/s over the
+# static model (conservative vs the ~1.15-1.4x observed on the reference
+# container; each row reports its best of 3 rounds to shake off timing
+# noise), with zero SDC and every request completed in every row.
+echo "==> serve feedback-placement gate (calibrated vs static model)"
+$aabft serve --feedback-matrix true \
+    --replicas 13:packed,13:scalar@packed \
+    --requests 64 --wave 2 --big-every 3 --rounds 3 --seed 7 \
+    --assert-zero-sdc true --assert-feedback-speedup 1.1
+
 # Bench regression gate: a fresh packed measurement at n=1024 must stay
 # within 15% of the committed BENCH_gemm.json baseline's GFLOP/s.
 # 5 reps: min-of-N needs a few samples to shake off container timing
